@@ -1,0 +1,15 @@
+# Region-of-interest pooling post-processing: per-region in-place
+# normalization written imperatively — views + mutation inside a loop,
+# exactly the pattern TensorSSA functionalizes.
+#
+# Load with:  dune exec bin/functs.exe -- build examples/programs/roi_pool.py
+def roi_pool(feats: Tensor, gains: Tensor, n: int):
+    out = feats.clone()
+    for r in range(n):
+        region = out[r]
+        region *= gains[r]
+        region += 1.0
+        out[r] = torch.relu(out[r])
+    if n > 2:
+        out[0] /= 2.0
+    return out
