@@ -1,0 +1,171 @@
+(* Benchmark harness: regenerates every table/figure of the paper's
+   evaluation (Fig. 5-8 plus the 5.2 headline), then times the compiler
+   stages behind each figure with Bechamel (one Test.make per figure).
+
+   Usage: dune exec bench/main.exe [-- fig5|fig6|fig7|fig8|headline|ablation|micro]
+   With no argument everything runs. *)
+
+open Bechamel
+open Functs_ir
+open Functs_core
+open Functs_workloads
+module Figures = Functs_harness.Figures
+
+let selected () =
+  match Array.to_list Sys.argv with
+  | _ :: (_ :: _ as picks) -> picks
+  | _ :: [] | [] ->
+      [ "fig5"; "fig6"; "fig7"; "fig8"; "headline"; "ablation"; "micro" ]
+
+let wants what = List.mem what (selected ())
+
+(* --- Bechamel micro-benchmarks: the compiler work behind each figure --- *)
+
+let workload_graphs () =
+  List.map
+    (fun (w : Workload.t) ->
+      Workload.graph w ~batch:w.default_batch ~seq:w.default_seq)
+    Registry.all
+
+let functionalized_graphs () =
+  List.map
+    (fun g ->
+      let g = Graph.clone g in
+      ignore (Convert.functionalize g);
+      g)
+    (workload_graphs ())
+
+(* Fig. 5 is driven by the full TensorSSA conversion of every workload. *)
+let bench_fig5 graphs =
+  Test.make ~name:"fig5/tensorssa-conversion"
+    (Staged.stage (fun () ->
+         List.iter
+           (fun g ->
+             let g = Graph.clone g in
+             ignore (Convert.functionalize ~verify:false g))
+           graphs))
+
+(* Fig. 6 counts kernels, i.e. fusion planning on functionalized graphs. *)
+let bench_fig6 graphs =
+  Test.make ~name:"fig6/fusion-planning"
+    (Staged.stage (fun () ->
+         List.iter
+           (fun g -> ignore (Fusion.plan Compiler_profile.tensorssa g))
+           graphs))
+
+(* Fig. 7 scales batch: time the traced execution of SSD at batch 4. *)
+let bench_fig7 () =
+  let w = Option.get (Registry.find "ssd") in
+  let g = Workload.graph w ~batch:4 ~seq:w.default_seq in
+  ignore (Convert.functionalize g);
+  let plan = Fusion.plan Compiler_profile.tensorssa g in
+  let args = w.inputs ~batch:4 ~seq:w.default_seq in
+  Test.make ~name:"fig7/traced-exec-ssd-batch4"
+    (Staged.stage (fun () ->
+         ignore
+           (Functs_cost.Trace.run ~profile:Compiler_profile.tensorssa ~plan g
+              args)))
+
+(* Cleanup pipeline (constant folding + CSE + DCE) on functionalized
+   graphs — the optimization pass suite beyond the conversion itself. *)
+let bench_passes graphs =
+  Test.make ~name:"passes/fold-cse-dce"
+    (Staged.stage (fun () ->
+         List.iter
+           (fun g -> ignore (Passes.optimize (Graph.clone g)))
+           graphs))
+
+(* Tensor-expression codegen over every workload's fused kernels. *)
+let bench_codegen () =
+  let prepared =
+    List.map
+      (fun (w : Workload.t) ->
+        let g = Workload.graph w ~batch:w.default_batch ~seq:w.default_seq in
+        ignore (Convert.functionalize g);
+        let plan = Fusion.plan Compiler_profile.tensorssa g in
+        let args = w.inputs ~batch:w.default_batch ~seq:w.default_seq in
+        let inputs =
+          List.map
+            (function
+              | Functs_interp.Value.Tensor t ->
+                  Some (Shape_infer.known (Functs_tensor.Tensor.shape t))
+              | _ -> None)
+            args
+        in
+        (g, plan, Shape_infer.infer g ~inputs))
+      Registry.all
+  in
+  Test.make ~name:"codegen/emit-all-workloads"
+    (Staged.stage (fun () ->
+         List.iter
+           (fun (g, plan, shapes) -> ignore (Codegen.emit g plan ~shapes))
+           prepared))
+
+(* Fig. 8 scales sequence length: traced execution of NASRNN at seq 128. *)
+let bench_fig8 () =
+  let w = Option.get (Registry.find "nasrnn") in
+  let g = Workload.graph w ~batch:1 ~seq:128 in
+  ignore (Convert.functionalize g);
+  let plan = Fusion.plan Compiler_profile.tensorssa g in
+  let args = w.inputs ~batch:1 ~seq:128 in
+  Test.make ~name:"fig8/traced-exec-nasrnn-seq128"
+    (Staged.stage (fun () ->
+         ignore
+           (Functs_cost.Trace.run ~profile:Compiler_profile.tensorssa ~plan g
+              args)))
+
+let run_micro () =
+  let graphs = workload_graphs () in
+  let fgraphs = functionalized_graphs () in
+  let tests =
+    Test.make_grouped ~name:"functs"
+      [
+        bench_fig5 graphs;
+        bench_fig6 fgraphs;
+        bench_passes fgraphs;
+        bench_codegen ();
+        bench_fig7 ();
+        bench_fig8 ();
+      ]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:(Some 100) ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true
+      ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  print_endline "Micro-benchmarks (monotonic clock, ns per run):";
+  Hashtbl.iter
+    (fun name ols_result ->
+      let estimate =
+        match Analyze.OLS.estimates ols_result with
+        | Some (e :: _) -> Printf.sprintf "%12.0f ns" e
+        | Some [] | None -> "           ?"
+      in
+      Printf.printf "  %-40s %s\n" name estimate)
+    results;
+  print_newline ()
+
+let () =
+  if wants "fig5" then print_endline (Figures.fig5 ());
+  if wants "fig6" then print_endline (Figures.fig6 ());
+  if wants "fig7" then print_endline (Figures.fig7 ());
+  if wants "fig8" then print_endline (Figures.fig8 ());
+  if wants "headline" then begin
+    print_endline (Figures.headline_text ());
+    print_newline ()
+  end;
+  if wants "ablation" then print_endline (Figures.ablation ());
+  if wants "micro" then run_micro ();
+  if wants "headline" then
+    if Figures.all_checks_passed () then
+      print_endline
+        "All traced executions matched the eager reference outputs."
+    else begin
+      print_endline "ERROR: some traced executions diverged from reference!";
+      exit 1
+    end

@@ -1,0 +1,307 @@
+(* functs — command-line driver for the TensorSSA reproduction.
+
+   Subcommands:
+     list                         workloads and pipelines
+     show    <workload>           imperative source + graph IR
+     compile <workload>           TensorSSA conversion with statistics
+     run     <workload>           trace execution under a pipeline
+     report  [figure...]          regenerate the paper's tables *)
+
+open Cmdliner
+open Functs_ir
+open Functs_core
+open Functs_interp
+open Functs_cost
+open Functs_workloads
+
+let find_workload name =
+  match Registry.find name with
+  | Some w -> Ok w
+  | None ->
+      Error
+        (Printf.sprintf "unknown workload %S (try: %s)" name
+           (String.concat ", " (List.map (fun (w : Workload.t) -> w.name) Registry.all)))
+
+let find_profile name =
+  match Compiler_profile.find name with
+  | Some p -> Ok p
+  | None ->
+      Error
+        (Printf.sprintf "unknown pipeline %S (try: %s)" name
+           (String.concat ", "
+              (List.map
+                 (fun (p : Compiler_profile.t) -> p.short_name)
+                 Compiler_profile.all)))
+
+let clone_args =
+  List.map (function
+    | Value.Tensor t -> Value.Tensor (Functs_tensor.Tensor.clone t)
+    | (Value.Int _ | Value.Float _ | Value.Bool _ | Value.List _) as v -> v)
+
+(* --- arguments --- *)
+
+let workload_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
+
+let batch_arg =
+  Arg.(value & opt (some int) None & info [ "b"; "batch" ] ~docv:"N" ~doc:"Batch size.")
+
+let seq_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "s"; "seq" ] ~docv:"N" ~doc:"Sequence length (NLP workloads).")
+
+let pipeline_arg =
+  Arg.(
+    value & opt string "TensorSSA"
+    & info [ "p"; "pipeline" ] ~docv:"NAME"
+        ~doc:"Compiler pipeline: Eager, TS+NNC, TS+nvFuser, Dynamo+Inductor, \
+              TensorSSA, TensorSSA-noH, TensorSSA-noV.")
+
+let scales (w : Workload.t) batch seq =
+  ( Option.value batch ~default:w.default_batch,
+    Option.value seq ~default:w.default_seq )
+
+(* --- list --- *)
+
+let list_cmd =
+  let run () =
+    print_endline "Workloads:";
+    List.iter
+      (fun (w : Workload.t) ->
+        Printf.printf "  %-10s %-10s (%s)\n" w.name
+          (Workload.kind_to_string w.kind)
+          w.display)
+      Registry.all;
+    print_endline "\nExtension workloads (beyond the paper):";
+    List.iter
+      (fun (w : Workload.t) ->
+        Printf.printf "  %-10s %-10s (%s)\n" w.name
+          (Workload.kind_to_string w.kind)
+          w.display)
+      Registry.extensions;
+    print_endline "\nPipelines:";
+    List.iter
+      (fun (p : Compiler_profile.t) ->
+        Printf.printf "  %-16s %s\n" p.short_name p.name)
+      Compiler_profile.all;
+    print_endline "\nPlatforms:";
+    List.iter
+      (fun (p : Platform.t) -> Printf.printf "  %-12s %s\n" p.short_name p.name)
+      Platform.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List workloads, pipelines and platforms.")
+    Term.(const run $ const ())
+
+(* --- show --- *)
+
+let show_cmd =
+  let dot_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE" ~doc:"Also write a Graphviz rendering.")
+  in
+  let run name batch seq dot =
+    match find_workload name with
+    | Error e -> `Error (false, e)
+    | Ok w ->
+        let batch, seq = scales w batch seq in
+        print_endline "=== Imperative source ===";
+        print_endline
+          (Functs_frontend.Pretty.program_to_string (w.program ~batch ~seq));
+        print_endline "=== Graph-level IR ===";
+        let g = Workload.graph w ~batch ~seq in
+        print_endline (Printer.to_string g);
+        (match dot with
+        | Some path ->
+            Dot.write_file g ~path;
+            Printf.printf "\nGraphviz written to %s\n" path
+        | None -> ());
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Print a workload's imperative source and graph IR.")
+    Term.(ret (const run $ workload_arg $ batch_arg $ seq_arg $ dot_arg))
+
+(* --- compile --- *)
+
+let compile_cmd =
+  let run name batch seq =
+    match find_workload name with
+    | Error e -> `Error (false, e)
+    | Ok w ->
+        let batch, seq = scales w batch seq in
+        let g = Workload.graph w ~batch ~seq in
+        let stats = Convert.functionalize g in
+        print_endline "=== TensorSSA form ===";
+        print_endline (Printer.to_string g);
+        Printf.printf
+          "\nmutations rewritten : %d\nsub-graphs converted: %d\nsub-graphs \
+           skipped  : %d\nupdates inserted    : %d\nnodes removed (DCE) : %d\n"
+          stats.mutations_rewritten stats.subgraphs_functionalized
+          (List.length stats.subgraphs_skipped)
+          stats.updates_inserted stats.nodes_removed_by_dce;
+        List.iter
+          (fun (reason, witness) ->
+            Printf.printf "  skipped %s: %s\n" witness
+              (Subgraph.unsafe_reason_to_string reason))
+          stats.subgraphs_skipped;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:"Functionalize a workload with TensorSSA and print the result.")
+    Term.(ret (const run $ workload_arg $ batch_arg $ seq_arg))
+
+(* --- run --- *)
+
+let run_cmd =
+  let run name pipeline batch seq =
+    match (find_workload name, find_profile pipeline) with
+    | Error e, _ | _, Error e -> `Error (false, e)
+    | Ok w, Ok profile ->
+        let batch, seq = scales w batch seq in
+        let reference = Workload.graph w ~batch ~seq in
+        let g = Graph.clone reference in
+        if profile.functionalize then ignore (Convert.functionalize g);
+        let plan = Fusion.plan profile g in
+        let args = w.inputs ~batch ~seq in
+        let outputs, summary = Trace.run ~profile ~plan g (clone_args args) in
+        let expected = Eval.run reference (clone_args args) in
+        let ok = List.for_all2 (Value.equal ~atol:1e-4) expected outputs in
+        Printf.printf "workload   : %s (batch=%d, seq=%d)\n" w.display batch seq;
+        Printf.printf "pipeline   : %s\n" profile.name;
+        Printf.printf "kernels    : %d launches, %.1f KB moved, %.0f flops\n"
+          summary.kernel_launches
+          (summary.total_bytes /. 1024.0)
+          summary.total_flops;
+        List.iter
+          (fun (pl : Platform.t) ->
+            Printf.printf "latency    : %8.1f us on %s\n"
+              (Trace.latency_us pl profile summary)
+              pl.name)
+          Platform.all;
+        Printf.printf "reference  : outputs %s\n"
+          (if ok then "MATCH the eager semantics" else "DIVERGE (bug!)");
+        if ok then `Ok () else `Error (false, "outputs diverged")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute a workload under a pipeline and report costs.")
+    Term.(ret (const run $ workload_arg $ pipeline_arg $ batch_arg $ seq_arg))
+
+(* --- build: compile a source file --- *)
+
+let build_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let functionalize_flag =
+    Arg.(
+      value & flag
+      & info [ "no-functionalize" ] ~doc:"Stop after lowering to graph IR.")
+  in
+  let run file no_functionalize =
+    match
+      try Ok (Functs_frontend.Source_parser.parse_file file) with
+      | Functs_frontend.Source_parser.Syntax_error msg -> Error msg
+      | Sys_error msg -> Error msg
+    with
+    | Error e -> `Error (false, e)
+    | Ok program -> (
+        print_endline "=== Parsed source ===";
+        print_endline (Functs_frontend.Pretty.program_to_string program);
+        match
+          try Ok (Functs_frontend.Lower.program program)
+          with Functs_frontend.Lower.Lowering_error msg -> Error msg
+        with
+        | Error e -> `Error (false, e)
+        | Ok g ->
+            print_endline "=== Graph IR ===";
+            print_endline (Printer.to_string g);
+            if not no_functionalize then begin
+              let stats, report = Passes.tensorssa_pipeline g in
+              print_endline "\n=== TensorSSA form (optimized) ===";
+              print_endline (Printer.to_string g);
+              Printf.printf
+                "\n%d mutation(s) rewritten; %d folds, %d CSE merges, %d \
+                 nodes removed\n"
+                stats.mutations_rewritten report.folds report.cse_merged
+                report.dce_removed
+            end;
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "build"
+       ~doc:
+         "Parse an imperative source file (.py-like), lower it and run the \
+          TensorSSA pipeline.")
+    Term.(ret (const run $ file_arg $ functionalize_flag))
+
+(* --- kernels: emitted tensor-expression DSL --- *)
+
+let kernels_cmd =
+  let run name batch seq =
+    match find_workload name with
+    | Error e -> `Error (false, e)
+    | Ok w ->
+        let batch, seq = scales w batch seq in
+        let g = Workload.graph w ~batch ~seq in
+        ignore (Passes.tensorssa_pipeline g);
+        let plan = Fusion.plan Compiler_profile.tensorssa g in
+        let args = w.inputs ~batch ~seq in
+        let inputs =
+          List.map
+            (function
+              | Value.Tensor t ->
+                  Some (Shape_infer.known (Functs_tensor.Tensor.shape t))
+              | Value.Int _ | Value.Float _ | Value.Bool _ | Value.List _ ->
+                  None)
+            args
+        in
+        let shapes = Shape_infer.infer g ~inputs in
+        print_endline (Codegen.render_all g plan ~shapes);
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "kernels"
+       ~doc:
+         "Print the tensor-expression DSL of every fused kernel of a \
+          workload's TensorSSA form (4.2.1).")
+    Term.(ret (const run $ workload_arg $ batch_arg $ seq_arg))
+
+(* --- report --- *)
+
+let report_cmd =
+  let figures =
+    Arg.(
+      value & pos_all string [ "fig5"; "fig6"; "headline" ]
+      & info [] ~docv:"FIGURE"
+          ~doc:
+            "Figures to regenerate: fig5 fig6 fig7 fig8 headline ablation, \
+             or fig5.csv / fig6.csv for machine-readable output.")
+  in
+  let run picks =
+    let module Figures = Functs_harness.Figures in
+    List.iter
+      (fun pick ->
+        match String.lowercase_ascii pick with
+        | "fig5" -> print_endline (Figures.fig5 ())
+        | "fig6" -> print_endline (Figures.fig6 ())
+        | "fig7" -> print_endline (Figures.fig7 ())
+        | "fig8" -> print_endline (Figures.fig8 ())
+        | "headline" -> print_endline (Figures.headline_text ())
+        | "ablation" -> print_endline (Figures.ablation ())
+        | "fig5.csv" -> print_endline (Figures.fig5_csv ())
+        | "fig6.csv" -> print_endline (Figures.fig6_csv ())
+        | other -> Printf.eprintf "unknown figure %S (skipped)\n" other)
+      picks
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Regenerate the paper's evaluation tables.")
+    Term.(const run $ figures)
+
+let () =
+  let doc = "TensorSSA: holistic functionalization of imperative tensor programs" in
+  let info = Cmd.info "functs" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info
+       [ list_cmd; show_cmd; compile_cmd; run_cmd; build_cmd; kernels_cmd; report_cmd ]))

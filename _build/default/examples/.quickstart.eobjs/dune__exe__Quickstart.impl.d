@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ast Codegen Compiler_profile Convert Eval Functs_core Functs_frontend Functs_interp Functs_ir Functs_tensor Fusion Graph List Lower Pretty Printer Printf Shape_infer Value

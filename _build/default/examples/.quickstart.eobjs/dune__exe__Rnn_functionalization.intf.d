@@ -1,0 +1,1 @@
+examples/rnn_functionalization.mli:

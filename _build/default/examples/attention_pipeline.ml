@@ -1,0 +1,41 @@
+(* Attention example driven through the public experiment harness: sweep
+   sequence lengths for decode-style causal attention and print the
+   latency series of every pipeline on both platform models — a
+   single-workload slice of the paper's Fig. 8.
+
+   Run with: dune exec examples/attention_pipeline.exe *)
+
+open Functs_core
+open Functs_cost
+open Functs_workloads
+open Functs_harness
+
+let seqs = [ 16; 32; 64; 128 ]
+
+let () =
+  let w = Option.get (Registry.find "attention") in
+  List.iter
+    (fun (platform : Platform.t) ->
+      Printf.printf "=== %s ===\n" platform.name;
+      Printf.printf "%-8s" "seq";
+      List.iter
+        (fun (p : Compiler_profile.t) -> Printf.printf "  %14s" p.short_name)
+        Compiler_profile.all;
+      print_newline ();
+      List.iter
+        (fun seq ->
+          Printf.printf "%-8d" seq;
+          List.iter
+            (fun profile ->
+              let m = Experiment.run w profile ~batch:1 ~seq in
+              assert m.Experiment.outputs_match_reference;
+              Printf.printf "  %12.1fus" (Experiment.latency_us m platform))
+            Compiler_profile.all;
+          print_newline ())
+        seqs;
+      print_newline ())
+    Platform.all;
+  let mean, best = Figures.headline () in
+  Printf.printf
+    "across the full suite, TensorSSA vs best baseline: %.2fx mean / %.2fx max\n"
+    mean best

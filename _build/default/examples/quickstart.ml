@@ -1,0 +1,65 @@
+(* Quickstart: build the paper's Fig. 4 program with the imperative
+   frontend, print its graph-level IR, functionalize it with TensorSSA,
+   and check the two versions compute the same result.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Functs_ir
+open Functs_core
+open Functs_frontend
+open Functs_interp
+module T = Functs_tensor.Tensor
+
+let () =
+  (* b = b.clone(); for i in range(n): b[i] = b[i] + 1 — Fig. 4(a). *)
+  let program =
+    let open Ast in
+    {
+      name = "fig4";
+      params = [ tensor_param "b"; int_param "n" ];
+      body =
+        [
+          "t" := clone (var "b");
+          for_ "i" (var "n")
+            [ Store (item (var "t") (var "i"), item (var "t") (var "i") + f 1.0) ];
+          return_ [ var "t" ];
+        ];
+    }
+  in
+  print_endline "=== Imperative source ===";
+  print_endline (Pretty.program_to_string program);
+
+  let g = Lower.program program in
+  print_endline "\n=== Graph-level IR (with views and mutation) ===";
+  print_endline (Printer.to_string g);
+
+  let functional = Graph.clone g in
+  let stats = Convert.functionalize functional in
+  print_endline "\n=== After TensorSSA conversion ===";
+  print_endline (Printer.to_string functional);
+  Printf.printf
+    "\nconversion: %d mutation(s) rewritten in %d sub-graph(s); %d updates; \
+     %d nodes removed by DCE\n"
+    stats.mutations_rewritten stats.subgraphs_functionalized
+    stats.updates_inserted stats.nodes_removed_by_dce;
+
+  (* Execute both versions. *)
+  let input = T.of_array [| 3; 2 |] [| 0.; 1.; 2.; 3.; 4.; 5. |] in
+  let args () = [ Value.Tensor (T.clone input); Value.Int 3 ] in
+  let before = Eval.run g (args ()) in
+  let after = Eval.run functional (args ()) in
+  Printf.printf "\nimperative result:    %s\n"
+    (Value.to_string (List.hd before));
+  Printf.printf "functionalized result: %s\n" (Value.to_string (List.hd after));
+  assert (List.for_all2 (Value.equal ~atol:1e-9) before after);
+  print_endline "results identical — functionalization preserved semantics.";
+
+  (* And the payoff: the whole loop body fuses into one kernel, rendered
+     here in the tensor-expression DSL of 4.2.1. *)
+  let plan = Fusion.plan Compiler_profile.tensorssa functional in
+  let shapes =
+    Shape_infer.infer functional
+      ~inputs:[ Some (Shape_infer.known [| 3; 2 |]); None ]
+  in
+  print_endline "\n=== Generated fused kernels ===";
+  print_endline (Codegen.render_all functional plan ~shapes)

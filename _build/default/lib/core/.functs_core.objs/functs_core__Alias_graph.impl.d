@@ -1,0 +1,1 @@
+lib/core/alias_graph.ml: Dtype Format Functs_ir Graph Hashtbl List Op Option Printer

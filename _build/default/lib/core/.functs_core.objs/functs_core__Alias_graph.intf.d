@@ -1,0 +1,1 @@
+lib/core/alias_graph.mli: Format Functs_ir Graph

@@ -1,0 +1,1 @@
+lib/core/codegen.ml: Array Dtype Float Functs_ir Functs_tensor Fusion Graph Hashtbl List Op Option Printf Scalar Shape Shape_infer String Tensor

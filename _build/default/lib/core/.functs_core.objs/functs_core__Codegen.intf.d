@@ -1,0 +1,1 @@
+lib/core/codegen.mli: Functs_ir Functs_tensor Fusion Graph Scalar Shape_infer Tensor

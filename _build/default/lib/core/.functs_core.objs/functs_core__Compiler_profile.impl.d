@@ -1,0 +1,1 @@
+lib/core/compiler_profile.ml: Functs_ir List Op String

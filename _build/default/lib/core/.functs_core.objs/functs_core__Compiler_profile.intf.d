@@ -1,0 +1,1 @@
+lib/core/compiler_profile.mli: Functs_ir Op

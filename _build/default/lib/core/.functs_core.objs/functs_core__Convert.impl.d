@@ -1,0 +1,1 @@
+lib/core/convert.ml: Alias_graph Dce Dominance Dtype Functs_ir Graph Hashtbl List Op Printer Printf Subgraph Verifier

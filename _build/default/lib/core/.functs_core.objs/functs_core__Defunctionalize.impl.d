@@ -1,0 +1,1 @@
+lib/core/defunctionalize.ml: Dominance Dtype Functs_ir Graph List Op Verifier

@@ -1,0 +1,1 @@
+lib/core/defunctionalize.mli: Functs_ir Graph

@@ -1,0 +1,1 @@
+lib/core/fusion.ml: Compiler_profile Dtype Functs_ir Graph Hashtbl List Op Option

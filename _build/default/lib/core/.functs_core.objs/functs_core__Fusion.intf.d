@@ -1,0 +1,1 @@
+lib/core/fusion.mli: Compiler_profile Functs_ir Graph Hashtbl

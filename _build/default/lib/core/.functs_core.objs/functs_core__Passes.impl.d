@@ -1,0 +1,1 @@
+lib/core/passes.ml: Convert Cse Dce Fold Functs_ir Graph Verifier

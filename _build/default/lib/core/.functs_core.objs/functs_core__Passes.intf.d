@@ -1,0 +1,1 @@
+lib/core/passes.mli: Convert Functs_ir Graph

@@ -1,0 +1,1 @@
+lib/core/subgraph.ml: Alias_graph Dtype Format Functs_ir Graph Hashtbl List Op Printer String

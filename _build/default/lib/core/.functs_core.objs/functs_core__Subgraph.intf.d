@@ -1,0 +1,1 @@
+lib/core/subgraph.mli: Alias_graph Format Functs_ir Graph

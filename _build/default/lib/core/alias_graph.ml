@@ -1,0 +1,168 @@
+open Functs_ir
+
+type kind =
+  | Memory_view of Graph.node
+  | Memory_mutation of Graph.node
+  | Control
+  | Container
+
+type edge = { src : Graph.value; dst : Graph.value; kind : kind }
+
+type t = {
+  all_edges : edge list;
+  by_src : (int, edge list) Hashtbl.t;
+  by_dst : (int, edge list) Hashtbl.t;
+  values : (int, Graph.value) Hashtbl.t;
+}
+
+let add_to tbl key edge =
+  let existing = Option.value (Hashtbl.find_opt tbl key) ~default:[] in
+  Hashtbl.replace tbl key (edge :: existing)
+
+let is_tensor (v : Graph.value) = Dtype.equal v.v_type Dtype.Tensor
+
+let build (g : Graph.t) =
+  let acc = ref [] in
+  let emit src dst kind =
+    if is_tensor src && is_tensor dst then acc := { src; dst; kind } :: !acc
+  in
+  let nth_opt = List.nth_opt in
+  Graph.iter_nodes g (fun node ->
+      match node.n_op with
+      | Op.View _ -> begin
+          match (node.n_outputs, node.n_inputs) with
+          | [ out ], base :: _ -> emit out base (Memory_view node)
+          | _, _ -> ()
+        end
+      | Op.Mutate _ -> begin
+          match (node.n_outputs, node.n_inputs) with
+          | [ out ], dst :: _ -> emit out dst (Memory_mutation node)
+          | _, _ -> ()
+        end
+      | Op.If -> begin
+          match node.n_blocks with
+          | [ then_b; else_b ] ->
+              List.iteri
+                (fun i out ->
+                  List.iter
+                    (fun (b : Graph.block) ->
+                      match nth_opt b.b_returns i with
+                      | Some ret -> emit out ret Control
+                      | None -> ())
+                    [ then_b; else_b ])
+                node.n_outputs
+          | _ -> ()
+        end
+      | Op.Loop -> begin
+          match node.n_blocks with
+          | [ body ] ->
+              (* Carried param i+1 aliases init input i+1 and body return i;
+                 node output i aliases the same pair. *)
+              List.iteri
+                (fun i out ->
+                  (match nth_opt node.n_inputs (i + 1) with
+                  | Some init -> emit out init Control
+                  | None -> ());
+                  (match nth_opt body.b_returns i with
+                  | Some ret -> emit out ret Control
+                  | None -> ());
+                  match nth_opt body.b_params (i + 1) with
+                  | Some param ->
+                      (match nth_opt node.n_inputs (i + 1) with
+                      | Some init -> emit param init Control
+                      | None -> ());
+                      (match nth_opt body.b_returns i with
+                      | Some ret -> emit param ret Control
+                      | None -> ())
+                  | None -> ())
+                node.n_outputs
+          | _ -> ()
+        end
+      | Op.List_construct -> begin
+          match node.n_outputs with
+          | [ out ] ->
+              List.iter
+                (fun input ->
+                  if is_tensor input then
+                    acc := { src = input; dst = out; kind = Container } :: !acc)
+                node.n_inputs
+          | _ -> ()
+        end
+      | Op.List_index -> begin
+          match (node.n_outputs, node.n_inputs) with
+          | [ out ], lst :: _ ->
+              if is_tensor out then
+                acc := { src = out; dst = lst; kind = Container } :: !acc
+          | _, _ -> ()
+        end
+      | Op.Constant _ | Op.Scalar_binary _ | Op.Unary _ | Op.Binary _
+      | Op.Matmul | Op.Softmax _ | Op.Sum | Op.Sum_dim _ | Op.Max_dim _
+      | Op.Mean | Op.Cat _ | Op.Stack _ | Op.Where | Op.Cumsum _ | Op.Clone
+      | Op.Zeros _ | Op.Ones _ | Op.Full _ | Op.Arange | Op.Access _
+      | Op.Assign _ | Op.Update ->
+          ());
+  let all_edges = List.rev !acc in
+  let by_src = Hashtbl.create 64
+  and by_dst = Hashtbl.create 64
+  and values = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      add_to by_src e.src.v_id e;
+      add_to by_dst e.dst.v_id e;
+      Hashtbl.replace values e.src.v_id e.src;
+      Hashtbl.replace values e.dst.v_id e.dst)
+    all_edges;
+  { all_edges; by_src; by_dst; values }
+
+let edges t = t.all_edges
+
+let out_edges t (v : Graph.value) =
+  Option.value (Hashtbl.find_opt t.by_src v.v_id) ~default:[] |> List.rev
+
+let in_edges t (v : Graph.value) =
+  Option.value (Hashtbl.find_opt t.by_dst v.v_id) ~default:[] |> List.rev
+
+let must_alias_parent t v =
+  match out_edges t v with
+  | [ ({ kind = Memory_view _ | Memory_mutation _; _ } as e) ] -> Some (e.dst, e)
+  | _ -> None
+
+let component t (v : Graph.value) =
+  let seen : (int, Graph.value) Hashtbl.t = Hashtbl.create 16 in
+  let rec visit (v : Graph.value) =
+    if not (Hashtbl.mem seen v.v_id) then begin
+      Hashtbl.add seen v.v_id v;
+      List.iter (fun e -> visit e.dst) (out_edges t v);
+      List.iter (fun e -> visit e.src) (in_edges t v)
+    end
+  in
+  visit v;
+  Hashtbl.fold (fun _ v acc -> v :: acc) seen []
+
+let component_pure_memory t v =
+  let members = component t v in
+  List.for_all
+    (fun m ->
+      List.for_all
+        (fun e ->
+          match e.kind with
+          | Memory_view _ | Memory_mutation _ -> true
+          | Control | Container -> false)
+        (out_edges t m @ in_edges t m))
+    members
+
+let kind_to_string = function
+  | Memory_view _ -> "memory(view)"
+  | Memory_mutation _ -> "memory(mutation)"
+  | Control -> "control"
+  | Container -> "container"
+
+let pp ppf t =
+  Format.pp_open_vbox ppf 0;
+  List.iteri
+    (fun i e ->
+      if i > 0 then Format.fprintf ppf "@,";
+      Format.fprintf ppf "%s -> %s  [%s]" (Printer.value_name e.src)
+        (Printer.value_name e.dst) (kind_to_string e.kind))
+    t.all_edges;
+  Format.pp_close_box ppf ()

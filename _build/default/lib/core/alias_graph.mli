@@ -1,0 +1,49 @@
+(** Alias analysis (paper §2.3).
+
+    Builds the directed acyclic alias graph of an intra-procedural
+    graph-level IR program.  A points-to edge [p → q] records one of the
+    three dependency kinds:
+
+    - {e memory}: [p] is a view of [q] — produced by [aten::] view
+      operators, and by mutation operators whose output aliases their
+      destination (an identity view);
+    - {e control flow}: [p] is a block argument fed by [q], or a
+      control-flow node output fed by a block return [q];
+    - {e container}: a list [q] contains [p], or [p] was extracted from
+      the container [q].
+
+    A value with exactly one outgoing edge {e must}-aliases its target;
+    with several, it {e may}-alias each of them. *)
+
+open Functs_ir
+
+type kind =
+  | Memory_view of Graph.node  (** the [aten::] view node *)
+  | Memory_mutation of Graph.node  (** mutate output → destination *)
+  | Control
+  | Container
+
+type edge = { src : Graph.value; dst : Graph.value; kind : kind }
+
+type t
+
+val build : Graph.t -> t
+
+val edges : t -> edge list
+val out_edges : t -> Graph.value -> edge list
+val in_edges : t -> Graph.value -> edge list
+
+val must_alias_parent : t -> Graph.value -> (Graph.value * edge) option
+(** The unique memory points-to target, when the value has exactly one
+    outgoing edge and it is a memory edge. *)
+
+val component : t -> Graph.value -> Graph.value list
+(** Weakly-connected alias component containing the value (the value
+    itself included). *)
+
+val component_pure_memory : t -> Graph.value -> bool
+(** True when every edge touching the component is a memory edge — the
+    "solely memory dependencies" condition under which the paper's
+    conversion applies. *)
+
+val pp : Format.formatter -> t -> unit

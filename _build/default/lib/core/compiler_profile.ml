@@ -1,0 +1,166 @@
+open Functs_ir
+
+type op_class = Free | Fusible | Kernel | Break | Control
+
+type runtime = Python_eager | Torchscript | Dynamo
+
+type t = {
+  name : string;
+  short_name : string;
+  functionalize : bool;
+  horizontal : bool;
+  runtime : runtime;
+  classify : Op.t -> op_class;
+}
+
+(* Structural operators cost nothing on every pipeline. *)
+let structural (op : Op.t) =
+  match op with
+  | Op.Constant _ | Op.Scalar_binary _ | Op.List_construct | Op.List_index
+  | Op.Update ->
+      Some Free
+  | Op.If | Op.Loop -> Some Control
+  | _ -> None
+
+let classify_eager op =
+  match structural op with
+  | Some c -> c
+  | None -> begin
+      match op with
+      | Op.View _ -> Free (* descriptor update; dispatch cost only *)
+      | _ -> Kernel
+    end
+
+(* TorchScript + NNC: element-wise chains fuse; views (pre-functionalization)
+   and mutations break them. *)
+let classify_ts_nnc op =
+  match structural op with
+  | Some c -> c
+  | None -> begin
+      match op with
+      | Op.Unary _ | Op.Binary _ -> Fusible
+      | Op.View _ -> Break
+      | _ -> Kernel
+    end
+
+(* TorchScript + nvFuser: additionally fuses broadcasting shape views and
+   trailing reductions, but still breaks on data views and mutations. *)
+let classify_ts_nvfuser op =
+  match structural op with
+  | Some c -> c
+  | None -> begin
+      match op with
+      | Op.Unary _ | Op.Binary _ | Op.Where -> Fusible
+      | Op.Softmax _ | Op.Sum_dim _ | Op.Max_dim _ -> Fusible
+      | Op.View (Op.Expand _ | Op.Unsqueeze _ | Op.Squeeze _) -> Fusible
+      | Op.View
+          (Op.Identity | Op.Select _ | Op.Slice _ | Op.Reshape _ | Op.Permute _)
+        ->
+          Break
+      | _ -> Kernel
+    end
+
+(* TorchDynamo + TorchInductor: data-flow functionalization (functorch)
+   makes views and mutations fusible inside a straight-line region; the
+   Dynamo runtime pays for control flow instead. *)
+let classify_dynamo op =
+  match structural op with
+  | Some c -> c
+  | None -> begin
+      match op with
+      | Op.Unary _ | Op.Binary _ | Op.Where | Op.Clone -> Fusible
+      | Op.View _ | Op.Mutate _ | Op.Access _ | Op.Assign _ -> Fusible
+      | Op.Softmax _ | Op.Sum_dim _ | Op.Max_dim _ -> Fusible
+      | _ -> Kernel
+    end
+
+(* TensorSSA: after holistic functionalization the immut:: operators fuse
+   freely; any view/mutation left in unsafe components still breaks. *)
+let classify_tensorssa op =
+  match structural op with
+  | Some c -> c
+  | None -> begin
+      match op with
+      | Op.Unary _ | Op.Binary _ | Op.Where | Op.Clone -> Fusible
+      | Op.Access _ | Op.Assign _ -> Fusible
+      | Op.Softmax _ | Op.Sum_dim _ | Op.Max_dim _ -> Fusible
+      | Op.View _ -> Break
+      | _ -> Kernel
+    end
+
+let eager =
+  {
+    name = "PyTorch eager";
+    short_name = "Eager";
+    functionalize = false;
+    horizontal = false;
+    runtime = Python_eager;
+    classify = classify_eager;
+  }
+
+let ts_nnc =
+  {
+    name = "TorchScript + NNC";
+    short_name = "TS+NNC";
+    functionalize = false;
+    horizontal = false;
+    runtime = Torchscript;
+    classify = classify_ts_nnc;
+  }
+
+let ts_nvfuser =
+  {
+    name = "TorchScript + nvFuser";
+    short_name = "TS+nvFuser";
+    functionalize = false;
+    horizontal = false;
+    runtime = Torchscript;
+    classify = classify_ts_nvfuser;
+  }
+
+let dynamo_inductor =
+  {
+    name = "TorchDynamo + TorchInductor";
+    short_name = "Dynamo+Inductor";
+    functionalize = false;
+    horizontal = false;
+    runtime = Dynamo;
+    classify = classify_dynamo;
+  }
+
+let tensorssa =
+  {
+    name = "TensorSSA (ours)";
+    short_name = "TensorSSA";
+    functionalize = true;
+    horizontal = true;
+    runtime = Torchscript;
+    classify = classify_tensorssa;
+  }
+
+let all = [ eager; ts_nnc; ts_nvfuser; dynamo_inductor; tensorssa ]
+let baselines = [ eager; ts_nnc; ts_nvfuser; dynamo_inductor ]
+
+let tensorssa_no_horizontal =
+  {
+    tensorssa with
+    name = "TensorSSA w/o horizontal parallelization";
+    short_name = "TensorSSA-noH";
+    horizontal = false;
+  }
+
+let tensorssa_no_fusion =
+  {
+    tensorssa with
+    name = "TensorSSA w/o vertical fusion";
+    short_name = "TensorSSA-noV";
+    horizontal = false;
+    classify =
+      (fun op ->
+        match classify_tensorssa op with Fusible -> Kernel | c -> c);
+  }
+
+let find short =
+  List.find_opt
+    (fun p -> String.lowercase_ascii p.short_name = String.lowercase_ascii short)
+    (all @ [ tensorssa_no_horizontal; tensorssa_no_fusion ])

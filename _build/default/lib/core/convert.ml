@@ -1,0 +1,285 @@
+open Functs_ir
+
+type stats = {
+  mutations_rewritten : int;
+  subgraphs_functionalized : int;
+  subgraphs_skipped : (Subgraph.unsafe_reason * string) list;
+  updates_inserted : int;
+  nodes_removed_by_dce : int;
+}
+
+(* A moving insertion point: every inserted node lands right after the
+   previous one. *)
+type cursor = { mutable anchor : Graph.node }
+
+let insert cursor node =
+  Graph.insert_after ~anchor:cursor.anchor node;
+  cursor.anchor <- node
+
+let new_tensor_node cursor ?(name = "") op inputs =
+  let node = Graph.make_node_named op inputs ~outputs:[ (name, Dtype.Tensor) ] in
+  insert cursor node;
+  match node.n_outputs with [ v ] -> v | _ -> assert false
+
+let insert_update cursor ~fresh ~old =
+  let node = Graph.make_node Op.Update [ fresh; old ] ~output_types:[] in
+  insert cursor node
+
+(* The rule [[·]] and its dynamic operands for an alias edge. *)
+let edge_rule (edge : Alias_graph.edge) =
+  match edge.kind with
+  | Alias_graph.Memory_view view_node -> begin
+      match view_node.n_op with
+      | Op.View k -> begin
+          match view_node.n_inputs with
+          | _base :: operands -> (k, operands)
+          | [] -> invalid_arg "Convert.edge_rule: view node without base"
+        end
+      | _ -> invalid_arg "Convert.edge_rule: memory edge without view op"
+    end
+  | Alias_graph.Memory_mutation _ -> (Op.Identity, [])
+  | Alias_graph.Control | Alias_graph.Container ->
+      invalid_arg "Convert.edge_rule: not a memory edge"
+
+(* Children of [x] in the view tree: alias edges [c -> x] of memory kind,
+   in program order of the defining nodes. *)
+let view_children alias x =
+  List.filter_map
+    (fun (e : Alias_graph.edge) ->
+      match e.kind with
+      | Alias_graph.Memory_view _ | Alias_graph.Memory_mutation _ -> Some e
+      | Alias_graph.Control | Alias_graph.Container -> None)
+    (Alias_graph.in_edges alias x)
+
+(* Pass-down (Algorithm 1, Traversal): re-materialize every view of [x]
+   whose definition dominates the mutation site as an access of the fresh
+   version [x'], annotating each with an update. *)
+let rec traversal cursor alias ~site x x' =
+  insert_update cursor ~fresh:x' ~old:x;
+  List.iter
+    (fun (e : Alias_graph.edge) ->
+      let c = e.Alias_graph.src in
+      match Graph.defining_node c with
+      | Some def when Dominance.node_dominates def site ->
+          let k, operands = edge_rule e in
+          let c' =
+            new_tensor_node cursor ~name:c.v_name (Op.Access k) (x' :: operands)
+          in
+          traversal cursor alias ~site c c'
+      | Some _ | None -> ())
+    (view_children alias x)
+
+(* Rewrite one Mutate node into TensorSSA form.  The mutation's output
+   value is adopted by the whole-assign node so every existing use and
+   alias-graph reference stays valid. *)
+let rewrite_mutation alias (sub : Subgraph.t) (n : Graph.node) =
+  let cursor = { anchor = n } in
+  let dst, functional_src =
+    match (n.n_op, n.n_inputs) with
+    | Op.Mutate Op.Mut_copy, [ dst; src ] -> (dst, src)
+    | Op.Mutate Op.Mut_fill, [ dst; scalar ] -> (dst, scalar)
+    | Op.Mutate (Op.Mut_unary u), [ dst ] ->
+        (dst, new_tensor_node cursor (Op.Unary u) [ dst ])
+    | Op.Mutate (Op.Mut_binary b), [ dst; src ] ->
+        (dst, new_tensor_node cursor (Op.Binary b) [ dst; src ])
+    | op, _ ->
+        invalid_arg
+          (Printf.sprintf "Convert.rewrite_mutation: not a mutation: %s"
+             (Op.name op))
+  in
+  (* Whole-assign adopting the mutation's output value. *)
+  let assign0 =
+    Graph.make_node (Op.Assign Op.Identity) [ dst; functional_src ]
+      ~output_types:[]
+  in
+  let mutated_value = match n.n_outputs with [ v ] -> v | _ -> assert false in
+  n.n_outputs <- [];
+  assign0.n_outputs <- [ mutated_value ];
+  mutated_value.v_origin <- Graph.Def (assign0, 0);
+  insert cursor assign0;
+  Graph.erase_node n;
+  (* [assign0] now stands where the mutation stood; use it as the
+     dominance reference point ("N" in Algorithm 1). *)
+  let site = assign0 in
+  (* Pass-up: climb the view path from dst to the origin tensor. *)
+  let rec pass_up v current =
+    if v == sub.root then current
+    else begin
+      match Subgraph.parent_link alias v with
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Convert: %s has no view parent on the path to %s"
+               (Printer.value_name v)
+               (Printer.value_name sub.root))
+      | Some (parent, edge) ->
+          let k, operands = edge_rule edge in
+          let fresh =
+            new_tensor_node cursor ~name:parent.v_name (Op.Assign k)
+              (parent :: current :: operands)
+          in
+          pass_up parent fresh
+    end
+  in
+  let new_root = pass_up dst mutated_value in
+  (* Pass-down from the origin tensor. *)
+  traversal cursor alias ~site sub.root new_root
+
+(* Swap the remaining aten:: view operators of a functionalized sub-graph
+   to their immut::access counterparts: with every mutation gone, copying
+   semantics and aliasing semantics coincide. *)
+let immutabilize_views (sub : Subgraph.t) =
+  List.iter
+    (fun (v : Graph.value) ->
+      match Graph.defining_node v with
+      | Some node -> begin
+          match node.n_op with Op.View k -> node.n_op <- Op.Access k | _ -> ()
+        end
+      | None -> ())
+    sub.members
+
+(* Block propagation (Algorithm 1, lines 17-32). *)
+let block_propagation (g : Graph.t) =
+  let updates = ref [] in
+  Graph.iter_nodes g (fun node ->
+      if node.n_op = Op.Update then updates := node :: !updates);
+  let snapshot = List.rev !updates in
+  (* One propagated output per (control node, escaping value). *)
+  let memo : (int * int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let propagate (u : Graph.node) =
+    match u.n_inputs with
+    | [ fresh; old ] ->
+        let b_end = Graph.defining_block old in
+        let rec climb (b : Graph.block) =
+          if not (b == b_end) then begin
+            match b.b_parent with
+            | None ->
+                invalid_arg
+                  "Convert.block_propagation: escaped the graph without \
+                   reaching the defining block"
+            | Some owner ->
+                if Hashtbl.mem memo (owner.n_id, old.v_id) then ()
+                else begin
+                  Hashtbl.add memo (owner.n_id, old.v_id) ();
+                  Graph.add_block_return b old;
+                  let out =
+                    Graph.add_node_output owner ~name:old.v_name Dtype.Tensor
+                  in
+                  let after =
+                    Graph.make_node Op.Update [ out; old ] ~output_types:[]
+                  in
+                  Graph.insert_after ~anchor:owner after;
+                  (match owner.n_op with
+                  | Op.Loop ->
+                      Graph.add_node_input owner old;
+                      let param =
+                        Graph.add_block_param b ~name:old.v_name Dtype.Tensor
+                      in
+                      let at_start =
+                        Graph.make_node Op.Update [ param; old ] ~output_types:[]
+                      in
+                      Graph.prepend b at_start
+                  | Op.If ->
+                      (* Keep the sibling block's return arity aligned; its
+                         own renaming will substitute its local version. *)
+                      List.iter
+                        (fun (sibling : Graph.block) ->
+                          if not (sibling == b) then
+                            Graph.add_block_return sibling old)
+                        owner.n_blocks
+                  | _ ->
+                      invalid_arg
+                        "Convert.block_propagation: update escapes a \
+                         non-control-flow block");
+                  climb (Graph.node_block owner)
+                end
+          end
+        in
+        climb (Graph.defining_block fresh)
+    | _ -> invalid_arg "Convert.block_propagation: malformed tssa::update"
+  in
+  List.iter propagate snapshot
+
+(* Renaming (Algorithm 1, lines 33-35): process updates in program order;
+   each replaces later uses of its old value within its block, then all
+   updates are erased. *)
+let rename_and_strip (g : Graph.t) =
+  let updates = ref [] in
+  Graph.iter_nodes g (fun node ->
+      if node.n_op = Op.Update then updates := node :: !updates);
+  let in_order = List.rev !updates in
+  List.iter
+    (fun (u : Graph.node) ->
+      match u.n_inputs with
+      | [ fresh; old ] ->
+          Graph.replace_uses_after ~anchor:u ~old_value:old ~new_value:fresh
+      | _ -> invalid_arg "Convert.rename: malformed tssa::update")
+    in_order;
+  List.iter Graph.erase_node in_order;
+  List.length in_order
+
+let count_op g pred =
+  let n = ref 0 in
+  Graph.iter_nodes g (fun node -> if pred node.Graph.n_op then incr n);
+  !n
+
+let mutation_free g = count_op g Op.is_mutation = 0
+let update_free g = count_op g (fun op -> op = Op.Update) = 0
+
+(* Views whose alias component contains no mutation at all are trivially
+   functional: nothing ever writes through them, so copying semantics and
+   aliasing semantics coincide and they may fuse.  Only views belonging to
+   a component we refused to functionalize must stay aliasing views. *)
+let immutabilize_unmutated_views (g : Graph.t) alias ~unsafe_witnesses =
+  let unsafe_ids : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (w : Graph.value) ->
+      List.iter
+        (fun (m : Graph.value) -> Hashtbl.replace unsafe_ids m.v_id ())
+        (Alias_graph.component alias w))
+    unsafe_witnesses;
+  Graph.iter_nodes g (fun node ->
+      match node.n_op with
+      | Op.View k -> begin
+          match node.n_outputs with
+          | [ out ] when not (Hashtbl.mem unsafe_ids out.v_id) ->
+              node.n_op <- Op.Access k
+          | _ -> ()
+        end
+      | _ -> ())
+
+let functionalize ?(verify = true) (g : Graph.t) =
+  let alias = Alias_graph.build g in
+  let classified = Subgraph.extract g alias in
+  let safe, skipped =
+    List.fold_left
+      (fun (safe, skipped) -> function
+        | Subgraph.Safe t -> (t :: safe, skipped)
+        | Subgraph.Unsafe { reason; witness } ->
+            (safe, (reason, witness) :: skipped))
+      ([], []) classified
+  in
+  let safe = List.rev safe and skipped = List.rev skipped in
+  let mutations_rewritten =
+    List.fold_left
+      (fun acc (sub : Subgraph.t) ->
+        List.iter (rewrite_mutation alias sub) sub.mutations;
+        immutabilize_views sub;
+        acc + List.length sub.mutations)
+      0 safe
+  in
+  immutabilize_unmutated_views g alias
+    ~unsafe_witnesses:(List.map snd skipped);
+  let skipped =
+    List.map (fun (reason, w) -> (reason, Printer.value_name w)) skipped
+  in
+  block_propagation g;
+  let updates_inserted = rename_and_strip g in
+  let nodes_removed_by_dce = Dce.removed_count g in
+  if verify then Verifier.check_exn g;
+  {
+    mutations_rewritten;
+    subgraphs_functionalized = List.length safe;
+    subgraphs_skipped = skipped;
+    updates_inserted;
+    nodes_removed_by_dce;
+  }

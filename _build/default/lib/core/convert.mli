@@ -1,0 +1,44 @@
+(** TensorSSA conversion (paper Algorithm 1).
+
+    [functionalize g] rewrites, in place, every safe mutated alias
+    sub-graph of [g] into pure functional form:
+
+    + {b RewriteMutation} — each [Mutate(v, w)] is replaced by the
+      functional value of the mutation ([immut::assign(v, ·, \[\])],
+      preceded by the pure operator for read-modify-write mutations like
+      [add_]).  The {e pass-up} step then climbs the view path from [v] to
+      the origin tensor [t], inserting an [immut::assign] per view edge to
+      build the new version of [t]; the {e pass-down} step re-materializes
+      every view of [t] whose definition dominates the mutation as an
+      [immut::access] of the new version, inserting a [tssa::update]
+      annotation per re-materialized value.
+    + {b BlockPropagation} — updates whose two operands live in different
+      blocks are propagated outward: the inner version is added to block
+      returns and node outputs; loops additionally get the tensor threaded
+      as a carried value (init input + block parameter).
+    + {b Renaming} — in program order, every [tssa::update(x', x)]
+      replaces later uses of [x] by [x'] within its block; updates are
+      then erased, followed by DCE.
+
+    Unsafe sub-graphs (container/control dependencies, mutated graph
+    inputs) are left untouched, and reported in the returned statistics. *)
+
+open Functs_ir
+
+type stats = {
+  mutations_rewritten : int;
+  subgraphs_functionalized : int;
+  subgraphs_skipped : (Subgraph.unsafe_reason * string) list;
+      (** reason and printable witness value for each skipped component *)
+  updates_inserted : int;
+  nodes_removed_by_dce : int;
+}
+
+val functionalize : ?verify:bool -> Graph.t -> stats
+(** Mutates the graph.  With [verify] (default true) the result is checked
+    by {!Functs_ir.Verifier} and a failure raises. *)
+
+val mutation_free : Graph.t -> bool
+(** No [aten::…_] mutation node remains anywhere in the graph. *)
+
+val update_free : Graph.t -> bool

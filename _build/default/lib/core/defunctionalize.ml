@@ -1,0 +1,110 @@
+open Functs_ir
+
+type stats = {
+  assigns_lowered : int;
+  accesses_lowered : int;
+  buffers_reused : int;
+}
+
+type counters = {
+  mutable assigns : int;
+  mutable accesses : int;
+  mutable reused : int;
+}
+
+(* [base]'s buffer may be donated to the assign when the assign is the
+   last use: every other use must execute strictly before.  Conservative:
+   block returns, parallel-branch uses and block-param bases refuse. *)
+let last_use_of g (base : Graph.value) (node : Graph.node) =
+  (match base.v_origin with Graph.Def _ -> true | _ -> false)
+  && List.for_all
+       (function
+         | Graph.Return _ -> false
+         | Graph.Input (n, _) -> n == node || Dominance.node_dominates n node)
+       (Graph.uses_in g base)
+
+let insert_before ~anchor node = Graph.insert_before ~anchor node
+
+let lower_assign g stats (node : Graph.node) =
+  match (node.n_op, node.n_inputs, node.n_outputs) with
+  | Op.Assign kind, base :: src :: operands, [ out ] ->
+      let reuse = last_use_of g base node in
+      let buffer =
+        if reuse then begin
+          stats.reused <- stats.reused + 1;
+          base
+        end
+        else begin
+          let clone =
+            Graph.make_node_named Op.Clone [ base ]
+              ~outputs:[ (base.v_name, Dtype.Tensor) ]
+          in
+          insert_before ~anchor:node clone;
+          List.hd clone.n_outputs
+        end
+      in
+      let region =
+        match kind with
+        | Op.Identity -> buffer
+        | _ ->
+            let view =
+              Graph.make_node_named (Op.View kind) (buffer :: operands)
+                ~outputs:[ ("", Dtype.Tensor) ]
+            in
+            insert_before ~anchor:node view;
+            List.hd view.n_outputs
+      in
+      let copy =
+        Graph.make_node_named (Op.Mutate Op.Mut_copy) [ region; src ]
+          ~outputs:[ ("", Dtype.Tensor) ]
+      in
+      insert_before ~anchor:node copy;
+      Graph.replace_all_uses g ~old_value:out ~new_value:buffer;
+      Graph.remove_node node;
+      stats.assigns <- stats.assigns + 1
+  | _ -> ()
+
+let lower_access g stats (node : Graph.node) =
+  match (node.n_op, node.n_inputs, node.n_outputs) with
+  | Op.Access kind, base :: operands, [ out ] ->
+      let viewed =
+        match kind with
+        | Op.Identity -> base
+        | _ ->
+            let view =
+              Graph.make_node_named (Op.View kind) (base :: operands)
+                ~outputs:[ ("", Dtype.Tensor) ]
+            in
+            insert_before ~anchor:node view;
+            List.hd view.n_outputs
+      in
+      (* Clone to keep the access's snapshot semantics under any later
+         mutation of the base. *)
+      let clone =
+        Graph.make_node_named Op.Clone [ viewed ]
+          ~outputs:[ (out.v_name, Dtype.Tensor) ]
+      in
+      insert_before ~anchor:node clone;
+      Graph.replace_all_uses g ~old_value:out
+        ~new_value:(List.hd clone.n_outputs);
+      Graph.remove_node node;
+      stats.accesses <- stats.accesses + 1
+  | _ -> ()
+
+let run ?(verify = true) (g : Graph.t) =
+  let stats = { assigns = 0; accesses = 0; reused = 0 } in
+  (* Snapshot first: lowering mutates the node lists. *)
+  let nodes = Graph.all_nodes g in
+  List.iter
+    (fun (node : Graph.node) ->
+      match node.n_op with
+      | Op.Assign _ -> lower_assign g stats node
+      | Op.Access _ -> lower_access g stats node
+      | _ -> ())
+    nodes;
+  if verify then Verifier.check_exn g;
+  {
+    assigns_lowered = stats.assigns;
+    accesses_lowered = stats.accesses;
+    buffers_reused = stats.reused;
+  }

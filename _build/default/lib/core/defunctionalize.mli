@@ -1,0 +1,30 @@
+(** Conversion back from TensorSSA form to mutable operators (paper
+    §3.2.2: the immut:: operators "can either be fused and compiled or be
+    converted back to the original mutable operators").
+
+    Each [immut::assign] becomes a buffer write: a clone of the base (or
+    the base itself when the assign is its {e last} use — buffer reuse,
+    which recovers the original in-place update), a view selecting the
+    region, and an [aten::copy_].  Each [immut::access] becomes a view
+    plus a clone, preserving its snapshot semantics regardless of later
+    writes to the base.
+
+    The result is observably equivalent (verified by the round-trip
+    tests in [test_passes.ml]) but imperative again.  Running
+    [Convert.functionalize] afterwards converts the straight-line
+    mutations back; loop-carried buffers re-emerge as clones threaded
+    through block returns, whose components now carry control-flow
+    aliasing and are therefore (correctly, conservatively) left
+    imperative. *)
+
+open Functs_ir
+
+type stats = {
+  assigns_lowered : int;
+  accesses_lowered : int;
+  buffers_reused : int;  (** assigns that mutated their base in place *)
+}
+
+val run : ?verify:bool -> Graph.t -> stats
+(** Mutates the graph in place; [verify] (default true) runs the
+    verifier on the result. *)

@@ -1,0 +1,214 @@
+open Functs_ir
+
+type kernel_class = No_cost | Kernel of int
+
+type plan = {
+  classes : (int, kernel_class) Hashtbl.t;
+  group_count : int;
+  parallel_loops : (int, unit) Hashtbl.t;
+  escaping : (int, unit) Hashtbl.t;
+}
+
+(* Vertical fusion: maximal consecutive runs of fusible nodes per block.
+   Free nodes neither join nor break a run; Break closes it without a
+   kernel; Kernel nodes are singleton groups. *)
+let assign_groups profile (g : Graph.t) classes =
+  let next_group = ref 0 in
+  let fresh_group () =
+    let id = !next_group in
+    incr next_group;
+    id
+  in
+  let rec walk_block (block : Graph.block) =
+    let current = ref None in
+    let close () = current := None in
+    List.iter
+      (fun (node : Graph.node) ->
+        match profile.Compiler_profile.classify node.n_op with
+        | Compiler_profile.Free -> Hashtbl.replace classes node.n_id No_cost
+        | Compiler_profile.Break ->
+            Hashtbl.replace classes node.n_id No_cost;
+            close ()
+        | Compiler_profile.Kernel ->
+            Hashtbl.replace classes node.n_id (Kernel (fresh_group ()));
+            close ()
+        | Compiler_profile.Fusible ->
+            let gid =
+              match !current with
+              | Some gid -> gid
+              | None ->
+                  let gid = fresh_group () in
+                  current := Some gid;
+                  gid
+            in
+            Hashtbl.replace classes node.n_id (Kernel gid)
+        | Compiler_profile.Control ->
+            Hashtbl.replace classes node.n_id No_cost;
+            close ();
+            List.iter walk_block node.n_blocks)
+      block.b_nodes
+  in
+  walk_block g.g_block;
+  !next_group
+
+(* A group consisting solely of [immut::access] nodes moves no data of its
+   own: each member is a (possibly strided) read that its consumers — e.g.
+   a matmul reading through the descriptor — perform directly.  Demote such
+   groups to metadata so functionalization is never charged for turning a
+   view into an access. *)
+let demote_access_only_groups (g : Graph.t) classes =
+  let members : (int, Graph.node list) Hashtbl.t = Hashtbl.create 16 in
+  Graph.iter_nodes g (fun node ->
+      match Hashtbl.find_opt classes node.n_id with
+      | Some (Kernel gid) ->
+          let existing = Option.value (Hashtbl.find_opt members gid) ~default:[] in
+          Hashtbl.replace members gid (node :: existing)
+      | Some No_cost | None -> ());
+  Hashtbl.iter
+    (fun _gid nodes ->
+      let access_only =
+        List.for_all
+          (fun (n : Graph.node) ->
+            match n.n_op with Op.Access _ -> true | _ -> false)
+          nodes
+      in
+      if access_only then
+        List.iter
+          (fun (n : Graph.node) -> Hashtbl.replace classes n.n_id No_cost)
+          nodes)
+    members
+
+let node_group classes (node : Graph.node) =
+  match Hashtbl.find_opt classes node.n_id with
+  | Some (Kernel gid) -> Some gid
+  | Some No_cost | None -> None
+
+(* A fused value escapes when some consumer lives outside its group (or it
+   is returned from a block). *)
+let compute_escaping (g : Graph.t) classes =
+  let escaping = Hashtbl.create 64 in
+  Graph.iter_nodes g (fun node ->
+      match node_group classes node with
+      | None -> ()
+      | Some gid ->
+          List.iter
+            (fun (out : Graph.value) ->
+              let escapes =
+                List.exists
+                  (function
+                    | Graph.Return _ -> true
+                    | Graph.Input (consumer, _) -> (
+                        match node_group classes consumer with
+                        | Some gid' -> gid' <> gid
+                        | None -> true))
+                  (Graph.uses_in g out)
+              in
+              if escapes then Hashtbl.replace escaping out.v_id ())
+            node.n_outputs);
+  escaping
+
+(* Horizontal parallelization: the loop body must be pure fused code whose
+   carried tensors are only touched through Select-by-induction-variable
+   rules, making iterations write-disjoint. *)
+let loop_is_parallel profile (node : Graph.node) =
+  match node.n_blocks with
+  | [ body ] -> begin
+      match body.b_params with
+      | [] -> false
+      | i_param :: carried_params ->
+          let body_pure =
+            List.for_all
+              (fun (n : Graph.node) ->
+                match profile.Compiler_profile.classify n.n_op with
+                | Compiler_profile.Fusible | Compiler_profile.Free -> true
+                | Compiler_profile.Kernel | Compiler_profile.Break
+                | Compiler_profile.Control ->
+                    false)
+              body.b_nodes
+          in
+          let all_tensor =
+            List.for_all
+              (fun (p : Graph.value) -> Dtype.equal p.v_type Dtype.Tensor)
+              carried_params
+          in
+          if (not body_pure) || not all_tensor || carried_params = [] then false
+          else begin
+            (* Versions of the carried tensors within one iteration: the
+               params plus every Assign output whose base is a version. *)
+            let versions = ref carried_params in
+            let is_version v = List.exists (fun m -> m == v) !versions in
+            List.iter
+              (fun (n : Graph.node) ->
+                match (n.n_op, n.n_inputs, n.n_outputs) with
+                | Op.Assign _, base :: _, [ out ] when is_version base ->
+                    versions := out :: !versions
+                | _, _, _ -> ())
+              body.b_nodes;
+            let indexed_by_i (n : Graph.node) =
+              let select_index_ok operands =
+                match operands with [ idx ] -> idx == i_param | _ -> false
+              in
+              match (n.n_op, n.n_inputs) with
+              | Op.Access (Op.Select _), _base :: operands ->
+                  select_index_ok operands
+              | Op.Assign (Op.Select _), _base :: _src :: operands ->
+                  select_index_ok operands
+              | _, _ -> false
+            in
+            (* Every in-body use of a carried version must go through a
+               Select-by-i rule (reads and writes hit iteration-private
+               slices); appearing in the block returns is the hand-off to
+               the next iteration and is always fine. *)
+            let use_ok (v : Graph.value) =
+              List.for_all
+                (fun (n : Graph.node) ->
+                  let used_here = List.exists (fun i -> i == v) n.n_inputs in
+                  if not used_here then true
+                  else begin
+                    match n.n_inputs with
+                    | base :: _ when base == v -> indexed_by_i n
+                    | _ -> (
+                        (* Only legal non-base position: Assign source. *)
+                        match (n.n_op, n.n_inputs) with
+                        | Op.Assign _, _ :: src :: _ -> src == v
+                        | _, _ -> false)
+                  end)
+                body.b_nodes
+            in
+            List.for_all use_ok !versions
+          end
+    end
+  | _ -> false
+
+let plan profile (g : Graph.t) =
+  let classes = Hashtbl.create 64 in
+  let group_count = assign_groups profile g classes in
+  demote_access_only_groups g classes;
+  let escaping = compute_escaping g classes in
+  let parallel_loops = Hashtbl.create 4 in
+  if profile.Compiler_profile.horizontal then
+    Graph.iter_nodes g (fun node ->
+        if node.n_op = Op.Loop && loop_is_parallel profile node then
+          Hashtbl.replace parallel_loops node.n_id ());
+  { classes; group_count; parallel_loops; escaping }
+
+let kernel_class_of plan (node : Graph.node) =
+  Option.value (Hashtbl.find_opt plan.classes node.n_id) ~default:No_cost
+
+let is_parallel_loop plan (node : Graph.node) =
+  Hashtbl.mem plan.parallel_loops node.n_id
+
+let value_escapes plan (v : Graph.value) = Hashtbl.mem plan.escaping v.v_id
+
+let group_sizes plan =
+  let counts = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun _ cls ->
+      match cls with
+      | Kernel gid ->
+          let c = Option.value (Hashtbl.find_opt counts gid) ~default:0 in
+          Hashtbl.replace counts gid (c + 1)
+      | No_cost -> ())
+    plan.classes;
+  Hashtbl.fold (fun gid c acc -> (gid, c) :: acc) counts []
+  |> List.sort compare

@@ -1,0 +1,46 @@
+(** Kernel-fusion planning (paper §4.2).
+
+    Given a graph and a compiler profile ({!Compiler_profile.t}), assign
+    every node a {e kernel class}:
+
+    - [No_cost] — metadata-only at runtime (constants, scalar arithmetic
+      in compiled modes, aliasing views in modes that execute them as
+      descriptor updates);
+    - [Kernel of group] — the node launches work on the device; nodes
+      sharing a group id execute as one fused kernel per dynamic pass.
+
+    Vertical fusion groups are maximal consecutive runs of fusible nodes
+    within a block (interleaved [No_cost] nodes do not break a run) —
+    consecutive pure operators can always legally fuse, and mutation or
+    opaque operators break the run, which reproduces each baseline's
+    graph-break behaviour.
+
+    Horizontal parallelization marks a [prim::Loop] parallel when its body
+    is a single fused region whose carried tensors are only read and
+    written through [Select]-by-induction-variable access/assign rules —
+    iterations then touch disjoint slices and the whole loop costs a
+    single kernel launch. *)
+
+open Functs_ir
+
+type kernel_class = No_cost | Kernel of int  (** group id *)
+
+type plan = {
+  classes : (int, kernel_class) Hashtbl.t;  (** node id → class *)
+  group_count : int;
+  parallel_loops : (int, unit) Hashtbl.t;  (** node ids of parallel loops *)
+  escaping : (int, unit) Hashtbl.t;
+      (** ids of values crossing a fusion-group boundary (read from outside
+          the group or written for consumers outside it) *)
+}
+
+val plan : Compiler_profile.t -> Graph.t -> plan
+
+val kernel_class_of : plan -> Graph.node -> kernel_class
+val is_parallel_loop : plan -> Graph.node -> bool
+
+val value_escapes : plan -> Graph.value -> bool
+(** Whether a fused-group value must be materialized to memory. *)
+
+val group_sizes : plan -> (int * int) list
+(** [(group_id, member_count)] for statistics and tests. *)

@@ -1,0 +1,29 @@
+open Functs_ir
+
+type report = {
+  folds : int;
+  cse_merged : int;
+  dce_removed : int;
+  rounds : int;
+}
+
+let optimize (g : Graph.t) =
+  let folds = ref 0 and merged = ref 0 and removed = ref 0 and rounds = ref 0 in
+  let progress = ref true in
+  while !progress && !rounds < 10 do
+    incr rounds;
+    let f = Fold.run g in
+    let c = Cse.run g in
+    let d = Dce.removed_count g in
+    folds := !folds + f;
+    merged := !merged + c;
+    removed := !removed + d;
+    progress := f + c + d > 0
+  done;
+  { folds = !folds; cse_merged = !merged; dce_removed = !removed; rounds = !rounds }
+
+let tensorssa_pipeline ?(verify = true) (g : Graph.t) =
+  let stats = Convert.functionalize ~verify:false g in
+  let report = optimize g in
+  if verify then Verifier.check_exn g;
+  (stats, report)

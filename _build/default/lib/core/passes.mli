@@ -1,0 +1,22 @@
+(** Standard pass pipelines.
+
+    [optimize] is the cleanup pipeline run after functionalization:
+    constant folding / control-flow simplification, then CSE (legal
+    because the graph is mutation-free — on graphs that still contain
+    mutations CSE is a no-op), then DCE, iterated to a fixpoint.
+
+    [tensorssa_pipeline] is the full compilation used by the experiment
+    harness for the TensorSSA profiles: functionalize, then optimize. *)
+
+open Functs_ir
+
+type report = {
+  folds : int;
+  cse_merged : int;
+  dce_removed : int;
+  rounds : int;
+}
+
+val optimize : Graph.t -> report
+
+val tensorssa_pipeline : ?verify:bool -> Graph.t -> Convert.stats * report

@@ -1,0 +1,102 @@
+open Functs_ir
+
+type unsafe_reason =
+  | Impure_dependencies
+  | Mutated_graph_input
+  | No_unique_root
+
+type t = {
+  root : Graph.value;
+  members : Graph.value list;
+  mutations : Graph.node list;
+}
+
+type classification =
+  | Safe of t
+  | Unsafe of { reason : unsafe_reason; witness : Graph.value }
+
+let parent_link = Alias_graph.must_alias_parent
+
+let is_graph_param (g : Graph.t) (v : Graph.value) =
+  match v.v_origin with
+  | Graph.Param (b, _) -> b == g.g_block
+  | Graph.Def _ | Graph.Detached -> false
+
+(* Follow must-alias memory edges to the storage owner. *)
+let rec find_root alias (v : Graph.value) =
+  match parent_link alias v with
+  | Some (parent, _) -> find_root alias parent
+  | None -> v
+
+let mutation_nodes (g : Graph.t) =
+  let acc = ref [] in
+  Graph.iter_nodes g (fun node ->
+      if Op.is_mutation node.n_op then acc := node :: !acc);
+  List.rev !acc
+
+let extract (g : Graph.t) alias =
+  let classified_roots : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let results = ref [] in
+  let classify_component (dst : Graph.value) =
+    let members = Alias_graph.component alias dst in
+    if not (Alias_graph.component_pure_memory alias dst) then
+      results := Unsafe { reason = Impure_dependencies; witness = dst } :: !results
+    else begin
+      let roots =
+        List.filter (fun m -> Alias_graph.out_edges alias m = []) members
+      in
+      match roots with
+      | [ root ] ->
+          if is_graph_param g root then
+            results :=
+              Unsafe { reason = Mutated_graph_input; witness = root } :: !results
+          else begin
+            let views = List.filter (fun m -> not (m == root)) members in
+            (* Order V by value id so the pass-down is deterministic. *)
+            let views =
+              List.sort (fun (a : Graph.value) b -> compare a.v_id b.v_id) views
+            in
+            let in_component (v : Graph.value) =
+              List.exists (fun (m : Graph.value) -> m == v) members
+            in
+            let mutations =
+              List.filter
+                (fun (n : Graph.node) ->
+                  match n.n_inputs with
+                  | dst :: _ -> in_component dst
+                  | [] -> false)
+                (mutation_nodes g)
+            in
+            results := Safe { root; members = views; mutations } :: !results
+          end
+      | _ -> results := Unsafe { reason = No_unique_root; witness = dst } :: !results
+    end
+  in
+  List.iter
+    (fun (node : Graph.node) ->
+      match node.n_inputs with
+      | dst :: _ when Dtype.equal dst.v_type Dtype.Tensor ->
+          let root = find_root alias dst in
+          if not (Hashtbl.mem classified_roots root.v_id) then begin
+            Hashtbl.add classified_roots root.v_id ();
+            classify_component dst
+          end
+      | _ :: _ | [] -> ())
+    (mutation_nodes g);
+  List.rev !results
+
+let safe_subgraphs g alias =
+  List.filter_map
+    (function Safe t -> Some t | Unsafe _ -> None)
+    (extract g alias)
+
+let unsafe_reason_to_string = function
+  | Impure_dependencies ->
+      "component has control-flow or container dependencies"
+  | Mutated_graph_input -> "origin tensor is a graph input"
+  | No_unique_root -> "component has no unique storage-owning root"
+
+let pp ppf t =
+  Format.fprintf ppf "T(t=%s, V={%s}, |M|=%d)" (Printer.value_name t.root)
+    (String.concat ", " (List.map Printer.value_name t.members))
+    (List.length t.mutations)

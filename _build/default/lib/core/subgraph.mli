@@ -1,0 +1,43 @@
+(** Extraction of the mutated alias sub-graphs [T = (t, V, M)] (paper
+    Eq. 1–2) that the TensorSSA conversion operates on.
+
+    For every alias component that contains at least one mutation, the
+    component is classified:
+
+    - {e safe} when it consists solely of must-alias memory dependencies
+      rooted at a single origin tensor [t] that is not a graph input —
+      these are functionalized;
+    - {e unsafe} otherwise (control or container dependencies, several
+      roots, or a mutated graph input) — these are conservatively left
+      untouched, reproducing the paper's scoping. *)
+
+open Functs_ir
+
+(** Why a mutated component cannot be functionalized. *)
+type unsafe_reason =
+  | Impure_dependencies  (** control or container edges in the component *)
+  | Mutated_graph_input  (** the origin tensor is a parameter of the graph *)
+  | No_unique_root
+
+type t = {
+  root : Graph.value;  (** the origin tensor [t] owning the storage *)
+  members : Graph.value list;  (** [V], in discovery order, excluding [t] *)
+  mutations : Graph.node list;  (** [M], in program order *)
+}
+
+type classification =
+  | Safe of t
+  | Unsafe of { reason : unsafe_reason; witness : Graph.value }
+
+val parent_link : Alias_graph.t -> Graph.value -> (Graph.value * Alias_graph.edge) option
+(** The unique memory parent of a view value (re-export of
+    {!Alias_graph.must_alias_parent} for the conversion pass). *)
+
+val extract : Graph.t -> Alias_graph.t -> classification list
+(** One entry per alias component containing a mutation; deterministic
+    program order. *)
+
+val safe_subgraphs : Graph.t -> Alias_graph.t -> t list
+
+val unsafe_reason_to_string : unsafe_reason -> string
+val pp : Format.formatter -> t -> unit

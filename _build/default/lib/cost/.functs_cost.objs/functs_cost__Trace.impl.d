@@ -1,0 +1,1 @@
+lib/cost/trace.ml: Array Compiler_profile Eval Functs_core Functs_interp Functs_ir Functs_tensor Fusion Graph List Op Platform Value

@@ -1,0 +1,1 @@
+lib/cost/trace.mli: Compiler_profile Functs_core Functs_interp Functs_ir Fusion Graph Platform Value

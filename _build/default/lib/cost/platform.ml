@@ -1,0 +1,54 @@
+type t = {
+  name : string;
+  short_name : string;
+  kernel_launch_us : float;
+  eager_dispatch_us : float;
+  ts_op_us : float;
+  ts_iter_us : float;
+  python_step_us : float;
+  graph_call_us : float;
+  ts_invoke_us : float;
+  dynamo_guard_us : float;
+  mem_bw_gbps : float;
+  compute_gflops : float;
+}
+
+let consumer =
+  {
+    name = "Consumer (GTX 1660 Ti, Core i7-11700)";
+    short_name = "consumer";
+    kernel_launch_us = 6.0;
+    eager_dispatch_us = 9.0;
+    ts_op_us = 0.8;
+    ts_iter_us = 1.5;
+    python_step_us = 15.0;
+    graph_call_us = 22.0;
+    ts_invoke_us = 60.0;
+    dynamo_guard_us = 45.0;
+    mem_bw_gbps = 288.0;
+    compute_gflops = 5000.0;
+  }
+
+let datacenter =
+  {
+    name = "Data center (RTX 3090, Xeon Platinum 8369B)";
+    short_name = "datacenter";
+    kernel_launch_us = 4.0;
+    eager_dispatch_us = 6.0;
+    ts_op_us = 0.5;
+    ts_iter_us = 1.0;
+    python_step_us = 10.0;
+    graph_call_us = 15.0;
+    ts_invoke_us = 40.0;
+    dynamo_guard_us = 30.0;
+    mem_bw_gbps = 936.0;
+    compute_gflops = 20000.0;
+  }
+
+let all = [ consumer; datacenter ]
+
+let kernel_time_us p ~bytes ~flops =
+  (* bytes per microsecond = GB/s * 1e3; flops per microsecond = GFLOPS * 1e3 *)
+  let mem_us = bytes /. (p.mem_bw_gbps *. 1e3) in
+  let compute_us = flops /. (p.compute_gflops *. 1e3) in
+  p.kernel_launch_us +. Float.max mem_us compute_us

@@ -1,0 +1,37 @@
+(** Analytical GPU platform model.
+
+    Substitutes for the paper's two testbeds (§5.1): a consumer machine
+    (GTX 1660 Ti + Core i7) and a data-center machine (RTX 3090 + Xeon
+    Platinum).  A kernel costs its launch overhead plus the larger of its
+    memory time and compute time (roofline); host-side overheads depend on
+    which runtime drives execution (eager dispatch, TorchScript
+    interpreter, or Dynamo's Python-resident control flow). *)
+
+type t = {
+  name : string;
+  short_name : string;
+  kernel_launch_us : float;  (** driver + scheduling per kernel launch *)
+  eager_dispatch_us : float;  (** Python-framework dispatch per eager op *)
+  ts_op_us : float;  (** TorchScript interpreter cost per executed op *)
+  ts_iter_us : float;  (** TorchScript loop-iteration bookkeeping *)
+  python_step_us : float;  (** Dynamo: interpreted control-flow step *)
+  graph_call_us : float;  (** Dynamo: invoking one compiled region *)
+  ts_invoke_us : float;
+      (** one-time cost of calling a TorchScript module from Python
+          (argument marshalling, interpreter entry) *)
+  dynamo_guard_us : float;
+      (** one-time cost of TorchDynamo guard evaluation per call *)
+  mem_bw_gbps : float;  (** device memory bandwidth, GB/s *)
+  compute_gflops : float;  (** sustained fp32 throughput, GFLOP/s *)
+}
+
+val consumer : t
+(** ≈ GTX 1660 Ti (288 GB/s) with a desktop-CPU host. *)
+
+val datacenter : t
+(** ≈ RTX 3090 (936 GB/s) with a server-CPU host. *)
+
+val all : t list
+
+val kernel_time_us : t -> bytes:float -> flops:float -> float
+(** Roofline time for one kernel, launch overhead included. *)

@@ -1,0 +1,326 @@
+open Functs_ir
+open Functs_core
+open Functs_interp
+module Tensor = Functs_tensor.Tensor
+module Scalar = Functs_tensor.Scalar
+
+type kernel = { bytes : float; flops : float }
+
+type summary = {
+  kernels : kernel list;
+  kernel_launches : int;
+  total_bytes : float;
+  total_flops : float;
+  eager_dispatches : int;
+  ts_ops : int;
+  ts_iters : int;
+  python_steps : int;
+  graph_calls : int;
+}
+
+(* The interpreter runs workloads at reduced logical sizes to stay fast;
+   the cost model scales them back to the physical magnitudes of the
+   paper's models (documented in DESIGN.md).  One logical element stands
+   for [size_scale] fp32 elements. *)
+let size_scale = 32.0
+
+let element_bytes = 4.0 *. size_scale
+
+let tensor_bytes (v : Value.t) =
+  match v with
+  | Value.Tensor t -> float_of_int (Tensor.numel t) *. element_bytes
+  | Value.Int _ | Value.Float _ | Value.Bool _ | Value.List _ -> 0.0
+
+let values_bytes vs = List.fold_left (fun acc v -> acc +. tensor_bytes v) 0.0 vs
+
+(* The mutated/assigned region of a rule, in elements, evaluated on the
+   actual runtime base tensor. *)
+let region_numel kind (base : Value.t) operands =
+  match base with
+  | Value.Tensor t ->
+      float_of_int (Tensor.numel (Eval.apply_view_kind kind t operands))
+  | Value.Int _ | Value.Float _ | Value.Bool _ | Value.List _ -> 0.0
+
+let flops_of (node : Graph.node) inputs outputs =
+  (* numel here is already scaled via element_bytes/values_bytes *)
+  let out_numel = values_bytes outputs /. 4.0 in
+  match node.n_op with
+  | Op.Unary u | Op.Mutate (Op.Mut_unary u) ->
+      out_numel *. float_of_int (Scalar.unary_flops u)
+  | Op.Binary b | Op.Mutate (Op.Mut_binary b) ->
+      out_numel *. float_of_int (Scalar.binary_flops b)
+  | Op.Matmul -> begin
+      match inputs with
+      | Value.Tensor a :: _ ->
+          let shape = Tensor.shape a in
+          let k = shape.(Array.length shape - 1) in
+          2.0 *. out_numel *. float_of_int k
+      | _ -> 0.0
+    end
+  | Op.Softmax _ -> 8.0 *. values_bytes inputs /. 4.0
+  | Op.Sum | Op.Sum_dim _ | Op.Max_dim _ | Op.Mean | Op.Cumsum _ ->
+      values_bytes inputs /. 4.0
+  | Op.Where -> out_numel
+  | _ -> 0.0
+
+(* (bytes_read, bytes_written, flops) for a standalone operator.  Accesses
+   read only their selected region; assigns are modeled with buffer
+   donation — only the overwritten region moves, which is what a
+   functionalizing backend generates for the former in-place update. *)
+let op_cost (node : Graph.node) inputs outputs =
+  let flops = flops_of node inputs outputs in
+  match (node.n_op, inputs) with
+  | Op.Access _, _ ->
+      let b = values_bytes outputs in
+      (b, b, flops)
+  | Op.Assign kind, base :: _src :: operands ->
+      let region = region_numel kind base operands *. element_bytes in
+      (region, region, flops)
+  | Op.Mutate Op.Mut_copy, [ dst; src ] ->
+      (tensor_bytes src, tensor_bytes dst, flops)
+  | Op.Mutate Op.Mut_fill, [ dst; _ ] -> (0.0, tensor_bytes dst, flops)
+  | Op.Mutate (Op.Mut_unary _), [ dst ] ->
+      (tensor_bytes dst, tensor_bytes dst, flops)
+  | Op.Mutate (Op.Mut_binary _), [ dst; src ] ->
+      (tensor_bytes dst +. tensor_bytes src, tensor_bytes dst, flops)
+  | (Op.Zeros _ | Op.Ones _ | Op.Full _ | Op.Arange), _ ->
+      (0.0, values_bytes outputs, flops)
+  | _, _ -> (values_bytes inputs, values_bytes outputs, flops)
+
+(* Dispatch/interpreter cost applies to tensor-level operators only. *)
+let is_dispatched (op : Op.t) =
+  match op with
+  | Op.Constant _ | Op.Scalar_binary _ | Op.List_construct | Op.List_index
+  | Op.Update | Op.If | Op.Loop ->
+      false
+  | _ -> true
+
+type accum = { mutable a_bytes : float; mutable a_flops : float }
+
+type state = {
+  plan : Fusion.plan;
+  profile : Compiler_profile.t;
+  mutable open_group : (int * accum) option;
+  mutable parallel_loop : (int * accum) option;  (** loop node id *)
+  mutable region_open : bool;  (** dynamo compiled-region instance *)
+  mutable kernels : kernel list;
+  mutable eager_dispatches : int;
+  mutable ts_ops : int;
+  mutable ts_iters : int;
+  mutable python_steps : int;
+  mutable graph_calls : int;
+}
+
+let def_group plan (v : Graph.value) =
+  match Graph.defining_node v with
+  | None -> None
+  | Some node -> (
+      match Fusion.kernel_class_of plan node with
+      | Fusion.Kernel gid -> Some gid
+      | Fusion.No_cost -> None)
+
+(* Writing through a strided (non-contiguous) view scatters into memory and
+   wastes bandwidth; functionalized pipelines generate dense layouts
+   instead (paper 5.3).  Applied to mutation writes under eager and
+   TorchScript runtimes only. *)
+let strided_write_penalty = 2.5
+
+let mutate_write_factor ~penalize (node : Graph.node) inputs =
+  match (node.n_op, inputs) with
+  | Op.Mutate _, Value.Tensor dst :: _
+    when penalize && not (Tensor.is_contiguous dst) ->
+      strided_write_penalty
+  | _, _ -> 1.0
+
+(* Cost contribution of one node executing as part of fused group [gid]:
+   full flops, but only boundary-crossing traffic.  Accesses read just
+   their region from an external base; assigns move just the overwritten
+   region (buffer donation for the rest). *)
+let fused_cost ~penalize plan gid (node : Graph.node) inputs outputs =
+  let flops = flops_of node inputs outputs in
+  let output_escapes () =
+    List.exists (Fusion.value_escapes plan) node.n_outputs
+  in
+  match (node.n_op, node.n_inputs, inputs) with
+  | Op.Access _, base :: _, _ ->
+      let region = values_bytes outputs in
+      let reads = if def_group plan base <> Some gid then region else 0.0 in
+      let writes = if output_escapes () then region else 0.0 in
+      (reads, writes, flops)
+  | Op.Assign kind, _base :: src :: _, base_rv :: _ :: rule_rvs ->
+      let region = region_numel kind base_rv rule_rvs *. element_bytes in
+      let reads = if def_group plan src <> Some gid then region else 0.0 in
+      let writes = if output_escapes () then region else 0.0 in
+      (reads, writes, flops)
+  | Op.Mutate _, _, _ ->
+      (* In-place writes happen whether or not the SSA output is consumed:
+         the storage mutation is the side effect. *)
+      let reads, writes, _ = op_cost node inputs outputs in
+      (reads, writes *. mutate_write_factor ~penalize node inputs, flops)
+  | _, _, _ ->
+      let reads =
+        List.fold_left2
+          (fun acc (v : Graph.value) rv ->
+            if def_group plan v = Some gid then acc else acc +. tensor_bytes rv)
+          0.0 node.n_inputs inputs
+      in
+      let writes =
+        List.fold_left2
+          (fun acc (v : Graph.value) rv ->
+            if Fusion.value_escapes plan v then acc +. tensor_bytes rv else acc)
+          0.0 node.n_outputs outputs
+      in
+      (reads, writes *. mutate_write_factor ~penalize node inputs, flops)
+
+let flush st =
+  match st.open_group with
+  | None -> ()
+  | Some (_, acc) ->
+      st.kernels <- { bytes = acc.a_bytes; flops = acc.a_flops } :: st.kernels;
+      st.open_group <- None
+
+let close_region st =
+  flush st;
+  st.region_open <- false
+
+let on_kernel_work st gid contribution =
+  let br, bw, fl = contribution in
+  match st.parallel_loop with
+  | Some (_, acc) ->
+      acc.a_bytes <- acc.a_bytes +. br +. bw;
+      acc.a_flops <- acc.a_flops +. fl
+  | None ->
+      let acc =
+        match st.open_group with
+        | Some (g, acc) when g = gid -> acc
+        | _ ->
+            flush st;
+            (match st.profile.runtime with
+            | Compiler_profile.Dynamo ->
+                if not st.region_open then begin
+                  st.region_open <- true;
+                  st.graph_calls <- st.graph_calls + 1
+                end
+            | Compiler_profile.Torchscript -> st.ts_ops <- st.ts_ops + 1
+            | Compiler_profile.Python_eager -> ());
+            let acc = { a_bytes = 0.0; a_flops = 0.0 } in
+            st.open_group <- Some (gid, acc);
+            acc
+      in
+      acc.a_bytes <- acc.a_bytes +. br +. bw;
+      acc.a_flops <- acc.a_flops +. fl
+
+let observer st (event : Eval.event) =
+  let in_parallel = st.parallel_loop <> None in
+  match event with
+  | Eval.Op_executed { node; inputs; outputs } -> begin
+      match node.n_op with
+      | Op.If | Op.Loop -> begin
+          (* The control-flow node finished. *)
+          match st.parallel_loop with
+          | Some (loop_id, acc) when loop_id = node.n_id ->
+              st.kernels <-
+                { bytes = acc.a_bytes; flops = acc.a_flops } :: st.kernels;
+              st.parallel_loop <- None
+          | _ -> close_region st
+        end
+      | _ ->
+          let cls = Fusion.kernel_class_of st.plan node in
+          if is_dispatched node.n_op && not in_parallel then begin
+            match st.profile.runtime with
+            | Compiler_profile.Python_eager ->
+                st.eager_dispatches <- st.eager_dispatches + 1
+            | Compiler_profile.Torchscript ->
+                (* Fused-group members execute as one interpreter step,
+                   charged when the kernel instance opens; only
+                   non-kernel ops (views, breaks) pay per op here. *)
+                if cls = Fusion.No_cost then st.ts_ops <- st.ts_ops + 1
+            | Compiler_profile.Dynamo -> ()
+          end;
+          (match cls with
+          | Fusion.No_cost -> ()
+          | Fusion.Kernel gid ->
+              let penalize =
+                match st.profile.runtime with
+                | Compiler_profile.Python_eager | Compiler_profile.Torchscript ->
+                    true
+                | Compiler_profile.Dynamo -> false
+              in
+              on_kernel_work st gid
+                (fused_cost ~penalize st.plan gid node inputs outputs))
+    end
+  | Eval.If_taken _ ->
+      if not in_parallel then begin
+        close_region st;
+        if st.profile.runtime = Compiler_profile.Dynamo then
+          st.python_steps <- st.python_steps + 1
+      end
+  | Eval.Loop_started { node; trip = _ } ->
+      if Fusion.is_parallel_loop st.plan node then begin
+        flush st;
+        st.parallel_loop <- Some (node.n_id, { a_bytes = 0.0; a_flops = 0.0 })
+      end
+      else close_region st
+  | Eval.Loop_iteration _ ->
+      if not in_parallel then begin
+        close_region st;
+        match st.profile.runtime with
+        | Compiler_profile.Python_eager -> ()
+        | Compiler_profile.Torchscript -> st.ts_iters <- st.ts_iters + 1
+        | Compiler_profile.Dynamo -> st.python_steps <- st.python_steps + 1
+      end
+
+let run ~profile ~plan g args =
+  let st =
+    {
+      plan;
+      profile;
+      open_group = None;
+      parallel_loop = None;
+      region_open = false;
+      kernels = [];
+      eager_dispatches = 0;
+      ts_ops = 0;
+      ts_iters = 0;
+      python_steps = 0;
+      graph_calls = 0;
+    }
+  in
+  let outputs = Eval.run ~observer:(observer st) g args in
+  flush st;
+  let kernels = List.rev st.kernels in
+  let total_bytes = List.fold_left (fun a k -> a +. k.bytes) 0.0 kernels in
+  let total_flops = List.fold_left (fun a k -> a +. k.flops) 0.0 kernels in
+  ( outputs,
+    {
+      kernels;
+      kernel_launches = List.length kernels;
+      total_bytes;
+      total_flops;
+      eager_dispatches = st.eager_dispatches;
+      ts_ops = st.ts_ops;
+      ts_iters = st.ts_iters;
+      python_steps = st.python_steps;
+      graph_calls = st.graph_calls;
+    } )
+
+let latency_us (p : Platform.t) (profile : Compiler_profile.t) (summary : summary) =
+  let device =
+    List.fold_left
+      (fun acc k -> acc +. Platform.kernel_time_us p ~bytes:k.bytes ~flops:k.flops)
+      0.0 summary.kernels
+  in
+  let host =
+    match profile.runtime with
+    | Compiler_profile.Python_eager ->
+        float_of_int summary.eager_dispatches *. p.eager_dispatch_us
+    | Compiler_profile.Torchscript ->
+        p.ts_invoke_us
+        +. (float_of_int summary.ts_ops *. p.ts_op_us)
+        +. (float_of_int summary.ts_iters *. p.ts_iter_us)
+    | Compiler_profile.Dynamo ->
+        p.dynamo_guard_us
+        +. (float_of_int summary.python_steps *. p.python_step_us)
+        +. (float_of_int summary.graph_calls *. p.graph_call_us)
+  in
+  device +. host

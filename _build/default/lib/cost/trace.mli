@@ -1,0 +1,44 @@
+(** Kernel-trace execution: run a graph under a fusion plan, observe the
+    interpreter's event stream, and aggregate it into the device kernels
+    and host overheads that the cost model prices.
+
+    Fused-group members executed back-to-back within one dynamic pass
+    accumulate into a single kernel record; loop iterations open fresh
+    instances (one kernel per iteration per group) unless the loop is
+    marked parallel by the plan, in which case the whole loop collapses
+    into one launch with the summed traffic. *)
+
+open Functs_ir
+open Functs_core
+open Functs_interp
+
+type kernel = { bytes : float; flops : float }
+
+type summary = {
+  kernels : kernel list;  (** one record per device kernel launch *)
+  kernel_launches : int;
+  total_bytes : float;
+  total_flops : float;
+  eager_dispatches : int;  (** Python-framework op dispatches (eager) *)
+  ts_ops : int;  (** TorchScript-interpreted op steps *)
+  ts_iters : int;  (** TorchScript loop iterations *)
+  python_steps : int;  (** Dynamo-interpreted control-flow steps *)
+  graph_calls : int;  (** Dynamo compiled-region invocations *)
+}
+
+val run :
+  profile:Compiler_profile.t ->
+  plan:Fusion.plan ->
+  Graph.t ->
+  Value.t list ->
+  Value.t list * summary
+(** Execute and trace.  Outputs are the graph's return values. *)
+
+val latency_us : Platform.t -> Compiler_profile.t -> summary -> float
+(** Total modeled latency: kernel roofline times plus the host overheads
+    charged by the profile's runtime. *)
+
+val op_cost :
+  Graph.node -> Value.t list -> Value.t list -> float * float * float
+(** [(bytes_read, bytes_written, flops)] of one standalone operator given
+    its runtime inputs/outputs (exposed for tests). *)

@@ -1,0 +1,1 @@
+lib/frontend/ast.mli: Functs_ir Functs_tensor Scalar

@@ -1,0 +1,1 @@
+lib/frontend/lower.ml: Ast Builder Dtype Format Functs_ir Graph Hashtbl List Map Op String Verifier

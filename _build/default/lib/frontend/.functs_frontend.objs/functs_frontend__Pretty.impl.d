@@ -1,0 +1,1 @@
+lib/frontend/pretty.ml: Array Ast Format Functs_ir Functs_tensor List Printf Scalar String

@@ -1,0 +1,1 @@
+lib/frontend/source_parser.ml: Array Ast Format Functs_ir Functs_tensor List Printf Scalar String

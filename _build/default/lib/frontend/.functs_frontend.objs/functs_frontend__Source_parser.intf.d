@@ -1,0 +1,1 @@
+lib/frontend/source_parser.mli: Ast

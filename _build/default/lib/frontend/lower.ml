@@ -1,0 +1,236 @@
+open Functs_ir
+module StringMap = Map.Make (String)
+
+exception Lowering_error of string
+
+let error fmt = Format.kasprintf (fun msg -> raise (Lowering_error msg)) fmt
+
+let assigned_vars stmts =
+  let seen = Hashtbl.create 16 in
+  let order = ref [] in
+  let add name =
+    if not (Hashtbl.mem seen name) then begin
+      Hashtbl.add seen name ();
+      order := name :: !order
+    end
+  in
+  let rec walk stmts = List.iter walk_stmt stmts
+  and walk_stmt = function
+    | Ast.Assign (name, _) | Ast.Aug (name, _, _) -> add name
+    | Ast.Store _ | Ast.Aug_store _ | Ast.Fill _ | Ast.Return _ -> ()
+    | Ast.If (_, then_, else_) ->
+        walk then_;
+        walk else_
+    | Ast.For (_, _, body) -> walk body
+  in
+  walk stmts;
+  List.rev !order
+
+let is_scalar (v : Graph.value) =
+  match v.v_type with
+  | Dtype.Scalar _ -> true
+  | Dtype.Tensor | Dtype.List _ -> false
+
+let rec lower_expr b env (expr : Ast.expr) : Graph.value =
+  match expr with
+  | Ast.Var name -> begin
+      match StringMap.find_opt name env with
+      | Some v -> v
+      | None -> error "unbound variable %s" name
+    end
+  | Ast.Int_lit n -> Builder.int b n
+  | Ast.Float_lit x -> Builder.float b x
+  | Ast.Bool_lit v -> Builder.bool b v
+  | Ast.Unop (fn, e) ->
+      let v = lower_expr b env e in
+      (* Scalars promote to 0-d tensors, as in torch.neg(-2.0). *)
+      let v =
+        if is_scalar v then Builder.full b [||] v else v
+      in
+      Builder.unary b fn v
+  | Ast.Binop (fn, e1, e2) ->
+      let v1 = lower_expr b env e1 and v2 = lower_expr b env e2 in
+      if is_scalar v1 && is_scalar v2 then Builder.scalar_binary b fn v1 v2
+      else Builder.binary b fn v1 v2
+  | Ast.Subscript (base, indices) ->
+      let base_v = lower_expr b env base in
+      lower_indices b env base_v indices
+  | Ast.Call (fn, args) -> lower_call b env fn args
+
+(* Tuple-style subscripting: each index consumes one dimension; [At]
+   removes it, [Range] keeps it. *)
+and lower_indices b env base indices =
+  let apply (current, dim) index =
+    match index with
+    | Ast.At e ->
+        let idx = lower_expr b env e in
+        (Builder.select b current ~dim idx, dim)
+    | Ast.Range (e1, e2) ->
+        let start = lower_expr b env e1 and stop = lower_expr b env e2 in
+        (Builder.slice b current ~dim ~start ~stop (), dim + 1)
+  in
+  let result, _ = List.fold_left apply (base, 0) indices in
+  result
+
+and lower_call b env fn args =
+  let one () =
+    match args with
+    | [ e ] -> lower_expr b env e
+    | _ -> error "expected one argument"
+  in
+  let two () =
+    match args with
+    | [ e1; e2 ] -> (lower_expr b env e1, lower_expr b env e2)
+    | _ -> error "expected two arguments"
+  in
+  match fn with
+  | Ast.Fn_matmul ->
+      let a, c = two () in
+      Builder.matmul b a c
+  | Ast.Fn_softmax dim -> Builder.softmax b (one ()) ~dim
+  | Ast.Fn_sum_dim (dim, keepdim) -> Builder.sum_dim b (one ()) ~dim ~keepdim
+  | Ast.Fn_max_dim (dim, keepdim) -> Builder.max_dim b (one ()) ~dim ~keepdim
+  | Ast.Fn_sum -> Builder.op1 b Op.Sum [ one () ]
+  | Ast.Fn_mean -> Builder.op1 b Op.Mean [ one () ]
+  | Ast.Fn_cat dim -> Builder.cat b (List.map (lower_expr b env) args) ~dim
+  | Ast.Fn_stack dim -> Builder.stack b (List.map (lower_expr b env) args) ~dim
+  | Ast.Fn_where -> begin
+      match args with
+      | [ c; x; y ] ->
+          Builder.where b (lower_expr b env c) (lower_expr b env x)
+            (lower_expr b env y)
+      | _ -> error "where expects three arguments"
+    end
+  | Ast.Fn_clone -> Builder.clone b (one ())
+  | Ast.Fn_cumsum dim -> Builder.op1 b (Op.Cumsum { dim }) [ one () ]
+  | Ast.Fn_zeros shape -> Builder.zeros b shape
+  | Ast.Fn_ones shape -> Builder.ones b shape
+  | Ast.Fn_full shape -> Builder.full b shape (one ())
+  | Ast.Fn_reshape shape -> Builder.reshape b (one ()) shape
+  | Ast.Fn_permute dims -> Builder.permute b (one ()) dims
+  | Ast.Fn_expand sizes -> Builder.expand b (one ()) sizes
+  | Ast.Fn_unsqueeze dim -> Builder.unsqueeze b (one ()) ~dim
+  | Ast.Fn_squeeze dim -> Builder.squeeze b (one ()) ~dim
+
+let rename name (v : Graph.value) = if v.v_name = "" then v.v_name <- name
+
+(* The mutation target of Store/Aug_store/Fill must be a subscript (or a
+   view call) so there is a view to write through. *)
+let lower_target b env (target : Ast.expr) =
+  match target with
+  | Ast.Subscript _ | Ast.Call ((Ast.Fn_reshape _ | Ast.Fn_permute _), _) ->
+      lower_expr b env target
+  | Ast.Var _ | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Bool_lit _ | Ast.Unop _
+  | Ast.Binop _ | Ast.Call _ ->
+      error "mutation target must be a view (subscript) expression"
+
+let captured_across env branches =
+  List.filter (fun name -> StringMap.mem name env) (assigned_vars branches)
+
+let rec lower_stmts b env stmts ~top =
+  match stmts with
+  | [] -> env
+  | [ Ast.Return es ] when top ->
+      let values = List.map (lower_expr b env) es in
+      Builder.return b values;
+      env
+  | Ast.Return _ :: _ ->
+      error "return is only allowed as the final top-level statement"
+  | stmt :: rest ->
+      let env = lower_stmt b env stmt ~top in
+      lower_stmts b env rest ~top
+
+and lower_stmt b env stmt ~top =
+  ignore top;
+  match stmt with
+  | Ast.Assign (name, e) ->
+      let v = lower_expr b env e in
+      rename name v;
+      StringMap.add name v env
+  | Ast.Store (target, e) ->
+      let view = lower_target b env target in
+      let src = lower_expr b env e in
+      let _ = Builder.copy_ b view src in
+      env
+  | Ast.Aug (name, fn, e) -> begin
+      match StringMap.find_opt name env with
+      | None -> error "unbound variable %s" name
+      | Some v ->
+          if is_scalar v then begin
+            let rhs = lower_expr b env e in
+            let v' = Builder.scalar_binary b fn v rhs in
+            StringMap.add name v' env
+          end
+          else begin
+            (* In-place tensor update: pure op then copy_ (paper Fig. 2). *)
+            let rhs = lower_expr b env e in
+            let fresh = Builder.binary b fn v rhs in
+            let updated = Builder.copy_ b v fresh in
+            rename name updated;
+            StringMap.add name updated env
+          end
+    end
+  | Ast.Aug_store (target, fn, e) ->
+      let view = lower_target b env target in
+      let src = lower_expr b env e in
+      let _ = Builder.binary_ b fn view src in
+      env
+  | Ast.Fill (target, c) ->
+      let view = lower_target b env target in
+      let cv = Builder.float b c in
+      let _ = Builder.fill_ b view cv in
+      env
+  | Ast.Return _ -> error "return is only allowed as the final top-level statement"
+  | Ast.If (cond, then_stmts, else_stmts) ->
+      let cond_v = lower_expr b env cond in
+      let captured = captured_across env (then_stmts @ else_stmts) in
+      let out_types =
+        List.map
+          (fun name -> (StringMap.find name env).Graph.v_type)
+          captured
+      in
+      let branch stmts () =
+        let env' = lower_stmts b env stmts ~top:false in
+        List.map (fun name -> StringMap.find name env') captured
+      in
+      let outs =
+        Builder.if_ b ~cond:cond_v ~out_types ~then_:(branch then_stmts)
+          ~else_:(branch else_stmts)
+      in
+      List.fold_left2
+        (fun env name v ->
+          rename name v;
+          StringMap.add name v env)
+        env captured outs
+  | Ast.For (loop_var, trip, body) ->
+      let trip_v = lower_expr b env trip in
+      let captured = captured_across env body in
+      let init = List.map (fun name -> StringMap.find name env) captured in
+      let outs =
+        Builder.loop b ~trip:trip_v ~init ~body:(fun ~i ~carried ->
+            let env' = StringMap.add loop_var i env in
+            let env' =
+              List.fold_left2
+                (fun acc name v -> StringMap.add name v acc)
+                env' captured carried
+            in
+            let env'' = lower_stmts b env' body ~top:false in
+            List.map (fun name -> StringMap.find name env'') captured)
+      in
+      List.fold_left2
+        (fun env name v ->
+          rename name v;
+          StringMap.add name v env)
+        env captured outs
+
+let program (p : Ast.program) =
+  let b = Builder.create p.name ~params:p.params in
+  let env =
+    List.fold_left2
+      (fun env (name, _) v -> StringMap.add name v env)
+      StringMap.empty p.params (Graph.params (Builder.graph b))
+  in
+  let _ = lower_stmts b env p.body ~top:true in
+  let g = Builder.graph b in
+  Verifier.check_exn g;
+  g

@@ -1,0 +1,26 @@
+(** Lowering from the imperative AST to graph-level IR.
+
+    Whole-variable rebinding across control flow is resolved by scalar SSA
+    (the part the paper delegates to existing techniques): variables
+    assigned inside an [if] become outputs of the [prim::If]; variables
+    assigned inside a [for] become loop-carried values.  Mutations through
+    subscripts ([Store], [Aug_store], [Fill]) lower to view operators plus
+    in-place [aten::…_] nodes — the tensor-level side effects TensorSSA
+    later removes.
+
+    Restrictions (checked, [Lowering_error] otherwise):
+    - [return] only as the final top-level statement;
+    - a variable captured across an [if] must already be bound before it
+      (variables first bound inside both branches stay branch-local). *)
+
+open Functs_ir
+
+exception Lowering_error of string
+
+val program : Ast.program -> Graph.t
+(** Lower and verify. *)
+
+val assigned_vars : Ast.stmt list -> string list
+(** Names rebound by [Assign]/[Aug] anywhere in the statements (nested
+    control flow included), deduplicated, in first-assignment order.
+    Exposed for tests. *)

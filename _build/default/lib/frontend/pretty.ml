@@ -1,0 +1,119 @@
+open Functs_tensor
+
+let dims_to_string dims =
+  String.concat ", " (Array.to_list dims |> List.map string_of_int)
+
+let fn_name = function
+  | Ast.Fn_matmul -> "torch.matmul"
+  | Ast.Fn_softmax dim -> Printf.sprintf "torch.softmax[dim=%d]" dim
+  | Ast.Fn_sum_dim (dim, keepdim) ->
+      Printf.sprintf "torch.sum[dim=%d, keepdim=%b]" dim keepdim
+  | Ast.Fn_max_dim (dim, keepdim) ->
+      Printf.sprintf "torch.amax[dim=%d, keepdim=%b]" dim keepdim
+  | Ast.Fn_sum -> "torch.sum"
+  | Ast.Fn_mean -> "torch.mean"
+  | Ast.Fn_cat dim -> Printf.sprintf "torch.cat[dim=%d]" dim
+  | Ast.Fn_stack dim -> Printf.sprintf "torch.stack[dim=%d]" dim
+  | Ast.Fn_where -> "torch.where"
+  | Ast.Fn_clone -> "clone"
+  | Ast.Fn_cumsum dim -> Printf.sprintf "torch.cumsum[dim=%d]" dim
+  | Ast.Fn_zeros shape -> Printf.sprintf "torch.zeros([%s])" (dims_to_string shape)
+  | Ast.Fn_ones shape -> Printf.sprintf "torch.ones([%s])" (dims_to_string shape)
+  | Ast.Fn_full shape -> Printf.sprintf "torch.full[shape=[%s]]" (dims_to_string shape)
+  | Ast.Fn_reshape shape -> Printf.sprintf "reshape([%s])" (dims_to_string shape)
+  | Ast.Fn_permute dims -> Printf.sprintf "permute(%s)" (dims_to_string dims)
+  | Ast.Fn_expand sizes -> Printf.sprintf "expand(%s)" (dims_to_string sizes)
+  | Ast.Fn_unsqueeze dim -> Printf.sprintf "unsqueeze(%d)" dim
+  | Ast.Fn_squeeze dim -> Printf.sprintf "squeeze(%d)" dim
+
+let binop_symbol = function
+  | Scalar.Add -> "+"
+  | Scalar.Sub -> "-"
+  | Scalar.Mul -> "*"
+  | Scalar.Div -> "/"
+  | Scalar.Pow -> "**"
+  | Scalar.Max -> assert false (* rendered as torch.maximum *)
+  | Scalar.Min -> assert false (* rendered as torch.minimum *)
+  | Scalar.Lt -> "<"
+  | Scalar.Gt -> ">"
+  | Scalar.Eq -> "=="
+
+let rec expr_to_string (e : Ast.expr) =
+  match e with
+  | Ast.Var name -> name
+  | Ast.Int_lit n -> string_of_int n
+  | Ast.Float_lit x -> Printf.sprintf "%g" x
+  | Ast.Bool_lit v -> if v then "True" else "False"
+  | Ast.Unop (fn, e) ->
+      Printf.sprintf "torch.%s(%s)" (Scalar.unary_name fn) (expr_to_string e)
+  | Ast.Binop ((Scalar.Max | Scalar.Min) as fn, a, b) ->
+      Printf.sprintf "torch.%s(%s, %s)"
+        (if fn = Scalar.Max then "maximum" else "minimum")
+        (expr_to_string a) (expr_to_string b)
+  | Ast.Binop (fn, a, b) ->
+      Printf.sprintf "(%s %s %s)" (expr_to_string a) (binop_symbol fn)
+        (expr_to_string b)
+  | Ast.Subscript (base, indices) ->
+      let index_str = function
+        | Ast.At e -> expr_to_string e
+        | Ast.Range (a, b) ->
+            Printf.sprintf "%s:%s" (expr_to_string a) (expr_to_string b)
+      in
+      Printf.sprintf "%s[%s]" (expr_to_string base)
+        (String.concat ", " (List.map index_str indices))
+  | Ast.Call (Ast.Fn_clone, [ x ]) ->
+      Printf.sprintf "%s.clone()" (expr_to_string x)
+  | Ast.Call ((Ast.Fn_zeros _ | Ast.Fn_ones _) as fn, []) -> fn_name fn
+  | Ast.Call ((Ast.Fn_reshape _ as fn), [ x ])
+  | Ast.Call ((Ast.Fn_permute _ as fn), [ x ])
+  | Ast.Call ((Ast.Fn_expand _ as fn), [ x ])
+  | Ast.Call ((Ast.Fn_unsqueeze _ as fn), [ x ])
+  | Ast.Call ((Ast.Fn_squeeze _ as fn), [ x ]) ->
+      Printf.sprintf "%s.%s" (expr_to_string x) (fn_name fn)
+  | Ast.Call (fn, args) ->
+      Printf.sprintf "%s(%s)" (fn_name fn)
+        (String.concat ", " (List.map expr_to_string args))
+
+let rec pp_stmts ppf ~indent stmts =
+  List.iter (fun s -> pp_stmt ppf ~indent s) stmts
+
+and pp_stmt ppf ~indent (s : Ast.stmt) =
+  let pad = String.make indent ' ' in
+  match s with
+  | Ast.Assign (name, e) ->
+      Format.fprintf ppf "%s%s = %s@," pad name (expr_to_string e)
+  | Ast.Store (target, e) ->
+      Format.fprintf ppf "%s%s = %s@," pad (expr_to_string target)
+        (expr_to_string e)
+  | Ast.Aug (name, fn, e) ->
+      Format.fprintf ppf "%s%s %s= %s@," pad name (binop_symbol fn)
+        (expr_to_string e)
+  | Ast.Aug_store (target, fn, e) ->
+      Format.fprintf ppf "%s%s %s= %s@," pad (expr_to_string target)
+        (binop_symbol fn) (expr_to_string e)
+  | Ast.Fill (target, c) ->
+      Format.fprintf ppf "%s%s.fill_(%g)@," pad (expr_to_string target) c
+  | Ast.If (cond, then_, else_) ->
+      Format.fprintf ppf "%sif %s:@," pad (expr_to_string cond);
+      pp_stmts ppf ~indent:(indent + 4) then_;
+      if else_ <> [] then begin
+        Format.fprintf ppf "%selse:@," pad;
+        pp_stmts ppf ~indent:(indent + 4) else_
+      end
+  | Ast.For (name, trip, body) ->
+      Format.fprintf ppf "%sfor %s in range(%s):@," pad name
+        (expr_to_string trip);
+      pp_stmts ppf ~indent:(indent + 4) body
+  | Ast.Return es ->
+      Format.fprintf ppf "%sreturn %s@," pad
+        (String.concat ", " (List.map expr_to_string es))
+
+let pp_program ppf (p : Ast.program) =
+  Format.pp_open_vbox ppf 0;
+  let param (name, ty) = name ^ ": " ^ Functs_ir.Dtype.to_string ty in
+  Format.fprintf ppf "def %s(%s):@," p.name
+    (String.concat ", " (List.map param p.params));
+  pp_stmts ppf ~indent:4 p.body;
+  Format.pp_close_box ppf ()
+
+let program_to_string p = Format.asprintf "%a" pp_program p

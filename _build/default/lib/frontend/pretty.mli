@@ -1,0 +1,6 @@
+(** Render an imperative AST program back as Python-style source, for
+    examples and documentation. *)
+
+val program_to_string : Ast.program -> string
+val pp_program : Format.formatter -> Ast.program -> unit
+val expr_to_string : Ast.expr -> string

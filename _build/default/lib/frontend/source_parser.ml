@@ -1,0 +1,758 @@
+open Functs_tensor
+
+exception Syntax_error of string
+
+let error ~line fmt =
+  Format.kasprintf
+    (fun msg -> raise (Syntax_error (Printf.sprintf "line %d: %s" line msg)))
+    fmt
+
+(* --- tokens --- *)
+
+type token =
+  | NAME of string
+  | INT of int
+  | FLOAT of float
+  | KW_DEF
+  | KW_FOR
+  | KW_IN
+  | KW_IF
+  | KW_ELSE
+  | KW_RETURN
+  | KW_TRUE
+  | KW_FALSE
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COLON
+  | COMMA
+  | DOT
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | POW
+  | LT
+  | GT
+  | EQEQ
+  | EQ
+  | PLUSEQ
+  | MINUSEQ
+  | STAREQ
+  | SLASHEQ
+  | NEWLINE
+  | INDENT
+  | DEDENT
+  | EOF
+
+let token_to_string = function
+  | NAME s -> Printf.sprintf "name %S" s
+  | INT i -> string_of_int i
+  | FLOAT f -> Printf.sprintf "%g" f
+  | KW_DEF -> "def"
+  | KW_FOR -> "for"
+  | KW_IN -> "in"
+  | KW_IF -> "if"
+  | KW_ELSE -> "else"
+  | KW_RETURN -> "return"
+  | KW_TRUE -> "True"
+  | KW_FALSE -> "False"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | COLON -> ":"
+  | COMMA -> ","
+  | DOT -> "."
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | POW -> "**"
+  | LT -> "<"
+  | GT -> ">"
+  | EQEQ -> "=="
+  | EQ -> "="
+  | PLUSEQ -> "+="
+  | MINUSEQ -> "-="
+  | STAREQ -> "*="
+  | SLASHEQ -> "/="
+  | NEWLINE -> "newline"
+  | INDENT -> "indent"
+  | DEDENT -> "dedent"
+  | EOF -> "end of input"
+
+let keyword = function
+  | "def" -> Some KW_DEF
+  | "for" -> Some KW_FOR
+  | "in" -> Some KW_IN
+  | "if" -> Some KW_IF
+  | "else" -> Some KW_ELSE
+  | "return" -> Some KW_RETURN
+  | "True" -> Some KW_TRUE
+  | "False" -> Some KW_FALSE
+  | _ -> None
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+
+let is_digit c = c >= '0' && c <= '9'
+
+(* Lex one logical line's content (no indentation handling here). *)
+let lex_line ~line s =
+  let n = String.length s in
+  let tokens = ref [] in
+  let emit t = tokens := (t, line) :: !tokens in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' then incr i
+    else if c = '#' then i := n
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit s.[!i] do
+        incr i
+      done;
+      let is_float = ref false in
+      if !i < n && s.[!i] = '.' && !i + 1 < n && is_digit s.[!i + 1] then begin
+        is_float := true;
+        incr i;
+        while !i < n && is_digit s.[!i] do
+          incr i
+        done
+      end
+      else if !i < n && s.[!i] = '.' && not (!i + 1 < n && s.[!i + 1] = '.') then begin
+        (* "2." style floats; but "x[2].clone" needs the dot kept when a
+           name follows *)
+        if not (!i + 1 < n && is_name_char s.[!i + 1]) then begin
+          is_float := true;
+          incr i
+        end
+      end;
+      if !i < n && (s.[!i] = 'e' || s.[!i] = 'E') then begin
+        let save = !i in
+        incr i;
+        if !i < n && (s.[!i] = '+' || s.[!i] = '-') then incr i;
+        if !i < n && is_digit s.[!i] then begin
+          is_float := true;
+          while !i < n && is_digit s.[!i] do
+            incr i
+          done
+        end
+        else i := save
+      end;
+      let text = String.sub s start (!i - start) in
+      if !is_float then emit (FLOAT (float_of_string text))
+      else emit (INT (int_of_string text))
+    end
+    else if is_name_char c && not (is_digit c) then begin
+      let start = !i in
+      while !i < n && is_name_char s.[!i] do
+        incr i
+      done;
+      let text = String.sub s start (!i - start) in
+      match keyword text with Some kw -> emit kw | None -> emit (NAME text)
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub s !i 2 else "" in
+      match two with
+      | "**" ->
+          emit POW;
+          i := !i + 2
+      | "==" ->
+          emit EQEQ;
+          i := !i + 2
+      | "+=" ->
+          emit PLUSEQ;
+          i := !i + 2
+      | "-=" ->
+          emit MINUSEQ;
+          i := !i + 2
+      | "*=" ->
+          emit STAREQ;
+          i := !i + 2
+      | "/=" ->
+          emit SLASHEQ;
+          i := !i + 2
+      | _ -> begin
+          (match c with
+          | '(' -> emit LPAREN
+          | ')' -> emit RPAREN
+          | '[' -> emit LBRACKET
+          | ']' -> emit RBRACKET
+          | ':' -> emit COLON
+          | ',' -> emit COMMA
+          | '.' -> emit DOT
+          | '+' -> emit PLUS
+          | '-' -> emit MINUS
+          | '*' -> emit STAR
+          | '/' -> emit SLASH
+          | '<' -> emit LT
+          | '>' -> emit GT
+          | '=' -> emit EQ
+          | c -> error ~line "unexpected character %C" c);
+          incr i
+        end
+    end
+  done;
+  List.rev !tokens
+
+let tokenize text =
+  let lines = String.split_on_char '\n' text in
+  let tokens = ref [] in
+  let indents = ref [ 0 ] in
+  List.iteri
+    (fun idx raw ->
+      let line = idx + 1 in
+      let stripped = String.trim raw in
+      if stripped <> "" && not (String.length stripped > 0 && stripped.[0] = '#')
+      then begin
+        let indent = ref 0 in
+        while
+          !indent < String.length raw
+          && (raw.[!indent] = ' ' || raw.[!indent] = '\t')
+        do
+          incr indent
+        done;
+        let current = List.hd !indents in
+        if !indent > current then begin
+          indents := !indent :: !indents;
+          tokens := (INDENT, line) :: !tokens
+        end
+        else
+          while List.hd !indents > !indent do
+            indents := List.tl !indents;
+            tokens := (DEDENT, line) :: !tokens
+          done;
+        if List.hd !indents <> !indent then
+          error ~line "inconsistent indentation";
+        tokens := List.rev_append (lex_line ~line stripped) !tokens;
+        tokens := (NEWLINE, line) :: !tokens
+      end)
+    lines;
+  while List.hd !indents > 0 do
+    indents := List.tl !indents;
+    tokens := (DEDENT, 0) :: !tokens
+  done;
+  List.rev ((EOF, 0) :: !tokens)
+
+(* --- parser state --- *)
+
+type state = { mutable toks : (token * int) list }
+
+let peek st = match st.toks with (t, _) :: _ -> t | [] -> EOF
+let line_of st = match st.toks with (_, l) :: _ -> l | [] -> 0
+let advance st = match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let expect st t =
+  if peek st = t then advance st
+  else
+    error ~line:(line_of st) "expected %s, found %s" (token_to_string t)
+      (token_to_string (peek st))
+
+let expect_name st =
+  match peek st with
+  | NAME s ->
+      advance st;
+      s
+  | other -> error ~line:(line_of st) "expected a name, found %s" (token_to_string other)
+
+(* Statement-level control for `target.fill_(c)`. *)
+exception Fill_of of Ast.expr * float
+
+(* --- attribute brackets: [dim=1, keepdim=true] / [shape=[2, 3]] --- *)
+
+type attr_value = A_int of int | A_bool of bool | A_ints of int array
+
+let parse_int_list st =
+  expect st LBRACKET;
+  let items = ref [] in
+  let rec go () =
+    match peek st with
+    | RBRACKET -> advance st
+    | INT i ->
+        advance st;
+        items := i :: !items;
+        (match peek st with
+        | COMMA ->
+            advance st;
+            go ()
+        | _ -> go ())
+    | MINUS ->
+        advance st;
+        (match peek st with
+        | INT i ->
+            advance st;
+            items := -i :: !items;
+            (match peek st with
+            | COMMA ->
+                advance st;
+                go ()
+            | _ -> go ())
+        | _ -> error ~line:(line_of st) "expected an int")
+    | other -> error ~line:(line_of st) "expected ints, found %s" (token_to_string other)
+  in
+  go ();
+  Array.of_list (List.rev !items)
+
+let parse_attrs st =
+  (* assumes LBRACKET already peeked *)
+  expect st LBRACKET;
+  let attrs = ref [] in
+  let rec go () =
+    let key = expect_name st in
+    expect st EQ;
+    let v =
+      match peek st with
+      | INT i ->
+          advance st;
+          A_int i
+      | KW_TRUE ->
+          advance st;
+          A_bool true
+      | KW_FALSE ->
+          advance st;
+          A_bool false
+      | NAME ("true" | "false" as b) ->
+          advance st;
+          A_bool (b = "true")
+      | LBRACKET -> A_ints (parse_int_list st)
+      | other ->
+          error ~line:(line_of st) "bad attribute value %s" (token_to_string other)
+    in
+    attrs := (key, v) :: !attrs;
+    match peek st with
+    | COMMA ->
+        advance st;
+        go ()
+    | RBRACKET -> advance st
+    | other -> error ~line:(line_of st) "expected , or ], found %s" (token_to_string other)
+  in
+  go ();
+  List.rev !attrs
+
+let attr_int ~line attrs key =
+  match List.assoc_opt key attrs with
+  | Some (A_int i) -> i
+  | _ -> error ~line "missing int attribute %s" key
+
+let attr_bool ~line attrs key =
+  match List.assoc_opt key attrs with
+  | Some (A_bool b) -> b
+  | _ -> error ~line "missing bool attribute %s" key
+
+let attr_ints ~line attrs key =
+  match List.assoc_opt key attrs with
+  | Some (A_ints a) -> a
+  | _ -> error ~line "missing int-array attribute %s" key
+
+(* --- expressions --- *)
+
+let unary_by_name = List.map (fun u -> (Scalar.unary_name u, u)) Scalar.all_unary
+
+let rec parse_expr st = parse_comparison st
+
+and parse_comparison st =
+  let left = parse_arith st in
+  match peek st with
+  | LT ->
+      advance st;
+      Ast.Binop (Scalar.Lt, left, parse_arith st)
+  | GT ->
+      advance st;
+      Ast.Binop (Scalar.Gt, left, parse_arith st)
+  | EQEQ ->
+      advance st;
+      Ast.Binop (Scalar.Eq, left, parse_arith st)
+  | _ -> left
+
+and parse_arith st =
+  let left = ref (parse_term st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | PLUS ->
+        advance st;
+        left := Ast.Binop (Scalar.Add, !left, parse_term st)
+    | MINUS ->
+        advance st;
+        left := Ast.Binop (Scalar.Sub, !left, parse_term st)
+    | _ -> continue := false
+  done;
+  !left
+
+and parse_term st =
+  let left = ref (parse_factor st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | STAR ->
+        advance st;
+        left := Ast.Binop (Scalar.Mul, !left, parse_factor st)
+    | SLASH ->
+        advance st;
+        left := Ast.Binop (Scalar.Div, !left, parse_factor st)
+    | _ -> continue := false
+  done;
+  !left
+
+and parse_factor st =
+  match peek st with
+  | MINUS -> begin
+      advance st;
+      (* negative literals fold; everything else becomes 0 - e or neg *)
+      match peek st with
+      | INT i ->
+          advance st;
+          parse_postfix st (Ast.Int_lit (-i))
+      | FLOAT f ->
+          advance st;
+          parse_postfix st (Ast.Float_lit (-.f))
+      | _ -> Ast.Unop (Scalar.Neg, parse_factor st)
+    end
+  | _ -> parse_power st
+
+and parse_power st =
+  let base = parse_postfix st (parse_atom st) in
+  match peek st with
+  | POW ->
+      advance st;
+      Ast.Binop (Scalar.Pow, base, parse_factor st)
+  | _ -> base
+
+and parse_atom st =
+  match peek st with
+  | INT i ->
+      advance st;
+      Ast.Int_lit i
+  | FLOAT f ->
+      advance st;
+      Ast.Float_lit f
+  | KW_TRUE ->
+      advance st;
+      Ast.Bool_lit true
+  | KW_FALSE ->
+      advance st;
+      Ast.Bool_lit false
+  | NAME "torch" ->
+      advance st;
+      expect st DOT;
+      parse_torch_call st
+  | NAME n ->
+      advance st;
+      Ast.Var n
+  | LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      expect st RPAREN;
+      e
+  | other -> error ~line:(line_of st) "unexpected %s" (token_to_string other)
+
+and parse_args st =
+  expect st LPAREN;
+  let args = ref [] in
+  if peek st <> RPAREN then begin
+    args := [ parse_expr st ];
+    while peek st = COMMA do
+      advance st;
+      args := parse_expr st :: !args
+    done
+  end;
+  expect st RPAREN;
+  List.rev !args
+
+and parse_torch_call st =
+  let line = line_of st in
+  let fname = expect_name st in
+  let attrs = if peek st = LBRACKET then parse_attrs st else [] in
+  let fn =
+    match fname with
+    | "matmul" -> Ast.Fn_matmul
+    | "softmax" -> Ast.Fn_softmax (attr_int ~line attrs "dim")
+    | "sum" when attrs <> [] ->
+        Ast.Fn_sum_dim (attr_int ~line attrs "dim", attr_bool ~line attrs "keepdim")
+    | "sum" -> Ast.Fn_sum
+    | "amax" ->
+        Ast.Fn_max_dim (attr_int ~line attrs "dim", attr_bool ~line attrs "keepdim")
+    | "mean" -> Ast.Fn_mean
+    | "cat" -> Ast.Fn_cat (attr_int ~line attrs "dim")
+    | "stack" -> Ast.Fn_stack (attr_int ~line attrs "dim")
+    | "where" -> Ast.Fn_where
+    | "cumsum" -> Ast.Fn_cumsum (attr_int ~line attrs "dim")
+    | "full" -> Ast.Fn_full (attr_ints ~line attrs "shape")
+    | "maximum" -> Ast.Fn_where (* placeholder, replaced below *)
+    | "minimum" -> Ast.Fn_where
+    | "zeros" | "ones" -> Ast.Fn_sum (* placeholder, replaced below *)
+    | other -> begin
+        match List.assoc_opt other unary_by_name with
+        | Some _ -> Ast.Fn_sum (* placeholder *)
+        | None -> error ~line "unknown torch function %S" other
+      end
+  in
+  match fname with
+  | "maximum" | "minimum" -> begin
+      match parse_args st with
+      | [ a; b ] ->
+          Ast.Binop ((if fname = "maximum" then Scalar.Max else Scalar.Min), a, b)
+      | _ -> error ~line "torch.%s expects two arguments" fname
+    end
+  | "zeros" | "ones" -> begin
+      (* torch.zeros([2, 3]) *)
+      expect st LPAREN;
+      let shape = parse_int_list st in
+      expect st RPAREN;
+      if fname = "zeros" then Ast.Call (Ast.Fn_zeros shape, [])
+      else Ast.Call (Ast.Fn_ones shape, [])
+    end
+  | other when List.mem_assoc other unary_by_name -> begin
+      match parse_args st with
+      | [ a ] -> Ast.Unop (List.assoc other unary_by_name, a)
+      | _ -> error ~line "torch.%s expects one argument" other
+    end
+  | _ -> Ast.Call (fn, parse_args st)
+
+and parse_postfix st base =
+  match peek st with
+  | LBRACKET ->
+      advance st;
+      let indices = ref [] in
+      let parse_index () =
+        let a = parse_expr st in
+        if peek st = COLON then begin
+          advance st;
+          let b = parse_expr st in
+          indices := Ast.Range (a, b) :: !indices
+        end
+        else indices := Ast.At a :: !indices
+      in
+      parse_index ();
+      while peek st = COMMA do
+        advance st;
+        parse_index ()
+      done;
+      expect st RBRACKET;
+      parse_postfix st (Ast.Subscript (base, List.rev !indices))
+  | DOT -> begin
+      advance st;
+      let line = line_of st in
+      let m = expect_name st in
+      match m with
+      | "clone" ->
+          expect st LPAREN;
+          expect st RPAREN;
+          parse_postfix st (Ast.clone base)
+      | "reshape" ->
+          expect st LPAREN;
+          let shape = parse_int_list st in
+          expect st RPAREN;
+          parse_postfix st (Ast.reshape base shape)
+      | "permute" ->
+          let dims = parse_method_ints st in
+          parse_postfix st (Ast.permute base dims)
+      | "expand" ->
+          let sizes = parse_method_ints st in
+          parse_postfix st (Ast.expand base sizes)
+      | "unsqueeze" -> begin
+          match parse_method_ints st with
+          | [| d |] -> parse_postfix st (Ast.unsqueeze base d)
+          | _ -> error ~line "unsqueeze expects one dimension"
+        end
+      | "squeeze" -> begin
+          match parse_method_ints st with
+          | [| d |] -> parse_postfix st (Ast.squeeze base d)
+          | _ -> error ~line "squeeze expects one dimension"
+        end
+      | "fill_" -> begin
+          expect st LPAREN;
+          let v =
+            match peek st with
+            | FLOAT f ->
+                advance st;
+                f
+            | INT i ->
+                advance st;
+                float_of_int i
+            | MINUS -> begin
+                advance st;
+                match peek st with
+                | FLOAT f ->
+                    advance st;
+                    -.f
+                | INT i ->
+                    advance st;
+                    float_of_int (-i)
+                | other ->
+                    error ~line "fill_ expects a numeric literal, found %s"
+                      (token_to_string other)
+              end
+            | other ->
+                error ~line "fill_ expects a numeric literal, found %s"
+                  (token_to_string other)
+          in
+          expect st RPAREN;
+          raise (Fill_of (base, v))
+        end
+      | other -> error ~line "unknown method %S" other
+    end
+  | _ -> base
+
+(* `(1, 0)` — bare int arguments of view methods *)
+and parse_method_ints st =
+  expect st LPAREN;
+  let items = ref [] in
+  let one () =
+    match peek st with
+    | INT i ->
+        advance st;
+        items := i :: !items
+    | MINUS -> begin
+        advance st;
+        match peek st with
+        | INT i ->
+            advance st;
+            items := -i :: !items
+        | _ -> error ~line:(line_of st) "expected an int"
+      end
+    | other -> error ~line:(line_of st) "expected an int, found %s" (token_to_string other)
+  in
+  if peek st <> RPAREN then begin
+    one ();
+    while peek st = COMMA do
+      advance st;
+      one ()
+    done
+  end;
+  expect st RPAREN;
+  Array.of_list (List.rev !items)
+
+(* --- statements --- *)
+
+let rec parse_block st =
+  expect st COLON;
+  expect st NEWLINE;
+  expect st INDENT;
+  let stmts = ref [] in
+  while peek st <> DEDENT && peek st <> EOF do
+    stmts := parse_stmt st :: !stmts
+  done;
+  expect st DEDENT;
+  List.rev !stmts
+
+and parse_stmt st =
+  match peek st with
+  | KW_FOR ->
+      advance st;
+      let var = expect_name st in
+      expect st KW_IN;
+      (match peek st with
+      | NAME "range" -> advance st
+      | other -> error ~line:(line_of st) "expected range, found %s" (token_to_string other));
+      expect st LPAREN;
+      let trip = parse_expr st in
+      expect st RPAREN;
+      Ast.For (var, trip, parse_block st)
+  | KW_IF ->
+      advance st;
+      let cond = parse_expr st in
+      let then_ = parse_block st in
+      let else_ =
+        if peek st = KW_ELSE then begin
+          advance st;
+          parse_block st
+        end
+        else []
+      in
+      Ast.If (cond, then_, else_)
+  | KW_RETURN ->
+      advance st;
+      let es = ref [ parse_expr st ] in
+      while peek st = COMMA do
+        advance st;
+        es := parse_expr st :: !es
+      done;
+      expect st NEWLINE;
+      Ast.Return (List.rev !es)
+  | _ -> begin
+      (* assignment / augmented assignment / fill_ statement *)
+      match
+        try `Target (parse_postfix st (parse_atom st))
+        with Fill_of (target, v) -> `Fill (target, v)
+      with
+      | `Fill (target, v) ->
+          expect st NEWLINE;
+          Ast.Fill (target, v)
+      | `Target target -> begin
+          let aug fn =
+            advance st;
+            let rhs = parse_expr st in
+            expect st NEWLINE;
+            match target with
+            | Ast.Var name -> Ast.Aug (name, fn, rhs)
+            | Ast.Subscript _ -> Ast.Aug_store (target, fn, rhs)
+            | _ -> error ~line:(line_of st) "invalid augmented-assignment target"
+          in
+          match peek st with
+          | EQ -> begin
+              advance st;
+              let rhs = parse_expr st in
+              expect st NEWLINE;
+              match target with
+              | Ast.Var name -> Ast.Assign (name, rhs)
+              | Ast.Subscript _ -> Ast.Store (target, rhs)
+              | _ -> error ~line:(line_of st) "invalid assignment target"
+            end
+          | PLUSEQ -> aug Scalar.Add
+          | MINUSEQ -> aug Scalar.Sub
+          | STAREQ -> aug Scalar.Mul
+          | SLASHEQ -> aug Scalar.Div
+          | other ->
+              error ~line:(line_of st) "expected an assignment, found %s"
+                (token_to_string other)
+        end
+    end
+
+let parse_params st =
+  expect st LPAREN;
+  let params = ref [] in
+  let one () =
+    let name = expect_name st in
+    expect st COLON;
+    let ty =
+      match expect_name st with
+      | "Tensor" -> Functs_ir.Dtype.Tensor
+      | "int" -> Functs_ir.Dtype.Scalar Functs_ir.Dtype.Int
+      | "float" -> Functs_ir.Dtype.Scalar Functs_ir.Dtype.Float
+      | "bool" -> Functs_ir.Dtype.Scalar Functs_ir.Dtype.Bool
+      | other -> error ~line:(line_of st) "unknown parameter type %S" other
+    in
+    params := (name, ty) :: !params
+  in
+  if peek st <> RPAREN then begin
+    one ();
+    while peek st = COMMA do
+      advance st;
+      one ()
+    done
+  end;
+  expect st RPAREN;
+  List.rev !params
+
+let parse text =
+  let st = { toks = tokenize text } in
+  expect st KW_DEF;
+  let name = expect_name st in
+  let params = parse_params st in
+  let body = parse_block st in
+  (match peek st with
+  | EOF -> ()
+  | other ->
+      error ~line:(line_of st) "trailing input: %s" (token_to_string other));
+  { Ast.name; params; body }
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let content = really_input_string ic n in
+  close_in ic;
+  parse content

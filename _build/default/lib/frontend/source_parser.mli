@@ -1,0 +1,30 @@
+(** Parser for the Python-like surface syntax that {!Pretty} emits, so
+    imperative programs can live in source files:
+
+    {v
+    def decode(preds: Tensor, n: int):
+        p = preds.clone()
+        for i in range(n):
+            p[i] = torch.sigmoid(p[i]) + 1.0
+            p[i, 0:2] *= 2.0
+        if n > 0:
+            p += 1.0
+        return p
+    v}
+
+    Indentation is significant (any consistent width). Supported
+    constructs mirror {!Ast} exactly: assignments, subscript stores,
+    augmented assignments ([+=], [-=], [*=], [/=]), [target.fill_(c)],
+    [for … in range(…)], [if]/[else], a trailing [return], tensor views
+    as method calls ([x.reshape([2, 3])], [x.permute(1, 0)], …) and
+    [torch.*] functions with attribute brackets
+    ([torch.softmax\[dim=1\](x)]).
+
+    [Pretty.program_to_string] followed by [parse] reconstructs the same
+    AST (round-trip tested for every workload). *)
+
+exception Syntax_error of string
+(** Carries a line number and message. *)
+
+val parse : string -> Ast.program
+val parse_file : string -> Ast.program

@@ -1,0 +1,1 @@
+lib/harness/experiment.ml: Compiler_profile Eval Functs_core Functs_cost Functs_interp Functs_ir Functs_tensor Functs_workloads Fusion Graph Hashtbl List Passes Trace Value Workload

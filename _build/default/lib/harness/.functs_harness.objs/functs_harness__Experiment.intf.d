@@ -1,0 +1,1 @@
+lib/harness/experiment.mli: Compiler_profile Functs_core Functs_cost Functs_workloads Platform Trace Workload

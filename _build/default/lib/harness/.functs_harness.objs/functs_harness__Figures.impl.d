@@ -1,0 +1,1 @@
+lib/harness/figures.ml: Compiler_profile Experiment Float Functs_core Functs_cost Functs_workloads List Platform Printf Registry String Table Workload

@@ -1,0 +1,1 @@
+lib/harness/figures.mli: Compiler_profile Functs_core Functs_cost Functs_workloads Platform Workload

@@ -1,0 +1,33 @@
+(** One experiment = one (workload, compiler pipeline, scale) execution:
+    lower, optionally functionalize, plan fusion, execute under the kernel
+    tracer, and (when [check]) verify the outputs against the eager
+    reference run of the untransformed graph.
+
+    Results are memoized on (workload, profile, batch, seq), so pricing
+    the same measurement on both platforms re-uses one execution. *)
+
+open Functs_core
+open Functs_cost
+open Functs_workloads
+
+type measurement = {
+  workload : Workload.t;
+  profile : Compiler_profile.t;
+  batch : int;
+  seq : int;
+  summary : Trace.summary;
+  outputs_match_reference : bool;
+}
+
+val run :
+  ?check:bool -> Workload.t -> Compiler_profile.t -> batch:int -> seq:int ->
+  measurement
+(** [check] defaults to true. *)
+
+val latency_us : measurement -> Platform.t -> float
+
+val speedup_vs :
+  baseline:measurement -> measurement -> Platform.t -> float
+(** [baseline latency / measurement latency]. *)
+
+val clear_cache : unit -> unit

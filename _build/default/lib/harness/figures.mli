@@ -1,0 +1,80 @@
+(** Regeneration of every figure in the paper's evaluation (§5.2–5.4).
+
+    Each [figN_rows] returns the structured data (for tests and for the
+    bench harness) and [figN] renders it as text tables printed by
+    [bench/main.exe] and the CLI. *)
+
+open Functs_cost
+open Functs_core
+open Functs_workloads
+
+(** {1 Fig. 5 — end-to-end speedup over PyTorch eager} *)
+
+type fig5_row = {
+  f5_workload : Workload.t;
+  f5_speedups : (Compiler_profile.t * float) list;
+      (** one entry per non-eager pipeline, speedup vs eager *)
+}
+
+val fig5_rows : Platform.t -> fig5_row list
+val fig5 : unit -> string
+
+(** {1 Fig. 6 — kernel-launch counts} *)
+
+type fig6_row = {
+  f6_workload : Workload.t;
+  f6_kernels : (Compiler_profile.t * int) list;
+}
+
+val fig6_rows : unit -> fig6_row list
+val fig6 : unit -> string
+
+(** {1 Fig. 7 — speedup across batch sizes} *)
+
+val fig7_batches : int list
+val fig7_workloads : unit -> Workload.t list
+
+type fig7_row = {
+  f7_workload : Workload.t;
+  f7_batch : int;
+  f7_speedups : (Compiler_profile.t * float) list;  (** vs eager *)
+}
+
+val fig7_rows : Platform.t -> fig7_row list
+val fig7 : unit -> string
+
+(** {1 Fig. 8 — latency across sequence lengths} *)
+
+val fig8_seqs : int list
+val fig8_workloads : unit -> Workload.t list
+
+type fig8_row = {
+  f8_workload : Workload.t;
+  f8_seq : int;
+  f8_latency_us : (Compiler_profile.t * float) list;
+}
+
+val fig8_rows : Platform.t -> fig8_row list
+val fig8 : unit -> string
+
+(** {1 Headline (§5.2) and ablation (extension)} *)
+
+val headline : unit -> float * float
+(** (mean, max) speedup of TensorSSA over the {e best} baseline across all
+    workloads and both platforms. *)
+
+val headline_text : unit -> string
+
+val ablation : unit -> string
+(** TensorSSA vs. no-horizontal vs. no-vertical-fusion latencies. *)
+
+val all_checks_passed : unit -> bool
+(** Whether every cached measurement matched the eager reference. *)
+
+(** {1 CSV export (for plotting)} *)
+
+val fig5_csv : unit -> string
+(** [platform,workload,pipeline,speedup] rows. *)
+
+val fig6_csv : unit -> string
+(** [workload,pipeline,kernel_launches] rows. *)

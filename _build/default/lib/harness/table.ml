@@ -1,0 +1,28 @@
+let render ~header ~rows =
+  let all = header :: rows in
+  let cols = List.length header in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row c with
+        | Some cell -> max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init cols width in
+  let render_row row =
+    String.concat "  "
+      (List.mapi
+         (fun c cell ->
+           let w = List.nth widths c in
+           let pad = String.make (w - String.length cell) ' ' in
+           if c = 0 then cell ^ pad else pad ^ cell)
+         row)
+  in
+  let sep =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n" (render_row header :: sep :: List.map render_row rows)
+
+let fmt_speedup s = Printf.sprintf "%.2fx" s
+let fmt_latency_us l = Printf.sprintf "%.1f" l

@@ -1,0 +1,10 @@
+(** Plain-text table rendering for the figure reproductions. *)
+
+val render : header:string list -> rows:string list list -> string
+(** Column-aligned table with a separator under the header. *)
+
+val fmt_speedup : float -> string
+(** E.g. ["1.34x"]. *)
+
+val fmt_latency_us : float -> string
+(** Microseconds, e.g. ["238.1"]. *)

@@ -1,0 +1,1 @@
+lib/interp/eval.ml: Float Format Functs_ir Functs_tensor Graph Hashtbl Inplace List Op Ops Printer Scalar Tensor Value

@@ -1,0 +1,1 @@
+lib/interp/eval.mli: Functs_ir Functs_tensor Graph Op Value

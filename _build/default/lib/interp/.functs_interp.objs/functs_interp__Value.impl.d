@@ -1,0 +1,1 @@
+lib/interp/value.ml: Float Format Functs_tensor List Tensor

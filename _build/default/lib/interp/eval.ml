@@ -1,0 +1,228 @@
+open Functs_ir
+open Functs_tensor
+
+type event =
+  | Op_executed of {
+      node : Graph.node;
+      inputs : Value.t list;
+      outputs : Value.t list;
+    }
+  | If_taken of { node : Graph.node; then_branch : bool }
+  | Loop_started of { node : Graph.node; trip : int }
+  | Loop_iteration of { node : Graph.node; index : int }
+
+exception Runtime_error of string
+
+let error fmt = Format.kasprintf (fun msg -> raise (Runtime_error msg)) fmt
+
+let apply_view_kind kind base operands =
+  match (kind, operands) with
+  | Op.Identity, [] -> base
+  | Op.Select { dim }, [ idx ] -> Tensor.select base ~dim (Value.to_int idx)
+  | Op.Slice { dim; step }, [ start; stop ] ->
+      Tensor.slice base ~dim ~start:(Value.to_int start)
+        ~stop:(Value.to_int stop) ~step
+  | Op.Reshape { shape }, [] -> Tensor.reshape base shape
+  | Op.Permute { dims }, [] -> Tensor.permute base dims
+  | Op.Expand { sizes }, [] -> Tensor.expand base sizes
+  | Op.Unsqueeze { dim }, [] -> Tensor.unsqueeze base ~dim
+  | Op.Squeeze { dim }, [] -> Tensor.squeeze base ~dim
+  | ( ( Op.Identity | Op.Select _ | Op.Slice _ | Op.Reshape _ | Op.Permute _
+      | Op.Expand _ | Op.Unsqueeze _ | Op.Squeeze _ ),
+      _ ) ->
+      error "view rule %s applied to %d operands" (Op.view_kind_to_string kind)
+        (List.length operands)
+
+(* [immut::assign]: a fresh tensor equal to [base] with the region under
+   the rule overwritten by [src]. *)
+let eval_assign kind base src operands =
+  let fresh = Tensor.clone base in
+  let region = apply_view_kind kind fresh operands in
+  let src_tensor = Value.to_tensor src in
+  ignore (Inplace.copy_ region src_tensor);
+  fresh
+
+let scalar_binary fn a b =
+  match (fn, a, b) with
+  | Scalar.Lt, _, _ -> Value.Bool (Value.to_float a < Value.to_float b)
+  | Scalar.Gt, _, _ -> Value.Bool (Value.to_float a > Value.to_float b)
+  | Scalar.Eq, _, _ -> Value.Bool (Value.to_float a = Value.to_float b)
+  | _, Value.Int x, Value.Int y ->
+      Value.Int
+        (match fn with
+        | Scalar.Add -> x + y
+        | Scalar.Sub -> x - y
+        | Scalar.Mul -> x * y
+        | Scalar.Div -> x / y
+        | Scalar.Max -> max x y
+        | Scalar.Min -> min x y
+        | Scalar.Pow ->
+            int_of_float (Float.pow (float_of_int x) (float_of_int y))
+        | Scalar.Lt | Scalar.Gt | Scalar.Eq -> assert false)
+  | _, _, _ ->
+      Value.Float (Scalar.apply_binary fn (Value.to_float a) (Value.to_float b))
+
+type env = (int, Value.t) Hashtbl.t
+
+let bind (env : env) (v : Graph.value) value = Hashtbl.replace env v.v_id value
+
+let lookup (env : env) (v : Graph.value) =
+  match Hashtbl.find_opt env v.v_id with
+  | Some value -> value
+  | None -> error "unbound value %s" (Printer.value_name v)
+
+let observe observer event =
+  match observer with Some f -> f event | None -> ()
+
+let rec exec_block observer (env : env) (block : Graph.block) =
+  List.iter (exec_node observer env) block.b_nodes;
+  List.map (lookup env) block.b_returns
+
+and exec_node observer (env : env) (node : Graph.node) =
+  let inputs = List.map (lookup env) node.n_inputs in
+  let tensor_in i = Value.to_tensor (List.nth inputs i) in
+  let bind_outputs outputs =
+    if List.length outputs <> List.length node.n_outputs then
+      error "%s produced %d values for %d outputs" (Op.name node.n_op)
+        (List.length outputs) (List.length node.n_outputs);
+    List.iter2 (bind env) node.n_outputs outputs;
+    observe observer (Op_executed { node; inputs; outputs })
+  in
+  match node.n_op with
+  | Op.Constant (Op.Cfloat f) -> bind_outputs [ Value.Float f ]
+  | Op.Constant (Op.Cint i) -> bind_outputs [ Value.Int i ]
+  | Op.Constant (Op.Cbool b) -> bind_outputs [ Value.Bool b ]
+  | Op.Scalar_binary fn -> begin
+      match inputs with
+      | [ a; b ] -> bind_outputs [ scalar_binary fn a b ]
+      | _ -> error "prim scalar op expects two inputs"
+    end
+  | Op.Unary fn ->
+      bind_outputs [ Value.Tensor (Ops.unary fn (tensor_in 0)) ]
+  | Op.Binary fn ->
+      bind_outputs [ Value.Tensor (Ops.binary fn (tensor_in 0) (tensor_in 1)) ]
+  | Op.Matmul ->
+      bind_outputs [ Value.Tensor (Ops.matmul (tensor_in 0) (tensor_in 1)) ]
+  | Op.Softmax { dim } ->
+      bind_outputs [ Value.Tensor (Ops.softmax (tensor_in 0) ~dim) ]
+  | Op.Sum -> bind_outputs [ Value.Tensor (Ops.sum (tensor_in 0)) ]
+  | Op.Sum_dim { dim; keepdim } ->
+      bind_outputs [ Value.Tensor (Ops.sum_dim (tensor_in 0) ~dim ~keepdim) ]
+  | Op.Max_dim { dim; keepdim } ->
+      bind_outputs [ Value.Tensor (Ops.max_dim (tensor_in 0) ~dim ~keepdim) ]
+  | Op.Mean -> bind_outputs [ Value.Tensor (Ops.mean (tensor_in 0)) ]
+  | Op.Cat { dim } ->
+      bind_outputs
+        [ Value.Tensor (Ops.cat (List.map Value.to_tensor inputs) ~dim) ]
+  | Op.Stack { dim } ->
+      bind_outputs
+        [ Value.Tensor (Ops.stack (List.map Value.to_tensor inputs) ~dim) ]
+  | Op.Where ->
+      bind_outputs
+        [ Value.Tensor (Ops.where (tensor_in 0) (tensor_in 1) (tensor_in 2)) ]
+  | Op.Cumsum { dim } ->
+      bind_outputs [ Value.Tensor (Ops.cumsum (tensor_in 0) ~dim) ]
+  | Op.Clone -> bind_outputs [ Value.Tensor (Tensor.clone (tensor_in 0)) ]
+  | Op.Zeros { shape } -> bind_outputs [ Value.Tensor (Tensor.zeros shape) ]
+  | Op.Ones { shape } -> bind_outputs [ Value.Tensor (Tensor.ones shape) ]
+  | Op.Full { shape } ->
+      bind_outputs
+        [ Value.Tensor (Tensor.full shape (Value.to_float (List.nth inputs 0))) ]
+  | Op.Arange ->
+      bind_outputs
+        [ Value.Tensor (Tensor.arange (Value.to_int (List.nth inputs 0))) ]
+  | Op.View kind -> begin
+      match inputs with
+      | base :: operands ->
+          bind_outputs
+            [ Value.Tensor (apply_view_kind kind (Value.to_tensor base) operands) ]
+      | [] -> error "view without base"
+    end
+  | Op.Mutate kind -> begin
+      let result =
+        match (kind, inputs) with
+        | Op.Mut_copy, [ dst; src ] ->
+            Inplace.copy_ (Value.to_tensor dst) (Value.to_tensor src)
+        | Op.Mut_fill, [ dst; v ] ->
+            Inplace.fill_ (Value.to_tensor dst) (Value.to_float v)
+        | Op.Mut_unary u, [ dst ] -> Inplace.unary_ u (Value.to_tensor dst)
+        | Op.Mut_binary b, [ dst; src ] ->
+            Inplace.binary_ b (Value.to_tensor dst) (Value.to_tensor src)
+        | _, _ -> error "malformed mutation %s" (Op.name node.n_op)
+      in
+      bind_outputs [ Value.Tensor result ]
+    end
+  | Op.Access kind -> begin
+      match inputs with
+      | base :: operands ->
+          let viewed = apply_view_kind kind (Value.to_tensor base) operands in
+          bind_outputs [ Value.Tensor (Tensor.clone viewed) ]
+      | [] -> error "access without base"
+    end
+  | Op.Assign kind -> begin
+      match inputs with
+      | base :: src :: operands ->
+          bind_outputs
+            [ Value.Tensor (eval_assign kind (Value.to_tensor base) src operands) ]
+      | _ -> error "assign needs base and source"
+    end
+  | Op.Update ->
+      (* Annotation only; legal mid-conversion, never at a phase boundary. *)
+      observe observer (Op_executed { node; inputs; outputs = [] })
+  | Op.List_construct -> bind_outputs [ Value.List inputs ]
+  | Op.List_index -> begin
+      match inputs with
+      | [ Value.List items; idx ] -> begin
+          match List.nth_opt items (Value.to_int idx) with
+          | Some v -> bind_outputs [ v ]
+          | None -> error "list index out of range"
+        end
+      | _ -> error "aten::__getitem__ expects a list and an index"
+    end
+  | Op.If -> begin
+      match (inputs, node.n_blocks) with
+      | [ cond ], [ then_b; else_b ] ->
+          let taken = Value.to_bool cond in
+          observe observer (If_taken { node; then_branch = taken });
+          let rets = exec_block observer env (if taken then then_b else else_b) in
+          if List.length rets <> List.length node.n_outputs then
+            error "prim::If branch returned %d values for %d outputs"
+              (List.length rets) (List.length node.n_outputs);
+          List.iter2 (bind env) node.n_outputs rets;
+          observe observer (Op_executed { node; inputs; outputs = rets })
+      | _, _ -> error "malformed prim::If"
+    end
+  | Op.Loop -> begin
+      match (node.n_inputs, node.n_blocks) with
+      | _trip :: _carried_in, [ body ] ->
+          let trip = Value.to_int (List.nth inputs 0) in
+          let carried = ref (List.tl inputs) in
+          observe observer (Loop_started { node; trip });
+          (match body.b_params with
+          | [] -> error "prim::Loop body without induction parameter"
+          | i_param :: carried_params ->
+              for i = 0 to trip - 1 do
+                observe observer (Loop_iteration { node; index = i });
+                bind env i_param (Value.Int i);
+                List.iter2 (bind env) carried_params !carried;
+                carried := exec_block observer env body
+              done);
+          if List.length !carried <> List.length node.n_outputs then
+            error "prim::Loop carried arity mismatch";
+          List.iter2 (bind env) node.n_outputs !carried;
+          observe observer (Op_executed { node; inputs; outputs = !carried })
+      | _, _ -> error "malformed prim::Loop"
+    end
+
+let run ?observer (g : Graph.t) args =
+  let env : env = Hashtbl.create 64 in
+  let params = Graph.params g in
+  if List.length params <> List.length args then
+    error "graph %s expects %d arguments, got %d" g.g_name (List.length params)
+      (List.length args);
+  List.iter2 (bind env) params args;
+  exec_block observer env g.g_block
+
+let run_tensors ?observer g tensors =
+  let args = List.map (fun t -> Value.Tensor (Tensor.clone t)) tensors in
+  List.map Value.to_tensor (run ?observer g args)

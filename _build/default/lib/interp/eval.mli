@@ -1,0 +1,44 @@
+(** Reference interpreter for the graph IR.
+
+    Execution is faithful to imperative tensor semantics: [aten::] view
+    operators return aliases of their base tensor's storage and mutation
+    operators write through them, so running a program before and after
+    functionalization and comparing outputs is a semantics check of the
+    conversion.
+
+    The [observer] hook receives one event per executed operator and per
+    control-flow step; the kernel-trace / cost layers are built on it. *)
+
+open Functs_ir
+
+type event =
+  | Op_executed of {
+      node : Graph.node;
+      inputs : Value.t list;
+      outputs : Value.t list;
+    }  (** a non-control-flow operator finished *)
+  | If_taken of { node : Graph.node; then_branch : bool }
+  | Loop_started of { node : Graph.node; trip : int }
+  | Loop_iteration of { node : Graph.node; index : int }
+
+exception Runtime_error of string
+
+val run :
+  ?observer:(event -> unit) -> Graph.t -> Value.t list -> Value.t list
+(** Execute the graph on the given parameter values and return its
+    returns.  @raise Runtime_error on arity/type mismatches. *)
+
+val run_tensors :
+  ?observer:(event -> unit) ->
+  Graph.t ->
+  Functs_tensor.Tensor.t list ->
+  Functs_tensor.Tensor.t list
+(** Convenience wrapper for all-tensor signatures.  Input tensors are
+    cloned first so callers can reuse them across runs even when the
+    program mutates its inputs. *)
+
+val apply_view_kind :
+  Op.view_kind -> Functs_tensor.Tensor.t -> Value.t list ->
+  Functs_tensor.Tensor.t
+(** Apply a view rule with its dynamic operands; the result aliases the
+    input (exposed for tests and for the fused executor). *)

@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Dtype Functs_tensor Graph List Op Scalar

@@ -1,0 +1,1 @@
+lib/ir/builder.mli: Dtype Functs_tensor Graph Op

@@ -1,0 +1,1 @@
+lib/ir/cse.ml: Fun Graph Hashtbl List Op

@@ -1,0 +1,1 @@
+lib/ir/dce.ml: Graph Hashtbl List Op

@@ -1,0 +1,1 @@
+lib/ir/dot.ml: Buffer Format Graph List Op Printer Printf String

@@ -1,0 +1,1 @@
+lib/ir/fold.ml: Dtype Float Fun Functs_tensor Graph List Op Option Scalar

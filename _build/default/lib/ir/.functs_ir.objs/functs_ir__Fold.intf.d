@@ -1,0 +1,1 @@
+lib/ir/fold.mli: Graph

@@ -1,0 +1,1 @@
+lib/ir/graph.ml: Dtype Hashtbl List Op Printf

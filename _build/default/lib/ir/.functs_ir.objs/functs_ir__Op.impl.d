@@ -1,0 +1,1 @@
+lib/ir/op.ml: Array Functs_tensor List Printf Scalar String

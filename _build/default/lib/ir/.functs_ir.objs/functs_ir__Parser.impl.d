@@ -1,0 +1,1 @@
+lib/ir/parser.ml: Array Buffer Dtype Format Functs_tensor Graph Hashtbl List Op Option Printf Scalar String Verifier

@@ -1,0 +1,1 @@
+lib/ir/printer.ml: Array Dtype Format Graph List Op Printf String

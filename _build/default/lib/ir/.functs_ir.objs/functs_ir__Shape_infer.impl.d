@@ -1,0 +1,1 @@
+lib/ir/shape_infer.ml: Array Dtype Format Graph Hashtbl List Op Option Printer String

@@ -1,0 +1,1 @@
+lib/ir/shape_infer.mli: Graph Hashtbl

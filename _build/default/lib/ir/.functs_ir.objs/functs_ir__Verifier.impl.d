@@ -1,0 +1,1 @@
+lib/ir/verifier.ml: Dominance Format Graph Hashtbl List Op Printer Printf String

@@ -1,0 +1,125 @@
+open Functs_tensor
+
+type t = { g : Graph.t; mutable cursor : Graph.block }
+
+let create name ~params =
+  let g = Graph.create name ~param_types:params in
+  { g; cursor = g.g_block }
+
+let graph b = b.g
+let param b i = List.nth (Graph.params b.g) i
+let return b values = Graph.set_returns b.g values
+
+let op b ?name op_kind inputs output_types =
+  let outputs =
+    match name with
+    | Some n -> List.map (fun ty -> (n, ty)) output_types
+    | None -> List.map (fun ty -> ("", ty)) output_types
+  in
+  let node = Graph.make_node_named op_kind inputs ~outputs in
+  Graph.append b.cursor node;
+  node.n_outputs
+
+let op1 b ?name op_kind inputs =
+  match op b ?name op_kind inputs [ Dtype.Tensor ] with
+  | [ v ] -> v
+  | _ -> assert false
+
+let const b ?name c ty =
+  match op b ?name (Op.Constant c) [] [ ty ] with
+  | [ v ] -> v
+  | _ -> assert false
+
+let int b i = const b ~name:"c" (Op.Cint i) (Dtype.Scalar Dtype.Int)
+let float b f = const b ~name:"c" (Op.Cfloat f) (Dtype.Scalar Dtype.Float)
+let bool b v = const b ~name:"c" (Op.Cbool v) (Dtype.Scalar Dtype.Bool)
+
+let scalar_binary b fn x y =
+  let ty =
+    match fn with
+    | Scalar.Lt | Scalar.Gt | Scalar.Eq -> Dtype.Scalar Dtype.Bool
+    | Scalar.Add | Scalar.Sub | Scalar.Mul | Scalar.Div | Scalar.Pow
+    | Scalar.Max | Scalar.Min ->
+        x.Graph.v_type
+  in
+  match op b (Op.Scalar_binary fn) [ x; y ] [ ty ] with
+  | [ v ] -> v
+  | _ -> assert false
+
+let unary b fn x = op1 b (Op.Unary fn) [ x ]
+let binary b fn x y = op1 b (Op.Binary fn) [ x; y ]
+let add b = binary b Scalar.Add
+let sub b = binary b Scalar.Sub
+let mul b = binary b Scalar.Mul
+let div b = binary b Scalar.Div
+let sigmoid b x = unary b Scalar.Sigmoid x
+let tanh b x = unary b Scalar.Tanh x
+let relu b x = unary b Scalar.Relu x
+let exp b x = unary b Scalar.Exp x
+let matmul b x y = op1 b Op.Matmul [ x; y ]
+let softmax b x ~dim = op1 b (Op.Softmax { dim }) [ x ]
+let sum_dim b x ~dim ~keepdim = op1 b (Op.Sum_dim { dim; keepdim }) [ x ]
+let max_dim b x ~dim ~keepdim = op1 b (Op.Max_dim { dim; keepdim }) [ x ]
+let cat b xs ~dim = op1 b (Op.Cat { dim }) xs
+let stack b xs ~dim = op1 b (Op.Stack { dim }) xs
+let where b c x y = op1 b Op.Where [ c; x; y ]
+let clone b x = op1 b Op.Clone [ x ]
+let zeros b shape = op1 b (Op.Zeros { shape }) []
+let ones b shape = op1 b (Op.Ones { shape }) []
+let full b shape v = op1 b (Op.Full { shape }) [ v ]
+
+let select b x ~dim idx = op1 b (Op.View (Op.Select { dim })) [ x; idx ]
+
+let slice b x ~dim ?(step = 1) ~start ~stop () =
+  op1 b (Op.View (Op.Slice { dim; step })) [ x; start; stop ]
+
+let reshape b x shape = op1 b (Op.View (Op.Reshape { shape })) [ x ]
+let permute b x dims = op1 b (Op.View (Op.Permute { dims })) [ x ]
+let expand b x sizes = op1 b (Op.View (Op.Expand { sizes })) [ x ]
+let unsqueeze b x ~dim = op1 b (Op.View (Op.Unsqueeze { dim })) [ x ]
+let squeeze b x ~dim = op1 b (Op.View (Op.Squeeze { dim })) [ x ]
+
+let copy_ b dst src = op1 b (Op.Mutate Op.Mut_copy) [ dst; src ]
+let fill_ b dst v = op1 b (Op.Mutate Op.Mut_fill) [ dst; v ]
+let unary_ b fn dst = op1 b (Op.Mutate (Op.Mut_unary fn)) [ dst ]
+let binary_ b fn dst src = op1 b (Op.Mutate (Op.Mut_binary fn)) [ dst; src ]
+
+let in_block b block f =
+  let saved = b.cursor in
+  b.cursor <- block;
+  let result = f () in
+  b.cursor <- saved;
+  result
+
+let if_ b ~cond ~out_types ~then_ ~else_ =
+  let node = Graph.make_node Op.If [ cond ] ~output_types:out_types in
+  let then_b = Graph.add_block node in
+  let else_b = Graph.add_block node in
+  Graph.append b.cursor node;
+  let then_rets = in_block b then_b then_ in
+  then_b.b_returns <- then_rets;
+  let else_rets = in_block b else_b else_ in
+  else_b.b_returns <- else_rets;
+  if
+    List.length then_rets <> List.length out_types
+    || List.length else_rets <> List.length out_types
+  then invalid_arg "Builder.if_: branch return arity mismatch";
+  node.n_outputs
+
+let loop b ~trip ~init ~body =
+  let out_types = List.map (fun (v : Graph.value) -> v.v_type) init in
+  let node = Graph.make_node Op.Loop (trip :: init) ~output_types:out_types in
+  let body_b = Graph.add_block node in
+  Graph.append b.cursor node;
+  let i = Graph.add_block_param body_b ~name:"i" (Dtype.Scalar Dtype.Int) in
+  let carried =
+    List.map
+      (fun (v : Graph.value) ->
+        Graph.add_block_param body_b ~name:(v.v_name ^ "_c") v.v_type)
+      init
+  in
+  let rets = in_block b body_b (fun () -> body ~i ~carried) in
+  if List.length rets <> List.length init then
+    invalid_arg "Builder.loop: body return arity mismatch";
+  body_b.b_returns <- rets;
+  node.n_outputs

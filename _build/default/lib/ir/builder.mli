@@ -1,0 +1,102 @@
+(** Cursor-based graph construction.
+
+    A builder holds a graph and an insertion cursor (a block); every
+    operator helper appends at the cursor.  Control-flow helpers run their
+    body closures with the cursor moved inside the nested block, so client
+    code reads like the imperative program it encodes:
+
+    {[
+      let b = Builder.create "demo" ~params:[ ("x", Dtype.Tensor) ] in
+      let x = Builder.param b 0 in
+      let y =
+        Builder.loop b ~trip:(Builder.int b 10) ~init:[ x ]
+          ~body:(fun ~i ~carried ->
+            match carried with
+            | [ acc ] -> [ Builder.add b acc (Builder.select b acc ~dim:0 i) ]
+            | _ -> assert false)
+      in
+      Builder.return b y
+    ]} *)
+
+type t
+
+val create : string -> params:(string * Dtype.t) list -> t
+val graph : t -> Graph.t
+val param : t -> int -> Graph.value
+val return : t -> Graph.value list -> unit
+
+(** {1 Generic node creation} *)
+
+val op :
+  t -> ?name:string -> Op.t -> Graph.value list -> Dtype.t list ->
+  Graph.value list
+
+val op1 : t -> ?name:string -> Op.t -> Graph.value list -> Graph.value
+(** Single tensor output. *)
+
+(** {1 Constants and scalars} *)
+
+val int : t -> int -> Graph.value
+val float : t -> float -> Graph.value
+val bool : t -> bool -> Graph.value
+
+val scalar_binary :
+  t -> Functs_tensor.Scalar.binary -> Graph.value -> Graph.value -> Graph.value
+
+(** {1 Pure tensor operators} *)
+
+val unary : t -> Functs_tensor.Scalar.unary -> Graph.value -> Graph.value
+val binary :
+  t -> Functs_tensor.Scalar.binary -> Graph.value -> Graph.value -> Graph.value
+
+val add : t -> Graph.value -> Graph.value -> Graph.value
+val sub : t -> Graph.value -> Graph.value -> Graph.value
+val mul : t -> Graph.value -> Graph.value -> Graph.value
+val div : t -> Graph.value -> Graph.value -> Graph.value
+val sigmoid : t -> Graph.value -> Graph.value
+val tanh : t -> Graph.value -> Graph.value
+val relu : t -> Graph.value -> Graph.value
+val exp : t -> Graph.value -> Graph.value
+val matmul : t -> Graph.value -> Graph.value -> Graph.value
+val softmax : t -> Graph.value -> dim:int -> Graph.value
+val sum_dim : t -> Graph.value -> dim:int -> keepdim:bool -> Graph.value
+val max_dim : t -> Graph.value -> dim:int -> keepdim:bool -> Graph.value
+val cat : t -> Graph.value list -> dim:int -> Graph.value
+val stack : t -> Graph.value list -> dim:int -> Graph.value
+val where : t -> Graph.value -> Graph.value -> Graph.value -> Graph.value
+val clone : t -> Graph.value -> Graph.value
+val zeros : t -> int array -> Graph.value
+val ones : t -> int array -> Graph.value
+val full : t -> int array -> Graph.value -> Graph.value
+
+(** {1 Views and mutations} *)
+
+val select : t -> Graph.value -> dim:int -> Graph.value -> Graph.value
+val slice :
+  t -> Graph.value -> dim:int -> ?step:int -> start:Graph.value ->
+  stop:Graph.value -> unit -> Graph.value
+val reshape : t -> Graph.value -> int array -> Graph.value
+val permute : t -> Graph.value -> int array -> Graph.value
+val expand : t -> Graph.value -> int array -> Graph.value
+val unsqueeze : t -> Graph.value -> dim:int -> Graph.value
+val squeeze : t -> Graph.value -> dim:int -> Graph.value
+
+val copy_ : t -> Graph.value -> Graph.value -> Graph.value
+(** [copy_ b dst src] — in-place overwrite; the result aliases [dst]. *)
+
+val fill_ : t -> Graph.value -> Graph.value -> Graph.value
+val unary_ : t -> Functs_tensor.Scalar.unary -> Graph.value -> Graph.value
+val binary_ :
+  t -> Functs_tensor.Scalar.binary -> Graph.value -> Graph.value -> Graph.value
+
+(** {1 Control flow} *)
+
+val if_ :
+  t -> cond:Graph.value -> out_types:Dtype.t list ->
+  then_:(unit -> Graph.value list) -> else_:(unit -> Graph.value list) ->
+  Graph.value list
+
+val loop :
+  t -> trip:Graph.value -> init:Graph.value list ->
+  body:(i:Graph.value -> carried:Graph.value list -> Graph.value list) ->
+  Graph.value list

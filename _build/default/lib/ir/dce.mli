@@ -1,0 +1,16 @@
+(** Dead-code elimination.
+
+    Marks live nodes from the graph returns and from side-effecting
+    operators (mutations keep their whole enclosing control-flow chain
+    alive), sweeps the rest, then prunes control-flow outputs that became
+    dead: unused [If] outputs and unused [Loop] carried values (output +
+    body return + body param + init input) — repeating to a fixpoint.
+
+    [tssa::update] annotations are treated as live so DCE can run safely
+    in the middle of the TensorSSA conversion. *)
+
+val run : Graph.t -> unit
+(** Mutates the graph in place. *)
+
+val removed_count : Graph.t -> int
+(** Run DCE and report how many nodes were removed (for tests/logging). *)

@@ -1,0 +1,51 @@
+(* Hoist [n] to its ancestor node lying directly in [block], if any. *)
+let rec hoist_to_block block n =
+  match n.Graph.n_parent with
+  | None -> None
+  | Some b ->
+      if b == block then Some n
+      else begin
+        match b.Graph.b_parent with
+        | None -> None
+        | Some owner -> hoist_to_block block owner
+      end
+
+let node_dominates d n =
+  if d == n then false
+  else begin
+    match d.Graph.n_parent with
+    | None -> false
+    | Some db -> (
+        match hoist_to_block db n with
+        | None -> false
+        | Some n' ->
+            if d == n' then false (* n is nested inside d's own blocks *)
+            else Graph.node_index d < Graph.node_index n')
+  end
+
+let value_dominates value n =
+  match value.Graph.v_origin with
+  | Graph.Detached -> false
+  | Graph.Param (b, _) -> (
+      (* Parameters dominate the whole block body. *)
+      match hoist_to_block b n with Some _ -> true | None -> false)
+  | Graph.Def (d, _) -> node_dominates d n
+
+(* A block's returns are evaluated after all of its nodes, i.e. inside the
+   execution of the block's owning node. *)
+let value_dominates_block_end value b =
+  match value.Graph.v_origin with
+  | Graph.Detached -> false
+  | Graph.Param (pb, _) -> Graph.is_ancestor_block ~ancestor:pb b
+  | Graph.Def (d, _) ->
+      if Graph.node_block d == b then true
+      else begin
+        match b.Graph.b_parent with
+        | None -> false
+        | Some owner -> value_dominates value owner
+      end
+
+let value_dominates_use value use =
+  match use with
+  | Graph.Input (n, _) -> value_dominates value n
+  | Graph.Return (b, _) -> value_dominates_block_end value b

@@ -1,0 +1,17 @@
+(** Dominance for structured control flow.
+
+    With structured [If]/[Loop] blocks there is no CFG to solve: a
+    definition site dominates a program point iff the point lies after the
+    definition inside the definition's block subtree. *)
+
+val node_dominates : Graph.node -> Graph.node -> bool
+(** [node_dominates d n] — does (the position of) node [d] strictly
+    dominate node [n]?  A node does not dominate itself. *)
+
+val value_dominates : Graph.value -> Graph.node -> bool
+(** Does the definition of the value dominate (i.e. is available at) the
+    given node?  Block parameters dominate every node in their block. *)
+
+val value_dominates_use : Graph.value -> Graph.use -> bool
+(** Like {!value_dominates}, treating a block-return use as occurring after
+    every node of that block. *)

@@ -1,0 +1,93 @@
+let escape s =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with
+         | '"' -> "\\\""
+         | '\\' -> "\\\\"
+         | '<' -> "\\<"
+         | '>' -> "\\>"
+         | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let node_id (n : Graph.node) = Printf.sprintf "n%d" n.n_id
+let param_id (v : Graph.value) = Printf.sprintf "p%d" v.v_id
+
+let node_style (n : Graph.node) =
+  if Op.is_mutation n.n_op then
+    "style=filled, fillcolor=\"#f4cccc\"" (* mutations stand out *)
+  else
+    match n.n_op with
+    | Op.Access _ | Op.Assign _ -> "style=filled, fillcolor=\"#d9ead3\""
+    | Op.View _ -> "style=filled, fillcolor=\"#fff2cc\""
+    | Op.If | Op.Loop -> "shape=diamond"
+    | _ -> ""
+
+(* The defining site's dot id for a value. *)
+let source_of (v : Graph.value) =
+  match v.v_origin with
+  | Graph.Def (n, _) -> Some (node_id n)
+  | Graph.Param (_, _) -> Some (param_id v)
+  | Graph.Detached -> None
+
+let graph_to_dot (g : Graph.t) =
+  let buf = Buffer.create 1024 in
+  let line fmt = Format.kasprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "digraph %s {" (escape g.g_name);
+  line "  rankdir=TB; node [shape=box, fontsize=10];";
+  List.iter
+    (fun (p : Graph.value) ->
+      line "  %s [label=\"%s\", shape=ellipse];" (param_id p)
+        (escape (Printer.value_name p)))
+    (Graph.params g);
+  let cluster = ref 0 in
+  let rec emit_block indent (block : Graph.block) =
+    List.iter
+      (fun (p : Graph.value) ->
+        if not (List.exists (fun q -> q == p) (Graph.params g)) then
+          line "%s%s [label=\"%s\", shape=ellipse];" indent (param_id p)
+            (escape (Printer.value_name p)))
+      block.b_params;
+    List.iter
+      (fun (n : Graph.node) ->
+        let style = node_style n in
+        line "%s%s [label=\"%s\"%s];" indent (node_id n)
+          (escape (Op.name n.n_op))
+          (if style = "" then "" else ", " ^ style);
+        List.iter
+          (fun (input : Graph.value) ->
+            match source_of input with
+            | Some src ->
+                line "%s%s -> %s [label=\"%s\", fontsize=8];" indent src
+                  (node_id n)
+                  (escape (Printer.value_name input))
+            | None -> ())
+          n.n_inputs;
+        List.iter
+          (fun b ->
+            incr cluster;
+            line "%ssubgraph cluster_%d {" indent !cluster;
+            line "%s  label=\"block\"; style=dashed;" indent;
+            emit_block (indent ^ "  ") b;
+            line "%s}" indent)
+          n.n_blocks)
+      block.b_nodes
+  in
+  emit_block "  " g.g_block;
+  (* returned values *)
+  line "  ret [label=\"return\", shape=ellipse, style=filled, fillcolor=\"#cfe2f3\"];";
+  List.iter
+    (fun (r : Graph.value) ->
+      match source_of r with
+      | Some src ->
+          line "  %s -> ret [label=\"%s\", fontsize=8];" src
+            (escape (Printer.value_name r))
+      | None -> ())
+    (Graph.returns g);
+  line "}";
+  Buffer.contents buf
+
+let write_file g ~path =
+  let oc = open_out path in
+  output_string oc (graph_to_dot g);
+  close_out oc

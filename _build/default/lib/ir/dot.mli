@@ -1,0 +1,9 @@
+(** Graphviz (dot) export of graphs — the usual debugging companion of a
+    graph-level compiler.  Nodes are operators (control-flow nodes render
+    their nested blocks as clusters); edges are value flows labelled with
+    the value name.  Mutation nodes are highlighted so the imperative
+    sub-graphs the conversion targets stand out. *)
+
+val graph_to_dot : Graph.t -> string
+
+val write_file : Graph.t -> path:string -> unit

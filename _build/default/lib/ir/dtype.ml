@@ -1,0 +1,18 @@
+type scalar = Float | Int | Bool
+type t = Tensor | Scalar of scalar | List of t
+
+let rec equal a b =
+  match (a, b) with
+  | Tensor, Tensor -> true
+  | Scalar a, Scalar b -> a = b
+  | List a, List b -> equal a b
+  | (Tensor | Scalar _ | List _), _ -> false
+
+let scalar_to_string = function Float -> "float" | Int -> "int" | Bool -> "bool"
+
+let rec to_string = function
+  | Tensor -> "Tensor"
+  | Scalar s -> scalar_to_string s
+  | List t -> to_string t ^ "[]"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,12 @@
+(** Types carried by IR values. *)
+
+type scalar = Float | Int | Bool
+
+type t =
+  | Tensor  (** Dense float tensor of runtime-determined shape. *)
+  | Scalar of scalar
+  | List of t  (** Python-style container — source of container dependencies. *)
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

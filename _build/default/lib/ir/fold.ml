@@ -1,0 +1,139 @@
+open Functs_tensor
+
+let constant_of (v : Graph.value) =
+  match v.v_origin with
+  | Graph.Def (n, _) -> begin
+      match n.n_op with Op.Constant c -> Some c | _ -> None
+    end
+  | Graph.Param _ | Graph.Detached -> None
+
+let as_float = function
+  | Op.Cfloat f -> f
+  | Op.Cint i -> float_of_int i
+  | Op.Cbool b -> if b then 1.0 else 0.0
+
+let fold_scalar fn a b =
+  match (fn, a, b) with
+  | (Scalar.Lt | Scalar.Gt | Scalar.Eq), _, _ ->
+      let x = as_float a and y = as_float b in
+      Some
+        (Op.Cbool
+           (match fn with
+           | Scalar.Lt -> x < y
+           | Scalar.Gt -> x > y
+           | _ -> Float.equal x y))
+  | _, Op.Cint x, Op.Cint y -> begin
+      match fn with
+      | Scalar.Add -> Some (Op.Cint (x + y))
+      | Scalar.Sub -> Some (Op.Cint (x - y))
+      | Scalar.Mul -> Some (Op.Cint (x * y))
+      | Scalar.Div -> if y = 0 then None else Some (Op.Cint (x / y))
+      | Scalar.Max -> Some (Op.Cint (max x y))
+      | Scalar.Min -> Some (Op.Cint (min x y))
+      | Scalar.Pow | Scalar.Lt | Scalar.Gt | Scalar.Eq -> None
+    end
+  | _, _, _ -> begin
+      let x = as_float a and y = as_float b in
+      match fn with
+      | Scalar.Pow -> None
+      | _ -> Some (Op.Cfloat (Scalar.apply_binary fn x y))
+    end
+
+(* Splice the nodes of [block] into the parent in place of [node], binding
+   the block returns to the node outputs. *)
+let splice_block (node : Graph.node) (block : Graph.block) bindings g =
+  List.iter2
+    (fun (param : Graph.value) arg ->
+      Graph.replace_all_uses g ~old_value:param ~new_value:arg)
+    block.b_params bindings;
+  List.iter
+    (fun (inner : Graph.node) ->
+      block.b_nodes <- List.filter (fun n -> not (n == inner)) block.b_nodes;
+      inner.n_parent <- None;
+      (* Successive inserts before [node] keep the body order. *)
+      Graph.insert_before ~anchor:node inner)
+    (List.map Fun.id block.b_nodes);
+  List.iter2
+    (fun (out : Graph.value) ret ->
+      Graph.replace_all_uses g ~old_value:out ~new_value:ret)
+    node.n_outputs block.b_returns;
+  Graph.remove_node node
+
+let simplify_node g (node : Graph.node) =
+  match node.n_op with
+  | Op.Scalar_binary fn -> begin
+      match node.n_inputs with
+      | [ a; b ] -> begin
+          match (constant_of a, constant_of b) with
+          | Some ca, Some cb -> begin
+              match fold_scalar fn ca cb with
+              | Some folded ->
+                  let fresh =
+                    Graph.make_node_named (Op.Constant folded) []
+                      ~outputs:[ ("c", (List.hd node.n_outputs).v_type) ]
+                  in
+                  Graph.insert_before ~anchor:node fresh;
+                  Graph.replace_all_uses g
+                    ~old_value:(List.hd node.n_outputs)
+                    ~new_value:(List.hd fresh.n_outputs);
+                  Graph.remove_node node;
+                  true
+              | None -> false
+            end
+          | _, _ -> false
+        end
+      | _ -> false
+    end
+  | Op.If -> begin
+      match (node.n_inputs, node.n_blocks) with
+      | [ cond ], [ then_b; else_b ] -> begin
+          match constant_of cond with
+          | Some c ->
+              let taken = if as_float c <> 0.0 then then_b else else_b in
+              splice_block node taken [] g;
+              true
+          | None -> false
+        end
+      | _, _ -> false
+    end
+  | Op.Loop -> begin
+      match (node.n_inputs, node.n_blocks) with
+      | trip :: inits, [ body ] -> begin
+          match constant_of trip with
+          | Some (Op.Cint 0) ->
+              List.iter2
+                (fun (out : Graph.value) init ->
+                  Graph.replace_all_uses g ~old_value:out ~new_value:init)
+                node.n_outputs inits;
+              Graph.remove_node node;
+              true
+          | Some (Op.Cint 1) ->
+              let zero =
+                Graph.make_node_named (Op.Constant (Op.Cint 0)) []
+                  ~outputs:[ ("i", Dtype.Scalar Dtype.Int) ]
+              in
+              Graph.insert_before ~anchor:node zero;
+              splice_block node body (List.hd zero.n_outputs :: inits) g;
+              true
+          | Some _ | None -> false
+        end
+      | _, _ -> false
+    end
+  | _ -> false
+
+let run (g : Graph.t) =
+  let total = ref 0 in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    let nodes = Graph.all_nodes g in
+    List.iter
+      (fun node ->
+        (* A node may already have been removed by an earlier splice. *)
+        if Option.is_some node.Graph.n_parent && simplify_node g node then begin
+          incr total;
+          progress := true
+        end)
+      nodes
+  done;
+  !total

@@ -1,0 +1,13 @@
+(** Constant folding and control-flow simplification.
+
+    - scalar arithmetic on [prim::Constant] operands folds to a constant;
+    - [prim::If] with a constant condition is replaced by the taken
+      block, spliced into the parent;
+    - [prim::Loop] with a constant trip count of 0 is replaced by its
+      init values; a trip count of 1 is unrolled (the induction variable
+      becomes the constant 0).
+
+    Runs to a fixpoint; afterwards run {!Dce} to sweep newly dead code. *)
+
+val run : Graph.t -> int
+(** Number of simplifications performed. *)

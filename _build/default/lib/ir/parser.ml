@@ -1,0 +1,412 @@
+open Functs_tensor
+
+exception Parse_error of string
+
+let error ~line fmt =
+  Format.kasprintf (fun msg -> raise (Parse_error (Printf.sprintf "line %d: %s" line msg))) fmt
+
+(* --- small string utilities --- *)
+
+let is_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let is_suffix ~suffix s =
+  String.length s >= String.length suffix
+  && String.sub s (String.length s - String.length suffix) (String.length suffix)
+     = suffix
+
+let strip_suffix ~suffix s = String.sub s 0 (String.length s - String.length suffix)
+
+(* Split on top-level commas (depth computed over () and []). *)
+let split_commas s =
+  let parts = ref [] and buf = Buffer.create 16 and depth = ref 0 in
+  String.iter
+    (fun c ->
+      match c with
+      | '(' | '[' ->
+          incr depth;
+          Buffer.add_char buf c
+      | ')' | ']' ->
+          decr depth;
+          Buffer.add_char buf c
+      | ',' when !depth = 0 -> begin
+          parts := Buffer.contents buf :: !parts;
+          Buffer.clear buf
+        end
+      | c -> Buffer.add_char buf c)
+    s;
+  parts := Buffer.contents buf :: !parts;
+  List.rev_map String.trim !parts |> List.filter (fun p -> p <> "")
+
+let parse_dtype ~line s =
+  let rec go s =
+    if is_suffix ~suffix:"[]" s then Dtype.List (go (strip_suffix ~suffix:"[]" s))
+    else
+      match s with
+      | "Tensor" -> Dtype.Tensor
+      | "int" -> Dtype.Scalar Dtype.Int
+      | "float" -> Dtype.Scalar Dtype.Float
+      | "bool" -> Dtype.Scalar Dtype.Bool
+      | other -> error ~line "unknown type %S" other
+  in
+  go (String.trim s)
+
+(* "%name : type" *)
+let parse_typed_value ~line s =
+  match String.index_opt s ':' with
+  | None -> error ~line "expected `%%name : type' in %S" s
+  | Some i ->
+      let name = String.trim (String.sub s 0 i) in
+      let ty = parse_dtype ~line (String.sub s (i + 1) (String.length s - i - 1)) in
+      if not (is_prefix ~prefix:"%" name) then
+        error ~line "value name must start with %% in %S" s;
+      (name, ty)
+
+let parse_int_array ~line s =
+  (* "[2, 3]" *)
+  let s = String.trim s in
+  if String.length s < 2 || s.[0] <> '[' || s.[String.length s - 1] <> ']' then
+    error ~line "expected an int array, got %S" s;
+  let inner = String.sub s 1 (String.length s - 2) in
+  split_commas inner |> List.map int_of_string |> Array.of_list
+
+(* key=value attribute lists like "dim=0, keepdim=true". *)
+let attr_assoc s = split_commas s |> List.filter_map (fun kv ->
+    match String.index_opt kv '=' with
+    | Some i ->
+        Some
+          ( String.trim (String.sub kv 0 i),
+            String.trim (String.sub kv (i + 1) (String.length kv - i - 1)) )
+    | None -> None)
+
+let attr_int ~line assoc key =
+  match List.assoc_opt key assoc with
+  | Some v -> int_of_string v
+  | None -> error ~line "missing attribute %s" key
+
+let attr_bool ~line assoc key =
+  match List.assoc_opt key assoc with
+  | Some v -> bool_of_string v
+  | None -> error ~line "missing attribute %s" key
+
+(* --- scalar function name tables --- *)
+
+let unary_by_name =
+  List.map (fun u -> (Scalar.unary_name u, u)) Scalar.all_unary
+
+let binary_by_name =
+  List.map (fun b -> (Scalar.binary_name b, b)) Scalar.all_binary
+
+(* --- view rules --- *)
+
+let parse_view_kind ~line attrs =
+  let attrs = String.trim attrs in
+  if attrs = "[]" then Op.Identity
+  else if is_prefix ~prefix:"select(" attrs then
+    Op.Select { dim = attr_int ~line (attr_assoc (String.sub attrs 7 (String.length attrs - 8))) "dim" }
+  else if is_prefix ~prefix:"slice(" attrs then begin
+    let assoc = attr_assoc (String.sub attrs 6 (String.length attrs - 7)) in
+    Op.Slice { dim = attr_int ~line assoc "dim"; step = attr_int ~line assoc "step" }
+  end
+  else if is_prefix ~prefix:"reshape" attrs then
+    Op.Reshape { shape = parse_int_array ~line (String.sub attrs 7 (String.length attrs - 7)) }
+  else if is_prefix ~prefix:"permute" attrs then
+    Op.Permute { dims = parse_int_array ~line (String.sub attrs 7 (String.length attrs - 7)) }
+  else if is_prefix ~prefix:"expand" attrs then
+    Op.Expand { sizes = parse_int_array ~line (String.sub attrs 6 (String.length attrs - 6)) }
+  else if is_prefix ~prefix:"unsqueeze(" attrs then
+    Op.Unsqueeze { dim = attr_int ~line (attr_assoc (String.sub attrs 10 (String.length attrs - 11))) "dim" }
+  else if is_prefix ~prefix:"squeeze(" attrs then
+    Op.Squeeze { dim = attr_int ~line (attr_assoc (String.sub attrs 8 (String.length attrs - 9))) "dim" }
+  else error ~line "unknown view rule %S" attrs
+
+(* --- operators --- *)
+
+let parse_constant ~line attrs (out_types : Dtype.t list) =
+  let assoc = attr_assoc attrs in
+  let raw =
+    match List.assoc_opt "value" assoc with
+    | Some v -> v
+    | None -> error ~line "prim::Constant needs value="
+  in
+  match out_types with
+  | [ Dtype.Scalar Dtype.Int ] -> Op.Constant (Op.Cint (int_of_string raw))
+  | [ Dtype.Scalar Dtype.Bool ] -> Op.Constant (Op.Cbool (bool_of_string raw))
+  | [ Dtype.Scalar Dtype.Float ] | [ Dtype.Tensor ] ->
+      Op.Constant (Op.Cfloat (float_of_string raw))
+  | _ -> error ~line "prim::Constant with unexpected output type"
+
+let parse_op ~line name attrs out_types =
+  let dim_attr () = attr_int ~line (attr_assoc attrs) "dim" in
+  let keepdim_attr () = attr_bool ~line (attr_assoc attrs) "keepdim" in
+  let shape_attr () =
+    match List.assoc_opt "shape" (attr_assoc attrs) with
+    | Some v -> parse_int_array ~line v
+    | None -> error ~line "%s needs shape=" name
+  in
+  match name with
+  | "prim::Constant" -> parse_constant ~line attrs out_types
+  | "prim::If" -> Op.If
+  | "prim::Loop" -> Op.Loop
+  | "prim::ListConstruct" -> Op.List_construct
+  | "aten::__getitem__" -> Op.List_index
+  | "tssa::update" -> Op.Update
+  | "aten::matmul" -> Op.Matmul
+  | "aten::softmax" -> Op.Softmax { dim = dim_attr () }
+  | "aten::sum" -> Op.Sum
+  | "aten::sum_dim" -> Op.Sum_dim { dim = dim_attr (); keepdim = keepdim_attr () }
+  | "aten::amax" -> Op.Max_dim { dim = dim_attr (); keepdim = keepdim_attr () }
+  | "aten::mean" -> Op.Mean
+  | "aten::cat" -> Op.Cat { dim = dim_attr () }
+  | "aten::stack" -> Op.Stack { dim = dim_attr () }
+  | "aten::where" -> Op.Where
+  | "aten::cumsum" -> Op.Cumsum { dim = dim_attr () }
+  | "aten::clone" -> Op.Clone
+  | "aten::zeros" -> Op.Zeros { shape = shape_attr () }
+  | "aten::ones" -> Op.Ones { shape = shape_attr () }
+  | "aten::full" -> Op.Full { shape = shape_attr () }
+  | "aten::arange" -> Op.Arange
+  | "immut::assign" -> Op.Assign (parse_view_kind ~line attrs)
+  | name when is_prefix ~prefix:"immut::" name ->
+      Op.Access (parse_view_kind ~line attrs)
+  | name when is_prefix ~prefix:"prim::" name -> begin
+      let fn = String.sub name 6 (String.length name - 6) in
+      match List.assoc_opt fn binary_by_name with
+      | Some b -> Op.Scalar_binary b
+      | None -> error ~line "unknown prim operator %S" name
+    end
+  | name when is_prefix ~prefix:"aten::" name -> begin
+      let fn = String.sub name 6 (String.length name - 6) in
+      if is_suffix ~suffix:"_" fn then begin
+        let base = strip_suffix ~suffix:"_" fn in
+        match base with
+        | "copy" -> Op.Mutate Op.Mut_copy
+        | "fill" -> Op.Mutate Op.Mut_fill
+        | _ -> begin
+            match List.assoc_opt base unary_by_name with
+            | Some u -> Op.Mutate (Op.Mut_unary u)
+            | None -> begin
+                match List.assoc_opt base binary_by_name with
+                | Some b -> Op.Mutate (Op.Mut_binary b)
+                | None -> error ~line "unknown mutation %S" name
+              end
+          end
+      end
+      else begin
+        match List.assoc_opt fn unary_by_name with
+        | Some u ->
+            (* Views share names with nothing unary; attrs disambiguate. *)
+            if attrs = "" then Op.Unary u else error ~line "unexpected attrs on %s" name
+        | None -> begin
+            match List.assoc_opt fn binary_by_name with
+            | Some b -> Op.Binary b
+            | None ->
+                (* view operators carry their rule as the attribute *)
+                if attrs <> "" then Op.View (parse_view_kind ~line attrs)
+                else error ~line "unknown aten operator %S" name
+          end
+      end
+    end
+  | other -> error ~line "unknown operator %S" other
+
+(* --- line structure --- *)
+
+type parsed_line =
+  | L_graph of string * (string * Dtype.t) list
+  | L_block of (string * Dtype.t) list
+  | L_block_return of string list
+  | L_return of string list
+  | L_node of {
+      outs : (string * Dtype.t) list;
+      op_name : string;
+      attrs : string;
+      ins : string list;
+    }
+
+(* Extract "name", "attrs", "ins" from `opname[attrs](ins)`. *)
+let parse_call ~line s =
+  let s = String.trim s in
+  let bracket = String.index_opt s '[' in
+  let paren = String.index_opt s '(' in
+  match paren with
+  | None -> error ~line "expected a call in %S" s
+  | Some p ->
+      let name_end, attrs, args_open =
+        match bracket with
+        | Some b when b < p ->
+            (* the attribute bracket may itself contain parens/brackets;
+               find its matching close, then the argument paren after it *)
+            let close = ref (-1) in
+            let depth = ref 0 in
+            String.iteri
+              (fun i c ->
+                if i >= b && !close < 0 then begin
+                  if c = '[' then incr depth
+                  else if c = ']' then begin
+                    decr depth;
+                    if !depth = 0 then close := i
+                  end
+                end)
+              s;
+            if !close < 0 then error ~line "unbalanced brackets in %S" s;
+            let args_open =
+              match String.index_from_opt s !close '(' with
+              | Some i -> i
+              | None -> error ~line "expected argument list in %S" s
+            in
+            (b, String.sub s (b + 1) (!close - b - 1), args_open)
+        | _ -> (p, "", p)
+      in
+      let name = String.trim (String.sub s 0 name_end) in
+      let close_paren = String.rindex s ')' in
+      let ins_str = String.sub s (args_open + 1) (close_paren - args_open - 1) in
+      (name, attrs, split_commas ins_str)
+
+let classify_line ~line raw =
+  let s = String.trim raw in
+  if is_prefix ~prefix:"graph" s then begin
+    let open_p = String.index s '(' in
+    let close_p = String.rindex s ')' in
+    let name = String.trim (String.sub s 5 (open_p - 5)) in
+    let sig_str = String.sub s (open_p + 1) (close_p - open_p - 1) in
+    L_graph (name, List.map (parse_typed_value ~line) (split_commas sig_str))
+  end
+  else if is_prefix ~prefix:"block" s then begin
+    let open_p = String.index s '(' in
+    let close_p = String.rindex s ')' in
+    let sig_str = String.sub s (open_p + 1) (close_p - open_p - 1) in
+    L_block (List.map (parse_typed_value ~line) (split_commas sig_str))
+  end
+  else if is_prefix ~prefix:"-> (" s then begin
+    let inner = String.sub s 4 (String.length s - 5) in
+    L_block_return (split_commas inner)
+  end
+  else if is_prefix ~prefix:"return (" s then begin
+    let inner = String.sub s 8 (String.length s - 9) in
+    L_return (split_commas inner)
+  end
+  else begin
+    (* node: outputs are present iff the line starts with a value *)
+    if is_prefix ~prefix:"%" s then begin
+      (* the ` = ` separating outputs from the call is the first one at
+         top level (outputs contain no brackets) *)
+      let rec find_eq i =
+        if i + 2 >= String.length s then error ~line "expected `=' in %S" s
+        else if s.[i] = ' ' && s.[i + 1] = '=' && s.[i + 2] = ' ' then i
+        else if s.[i] = '(' || s.[i] = '[' then error ~line "expected `=' in %S" s
+        else find_eq (i + 1)
+      in
+      let eq = find_eq 0 in
+      let outs_str = String.sub s 0 eq in
+      let call_str = String.sub s (eq + 3) (String.length s - eq - 3) in
+      let outs = List.map (parse_typed_value ~line) (split_commas outs_str) in
+      let op_name, attrs, ins = parse_call ~line call_str in
+      L_node { outs; op_name; attrs; ins }
+    end
+    else begin
+      let op_name, attrs, ins = parse_call ~line s in
+      L_node { outs = []; op_name; attrs; ins }
+    end
+  end
+
+(* --- graph construction --- *)
+
+let parse text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.mapi (fun i l -> (i + 1, l))
+    |> List.filter (fun (_, l) -> String.trim l <> "")
+  in
+  let env : (string, Graph.value) Hashtbl.t = Hashtbl.create 64 in
+  let declare ~line name (v : Graph.value) =
+    if Hashtbl.mem env name then error ~line "value %s defined twice" name;
+    (* Keep the printable part of the name; auto-generated %vNN names
+       stay anonymous so re-printing yields the same shape. *)
+    let base =
+      match String.index_opt name '.' with
+      | Some dot -> String.sub name 1 (dot - 1)
+      | None -> String.sub name 1 (String.length name - 1)
+    in
+    let auto =
+      String.length base >= 2
+      && base.[0] = 'v'
+      && String.for_all (fun c -> c >= '0' && c <= '9')
+           (String.sub base 1 (String.length base - 1))
+    in
+    v.v_name <- (if auto then "" else base);
+    Hashtbl.replace env name v
+  in
+  let lookup ~line name =
+    match Hashtbl.find_opt env name with
+    | Some v -> v
+    | None -> error ~line "unknown value %s" name
+  in
+  let graph = ref None in
+  let stack : Graph.block list ref = ref [] in
+  let top ~line () =
+    match !stack with
+    | b :: _ -> b
+    | [] -> error ~line "statement outside any block"
+  in
+  let handle (line, raw) =
+    match classify_line ~line raw with
+    | L_graph (name, params) ->
+        if Option.is_some !graph then error ~line "duplicate graph header";
+        let g = Graph.create name ~param_types:params in
+        List.iter2
+          (fun (pname, _) v -> declare ~line pname v)
+          params (Graph.params g);
+        graph := Some g;
+        stack := [ g.g_block ]
+    | L_block params -> begin
+        (* belongs to the last node of the current block *)
+        let block = top ~line () in
+        match List.rev block.b_nodes with
+        | [] -> error ~line "block header without an owning node"
+        | owner :: _ ->
+            let fresh = Graph.add_block owner in
+            List.iter
+              (fun (pname, ty) ->
+                let v = Graph.add_block_param fresh ty in
+                declare ~line pname v)
+              params;
+            stack := fresh :: !stack
+      end
+    | L_block_return names -> begin
+        match !stack with
+        | [] -> error ~line "-> outside a block"
+        | b :: rest ->
+            b.b_returns <- List.map (lookup ~line) names;
+            stack := rest
+      end
+    | L_return names -> begin
+        match !graph with
+        | None -> error ~line "return before graph header"
+        | Some g -> Graph.set_returns g (List.map (lookup ~line) names)
+      end
+    | L_node { outs; op_name; attrs; ins } ->
+        let out_types = List.map snd outs in
+        let op = parse_op ~line op_name attrs out_types in
+        let inputs = List.map (lookup ~line) ins in
+        let node =
+          Graph.make_node_named op inputs
+            ~outputs:(List.map (fun (_, ty) -> ("", ty)) outs)
+        in
+        List.iter2 (fun (name, _) v -> declare ~line name v) outs node.n_outputs;
+        Graph.append (top ~line ()) node
+  in
+  List.iter handle lines;
+  match !graph with
+  | Some g ->
+      (match Verifier.check g with
+      | Ok () -> g
+      | Error msg -> raise (Parse_error ("parsed graph fails verification:\n" ^ msg)))
+  | None -> raise (Parse_error "no graph header found")
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let content = really_input_string ic n in
+  close_in ic;
+  parse content

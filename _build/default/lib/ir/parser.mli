@@ -1,0 +1,16 @@
+(** Parser for the textual IR format produced by {!Printer}.
+
+    [Printer.to_string] followed by [parse] reconstructs a structurally
+    identical graph (same ops, attributes, topology and block structure;
+    fresh value/node ids), which the round-trip property in
+    [test_parser.ml] verifies via the printer and the interpreter.
+
+    Constants are disambiguated by the declared output type
+    ([prim::Constant\[value=1\]] is an [int] or [float] constant depending
+    on the [: int] / [: float] annotation). *)
+
+exception Parse_error of string
+(** Carries a line number and message. *)
+
+val parse : string -> Graph.t
+val parse_file : string -> Graph.t

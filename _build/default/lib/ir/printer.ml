@@ -1,0 +1,78 @@
+let value_name (v : Graph.value) =
+  if v.v_name = "" then Printf.sprintf "%%v%d" v.v_id
+  else Printf.sprintf "%%%s.%d" v.v_name v.v_id
+
+let const_to_string = function
+  | Op.Cfloat f -> Printf.sprintf "%g" f
+  | Op.Cint i -> string_of_int i
+  | Op.Cbool b -> string_of_bool b
+
+let value_sig v =
+  Printf.sprintf "%s : %s" (value_name v) (Dtype.to_string v.Graph.v_type)
+
+let attrs_of_op = function
+  | Op.Constant c -> Printf.sprintf "[value=%s]" (const_to_string c)
+  | Op.View k | Op.Access k | Op.Assign k ->
+      Printf.sprintf "[%s]" (Op.view_kind_to_string k)
+  | Op.Softmax { dim } | Op.Cat { dim } | Op.Stack { dim } | Op.Cumsum { dim } ->
+      Printf.sprintf "[dim=%d]" dim
+  | Op.Sum_dim { dim; keepdim } | Op.Max_dim { dim; keepdim } ->
+      Printf.sprintf "[dim=%d, keepdim=%b]" dim keepdim
+  | Op.Zeros { shape } | Op.Ones { shape } | Op.Full { shape } ->
+      Printf.sprintf "[shape=%s]"
+        ("["
+        ^ String.concat ", " (Array.to_list shape |> List.map string_of_int)
+        ^ "]")
+  | Op.If | Op.Loop | Op.List_construct | Op.List_index | Op.Scalar_binary _
+  | Op.Unary _ | Op.Binary _ | Op.Matmul | Op.Sum | Op.Mean | Op.Where
+  | Op.Clone | Op.Arange | Op.Mutate _ | Op.Update ->
+      ""
+
+let rec pp_node_indented ppf ~indent (node : Graph.node) =
+  let pad = String.make indent ' ' in
+  let outs = String.concat ", " (List.map value_sig node.n_outputs) in
+  let ins = String.concat ", " (List.map value_name node.n_inputs) in
+  let attrs = attrs_of_op node.n_op in
+  if node.n_outputs = [] then
+    Format.fprintf ppf "%s%s%s(%s)" pad (Op.name node.n_op) attrs ins
+  else
+    Format.fprintf ppf "%s%s = %s%s(%s)" pad outs (Op.name node.n_op) attrs ins;
+  List.iteri
+    (fun i block ->
+      Format.fprintf ppf "@,";
+      pp_block ppf ~indent:(indent + 2) ~label:(Printf.sprintf "block%d" i) block)
+    node.n_blocks
+
+and pp_block ppf ~indent ~label (block : Graph.block) =
+  let pad = String.make indent ' ' in
+  let params = String.concat ", " (List.map value_sig block.b_params) in
+  Format.fprintf ppf "%s%s(%s):" pad label params;
+  List.iter
+    (fun node ->
+      Format.fprintf ppf "@,";
+      pp_node_indented ppf ~indent:(indent + 2) node)
+    block.b_nodes;
+  let rets = String.concat ", " (List.map value_name block.b_returns) in
+  Format.fprintf ppf "@,%s  -> (%s)" pad rets
+
+let pp_graph ppf (g : Graph.t) =
+  Format.pp_open_vbox ppf 0;
+  let params = String.concat ", " (List.map value_sig g.g_block.b_params) in
+  Format.fprintf ppf "graph %s(%s):" g.g_name params;
+  List.iter
+    (fun node ->
+      Format.fprintf ppf "@,";
+      pp_node_indented ppf ~indent:2 node)
+    g.g_block.b_nodes;
+  let rets = String.concat ", " (List.map value_name g.g_block.b_returns) in
+  Format.fprintf ppf "@,  return (%s)" rets;
+  Format.pp_close_box ppf ()
+
+let to_string g = Format.asprintf "%a" pp_graph g
+
+let pp_node ppf node =
+  Format.pp_open_vbox ppf 0;
+  pp_node_indented ppf ~indent:0 node;
+  Format.pp_close_box ppf ()
+
+let node_to_string node = Format.asprintf "%a" pp_node node

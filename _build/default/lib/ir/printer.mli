@@ -1,0 +1,19 @@
+(** TorchScript-style textual rendering of graphs, e.g.:
+
+    {v
+    graph(%a.1 : Tensor, %b.1 : Tensor):
+      %c : Tensor = aten::add(%a.1, %b.1)
+      %r : Tensor = prim::Loop(%n, %c)
+        block0(%i : int, %acc : Tensor):
+          %t : Tensor = immut::select(%acc, 0, %i)
+          -> (%t)
+      return (%r)
+    v} *)
+
+val value_name : Graph.value -> string
+(** Stable printable name ["%name.id"]; uniqueness comes from the id. *)
+
+val pp_graph : Format.formatter -> Graph.t -> unit
+val to_string : Graph.t -> string
+val pp_node : Format.formatter -> Graph.node -> unit
+val node_to_string : Graph.node -> string

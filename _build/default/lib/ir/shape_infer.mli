@@ -1,0 +1,35 @@
+(** Static shape inference over the graph IR.
+
+    Works with partial shapes: each dimension is either [Known n] or
+    [Unknown] (e.g. the length of a slice with runtime bounds), and a
+    value's shape may be wholly unknown.  Loop-carried shapes are joined
+    with the body's recomputed shapes until stable, so a carried tensor
+    whose shape changes across iterations degrades gracefully to
+    [Unknown] dimensions instead of mis-reporting.
+
+    [infer] never raises on well-typed graphs; shape {e mismatches}
+    (e.g. a matmul whose inner dimensions are both known and different)
+    are collected and returned as diagnostics. *)
+
+type dim = Known of int | Unknown
+
+type shape = dim array
+(** Rank is always known when a shape is present. *)
+
+type result = {
+  shapes : (int, shape) Hashtbl.t;  (** value id → shape (absent: unknown) *)
+  diagnostics : string list;  (** detected inconsistencies, printable *)
+}
+
+val infer : Graph.t -> inputs:shape option list -> result
+(** [inputs] pairs with the graph parameters; scalar parameters take
+    [None]. *)
+
+val known : int array -> shape
+(** All-known shape from concrete sizes. *)
+
+val shape_of : result -> Graph.value -> shape option
+val to_string : shape -> string
+
+val matches : shape -> int array -> bool
+(** Does the partial shape agree with a concrete runtime shape? *)

@@ -1,0 +1,134 @@
+type error = { where : string; message : string }
+
+let errors (g : Graph.t) =
+  let errs = ref [] in
+  let report ~where fmt =
+    Format.kasprintf (fun message -> errs := { where; message } :: !errs) fmt
+  in
+  let seen_values : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let define ~where (v : Graph.value) expected_origin =
+    if Hashtbl.mem seen_values v.v_id then
+      report ~where "value %s defined more than once" (Printer.value_name v)
+    else Hashtbl.add seen_values v.v_id ();
+    let origin_ok =
+      match (v.v_origin, expected_origin) with
+      | Graph.Def (n, i), `Def (n', i') -> n == n' && i = i'
+      | Graph.Param (b, i), `Param (b', i') -> b == b' && i = i'
+      | (Graph.Def _ | Graph.Param _ | Graph.Detached), _ -> false
+    in
+    if not origin_ok then
+      report ~where "value %s has a stale origin" (Printer.value_name v)
+  in
+  let check_cf_node node =
+    let where = Printer.node_to_string node in
+    match node.Graph.n_op with
+    | Op.If -> begin
+        match node.n_blocks with
+        | [ then_b; else_b ] ->
+            let n_out = List.length node.n_outputs in
+            if List.length node.n_inputs <> 1 then
+              report ~where "prim::If must have exactly one (condition) input";
+            if List.length then_b.b_params <> 0 || List.length else_b.b_params <> 0
+            then report ~where "prim::If blocks take no parameters";
+            List.iter
+              (fun (b : Graph.block) ->
+                if List.length b.b_returns <> n_out then
+                  report ~where
+                    "prim::If block returns %d values but the node has %d outputs"
+                    (List.length b.b_returns) n_out)
+              [ then_b; else_b ]
+        | blocks ->
+            report ~where "prim::If must own exactly 2 blocks, found %d"
+              (List.length blocks)
+      end
+    | Op.Loop -> begin
+        match node.n_blocks with
+        | [ body ] ->
+            let carried = List.length node.n_inputs - 1 in
+            if carried < 0 then
+              report ~where "prim::Loop needs a trip-count input"
+            else begin
+              if List.length body.b_params <> carried + 1 then
+                report ~where
+                  "prim::Loop body takes %d params, expected %d (i :: carried)"
+                  (List.length body.b_params) (carried + 1);
+              if List.length body.b_returns <> carried then
+                report ~where
+                  "prim::Loop body returns %d values, expected %d carried"
+                  (List.length body.b_returns) carried;
+              if List.length node.n_outputs <> carried then
+                report ~where "prim::Loop has %d outputs, expected %d carried"
+                  (List.length node.n_outputs) carried
+            end
+        | blocks ->
+            report ~where "prim::Loop must own exactly 1 block, found %d"
+              (List.length blocks)
+      end
+    | Op.Update ->
+        if List.length node.n_inputs <> 2 || node.n_outputs <> [] then
+          report ~where "tssa::update takes two inputs and produces none"
+    | _ ->
+        if node.n_blocks <> [] then
+          report ~where "%s must not own blocks" (Op.name node.n_op)
+  in
+  let rec check_block (block : Graph.block) =
+    List.iteri
+      (fun i p -> define ~where:"block params" p (`Param (block, i)))
+      block.b_params;
+    List.iter
+      (fun (node : Graph.node) ->
+        let where = Printer.node_to_string node in
+        (match node.n_parent with
+        | Some b when b == block -> ()
+        | Some _ | None -> report ~where "node parent pointer is stale");
+        List.iteri (fun i o -> define ~where o (`Def (node, i))) node.n_outputs;
+        List.iter
+          (fun b ->
+            (match b.Graph.b_parent with
+            | Some n when n == node -> ()
+            | Some _ | None -> report ~where "block parent pointer is stale");
+            check_block b)
+          node.n_blocks;
+        check_cf_node node)
+      block.b_nodes
+  in
+  check_block g.g_block;
+  (* Def-before-use, checked after all definitions are known. *)
+  let check_use ~where (use : Graph.use) (v : Graph.value) =
+    if not (Hashtbl.mem seen_values v.v_id) then
+      report ~where "use of undefined value %s" (Printer.value_name v)
+    else if not (Dominance.value_dominates_use v use) then
+      report ~where "use of %s is not dominated by its definition"
+        (Printer.value_name v)
+  in
+  Graph.iter_nodes g (fun node ->
+      let where = Printer.node_to_string node in
+      List.iteri
+        (fun i input -> check_use ~where (Graph.Input (node, i)) input)
+        node.n_inputs);
+  let rec check_returns (block : Graph.block) =
+    List.iteri
+      (fun i ret ->
+        check_use ~where:"block returns" (Graph.Return (block, i)) ret)
+      block.b_returns;
+    List.iter
+      (fun (node : Graph.node) -> List.iter check_returns node.n_blocks)
+      block.b_nodes
+  in
+  check_returns g.g_block;
+  List.rev !errs
+
+let check g =
+  match errors g with
+  | [] -> Ok ()
+  | errs ->
+      let lines =
+        List.map (fun e -> Printf.sprintf "- %s\n  at: %s" e.message e.where) errs
+      in
+      Error (String.concat "\n" lines)
+
+let check_exn g =
+  match check g with
+  | Ok () -> ()
+  | Error msg ->
+      failwith (Printf.sprintf "IR verification failed:\n%s\n%s" msg (Printer.to_string g))

@@ -1,0 +1,19 @@
+(** Structural and SSA well-formedness checks.
+
+    [check] validates:
+    - attachment: every node's parent pointer matches the block containing
+      it; every output/parameter origin points back correctly;
+    - single assignment: no value is defined twice;
+    - def-before-use: every use is dominated by its definition;
+    - control-flow arities: [If] has exactly two blocks, each returning as
+      many values as the node has outputs, and a single scalar-bool input;
+      [Loop] has one block with params [i :: carried] and returns matching
+      the carried inputs and node outputs;
+    - [tssa::update] nodes have exactly two inputs and no outputs. *)
+
+type error = { where : string; message : string }
+
+val errors : Graph.t -> error list
+val check : Graph.t -> (unit, string) result
+val check_exn : Graph.t -> unit
+(** @raise Failure with the joined error report. *)

@@ -1,0 +1,1 @@
+lib/tensor/inplace.ml: Printf Scalar Shape Tensor

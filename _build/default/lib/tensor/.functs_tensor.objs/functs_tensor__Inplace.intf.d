@@ -1,0 +1,1 @@
+lib/tensor/inplace.mli: Scalar Tensor

@@ -1,0 +1,44 @@
+(** Scalar element-wise functions shared by the tensor runtime and the IR.
+
+    Both the pure operators ([aten::add]) and their in-place variants
+    ([aten::add_]) apply one of these functions point-wise; keeping the
+    enumeration in one place guarantees the functional rewrite uses exactly
+    the semantics of the mutation it replaces. *)
+
+type unary =
+  | Neg
+  | Abs
+  | Exp
+  | Log
+  | Sqrt
+  | Sigmoid
+  | Tanh
+  | Relu
+
+type binary =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Pow
+  | Max
+  | Min
+  | Lt  (** 1.0 when [a < b], else 0.0 — comparisons yield mask tensors. *)
+  | Gt
+  | Eq
+
+val apply_unary : unary -> float -> float
+val apply_binary : binary -> float -> float -> float
+
+val unary_name : unary -> string
+(** Lower-case ATen-style name, e.g. ["sigmoid"]. *)
+
+val binary_name : binary -> string
+
+val all_unary : unary list
+val all_binary : binary list
+
+val unary_flops : unary -> int
+(** Approximate floating-point cost per element, for the GPU cost model. *)
+
+val binary_flops : binary -> int

@@ -1,0 +1,16 @@
+type t = { id : int; data : float array }
+
+let counter = ref 0
+
+let fresh_id () =
+  incr counter;
+  !counter
+
+let create n = { id = fresh_id (); data = Array.make n 0.0 }
+let of_array data = { id = fresh_id (); data }
+let length t = Array.length t.data
+let id t = t.id
+let get t i = t.data.(i)
+let set t i v = t.data.(i) <- v
+let same a b = a.id = b.id
+let copy t = { id = fresh_id (); data = Array.copy t.data }

@@ -1,0 +1,25 @@
+(** Flat float buffers shared between tensor views.
+
+    A storage is the unit of aliasing: two tensors alias exactly when they
+    reference the same storage.  Each storage carries a unique id so alias
+    relationships can be asserted in tests. *)
+
+type t
+
+val create : int -> t
+(** Fresh zero-filled storage of the given element count. *)
+
+val of_array : float array -> t
+(** Wrap the array without copying; the caller must not reuse it. *)
+
+val length : t -> int
+val id : t -> int
+
+val get : t -> int -> float
+val set : t -> int -> float -> unit
+
+val same : t -> t -> bool
+(** Physical identity — the aliasing test. *)
+
+val copy : t -> t
+(** Deep copy with a fresh id. *)

@@ -1,0 +1,1 @@
+lib/workloads/attention.ml: Ast Float Functs_frontend Workload

@@ -1,0 +1,1 @@
+lib/workloads/fcos.ml: Ast Functs_frontend Functs_interp Workload

@@ -1,0 +1,1 @@
+lib/workloads/lstm.ml: Ast Functs_frontend Workload

@@ -1,0 +1,1 @@
+lib/workloads/nasrnn.ml: Ast Functs_frontend Workload

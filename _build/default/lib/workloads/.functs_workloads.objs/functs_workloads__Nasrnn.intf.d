@@ -1,0 +1,1 @@
+lib/workloads/nasrnn.mli: Workload

@@ -1,0 +1,1 @@
+lib/workloads/nms.mli: Workload

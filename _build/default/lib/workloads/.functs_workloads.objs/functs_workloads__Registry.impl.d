@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Attention Fcos List Lstm Nasrnn Nms Seq2seq Ssd String Workload Yolact Yolov3

@@ -1,0 +1,1 @@
+lib/workloads/seq2seq.ml: Ast Functs_frontend Workload

@@ -1,0 +1,1 @@
+lib/workloads/seq2seq.mli: Workload

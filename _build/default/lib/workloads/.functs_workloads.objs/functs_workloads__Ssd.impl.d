@@ -1,0 +1,1 @@
+lib/workloads/ssd.ml: Ast Functs_frontend Functs_tensor Workload

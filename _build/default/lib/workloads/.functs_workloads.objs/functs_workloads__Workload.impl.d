@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Ast Functs_frontend Functs_interp Functs_tensor Lower Random Value

@@ -1,0 +1,1 @@
+lib/workloads/workload.mli: Ast Functs_frontend Functs_interp Functs_ir Random Value

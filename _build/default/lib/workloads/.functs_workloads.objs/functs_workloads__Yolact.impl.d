@@ -1,0 +1,1 @@
+lib/workloads/yolact.ml: Ast Functs_frontend Functs_tensor Workload

@@ -1,0 +1,1 @@
+lib/workloads/yolact.mli: Workload

@@ -1,0 +1,1 @@
+lib/workloads/yolov3.ml: Ast Functs_frontend Functs_tensor Workload

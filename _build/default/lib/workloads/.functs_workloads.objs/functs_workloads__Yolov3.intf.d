@@ -1,0 +1,1 @@
+lib/workloads/yolov3.mli: Workload

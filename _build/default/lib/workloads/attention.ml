@@ -1,0 +1,65 @@
+open Functs_frontend
+
+let dim = 64
+
+(* Decode-style causal attention: step [t] attends over the key/value
+   prefix [0..t] through dynamically-bounded slice views, and writes its
+   output row into a preallocated buffer — matmuls interleaved with
+   view/mutation operators inside the sequence loop.  Batch is folded
+   into the feature dimension, which keeps the loop structure fixed
+   while scaling device work. *)
+let program ~batch ~seq =
+  let d = dim * batch in
+  let inv_sqrt_d = 1.0 /. Float.sqrt (float_of_int dim) in
+  let open Ast in
+  {
+    name = "attention_decode";
+    params =
+      [
+        tensor_param "q";
+        tensor_param "k";
+        tensor_param "v";
+        tensor_param "gain";
+        tensor_param "bias";
+      ];
+    body =
+      [
+        "out" := zeros [| seq; d |];
+        for_ "t" (i seq)
+          [
+            "qt" := item (var "q") (var "t");
+            "kpre" := range_ (var "k") (i 0) (var "t" + i 1);
+            "vpre" := range_ (var "v") (i 0) (var "t" + i 1);
+            (* scores over the causal prefix *)
+            "s" := matmul (var "kpre") (var "qt") * f inv_sqrt_d;
+            "w" := softmax (var "s") ~dim:0;
+            "o" := matmul (var "w") (var "vpre");
+            (* output projection tail: scale, bias, activation, store *)
+            "o2" := relu ((var "o" * var "gain") + var "bias");
+            Store (item (var "out") (var "t"), var "o2");
+          ];
+        return_ [ var "out" ];
+      ];
+  }
+
+let inputs ~batch ~seq =
+  let state = Workload.seeded 808 in
+  let d = dim * batch in
+  [
+    Workload.rand_tensor state [| seq; d |];
+    Workload.rand_tensor state [| seq; d |];
+    Workload.rand_tensor state [| seq; d |];
+    Workload.rand_tensor state [| d |];
+    Workload.rand_tensor state [| d |];
+  ]
+
+let workload =
+  {
+    Workload.name = "attention";
+    display = "Attention";
+    kind = Workload.Attention;
+    default_batch = 1;
+    default_seq = 64;
+    program;
+    inputs;
+  }

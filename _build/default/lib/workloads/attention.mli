@@ -1,0 +1,6 @@
+(** Scaled dot-product attention with an imperatively built causal mask:
+    the mask-row loop writes [-1e9] into [mask\[t\]\[t+1:T\]] through
+    chained views — after functionalization the loop fuses and, rows
+    being disjoint, parallelizes horizontally. *)
+
+val workload : Workload.t

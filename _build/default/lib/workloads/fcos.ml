@@ -1,0 +1,74 @@
+open Functs_frontend
+
+let locations = 8192
+let num_classes = 4
+let stride = 8.0
+let image_size = 640.0
+
+let program ~batch ~seq =
+  ignore seq;
+  let n = locations in
+  let open Ast in
+  let boxes lo hi =
+    Subscript (var "boxes", [ Range (i 0, i batch); Range (i 0, i n); Range (lo, hi) ])
+  in
+  let reg lo hi =
+    Subscript (var "reg", [ Range (i 0, i batch); Range (i 0, i n); Range (lo, hi) ])
+  in
+  let points lo hi =
+    Subscript (var "points", [ Range (i 0, i n); Range (lo, hi) ])
+  in
+  {
+    name = "fcos_postprocess";
+    params =
+      [
+        tensor_param "cls";
+        tensor_param "ctr";
+        tensor_param "reg";
+        tensor_param "points";
+        int_param "clip";
+      ];
+    body =
+      [
+        (* score = sqrt(sigmoid(cls) * sigmoid(ctr)), ctr broadcast over C *)
+        "scores" := sqrt (sigmoid (var "cls") * sigmoid (var "ctr"));
+        "boxes" := clone (var "reg");
+        (* x1y1 = point - stride * lt ; x2y2 = point + stride * rb *)
+        boxes (i 0) (i 2) <-- points (i 0) (i 2) - (reg (i 0) (i 2) * f stride);
+        boxes (i 2) (i 4) <-- points (i 0) (i 2) + (reg (i 2) (i 4) * f stride);
+        (* optional in-place clip to the image frame *)
+        if_
+          (var "clip" > i 0)
+          [
+            boxes (i 0) (i 4)
+            <-- where
+                  (boxes (i 0) (i 4) > f image_size)
+                  (Call (Fn_full [| 1 |], [ f image_size ]))
+                  (relu (boxes (i 0) (i 4)));
+          ]
+          [];
+        return_ [ var "scores"; var "boxes" ];
+      ];
+  }
+
+let inputs ~batch ~seq =
+  ignore seq;
+  let state = Workload.seeded 404 in
+  [
+    Workload.rand_tensor state [| batch; locations; num_classes |];
+    Workload.rand_tensor state [| batch; locations; 1 |];
+    Workload.rand_tensor state [| batch; locations; 4 |];
+    Workload.rand_tensor state [| locations; 4 |];
+    Functs_interp.Value.Int 1;
+  ]
+
+let workload =
+  {
+    Workload.name = "fcos";
+    display = "FCOS";
+    kind = Workload.Cv;
+    default_batch = 1;
+    default_seq = 1;
+    program;
+    inputs;
+  }

@@ -1,0 +1,5 @@
+(** FCOS post-processing: center-ness–weighted scores plus ltrb-distance
+    to corner-box conversion through per-coordinate view writes, with a
+    conditional in-place clipping branch (mutation under control flow). *)
+
+val workload : Workload.t

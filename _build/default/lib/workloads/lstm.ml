@@ -1,0 +1,55 @@
+open Functs_frontend
+
+let hidden = 128
+
+let program ~batch ~seq =
+  let h = hidden in
+  let h2 = 2 * hidden and h3 = 3 * hidden and h4 = 4 * hidden in
+  let open Ast in
+  let gate lo hi =
+    Subscript (var "g", [ Range (i 0, i batch); Range (i lo, i hi) ])
+  in
+  {
+    name = "lstm_cell";
+    params = [ tensor_param "x"; tensor_param "u"; tensor_param "h0"; tensor_param "c0" ];
+    body =
+      [
+        "out" := zeros [| seq; batch; hidden |];
+        "h" := clone (var "h0");
+        "c" := clone (var "c0");
+        for_ "t" (i seq)
+          [
+            (* pre-activations: projected input plus recurrent matmul *)
+            "g" := item (var "x") (var "t") + matmul (var "h") (var "u");
+            (* gates are views (slices) of g *)
+            "ig" := sigmoid (gate 0 h);
+            "fg" := sigmoid (gate h h2);
+            "og" := sigmoid (gate h2 h3);
+            "ng" := tanh (gate h3 h4);
+            "c" := (var "fg" * var "c") + (var "ig" * var "ng");
+            "h" := var "og" * tanh (var "c");
+            Store (item (var "out") (var "t"), var "h");
+          ];
+        return_ [ var "out"; var "h"; var "c" ];
+      ];
+  }
+
+let inputs ~batch ~seq =
+  let state = Workload.seeded 606 in
+  [
+    Workload.rand_tensor state [| seq; batch; 4 * hidden |];
+    Workload.rand_tensor state [| hidden; 4 * hidden |];
+    Workload.rand_tensor state [| batch; hidden |];
+    Workload.rand_tensor state [| batch; hidden |];
+  ]
+
+let workload =
+  {
+    Workload.name = "lstm";
+    display = "LSTM";
+    kind = Workload.Nlp;
+    default_batch = 1;
+    default_seq = 64;
+    program;
+    inputs;
+  }

@@ -1,0 +1,5 @@
+(** LSTM sequence loop: per-step recurrent matmul, gate slicing through
+    views of the pre-activation tensor, carried hidden/cell state, and a
+    per-step store into the output buffer. *)
+
+val workload : Workload.t

@@ -1,0 +1,47 @@
+open Functs_frontend
+
+let hidden = 512
+
+let program ~batch ~seq =
+  let open Ast in
+  {
+    name = "nasrnn_cell";
+    params = [ tensor_param "x"; tensor_param "h0" ];
+    body =
+      [
+        "out" := zeros [| seq; batch; hidden |];
+        "h" := clone (var "h0");
+        for_ "t" (i seq)
+          [
+            "xt" := item (var "x") (var "t");
+            (* NAS-discovered cell: two levels of paired gates. *)
+            "g1" := sigmoid (var "xt" + var "h");
+            "g2" := relu (var "xt" * var "h");
+            "g3" := sigmoid (var "h");
+            "g4" := tanh (var "xt");
+            "u1" := tanh (var "g1" * var "g2");
+            "u2" := sigmoid (var "g3" + var "g4");
+            "h" := tanh ((var "u1" * var "u2") + (var "g2" * var "g4"));
+            Store (item (var "out") (var "t"), var "h");
+          ];
+        return_ [ var "out" ];
+      ];
+  }
+
+let inputs ~batch ~seq =
+  let state = Workload.seeded 505 in
+  [
+    Workload.rand_tensor state [| seq; batch; hidden |];
+    Workload.rand_tensor state [| batch; hidden |];
+  ]
+
+let workload =
+  {
+    Workload.name = "nasrnn";
+    display = "NASRNN";
+    kind = Workload.Nlp;
+    default_batch = 1;
+    default_seq = 64;
+    program;
+    inputs;
+  }

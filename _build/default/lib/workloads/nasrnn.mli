@@ -1,0 +1,7 @@
+(** NASRNN cell: a sequence loop of ~10 element-wise gate operations per
+    step with the hidden state carried across iterations and each step's
+    output written into a preallocated buffer through a [select] view —
+    the launch-overhead-dominated pattern where functionalized fusion
+    pays the most. *)
+
+val workload : Workload.t

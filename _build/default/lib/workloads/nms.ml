@@ -1,0 +1,66 @@
+open Functs_frontend
+
+let boxes = 24
+
+(* Greedy suppression on a precomputed pairwise-overlap matrix:
+   for each candidate i (in score order), if it is still alive, zero the
+   alive-flag of every later candidate that overlaps it too much. *)
+let program ~batch ~seq =
+  ignore batch;
+  ignore seq;
+  let n = boxes in
+  let open Ast in
+  {
+    name = "nms";
+    params = [ tensor_param "overlap"; tensor_param "scores" ];
+    body =
+      [
+        "alive" := ones [| n |];
+        "keep" := zeros [| n |];
+        for_ "i" (i n)
+          [
+            (* data-dependent branch: only live, confident boxes suppress *)
+            if_
+              (item (var "alive") (var "i") * item (var "scores") (var "i")
+              > f 0.25)
+              [
+                Store (item (var "keep") (var "i"), f 1.0);
+                for_ "j" (i n)
+                  [
+                    (* suppress j when it overlaps i strongly; the mask
+                       multiply keeps already-dead boxes dead *)
+                    Aug_store
+                      ( item (var "alive") (var "j"),
+                        Functs_tensor.Scalar.Mul,
+                        where
+                          (sub2 (var "overlap") (var "i") (var "j") > f 0.5)
+                          (f 0.0) (f 1.0) );
+                  ];
+                (* a box never suppresses itself *)
+                Store (item (var "alive") (var "i"), f 0.0);
+              ]
+              [];
+          ];
+        return_ [ var "keep" ];
+      ];
+  }
+
+let inputs ~batch ~seq =
+  ignore batch;
+  ignore seq;
+  let state = Workload.seeded 909 in
+  [
+    Workload.rand_tensor state [| boxes; boxes |];
+    Workload.rand_tensor state [| boxes |];
+  ]
+
+let workload =
+  {
+    Workload.name = "nms";
+    display = "NMS (extension)";
+    kind = Workload.Cv;
+    default_batch = 1;
+    default_seq = 1;
+    program;
+    inputs;
+  }

@@ -1,0 +1,9 @@
+(** Extension workload (beyond the paper's eight): greedy non-maximum
+    suppression with {e data-dependent} control flow — each candidate is
+    kept or suppressed by an [if] on a tensor value, and suppression
+    writes a mask through views inside the doubly-nested loop.  Exercises
+    TensorSSA's block propagation under branches whose condition is only
+    known at runtime.  Not part of the figure registry (the paper
+    evaluates eight workloads); exposed via {!Registry.extensions}. *)
+
+val workload : Workload.t

@@ -1,0 +1,28 @@
+let all =
+  [
+    Yolov3.workload;
+    Ssd.workload;
+    Yolact.workload;
+    Fcos.workload;
+    Nasrnn.workload;
+    Lstm.workload;
+    Seq2seq.workload;
+    Attention.workload;
+  ]
+
+let extensions = [ Nms.workload ]
+
+let find name =
+  List.find_opt
+    (fun (w : Workload.t) -> String.lowercase_ascii w.name = String.lowercase_ascii name)
+    (all @ extensions)
+
+let cv = List.filter (fun (w : Workload.t) -> w.kind = Workload.Cv) all
+
+let nlp =
+  List.filter
+    (fun (w : Workload.t) ->
+      match w.kind with
+      | Workload.Nlp | Workload.Attention -> true
+      | Workload.Cv -> false)
+    all

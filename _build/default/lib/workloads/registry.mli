@@ -1,0 +1,15 @@
+(** All benchmark workloads of the paper's evaluation (§5.1), in table
+    order: four CV models, three NLP models, and the attention module. *)
+
+val all : Workload.t list
+(** Exactly the paper's eight, in table order. *)
+
+val extensions : Workload.t list
+(** Additional workloads beyond the paper (greedy NMS with data-dependent
+    control flow); excluded from the figure tables. *)
+
+val find : string -> Workload.t option
+(** Searches [all] and [extensions]. *)
+
+val cv : Workload.t list
+val nlp : Workload.t list

@@ -1,0 +1,50 @@
+open Functs_frontend
+
+let hidden = 512
+
+let program ~batch ~seq =
+  let open Ast in
+  {
+    name = "seq2seq";
+    params = [ tensor_param "src"; tensor_param "h0"; tensor_param "w" ];
+    body =
+      [
+        (* Encoder: GRU-style gated fold over the source sequence. *)
+        "h" := clone (var "h0");
+        for_ "t" (i seq)
+          [
+            "xt" := item (var "src") (var "t");
+            "z" := sigmoid (var "xt" + var "h");
+            "n" := tanh (var "xt" + (var "z" * var "h"));
+            "h" := (var "z" * var "h") + ((f 1.0 - var "z") * var "n");
+          ];
+        (* Decoder: roll the context out step by step. *)
+        "dec" := zeros [| seq; batch; hidden |];
+        "s" := clone (var "h");
+        for_ "t" (i seq)
+          [
+            "s" := tanh ((var "s" * var "w") + var "h");
+            Store (item (var "dec") (var "t"), var "s");
+          ];
+        return_ [ var "dec"; var "s" ];
+      ];
+  }
+
+let inputs ~batch ~seq =
+  let state = Workload.seeded 707 in
+  [
+    Workload.rand_tensor state [| seq; batch; hidden |];
+    Workload.rand_tensor state [| batch; hidden |];
+    Workload.rand_tensor state [| batch; hidden |];
+  ]
+
+let workload =
+  {
+    Workload.name = "seq2seq";
+    display = "seq2seq";
+    kind = Workload.Nlp;
+    default_batch = 1;
+    default_seq = 64;
+    program;
+    inputs;
+  }

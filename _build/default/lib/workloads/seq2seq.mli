@@ -1,0 +1,6 @@
+(** seq2seq: a GRU-style encoder loop folding the source sequence into a
+    context vector, then a decoder loop emitting one step at a time into a
+    preallocated buffer — two sequential loops with carried state and
+    per-step view stores. *)
+
+val workload : Workload.t

@@ -1,0 +1,52 @@
+open Functs_frontend
+
+let num_priors = 8192
+
+let program ~batch ~seq =
+  ignore seq;
+  let n = num_priors in
+  let open Ast in
+  let boxes lo hi =
+    Subscript (var "boxes", [ Range (i 0, i batch); Range (i 0, i n); Range (lo, hi) ])
+  in
+  let loc lo hi =
+    Subscript (var "loc", [ Range (i 0, i batch); Range (i 0, i n); Range (lo, hi) ])
+  in
+  let priors lo hi = Subscript (var "priors", [ Range (i 0, i n); Range (lo, hi) ]) in
+  {
+    name = "ssd_decode";
+    params = [ tensor_param "loc"; tensor_param "priors"; tensor_param "conf" ];
+    body =
+      [
+        "boxes" := clone (var "loc");
+        (* center form: cxcy = prior_cxcy + loc * variance * prior_wh *)
+        boxes (i 0) (i 2)
+        <-- priors (i 0) (i 2) + (loc (i 0) (i 2) * f 0.1 * priors (i 2) (i 4));
+        boxes (i 2) (i 4) <-- priors (i 2) (i 4) * exp (loc (i 2) (i 4) * f 0.2);
+        (* corner form, in place *)
+        Aug_store (boxes (i 0) (i 2), Functs_tensor.Scalar.Sub, boxes (i 2) (i 4) / f 2.0);
+        Aug_store (boxes (i 2) (i 4), Functs_tensor.Scalar.Add, boxes (i 0) (i 2));
+        "scores" := sigmoid (var "conf");
+        return_ [ var "boxes"; var "scores" ];
+      ];
+  }
+
+let inputs ~batch ~seq =
+  ignore seq;
+  let state = Workload.seeded 202 in
+  [
+    Workload.rand_tensor state [| batch; num_priors; 4 |];
+    Workload.rand_tensor state [| num_priors; 4 |];
+    Workload.rand_tensor state [| batch; num_priors; 2 |];
+  ]
+
+let workload =
+  {
+    Workload.name = "ssd";
+    display = "SSD";
+    kind = Workload.Cv;
+    default_batch = 1;
+    default_seq = 1;
+    program;
+    inputs;
+  }

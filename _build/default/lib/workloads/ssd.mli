@@ -1,0 +1,5 @@
+(** SSD prior-box decoding: straight-line slice mutations converting
+    center-offset predictions to corner boxes in place — the vertical
+    fusion showcase (no control flow involved). *)
+
+val workload : Workload.t

@@ -1,0 +1,25 @@
+open Functs_frontend
+open Functs_interp
+
+type kind = Cv | Nlp | Attention
+
+type t = {
+  name : string;
+  display : string;
+  kind : kind;
+  default_batch : int;
+  default_seq : int;
+  program : batch:int -> seq:int -> Ast.program;
+  inputs : batch:int -> seq:int -> Value.t list;
+}
+
+let graph t ~batch ~seq = Lower.program (t.program ~batch ~seq)
+let seeded seed = Random.State.make [| seed; 0x5eed |]
+
+let rand_tensor state shape =
+  Value.Tensor (Functs_tensor.Tensor.rand state shape)
+
+let kind_to_string = function
+  | Cv -> "CV"
+  | Nlp -> "NLP"
+  | Attention -> "Attention"

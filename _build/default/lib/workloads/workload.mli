@@ -1,0 +1,30 @@
+(** Common shape of a benchmark workload: an imperative tensor program (the
+    post-processing / cell-loop part the paper measures — backbones go to
+    TensorRT and are out of scope) plus a deterministic input generator.
+
+    [batch] scales the batch dimension (Fig. 7); [seq] scales sequence
+    length for the NLP and attention workloads (Fig. 8). *)
+
+open Functs_frontend
+open Functs_interp
+
+type kind = Cv | Nlp | Attention
+
+type t = {
+  name : string;  (** CLI identifier, e.g. ["yolov3"] *)
+  display : string;  (** table label, e.g. ["YOLOv3"] *)
+  kind : kind;
+  default_batch : int;
+  default_seq : int;
+  program : batch:int -> seq:int -> Ast.program;
+  inputs : batch:int -> seq:int -> Value.t list;
+}
+
+val graph : t -> batch:int -> seq:int -> Functs_ir.Graph.t
+(** Lower the program at the given scale (verified). *)
+
+val seeded : int -> Random.State.t
+(** Deterministic PRNG for input generation. *)
+
+val rand_tensor : Random.State.t -> int array -> Value.t
+val kind_to_string : kind -> string

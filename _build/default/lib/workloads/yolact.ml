@@ -1,0 +1,50 @@
+open Functs_frontend
+
+let pixels = 1024 (* 32 x 32 mask prototypes, flattened *)
+let prototypes = 32
+let detections = 16
+let crop = 32 (* border rows zeroed by the crop step *)
+
+let program ~batch ~seq =
+  ignore seq;
+  let p = pixels and d = detections in
+  let p_lo = p - crop in
+  let open Ast in
+  let masks_rows lo hi =
+    Subscript (var "m", [ Range (i 0, i batch); Range (lo, hi); Range (i 0, i d) ])
+  in
+  {
+    name = "yolact_masks";
+    params = [ tensor_param "proto"; tensor_param "coef"; tensor_param "gain" ];
+    body =
+      [
+        (* [B, P, K] x [B, K, D] -> [B, P, D]; the compute-bound part. *)
+        "logits" := matmul (var "proto") (permute (var "coef") [| 0; 2; 1 |]);
+        "m" := clone (sigmoid (var "logits"));
+        (* Imperative post-processing: crop borders, rescale in place. *)
+        Fill (masks_rows (i 0) (i crop), 0.0);
+        Fill (masks_rows (i p_lo) (i p), 0.0);
+        Aug_store (masks_rows (i crop) (i p_lo), Functs_tensor.Scalar.Mul, var "gain");
+        return_ [ var "m" ];
+      ];
+  }
+
+let inputs ~batch ~seq =
+  ignore seq;
+  let state = Workload.seeded 303 in
+  [
+    Workload.rand_tensor state [| batch; pixels; prototypes |];
+    Workload.rand_tensor state [| batch; detections; prototypes |];
+    Workload.rand_tensor state [| 1 |];
+  ]
+
+let workload =
+  {
+    Workload.name = "yolact";
+    display = "YOLACT";
+    kind = Workload.Cv;
+    default_batch = 1;
+    default_seq = 1;
+    program;
+    inputs;
+  }

@@ -1,0 +1,6 @@
+(** YOLACT mask assembly: prototype–coefficient matrix product (compute
+    intensive) followed by in-place mask cropping and scaling through
+    slice views — a mixed compute/memory workload whose speedup shrinks
+    as batch grows. *)
+
+val workload : Workload.t

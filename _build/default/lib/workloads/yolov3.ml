@@ -1,0 +1,83 @@
+open Functs_frontend
+
+let scales = 3
+let anchors_per_scale = 4096
+let channels = 6
+
+let program ~batch ~seq =
+  ignore seq;
+  let n = anchors_per_scale in
+  let open Ast in
+  let all3 lo hi = [ Range (i 0, i batch); Range (i 0, i n); Range (lo, hi) ] in
+  let layer_slice name lo hi = Subscript (var name, all3 lo hi) in
+  {
+    name = "yolov3_decode";
+    params =
+      [ tensor_param "preds"; tensor_param "grids"; tensor_param "anchors" ];
+    body =
+      [
+        "p" := clone (var "preds");
+        (* Decode each detection scale; p[s] is a view, every write below
+           mutates p through it. *)
+        for_ "s" (i scales)
+          [
+            "layer" := item (var "p") (var "s");
+            Store
+              ( layer_slice "layer" (i 0) (i 2),
+                sigmoid (layer_slice "layer" (i 0) (i 2))
+                + item (var "grids") (var "s") );
+            Store
+              ( layer_slice "layer" (i 2) (i 4),
+                exp (layer_slice "layer" (i 2) (i 4))
+                * item (var "anchors") (var "s") );
+            Store
+              ( layer_slice "layer" (i 4) (i channels),
+                sigmoid (layer_slice "layer" (i 4) (i channels)) );
+          ];
+        (* xywh -> corner boxes, updated in place. *)
+        "boxes" := clone (var "p");
+        (let sl lo hi =
+           Subscript
+             ( var "boxes",
+               [
+                 Range (i 0, i scales);
+                 Range (i 0, i batch);
+                 Range (i 0, i n);
+                 Range (lo, hi);
+               ] )
+         in
+         Aug_store (sl (i 0) (i 2), Functs_tensor.Scalar.Sub, sl (i 2) (i 4) / f 2.0));
+        (let sl lo hi =
+           Subscript
+             ( var "boxes",
+               [
+                 Range (i 0, i scales);
+                 Range (i 0, i batch);
+                 Range (i 0, i n);
+                 Range (lo, hi);
+               ] )
+         in
+         Aug_store (sl (i 2) (i 4), Functs_tensor.Scalar.Add, sl (i 0) (i 2)));
+        return_ [ var "boxes" ];
+      ];
+  }
+
+let inputs ~batch ~seq =
+  ignore seq;
+  let state = Workload.seeded 101 in
+  [
+    Workload.rand_tensor state [| scales; batch; anchors_per_scale; channels |];
+    Workload.rand_tensor state [| scales; anchors_per_scale; 2 |];
+    Workload.rand_tensor state [| scales; anchors_per_scale; 2 |];
+  ]
+
+let workload =
+  {
+    Workload.name = "yolov3";
+    display = "YOLOv3";
+    kind = Workload.Cv;
+    default_batch = 1;
+    default_seq = 1;
+    program;
+    inputs;
+  }

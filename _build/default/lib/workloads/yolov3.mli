@@ -1,0 +1,8 @@
+(** YOLOv3 bounding-box decoding: a per-detection-scale loop that writes
+    decoded xy / wh / confidence back through slice views of the cloned
+    prediction tensor — view mutation crossing a loop boundary, the
+    paper's motivating pattern.  After TensorSSA conversion the loop body
+    fuses into one kernel and (scales being independent) parallelizes
+    horizontally. *)
+
+val workload : Workload.t

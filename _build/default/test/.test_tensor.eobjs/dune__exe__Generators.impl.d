@@ -1,0 +1,1 @@
+test/generators.ml: Ast Functs_frontend Functs_tensor Pretty Printf QCheck2

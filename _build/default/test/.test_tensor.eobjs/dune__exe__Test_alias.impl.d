@@ -1,0 +1,1 @@
+test/test_alias.ml: Alcotest Alias_graph Builder Dtype Format Functs_core Functs_ir Functs_tensor List Op String Subgraph

@@ -1,0 +1,1 @@
+test/test_convert.ml: Alcotest Array Builder Convert Dtype Eval Functs_core Functs_interp Functs_ir Functs_tensor Graph List Op Printf Value Verifier

@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Builder Compiler_profile Convert Dtype Float Functs_core Functs_cost Functs_interp Functs_ir Functs_tensor Fusion Graph List Op Platform Trace Value

@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Ast Eval Functs_frontend Functs_interp Functs_ir Functs_tensor Functs_workloads Graph List Lower Op Pretty String Value

@@ -1,0 +1,1 @@
+test/test_fusion.ml: Alcotest Builder Compiler_profile Convert Dtype Functs_core Functs_ir Functs_tensor Fusion Graph List Op Option

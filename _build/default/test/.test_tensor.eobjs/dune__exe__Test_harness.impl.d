@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Compiler_profile Experiment Figures Functs_core Functs_cost Functs_harness Functs_workloads List Option Platform Printf Registry Workload

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Builder Dtype Eval Functs_interp Functs_ir Functs_tensor List Op QCheck2 QCheck_alcotest String Value

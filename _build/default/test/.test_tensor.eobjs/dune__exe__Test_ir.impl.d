@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Builder Dce Dominance Dot Dtype Functs_ir Functs_tensor Functs_workloads Graph List Op Printer Result String Verifier

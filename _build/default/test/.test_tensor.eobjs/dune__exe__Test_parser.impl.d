@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Buffer Builder Convert Dtype Eval Functs_core Functs_interp Functs_ir Functs_tensor Functs_workloads Graph List Op Parser Printer Registry String Value Verifier Workload

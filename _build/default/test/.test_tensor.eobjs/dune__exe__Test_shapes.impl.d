@@ -1,0 +1,1 @@
+test/test_shapes.ml: Alcotest Builder Dtype Eval Functs_interp Functs_ir Functs_tensor Functs_workloads Graph List Printf Registry Shape_infer Value Workload

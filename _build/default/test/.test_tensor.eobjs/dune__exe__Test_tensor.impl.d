@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Float Functs_tensor Inplace List Ops QCheck2 QCheck_alcotest Shape Tensor

@@ -1,0 +1,149 @@
+(* Shared qcheck generators for random imperative tensor programs.
+
+   Programs operate on a [rows x rows] tensor [t] (a clone of the input)
+   mutated through select/slice/cell views, optionally under nested loops
+   and branches; [gen_program ~depth:0] yields straight-line programs.
+   Used by the conversion equivalence properties, the source-parser fuzz
+   and the codegen-evaluation fuzz. *)
+
+open Functs_frontend
+module S = Functs_tensor.Scalar
+module G = QCheck2.Gen
+
+let rows = 4
+
+let gen_index loop_vars =
+  match loop_vars with
+  | [] -> G.map (fun c -> Ast.Int_lit c) (G.int_bound (rows - 1))
+  | vs ->
+      G.oneof
+        [
+          G.map (fun c -> Ast.Int_lit c) (G.int_bound (rows - 1));
+          G.map (fun v -> Ast.Var v) (G.oneofl vs);
+        ]
+
+let gen_unary = G.oneofl [ S.Neg; S.Abs; S.Sigmoid; S.Tanh; S.Relu; S.Exp ]
+let gen_binary = G.oneofl [ S.Add; S.Sub; S.Mul; S.Max; S.Min ]
+
+(* augmented assignments are limited to the operators the surface syntax
+   (and PyTorch) can express: += -= *= /= *)
+let gen_aug_op = G.oneofl [ S.Add; S.Sub; S.Mul ]
+
+(* Literals must survive the pretty-printer's %g exactly, so generate
+   dyadic rationals with few significant digits. *)
+let gen_float = G.map (fun k -> float_of_int k /. 16.0) (G.int_range (-32) 32)
+
+let rec gen_vec_expr loop_vars depth =
+  let row = G.map (fun ix -> Ast.item (Ast.var "t") ix) (gen_index loop_vars) in
+  if depth = 0 then row
+  else
+    G.oneof
+      [
+        row;
+        G.map (fun f -> Ast.Float_lit f) gen_float;
+        G.map2
+          (fun fn e -> Ast.Unop (fn, e))
+          gen_unary
+          (gen_vec_expr loop_vars (depth - 1));
+        G.map3
+          (fun fn e1 e2 -> Ast.Binop (fn, e1, e2))
+          gen_binary
+          (gen_vec_expr loop_vars (depth - 1))
+          (gen_vec_expr loop_vars (depth - 1));
+      ]
+
+let rec gen_cell_expr loop_vars depth =
+  let cell =
+    G.map2
+      (fun i j -> Ast.sub2 (Ast.var "t") i j)
+      (gen_index loop_vars) (gen_index loop_vars)
+  in
+  if depth = 0 then cell
+  else
+    G.oneof
+      [
+        cell;
+        G.map (fun f -> Ast.Float_lit f) gen_float;
+        G.map3
+          (fun fn e1 e2 -> Ast.Binop (fn, e1, e2))
+          gen_binary
+          (gen_cell_expr loop_vars (depth - 1))
+          (gen_cell_expr loop_vars (depth - 1));
+      ]
+
+let gen_target_vec loop_vars =
+  G.oneof
+    [
+      G.map (fun ix -> Ast.item (Ast.var "t") ix) (gen_index loop_vars);
+      G.map2
+        (fun a len ->
+          let lo = min a (rows - 1) in
+          Ast.range_ (Ast.var "t") (Ast.i lo) (Ast.i (min rows (lo + 1 + len))))
+        (G.int_bound (rows - 1)) (G.int_bound 2);
+    ]
+
+let gen_target_cell loop_vars =
+  G.map2
+    (fun i j -> Ast.sub2 (Ast.var "t") i j)
+    (gen_index loop_vars) (gen_index loop_vars)
+
+let rec gen_stmt loop_vars depth =
+  let mutation =
+    G.oneof
+      [
+        G.map2
+          (fun tgt e -> Ast.Store (tgt, e))
+          (gen_target_vec loop_vars) (gen_vec_expr loop_vars 2);
+        G.map3
+          (fun tgt fn e -> Ast.Aug_store (tgt, fn, e))
+          (gen_target_vec loop_vars) gen_aug_op (gen_vec_expr loop_vars 2);
+        G.map2
+          (fun tgt e -> Ast.Store (tgt, e))
+          (gen_target_cell loop_vars) (gen_cell_expr loop_vars 2);
+        G.map3
+          (fun tgt fn e -> Ast.Aug_store (tgt, fn, e))
+          (gen_target_cell loop_vars) gen_aug_op (gen_cell_expr loop_vars 2);
+        G.map2
+          (fun tgt c -> Ast.Fill (tgt, c))
+          (G.oneof [ gen_target_vec loop_vars; gen_target_cell loop_vars ])
+          gen_float;
+        G.map2
+          (fun fn e -> Ast.Aug ("t", fn, e))
+          gen_aug_op (gen_vec_expr loop_vars 1);
+      ]
+  in
+  if depth = 0 then mutation
+  else
+    G.oneof
+      [
+        mutation;
+        (let var_name = Printf.sprintf "k%d" depth in
+         G.map2
+           (fun trip body -> Ast.for_ var_name (Ast.i trip) body)
+           (G.int_range 1 rows)
+           (gen_stmts (var_name :: loop_vars) (depth - 1)));
+        G.map3
+          (fun c then_ else_ -> Ast.if_ Ast.(var "n" > i c) then_ else_)
+          (G.int_range (-1) 1)
+          (gen_stmts loop_vars (depth - 1))
+          (gen_stmts loop_vars (depth - 1));
+      ]
+
+and gen_stmts loop_vars depth =
+  G.list_size (G.int_range 1 3) (gen_stmt loop_vars depth)
+
+let gen_program_depth depth =
+  G.map
+    (fun stmts ->
+      {
+        Ast.name = "random_program";
+        params = [ Ast.tensor_param "x"; Ast.int_param "n" ];
+        body =
+          (Ast.( := ) "t" (Ast.clone (Ast.var "x")) :: stmts)
+          @ [ Ast.return_ [ Ast.var "t" ] ];
+      })
+    (gen_stmts [] depth)
+
+let gen_program = gen_program_depth 2
+let gen_straightline_program = gen_program_depth 0
+let print_program = Pretty.program_to_string

@@ -1,0 +1,189 @@
+(* Alias analysis: edge construction, must/may alias, component purity and
+   T = (t, V, M) extraction, including the paper's Fig. 2 example. *)
+
+open Functs_ir
+open Functs_core
+module S = Functs_tensor.Scalar
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* x -> clone -> select -> mutation *)
+let simple_mutated () =
+  let b = Builder.create "m" ~params:[ ("x", Dtype.Tensor) ] in
+  let x = Builder.param b 0 in
+  let t = Builder.clone b x in
+  let zero = Builder.int b 0 in
+  let v = Builder.select b t ~dim:0 zero in
+  let one = Builder.float b 1.0 in
+  let m = Builder.binary_ b S.Add v one in
+  Builder.return b [ t ];
+  (Builder.graph b, t, v, m)
+
+let test_view_edge () =
+  let g, t, v, _ = simple_mutated () in
+  let alias = Alias_graph.build g in
+  match Alias_graph.must_alias_parent alias v with
+  | Some (parent, edge) ->
+      check "parent is clone output" true (parent == t);
+      check "memory kind" true
+        (match edge.kind with
+        | Alias_graph.Memory_view _ -> true
+        | Alias_graph.Memory_mutation _ | Alias_graph.Control
+        | Alias_graph.Container ->
+            false)
+  | None -> Alcotest.fail "expected a must-alias parent"
+
+let test_mutation_edge () =
+  let g, _, v, m = simple_mutated () in
+  let alias = Alias_graph.build g in
+  match Alias_graph.must_alias_parent alias m with
+  | Some (parent, edge) ->
+      check "mutation output aliases dst" true (parent == v);
+      check "mutation kind" true
+        (match edge.kind with
+        | Alias_graph.Memory_mutation _ -> true
+        | Alias_graph.Memory_view _ | Alias_graph.Control | Alias_graph.Container
+          ->
+            false)
+  | None -> Alcotest.fail "expected mutation alias edge"
+
+let test_component_and_purity () =
+  let g, t, _, _ = simple_mutated () in
+  let alias = Alias_graph.build g in
+  check_int "component of t has 3 members" 3
+    (List.length (Alias_graph.component alias t));
+  check "pure memory" true (Alias_graph.component_pure_memory alias t)
+
+let test_subgraph_extraction () =
+  let g, t, v, m = simple_mutated () in
+  let alias = Alias_graph.build g in
+  match Subgraph.extract g alias with
+  | [ Subgraph.Safe sub ] ->
+      check "root is t" true (sub.root == t);
+      check_int "V = {view, mutation output}" 2 (List.length sub.members);
+      check "v in V" true (List.exists (fun x -> x == v) sub.members);
+      check "m in V" true (List.exists (fun x -> x == m) sub.members);
+      check_int "one mutation" 1 (List.length sub.mutations)
+  | other ->
+      Alcotest.failf "expected one safe subgraph, got %d" (List.length other)
+
+let test_container_unsafe () =
+  let b = Builder.create "cont" ~params:[ ("x", Dtype.Tensor) ] in
+  let x = Builder.param b 0 in
+  let t = Builder.clone b x in
+  (* Put t in a list and mutate a view of it: the container dependency
+     must make the component unsafe. *)
+  let lst =
+    match
+      Builder.op b Op.List_construct [ t ] [ Dtype.List Dtype.Tensor ]
+    with
+    | [ l ] -> l
+    | _ -> assert false
+  in
+  let zero = Builder.int b 0 in
+  let t2 =
+    match Builder.op b Op.List_index [ lst; zero ] [ Dtype.Tensor ] with
+    | [ v ] -> v
+    | _ -> assert false
+  in
+  let one = Builder.float b 1.0 in
+  let _ = Builder.binary_ b S.Add t2 one in
+  Builder.return b [ t ];
+  let g = Builder.graph b in
+  let alias = Alias_graph.build g in
+  match Subgraph.extract g alias with
+  | [ Subgraph.Unsafe { reason = Subgraph.Impure_dependencies; _ } ] -> ()
+  | _ -> Alcotest.fail "expected an unsafe (container) component"
+
+let test_control_unsafe () =
+  (* Mutating a tensor that flows out of an If: may-alias, unsafe. *)
+  let b =
+    Builder.create "ctrl"
+      ~params:[ ("x", Dtype.Tensor); ("c", Dtype.Scalar Dtype.Bool) ]
+  in
+  let x = Builder.param b 0 and c = Builder.param b 1 in
+  let picked =
+    Builder.if_ b ~cond:c ~out_types:[ Dtype.Tensor ]
+      ~then_:(fun () -> [ Builder.clone b x ])
+      ~else_:(fun () -> [ x ])
+  in
+  let t = List.hd picked in
+  let one = Builder.float b 1.0 in
+  let _ = Builder.binary_ b S.Add t one in
+  Builder.return b [ t ];
+  let g = Builder.graph b in
+  let alias = Alias_graph.build g in
+  match Subgraph.extract g alias with
+  | [ Subgraph.Unsafe { reason = Subgraph.Impure_dependencies; _ } ] -> ()
+  | _ -> Alcotest.fail "expected an unsafe (control) component"
+
+(* Fig. 2 of the paper: two independent components (a's and b's), each
+   safe, with the expected shapes. *)
+let fig2 () =
+  let b =
+    Builder.create "fig2"
+      ~params:
+        [
+          ("a0", Dtype.Tensor); ("b0", Dtype.Tensor); ("idx", Dtype.Scalar Dtype.Int);
+        ]
+  in
+  let a0 = Builder.param b 0 and b0 = Builder.param b 1 and idx = Builder.param b 2 in
+  let a = Builder.clone b a0 in
+  let bb = Builder.clone b b0 in
+  let zero = Builder.int b 0 in
+  let cond = Builder.scalar_binary b S.Gt idx zero in
+  let one = Builder.float b 1.0 in
+  let _ =
+    Builder.if_ b ~cond ~out_types:[]
+      ~then_:(fun () ->
+        let t = Builder.add b a one in
+        let _ = Builder.copy_ b a t in
+        let bs = Builder.select b bb ~dim:0 zero in
+        let as_ = Builder.select b a ~dim:0 zero in
+        let _ = Builder.copy_ b bs as_ in
+        [])
+      ~else_:(fun () ->
+        let t = Builder.sub b a one in
+        let _ = Builder.copy_ b a t in
+        [])
+  in
+  Builder.return b [ a; bb ];
+  (Builder.graph b, a, bb)
+
+let test_fig2_components () =
+  let g, a, bb = fig2 () in
+  let alias = Alias_graph.build g in
+  let subs = Subgraph.safe_subgraphs g alias in
+  check_int "two safe components" 2 (List.length subs);
+  let roots = List.map (fun (s : Subgraph.t) -> s.root) subs in
+  check "a's component rooted at a" true (List.exists (fun r -> r == a) roots);
+  check "b's component rooted at b" true (List.exists (fun r -> r == bb) roots);
+  let a_sub = List.find (fun (s : Subgraph.t) -> s.root == a) subs in
+  (* a is mutated twice (then and else) and viewed once. *)
+  check_int "a mutated twice" 2 (List.length a_sub.mutations)
+
+let test_alias_graph_pp () =
+  let g, _, _, _ = simple_mutated () in
+  let alias = Alias_graph.build g in
+  let text = Format.asprintf "%a" Alias_graph.pp alias in
+  check "renders edges" true (String.length text > 0)
+
+let () =
+  Alcotest.run "alias"
+    [
+      ( "edges",
+        [
+          Alcotest.test_case "view edge" `Quick test_view_edge;
+          Alcotest.test_case "mutation edge" `Quick test_mutation_edge;
+          Alcotest.test_case "component purity" `Quick test_component_and_purity;
+        ] );
+      ( "subgraphs",
+        [
+          Alcotest.test_case "extraction" `Quick test_subgraph_extraction;
+          Alcotest.test_case "container unsafe" `Quick test_container_unsafe;
+          Alcotest.test_case "control unsafe" `Quick test_control_unsafe;
+          Alcotest.test_case "fig2 components" `Quick test_fig2_components;
+          Alcotest.test_case "pretty printer" `Quick test_alias_graph_pp;
+        ] );
+    ]

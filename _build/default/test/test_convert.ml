@@ -1,0 +1,282 @@
+(* TensorSSA conversion: the paper's own examples (Fig. 2, Fig. 4) as golden
+   tests, plus interpreter-equivalence checks on mutation patterns. *)
+
+open Functs_ir
+open Functs_core
+open Functs_interp
+module T = Functs_tensor.Tensor
+module S = Functs_tensor.Scalar
+
+let check = Alcotest.(check bool)
+
+(* Fig. 4: b = b.clone(); for i in range(n): b[i] = b[i] + 1 *)
+let fig4_graph () =
+  let b =
+    Builder.create "fig4"
+      ~params:[ ("b0", Dtype.Tensor); ("n", Dtype.Scalar Dtype.Int) ]
+  in
+  let b0 = Builder.param b 0 and n = Builder.param b 1 in
+  let b1 = Builder.clone b b0 in
+  let one = Builder.float b 1.0 in
+  let _ =
+    Builder.loop b ~trip:n ~init:[] ~body:(fun ~i ~carried ->
+        let bi0 = Builder.select b b1 ~dim:0 i in
+        let t = Builder.add b bi0 one in
+        let bi1 = Builder.select b b1 ~dim:0 i in
+        let _ = Builder.copy_ b bi1 t in
+        ignore carried;
+        [])
+  in
+  Builder.return b [ b1 ];
+  Builder.graph b
+
+(* Fig. 2: branch mutating both a (whole) and b (view). *)
+let fig2_graph () =
+  let b =
+    Builder.create "fig2"
+      ~params:
+        [
+          ("a0", Dtype.Tensor);
+          ("b0", Dtype.Tensor);
+          ("idx", Dtype.Scalar Dtype.Int);
+        ]
+  in
+  let a0 = Builder.param b 0
+  and b0 = Builder.param b 1
+  and idx = Builder.param b 2 in
+  let a = Builder.clone b a0 in
+  let bb = Builder.clone b b0 in
+  let zero = Builder.int b 0 in
+  let one = Builder.float b 1.0 in
+  let cond = Builder.scalar_binary b S.Gt idx zero in
+  let _ =
+    Builder.if_ b ~cond ~out_types:[]
+      ~then_:(fun () ->
+        (* a += 1 ; b[0] = a[0] *)
+        let t = Builder.add b a one in
+        let _ = Builder.copy_ b a t in
+        let bsel = Builder.select b bb ~dim:0 zero in
+        let asel = Builder.select b a ~dim:0 zero in
+        let _ = Builder.copy_ b bsel asel in
+        [])
+      ~else_:(fun () ->
+        (* a -= 1 ; b[1] = a[1] *)
+        let t = Builder.sub b a one in
+        let _ = Builder.copy_ b a t in
+        let onei = Builder.int b 1 in
+        let bsel = Builder.select b bb ~dim:0 onei in
+        let asel = Builder.select b a ~dim:0 onei in
+        let _ = Builder.copy_ b bsel asel in
+        [])
+  in
+  Builder.return b [ a; bb ];
+  Builder.graph b
+
+let count_op g pred =
+  let n = ref 0 in
+  Graph.iter_nodes g (fun node -> if pred node.Graph.n_op then incr n);
+  !n
+
+let equivalent ?(inputs : Value.t list option) g =
+  let original = Graph.clone g in
+  let transformed = Graph.clone g in
+  let stats = Convert.functionalize transformed in
+  let args =
+    match inputs with
+    | Some v -> v
+    | None ->
+        List.map
+          (fun (p : Graph.value) ->
+            match p.v_type with
+            | Dtype.Tensor ->
+                Value.Tensor (T.of_array [| 4; 3 |] (Array.init 12 float_of_int))
+            | Dtype.Scalar Dtype.Int -> Value.Int 2
+            | Dtype.Scalar Dtype.Float -> Value.Float 1.5
+            | Dtype.Scalar Dtype.Bool -> Value.Bool true
+            | Dtype.List _ -> Value.List [])
+          (Graph.params g)
+  in
+  let clone_args () =
+    List.map
+      (function Value.Tensor t -> Value.Tensor (T.clone t) | v -> v)
+      args
+  in
+  let out_a = Eval.run original (clone_args ()) in
+  let out_b = Eval.run transformed (clone_args ()) in
+  (stats, List.for_all2 (Value.equal ~atol:1e-6) out_a out_b)
+
+let test_fig4_shape () =
+  let g = fig4_graph () in
+  let stats = Convert.functionalize g in
+  check "one mutation rewritten" true (stats.mutations_rewritten = 1);
+  check "mutation free" true (Convert.mutation_free g);
+  check "update free" true (Convert.update_free g);
+  Verifier.check_exn g;
+  (* The loop must now carry the tensor version. *)
+  let loop_node =
+    List.find
+      (fun (n : Graph.node) -> n.n_op = Op.Loop)
+      (Graph.all_nodes g)
+  in
+  check "loop carries one value" true (List.length loop_node.n_outputs = 1);
+  check "loop body has params i + carried" true
+    (List.length (List.hd loop_node.n_blocks).b_params = 2)
+
+let test_fig4_semantics () =
+  let g = fig4_graph () in
+  let inputs =
+    [ Value.Tensor (T.of_array [| 4; 3 |] (Array.init 12 float_of_int)); Value.Int 3 ]
+  in
+  let _, ok = equivalent ~inputs g in
+  check "fig4 before/after equivalent" true ok
+
+let test_fig2_semantics () =
+  List.iter
+    (fun idx ->
+      let g = fig2_graph () in
+      let tensor () = T.of_array [| 4; 3 |] (Array.init 12 float_of_int) in
+      let inputs =
+        [ Value.Tensor (tensor ()); Value.Tensor (tensor ()); Value.Int idx ]
+      in
+      let stats, ok = equivalent ~inputs g in
+      check "both subgraphs functionalized" true
+        (stats.subgraphs_functionalized = 2);
+      check
+        (Printf.sprintf "fig2 equivalent for idx=%d" idx)
+        true ok)
+    [ -1; 1 ]
+
+let test_fig2_mutation_free () =
+  let g = fig2_graph () in
+  let _ = Convert.functionalize g in
+  check "no mutation remains" true (Convert.mutation_free g);
+  check "no view remains in functionalized components" true
+    (count_op g Op.is_view = 0)
+
+(* Mutating a graph input without cloning must be skipped conservatively. *)
+let test_mutated_input_skipped () =
+  let b = Builder.create "unsafe" ~params:[ ("x", Dtype.Tensor) ] in
+  let x = Builder.param b 0 in
+  let zero = Builder.int b 0 in
+  let v = Builder.select b x ~dim:0 zero in
+  let one = Builder.float b 1.0 in
+  let _ = Builder.binary_ b S.Add v one in
+  Builder.return b [ x ];
+  let g = Builder.graph b in
+  let stats = Convert.functionalize g in
+  check "skipped" true (List.length stats.subgraphs_skipped = 1);
+  check "not functionalized" true (stats.subgraphs_functionalized = 0);
+  check "mutation kept" true (not (Convert.mutation_free g))
+
+(* Chained views: t[0][1] mutated through a two-step view path. *)
+let test_chained_views () =
+  let b = Builder.create "chain" ~params:[ ("x", Dtype.Tensor) ] in
+  let x = Builder.param b 0 in
+  let t = Builder.clone b x in
+  let zero = Builder.int b 0 in
+  let one = Builder.int b 1 in
+  let row = Builder.select b t ~dim:0 zero in
+  let cell = Builder.select b row ~dim:0 one in
+  let hundred = Builder.float b 100.0 in
+  let _ = Builder.fill_ b cell hundred in
+  Builder.return b [ t ];
+  let g = Builder.graph b in
+  let inputs = [ Value.Tensor (T.of_array [| 3; 3 |] (Array.init 9 float_of_int)) ] in
+  let stats, ok = equivalent ~inputs g in
+  check "chained views equivalent" true ok;
+  check "one subgraph" true (stats.subgraphs_functionalized = 1)
+
+(* Mutation through a slice (strided region). *)
+let test_slice_mutation () =
+  let b = Builder.create "slice" ~params:[ ("x", Dtype.Tensor) ] in
+  let x = Builder.param b 0 in
+  let t = Builder.clone b x in
+  let start = Builder.int b 1 in
+  let stop = Builder.int b 3 in
+  let region = Builder.slice b t ~dim:0 ~start ~stop () in
+  let _ = Builder.unary_ b S.Neg region in
+  Builder.return b [ t ];
+  let g = Builder.graph b in
+  let inputs = [ Value.Tensor (T.of_array [| 4; 3 |] (Array.init 12 float_of_int)) ] in
+  let _, ok = equivalent ~inputs g in
+  check "slice mutation equivalent" true ok
+
+(* Two sequential mutations of sibling views: version chaining. *)
+let test_sequential_mutations () =
+  let b = Builder.create "seq" ~params:[ ("x", Dtype.Tensor) ] in
+  let x = Builder.param b 0 in
+  let t = Builder.clone b x in
+  let zero = Builder.int b 0 in
+  let one = Builder.int b 1 in
+  let v0 = Builder.select b t ~dim:0 zero in
+  let v1 = Builder.select b t ~dim:0 one in
+  (* t[0] += t[1]; then t[1] *= 2 — second mutation must read the state
+     after the first through regenerated accesses. *)
+  let _ = Builder.binary_ b S.Add v0 v1 in
+  let two = Builder.float b 2.0 in
+  let _ = Builder.binary_ b S.Mul v1 two in
+  Builder.return b [ t ];
+  let g = Builder.graph b in
+  let inputs = [ Value.Tensor (T.of_array [| 3; 2 |] [| 1.; 2.; 3.; 4.; 5.; 6. |]) ] in
+  let _, ok = equivalent ~inputs g in
+  check "sequential mutations equivalent" true ok
+
+(* Mutation under an If nested in a Loop: multi-level block propagation. *)
+let test_nested_control_flow () =
+  let b =
+    Builder.create "nested"
+      ~params:[ ("x", Dtype.Tensor); ("n", Dtype.Scalar Dtype.Int) ]
+  in
+  let x = Builder.param b 0 and n = Builder.param b 1 in
+  let t = Builder.clone b x in
+  let _ =
+    Builder.loop b ~trip:n ~init:[] ~body:(fun ~i ~carried ->
+        ignore carried;
+        let two = Builder.int b 2 in
+        let m = Builder.scalar_binary b S.Div i two in
+        let m2 = Builder.scalar_binary b S.Mul m two in
+        let cond = Builder.scalar_binary b S.Eq i m2 in
+        let _ =
+          Builder.if_ b ~cond ~out_types:[]
+            ~then_:(fun () ->
+              let row = Builder.select b t ~dim:0 i in
+              let one = Builder.float b 1.0 in
+              let _ = Builder.binary_ b S.Add row one in
+              [])
+            ~else_:(fun () -> [])
+        in
+        [])
+  in
+  Builder.return b [ t ];
+  let g = Builder.graph b in
+  let inputs =
+    [ Value.Tensor (T.of_array [| 4; 3 |] (Array.init 12 float_of_int)); Value.Int 4 ]
+  in
+  let _, ok = equivalent ~inputs g in
+  check "nested control flow equivalent" true ok
+
+let () =
+  Alcotest.run "convert"
+    [
+      ( "paper-examples",
+        [
+          Alcotest.test_case "fig4 structure" `Quick test_fig4_shape;
+          Alcotest.test_case "fig4 semantics" `Quick test_fig4_semantics;
+          Alcotest.test_case "fig2 semantics" `Quick test_fig2_semantics;
+          Alcotest.test_case "fig2 mutation-free" `Quick test_fig2_mutation_free;
+        ] );
+      ( "safety",
+        [
+          Alcotest.test_case "mutated input skipped" `Quick
+            test_mutated_input_skipped;
+        ] );
+      ( "patterns",
+        [
+          Alcotest.test_case "chained views" `Quick test_chained_views;
+          Alcotest.test_case "slice mutation" `Quick test_slice_mutation;
+          Alcotest.test_case "sequential mutations" `Quick
+            test_sequential_mutations;
+          Alcotest.test_case "nested control flow" `Quick
+            test_nested_control_flow;
+        ] );
+    ]

@@ -1,0 +1,115 @@
+(* Property-based validation of the TensorSSA conversion: random
+   imperative programs (view reads, slice/select mutations, nested ifs and
+   loops) must behave identically before and after functionalization, and
+   the converted graph must satisfy the SSA invariants. *)
+
+open Functs_ir
+open Functs_core
+open Functs_frontend
+open Functs_interp
+module T = Functs_tensor.Tensor
+module S = Functs_tensor.Scalar
+module G = QCheck2.Gen
+
+let rows = Generators.rows
+let gen_program = Generators.gen_program
+let print_program = Generators.print_program
+
+
+(* --- properties --- *)
+
+let inputs seed =
+  let state = Random.State.make [| seed |] in
+  [ Value.Tensor (T.rand state [| rows; rows |]); Value.Int 1 ]
+
+let run_graph g seed =
+  let args =
+    List.map
+      (function
+        | Value.Tensor t -> Value.Tensor (T.clone t)
+        | (Value.Int _ | Value.Float _ | Value.Bool _ | Value.List _) as v -> v)
+      (inputs seed)
+  in
+  Eval.run g args
+
+let prop_equivalence =
+  QCheck2.Test.make ~name:"functionalize preserves semantics" ~count:250
+    ~print:print_program gen_program (fun p ->
+      let g = Lower.program p in
+      let g' = Graph.clone g in
+      ignore (Convert.functionalize g');
+      let out1 = run_graph g 42 and out2 = run_graph g' 42 in
+      List.for_all2 (Value.equal ~atol:1e-5) out1 out2)
+
+let prop_ssa_invariants =
+  QCheck2.Test.make
+    ~name:
+      "converted graphs are update-free, verified, and mutation-free when \
+       no component was skipped"
+    ~count:250 ~print:print_program gen_program (fun p ->
+      let g = Lower.program p in
+      let stats = Convert.functionalize g in
+      (* Components with control/container aliasing (e.g. a whole-tensor
+         += under a loop making t loop-carried) are conservatively kept
+         imperative — the paper's "memory dependencies only" scope. *)
+      let fully_safe = stats.subgraphs_skipped = [] in
+      ((not fully_safe) || Convert.mutation_free g)
+      && Convert.update_free g
+      && Result.is_ok (Verifier.check g))
+
+let prop_idempotent =
+  QCheck2.Test.make ~name:"functionalize is idempotent" ~count:100
+    ~print:print_program gen_program (fun p ->
+      let g = Lower.program p in
+      ignore (Convert.functionalize g);
+      let before = Printer.to_string g in
+      let stats = Convert.functionalize g in
+      stats.mutations_rewritten = 0 && Printer.to_string g = before)
+
+let prop_dce_preserves =
+  QCheck2.Test.make ~name:"DCE preserves program results" ~count:100
+    ~print:print_program gen_program (fun p ->
+      let g = Lower.program p in
+      let g' = Graph.clone g in
+      Dce.run g';
+      let out1 = run_graph g 7 and out2 = run_graph g' 7 in
+      List.for_all2 (Value.equal ~atol:1e-6) out1 out2)
+
+let prop_fusion_trace_equivalence =
+  QCheck2.Test.make
+    ~name:"traced execution under every pipeline matches reference" ~count:60
+    ~print:print_program gen_program (fun p ->
+      let g = Lower.program p in
+      let reference = run_graph g 13 in
+      List.for_all
+        (fun profile ->
+          let g' = Graph.clone g in
+          if profile.Compiler_profile.functionalize then
+            ignore (Convert.functionalize g');
+          let plan = Fusion.plan profile g' in
+          let args =
+            List.map
+              (function
+                | Value.Tensor t -> Value.Tensor (T.clone t)
+                | (Value.Int _ | Value.Float _ | Value.Bool _ | Value.List _) as
+                  v ->
+                    v)
+              (inputs 13)
+          in
+          let out, _ = Functs_cost.Trace.run ~profile ~plan g' args in
+          List.for_all2 (Value.equal ~atol:1e-5) reference out)
+        Compiler_profile.all)
+
+let () =
+  Alcotest.run "convert-properties"
+    [
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_equivalence;
+            prop_ssa_invariants;
+            prop_idempotent;
+            prop_dce_preserves;
+            prop_fusion_trace_equivalence;
+          ] );
+    ]

@@ -1,0 +1,210 @@
+(* Cost model: per-op traffic/flops accounting, kernel aggregation of fused
+   groups, parallel-loop collapsing, runtime overhead attribution, and the
+   roofline latency formula. *)
+
+open Functs_ir
+open Functs_core
+open Functs_interp
+open Functs_cost
+module T = Functs_tensor.Tensor
+module S = Functs_tensor.Scalar
+module CP = Compiler_profile
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-6))
+
+let trace profile g args =
+  let g = Graph.clone g in
+  let g =
+    if profile.CP.functionalize then begin
+      ignore (Convert.functionalize g);
+      g
+    end
+    else g
+  in
+  let plan = Fusion.plan profile g in
+  Trace.run ~profile ~plan g args
+
+let chain_graph () =
+  let b = Builder.create "chain" ~params:[ ("x", Dtype.Tensor) ] in
+  let x = Builder.param b 0 in
+  let a = Builder.unary b S.Neg x in
+  let c = Builder.exp b a in
+  Builder.return b [ c ];
+  Builder.graph b
+
+let test_kernel_counts_chain () =
+  let g = chain_graph () in
+  let args = [ Value.Tensor (T.ones [| 8 |]) ] in
+  let _, eager = trace CP.eager g args in
+  let _, nnc = trace CP.ts_nnc g args in
+  check_int "eager launches 2" 2 eager.Trace.kernel_launches;
+  check_int "nnc launches 1" 1 nnc.Trace.kernel_launches;
+  check_int "eager dispatches 2" 2 eager.Trace.eager_dispatches;
+  check_int "nnc no eager dispatch" 0 nnc.Trace.eager_dispatches
+
+let test_fused_traffic_smaller () =
+  (* Fusing removes the intermediate tensor's round trip. *)
+  let g = chain_graph () in
+  let args = [ Value.Tensor (T.ones [| 64 |]) ] in
+  let _, eager = trace CP.eager g args in
+  let _, nnc = trace CP.ts_nnc g args in
+  check "fused moves less data" true
+    (nnc.Trace.total_bytes < eager.Trace.total_bytes);
+  (* Exactly: eager moves (in+out) per op = 4 tensors; fused moves 2. *)
+  checkf "fused halves the traffic" (2.0 *. nnc.Trace.total_bytes)
+    eager.Trace.total_bytes
+
+let test_flops_accounting () =
+  let b = Builder.create "mm" ~params:[ ("x", Dtype.Tensor); ("y", Dtype.Tensor) ] in
+  let x = Builder.param b 0 and y = Builder.param b 1 in
+  Builder.return b [ Builder.matmul b x y ];
+  let g = Builder.graph b in
+  let args = [ Value.Tensor (T.ones [| 4; 8 |]); Value.Tensor (T.ones [| 8; 2 |]) ] in
+  let _, s = trace CP.eager g args in
+  (* 2*m*n*k = 2*4*2*8 = 128 logical flops, times the size scale. *)
+  check "flops proportional to 2mnk" true
+    (s.Trace.total_flops >= 128.0 && Float.rem s.Trace.total_flops 128.0 = 0.0)
+
+let test_parallel_loop_single_kernel () =
+  let b =
+    Builder.create "par" ~params:[ ("x", Dtype.Tensor); ("n", Dtype.Scalar Dtype.Int) ]
+  in
+  let x = Builder.param b 0 and n = Builder.param b 1 in
+  let t = Builder.clone b x in
+  let one = Builder.float b 1.0 in
+  let _ =
+    Builder.loop b ~trip:n ~init:[] ~body:(fun ~i ~carried ->
+        ignore carried;
+        let v = Builder.select b t ~dim:0 i in
+        let s = Builder.add b v one in
+        let v2 = Builder.select b t ~dim:0 i in
+        let _ = Builder.copy_ b v2 s in
+        [])
+  in
+  Builder.return b [ t ];
+  let g = Builder.graph b in
+  let args = [ Value.Tensor (T.ones [| 6; 4 |]); Value.Int 6 ] in
+  let _, ssa = trace CP.tensorssa g args in
+  let _, no_h = trace CP.tensorssa_no_horizontal g args in
+  (* clone kernel + ONE loop kernel vs clone + one per iteration. *)
+  check_int "parallel: 2 kernels" 2 ssa.Trace.kernel_launches;
+  check_int "sequential: 7 kernels" 7 no_h.Trace.kernel_launches;
+  check_int "parallel loop skips iter bookkeeping" 0 ssa.Trace.ts_iters;
+  check_int "sequential pays iterations" 6 no_h.Trace.ts_iters
+
+let test_dynamo_overheads () =
+  let b =
+    Builder.create "dyn" ~params:[ ("x", Dtype.Tensor); ("n", Dtype.Scalar Dtype.Int) ]
+  in
+  let x = Builder.param b 0 and n = Builder.param b 1 in
+  let outs =
+    Builder.loop b ~trip:n ~init:[ x ] ~body:(fun ~i ~carried ->
+        ignore i;
+        match carried with
+        | [ h ] -> [ Builder.tanh b h ]
+        | _ -> assert false)
+  in
+  Builder.return b outs;
+  let g = Builder.graph b in
+  let args = [ Value.Tensor (T.ones [| 4 |]); Value.Int 5 ] in
+  let _, s = trace CP.dynamo_inductor g args in
+  check_int "python step per iteration" 5 s.Trace.python_steps;
+  check_int "graph call per iteration body" 5 s.Trace.graph_calls
+
+let test_latency_monotone_in_bytes () =
+  let p = Platform.consumer in
+  let small = Platform.kernel_time_us p ~bytes:1e3 ~flops:0.0 in
+  let large = Platform.kernel_time_us p ~bytes:1e9 ~flops:0.0 in
+  check "more bytes, more time" true (large > small);
+  checkf "launch floor" p.Platform.kernel_launch_us
+    (Platform.kernel_time_us p ~bytes:0.0 ~flops:0.0)
+
+let test_latency_roofline () =
+  let p = Platform.consumer in
+  (* Compute-bound kernel: flops term dominates. *)
+  let t = Platform.kernel_time_us p ~bytes:1.0 ~flops:(p.compute_gflops *. 1e3 *. 10.0) in
+  checkf "10us compute" (p.Platform.kernel_launch_us +. 10.0) t
+
+let test_platforms_ordered () =
+  (* The datacenter platform is strictly faster on every axis. *)
+  let c = Platform.consumer and d = Platform.datacenter in
+  check "bandwidth" true (d.mem_bw_gbps > c.mem_bw_gbps);
+  check "compute" true (d.compute_gflops > c.compute_gflops);
+  check "launch" true (d.kernel_launch_us < c.kernel_launch_us);
+  check "dispatch" true (d.eager_dispatch_us < c.eager_dispatch_us)
+
+let test_strided_mutation_penalty () =
+  (* Writing a strided column view must cost more than a contiguous row
+     under eager, and the same program functionalized avoids it. *)
+  let make select_dim =
+    let b = Builder.create "pen" ~params:[ ("x", Dtype.Tensor) ] in
+    let x = Builder.param b 0 in
+    let t = Builder.clone b x in
+    let v = Builder.select b t ~dim:select_dim (Builder.int b 0) in
+    let _ = Builder.fill_ b v (Builder.float b 1.0) in
+    Builder.return b [ t ];
+    Builder.graph b
+  in
+  let args () = [ Value.Tensor (T.ones [| 16; 16 |]) ] in
+  let _, row = trace CP.eager (make 0) (args ()) in
+  let _, col = trace CP.eager (make 1) (args ()) in
+  check "strided write costs more" true
+    (col.Trace.total_bytes > row.Trace.total_bytes);
+  let _, col_ssa = trace CP.tensorssa (make 1) (args ()) in
+  check "functionalized write is dense" true
+    (col_ssa.Trace.total_bytes < col.Trace.total_bytes)
+
+let test_op_cost_access_region () =
+  (* An access reads only its selected region, not the whole base. *)
+  let b = Builder.create "acc" ~params:[ ("x", Dtype.Tensor) ] in
+  let x = Builder.param b 0 in
+  let a = Builder.op1 b (Op.Access (Op.Select { dim = 0 })) [ x; Builder.int b 0 ] in
+  Builder.return b [ a ];
+  let g = Builder.graph b in
+  let node =
+    List.find
+      (fun (n : Graph.node) -> match n.n_op with Op.Access _ -> true | _ -> false)
+      (Graph.all_nodes g)
+  in
+  let base = T.ones [| 100; 4 |] in
+  let out = T.ones [| 4 |] in
+  let reads, writes, _ =
+    Trace.op_cost node
+      [ Value.Tensor base; Value.Int 0 ]
+      [ Value.Tensor out ]
+  in
+  checkf "region-sized read" writes reads;
+  (* Whole-base traffic would be 100x the region: compare against a clone
+     of the base, which reads it fully. *)
+  let clone_node = Graph.make_node Op.Clone [ x ] ~output_types:[ Dtype.Tensor ] in
+  let base_reads, _, _ =
+    Trace.op_cost clone_node [ Value.Tensor base ] [ Value.Tensor base ]
+  in
+  checkf "1/100th of the base" base_reads (reads *. 100.0)
+
+let () =
+  Alcotest.run "cost"
+    [
+      ( "tracing",
+        [
+          Alcotest.test_case "kernel counts" `Quick test_kernel_counts_chain;
+          Alcotest.test_case "fused traffic" `Quick test_fused_traffic_smaller;
+          Alcotest.test_case "flops" `Quick test_flops_accounting;
+          Alcotest.test_case "parallel loop" `Quick
+            test_parallel_loop_single_kernel;
+          Alcotest.test_case "dynamo overheads" `Quick test_dynamo_overheads;
+          Alcotest.test_case "strided penalty" `Quick
+            test_strided_mutation_penalty;
+          Alcotest.test_case "access region cost" `Quick
+            test_op_cost_access_region;
+        ] );
+      ( "latency",
+        [
+          Alcotest.test_case "monotone in bytes" `Quick
+            test_latency_monotone_in_bytes;
+          Alcotest.test_case "roofline" `Quick test_latency_roofline;
+          Alcotest.test_case "platform ordering" `Quick test_platforms_ordered;
+        ] );
+    ]

@@ -1,0 +1,283 @@
+(* Frontend: AST combinators, lowering (incl. scalar SSA across control
+   flow), mutation lowering, pretty printer, and error cases. *)
+
+open Functs_ir
+open Functs_frontend
+open Functs_interp
+module T = Functs_tensor.Tensor
+module S = Functs_tensor.Scalar
+
+let check = Alcotest.(check bool)
+
+let run_program p args = Eval.run (Lower.program p) args
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_assigned_vars () =
+  let body =
+    let open Ast in
+    [
+      "a" := f 1.0;
+      if_ (var "c" > i 0) [ "b" := f 2.0 ] [ incr_ "a" (f 1.0) ];
+      for_ "t" (i 3) [ "d" := var "a" ];
+      return_ [ var "a" ];
+    ]
+  in
+  Alcotest.(check (list string))
+    "collects nested assigns" [ "a"; "b"; "d" ] (Lower.assigned_vars body)
+
+let test_straight_line () =
+  let p =
+    let open Ast in
+    {
+      name = "p";
+      params = [ tensor_param "x" ];
+      body = [ "y" := (var "x" * f 2.0) + f 1.0; return_ [ var "y" ] ];
+    }
+  in
+  match run_program p [ Value.Tensor (T.of_array [| 2 |] [| 1.; 2. |]) ] with
+  | [ Value.Tensor t ] -> check "2x+1" true (T.to_flat_array t = [| 3.; 5. |])
+  | _ -> Alcotest.fail "expected tensor"
+
+let test_subscript_read_is_view () =
+  let p =
+    let open Ast in
+    {
+      name = "p";
+      params = [ tensor_param "x" ];
+      body =
+        [
+          "t" := clone (var "x");
+          (* Mutate through the row view, then read the base. *)
+          Fill (item (var "t") (i 0), 7.0);
+          return_ [ var "t" ];
+        ];
+    }
+  in
+  match run_program p [ Value.Tensor (T.zeros [| 2; 3 |]) ] with
+  | [ Value.Tensor t ] ->
+      check "write visible through base" true (T.get t [| 0; 2 |] = 7.0);
+      check "other row untouched" true (T.get t [| 1; 0 |] = 0.0)
+  | _ -> Alcotest.fail "expected tensor"
+
+let test_multi_index_semantics () =
+  (* x[0:2, 1] is tuple indexing: slice dim0, select dim1. *)
+  let p =
+    let open Ast in
+    {
+      name = "p";
+      params = [ tensor_param "x" ];
+      body =
+        [ "y" := Subscript (var "x", [ Range (i 0, i 2); At (i 1) ]); return_ [ var "y" ] ];
+    }
+  in
+  match run_program p [ Value.Tensor (T.of_array [| 3; 2 |] [| 0.; 1.; 2.; 3.; 4.; 5. |]) ] with
+  | [ Value.Tensor t ] -> check "column" true (T.to_flat_array t = [| 1.; 3. |])
+  | _ -> Alcotest.fail "expected tensor"
+
+let test_aug_tensor_is_inplace () =
+  (* a += 1 must lower as add + copy_ so aliases observe it (Fig. 2). *)
+  let p =
+    let open Ast in
+    {
+      name = "p";
+      params = [ tensor_param "x" ];
+      body =
+        [
+          "t" := clone (var "x");
+          "view" := item (var "t") (i 0);
+          incr_ "t" (f 1.0);
+          (* The pre-existing view must see the update. *)
+          return_ [ var "view" ];
+        ];
+    }
+  in
+  (match run_program p [ Value.Tensor (T.zeros [| 2; 2 |]) ] with
+  | [ Value.Tensor v ] -> check "alias sees +=" true (T.to_flat_array v = [| 1.; 1. |])
+  | _ -> Alcotest.fail "expected tensor");
+  let g = Lower.program p in
+  let has_mutation = ref false in
+  Graph.iter_nodes g (fun n -> if Op.is_mutation n.n_op then has_mutation := true);
+  check "lowered with a mutation op" true !has_mutation
+
+let test_if_scalar_ssa () =
+  let p =
+    let open Ast in
+    {
+      name = "p";
+      params = [ tensor_param "x"; int_param "c" ];
+      body =
+        [
+          "y" := var "x";
+          if_ (var "c" > i 0)
+            [ "y" := var "y" + f 10.0 ]
+            [ "y" := var "y" - f 10.0 ];
+          return_ [ var "y" ];
+        ];
+    }
+  in
+  let arg = Value.Tensor (T.zeros [| 1 |]) in
+  (match run_program p [ arg; Value.Int 1 ] with
+  | [ Value.Tensor t ] -> check "then" true (T.item t = 10.0)
+  | _ -> Alcotest.fail "then");
+  match run_program p [ arg; Value.Int (-1) ] with
+  | [ Value.Tensor t ] -> check "else" true (T.item t = -10.0)
+  | _ -> Alcotest.fail "else"
+
+let test_for_loop_carried () =
+  let p =
+    let open Ast in
+    {
+      name = "p";
+      params = [ tensor_param "x"; int_param "n" ];
+      body =
+        [
+          "acc" := var "x";
+          for_ "t" (var "n") [ "acc" := var "acc" + f 1.0 ];
+          return_ [ var "acc" ];
+        ];
+    }
+  in
+  match run_program p [ Value.Tensor (T.zeros [| 1 |]); Value.Int 5 ] with
+  | [ Value.Tensor t ] -> check "5 increments" true (T.item t = 5.0)
+  | _ -> Alcotest.fail "expected tensor"
+
+let test_loop_var_usable () =
+  let p =
+    let open Ast in
+    {
+      name = "p";
+      params = [ tensor_param "out"; int_param "n" ];
+      body =
+        [
+          "t" := clone (var "out");
+          for_ "k" (var "n") [ Store (item (var "t") (var "k"), var "k" * i 2) ];
+          return_ [ var "t" ];
+        ];
+    }
+  in
+  match run_program p [ Value.Tensor (T.zeros [| 4 |]); Value.Int 4 ] with
+  | [ Value.Tensor t ] ->
+      check "indices written" true (T.to_flat_array t = [| 0.; 2.; 4.; 6. |])
+  | _ -> Alcotest.fail "expected tensor"
+
+let test_nested_control_flow () =
+  let p =
+    let open Ast in
+    {
+      name = "p";
+      params = [ tensor_param "x"; int_param "n" ];
+      body =
+        [
+          "acc" := var "x";
+          for_ "t" (var "n")
+            [
+              (let half = var "t" / i 2 in
+               if_
+                 (var "t" = half * i 2)
+                 [ "acc" := var "acc" + f 1.0 ]
+                 [ "acc" := var "acc" - f 1.0 ]);
+            ];
+          return_ [ var "acc" ];
+        ];
+    }
+  in
+  match run_program p [ Value.Tensor (T.zeros [| 1 |]); Value.Int 5 ] with
+  | [ Value.Tensor t ] ->
+      (* +1 at t=0,2,4, -1 at t=1,3 => 1.0 *)
+      check "alternating" true (T.item t = 1.0)
+  | _ -> Alcotest.fail "expected tensor"
+
+let test_return_position_enforced () =
+  let p =
+    let open Ast in
+    {
+      name = "p";
+      params = [ tensor_param "x" ];
+      body = [ return_ [ var "x" ]; "y" := var "x" ];
+    }
+  in
+  check "misplaced return rejected" true
+    (try
+       ignore (Lower.program p);
+       false
+     with Lower.Lowering_error _ -> true)
+
+let test_unbound_variable () =
+  let p =
+    let open Ast in
+    { name = "p"; params = [ tensor_param "x" ]; body = [ return_ [ var "nope" ] ] }
+  in
+  check "unbound rejected" true
+    (try
+       ignore (Lower.program p);
+       false
+     with Lower.Lowering_error _ -> true)
+
+let test_bad_mutation_target () =
+  let p =
+    let open Ast in
+    {
+      name = "p";
+      params = [ tensor_param "x" ];
+      body = [ Store (var "x" + f 1.0, f 0.0); return_ [ var "x" ] ];
+    }
+  in
+  check "non-view store rejected" true
+    (try
+       ignore (Lower.program p);
+       false
+     with Lower.Lowering_error _ -> true)
+
+let test_pretty_printer () =
+  let w = Functs_workloads.Yolov3.workload in
+  let text =
+    Pretty.program_to_string (w.Functs_workloads.Workload.program ~batch:1 ~seq:1)
+  in
+  check "renders def" true (contains ~needle:"def yolov3_decode" text);
+  check "renders for" true (contains ~needle:"for s in range(3):" text);
+  check "renders sigmoid" true (contains ~needle:"torch.sigmoid" text);
+  check "renders clone" true (contains ~needle:".clone" text)
+
+let test_workload_pretty_all () =
+  (* Every workload pretty-prints without raising. *)
+  List.iter
+    (fun (w : Functs_workloads.Workload.t) ->
+      let text = Pretty.program_to_string (w.program ~batch:1 ~seq:4) in
+      check (w.name ^ " nonempty") true (String.length text > 40))
+    Functs_workloads.Registry.all
+
+let () =
+  Alcotest.run "frontend"
+    [
+      ( "lowering",
+        [
+          Alcotest.test_case "assigned vars" `Quick test_assigned_vars;
+          Alcotest.test_case "straight line" `Quick test_straight_line;
+          Alcotest.test_case "subscript view" `Quick test_subscript_read_is_view;
+          Alcotest.test_case "tuple indexing" `Quick test_multi_index_semantics;
+          Alcotest.test_case "tensor += is in-place" `Quick
+            test_aug_tensor_is_inplace;
+        ] );
+      ( "control-flow",
+        [
+          Alcotest.test_case "if scalar SSA" `Quick test_if_scalar_ssa;
+          Alcotest.test_case "for carried" `Quick test_for_loop_carried;
+          Alcotest.test_case "loop variable" `Quick test_loop_var_usable;
+          Alcotest.test_case "nested" `Quick test_nested_control_flow;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "return position" `Quick test_return_position_enforced;
+          Alcotest.test_case "unbound variable" `Quick test_unbound_variable;
+          Alcotest.test_case "bad mutation target" `Quick test_bad_mutation_target;
+        ] );
+      ( "pretty",
+        [
+          Alcotest.test_case "yolov3 source" `Quick test_pretty_printer;
+          Alcotest.test_case "all workloads render" `Quick test_workload_pretty_all;
+        ] );
+    ]

@@ -1,0 +1,209 @@
+(* Fusion planning: per-pipeline op classification, group formation,
+   escaping values, access-only demotion, and horizontal parallelization
+   detection. *)
+
+open Functs_ir
+open Functs_core
+module S = Functs_tensor.Scalar
+module CP = Compiler_profile
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let kernels_of plan g =
+  let groups = ref [] in
+  Graph.iter_nodes g (fun n ->
+      match Fusion.kernel_class_of plan n with
+      | Fusion.Kernel gid -> if not (List.mem gid !groups) then groups := gid :: !groups
+      | Fusion.No_cost -> ());
+  List.length !groups
+
+(* x -> neg -> exp -> sigmoid: one fused kernel for every fusing pipeline,
+   three for eager. *)
+let elementwise_chain () =
+  let b = Builder.create "chain" ~params:[ ("x", Dtype.Tensor) ] in
+  let x = Builder.param b 0 in
+  let a = Builder.unary b S.Neg x in
+  let c = Builder.exp b a in
+  let d = Builder.sigmoid b c in
+  Builder.return b [ d ];
+  Builder.graph b
+
+let test_chain_eager_vs_nnc () =
+  let g = elementwise_chain () in
+  check_int "eager: 3 kernels" 3 (kernels_of (Fusion.plan CP.eager g) g);
+  check_int "nnc: 1 fused kernel" 1 (kernels_of (Fusion.plan CP.ts_nnc g) g)
+
+let test_view_breaks_nnc_but_not_dynamo () =
+  let b = Builder.create "br" ~params:[ ("x", Dtype.Tensor) ] in
+  let x = Builder.param b 0 in
+  let a = Builder.unary b S.Neg x in
+  let v = Builder.select b a ~dim:0 (Builder.int b 0) in
+  let c = Builder.exp b v in
+  Builder.return b [ c ];
+  let g = Builder.graph b in
+  check_int "nnc: view splits into 2" 2 (kernels_of (Fusion.plan CP.ts_nnc g) g);
+  check_int "dynamo: functionalized, 1 group" 1
+    (kernels_of (Fusion.plan CP.dynamo_inductor g) g)
+
+let test_mutation_breaks_ts () =
+  let b = Builder.create "mut" ~params:[ ("x", Dtype.Tensor) ] in
+  let x = Builder.param b 0 in
+  let a = Builder.unary b S.Neg x in
+  let t = Builder.clone b a in
+  let _ = Builder.binary_ b S.Add t (Builder.float b 1.0) in
+  let c = Builder.exp b t in
+  Builder.return b [ c ];
+  let g = Builder.graph b in
+  (* neg | clone | add_ | exp: four separate kernels under NNC. *)
+  check_int "nnc: mutation isolates" 4 (kernels_of (Fusion.plan CP.ts_nnc g) g)
+
+let test_matmul_always_opaque () =
+  let b =
+    Builder.create "mm" ~params:[ ("x", Dtype.Tensor); ("y", Dtype.Tensor) ]
+  in
+  let x = Builder.param b 0 and y = Builder.param b 1 in
+  let a = Builder.sigmoid b x in
+  let m = Builder.matmul b a y in
+  let r = Builder.relu b m in
+  Builder.return b [ r ];
+  let g = Builder.graph b in
+  List.iter
+    (fun p ->
+      check (p.CP.short_name ^ ": 3 kernels") true
+        (kernels_of (Fusion.plan p g) g = 3))
+    [ CP.ts_nnc; CP.ts_nvfuser; CP.dynamo_inductor; CP.tensorssa ]
+
+let test_nvfuser_fuses_softmax () =
+  let b = Builder.create "sm" ~params:[ ("x", Dtype.Tensor) ] in
+  let x = Builder.param b 0 in
+  let a = Builder.mul b x x in
+  let s = Builder.softmax b a ~dim:0 in
+  Builder.return b [ s ];
+  let g = Builder.graph b in
+  check_int "nnc: softmax separate" 2 (kernels_of (Fusion.plan CP.ts_nnc g) g);
+  check_int "nvfuser: fused" 1 (kernels_of (Fusion.plan CP.ts_nvfuser g) g)
+
+let test_escaping () =
+  let b = Builder.create "esc" ~params:[ ("x", Dtype.Tensor) ] in
+  let x = Builder.param b 0 in
+  let a = Builder.unary b S.Neg x in
+  let c = Builder.exp b a in
+  Builder.return b [ c ];
+  let g = Builder.graph b in
+  let plan = Fusion.plan CP.ts_nnc g in
+  check "intermediate does not escape" false (Fusion.value_escapes plan a);
+  check "result escapes" true (Fusion.value_escapes plan c)
+
+let test_access_only_demotion () =
+  (* access -> matmul: the access group must be demoted to metadata. *)
+  let b =
+    Builder.create "acc" ~params:[ ("x", Dtype.Tensor); ("y", Dtype.Tensor) ]
+  in
+  let x = Builder.param b 0 and y = Builder.param b 1 in
+  let a = Builder.op1 b (Op.Access (Op.Select { dim = 0 })) [ x; Builder.int b 0 ] in
+  let m = Builder.matmul b y a in
+  Builder.return b [ m ];
+  let g = Builder.graph b in
+  let plan = Fusion.plan CP.tensorssa g in
+  check_int "only the matmul launches" 1 (kernels_of plan g)
+
+let fig4_functionalized () =
+  let b =
+    Builder.create "fig4"
+      ~params:[ ("b0", Dtype.Tensor); ("n", Dtype.Scalar Dtype.Int) ]
+  in
+  let b0 = Builder.param b 0 and n = Builder.param b 1 in
+  let t = Builder.clone b b0 in
+  let one = Builder.float b 1.0 in
+  let _ =
+    Builder.loop b ~trip:n ~init:[] ~body:(fun ~i ~carried ->
+        ignore carried;
+        let v = Builder.select b t ~dim:0 i in
+        let s = Builder.add b v one in
+        let v2 = Builder.select b t ~dim:0 i in
+        let _ = Builder.copy_ b v2 s in
+        [])
+  in
+  Builder.return b [ t ];
+  let g = Builder.graph b in
+  ignore (Convert.functionalize g);
+  g
+
+let test_horizontal_parallel_detected () =
+  let g = fig4_functionalized () in
+  let plan = Fusion.plan CP.tensorssa g in
+  let loop = List.find (fun (n : Graph.node) -> n.n_op = Op.Loop) (Graph.all_nodes g) in
+  check "parallel loop found" true (Fusion.is_parallel_loop plan loop)
+
+let test_horizontal_requires_flag () =
+  let g = fig4_functionalized () in
+  let plan = Fusion.plan CP.tensorssa_no_horizontal g in
+  let loop = List.find (fun (n : Graph.node) -> n.n_op = Op.Loop) (Graph.all_nodes g) in
+  check "disabled by profile" false (Fusion.is_parallel_loop plan loop)
+
+let test_sequential_loop_not_parallel () =
+  (* h = f(h) loops carry a true dependence: never parallel. *)
+  let b =
+    Builder.create "seq"
+      ~params:[ ("x", Dtype.Tensor); ("n", Dtype.Scalar Dtype.Int) ]
+  in
+  let x = Builder.param b 0 and n = Builder.param b 1 in
+  let outs =
+    Builder.loop b ~trip:n ~init:[ x ] ~body:(fun ~i ~carried ->
+        ignore i;
+        match carried with
+        | [ h ] -> [ Builder.tanh b h ]
+        | _ -> assert false)
+  in
+  Builder.return b outs;
+  let g = Builder.graph b in
+  ignore (Convert.functionalize g);
+  let plan = Fusion.plan CP.tensorssa g in
+  let loop = List.find (fun (n : Graph.node) -> n.n_op = Op.Loop) (Graph.all_nodes g) in
+  check "sequential loop stays sequential" false (Fusion.is_parallel_loop plan loop)
+
+let test_profiles_complete () =
+  check_int "five pipelines" 5 (List.length CP.all);
+  (match CP.find "tensorssa" with
+  | Some p -> check "find by name" true (p.CP.short_name = "TensorSSA")
+  | None -> Alcotest.fail "tensorssa not found");
+  check "find ablations" true (Option.is_some (CP.find "TensorSSA-noH"));
+  check "unknown" true (Option.is_none (CP.find "tvm"))
+
+let test_update_is_free_everywhere () =
+  List.iter
+    (fun p ->
+      check (p.CP.short_name ^ " treats update as free") true
+        (p.CP.classify Op.Update = CP.Free))
+    (CP.all @ [ CP.tensorssa_no_horizontal; CP.tensorssa_no_fusion ])
+
+let () =
+  Alcotest.run "fusion"
+    [
+      ( "vertical",
+        [
+          Alcotest.test_case "chain eager vs nnc" `Quick test_chain_eager_vs_nnc;
+          Alcotest.test_case "view breaks nnc not dynamo" `Quick
+            test_view_breaks_nnc_but_not_dynamo;
+          Alcotest.test_case "mutation breaks ts" `Quick test_mutation_breaks_ts;
+          Alcotest.test_case "matmul opaque" `Quick test_matmul_always_opaque;
+          Alcotest.test_case "nvfuser softmax" `Quick test_nvfuser_fuses_softmax;
+          Alcotest.test_case "escaping" `Quick test_escaping;
+          Alcotest.test_case "access-only demotion" `Quick
+            test_access_only_demotion;
+        ] );
+      ( "horizontal",
+        [
+          Alcotest.test_case "parallel detected" `Quick
+            test_horizontal_parallel_detected;
+          Alcotest.test_case "profile flag" `Quick test_horizontal_requires_flag;
+          Alcotest.test_case "sequential stays sequential" `Quick
+            test_sequential_loop_not_parallel;
+        ] );
+      ( "profiles",
+        [
+          Alcotest.test_case "registry" `Quick test_profiles_complete;
+          Alcotest.test_case "update free" `Quick test_update_is_free_everywhere;
+        ] );
+    ]

@@ -1,0 +1,273 @@
+(* Interpreter: operator semantics against the tensor runtime, control
+   flow, aliasing fidelity, and the observer event stream. *)
+
+open Functs_ir
+open Functs_interp
+module T = Functs_tensor.Tensor
+module S = Functs_tensor.Scalar
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let run_g b args = Eval.run (Builder.graph b) args
+
+let test_arith () =
+  let b = Builder.create "a" ~params:[ ("x", Dtype.Tensor) ] in
+  let x = Builder.param b 0 in
+  let y = Builder.add b x (Builder.float b 1.0) in
+  let z = Builder.mul b y y in
+  Builder.return b [ z ];
+  match run_g b [ Value.Tensor (T.of_array [| 2 |] [| 1.; 2. |]) ] with
+  | [ Value.Tensor t ] -> check "(x+1)^2" true (T.to_flat_array t = [| 4.; 9. |])
+  | _ -> Alcotest.fail "expected one tensor"
+
+let test_scalar_ops () =
+  let b = Builder.create "s" ~params:[ ("n", Dtype.Scalar Dtype.Int) ] in
+  let n = Builder.param b 0 in
+  let m = Builder.scalar_binary b S.Add n (Builder.int b 3) in
+  let c = Builder.scalar_binary b S.Lt n m in
+  Builder.return b [ m; c ];
+  match run_g b [ Value.Int 4 ] with
+  | [ Value.Int 7; Value.Bool true ] -> ()
+  | vs ->
+      Alcotest.failf "unexpected: %s"
+        (String.concat ";" (List.map Value.to_string vs))
+
+let test_view_mutation_aliasing () =
+  (* The interpreter must exhibit real aliasing: mutating b's view changes
+     the base returned later. *)
+  let b = Builder.create "v" ~params:[ ("x", Dtype.Tensor) ] in
+  let x = Builder.param b 0 in
+  let t = Builder.clone b x in
+  let row = Builder.select b t ~dim:0 (Builder.int b 0) in
+  let _ = Builder.fill_ b row (Builder.float b 5.0) in
+  Builder.return b [ t ];
+  match run_g b [ Value.Tensor (T.zeros [| 2; 2 |]) ] with
+  | [ Value.Tensor t ] ->
+      check "row mutated" true (T.to_flat_array t = [| 5.; 5.; 0.; 0. |])
+  | _ -> Alcotest.fail "expected tensor"
+
+let test_access_is_copy () =
+  (* immut::access must NOT alias: mutating the base afterwards leaves the
+     accessed copy unchanged. *)
+  let b = Builder.create "acc" ~params:[ ("x", Dtype.Tensor) ] in
+  let x = Builder.param b 0 in
+  let t = Builder.clone b x in
+  let zero = Builder.int b 0 in
+  let a = Builder.op1 b (Op.Access (Op.Select { dim = 0 })) [ t; zero ] in
+  let _ = Builder.fill_ b (Builder.select b t ~dim:0 zero) (Builder.float b 9.0) in
+  Builder.return b [ a; t ];
+  match run_g b [ Value.Tensor (T.zeros [| 2; 2 |]) ] with
+  | [ Value.Tensor a; Value.Tensor t ] ->
+      check "access unchanged" true (T.to_flat_array a = [| 0.; 0. |]);
+      check "base mutated" true (T.get t [| 0; 1 |] = 9.0)
+  | _ -> Alcotest.fail "expected two tensors"
+
+let test_assign_semantics () =
+  (* assign(base, src, select 0 @i) = fresh base with row i replaced. *)
+  let b =
+    Builder.create "asg" ~params:[ ("x", Dtype.Tensor); ("s", Dtype.Tensor) ]
+  in
+  let x = Builder.param b 0 and s = Builder.param b 1 in
+  let one = Builder.int b 1 in
+  let fresh = Builder.op1 b (Op.Assign (Op.Select { dim = 0 })) [ x; s; one ] in
+  Builder.return b [ fresh; x ];
+  match
+    run_g b
+      [
+        Value.Tensor (T.zeros [| 2; 2 |]);
+        Value.Tensor (T.of_array [| 2 |] [| 7.; 8. |]);
+      ]
+  with
+  | [ Value.Tensor fresh; Value.Tensor original ] ->
+      check "row replaced" true (T.to_flat_array fresh = [| 0.; 0.; 7.; 8. |]);
+      check "original untouched" true
+        (T.to_flat_array original = [| 0.; 0.; 0.; 0. |]);
+      check "no aliasing" false (T.same_storage fresh original)
+  | _ -> Alcotest.fail "expected tensors"
+
+let test_assign_scalar_source () =
+  (* assign with a scalar source broadcasts (used by fill_ rewrites). *)
+  let b = Builder.create "asgs" ~params:[ ("x", Dtype.Tensor) ] in
+  let x = Builder.param b 0 in
+  let v = Builder.float b 3.5 in
+  let fresh = Builder.op1 b (Op.Assign Op.Identity) [ x; v ] in
+  Builder.return b [ fresh ];
+  match run_g b [ Value.Tensor (T.zeros [| 3 |]) ] with
+  | [ Value.Tensor t ] ->
+      check "filled" true (T.to_flat_array t = [| 3.5; 3.5; 3.5 |])
+  | _ -> Alcotest.fail "expected tensor"
+
+let test_if_branches () =
+  let b =
+    Builder.create "iff"
+      ~params:[ ("c", Dtype.Scalar Dtype.Bool); ("x", Dtype.Tensor) ]
+  in
+  let c = Builder.param b 0 and x = Builder.param b 1 in
+  let outs =
+    Builder.if_ b ~cond:c ~out_types:[ Dtype.Tensor ]
+      ~then_:(fun () -> [ Builder.add b x (Builder.float b 1.0) ])
+      ~else_:(fun () -> [ Builder.mul b x (Builder.float b 2.0) ])
+  in
+  Builder.return b outs;
+  let g = Builder.graph b in
+  let arg = Value.Tensor (T.of_array [| 1 |] [| 10.0 |]) in
+  (match Eval.run g [ Value.Bool true; arg ] with
+  | [ Value.Tensor t ] -> check "then" true (T.item t = 11.0)
+  | _ -> Alcotest.fail "then");
+  match Eval.run g [ Value.Bool false; arg ] with
+  | [ Value.Tensor t ] -> check "else" true (T.item t = 20.0)
+  | _ -> Alcotest.fail "else"
+
+let test_loop_carried () =
+  (* sum 0..n-1 via loop-carried scalar tensor *)
+  let b = Builder.create "lp" ~params:[ ("n", Dtype.Scalar Dtype.Int) ] in
+  let n = Builder.param b 0 in
+  let init = Builder.zeros b [||] in
+  let outs =
+    Builder.loop b ~trip:n ~init:[ init ] ~body:(fun ~i ~carried ->
+        match carried with
+        | [ acc ] -> [ Builder.add b acc i ]
+        | _ -> assert false)
+  in
+  Builder.return b outs;
+  match run_g b [ Value.Int 5 ] with
+  | [ Value.Tensor t ] -> check "sum 0..4" true (T.item t = 10.0)
+  | _ -> Alcotest.fail "expected tensor"
+
+let test_zero_trip_loop () =
+  let b = Builder.create "lz" ~params:[ ("x", Dtype.Tensor) ] in
+  let x = Builder.param b 0 in
+  let outs =
+    Builder.loop b ~trip:(Builder.int b 0) ~init:[ x ] ~body:(fun ~i ~carried ->
+        ignore i;
+        match carried with
+        | [ acc ] -> [ Builder.add b acc acc ]
+        | _ -> assert false)
+  in
+  Builder.return b outs;
+  match run_g b [ Value.Tensor (T.ones [| 2 |]) ] with
+  | [ Value.Tensor t ] ->
+      check "zero-trip returns init" true (T.to_flat_array t = [| 1.; 1. |])
+  | _ -> Alcotest.fail "expected tensor"
+
+let test_list_ops () =
+  let b = Builder.create "ls" ~params:[ ("x", Dtype.Tensor) ] in
+  let x = Builder.param b 0 in
+  let y = Builder.add b x x in
+  let lst =
+    match Builder.op b Op.List_construct [ x; y ] [ Dtype.List Dtype.Tensor ] with
+    | [ l ] -> l
+    | _ -> assert false
+  in
+  let got =
+    match Builder.op b Op.List_index [ lst; Builder.int b 1 ] [ Dtype.Tensor ] with
+    | [ v ] -> v
+    | _ -> assert false
+  in
+  Builder.return b [ got ];
+  match run_g b [ Value.Tensor (T.ones [| 2 |]) ] with
+  | [ Value.Tensor t ] -> check "x+x" true (T.to_flat_array t = [| 2.; 2. |])
+  | _ -> Alcotest.fail "expected tensor"
+
+let test_arity_error () =
+  let b = Builder.create "err" ~params:[ ("x", Dtype.Tensor) ] in
+  let x = Builder.param b 0 in
+  Builder.return b [ x ];
+  check "arity error raised" true
+    (try
+       ignore (run_g b []);
+       false
+     with Eval.Runtime_error _ -> true)
+
+let test_observer_events () =
+  let b = Builder.create "obs" ~params:[ ("n", Dtype.Scalar Dtype.Int) ] in
+  let n = Builder.param b 0 in
+  let init = Builder.zeros b [| 2 |] in
+  let outs =
+    Builder.loop b ~trip:n ~init:[ init ] ~body:(fun ~i ~carried ->
+        ignore i;
+        match carried with
+        | [ acc ] -> [ Builder.add b acc (Builder.float b 1.0) ]
+        | _ -> assert false)
+  in
+  Builder.return b outs;
+  let iterations = ref 0 and ops = ref 0 and loops = ref 0 in
+  let observer = function
+    | Eval.Loop_iteration _ -> incr iterations
+    | Eval.Op_executed _ -> incr ops
+    | Eval.Loop_started _ -> incr loops
+    | Eval.If_taken _ -> ()
+  in
+  ignore (Eval.run ~observer (Builder.graph b) [ Value.Int 3 ]);
+  check_int "three iterations" 3 !iterations;
+  check_int "one loop" 1 !loops;
+  check "ops observed" true (!ops > 3)
+
+(* Property: for random elementwise expressions, interpreting matches
+   directly computing with the tensor ops. *)
+let prop_unary_matches =
+  QCheck2.Test.make ~name:"interp unary = Ops.unary" ~count:50
+    QCheck2.Gen.(
+      pair (oneofl S.all_unary)
+        (array_size (return 6) (float_bound_inclusive 4.0)))
+    (fun (fn, data) ->
+      let input = T.of_array [| 6 |] data in
+      let b = Builder.create "p" ~params:[ ("x", Dtype.Tensor) ] in
+      let x = Builder.param b 0 in
+      Builder.return b [ Builder.unary b fn x ];
+      match Eval.run (Builder.graph b) [ Value.Tensor (T.clone input) ] with
+      | [ Value.Tensor out ] ->
+          T.allclose ~atol:1e-9 out (Functs_tensor.Ops.unary fn input)
+      | _ -> false)
+
+let prop_binary_matches =
+  QCheck2.Test.make ~name:"interp binary = Ops.binary" ~count:50
+    QCheck2.Gen.(
+      triple (oneofl S.all_binary)
+        (array_size (return 4) (float_range 0.5 4.0))
+        (array_size (return 4) (float_range 0.5 4.0)))
+    (fun (fn, d1, d2) ->
+      let a = T.of_array [| 4 |] d1 and c = T.of_array [| 4 |] d2 in
+      let b = Builder.create "p" ~params:[ ("x", Dtype.Tensor); ("y", Dtype.Tensor) ] in
+      let x = Builder.param b 0 and y = Builder.param b 1 in
+      Builder.return b [ Builder.binary b fn x y ];
+      match
+        Eval.run (Builder.graph b)
+          [ Value.Tensor (T.clone a); Value.Tensor (T.clone c) ]
+      with
+      | [ Value.Tensor out ] ->
+          T.allclose ~atol:1e-9 out (Functs_tensor.Ops.binary fn a c)
+      | _ -> false)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest [ prop_unary_matches; prop_binary_matches ]
+
+let () =
+  Alcotest.run "interp"
+    [
+      ( "operators",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_arith;
+          Alcotest.test_case "scalar ops" `Quick test_scalar_ops;
+          Alcotest.test_case "view mutation aliasing" `Quick
+            test_view_mutation_aliasing;
+          Alcotest.test_case "access copies" `Quick test_access_is_copy;
+          Alcotest.test_case "assign semantics" `Quick test_assign_semantics;
+          Alcotest.test_case "assign scalar source" `Quick
+            test_assign_scalar_source;
+          Alcotest.test_case "list ops" `Quick test_list_ops;
+        ] );
+      ( "control-flow",
+        [
+          Alcotest.test_case "if branches" `Quick test_if_branches;
+          Alcotest.test_case "loop carried" `Quick test_loop_carried;
+          Alcotest.test_case "zero-trip loop" `Quick test_zero_trip_loop;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "arity error" `Quick test_arity_error;
+          Alcotest.test_case "observer events" `Quick test_observer_events;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,226 @@
+(* Textual IR parser: print -> parse round-trips on hand-written graphs,
+   on every workload graph, and on their TensorSSA forms; structural and
+   behavioural equivalence. *)
+
+open Functs_ir
+open Functs_core
+open Functs_interp
+open Functs_workloads
+module T = Functs_tensor.Tensor
+
+let check = Alcotest.(check bool)
+
+(* Normalize value ids so two prints of structurally identical graphs
+   compare equal: %name.123 -> %name.N, %v42 -> %vN. *)
+let normalize text =
+  let buf = Buffer.create (String.length text) in
+  let n = String.length text in
+  let i = ref 0 in
+  let is_digit c = c >= '0' && c <= '9' in
+  while !i < n do
+    let c = text.[!i] in
+    if
+      (c = '.' || c = 'v')
+      && !i > 0
+      && (text.[!i - 1] <> ' ' || c = '.')
+      && !i + 1 < n
+      && is_digit text.[!i + 1]
+      && (c <> 'v' || text.[!i - 1] = '%')
+    then begin
+      Buffer.add_char buf c;
+      Buffer.add_char buf 'N';
+      incr i;
+      while !i < n && is_digit text.[!i] do
+        incr i
+      done
+    end
+    else begin
+      Buffer.add_char buf c;
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let op_multiset g =
+  let acc = ref [] in
+  Graph.iter_nodes g (fun n -> acc := Op.name n.Graph.n_op :: !acc);
+  List.sort compare !acc
+
+let roundtrip g =
+  let text = Printer.to_string g in
+  let parsed = Parser.parse text in
+  Verifier.check_exn parsed;
+  parsed
+
+let test_simple_roundtrip () =
+  let b = Builder.create "simple" ~params:[ ("x", Dtype.Tensor) ] in
+  let x = Builder.param b 0 in
+  let y = Builder.add b x (Builder.float b 2.0) in
+  Builder.return b [ Builder.sigmoid b y ];
+  let g = Builder.graph b in
+  let parsed = roundtrip g in
+  check "same ops" true (op_multiset g = op_multiset parsed);
+  check "same print modulo ids" true
+    (normalize (Printer.to_string g) = normalize (Printer.to_string parsed))
+
+let test_control_flow_roundtrip () =
+  let b =
+    Builder.create "cf"
+      ~params:[ ("x", Dtype.Tensor); ("n", Dtype.Scalar Dtype.Int) ]
+  in
+  let x = Builder.param b 0 and n = Builder.param b 1 in
+  let zero = Builder.int b 0 in
+  let cond = Builder.scalar_binary b Functs_tensor.Scalar.Gt n zero in
+  let picked =
+    Builder.if_ b ~cond ~out_types:[ Dtype.Tensor ]
+      ~then_:(fun () -> [ Builder.relu b x ])
+      ~else_:(fun () -> [ Builder.unary b Functs_tensor.Scalar.Neg x ])
+  in
+  ignore picked;
+  let outs =
+    Builder.loop b ~trip:n ~init:picked ~body:(fun ~i ~carried ->
+        ignore i;
+        [ Builder.exp b (List.hd carried) ])
+  in
+  Builder.return b outs;
+  let g = Builder.graph b in
+  let parsed = roundtrip g in
+  check "ops preserved" true (op_multiset g = op_multiset parsed);
+  (* And it still executes identically. *)
+  let args = [ Value.Tensor (T.of_array [| 2 |] [| 0.5; -0.5 |]); Value.Int 2 ] in
+  let r1 = Eval.run g args and r2 = Eval.run parsed args in
+  check "same behaviour" true (List.for_all2 (Value.equal ~atol:1e-9) r1 r2)
+
+let test_constant_types_roundtrip () =
+  let b = Builder.create "c" ~params:[] in
+  let i = Builder.int b 7 in
+  let f = Builder.float b 7.0 in
+  let v = Builder.bool b true in
+  let s = Builder.scalar_binary b Functs_tensor.Scalar.Add i i in
+  ignore (f, v);
+  Builder.return b [ s ];
+  let g = Builder.graph b in
+  let parsed = roundtrip g in
+  (* The int 7 and float 7.0 both print as value=7: types must
+     disambiguate. *)
+  let constants g =
+    let acc = ref [] in
+    Graph.iter_nodes g (fun n ->
+        match n.Graph.n_op with Op.Constant c -> acc := c :: !acc | _ -> ());
+    List.sort compare !acc
+  in
+  check "constant kinds preserved" true (constants g = constants parsed)
+
+let test_view_attr_roundtrip () =
+  let b = Builder.create "v" ~params:[ ("x", Dtype.Tensor) ] in
+  let x = Builder.param b 0 in
+  let s1 = Builder.select b x ~dim:1 (Builder.int b 2) in
+  let s2 =
+    Builder.slice b x ~dim:0 ~step:2 ~start:(Builder.int b 0)
+      ~stop:(Builder.int b 4) ()
+  in
+  let s3 = Builder.reshape b s2 [| 2; 2 |] in
+  let s4 = Builder.permute b s3 [| 1; 0 |] in
+  let s5 = Builder.expand b (Builder.unsqueeze b s1 ~dim:0) [| 3; 2 |] in
+  Builder.return b [ s4; s5 ];
+  let g = Builder.graph b in
+  let parsed = roundtrip g in
+  check "view rules preserved" true (op_multiset g = op_multiset parsed)
+
+let test_workloads_roundtrip () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let seq = min w.default_seq 4 in
+      let g = Workload.graph w ~batch:1 ~seq in
+      let parsed = roundtrip g in
+      check (w.name ^ " ops") true (op_multiset g = op_multiset parsed);
+      check
+        (w.name ^ " normalized text")
+        true
+        (normalize (Printer.to_string g) = normalize (Printer.to_string parsed));
+      let args = w.inputs ~batch:1 ~seq in
+      let clone_args () =
+        List.map
+          (function
+            | Value.Tensor t -> Value.Tensor (T.clone t)
+            | (Value.Int _ | Value.Float _ | Value.Bool _ | Value.List _) as v ->
+                v)
+          args
+      in
+      let r1 = Eval.run g (clone_args ()) in
+      let r2 = Eval.run parsed (clone_args ()) in
+      check (w.name ^ " behaviour") true
+        (List.for_all2 (Value.equal ~atol:1e-6) r1 r2))
+    Registry.all
+
+let test_tensorssa_form_roundtrip () =
+  (* immut::access / immut::assign / loop-carried versions all survive. *)
+  List.iter
+    (fun (w : Workload.t) ->
+      let seq = min w.default_seq 4 in
+      let g = Workload.graph w ~batch:1 ~seq in
+      ignore (Convert.functionalize g);
+      let parsed = roundtrip g in
+      check (w.name ^ " functionalized ops") true
+        (op_multiset g = op_multiset parsed))
+    Registry.all
+
+let test_parse_errors () =
+  let rejects s =
+    try
+      ignore (Parser.parse s);
+      false
+    with Parser.Parse_error _ -> true
+  in
+  check "no header" true (rejects "return (%x)");
+  check "unknown op" true
+    (rejects "graph g(%x : Tensor):\n  %y : Tensor = aten::frobnicate(%x)\n  return (%y)");
+  check "unknown value" true
+    (rejects "graph g(%x : Tensor):\n  return (%zzz)");
+  check "bad type" true (rejects "graph g(%x : Matrix):\n  return (%x)");
+  check "verification failure surfaces" true
+    (rejects
+       "graph g(%x : Tensor):\n  prim::If(%x)\n  return (%x)")
+
+let test_parse_handwritten () =
+  (* A hand-written program in the textual format. *)
+  let src =
+    "graph double_rows(%x : Tensor, %n : int):\n\
+    \  %t : Tensor = aten::clone(%x)\n\
+    \  %two : float = prim::Constant[value=2]()\n\
+    \  %out : Tensor = prim::Loop(%n, %t)\n\
+    \    block0(%i : int, %acc : Tensor):\n\
+    \      %row : Tensor = immut::select[select(dim=0)](%acc, %i)\n\
+    \      %scaled : Tensor = aten::mul(%row, %two)\n\
+    \      %next : Tensor = immut::assign[select(dim=0)](%acc, %scaled, %i)\n\
+    \      -> (%next)\n\
+    \  return (%out)\n"
+  in
+  let g = Parser.parse src in
+  Verifier.check_exn g;
+  match
+    Eval.run g
+      [ Value.Tensor (T.of_array [| 2; 2 |] [| 1.; 2.; 3.; 4. |]); Value.Int 2 ]
+  with
+  | [ Value.Tensor t ] ->
+      check "doubled" true (T.to_flat_array t = [| 2.; 4.; 6.; 8. |])
+  | _ -> Alcotest.fail "expected one tensor"
+
+let () =
+  Alcotest.run "parser"
+    [
+      ( "roundtrip",
+        [
+          Alcotest.test_case "simple" `Quick test_simple_roundtrip;
+          Alcotest.test_case "control flow" `Quick test_control_flow_roundtrip;
+          Alcotest.test_case "constant types" `Quick test_constant_types_roundtrip;
+          Alcotest.test_case "view attributes" `Quick test_view_attr_roundtrip;
+          Alcotest.test_case "all workloads" `Quick test_workloads_roundtrip;
+          Alcotest.test_case "tensorssa forms" `Quick test_tensorssa_form_roundtrip;
+        ] );
+      ( "parsing",
+        [
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "handwritten program" `Quick test_parse_handwritten;
+        ] );
+    ]

@@ -1,0 +1,200 @@
+(* Shape inference: op rules, partial shapes, loop fixpoints, mismatch
+   diagnostics, and an oracle test validating inferred shapes against the
+   interpreter's runtime shapes on every workload. *)
+
+open Functs_ir
+open Functs_interp
+open Functs_workloads
+module T = Functs_tensor.Tensor
+module S = Functs_tensor.Scalar
+module SI = Shape_infer
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let check_shape msg result v expected =
+  match SI.shape_of result v with
+  | Some s ->
+      Alcotest.(check string) msg expected (SI.to_string s)
+  | None -> Alcotest.failf "%s: no shape inferred" msg
+
+let test_elementwise_broadcast () =
+  let b = Builder.create "e" ~params:[ ("x", Dtype.Tensor); ("y", Dtype.Tensor) ] in
+  let x = Builder.param b 0 and y = Builder.param b 1 in
+  let s = Builder.add b x y in
+  Builder.return b [ s ];
+  let g = Builder.graph b in
+  let r =
+    SI.infer g ~inputs:[ Some (SI.known [| 3; 1 |]); Some (SI.known [| 1; 4 |]) ]
+  in
+  check_shape "broadcast" r s "[3, 4]";
+  check_int "no diagnostics" 0 (List.length r.diagnostics)
+
+let test_matmul_shapes_and_mismatch () =
+  let b = Builder.create "m" ~params:[ ("x", Dtype.Tensor); ("y", Dtype.Tensor) ] in
+  let x = Builder.param b 0 and y = Builder.param b 1 in
+  let m = Builder.matmul b x y in
+  Builder.return b [ m ];
+  let g = Builder.graph b in
+  let r =
+    SI.infer g ~inputs:[ Some (SI.known [| 2; 5 |]); Some (SI.known [| 5; 7 |]) ]
+  in
+  check_shape "matmul" r m "[2, 7]";
+  let bad =
+    SI.infer g ~inputs:[ Some (SI.known [| 2; 5 |]); Some (SI.known [| 6; 7 |]) ]
+  in
+  check "mismatch reported" true (List.length bad.diagnostics > 0)
+
+let test_views () =
+  let b = Builder.create "v" ~params:[ ("x", Dtype.Tensor) ] in
+  let x = Builder.param b 0 in
+  let sel = Builder.select b x ~dim:0 (Builder.int b 1) in
+  let sl =
+    Builder.slice b x ~dim:1 ~start:(Builder.int b 1) ~stop:(Builder.int b 3) ()
+  in
+  let pm = Builder.permute b x [| 1; 0 |] in
+  let un = Builder.unsqueeze b sel ~dim:0 in
+  Builder.return b [ sel; sl; pm; un ];
+  let g = Builder.graph b in
+  let r = SI.infer g ~inputs:[ Some (SI.known [| 4; 6 |]) ] in
+  check_shape "select" r sel "[6]";
+  check_shape "slice const bounds" r sl "[4, 2]";
+  check_shape "permute" r pm "[6, 4]";
+  check_shape "unsqueeze" r un "[1, 6]"
+
+let test_dynamic_slice_unknown () =
+  let b =
+    Builder.create "d" ~params:[ ("x", Dtype.Tensor); ("k", Dtype.Scalar Dtype.Int) ]
+  in
+  let x = Builder.param b 0 and k = Builder.param b 1 in
+  let sl = Builder.slice b x ~dim:0 ~start:(Builder.int b 0) ~stop:k () in
+  Builder.return b [ sl ];
+  let g = Builder.graph b in
+  let r = SI.infer g ~inputs:[ Some (SI.known [| 8; 3 |]); None ] in
+  check_shape "dynamic bound" r sl "[?, 3]"
+
+let test_reductions_and_constructors () =
+  let b = Builder.create "r" ~params:[ ("x", Dtype.Tensor) ] in
+  let x = Builder.param b 0 in
+  let s1 = Builder.sum_dim b x ~dim:1 ~keepdim:true in
+  let s2 = Builder.max_dim b x ~dim:0 ~keepdim:false in
+  let z = Builder.zeros b [| 7; 7 |] in
+  let st = Builder.stack b [ x; x; x ] ~dim:0 in
+  Builder.return b [ s1; s2; z; st ];
+  let g = Builder.graph b in
+  let r = SI.infer g ~inputs:[ Some (SI.known [| 2; 5 |]) ] in
+  check_shape "sum keepdim" r s1 "[2, 1]";
+  check_shape "max drop" r s2 "[5]";
+  check_shape "zeros" r z "[7, 7]";
+  check_shape "stack" r st "[3, 2, 5]"
+
+let test_if_join () =
+  let b =
+    Builder.create "j"
+      ~params:[ ("c", Dtype.Scalar Dtype.Bool); ("x", Dtype.Tensor) ]
+  in
+  let c = Builder.param b 0 and x = Builder.param b 1 in
+  (* branches produce [2, 3] and [2, ?]-compatible shapes *)
+  let outs =
+    Builder.if_ b ~cond:c ~out_types:[ Dtype.Tensor ]
+      ~then_:(fun () -> [ Builder.zeros b [| 2; 3 |] ])
+      ~else_:(fun () -> [ Builder.add b x x ])
+  in
+  Builder.return b outs;
+  let g = Builder.graph b in
+  let r = SI.infer g ~inputs:[ None; Some (SI.known [| 2; 5 |]) ] in
+  check_shape "if join keeps agreeing dims" r (List.hd outs) "[2, ?]"
+
+let test_loop_fixpoint () =
+  (* Carried value keeps its shape; the inference must converge. *)
+  let b =
+    Builder.create "lf" ~params:[ ("x", Dtype.Tensor); ("n", Dtype.Scalar Dtype.Int) ]
+  in
+  let x = Builder.param b 0 and n = Builder.param b 1 in
+  let outs =
+    Builder.loop b ~trip:n ~init:[ x ] ~body:(fun ~i ~carried ->
+        ignore i;
+        [ Builder.tanh b (List.hd carried) ])
+  in
+  Builder.return b outs;
+  let g = Builder.graph b in
+  let r = SI.infer g ~inputs:[ Some (SI.known [| 4; 4 |]); None ] in
+  check_shape "loop output" r (List.hd outs) "[4, 4]"
+
+let test_loop_changing_shape_degrades () =
+  (* Carried value gains rows each iteration (cat): dim must degrade to ?. *)
+  let b =
+    Builder.create "grow" ~params:[ ("x", Dtype.Tensor); ("n", Dtype.Scalar Dtype.Int) ]
+  in
+  let x = Builder.param b 0 and n = Builder.param b 1 in
+  let outs =
+    Builder.loop b ~trip:n ~init:[ x ] ~body:(fun ~i ~carried ->
+        ignore i;
+        [ Builder.cat b [ List.hd carried; x ] ~dim:0 ])
+  in
+  Builder.return b outs;
+  let g = Builder.graph b in
+  let r = SI.infer g ~inputs:[ Some (SI.known [| 2; 3 |]); None ] in
+  check_shape "growing dim unknown" r (List.hd outs) "[?, 3]";
+  check_int "no false diagnostics" 0 (List.length r.diagnostics)
+
+(* Oracle: for every workload, inferred shapes must agree with the actual
+   runtime shapes of the returned tensors. *)
+let test_workload_oracle () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let batch = 2 and seq = min w.default_seq 4 in
+      let g = Workload.graph w ~batch ~seq in
+      let args = w.inputs ~batch ~seq in
+      let input_shapes =
+        List.map
+          (function
+            | Value.Tensor t -> Some (SI.known (T.shape t))
+            | Value.Int _ | Value.Float _ | Value.Bool _ | Value.List _ -> None)
+          args
+      in
+      let r = SI.infer g ~inputs:input_shapes in
+      check (w.name ^ " no diagnostics") true (r.diagnostics = []);
+      let outputs =
+        Eval.run g
+          (List.map
+             (function
+               | Value.Tensor t -> Value.Tensor (T.clone t)
+               | v -> v)
+             args)
+      in
+      List.iter2
+        (fun (ret : Graph.value) out ->
+          match (SI.shape_of r ret, out) with
+          | Some inferred, Value.Tensor t ->
+              check
+                (Printf.sprintf "%s: %s vs runtime" w.name (SI.to_string inferred))
+                true
+                (SI.matches inferred (T.shape t))
+          | None, Value.Tensor _ -> () (* unknown is allowed, wrong is not *)
+          | _, _ -> ())
+        (Graph.returns g) outputs)
+    Registry.all
+
+let () =
+  Alcotest.run "shapes"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "broadcast" `Quick test_elementwise_broadcast;
+          Alcotest.test_case "matmul" `Quick test_matmul_shapes_and_mismatch;
+          Alcotest.test_case "views" `Quick test_views;
+          Alcotest.test_case "dynamic slice" `Quick test_dynamic_slice_unknown;
+          Alcotest.test_case "reductions/constructors" `Quick
+            test_reductions_and_constructors;
+        ] );
+      ( "control-flow",
+        [
+          Alcotest.test_case "if join" `Quick test_if_join;
+          Alcotest.test_case "loop fixpoint" `Quick test_loop_fixpoint;
+          Alcotest.test_case "growing loop degrades" `Quick
+            test_loop_changing_shape_degrades;
+        ] );
+      ( "oracle",
+        [ Alcotest.test_case "workload shapes" `Quick test_workload_oracle ] );
+    ]

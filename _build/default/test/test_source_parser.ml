@@ -1,0 +1,177 @@
+(* Surface-syntax parser: hand-written programs, error cases, and the
+   Pretty -> parse round-trip for every workload (checked by comparing the
+   lowered graphs' behaviour and their normalized pretty-printouts). *)
+
+open Functs_frontend
+open Functs_interp
+open Functs_workloads
+module T = Functs_tensor.Tensor
+
+let check = Alcotest.(check bool)
+
+let run_source src args =
+  let p = Source_parser.parse src in
+  Eval.run (Lower.program p) args
+
+let test_basic_program () =
+  let src =
+    "def double(x: Tensor):\n\
+    \    y = (x * 2.0)\n\
+    \    return y\n"
+  in
+  match run_source src [ Value.Tensor (T.of_array [| 2 |] [| 1.; 2. |]) ] with
+  | [ Value.Tensor t ] -> check "doubled" true (T.to_flat_array t = [| 2.; 4. |])
+  | _ -> Alcotest.fail "expected tensor"
+
+let test_control_flow_and_mutation () =
+  let src =
+    "def bump(x: Tensor, n: int):\n\
+    \    t = x.clone()\n\
+    \    for i in range(n):\n\
+    \        t[i] = (t[i] + 1.0)\n\
+    \    if n > 2:\n\
+    \        t += 10.0\n\
+    \    else:\n\
+    \        t -= 10.0\n\
+    \    return t\n"
+  in
+  let args n = [ Value.Tensor (T.zeros [| 4; 2 |]); Value.Int n ] in
+  (match run_source src (args 3) with
+  | [ Value.Tensor t ] ->
+      check "rows bumped and +10" true (T.get t [| 0; 0 |] = 11.0);
+      check "untouched row +10" true (T.get t [| 3; 0 |] = 10.0)
+  | _ -> Alcotest.fail "expected tensor");
+  match run_source src (args 1) with
+  | [ Value.Tensor t ] -> check "else branch" true (T.get t [| 3; 0 |] = -10.0)
+  | _ -> Alcotest.fail "expected tensor"
+
+let test_methods_and_torch_calls () =
+  let src =
+    "def f(x: Tensor):\n\
+    \    a = torch.sigmoid(x).permute(1, 0)\n\
+    \    b = torch.softmax[dim=0](a)\n\
+    \    c = torch.sum[dim=1, keepdim=true](b)\n\
+    \    d = torch.maximum(c, torch.zeros([2, 1]))\n\
+    \    return d\n"
+  in
+  match run_source src [ Value.Tensor (T.ones [| 3; 2 |]) ] with
+  | [ Value.Tensor t ] ->
+      Alcotest.(check (array int)) "shape" [| 2; 1 |] (T.shape t)
+  | _ -> Alcotest.fail "expected tensor"
+
+let test_fill_and_slices () =
+  let src =
+    "def g(x: Tensor):\n\
+    \    t = x.clone()\n\
+    \    t[0:2, 1].fill_(-3.5)\n\
+    \    t[1] *= 2.0\n\
+    \    return t\n"
+  in
+  match run_source src [ Value.Tensor (T.zeros [| 3; 2 |]) ] with
+  | [ Value.Tensor t ] ->
+      check "filled" true (T.get t [| 0; 1 |] = -3.5);
+      check "scaled row" true (T.get t [| 1; 1 |] = -7.0);
+      check "rest zero" true (T.get t [| 2; 0 |] = 0.0)
+  | _ -> Alcotest.fail "expected tensor"
+
+let test_negative_and_power () =
+  let src =
+    "def h(x: Tensor):\n\
+    \    return ((0.0 - x) ** 2.0)\n"
+  in
+  match run_source src [ Value.Tensor (T.of_array [| 2 |] [| 3.; -2. |]) ] with
+  | [ Value.Tensor t ] -> check "squared" true (T.to_flat_array t = [| 9.; 4. |])
+  | _ -> Alcotest.fail "expected tensor"
+
+let test_syntax_errors () =
+  let rejects src =
+    try
+      ignore (Source_parser.parse src);
+      false
+    with Source_parser.Syntax_error _ -> true
+  in
+  check "missing colon" true (rejects "def f(x: Tensor)\n    return x\n");
+  check "bad indent" true
+    (rejects "def f(x: Tensor):\n    y = x\n   z = x\n    return x\n");
+  check "unknown torch fn" true
+    (rejects "def f(x: Tensor):\n    return torch.qr(x)\n");
+  check "unknown method" true
+    (rejects "def f(x: Tensor):\n    return x.transpose(0, 1)\n");
+  check "stray character" true (rejects "def f(x: Tensor):\n    return x ; x\n");
+  check "untyped param" true (rejects "def f(x):\n    return x\n")
+
+(* Pretty -> parse -> Pretty must be a fixpoint, and the program must
+   behave identically — for every workload. *)
+let test_workload_roundtrip () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let seq = min w.default_seq 4 in
+      let program = w.program ~batch:1 ~seq in
+      let text = Pretty.program_to_string program in
+      let reparsed =
+        try Source_parser.parse text
+        with Source_parser.Syntax_error msg ->
+          Alcotest.failf "%s: %s\n%s" w.name msg text
+      in
+      check
+        (w.name ^ " pretty fixpoint")
+        true
+        (Pretty.program_to_string reparsed = text);
+      let args = w.inputs ~batch:1 ~seq in
+      let clone_args () =
+        List.map
+          (function
+            | Value.Tensor t -> Value.Tensor (T.clone t)
+            | v -> v)
+          args
+      in
+      let r1 = Eval.run (Lower.program program) (clone_args ()) in
+      let r2 = Eval.run (Lower.program reparsed) (clone_args ()) in
+      check (w.name ^ " behaviour") true
+        (List.for_all2 (Value.equal ~atol:1e-6) r1 r2))
+    Registry.all
+
+let prop_pretty_parse_roundtrip =
+  QCheck2.Test.make ~name:"pretty -> parse -> pretty fixpoint" ~count:200
+    ~print:Generators.print_program Generators.gen_program (fun p ->
+      let text = Pretty.program_to_string p in
+      let reparsed = Source_parser.parse text in
+      Pretty.program_to_string reparsed = text)
+
+let prop_parse_preserves_behaviour =
+  QCheck2.Test.make ~name:"parsed program behaves identically" ~count:100
+    ~print:Generators.print_program Generators.gen_program (fun p ->
+      let text = Pretty.program_to_string p in
+      let reparsed = Source_parser.parse text in
+      let state = Random.State.make [| 11 |] in
+      let args () =
+        [
+          Value.Tensor (T.rand state [| Generators.rows; Generators.rows |]);
+          Value.Int 1;
+        ]
+      in
+      let args1 = args () in
+      let r1 = Eval.run (Lower.program p) args1 in
+      let r2 = Eval.run (Lower.program reparsed) args1 in
+      List.for_all2 (Value.equal ~atol:1e-6) r1 r2)
+
+let () =
+  Alcotest.run "source-parser"
+    [
+      ( "programs",
+        [
+          Alcotest.test_case "basic" `Quick test_basic_program;
+          Alcotest.test_case "control flow + mutation" `Quick
+            test_control_flow_and_mutation;
+          Alcotest.test_case "methods and torch calls" `Quick
+            test_methods_and_torch_calls;
+          Alcotest.test_case "fill_ and slices" `Quick test_fill_and_slices;
+          Alcotest.test_case "negatives and power" `Quick test_negative_and_power;
+        ] );
+      ("errors", [ Alcotest.test_case "rejects" `Quick test_syntax_errors ]);
+      ( "roundtrip",
+        [ Alcotest.test_case "all workloads" `Quick test_workload_roundtrip ] );
+      ( "fuzz",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_pretty_parse_roundtrip; prop_parse_preserves_behaviour ] );
+    ]

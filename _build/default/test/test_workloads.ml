@@ -1,0 +1,151 @@
+(* Workloads: every registered program lowers, runs, functionalizes
+   equivalently at several scales, and exhibits the structural properties
+   the evaluation depends on (mutations present before conversion, fusion
+   advantage after). *)
+
+open Functs_ir
+open Functs_core
+open Functs_interp
+open Functs_workloads
+module T = Functs_tensor.Tensor
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let clone_args args =
+  List.map
+    (function
+      | Value.Tensor t -> Value.Tensor (T.clone t)
+      | (Value.Int _ | Value.Float _ | Value.Bool _ | Value.List _) as v -> v)
+    args
+
+let equivalence_case (w : Workload.t) ~batch ~seq () =
+  let g = Workload.graph w ~batch ~seq in
+  let g' = Graph.clone g in
+  let stats = Convert.functionalize g' in
+  check (w.name ^ " has mutations to remove") true (stats.mutations_rewritten > 0);
+  check (w.name ^ " nothing skipped") true (stats.subgraphs_skipped = []);
+  check (w.name ^ " mutation free") true (Convert.mutation_free g');
+  let args = w.inputs ~batch ~seq in
+  let out1 = Eval.run g (clone_args args) in
+  let out2 = Eval.run g' (clone_args args) in
+  check (w.name ^ " equivalent") true
+    (List.for_all2 (Value.equal ~atol:1e-4) out1 out2)
+
+let registry_cases =
+  List.map
+    (fun (w : Workload.t) ->
+      Alcotest.test_case w.name `Quick
+        (equivalence_case w ~batch:1 ~seq:(min w.default_seq 8)))
+    Registry.all
+
+let batch2_cases =
+  List.map
+    (fun (w : Workload.t) ->
+      Alcotest.test_case (w.name ^ " batch=2") `Quick
+        (equivalence_case w ~batch:2 ~seq:(min w.default_seq 4)))
+    Registry.all
+
+let test_registry_complete () =
+  check_int "eight workloads" 8 (List.length Registry.all);
+  check_int "one extension" 1 (List.length Registry.extensions);
+  check "extensions findable" true (Option.is_some (Registry.find "nms"));
+  check_int "four CV" 4 (List.length Registry.cv);
+  check_int "four NLP-ish" 4 (List.length Registry.nlp);
+  check "find works" true
+    (match Registry.find "LSTM" with
+    | Some w -> w.name = "lstm"
+    | None -> false);
+  check "unknown workload" true (Option.is_none (Registry.find "resnet"))
+
+let test_deterministic_inputs () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let a = w.inputs ~batch:1 ~seq:4 and b = w.inputs ~batch:1 ~seq:4 in
+      check (w.name ^ " inputs deterministic") true
+        (List.for_all2 (Value.equal ~atol:0.0) a b))
+    Registry.all
+
+let test_seq_scaling_shapes () =
+  (* NLP workloads produce seq-length-dependent outputs. *)
+  List.iter
+    (fun name ->
+      let w = Option.get (Registry.find name) in
+      let g = Workload.graph w ~batch:1 ~seq:6 in
+      match Eval.run g (clone_args (w.inputs ~batch:1 ~seq:6)) with
+      | Value.Tensor t :: _ ->
+          check (name ^ " leading dim is seq") true ((T.shape t).(0) = 6)
+      | _ -> Alcotest.fail "expected tensor output")
+    [ "nasrnn"; "lstm"; "seq2seq"; "attention" ]
+
+let test_tensorssa_fuses_best () =
+  (* For every workload, TensorSSA's traced kernel count is <= each
+     baseline's (Fig. 6's qualitative claim). *)
+  List.iter
+    (fun (w : Workload.t) ->
+      let batch = 1 and seq = min w.default_seq 8 in
+      let run profile =
+        let g = Workload.graph w ~batch ~seq in
+        if profile.Compiler_profile.functionalize then
+          ignore (Convert.functionalize g);
+        let plan = Fusion.plan profile g in
+        let _, s =
+          Functs_cost.Trace.run ~profile ~plan g (clone_args (w.inputs ~batch ~seq))
+        in
+        s.Functs_cost.Trace.kernel_launches
+      in
+      let ours = run Compiler_profile.tensorssa in
+      List.iter
+        (fun p ->
+          check
+            (Printf.sprintf "%s: TensorSSA kernels <= %s" w.name
+               p.Compiler_profile.short_name)
+            true
+            (ours <= run p))
+        Compiler_profile.all)
+    Registry.all
+
+let test_horizontal_applies_to_yolov3_decode () =
+  let w = Option.get (Registry.find "yolov3") in
+  let g = Workload.graph w ~batch:1 ~seq:1 in
+  ignore (Convert.functionalize g);
+  let plan = Fusion.plan Compiler_profile.tensorssa g in
+  let loops =
+    List.filter (fun (n : Graph.node) -> n.n_op = Op.Loop) (Graph.all_nodes g)
+  in
+  check "yolov3 scale loop parallelized" true
+    (List.exists (Fusion.is_parallel_loop plan) loops)
+
+(* Extension workload: data-dependent control flow still functionalizes
+   and stays equivalent, and the suppression logic behaves sanely. *)
+let test_nms_extension () =
+  let w = List.hd Registry.extensions in
+  equivalence_case w ~batch:1 ~seq:1 ();
+  let g = Workload.graph w ~batch:1 ~seq:1 in
+  match Eval.run g (clone_args (w.inputs ~batch:1 ~seq:1)) with
+  | [ Value.Tensor keep ] ->
+      let kept = T.item (Functs_tensor.Ops.sum keep) in
+      check "keeps at least one box" true (kept >= 1.0);
+      check "suppresses some boxes" true (kept < 24.0);
+      check "mask is boolean" true
+        (Array.for_all (fun v -> v = 0.0 || v = 1.0) (T.to_flat_array keep))
+  | _ -> Alcotest.fail "expected the keep mask"
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ("equivalence", registry_cases);
+      ("equivalence-batch2", batch2_cases);
+      ( "structure",
+        [
+          Alcotest.test_case "registry" `Quick test_registry_complete;
+          Alcotest.test_case "deterministic inputs" `Quick
+            test_deterministic_inputs;
+          Alcotest.test_case "seq scaling" `Quick test_seq_scaling_shapes;
+          Alcotest.test_case "tensorssa fuses best" `Quick
+            test_tensorssa_fuses_best;
+          Alcotest.test_case "yolov3 horizontal" `Quick
+            test_horizontal_applies_to_yolov3_decode;
+          Alcotest.test_case "nms extension" `Quick test_nms_extension;
+        ] );
+    ]
