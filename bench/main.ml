@@ -2,20 +2,39 @@
    evaluation (Fig. 5-8 plus the 5.2 headline), then times the compiler
    stages behind each figure with Bechamel (one Test.make per figure).
 
-   Usage: dune exec bench/main.exe [-- fig5|fig6|fig7|fig8|headline|ablation|micro]
-   With no argument everything runs. *)
+   The [exec] target instead measures wall-clock execution: every workload
+   through the reference interpreter, the fused engine, and the fused
+   engine with horizontal loop parallelization, reporting the ratios.
+
+   Usage:
+     dune exec bench/main.exe [-- fig5|fig6|fig7|fig8|headline|ablation|micro|exec]
+   With no argument everything runs.  Unknown targets exit non-zero. *)
 
 open Bechamel
 open Functs_ir
 open Functs_core
 open Functs_workloads
 module Figures = Functs_harness.Figures
+module Engine = Functs_exec.Engine
+module Scheduler = Functs_exec.Scheduler
+module Eval = Functs_interp.Eval
+module Value = Functs_interp.Value
+
+let all_targets =
+  [ "fig5"; "fig6"; "fig7"; "fig8"; "headline"; "ablation"; "micro"; "exec" ]
 
 let selected () =
   match Array.to_list Sys.argv with
-  | _ :: (_ :: _ as picks) -> picks
-  | _ :: [] | [] ->
-      [ "fig5"; "fig6"; "fig7"; "fig8"; "headline"; "ablation"; "micro" ]
+  | _ :: (_ :: _ as picks) -> (
+      match List.filter (fun p -> not (List.mem p all_targets)) picks with
+      | [] -> picks
+      | bad ->
+          Printf.eprintf "unknown target%s: %s\nvalid targets: %s\n"
+            (if List.length bad > 1 then "s" else "")
+            (String.concat ", " bad)
+            (String.concat ", " all_targets);
+          exit 2)
+  | _ :: [] | [] -> all_targets
 
 let wants what = List.mem what (selected ())
 
@@ -150,6 +169,72 @@ let run_micro () =
     results;
   print_newline ()
 
+(* --- exec: measured wall-clock of the fused execution engine --- *)
+
+let time_best f =
+  ignore (f ());
+  (* warm-up: fills the storage pool, primes caches *)
+  let once () =
+    let t0 = Unix.gettimeofday () in
+    ignore (f ());
+    Unix.gettimeofday () -. t0
+  in
+  let first = once () in
+  let reps = max 2 (min 40 (int_of_float (0.3 /. Float.max 1e-6 first))) in
+  let best = ref first in
+  for _ = 1 to reps do
+    let t = once () in
+    if t < !best then best := t
+  done;
+  !best
+
+let run_exec () =
+  print_endline
+    "Execution engine: interpreter vs fused vs fused+parallel (best \
+     wall-clock per run)";
+  Printf.printf "  %-10s %11s %11s %11s %8s %8s  %s\n" "workload" "interp(ms)"
+    "fused(ms)" "par(ms)" "fused x" "par x" "engine stats";
+  let ok = ref true in
+  List.iter
+    (fun (w : Workload.t) ->
+      let batch = w.default_batch and seq = w.default_seq in
+      let g = Workload.graph w ~batch ~seq in
+      let args = w.inputs ~batch ~seq in
+      let expected = Eval.run g args in
+      let fg = Graph.clone g in
+      ignore (Passes.tensorssa_pipeline fg);
+      let inputs = Engine.input_shapes args in
+      let eng = Engine.prepare ~parallel:false fg ~inputs in
+      let engp = Engine.prepare ~parallel:true fg ~inputs in
+      let equal got = List.for_all2 (Value.equal ~atol:1e-4) expected got in
+      if not (equal (Engine.run eng args) && equal (Engine.run engp args))
+      then begin
+        ok := false;
+        Printf.printf "  %-10s ENGINE OUTPUT DIVERGED FROM INTERPRETER\n"
+          w.name
+      end
+      else begin
+        let t_interp = time_best (fun () -> Eval.run g args) in
+        let t_fused = time_best (fun () -> Engine.run eng args) in
+        let t_par = time_best (fun () -> Engine.run engp args) in
+        let s = Engine.stats engp in
+        Printf.printf
+          "  %-10s %11.3f %11.3f %11.3f %8.2f %8.2f  \
+           kernels=%d/%d donations=%d pool=%d/%d par-loops=%d\n"
+          w.name (1e3 *. t_interp) (1e3 *. t_fused) (1e3 *. t_par)
+          (t_interp /. t_fused) (t_interp /. t_par)
+          s.Scheduler.compiled s.Scheduler.groups s.Scheduler.donations
+          s.Scheduler.pool_reused
+          (s.Scheduler.pool_fresh + s.Scheduler.pool_reused)
+          s.Scheduler.parallel_loops_run
+      end)
+    (Registry.all @ Registry.extensions);
+  print_newline ();
+  if not !ok then begin
+    print_endline "ERROR: engine outputs diverged from the interpreter!";
+    exit 1
+  end
+
 let () =
   if wants "fig5" then print_endline (Figures.fig5 ());
   if wants "fig6" then print_endline (Figures.fig6 ());
@@ -161,6 +246,7 @@ let () =
   end;
   if wants "ablation" then print_endline (Figures.ablation ());
   if wants "micro" then run_micro ();
+  if wants "exec" then run_exec ();
   if wants "headline" then
     if Figures.all_checks_passed () then
       print_endline

@@ -155,39 +155,111 @@ let compile_cmd =
 
 (* --- run --- *)
 
+(* Wall-clock of [f]: one warm-up call, then best of enough repetitions to
+   cover ~0.1 s (at most 20). *)
+let time_best f =
+  ignore (f ());
+  let once () =
+    let t0 = Unix.gettimeofday () in
+    ignore (f ());
+    Unix.gettimeofday () -. t0
+  in
+  let first = once () in
+  let reps = max 2 (min 20 (int_of_float (0.1 /. Float.max 1e-6 first))) in
+  let best = ref first in
+  for _ = 1 to reps do
+    let t = once () in
+    if t < !best then best := t
+  done;
+  !best
+
+let run_trace (w : Workload.t) (profile : Compiler_profile.t) batch seq =
+  let reference = Workload.graph w ~batch ~seq in
+  let g = Graph.clone reference in
+  if profile.functionalize then ignore (Convert.functionalize g);
+  let plan = Fusion.plan profile g in
+  let args = w.inputs ~batch ~seq in
+  let outputs, summary = Trace.run ~profile ~plan g (clone_args args) in
+  let expected = Eval.run reference (clone_args args) in
+  let ok = List.for_all2 (Value.equal ~atol:1e-4) expected outputs in
+  Printf.printf "workload   : %s (batch=%d, seq=%d)\n" w.display batch seq;
+  Printf.printf "pipeline   : %s\n" profile.name;
+  Printf.printf "kernels    : %d launches, %.1f KB moved, %.0f flops\n"
+    summary.kernel_launches
+    (summary.total_bytes /. 1024.0)
+    summary.total_flops;
+  List.iter
+    (fun (pl : Platform.t) ->
+      Printf.printf "latency    : %8.1f us on %s\n"
+        (Trace.latency_us pl profile summary)
+        pl.name)
+    Platform.all;
+  Printf.printf "reference  : outputs %s\n"
+    (if ok then "MATCH the eager semantics" else "DIVERGE (bug!)");
+  if ok then `Ok () else `Error (false, "outputs diverged")
+
+let run_exec (w : Workload.t) (profile : Compiler_profile.t) batch seq =
+  let module Engine = Functs_exec.Engine in
+  let module Scheduler = Functs_exec.Scheduler in
+  let reference = Workload.graph w ~batch ~seq in
+  let g = Graph.clone reference in
+  ignore (Passes.tensorssa_pipeline g);
+  let args = w.inputs ~batch ~seq in
+  let eng = Engine.prepare ~profile g ~inputs:(Engine.input_shapes args) in
+  let expected = Eval.run reference (clone_args args) in
+  let outputs = Engine.run eng args in
+  let ok = List.for_all2 (Value.equal ~atol:1e-4) expected outputs in
+  Printf.printf "workload   : %s (batch=%d, seq=%d)\n" w.display batch seq;
+  Printf.printf "engine     : fused executor (%s plan)\n" profile.name;
+  if ok then begin
+    let t_interp = time_best (fun () -> Eval.run reference args) in
+    let t_exec = time_best (fun () -> Engine.run eng args) in
+    let s = Engine.stats eng in
+    Printf.printf "interpreter: %8.1f us per run\n" (1e6 *. t_interp);
+    Printf.printf "engine     : %8.1f us per run (%.2fx)\n" (1e6 *. t_exec)
+      (t_interp /. t_exec);
+    Printf.printf
+      "stats      : kernels=%d/%d donations=%d pool=%d/%d par-loops=%d\n"
+      s.Scheduler.compiled s.Scheduler.groups s.Scheduler.donations
+      s.Scheduler.pool_reused
+      (s.Scheduler.pool_fresh + s.Scheduler.pool_reused)
+      s.Scheduler.parallel_loops_run;
+    Printf.printf "reference  : outputs MATCH the eager semantics\n";
+    `Ok ()
+  end
+  else begin
+    Printf.printf "reference  : outputs DIVERGE (bug!)\n";
+    `Error (false, "outputs diverged")
+  end
+
 let run_cmd =
-  let run name pipeline batch seq =
+  let engine_arg =
+    Arg.(
+      value & opt string "trace"
+      & info [ "e"; "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Execution engine: $(b,trace) replays the graph under the \
+             analytic cost model; $(b,exec) runs the fused executor and \
+             reports measured wall-clock against the interpreter.")
+  in
+  let run name pipeline engine batch seq =
     match (find_workload name, find_profile pipeline) with
     | Error e, _ | _, Error e -> `Error (false, e)
-    | Ok w, Ok profile ->
+    | Ok w, Ok profile -> (
         let batch, seq = scales w batch seq in
-        let reference = Workload.graph w ~batch ~seq in
-        let g = Graph.clone reference in
-        if profile.functionalize then ignore (Convert.functionalize g);
-        let plan = Fusion.plan profile g in
-        let args = w.inputs ~batch ~seq in
-        let outputs, summary = Trace.run ~profile ~plan g (clone_args args) in
-        let expected = Eval.run reference (clone_args args) in
-        let ok = List.for_all2 (Value.equal ~atol:1e-4) expected outputs in
-        Printf.printf "workload   : %s (batch=%d, seq=%d)\n" w.display batch seq;
-        Printf.printf "pipeline   : %s\n" profile.name;
-        Printf.printf "kernels    : %d launches, %.1f KB moved, %.0f flops\n"
-          summary.kernel_launches
-          (summary.total_bytes /. 1024.0)
-          summary.total_flops;
-        List.iter
-          (fun (pl : Platform.t) ->
-            Printf.printf "latency    : %8.1f us on %s\n"
-              (Trace.latency_us pl profile summary)
-              pl.name)
-          Platform.all;
-        Printf.printf "reference  : outputs %s\n"
-          (if ok then "MATCH the eager semantics" else "DIVERGE (bug!)");
-        if ok then `Ok () else `Error (false, "outputs diverged")
+        match engine with
+        | "trace" -> run_trace w profile batch seq
+        | "exec" -> run_exec w profile batch seq
+        | other ->
+            `Error
+              ( false,
+                Printf.sprintf "unknown engine %S (try: trace, exec)" other ))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute a workload under a pipeline and report costs.")
-    Term.(ret (const run $ workload_arg $ pipeline_arg $ batch_arg $ seq_arg))
+    Term.(
+      ret (const run $ workload_arg $ pipeline_arg $ engine_arg $ batch_arg
+           $ seq_arg))
 
 (* --- build: compile a source file --- *)
 

@@ -55,6 +55,7 @@ type statement = {
 
 type kernel = {
   k_name : string;
+  k_group : int;
   k_inputs : (string * Graph.value) list;
   k_outputs : (string * Graph.value) list;
   k_stmts : statement list;
@@ -411,6 +412,7 @@ let kernel_of plan shapes idx (gid, members) =
   let outputs = List.filter (fun s -> s.s_store) stmts in
   {
     k_name = Printf.sprintf "fused_%d" idx;
+    k_group = gid;
     k_inputs = List.rev !inputs;
     k_outputs = List.map (fun s -> (value_ref s.s_out, s.s_out)) outputs;
     k_stmts = stmts;

@@ -50,6 +50,7 @@ type statement = {
 
 type kernel = {
   k_name : string;
+  k_group : int;  (** fusion-group id of {!Fusion.plan} this kernel executes *)
   k_inputs : (string * Graph.value) list;
   k_outputs : (string * Graph.value) list;
   k_stmts : statement list;

@@ -133,15 +133,23 @@ let loop_is_parallel profile (node : Graph.node) =
           in
           if (not body_pure) || not all_tensor || carried_params = [] then false
           else begin
-            (* Versions of the carried tensors within one iteration: the
-               params plus every Assign output whose base is a version. *)
-            let versions = ref carried_params in
-            let is_version v = List.exists (fun m -> m == v) !versions in
+            (* Versions of the carried tensors within one iteration, each
+               tagged with the carried slot it descends from: the params
+               (slot = position) plus every Assign output whose base is a
+               version, inheriting the base's slot. *)
+            let versions = ref (List.mapi (fun j p -> (p, j)) carried_params) in
+            let slot_of v =
+              List.find_map
+                (fun (m, j) -> if m == v then Some j else None)
+                !versions
+            in
             List.iter
               (fun (n : Graph.node) ->
                 match (n.n_op, n.n_inputs, n.n_outputs) with
-                | Op.Assign _, base :: _, [ out ] when is_version base ->
-                    versions := out :: !versions
+                | Op.Assign _, base :: _, [ out ] -> (
+                    match slot_of base with
+                    | Some j -> versions := (out, j) :: !versions
+                    | None -> ())
                 | _, _, _ -> ())
               body.b_nodes;
             let indexed_by_i (n : Graph.node) =
@@ -175,7 +183,19 @@ let loop_is_parallel profile (node : Graph.node) =
                   end)
                 body.b_nodes
             in
-            List.for_all use_ok !versions
+            (* Each carried return must hand the next iteration a version of
+               its own slot; returning anything else — or a crossed slot —
+               is a genuine loop-carried dependence, so actually running the
+               iterations concurrently would be unsound. *)
+            let returns_slot_consistent =
+              List.length body.b_returns = List.length carried_params
+              && List.for_all Fun.id
+                   (List.mapi
+                      (fun j ret -> slot_of ret = Some j)
+                      body.b_returns)
+            in
+            returns_slot_consistent
+            && List.for_all use_ok (List.map fst !versions)
           end
     end
   | _ -> false

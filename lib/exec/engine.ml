@@ -1,0 +1,33 @@
+open Functs_ir
+open Functs_core
+open Functs_interp
+open Functs_tensor
+
+type t = { e_graph : Graph.t; e_prepared : Scheduler.prepared }
+
+let input_shapes args =
+  List.map
+    (function
+      | Value.Tensor t -> Some (Shape_infer.known t.Tensor.shape)
+      | Value.Int _ | Value.Float _ | Value.Bool _ | Value.List _ -> None)
+    args
+
+let prepare ?(profile = Compiler_profile.tensorssa) ?(parallel = true) ?domains
+    (g : Graph.t) ~inputs =
+  let domains =
+    match domains with Some d -> max 1 d | None -> Domain.recommended_domain_count ()
+  in
+  let plan = Fusion.plan profile g in
+  let shapes = Shape_infer.infer g ~inputs in
+  let prepared =
+    Scheduler.prepare ~profile ~parallel ~domains ~graph:g ~shapes ~plan
+  in
+  { e_graph = g; e_prepared = prepared }
+
+let run t args = Scheduler.run t.e_prepared args
+
+let run_tensors t tensors =
+  List.map Value.to_tensor (run t (List.map (fun x -> Value.Tensor x) tensors))
+
+let stats t = Scheduler.stats t.e_prepared
+let graph t = t.e_graph

@@ -1,0 +1,44 @@
+(** The fused execution engine: plan → compile → run.
+
+    [prepare] consumes a {e functionalized} graph, computes its fusion
+    plan and shapes, compiles the plan's kernels and the buffer-liveness
+    table, and returns a reusable executable.  [run] then executes it with
+    interpreter semantics but fused kernels, recycled buffers, in-place
+    assign donation and (optionally) horizontally parallelized loops.
+
+    Graphs that still contain mutations degrade gracefully to plain
+    per-node execution, so the engine is total over anything {!Eval} runs. *)
+
+open Functs_ir
+open Functs_core
+open Functs_interp
+open Functs_tensor
+
+type t
+
+val prepare :
+  ?profile:Compiler_profile.t ->
+  ?parallel:bool ->
+  ?domains:int ->
+  Graph.t ->
+  inputs:Shape_infer.shape option list ->
+  t
+(** [profile] defaults to {!Compiler_profile.tensorssa}; [parallel]
+    (default [true]) enables horizontal loop dispatch; [domains] defaults
+    to [Domain.recommended_domain_count ()].  [inputs] are shape hints for
+    the graph parameters ([None] for scalars), as for
+    {!Shape_infer.infer}. *)
+
+val input_shapes : Value.t list -> Shape_infer.shape option list
+(** Shape hints extracted from concrete argument values. *)
+
+val run : t -> Value.t list -> Value.t list
+(** Execute once; the buffer pool persists across calls.  Unlike
+    {!Eval.run_tensors}, argument tensors are never written to — they are
+    marked foreign to the donation machinery — so callers may reuse them.
+    @raise Eval.Runtime_error as the interpreter does. *)
+
+val run_tensors : t -> Tensor.t list -> Tensor.t list
+
+val stats : t -> Scheduler.stats
+val graph : t -> Graph.t

@@ -1,0 +1,354 @@
+(* Direct-storage kernels for the executor's per-node path.
+
+   The interpreter's Ops are the semantic reference and stay naive: every
+   element goes through an index array and a strided linear-index
+   computation.  The executor replaces the hot operators with loops over
+   the raw storage arrays — broadcast strides are resolved once per call,
+   the innermost dimension runs as a tight for-loop — and falls back to
+   the interpreter for everything else.  Accumulation orders match the
+   reference exactly, so outputs are bitwise identical. *)
+
+open Functs_ir
+open Functs_tensor
+open Functs_interp
+
+let data (t : Tensor.t) = Storage.data t.Tensor.storage
+
+(* Strides of [t] aligned to an [out_nd]-dim broadcast result: missing
+   leading dimensions and size-1 dimensions read index 0. *)
+let bstrides (t : Tensor.t) out_nd =
+  let n = Tensor.ndim t in
+  Array.init out_nd (fun i ->
+      let j = i - (out_nd - n) in
+      if j < 0 then 0
+      else if t.Tensor.shape.(j) = 1 then 0
+      else t.Tensor.strides.(j))
+
+(* --- elementwise engines: contiguous output, strided broadcast inputs --- *)
+
+let elementwise1 f (out : Tensor.t) (a : Tensor.t) =
+  let shape = out.Tensor.shape in
+  let nd = Array.length shape in
+  let od = data out and ad = data a in
+  if nd = 0 then od.(out.Tensor.offset) <- f ad.(a.Tensor.offset)
+  else begin
+    let sa = bstrides a nd in
+    let so = out.Tensor.strides in
+    let rec go d pa po =
+      if d = nd - 1 then begin
+        let n = shape.(d) and ka = sa.(d) and ko = so.(d) in
+        let pa = ref pa and po = ref po in
+        for _ = 0 to n - 1 do
+          od.(!po) <- f ad.(!pa);
+          pa := !pa + ka;
+          po := !po + ko
+        done
+      end
+      else
+        for i = 0 to shape.(d) - 1 do
+          go (d + 1) (pa + (i * sa.(d))) (po + (i * so.(d)))
+        done
+    in
+    if Shape.numel shape > 0 then go 0 a.Tensor.offset out.Tensor.offset
+  end
+
+let elementwise2 f (out : Tensor.t) (a : Tensor.t) (b : Tensor.t) =
+  let shape = out.Tensor.shape in
+  let nd = Array.length shape in
+  let od = data out and ad = data a and bd = data b in
+  if nd = 0 then od.(out.Tensor.offset) <- f ad.(a.Tensor.offset) bd.(b.Tensor.offset)
+  else begin
+    let sa = bstrides a nd and sb = bstrides b nd in
+    let so = out.Tensor.strides in
+    let rec go d pa pb po =
+      if d = nd - 1 then begin
+        let n = shape.(d) and ka = sa.(d) and kb = sb.(d) and ko = so.(d) in
+        let pa = ref pa and pb = ref pb and po = ref po in
+        for _ = 0 to n - 1 do
+          od.(!po) <- f ad.(!pa) bd.(!pb);
+          pa := !pa + ka;
+          pb := !pb + kb;
+          po := !po + ko
+        done
+      end
+      else
+        for i = 0 to shape.(d) - 1 do
+          go (d + 1) (pa + (i * sa.(d))) (pb + (i * sb.(d))) (po + (i * so.(d)))
+        done
+    in
+    if Shape.numel shape > 0 then
+      go 0 a.Tensor.offset b.Tensor.offset out.Tensor.offset
+  end
+
+let elementwise3 f (out : Tensor.t) (a : Tensor.t) (b : Tensor.t) (c : Tensor.t) =
+  let shape = out.Tensor.shape in
+  let nd = Array.length shape in
+  let od = data out and ad = data a and bd = data b and cd = data c in
+  if nd = 0 then
+    od.(out.Tensor.offset) <-
+      f ad.(a.Tensor.offset) bd.(b.Tensor.offset) cd.(c.Tensor.offset)
+  else begin
+    let sa = bstrides a nd and sb = bstrides b nd and sc = bstrides c nd in
+    let so = out.Tensor.strides in
+    let rec go d pa pb pc po =
+      if d = nd - 1 then begin
+        let n = shape.(d) and ka = sa.(d) and kb = sb.(d) and kc = sc.(d) in
+        let ko = so.(d) in
+        let pa = ref pa and pb = ref pb and pc = ref pc and po = ref po in
+        for _ = 0 to n - 1 do
+          od.(!po) <- f ad.(!pa) bd.(!pb) cd.(!pc);
+          pa := !pa + ka;
+          pb := !pb + kb;
+          pc := !pc + kc;
+          po := !po + ko
+        done
+      end
+      else
+        for i = 0 to shape.(d) - 1 do
+          go (d + 1)
+            (pa + (i * sa.(d)))
+            (pb + (i * sb.(d)))
+            (pc + (i * sc.(d)))
+            (po + (i * so.(d)))
+        done
+    in
+    if Shape.numel shape > 0 then
+      go 0 a.Tensor.offset b.Tensor.offset c.Tensor.offset out.Tensor.offset
+  end
+
+(* --- the operators --- *)
+
+let clone t =
+  let out = Tensor.zeros (Tensor.shape t) in
+  elementwise1 (fun v -> v) out t;
+  out
+
+let contig t = if Tensor.is_contiguous t then t else clone t
+
+(* dst <- src for equal shapes and distinct storages; otherwise defer to
+   the snapshotting reference implementation. *)
+let copy_into (dst : Tensor.t) (src : Tensor.t) =
+  if
+    Shape.equal (Tensor.shape dst) (Tensor.shape src)
+    && not (Tensor.same_storage dst src)
+  then elementwise1 (fun v -> v) dst src
+  else ignore (Inplace.copy_ dst src)
+
+(* 0-d operands short-circuit the broadcast/stride machinery entirely:
+   overhead-bound workloads (nms) compute on scalar tensors almost
+   exclusively. *)
+let scalar0 (t : Tensor.t) = (data t).(t.Tensor.offset)
+
+let unary fn a =
+  if Tensor.ndim a = 0 then Tensor.scalar (Scalar.apply_unary fn (scalar0 a))
+  else begin
+    let out = Tensor.zeros (Tensor.shape a) in
+    elementwise1 (Scalar.apply_unary fn) out a;
+    out
+  end
+
+let binary fn a b =
+  if Tensor.ndim a = 0 && Tensor.ndim b = 0 then
+    Tensor.scalar (Scalar.apply_binary fn (scalar0 a) (scalar0 b))
+  else begin
+    let out = Tensor.zeros (Shape.broadcast (Tensor.shape a) (Tensor.shape b)) in
+    elementwise2 (Scalar.apply_binary fn) out a b;
+    out
+  end
+
+let where c a b =
+  if Tensor.ndim c = 0 && Tensor.ndim a = 0 && Tensor.ndim b = 0 then
+    Tensor.scalar (if scalar0 c <> 0.0 then scalar0 a else scalar0 b)
+  else begin
+    let shape =
+      Shape.broadcast
+        (Shape.broadcast (Tensor.shape c) (Tensor.shape a))
+        (Tensor.shape b)
+    in
+    let out = Tensor.zeros shape in
+    elementwise3 (fun cv av bv -> if cv <> 0.0 then av else bv) out c a b;
+    out
+  end
+
+(* 2-d matmul into a contiguous destination view; [a] and [b] must be
+   contiguous.  The l-loop accumulates per output element in the same
+   order as the reference, so results are bitwise identical. *)
+let matmul2d_into (dst : Tensor.t) (a : Tensor.t) (b : Tensor.t) =
+  let m = a.Tensor.shape.(0) and k = a.Tensor.shape.(1) in
+  let k' = b.Tensor.shape.(0) and n = b.Tensor.shape.(1) in
+  if k <> k' then
+    invalid_arg
+      (Printf.sprintf "Ops.matmul: inner dimensions %d and %d differ" k k');
+  let ad = data a and bd = data b and od = data dst in
+  let ao = a.Tensor.offset and bo = b.Tensor.offset and oo = dst.Tensor.offset in
+  for i = 0 to m - 1 do
+    let ai = ao + (i * k) and oi = oo + (i * n) in
+    Array.fill od oi n 0.0;
+    for l = 0 to k - 1 do
+      let av = ad.(ai + l) in
+      let bl = bo + (l * n) in
+      for j = 0 to n - 1 do
+        od.(oi + j) <- od.(oi + j) +. (av *. bd.(bl + j))
+      done
+    done
+  done
+
+let matmul2d a b =
+  let a = contig a and b = contig b in
+  let out = Tensor.zeros [| a.Tensor.shape.(0); b.Tensor.shape.(1) |] in
+  matmul2d_into out a b;
+  out
+
+let matmul a b =
+  match (Tensor.ndim a, Tensor.ndim b) with
+  | 2, 2 -> matmul2d a b
+  | 3, 2 ->
+      let a = contig a and b = contig b in
+      let batch = a.Tensor.shape.(0) in
+      let m = a.Tensor.shape.(1) and n = b.Tensor.shape.(1) in
+      let out = Tensor.zeros [| batch; m; n |] in
+      for i = 0 to batch - 1 do
+        matmul2d_into (Tensor.select out ~dim:0 i) (Tensor.select a ~dim:0 i) b
+      done;
+      out
+  | 3, 3 ->
+      let ba = a.Tensor.shape.(0) and bb = b.Tensor.shape.(0) in
+      if ba <> bb && ba <> 1 && bb <> 1 then
+        invalid_arg "Ops.matmul: batch dimensions incompatible";
+      let a = contig a and b = contig b in
+      let batch = max ba bb in
+      let m = a.Tensor.shape.(1) and n = b.Tensor.shape.(2) in
+      let out = Tensor.zeros [| batch; m; n |] in
+      for i = 0 to batch - 1 do
+        matmul2d_into
+          (Tensor.select out ~dim:0 i)
+          (Tensor.select a ~dim:0 (if ba = 1 then 0 else i))
+          (Tensor.select b ~dim:0 (if bb = 1 then 0 else i))
+      done;
+      out
+  | 1, 2 -> Tensor.select (matmul2d (Tensor.unsqueeze a ~dim:0) b) ~dim:0 0
+  | 2, 1 -> Tensor.select (matmul2d a (Tensor.unsqueeze b ~dim:1)) ~dim:1 0
+  | _ -> Ops.matmul a b
+
+(* Lane-wise softmax over the innermost dimension of a contiguous tensor;
+   the max / exp-sum / divide sequence matches the reference op-for-op. *)
+let softmax t ~dim =
+  let nd = Tensor.ndim t in
+  let dim = Shape.normalize_dim ~ndim:nd dim in
+  if nd = 0 || dim <> nd - 1 || not (Tensor.is_contiguous t) then
+    Ops.softmax t ~dim
+  else begin
+    let ext = t.Tensor.shape.(dim) in
+    let out = Tensor.zeros (Tensor.shape t) in
+    let td = data t and od = data out in
+    let lanes = if ext = 0 then 0 else Tensor.numel t / ext in
+    for lane = 0 to lanes - 1 do
+      let base = t.Tensor.offset + (lane * ext) and ob = lane * ext in
+      let m = ref Float.neg_infinity in
+      for j = 0 to ext - 1 do
+        m := Float.max !m td.(base + j)
+      done;
+      let s = ref 0.0 in
+      for j = 0 to ext - 1 do
+        let e = Stdlib.exp (td.(base + j) -. !m) in
+        od.(ob + j) <- e;
+        s := !s +. e
+      done;
+      for j = 0 to ext - 1 do
+        od.(ob + j) <- od.(ob + j) /. !s
+      done
+    done;
+    out
+  end
+
+let reduce_last t ~keepdim ~init ~f =
+  let nd = Tensor.ndim t in
+  let ext = t.Tensor.shape.(nd - 1) in
+  let out_shape = Array.init nd (fun i -> if i = nd - 1 then 1 else t.Tensor.shape.(i)) in
+  let out = Tensor.zeros out_shape in
+  let td = data t and od = data out in
+  let lanes = if ext = 0 then 0 else Tensor.numel t / ext in
+  for lane = 0 to lanes - 1 do
+    let base = t.Tensor.offset + (lane * ext) in
+    let acc = ref init in
+    for j = 0 to ext - 1 do
+      acc := f !acc td.(base + j)
+    done;
+    od.(lane) <- !acc
+  done;
+  if keepdim then out else Tensor.squeeze out ~dim:(nd - 1)
+
+let reduce_dim t ~dim ~keepdim ~init ~f ~fallback =
+  let nd = Tensor.ndim t in
+  if nd = 0 then fallback t ~dim ~keepdim
+  else
+    let d = Shape.normalize_dim ~ndim:nd dim in
+    if d = nd - 1 && Tensor.is_contiguous t then reduce_last t ~keepdim ~init ~f
+    else fallback t ~dim ~keepdim
+
+let sum_dim t ~dim ~keepdim =
+  reduce_dim t ~dim ~keepdim ~init:0.0 ~f:( +. ) ~fallback:Ops.sum_dim
+
+let max_dim t ~dim ~keepdim =
+  reduce_dim t ~dim ~keepdim ~init:Float.neg_infinity ~f:Float.max
+    ~fallback:Ops.max_dim
+
+let sum t =
+  let acc = ref 0.0 in
+  if Tensor.is_contiguous t then begin
+    let td = data t and n = Tensor.numel t in
+    for i = 0 to n - 1 do
+      acc := !acc +. td.(t.Tensor.offset + i)
+    done
+  end
+  else Tensor.iteri t (fun _ v -> acc := !acc +. v);
+  Tensor.scalar !acc
+
+(* Scalar-like operands (0-d tensors and Int/Float/Bool constants) skip
+   [Value.to_tensor] promotion — the promoted 0-d tensor would be read back
+   out one instruction later.  [is_scal]/[scal_val] split the test from the
+   read so the fast arms allocate nothing but the result. *)
+let is_scal = function
+  | Value.Tensor t -> Tensor.ndim t = 0
+  | Value.List _ -> false
+  | Value.Int _ | Value.Float _ | Value.Bool _ -> true
+
+let scal_val = function
+  | Value.Tensor t -> scalar0 t
+  | Value.Int i -> float_of_int i
+  | Value.Float f -> f
+  | Value.Bool b -> if b then 1.0 else 0.0
+  | Value.List _ -> invalid_arg "Fastops.scal_val: list value"
+
+let apply_op (node : Graph.node) (inputs : Value.t list) =
+  let tin i = Value.to_tensor (List.nth inputs i) in
+  match node.n_op with
+  | Op.Unary fn -> (
+      match inputs with
+      | [ a ] when is_scal a ->
+          [ Value.Tensor (Tensor.scalar (Scalar.apply_unary fn (scal_val a))) ]
+      | _ -> [ Value.Tensor (unary fn (tin 0)) ])
+  | Op.Binary fn -> (
+      match inputs with
+      | [ a; b ] when is_scal a && is_scal b ->
+          [
+            Value.Tensor
+              (Tensor.scalar (Scalar.apply_binary fn (scal_val a) (scal_val b)));
+          ]
+      | _ -> [ Value.Tensor (binary fn (tin 0) (tin 1)) ])
+  | Op.Matmul -> [ Value.Tensor (matmul (tin 0) (tin 1)) ]
+  | Op.Softmax { dim } -> [ Value.Tensor (softmax (tin 0) ~dim) ]
+  | Op.Sum_dim { dim; keepdim } -> [ Value.Tensor (sum_dim (tin 0) ~dim ~keepdim) ]
+  | Op.Max_dim { dim; keepdim } -> [ Value.Tensor (max_dim (tin 0) ~dim ~keepdim) ]
+  | Op.Sum -> [ Value.Tensor (sum (tin 0)) ]
+  | Op.Where -> (
+      match inputs with
+      | [ c; a; b ] when is_scal c && is_scal a && is_scal b ->
+          [
+            Value.Tensor
+              (Tensor.scalar
+                 (if scal_val c <> 0.0 then scal_val a else scal_val b));
+          ]
+      | _ -> [ Value.Tensor (where (tin 0) (tin 1) (tin 2)) ])
+  | Op.Clone -> [ Value.Tensor (clone (tin 0)) ]
+  | _ -> Eval.apply_op node inputs

@@ -1,0 +1,18 @@
+(** Direct-storage implementations of the hot operators, used by the
+    scheduler's per-node path instead of the interpreter's index-array
+    loops.  Semantics (including floating-point accumulation order) match
+    {!Functs_interp.Eval.apply_op} exactly; operators without a fast path
+    fall back to it. *)
+
+open Functs_ir
+open Functs_tensor
+open Functs_interp
+
+val clone : Tensor.t -> Tensor.t
+
+val copy_into : Tensor.t -> Tensor.t -> unit
+(** [copy_into dst src] writes [src] through [dst] (equal shapes, distinct
+    storages, tight loops); other cases defer to {!Inplace.copy_}. *)
+
+val apply_op : Graph.node -> Value.t list -> Value.t list
+(** Drop-in replacement for {!Eval.apply_op} on plain operators. *)

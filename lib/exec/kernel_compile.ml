@@ -1,0 +1,319 @@
+open Functs_ir
+open Functs_tensor
+open Functs_core
+open Codegen
+
+exception Not_compilable of string
+exception Fallback of string
+
+let fail fmt = Format.kasprintf (fun msg -> raise (Not_compilable msg)) fmt
+
+(* Mutable register file shared by all closures of one compiled kernel.
+   [idx] aliases the reused index array of [Shape.iter_indices]; [lin] is
+   the linear output position for the contiguous fast path. *)
+type rt = {
+  mutable idx : int array;
+  mutable lin : int;
+  red : int array;  (* reduction variable values, by nesting depth *)
+  tensors : Tensor.t array;  (* read-site bindings, by site slot *)
+  fast : bool array;  (* site qualifies for the linear fast path *)
+}
+
+type site = {
+  sv : Graph.value;
+  s_slot : int;
+  s_rank_req : int;
+  s_identity : bool;
+}
+
+type cstmt = {
+  c_out : Graph.value;
+  c_store : bool;
+  c_shape : int array;
+  c_sites : site list;
+  c_eval : rt -> float;
+}
+
+type compiled = {
+  cc_group : int;
+  cc_stmts : cstmt list;
+  cc_free : (string * int ref) list;
+  cc_rt : rt;
+}
+
+let group c = c.cc_group
+
+let ident_ok name =
+  name <> ""
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '_')
+       name
+
+(* "i<d>" with d below the statement rank is an output index variable. *)
+let index_dim ~rank name =
+  if String.length name >= 2 && name.[0] = 'i' then
+    match int_of_string_opt (String.sub name 1 (String.length name - 1)) with
+    | Some d when d >= 0 && d < rank -> Some d
+    | _ -> None
+  else None
+
+(* [reds] is rebound down reduce bodies, so the counters are shared refs —
+   a [{ env with reds }] copy must keep bumping the same site counter. *)
+type cenv = {
+  rank : int;
+  reds : (string * int) list;  (* reduction var -> depth slot *)
+  free : (string, int ref) Hashtbl.t;
+  n_sites : int ref;
+  max_red : int ref;
+  sites : site list ref;  (* sites of the current statement *)
+  all_outs : (int, unit) Hashtbl.t;
+  computed : (int, unit) Hashtbl.t;  (* outputs of earlier statements *)
+}
+
+let rec compile_ix env (ix : Codegen.ix) : rt -> int =
+  match ix with
+  | Iconst c -> fun _ -> c
+  | Ivar name -> begin
+      if not (ident_ok name) then fail "non-affine index %S" name;
+      match index_dim ~rank:env.rank name with
+      | Some d -> fun rt -> rt.idx.(d)
+      | None -> (
+          match List.assoc_opt name env.reds with
+          | Some slot -> fun rt -> rt.red.(slot)
+          | None ->
+              let cell =
+                match Hashtbl.find_opt env.free name with
+                | Some c -> c
+                | None ->
+                    let c = ref 0 in
+                    Hashtbl.replace env.free name c;
+                    c
+              in
+              fun _ -> !cell)
+    end
+  | Iadd (a, b) ->
+      let fa = compile_ix env a and fb = compile_ix env b in
+      fun rt -> fa rt + fb rt
+  | Isub (a, b) ->
+      let fa = compile_ix env a and fb = compile_ix env b in
+      fun rt -> fa rt - fb rt
+
+let compile_cond env (c : Codegen.cond) : rt -> bool =
+  match c with
+  | Ceq (a, b) ->
+      let fa = compile_ix env a and fb = compile_ix env b in
+      fun rt -> fa rt = fb rt
+  | Cge (a, b) ->
+      let fa = compile_ix env a and fb = compile_ix env b in
+      fun rt -> fa rt >= fb rt
+  | Clt (a, b) ->
+      let fa = compile_ix env a and fb = compile_ix env b in
+      fun rt -> fa rt < fb rt
+  | Cmod (a, b, s) ->
+      let fa = compile_ix env a and fb = compile_ix env b in
+      fun rt -> (fa rt - fb rt) mod s = 0
+
+let compile_read env (v : Graph.value) ixs : rt -> float =
+  if Hashtbl.mem env.all_outs v.Graph.v_id && not (Hashtbl.mem env.computed v.Graph.v_id)
+  then fail "forward read of %s" (value_ref v);
+  let slot = !(env.n_sites) in
+  incr env.n_sites;
+  let fs = Array.of_list (List.map (compile_ix env) ixs) in
+  let nf = Array.length fs in
+  let identity =
+    nf = env.rank
+    && List.for_all2
+         (fun ix d -> match ix with Ivar n -> n = Printf.sprintf "i%d" d | _ -> false)
+         ixs
+         (List.init nf Fun.id)
+  in
+  env.sites :=
+    { sv = v; s_slot = slot; s_rank_req = nf; s_identity = identity } :: !(env.sites);
+  fun rt ->
+    let t = rt.tensors.(slot) in
+    if rt.fast.(slot) then
+      Storage.get t.Tensor.storage (t.Tensor.offset + rt.lin)
+    else begin
+      let strides = t.Tensor.strides in
+      let pos = ref t.Tensor.offset in
+      for k = 0 to nf - 1 do
+        pos := !pos + (strides.(k) * fs.(k) rt)
+      done;
+      Storage.get t.Tensor.storage !pos
+    end
+
+let rec compile_expr env (e : Codegen.cexpr) : rt -> float =
+  match e with
+  | Clit f -> fun _ -> f
+  | Copaque what -> fail "opaque expression %s" what
+  | Cread (v, ixs) -> compile_read env v ixs
+  | Cunary (u, e) -> begin
+      let f = compile_expr env e in
+      match u with
+      | Scalar.Neg -> fun rt -> -.f rt
+      | _ -> fun rt -> Scalar.apply_unary u (f rt)
+    end
+  | Cbinary (b, x, y) -> begin
+      let fx = compile_expr env x and fy = compile_expr env y in
+      match b with
+      | Scalar.Add -> fun rt -> fx rt +. fy rt
+      | Scalar.Sub -> fun rt -> fx rt -. fy rt
+      | Scalar.Mul -> fun rt -> fx rt *. fy rt
+      | Scalar.Div -> fun rt -> fx rt /. fy rt
+      | _ -> fun rt -> Scalar.apply_binary b (fx rt) (fy rt)
+    end
+  | Ccond (conds, t, e) ->
+      let fcs = List.map (compile_cond env) conds in
+      let ft = compile_expr env t and fe = compile_expr env e in
+      fun rt -> if List.for_all (fun fc -> fc rt) fcs then ft rt else fe rt
+  | Creduce (kind, rname, extent, body) ->
+      if extent <= 0 then fail "unknown reduction extent for %s" rname;
+      let slot = List.length env.reds in
+      if slot + 1 > !(env.max_red) then env.max_red := slot + 1;
+      let fb = compile_expr { env with reds = (rname, slot) :: env.reds } body in
+      (match kind with
+      | `Sum ->
+          fun rt ->
+            let acc = ref 0.0 in
+            for r = 0 to extent - 1 do
+              rt.red.(slot) <- r;
+              acc := !acc +. fb rt
+            done;
+            !acc
+      | `Max ->
+          fun rt ->
+            let acc = ref Float.neg_infinity in
+            for r = 0 to extent - 1 do
+              rt.red.(slot) <- r;
+              acc := Float.max !acc (fb rt)
+            done;
+            !acc)
+
+(* A [Creduce] below the expression root is re-evaluated once per output
+   element — O(numel × extent) where the eager operator is O(numel) (e.g.
+   the softmax denominator).  Such statements run per node instead. *)
+let rec no_reduce = function
+  | Creduce _ -> false
+  | Cread _ | Clit _ | Copaque _ -> true
+  | Cunary (_, e) -> no_reduce e
+  | Cbinary (_, a, b) | Ccond (_, a, b) -> no_reduce a && no_reduce b
+
+let reduce_at_root_only = function
+  | Creduce (_, _, _, body) -> no_reduce body
+  | e -> no_reduce e
+
+let concrete_shape shapes (v : Graph.value) =
+  match Shape_infer.shape_of shapes v with
+  | Some dims
+    when Array.for_all
+           (function Shape_infer.Known _ -> true | Shape_infer.Unknown -> false)
+           dims ->
+      Array.map
+        (function Shape_infer.Known n -> n | Shape_infer.Unknown -> 0)
+        dims
+  | _ -> fail "unknown shape for %s" (value_ref v)
+
+let compile (k : Codegen.kernel) ~shapes =
+  try
+    let free = Hashtbl.create 8 in
+    let all_outs = Hashtbl.create 8 in
+    let computed = Hashtbl.create 8 in
+    List.iter
+      (fun (s : Codegen.statement) ->
+        Hashtbl.replace all_outs s.s_out.Graph.v_id ())
+      k.k_stmts;
+    let n_sites = ref 0 in
+    let max_red = ref 0 in
+    let stmts =
+      List.map
+        (fun (s : Codegen.statement) ->
+          let shape = concrete_shape shapes s.s_out in
+          if Array.length shape <> s.s_rank then
+            fail "rank mismatch for %s" (value_ref s.s_out);
+          if not (reduce_at_root_only s.s_expr) then
+            fail "non-root reduction for %s" (value_ref s.s_out);
+          let sites = ref [] in
+          let env =
+            {
+              rank = s.s_rank;
+              reds = [];
+              free;
+              n_sites;
+              max_red;
+              sites;
+              all_outs;
+              computed;
+            }
+          in
+          let f = compile_expr env s.s_expr in
+          Hashtbl.replace computed s.s_out.Graph.v_id ();
+          {
+            c_out = s.s_out;
+            c_store = s.s_store;
+            c_shape = shape;
+            c_sites = List.rev !sites;
+            c_eval = f;
+          })
+        k.k_stmts
+    in
+    let rt =
+      {
+        idx = [||];
+        lin = 0;
+        red = Array.make (max 1 !max_red) 0;
+        tensors = Array.make (max 1 !n_sites) (Tensor.zeros [||]);
+        fast = Array.make (max 1 !n_sites) false;
+      }
+    in
+    Ok
+      {
+        cc_group = k.k_group;
+        cc_stmts = stmts;
+        cc_free = Hashtbl.fold (fun n c acc -> (n, c) :: acc) free [];
+        cc_rt = rt;
+      }
+  with Not_compilable msg -> Error msg
+
+let run c ~alloc ~lookup ~scalar =
+  List.iter
+    (fun (name, cell) ->
+      match scalar name with
+      | Some v -> cell := v
+      | None -> raise (Fallback ("unbound scalar " ^ name)))
+    c.cc_free;
+  let locals : (int, Tensor.t) Hashtbl.t = Hashtbl.create 8 in
+  let rt = c.cc_rt in
+  List.map
+    (fun s ->
+      List.iter
+        (fun site ->
+          let t =
+            match Hashtbl.find_opt locals site.sv.Graph.v_id with
+            | Some t -> t
+            | None -> (
+                match lookup site.sv with
+                | Some t -> t
+                | None ->
+                    raise (Fallback ("unbound tensor " ^ value_ref site.sv)))
+          in
+          if Tensor.ndim t <> site.s_rank_req then
+            raise (Fallback ("rank mismatch on " ^ value_ref site.sv));
+          rt.tensors.(site.s_slot) <- t;
+          rt.fast.(site.s_slot) <-
+            site.s_identity && Tensor.is_contiguous t
+            && Shape.equal t.Tensor.shape s.c_shape)
+        s.c_sites;
+      let out = alloc s.c_shape in
+      rt.lin <- 0;
+      Shape.iter_indices s.c_shape (fun index ->
+          rt.idx <- index;
+          Storage.set out.Tensor.storage (out.Tensor.offset + rt.lin)
+            (s.c_eval rt);
+          rt.lin <- rt.lin + 1);
+      Hashtbl.replace locals s.c_out.Graph.v_id out;
+      (s.c_out, out, s.c_store))
+    c.cc_stmts

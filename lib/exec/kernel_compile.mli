@@ -1,0 +1,47 @@
+(** Staged compilation of {!Functs_core.Codegen} kernels.
+
+    [compile] lowers each statement's [cexpr] tree into a closure over a
+    small mutable register file (current output index, reduction
+    variables, resolved read-site tensors), so per-element evaluation does
+    no string matching, no hashtable lookups and no environment chaining —
+    the interpretation cost is paid once per kernel, not once per element.
+
+    Buffer reads resolve [Cread] index expressions against the strided
+    view descriptor of the bound tensor; a read site whose index is the
+    identity [\[i0, …, i(r-1)\]] additionally gets a {e contiguous fast
+    path} that streams the storage linearly when the runtime layout
+    permits.
+
+    Compilation is total but partial in coverage: kernels containing
+    [Copaque] expressions, unknown shapes, zero reduction extents or
+    non-affine index hacks are rejected with [Error reason], and the
+    scheduler executes that fusion group per node instead. *)
+
+open Functs_ir
+open Functs_tensor
+open Functs_core
+
+type compiled
+
+exception Fallback of string
+(** Raised by {!run} when a runtime binding is missing or shaped
+    incompatibly; the caller re-executes the group per node. *)
+
+val compile : Codegen.kernel -> shapes:Shape_infer.result -> (compiled, string) result
+
+val group : compiled -> int
+(** The fusion-group id of the source kernel. *)
+
+val run :
+  compiled ->
+  alloc:(Shape.t -> Tensor.t) ->
+  lookup:(Graph.value -> Tensor.t option) ->
+  scalar:(string -> int option) ->
+  (Graph.value * Tensor.t * bool) list
+(** Execute every statement in order; [alloc] provides output buffers
+    (each is fully overwritten), [lookup] resolves external tensor reads,
+    [scalar] resolves free index symbols (dynamic select indices, loop
+    variables).  Returns [(value, tensor, stored)] per statement, where
+    [stored] marks values that escape the kernel.  Not thread-safe: a
+    [compiled] kernel owns one register file and must run on one domain
+    at a time. *)

@@ -1,0 +1,758 @@
+open Functs_ir
+open Functs_tensor
+open Functs_core
+open Functs_interp
+
+let error fmt = Format.kasprintf (fun m -> raise (Eval.Runtime_error m)) fmt
+
+(* Compiled closure kernels and fast per-node execution trade differently
+   per group (a kernel saves intermediate materialization but interprets
+   an expression tree per element), so each group is auto-tuned: its first
+   executions time both implementations and the faster one sticks. *)
+type gmode =
+  | Sampling of {
+      mutable k_time : float;
+      mutable k_runs : int;
+      mutable p_time : float;
+      mutable p_runs : int;
+      mutable p_start : float;
+    }
+  | Use_kernel
+  | Use_plain
+
+let sample_runs = 1
+
+(* Every value of the graph gets a dense frame slot at preparation time and
+   each block becomes an instruction array with pre-resolved slots, so the
+   run-time environment is a flat array instead of a hashtable — the
+   executor's dispatch must cost less than the tree-walking interpreter's
+   or the bookkeeping eats the fusion gains on small tensors. *)
+type inst = {
+  i_node : Graph.node;
+  i_in : int array;  (* frame slots of the node's inputs *)
+  i_out : int array;  (* frame slots of the node's outputs *)
+  i_gid : int;
+      (* kernel-eligible fusion group, or -1.  Groups under a loop stay -1:
+         their assigns donate into carried buffers, which beats a kernel
+         that must materialize fresh outputs every iteration. *)
+}
+
+type binst = {
+  bi_insts : inst array;
+  bi_params : int array;
+  bi_rets : int array;
+  bi_pre : inst array;
+      (* loop-invariant accesses hoisted out of this loop body, executed
+         once in the caller's scope before the first iteration *)
+}
+
+type prepared = {
+  p_graph : Graph.t;
+  p_plan : Fusion.plan;
+  p_nslots : int;
+  p_consts : inst array;
+      (* every [prim::Constant] of the graph, bound once per run instead of
+         per iteration; their slots are pinned *)
+  p_uses : int array;  (* per slot: consuming edges in the defining block *)
+  p_pinned : bool array;  (* per slot: never release or donate *)
+  p_blocks : (int, binst) Hashtbl.t;  (* block id -> instructions *)
+  p_slot : (int, int) Hashtbl.t;  (* value id -> slot (kernel-site lookup) *)
+  p_compiled : (int, Kernel_compile.compiled) Hashtbl.t;  (* gid -> kernel *)
+  p_members : (int, inst list) Hashtbl.t;  (* gid -> members in order *)
+  p_first_member : (int, int) Hashtbl.t;  (* gid -> node id of first member *)
+  p_last_member : (int, int) Hashtbl.t;  (* gid -> node id of last member *)
+  p_modes : (int, gmode) Hashtbl.t;  (* auto-tuning state per group *)
+  p_fallback : (int, unit) Hashtbl.t;  (* gids demoted at runtime *)
+  p_scalar_slots : (string, int) Hashtbl.t;  (* kernel symbol -> slot *)
+  p_live : bool;  (* mutation-free: pool / donation / kernels active *)
+  p_parallel : bool;
+  p_domains : int;
+  p_pool : Buffer_plan.pool;
+  mutable s_kernel_runs : int;
+  mutable s_donations : int;
+  mutable s_parallel_loops : int;
+}
+
+(* --- per-run state --- *)
+
+type rstate = {
+  vals : Value.t option array;  (* slot -> bound value *)
+  remaining : int array;  (* slot -> uses left before release *)
+  epoch : int;  (* this run's {!Storage.mark} epoch *)
+  live : bool;
+  p : prepared;
+}
+
+(* Live-reference counts live in an epoch-tagged field on the storage
+   itself ({!Storage.mark}) rather than a hashtable: the executor's fixed
+   per-node cost has to undercut the interpreter's for fusion to show on
+   overhead-bound workloads.  Caller-owned storages get a large bias so
+   their count can never reach 0 (pooled) or 1 (donated). *)
+let run_epoch = ref 0
+let foreign_bias = 1_000_000
+
+let rec iter_value_tensors v f =
+  match v with
+  | Value.Tensor t -> f t
+  | Value.List l -> List.iter (fun x -> iter_value_tensors x f) l
+  | Value.Int _ | Value.Float _ | Value.Bool _ -> ()
+
+let sref_count rs (t : Tensor.t) = Storage.mark t.Tensor.storage ~epoch:rs.epoch
+
+let sref_incr rs (t : Tensor.t) =
+  let st = t.Tensor.storage in
+  Storage.set_mark st ~epoch:rs.epoch (Storage.mark st ~epoch:rs.epoch + 1)
+
+let sref_decr rs (t : Tensor.t) =
+  let st = t.Tensor.storage in
+  let n = max 0 (Storage.mark st ~epoch:rs.epoch - 1) in
+  Storage.set_mark st ~epoch:rs.epoch n;
+  n
+
+(* [Value.Tensor] is matched inline everywhere below: the generic
+   [iter_value_tensors] partial application allocates a closure per call,
+   which shows up on overhead-bound workloads. *)
+let retain rs value =
+  if rs.live then
+    match value with
+    | Value.Tensor t -> sref_incr rs t
+    | Value.List _ -> iter_value_tensors value (fun t -> sref_incr rs t)
+    | Value.Int _ | Value.Float _ | Value.Bool _ -> ()
+
+let unretain rs value =
+  if rs.live then
+    match value with
+    | Value.Tensor t -> ignore (sref_decr rs t)
+    | Value.List _ ->
+        iter_value_tensors value (fun t -> ignore (sref_decr rs t))
+    | Value.Int _ | Value.Float _ | Value.Bool _ -> ()
+
+let get rs slot =
+  match rs.vals.(slot) with
+  | Some value -> value
+  | None -> error "unbound value (frame slot %d)" slot
+
+let bind rs scope slot value =
+  rs.vals.(slot) <- Some value;
+  if rs.live then begin
+    rs.remaining.(slot) <- rs.p.p_uses.(slot);
+    (match value with
+    | Value.Tensor t -> sref_incr rs t
+    | Value.List _ -> iter_value_tensors value (fun t -> sref_incr rs t)
+    | Value.Int _ | Value.Float _ | Value.Bool _ -> ());
+    scope := slot :: !scope
+  end
+
+let release_slot rs slot =
+  match rs.vals.(slot) with
+  | None -> ()
+  | Some value ->
+      (match value with
+      | Value.Tensor t ->
+          if sref_decr rs t = 0 then Buffer_plan.release rs.p.p_pool t
+      | Value.List _ ->
+          iter_value_tensors value (fun t ->
+              if sref_decr rs t = 0 then Buffer_plan.release rs.p.p_pool t)
+      | Value.Int _ | Value.Float _ | Value.Bool _ -> ());
+      rs.vals.(slot) <- None
+
+let consume rs slot =
+  if rs.live && not rs.p.p_pinned.(slot) then begin
+    rs.remaining.(slot) <- rs.remaining.(slot) - 1;
+    if rs.remaining.(slot) <= 0 then release_slot rs slot
+  end
+
+let consume_all rs slots =
+  if rs.live then
+    for k = 0 to Array.length slots - 1 do
+      consume rs slots.(k)
+    done
+
+let exit_scope rs scope = if rs.live then List.iter (release_slot rs) !scope
+
+(* --- assign donation --- *)
+
+let write_region (region : Tensor.t) (src : Tensor.t) =
+  if Tensor.numel region = 1 && Tensor.numel src = 1 then
+    (* the sole element of any one-element view sits at its offset *)
+    (Storage.data region.Tensor.storage).(region.Tensor.offset) <-
+      (Storage.data src.Tensor.storage).(src.Tensor.offset)
+  else Fastops.copy_into region src
+
+(* In-place execution of [immut::assign] when the base dies here and its
+   storage has no other live reference: write the region through the view
+   instead of cloning the whole base. *)
+let try_donate rs (inst : inst) inputs =
+  match (inst.i_node.n_op, inputs) with
+  | Op.Assign kind, Value.Tensor bt :: src :: operands ->
+      let bslot = inst.i_in.(0) in
+      if
+        (not rs.p.p_pinned.(bslot))
+        && rs.remaining.(bslot) = 1
+        && sref_count rs bt = 1
+      then begin
+        let src_t = Value.to_tensor src in
+        if Tensor.same_storage bt src_t then None
+        else begin
+          write_region (Eval.apply_view_kind kind bt operands) src_t;
+          rs.p.s_donations <- rs.p.s_donations + 1;
+          Some [ Value.Tensor bt ]
+        end
+      end
+      else None
+  | _ -> None
+
+(* --- per-node execution --- *)
+
+let exec_plain_inst rs scope (inst : inst) =
+  let inputs =
+    match Array.length inst.i_in with
+    | 0 -> []
+    | 1 -> [ get rs inst.i_in.(0) ]
+    | 2 -> [ get rs inst.i_in.(0); get rs inst.i_in.(1) ]
+    | 3 -> [ get rs inst.i_in.(0); get rs inst.i_in.(1); get rs inst.i_in.(2) ]
+    | n -> List.init n (fun k -> get rs inst.i_in.(k))
+  in
+  let outputs =
+    if not rs.live then Fastops.apply_op inst.i_node inputs
+    else
+      match try_donate rs inst inputs with
+      | Some outs -> outs
+      | None -> (
+          match (inst.i_node.n_op, inputs) with
+          | Op.Access kind, base :: operands ->
+              (* Zero-copy: aliases are tracked by [srefs], so the base can
+                 neither be donated nor pooled while this view lives. *)
+              [ Value.Tensor
+                  (Eval.apply_view_kind kind (Value.to_tensor base) operands);
+              ]
+          | Op.Assign kind, base :: src :: operands ->
+              (* Copy-on-write without donation: a strided bulk clone plus a
+                 region write, instead of the interpreter's element-at-a-time
+                 clone.  When the region covers the whole base, its old
+                 contents never survive — clone the source alone. *)
+              let bt = Value.to_tensor base in
+              let src_t = Value.to_tensor src in
+              let region = Eval.apply_view_kind kind bt operands in
+              if
+                Tensor.same_storage region bt
+                && region.Tensor.offset = bt.Tensor.offset
+                && Shape.equal (Tensor.shape region) (Tensor.shape bt)
+                && Shape.equal (Tensor.shape region) (Tensor.shape src_t)
+              then [ Value.Tensor (Fastops.clone src_t) ]
+              else begin
+                let fresh = Fastops.clone bt in
+                write_region (Eval.apply_view_kind kind fresh operands) src_t;
+                [ Value.Tensor fresh ]
+              end
+          | _ -> Fastops.apply_op inst.i_node inputs)
+  in
+  (match outputs with
+  | [ out ] -> bind rs scope inst.i_out.(0) out
+  | outs -> List.iteri (fun k out -> bind rs scope inst.i_out.(k) out) outs);
+  consume_all rs inst.i_in
+
+(* --- compiled group execution --- *)
+
+let slot_of rs (v : Graph.value) = Hashtbl.find_opt rs.p.p_slot v.Graph.v_id
+
+let scalar_lookup rs name =
+  match Hashtbl.find_opt rs.p.p_scalar_slots name with
+  | None -> None
+  | Some slot -> (
+      match rs.vals.(slot) with
+      | Some (Value.Int i) -> Some i
+      | Some (Value.Bool b) -> Some (if b then 1 else 0)
+      | _ -> None)
+
+let tensor_lookup rs (v : Graph.value) =
+  match slot_of rs v with
+  | None -> None
+  | Some slot -> (
+      match rs.vals.(slot) with Some (Value.Tensor t) -> Some t | _ -> None)
+
+let mode_of p gid =
+  match Hashtbl.find_opt p.p_modes gid with
+  | Some m -> m
+  | None ->
+      let m =
+        Sampling { k_time = 0.; k_runs = 0; p_time = 0.; p_runs = 0; p_start = 0. }
+      in
+      Hashtbl.replace p.p_modes gid m;
+      m
+
+let run_group rs scope gid members compiled =
+  let allocated = ref [] in
+  let alloc shape =
+    let t = Buffer_plan.alloc rs.p.p_pool shape in
+    allocated := t :: !allocated;
+    t
+  in
+  match
+    Kernel_compile.run compiled ~alloc ~lookup:(tensor_lookup rs)
+      ~scalar:(scalar_lookup rs)
+  with
+  | exception e ->
+      (* Return the partial allocations and demote the group for good. *)
+      List.iter (Buffer_plan.release rs.p.p_pool) !allocated;
+      Hashtbl.replace rs.p.p_fallback gid ();
+      Hashtbl.replace rs.p.p_modes gid Use_plain;
+      (match e with
+      | Kernel_compile.Fallback _ | Invalid_argument _ ->
+          List.iter (exec_plain_inst rs scope) members
+      | e -> raise e)
+  | results ->
+      rs.p.s_kernel_runs <- rs.p.s_kernel_runs + 1;
+      List.iter
+        (fun ((v : Graph.value), t, stored) ->
+          if stored then
+            match slot_of rs v with
+            | Some slot -> bind rs scope slot (Value.Tensor t)
+            | None -> error "kernel output %s has no frame slot" v.Graph.v_name
+          else Buffer_plan.release rs.p.p_pool t)
+        results;
+      (* Sweep every member's input edges so external values retire. *)
+      List.iter (fun (m : inst) -> consume_all rs m.i_in) members
+
+(* --- blocks, control flow, loops --- *)
+
+let block_insts rs (b : Graph.block) =
+  match Hashtbl.find_opt rs.p.p_blocks b.Graph.b_id with
+  | Some bi -> bi
+  | None -> error "block %d was not prepared" b.Graph.b_id
+
+let rec exec_block rs (bi : binst) : Value.t list =
+  let scope = ref [] in
+  Array.iter (exec_inst rs ~scope) bi.bi_insts;
+  let rets =
+    Array.to_list (Array.map (fun slot -> get rs slot) bi.bi_rets)
+  in
+  List.iter (retain rs) rets;
+  exit_scope rs scope;
+  (* Each return carries one retained reference the caller must drop after
+     rebinding it. *)
+  rets
+
+and exec_inst rs ~scope (inst : inst) =
+  let node = inst.i_node in
+  match node.n_op with
+  | Op.Update -> consume_all rs inst.i_in
+  | Op.If -> begin
+      match node.n_blocks with
+      | [ then_b; else_b ] ->
+          let taken = Value.to_bool (get rs inst.i_in.(0)) in
+          let bi = block_insts rs (if taken then then_b else else_b) in
+          if Array.length bi.bi_insts = 0 && Array.length bi.bi_pre = 0 then begin
+            (* empty branch: rebind the pass-through values directly *)
+            if Array.length bi.bi_rets <> Array.length inst.i_out then
+              error "prim::If branch returned %d values for %d outputs"
+                (Array.length bi.bi_rets) (Array.length inst.i_out);
+            for k = 0 to Array.length inst.i_out - 1 do
+              bind rs scope inst.i_out.(k) (get rs bi.bi_rets.(k))
+            done;
+            consume_all rs inst.i_in
+          end
+          else begin
+            let rets = exec_block rs bi in
+            if List.length rets <> Array.length inst.i_out then
+              error "prim::If branch returned %d values for %d outputs"
+                (List.length rets) (Array.length inst.i_out);
+            List.iteri (fun k ret -> bind rs scope inst.i_out.(k) ret) rets;
+            List.iter (unretain rs) rets;
+            consume_all rs inst.i_in
+          end
+      | _ -> error "malformed prim::If"
+    end
+  | Op.Loop -> exec_loop rs ~scope inst
+  | _ -> begin
+      match inst.i_gid with
+      | gid when gid >= 0 && rs.live && Hashtbl.mem rs.p.p_compiled gid
+        -> begin
+          (* When the kernel runs, the whole group runs at its last member:
+             by then every out-of-group dependency (constants, scalar
+             indices, access bases) is bound, and no non-member can consume
+             a member's output earlier, since anything that breaks a run
+             also ends the group. *)
+          let is_last = Hashtbl.find_opt rs.p.p_last_member gid = Some node.n_id in
+          let run_kernel () =
+            run_group rs scope gid
+              (Hashtbl.find rs.p.p_members gid)
+              (Hashtbl.find rs.p.p_compiled gid)
+          in
+          match mode_of rs.p gid with
+          | Use_plain -> exec_plain_inst rs scope inst
+          | Use_kernel -> if is_last then run_kernel ()
+          | Sampling s when s.k_runs < sample_runs ->
+              if is_last then begin
+                let t0 = Unix.gettimeofday () in
+                run_kernel ();
+                s.k_time <- s.k_time +. (Unix.gettimeofday () -. t0);
+                s.k_runs <- s.k_runs + 1
+              end
+          | Sampling s ->
+              if Hashtbl.find_opt rs.p.p_first_member gid = Some node.n_id then
+                s.p_start <- Unix.gettimeofday ();
+              exec_plain_inst rs scope inst;
+              if is_last then begin
+                s.p_time <- s.p_time +. (Unix.gettimeofday () -. s.p_start);
+                s.p_runs <- s.p_runs + 1;
+                if s.p_runs >= sample_runs && not (Hashtbl.mem rs.p.p_fallback gid)
+                then
+                  Hashtbl.replace rs.p.p_modes gid
+                    (if s.k_time <= s.p_time then Use_kernel else Use_plain)
+              end
+        end
+      | _ -> exec_plain_inst rs scope inst
+    end
+
+and exec_loop rs ~scope (inst : inst) =
+  match inst.i_node.n_blocks with
+  | [ body ] -> begin
+      let trip = Value.to_int (get rs inst.i_in.(0)) in
+      let inits =
+        List.init
+          (Array.length inst.i_in - 1)
+          (fun k -> get rs inst.i_in.(k + 1))
+      in
+      let bi = block_insts rs body in
+      if Array.length bi.bi_params = 0 then
+        error "prim::Loop body without induction parameter";
+      Array.iter (exec_plain_inst rs scope) bi.bi_pre;
+      if
+        rs.live && rs.p.p_parallel && rs.p.p_domains > 1 && trip > 1
+        && Fusion.is_parallel_loop rs.p.p_plan inst.i_node
+        && Array.length bi.bi_params > 1
+      then exec_parallel_loop rs ~scope inst bi trip inits
+      else begin
+        (* Consume the loop's input edges up front: if the loop is the
+           init's last consumer, iteration writes can donate into it. *)
+        List.iter (retain rs) inits;
+        consume_all rs inst.i_in;
+        let carried = ref inits in
+        for i = 0 to trip - 1 do
+          let scope' = ref [] in
+          bind rs scope' bi.bi_params.(0) (Value.Int i);
+          (match !carried with
+          | [] -> ()
+          | [ a ] ->
+              bind rs scope' bi.bi_params.(1) a;
+              unretain rs a
+          | [ a; b ] ->
+              bind rs scope' bi.bi_params.(1) a;
+              bind rs scope' bi.bi_params.(2) b;
+              unretain rs a;
+              unretain rs b
+          | l ->
+              List.iteri (fun j v -> bind rs scope' bi.bi_params.(j + 1) v) l;
+              List.iter (unretain rs) l);
+          Array.iter (exec_inst rs ~scope:scope') bi.bi_insts;
+          let rets =
+            match bi.bi_rets with
+            | [| a |] ->
+                let v = get rs a in
+                retain rs v;
+                [ v ]
+            | [| a; b |] ->
+                let va = get rs a and vb = get rs b in
+                retain rs va;
+                retain rs vb;
+                [ va; vb ]
+            | arr ->
+                let l = Array.to_list (Array.map (fun slot -> get rs slot) arr) in
+                List.iter (retain rs) l;
+                l
+          in
+          exit_scope rs scope';
+          carried := rets
+        done;
+        if List.length !carried <> Array.length inst.i_out then
+          error "prim::Loop carried arity mismatch";
+        List.iteri (fun k v -> bind rs scope inst.i_out.(k) v) !carried;
+        List.iter (unretain rs) !carried
+      end
+    end
+  | _ -> error "malformed prim::Loop"
+
+(* Horizontal parallelization (Algorithm 2): the plan guarantees every
+   carried tensor is only read and written through Select-by-induction-
+   variable rules and handed to the next iteration slot-consistently, so
+   iterations touch disjoint slices of shared buffers and can run on
+   separate domains.  Bodies execute per instruction on a private frame. *)
+and exec_parallel_loop rs ~scope (inst : inst) (bi : binst) trip inits =
+  let bufs =
+    Array.of_list (List.map (fun v -> Fastops.clone (Value.to_tensor v)) inits)
+  in
+  let i_slot = bi.bi_params.(0) in
+  let carried_slots = Array.sub bi.bi_params 1 (Array.length bi.bi_params - 1) in
+  let run_chunk lo hi =
+    let vals = Array.copy rs.vals in
+    (* slot -> index of the shared buffer it currently names, or -1 *)
+    let owner = Array.make (Array.length vals) (-1) in
+    Array.iteri (fun j slot -> owner.(slot) <- j) carried_slots;
+    let getv slot =
+      match vals.(slot) with
+      | Some x -> x
+      | None -> error "unbound value (frame slot %d)" slot
+    in
+    for i = lo to hi - 1 do
+      vals.(i_slot) <- Some (Value.Int i);
+      Array.iteri
+        (fun j slot -> vals.(slot) <- Some (Value.Tensor bufs.(j)))
+        carried_slots;
+      Array.iter
+        (fun (b : inst) ->
+          let n = b.i_node in
+          let inputs = List.init (Array.length b.i_in) (fun k -> getv b.i_in.(k)) in
+          match n.n_op with
+          | Op.Assign (Op.Select { dim })
+            when Array.length b.i_in > 0 && owner.(b.i_in.(0)) >= 0 ->
+              (* Iteration-private slice of the shared buffer, in place. *)
+              let j = owner.(b.i_in.(0)) in
+              let idx = Value.to_int (List.nth inputs 2) in
+              let region = Tensor.select bufs.(j) ~dim idx in
+              write_region region (Value.to_tensor (List.nth inputs 1));
+              if Array.length b.i_out <> 1 then error "malformed immut::assign";
+              vals.(b.i_out.(0)) <- Some (Value.Tensor bufs.(j));
+              owner.(b.i_out.(0)) <- j
+          | _ ->
+              let outs = Fastops.apply_op n inputs in
+              List.iteri (fun k out -> vals.(b.i_out.(k)) <- Some out) outs)
+        bi.bi_insts
+    done
+  in
+  let nd = max 1 (min rs.p.p_domains trip) in
+  (if nd <= 1 then run_chunk 0 trip
+   else begin
+     let per = (trip + nd - 1) / nd in
+     let doms =
+       List.init nd (fun k ->
+           let lo = k * per and hi = min trip ((k + 1) * per) in
+           Domain.spawn (fun () -> if lo < hi then run_chunk lo hi))
+     in
+     List.iter Domain.join doms
+   end);
+  rs.p.s_parallel_loops <- rs.p.s_parallel_loops + 1;
+  Array.iteri
+    (fun j slot -> bind rs scope slot (Value.Tensor bufs.(j)))
+    inst.i_out;
+  consume_all rs inst.i_in
+
+(* --- preparation --- *)
+
+let prepare ~profile ~parallel ~domains ~graph ~shapes ~plan =
+  ignore profile;
+  let slot_tbl : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let nslots = ref 0 in
+  let slot_of_value (v : Graph.value) =
+    match Hashtbl.find_opt slot_tbl v.Graph.v_id with
+    | Some s -> s
+    | None ->
+        let s = !nslots in
+        incr nslots;
+        Hashtbl.replace slot_tbl v.Graph.v_id s;
+        s
+  in
+  let blocks = Hashtbl.create 16 in
+  let members : (int, inst list) Hashtbl.t = Hashtbl.create 16 in
+  let first_member = Hashtbl.create 16 in
+  let last_member = Hashtbl.create 16 in
+  let consts = ref [] in
+  let pinned_extra = ref [] in
+  let rec walk_block ~under_loop (b : Graph.block) =
+    let params = Array.of_list (List.map slot_of_value b.Graph.b_params) in
+    let insts =
+      List.filter_map
+        (fun (n : Graph.node) ->
+          let i_in = Array.of_list (List.map slot_of_value n.n_inputs) in
+          let i_out = Array.of_list (List.map slot_of_value n.n_outputs) in
+          let under_loop' = under_loop || n.n_op = Op.Loop in
+          List.iter (walk_block ~under_loop:under_loop') n.n_blocks;
+          match n.n_op with
+          | Op.Constant _ ->
+              (* Pure and input-free: bound once per run, not per
+                 iteration of whatever block contains it. *)
+              consts := { i_node = n; i_in; i_out; i_gid = -1 } :: !consts;
+              Array.iter (fun s -> pinned_extra := s :: !pinned_extra) i_out;
+              None
+          | _ -> (
+              (match (n.n_op, n.n_blocks) with
+              | Op.Loop, [ body ] -> hoist_invariants body
+              | _ -> ());
+              match Fusion.kernel_class_of plan n with
+              | Fusion.Kernel gid when not under_loop ->
+                  let inst = { i_node = n; i_in; i_out; i_gid = gid } in
+                  let existing =
+                    Option.value (Hashtbl.find_opt members gid) ~default:[]
+                  in
+                  if existing = [] then Hashtbl.replace first_member gid n.n_id;
+                  Hashtbl.replace members gid (existing @ [ inst ]);
+                  Hashtbl.replace last_member gid n.n_id;
+                  Some inst
+              | Fusion.Kernel _ | Fusion.No_cost ->
+                  Some { i_node = n; i_in; i_out; i_gid = -1 }))
+        b.Graph.b_nodes
+    in
+    Hashtbl.replace blocks b.Graph.b_id
+      {
+        bi_insts = Array.of_list insts;
+        bi_params = params;
+        bi_rets = Array.of_list (List.map slot_of_value b.Graph.b_returns);
+        bi_pre = [||];
+      }
+  (* An access whose operands all come from outside a loop body reads the
+     same region every iteration — run it once before the loop.  Views are
+     free to hold and their slots are pinned, so hoisting can only block a
+     donation the plan would not have made anyway. *)
+  and hoist_invariants (body : Graph.block) =
+    let bi = Hashtbl.find blocks body.Graph.b_id in
+    let defined = Hashtbl.create 32 in
+    Array.iter (fun s -> Hashtbl.replace defined s ()) bi.bi_params;
+    Array.iter
+      (fun (b : inst) ->
+        Array.iter (fun s -> Hashtbl.replace defined s ()) b.i_out)
+      bi.bi_insts;
+    let hoisted = Hashtbl.create 8 in
+    let pre = ref [] and rest = ref [] in
+    Array.iter
+      (fun (b : inst) ->
+        let invariant =
+          (match b.i_node.n_op with Op.Access _ -> true | _ -> false)
+          && Array.for_all
+               (fun s -> (not (Hashtbl.mem defined s)) || Hashtbl.mem hoisted s)
+               b.i_in
+        in
+        if invariant then begin
+          Array.iter
+            (fun s ->
+              Hashtbl.replace hoisted s ();
+              pinned_extra := s :: !pinned_extra)
+            b.i_out;
+          pre := b :: !pre
+        end
+        else rest := b :: !rest)
+      bi.bi_insts;
+    if !pre <> [] then
+      Hashtbl.replace blocks body.Graph.b_id
+        {
+          bi with
+          bi_insts = Array.of_list (List.rev !rest);
+          bi_pre = Array.of_list (List.rev !pre);
+        }
+  in
+  List.iter (fun v -> ignore (slot_of_value v)) (Graph.params graph);
+  walk_block ~under_loop:false graph.Graph.g_block;
+  let usage = Buffer_plan.analyze graph in
+  let uses = Array.make !nslots 0 in
+  let pinned = Array.make !nslots true in
+  Hashtbl.iter
+    (fun v_id (u : Buffer_plan.usage) ->
+      match Hashtbl.find_opt slot_tbl v_id with
+      | Some s ->
+          uses.(s) <- u.Buffer_plan.u_uses;
+          pinned.(s) <- u.Buffer_plan.u_pinned
+      | None -> ())
+    usage;
+  List.iter (fun s -> pinned.(s) <- true) !pinned_extra;
+  let compiled = Hashtbl.create 16 in
+  List.iter
+    (fun (k : Codegen.kernel) ->
+      match Kernel_compile.compile k ~shapes with
+      | Ok c -> Hashtbl.replace compiled k.k_group c
+      | Error _ -> ())
+    (Codegen.emit graph plan ~shapes);
+  let scalar_slots = Hashtbl.create 64 in
+  let note_value (v : Graph.value) =
+    match Hashtbl.find_opt slot_tbl v.Graph.v_id with
+    | Some s -> Hashtbl.replace scalar_slots (Codegen.value_ref v) s
+    | None -> ()
+  in
+  List.iter note_value (Graph.params graph);
+  Graph.iter_nodes graph (fun node ->
+      List.iter note_value node.n_outputs;
+      List.iter
+        (fun (b : Graph.block) -> List.iter note_value b.b_params)
+        node.n_blocks);
+  let has_mutation = ref false in
+  Graph.iter_nodes graph (fun node ->
+      match node.n_op with Op.Mutate _ -> has_mutation := true | _ -> ());
+  {
+    p_graph = graph;
+    p_plan = plan;
+    p_nslots = !nslots;
+    p_uses = uses;
+    p_pinned = pinned;
+    p_blocks = blocks;
+    p_slot = slot_tbl;
+    p_compiled = compiled;
+    p_members = members;
+    p_consts = Array.of_list (List.rev !consts);
+    p_first_member = first_member;
+    p_last_member = last_member;
+    p_modes = Hashtbl.create 16;
+    p_fallback = Hashtbl.create 4;
+    p_scalar_slots = scalar_slots;
+    p_live = not !has_mutation;
+    p_parallel = parallel;
+    p_domains = domains;
+    p_pool = Buffer_plan.create_pool ();
+    s_kernel_runs = 0;
+    s_donations = 0;
+    s_parallel_loops = 0;
+  }
+
+let run p args =
+  incr run_epoch;
+  let rs =
+    {
+      vals = Array.make p.p_nslots None;
+      remaining = Array.make p.p_nslots 0;
+      epoch = !run_epoch;
+      live = p.p_live;
+      p;
+    }
+  in
+  let params = Graph.params p.p_graph in
+  if List.length params <> List.length args then
+    error "graph %s expects %d arguments, got %d" p.p_graph.g_name
+      (List.length params) (List.length args);
+  List.iter
+    (fun v ->
+      iter_value_tensors v (fun (t : Tensor.t) ->
+          Storage.set_mark t.Tensor.storage ~epoch:rs.epoch
+            (Storage.mark t.Tensor.storage ~epoch:rs.epoch + foreign_bias)))
+    args;
+  Array.iter
+    (fun (c : inst) ->
+      List.iteri
+        (fun k out -> rs.vals.(c.i_out.(k)) <- Some out)
+        (Eval.apply_op c.i_node []))
+    p.p_consts;
+  let scope = ref [] in
+  List.iter2
+    (fun (v : Graph.value) arg ->
+      bind rs scope (Hashtbl.find p.p_slot v.Graph.v_id) arg)
+    params args;
+  exec_block rs (Hashtbl.find p.p_blocks p.p_graph.g_block.b_id)
+
+type stats = {
+  groups : int;
+  compiled : int;
+  kernel_runs : int;
+  fallback_groups : int;
+  pool_fresh : int;
+  pool_reused : int;
+  donations : int;
+  parallel_loops_run : int;
+}
+
+let stats p =
+  {
+    groups = List.length (Fusion.group_sizes p.p_plan);
+    compiled = Hashtbl.length p.p_compiled;
+    kernel_runs = p.s_kernel_runs;
+    fallback_groups = Hashtbl.length p.p_fallback;
+    pool_fresh = Buffer_plan.fresh_allocs p.p_pool;
+    pool_reused = Buffer_plan.reuses p.p_pool;
+    donations = p.s_donations;
+    parallel_loops_run = p.s_parallel_loops;
+  }

@@ -1,0 +1,59 @@
+(** Plan-order execution of a functionalized graph.
+
+    The scheduler walks blocks like the reference interpreter, but:
+
+    - fusion groups with a compiled kernel ({!Kernel_compile}) execute as
+      one kernel at the group's last member, writing into pool buffers;
+      groups the compiler rejected — or that fail at runtime — fall back
+      to per-node execution, permanently for that group;
+    - value liveness ({!Buffer_plan.analyze}) retires buffers to the
+      storage pool at their last use, and an [immut::assign] whose base
+      dies with it is {e donated}: the region is written in place instead
+      of cloning the whole base (the paper's copy-elimination, done at
+      runtime);
+    - [immut::access] returns a zero-copy strided view — safe because
+      donation requires the storage to have exactly one live reference;
+    - loops in [plan.parallel_loops] run horizontally: carried tensors
+      become shared buffers whose iteration-private slices are written in
+      place, with iteration chunks dispatched across OCaml [Domain]s
+      (Algorithm 2's parallelization, executed for real);
+    - [prim::If]/[prim::Loop] fall back to block-level dispatch, and
+      graphs still containing [aten::…_] mutations run in a plain
+      per-node mode with interpreter semantics (no pool, no donation).
+
+    Caller tensors are marked foreign and are never donated or pooled. *)
+
+open Functs_ir
+open Functs_core
+open Functs_interp
+
+type prepared
+
+val prepare :
+  profile:Compiler_profile.t ->
+  parallel:bool ->
+  domains:int ->
+  graph:Graph.t ->
+  shapes:Shape_infer.result ->
+  plan:Fusion.plan ->
+  prepared
+(** Compile the plan's kernels and the liveness table.  [graph] must stay
+    unmodified for the lifetime of the result. *)
+
+val run : prepared -> Value.t list -> Value.t list
+(** Execute once.  The storage pool persists across runs; returned tensors
+    are never recycled.  Not thread-safe — one run at a time.
+    @raise Functs_interp.Eval.Runtime_error like the interpreter. *)
+
+type stats = {
+  groups : int;  (** fusion groups in the plan *)
+  compiled : int;  (** groups with a compiled kernel *)
+  kernel_runs : int;  (** compiled kernel invocations so far *)
+  fallback_groups : int;  (** groups demoted to per-node at runtime *)
+  pool_fresh : int;
+  pool_reused : int;
+  donations : int;  (** assigns executed in place *)
+  parallel_loops_run : int;
+}
+
+val stats : prepared -> stats

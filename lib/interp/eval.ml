@@ -39,7 +39,13 @@ let eval_assign kind base src operands =
   let fresh = Tensor.clone base in
   let region = apply_view_kind kind fresh operands in
   let src_tensor = Value.to_tensor src in
-  ignore (Inplace.copy_ region src_tensor);
+  (if Tensor.numel region = 1 && Tensor.numel src_tensor = 1 then
+     (* Single-element region: write the scalar straight through the view
+        instead of paying the broadcast/overlap machinery of [copy_]. *)
+     Tensor.set region
+       (Array.make (Tensor.ndim region) 0)
+       (Tensor.get src_tensor (Array.make (Tensor.ndim src_tensor) 0))
+   else ignore (Inplace.copy_ region src_tensor));
   fresh
 
 let scalar_binary fn a b =
@@ -74,68 +80,49 @@ let lookup (env : env) (v : Graph.value) =
 let observe observer event =
   match observer with Some f -> f event | None -> ()
 
-let rec exec_block observer (env : env) (block : Graph.block) =
-  List.iter (exec_node observer env) block.b_nodes;
-  List.map (lookup env) block.b_returns
-
-and exec_node observer (env : env) (node : Graph.node) =
-  let inputs = List.map (lookup env) node.n_inputs in
+(* Dispatch for every operator that is a pure function of its inputs (no
+   blocks, no environment).  Shared with the fused executor's per-node
+   fallback path. *)
+let apply_op (node : Graph.node) (inputs : Value.t list) =
   let tensor_in i = Value.to_tensor (List.nth inputs i) in
-  let bind_outputs outputs =
-    if List.length outputs <> List.length node.n_outputs then
-      error "%s produced %d values for %d outputs" (Op.name node.n_op)
-        (List.length outputs) (List.length node.n_outputs);
-    List.iter2 (bind env) node.n_outputs outputs;
-    observe observer (Op_executed { node; inputs; outputs })
-  in
   match node.n_op with
-  | Op.Constant (Op.Cfloat f) -> bind_outputs [ Value.Float f ]
-  | Op.Constant (Op.Cint i) -> bind_outputs [ Value.Int i ]
-  | Op.Constant (Op.Cbool b) -> bind_outputs [ Value.Bool b ]
+  | Op.Constant (Op.Cfloat f) -> [ Value.Float f ]
+  | Op.Constant (Op.Cint i) -> [ Value.Int i ]
+  | Op.Constant (Op.Cbool b) -> [ Value.Bool b ]
   | Op.Scalar_binary fn -> begin
       match inputs with
-      | [ a; b ] -> bind_outputs [ scalar_binary fn a b ]
+      | [ a; b ] -> [ scalar_binary fn a b ]
       | _ -> error "prim scalar op expects two inputs"
     end
-  | Op.Unary fn ->
-      bind_outputs [ Value.Tensor (Ops.unary fn (tensor_in 0)) ]
+  | Op.Unary fn -> [ Value.Tensor (Ops.unary fn (tensor_in 0)) ]
   | Op.Binary fn ->
-      bind_outputs [ Value.Tensor (Ops.binary fn (tensor_in 0) (tensor_in 1)) ]
-  | Op.Matmul ->
-      bind_outputs [ Value.Tensor (Ops.matmul (tensor_in 0) (tensor_in 1)) ]
-  | Op.Softmax { dim } ->
-      bind_outputs [ Value.Tensor (Ops.softmax (tensor_in 0) ~dim) ]
-  | Op.Sum -> bind_outputs [ Value.Tensor (Ops.sum (tensor_in 0)) ]
+      [ Value.Tensor (Ops.binary fn (tensor_in 0) (tensor_in 1)) ]
+  | Op.Matmul -> [ Value.Tensor (Ops.matmul (tensor_in 0) (tensor_in 1)) ]
+  | Op.Softmax { dim } -> [ Value.Tensor (Ops.softmax (tensor_in 0) ~dim) ]
+  | Op.Sum -> [ Value.Tensor (Ops.sum (tensor_in 0)) ]
   | Op.Sum_dim { dim; keepdim } ->
-      bind_outputs [ Value.Tensor (Ops.sum_dim (tensor_in 0) ~dim ~keepdim) ]
+      [ Value.Tensor (Ops.sum_dim (tensor_in 0) ~dim ~keepdim) ]
   | Op.Max_dim { dim; keepdim } ->
-      bind_outputs [ Value.Tensor (Ops.max_dim (tensor_in 0) ~dim ~keepdim) ]
-  | Op.Mean -> bind_outputs [ Value.Tensor (Ops.mean (tensor_in 0)) ]
+      [ Value.Tensor (Ops.max_dim (tensor_in 0) ~dim ~keepdim) ]
+  | Op.Mean -> [ Value.Tensor (Ops.mean (tensor_in 0)) ]
   | Op.Cat { dim } ->
-      bind_outputs
-        [ Value.Tensor (Ops.cat (List.map Value.to_tensor inputs) ~dim) ]
+      [ Value.Tensor (Ops.cat (List.map Value.to_tensor inputs) ~dim) ]
   | Op.Stack { dim } ->
-      bind_outputs
-        [ Value.Tensor (Ops.stack (List.map Value.to_tensor inputs) ~dim) ]
+      [ Value.Tensor (Ops.stack (List.map Value.to_tensor inputs) ~dim) ]
   | Op.Where ->
-      bind_outputs
-        [ Value.Tensor (Ops.where (tensor_in 0) (tensor_in 1) (tensor_in 2)) ]
-  | Op.Cumsum { dim } ->
-      bind_outputs [ Value.Tensor (Ops.cumsum (tensor_in 0) ~dim) ]
-  | Op.Clone -> bind_outputs [ Value.Tensor (Tensor.clone (tensor_in 0)) ]
-  | Op.Zeros { shape } -> bind_outputs [ Value.Tensor (Tensor.zeros shape) ]
-  | Op.Ones { shape } -> bind_outputs [ Value.Tensor (Tensor.ones shape) ]
+      [ Value.Tensor (Ops.where (tensor_in 0) (tensor_in 1) (tensor_in 2)) ]
+  | Op.Cumsum { dim } -> [ Value.Tensor (Ops.cumsum (tensor_in 0) ~dim) ]
+  | Op.Clone -> [ Value.Tensor (Tensor.clone (tensor_in 0)) ]
+  | Op.Zeros { shape } -> [ Value.Tensor (Tensor.zeros shape) ]
+  | Op.Ones { shape } -> [ Value.Tensor (Tensor.ones shape) ]
   | Op.Full { shape } ->
-      bind_outputs
-        [ Value.Tensor (Tensor.full shape (Value.to_float (List.nth inputs 0))) ]
+      [ Value.Tensor (Tensor.full shape (Value.to_float (List.nth inputs 0))) ]
   | Op.Arange ->
-      bind_outputs
-        [ Value.Tensor (Tensor.arange (Value.to_int (List.nth inputs 0))) ]
+      [ Value.Tensor (Tensor.arange (Value.to_int (List.nth inputs 0))) ]
   | Op.View kind -> begin
       match inputs with
       | base :: operands ->
-          bind_outputs
-            [ Value.Tensor (apply_view_kind kind (Value.to_tensor base) operands) ]
+          [ Value.Tensor (apply_view_kind kind (Value.to_tensor base) operands) ]
       | [] -> error "view without base"
     end
   | Op.Mutate kind -> begin
@@ -150,35 +137,51 @@ and exec_node observer (env : env) (node : Graph.node) =
             Inplace.binary_ b (Value.to_tensor dst) (Value.to_tensor src)
         | _, _ -> error "malformed mutation %s" (Op.name node.n_op)
       in
-      bind_outputs [ Value.Tensor result ]
+      [ Value.Tensor result ]
     end
   | Op.Access kind -> begin
       match inputs with
       | base :: operands ->
           let viewed = apply_view_kind kind (Value.to_tensor base) operands in
-          bind_outputs [ Value.Tensor (Tensor.clone viewed) ]
+          [ Value.Tensor (Tensor.clone viewed) ]
       | [] -> error "access without base"
     end
   | Op.Assign kind -> begin
       match inputs with
       | base :: src :: operands ->
-          bind_outputs
-            [ Value.Tensor (eval_assign kind (Value.to_tensor base) src operands) ]
+          [ Value.Tensor (eval_assign kind (Value.to_tensor base) src operands) ]
       | _ -> error "assign needs base and source"
     end
-  | Op.Update ->
-      (* Annotation only; legal mid-conversion, never at a phase boundary. *)
-      observe observer (Op_executed { node; inputs; outputs = [] })
-  | Op.List_construct -> bind_outputs [ Value.List inputs ]
+  | Op.List_construct -> [ Value.List inputs ]
   | Op.List_index -> begin
       match inputs with
       | [ Value.List items; idx ] -> begin
           match List.nth_opt items (Value.to_int idx) with
-          | Some v -> bind_outputs [ v ]
+          | Some v -> [ v ]
           | None -> error "list index out of range"
         end
       | _ -> error "aten::__getitem__ expects a list and an index"
     end
+  | Op.Update | Op.If | Op.Loop ->
+      error "%s is not a plain operator" (Op.name node.n_op)
+
+let rec exec_block observer (env : env) (block : Graph.block) =
+  List.iter (exec_node observer env) block.b_nodes;
+  List.map (lookup env) block.b_returns
+
+and exec_node observer (env : env) (node : Graph.node) =
+  let inputs = List.map (lookup env) node.n_inputs in
+  let bind_outputs outputs =
+    if List.length outputs <> List.length node.n_outputs then
+      error "%s produced %d values for %d outputs" (Op.name node.n_op)
+        (List.length outputs) (List.length node.n_outputs);
+    List.iter2 (bind env) node.n_outputs outputs;
+    observe observer (Op_executed { node; inputs; outputs })
+  in
+  match node.n_op with
+  | Op.Update ->
+      (* Annotation only; legal mid-conversion, never at a phase boundary. *)
+      observe observer (Op_executed { node; inputs; outputs = [] })
   | Op.If -> begin
       match (inputs, node.n_blocks) with
       | [ cond ], [ then_b; else_b ] ->
@@ -213,6 +216,7 @@ and exec_node observer (env : env) (node : Graph.node) =
           observe observer (Op_executed { node; inputs; outputs = !carried })
       | _, _ -> error "malformed prim::Loop"
     end
+  | _ -> bind_outputs (apply_op node inputs)
 
 let run ?observer (g : Graph.t) args =
   let env : env = Hashtbl.create 64 in

@@ -42,3 +42,8 @@ val apply_view_kind :
   Functs_tensor.Tensor.t
 (** Apply a view rule with its dynamic operands; the result aliases the
     input (exposed for tests and for the fused executor). *)
+
+val apply_op : Graph.node -> Value.t list -> Value.t list
+(** Evaluate a non-control-flow operator as a pure function of its input
+    values (exposed for the fused executor's per-node fallback path).
+    @raise Runtime_error on [prim::If]/[prim::Loop]/[immut::update]. *)

@@ -27,6 +27,8 @@ let get t index = Storage.get t.storage (linear_index t index)
 let set t index v = Storage.set t.storage (linear_index t index) v
 
 let of_storage storage shape =
+  if Storage.length storage <> Shape.numel shape then
+    invalid_arg "Tensor.of_storage: element-count mismatch";
   { storage; offset = 0; shape; strides = Shape.row_major_strides shape }
 
 let zeros shape = of_storage (Storage.create (Shape.numel shape)) shape

@@ -26,6 +26,11 @@ val of_array : Shape.t -> float array -> t
 (** Copy the flat row-major data into fresh storage.
     @raise Invalid_argument on element-count mismatch. *)
 
+val of_storage : Storage.t -> Shape.t -> t
+(** View an existing storage as a contiguous row-major tensor (offset 0) —
+    the buffer-reuse constructor used by the executor's storage pool.
+    @raise Invalid_argument on element-count mismatch. *)
+
 val arange : int -> t
 (** [arange n] is the 1-d tensor [0.; 1.; …; n-1.]. *)
 

@@ -1,0 +1,25 @@
+#!/bin/sh
+# Pre-PR gate: build everything, run the test suite, and (when available)
+# check formatting.  Run from the repository root:
+#
+#   scripts/check.sh
+#
+# Exits non-zero on the first failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build @all =="
+dune build @all
+
+echo "== dune runtest =="
+dune runtest
+
+if command -v ocamlformat >/dev/null 2>&1; then
+  echo "== dune build @fmt =="
+  dune build @fmt
+else
+  echo "warning: ocamlformat not installed; skipping format check" >&2
+fi
+
+echo "All checks passed."

@@ -1,0 +1,241 @@
+(* Differential validation of the fused execution engine: random
+   imperative programs (including prim::If / prim::Loop) and every
+   registered workload must produce the interpreter's outputs through the
+   engine, sequentially and with horizontal parallelization; plus units
+   for the storage pool, assign donation, and the slot-consistency rule of
+   parallel-loop detection. *)
+
+open Functs_ir
+open Functs_core
+open Functs_interp
+open Functs_exec
+open Functs_frontend
+module T = Functs_tensor.Tensor
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let rows = Generators.rows
+
+let inputs seed =
+  let state = Random.State.make [| seed |] in
+  [ Value.Tensor (T.rand state [| rows; rows |]); Value.Int 1 ]
+
+let fresh_args seed () =
+  List.map
+    (function
+      | Value.Tensor t -> Value.Tensor (T.clone t)
+      | (Value.Int _ | Value.Float _ | Value.Bool _ | Value.List _) as v -> v)
+    (inputs seed)
+
+let engines_of g args =
+  let fg = Graph.clone g in
+  ignore (Passes.tensorssa_pipeline fg);
+  let shapes = Engine.input_shapes args in
+  ( Engine.prepare ~parallel:false fg ~inputs:shapes,
+    Engine.prepare ~parallel:true ~domains:2 fg ~inputs:shapes )
+
+let agrees g args_fn =
+  let expected = Eval.run g (args_fn ()) in
+  let eng, engp = engines_of g (args_fn ()) in
+  let got = Engine.run eng (args_fn ()) in
+  let gotp = Engine.run engp (args_fn ()) in
+  List.for_all2 (Value.equal ~atol:1e-4) expected got
+  && List.for_all2 (Value.equal ~atol:1e-4) expected gotp
+
+(* --- units --- *)
+
+let test_pool_reuse () =
+  let pool = Buffer_plan.create_pool () in
+  let t1 = Buffer_plan.alloc pool [| 4; 4 |] in
+  Buffer_plan.release pool t1;
+  Buffer_plan.release pool t1;
+  (* double release is ignored *)
+  let t2 = Buffer_plan.alloc pool [| 2; 8 |] in
+  check "released storage is recycled across shapes" true
+    (T.same_storage t1 t2);
+  check_int "one fresh allocation" 1 (Buffer_plan.fresh_allocs pool);
+  check_int "one reuse" 1 (Buffer_plan.reuses pool);
+  let t3 = Buffer_plan.alloc pool [| 4; 4 |] in
+  check "no free storage left" false (T.same_storage t1 t3);
+  Buffer_plan.release pool (T.ones [| 4; 4 |])
+(* foreign tensors are ignored *)
+
+let test_pool_foreign_not_recycled () =
+  let pool = Buffer_plan.create_pool () in
+  let mine = T.ones [| 16 |] in
+  Buffer_plan.release pool mine;
+  let t = Buffer_plan.alloc pool [| 16 |] in
+  check "pool never recycles storage it did not allocate" false
+    (T.same_storage mine t)
+
+(* A carried-store loop: the lstm pattern whose per-iteration whole-tensor
+   clone the donation path eliminates.  Engine output must still match. *)
+let carried_store_graph () =
+  let b =
+    Builder.create "carried"
+      ~params:[ ("x", Dtype.Tensor); ("n", Dtype.Scalar Dtype.Int) ]
+  in
+  let x = Builder.param b 0 and n = Builder.param b 1 in
+  let t = Builder.clone b x in
+  let one = Builder.float b 1.0 in
+  let outs =
+    Builder.loop b ~trip:n ~init:[ t ]
+      ~body:(fun ~i ~carried ->
+        match carried with
+        | [ v ] ->
+            let row = Builder.op1 b (Op.Access (Op.Select { dim = 0 })) [ v; i ] in
+            let s = Builder.add b row one in
+            let v' =
+              Builder.op1 b (Op.Assign (Op.Select { dim = 0 })) [ v; s; i ]
+            in
+            [ v' ]
+        | _ -> assert false)
+  in
+  Builder.return b outs;
+  Builder.graph b
+
+let test_donation_loop () =
+  let g = carried_store_graph () in
+  let args () = [ Value.Tensor (T.ones [| 6; 4 |]); Value.Int 6 ] in
+  let expected = Eval.run g (args ()) in
+  let fg = Graph.clone g in
+  ignore (Passes.tensorssa_pipeline fg);
+  let eng = Engine.prepare ~parallel:false fg ~inputs:(Engine.input_shapes (args ())) in
+  let got = Engine.run eng (args ()) in
+  check "engine matches interpreter" true
+    (List.for_all2 (Value.equal ~atol:1e-6) expected got);
+  let s = Engine.stats eng in
+  check "later iterations donate in place" true (s.Scheduler.donations >= 4)
+
+let test_engine_never_mutates_args () =
+  let g = carried_store_graph () in
+  let input = T.ones [| 6; 4 |] in
+  let fg = Graph.clone g in
+  ignore (Passes.tensorssa_pipeline fg);
+  let eng =
+    Engine.prepare fg
+      ~inputs:(Engine.input_shapes [ Value.Tensor input; Value.Int 6 ])
+  in
+  ignore (Engine.run eng [ Value.Tensor input; Value.Int 6 ]);
+  check "caller tensor untouched" true
+    (T.allclose input (T.ones [| 6; 4 |]))
+
+(* Parallel-loop detection: returns must hand each slot its own version.
+   A loop swapping its two carried tensors passes the per-use rules but
+   has a genuine cross-iteration dependence. *)
+let two_carried_graph ~swap =
+  let b =
+    Builder.create
+      (if swap then "swap" else "straight")
+      ~params:[ ("x", Dtype.Tensor); ("n", Dtype.Scalar Dtype.Int) ]
+  in
+  let x = Builder.param b 0 and n = Builder.param b 1 in
+  let a = Builder.clone b x in
+  let c = Builder.clone b x in
+  let one = Builder.float b 1.0 in
+  let outs =
+    Builder.loop b ~trip:n ~init:[ a; c ]
+      ~body:(fun ~i ~carried ->
+        match carried with
+        | [ p; q ] ->
+            let row = Builder.op1 b (Op.Access (Op.Select { dim = 0 })) [ p; i ] in
+            let s = Builder.add b row one in
+            let p' =
+              Builder.op1 b (Op.Assign (Op.Select { dim = 0 })) [ p; s; i ]
+            in
+            if swap then [ q; p' ] else [ p'; q ]
+        | _ -> assert false)
+  in
+  Builder.return b outs;
+  Builder.graph b
+
+let loop_node g =
+  List.find (fun (n : Graph.node) -> n.n_op = Op.Loop) (Graph.all_nodes g)
+
+let test_parallel_slot_consistency () =
+  let straight = two_carried_graph ~swap:false in
+  let swapped = two_carried_graph ~swap:true in
+  let plan g = Fusion.plan Compiler_profile.tensorssa g in
+  check "slot-consistent loop parallelizes" true
+    (Fusion.is_parallel_loop (plan straight) (loop_node straight));
+  check "slot-crossing loop is sequential" false
+    (Fusion.is_parallel_loop (plan swapped) (loop_node swapped));
+  (* and both still execute correctly through the engine *)
+  let args () = [ Value.Tensor (T.ones [| 5; 4 |]); Value.Int 5 ] in
+  check "swap semantics preserved" true (agrees swapped args);
+  check "straight semantics preserved" true (agrees straight args)
+
+let test_workloads_equivalent () =
+  List.iter
+    (fun (o : Equiv.outcome) ->
+      check
+        (Printf.sprintf "%s (%s)" o.Equiv.o_workload o.Equiv.o_detail)
+        true o.Equiv.o_ok)
+    (Equiv.check_all ())
+
+let test_kernels_actually_compile () =
+  (* The harness only proves agreement; this pins that the compiled-kernel
+     path really runs on a fusion-rich workload. *)
+  let w =
+    match Functs_workloads.Registry.find "attention" with
+    | Some w -> w
+    | None -> Alcotest.fail "attention workload missing"
+  in
+  let batch = w.Functs_workloads.Workload.default_batch
+  and seq = w.Functs_workloads.Workload.default_seq in
+  let g = Functs_workloads.Workload.graph w ~batch ~seq in
+  ignore (Passes.tensorssa_pipeline g);
+  let args = w.Functs_workloads.Workload.inputs ~batch ~seq in
+  let eng = Engine.prepare g ~inputs:(Engine.input_shapes args) in
+  ignore (Engine.run eng args);
+  let s = Engine.stats eng in
+  check "some groups compiled" true (s.Scheduler.compiled > 0);
+  check "compiled kernels executed" true (s.Scheduler.kernel_runs > 0)
+
+(* --- properties --- *)
+
+let prop_engine_matches_interp =
+  QCheck2.Test.make
+    ~name:"engine matches the interpreter on random programs (if/loop)"
+    ~count:150 ~print:Generators.print_program Generators.gen_program
+    (fun p ->
+      let g = Lower.program p in
+      agrees g (fresh_args 42))
+
+let prop_engine_matches_interp_straightline =
+  QCheck2.Test.make
+    ~name:"engine matches the interpreter on straight-line programs"
+    ~count:150 ~print:Generators.print_program
+    Generators.gen_straightline_program
+    (fun p ->
+      let g = Lower.program p in
+      agrees g (fresh_args 7))
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "buffers",
+        [
+          Alcotest.test_case "pool reuse" `Quick test_pool_reuse;
+          Alcotest.test_case "foreign storage" `Quick
+            test_pool_foreign_not_recycled;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "donation loop" `Quick test_donation_loop;
+          Alcotest.test_case "args never mutated" `Quick
+            test_engine_never_mutates_args;
+          Alcotest.test_case "parallel slot consistency" `Quick
+            test_parallel_slot_consistency;
+          Alcotest.test_case "kernel path exercised" `Quick
+            test_kernels_actually_compile;
+          Alcotest.test_case "workload equivalence" `Slow
+            test_workloads_equivalent;
+        ] );
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_engine_matches_interp_straightline;
+            prop_engine_matches_interp;
+          ] );
+    ]
