@@ -8,7 +8,12 @@
 
    Usage:
      dune exec bench/main.exe [-- fig5|fig6|fig7|fig8|headline|ablation|micro|exec]
-   With no argument everything runs.  Unknown targets exit non-zero. *)
+   With no argument everything runs.  Unknown targets exit non-zero.
+
+   [exec] writes machine-readable results to BENCH_exec.json (per-workload
+   median wall-clock, pool dispatch overhead vs Domain.spawn/join, and
+   cold/warm compile-cache timings).  [exec --smoke] only checks that every
+   workload's engine outputs match the interpreter — no timing, no JSON. *)
 
 open Bechamel
 open Functs_ir
@@ -23,9 +28,15 @@ module Value = Functs_interp.Value
 let all_targets =
   [ "fig5"; "fig6"; "fig7"; "fig8"; "headline"; "ablation"; "micro"; "exec" ]
 
+(* Flags are stripped before target validation. *)
+let raw_picks =
+  match Array.to_list Sys.argv with _ :: picks -> picks | [] -> []
+
+let smoke_mode = List.mem "--smoke" raw_picks
+
 let selected () =
-  match Array.to_list Sys.argv with
-  | _ :: (_ :: _ as picks) -> (
+  match List.filter (fun p -> p <> "--smoke") raw_picks with
+  | _ :: _ as picks -> (
       match List.filter (fun p -> not (List.mem p all_targets)) picks with
       | [] -> picks
       | bad ->
@@ -34,7 +45,7 @@ let selected () =
             (String.concat ", " bad)
             (String.concat ", " all_targets);
           exit 2)
-  | _ :: [] | [] -> all_targets
+  | [] -> all_targets
 
 let wants what = List.mem what (selected ())
 
@@ -171,7 +182,10 @@ let run_micro () =
 
 (* --- exec: measured wall-clock of the fused execution engine --- *)
 
-let time_best f =
+(* Median of an adaptive number of timed runs (after warm-up): robust to
+   the occasional GC pause that a min- or mean-based figure would either
+   hide or smear. *)
+let time_median f =
   ignore (f ());
   (* warm-up: fills the storage pool, primes caches *)
   let once () =
@@ -180,21 +194,137 @@ let time_best f =
     Unix.gettimeofday () -. t0
   in
   let first = once () in
-  let reps = max 2 (min 40 (int_of_float (0.3 /. Float.max 1e-6 first))) in
-  let best = ref first in
-  for _ = 1 to reps do
-    let t = once () in
-    if t < !best then best := t
-  done;
-  !best
+  let runs = max 5 (min 31 (int_of_float (0.3 /. Float.max 1e-6 first))) in
+  let samples = Array.init runs (fun _ -> once ()) in
+  Array.sort compare samples;
+  samples.(runs / 2)
+
+module Pool = Functs_exec.Pool
+
+(* Per-dispatch overhead: the persistent pool's parallel_for against a
+   fresh Domain.spawn/join pair doing the same (empty) 2-chunk split —
+   the regime PR 1 ran every horizontal loop in. *)
+let dispatch_overhead () =
+  let pool = Pool.shared ~lanes:2 in
+  let body _ _ = () in
+  let iters = 500 in
+  let timed f =
+    ignore (f ());
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      f ()
+    done;
+    1e6 *. (Unix.gettimeofday () -. t0) /. float_of_int iters
+  in
+  let pool_us =
+    timed (fun () -> ignore (Pool.parallel_for pool ~grain:1 ~n:2 body))
+  in
+  let spawn_us =
+    timed (fun () ->
+        let d = Domain.spawn (fun () -> body 1 2) in
+        body 0 1;
+        Domain.join d)
+  in
+  (pool_us, spawn_us)
+
+(* Cold vs warm [Engine.prepare]: the cold call lowers from scratch (the
+   cache was just cleared), the warm one must come back from the compile
+   cache.  Measured per call — warm is a digest + hashtable probe. *)
+let prepare_times ~parallel fg ~inputs =
+  Engine.clear_cache ();
+  let stamp f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let cold, _ = stamp (fun () -> Engine.prepare ~parallel fg ~inputs) in
+  let warm, eng = stamp (fun () -> Engine.prepare ~parallel fg ~inputs) in
+  (cold, warm, eng)
+
+type wrow = {
+  r_name : string;
+  r_batch : int;
+  r_seq : int;
+  r_interp : float;
+  r_fused : float;
+  r_par : float;
+  r_cold : float;
+  r_warm : float;
+  r_stats : Scheduler.stats;
+}
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json path rows (pool_us, spawn_us) =
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  let c = Compiler_profile.compile_cache in
+  let env_default name d =
+    match Option.bind (Sys.getenv_opt name) int_of_string_opt with
+    | Some v -> v
+    | None -> d
+  in
+  p "{\n";
+  p "  \"domains\": %d,\n"
+    (env_default "FUNCTS_DOMAINS" (Domain.recommended_domain_count ()));
+  p "  \"loop_grain\": %d,\n" (env_default "FUNCTS_GRAIN" 2);
+  p "  \"kernel_grain\": %d,\n" (env_default "FUNCTS_KERNEL_GRAIN" 8192);
+  p "  \"dispatch_us\": { \"pool\": %.3f, \"spawn_join\": %.3f },\n" pool_us
+    spawn_us;
+  p "  \"workloads\": [\n";
+  List.iteri
+    (fun i r ->
+      let s = r.r_stats in
+      p
+        "    { \"name\": \"%s\", \"batch\": %d, \"seq\": %d,\n\
+        \      \"interp_ms\": %.4f, \"fused_ms\": %.4f, \
+         \"fused_parallel_ms\": %.4f,\n\
+        \      \"fused_speedup\": %.3f, \"parallel_speedup\": %.3f,\n\
+        \      \"prepare_cold_ms\": %.4f, \"prepare_warm_ms\": %.6f,\n\
+        \      \"kernel_runs\": %d, \"parallel_loops\": %d,\n\
+        \      \"pool_lanes\": %d, \"pool_dispatches\": %d, \
+         \"pool_seq_fallbacks\": %d }%s\n"
+        (json_escape r.r_name) r.r_batch r.r_seq (1e3 *. r.r_interp)
+        (1e3 *. r.r_fused) (1e3 *. r.r_par)
+        (r.r_interp /. Float.max 1e-9 r.r_fused)
+        (r.r_interp /. Float.max 1e-9 r.r_par)
+        (1e3 *. r.r_cold) (1e3 *. r.r_warm) s.Scheduler.kernel_runs
+        s.Scheduler.parallel_loops_run s.Scheduler.pool_lanes
+        s.Scheduler.pool_dispatches s.Scheduler.pool_seq_fallbacks
+        (if i = List.length rows - 1 then "" else ",")
+    )
+    rows;
+  p "  ],\n";
+  p
+    "  \"cache\": { \"hits\": %d, \"misses\": %d, \"evictions\": %d, \
+     \"resident\": %d }\n"
+    c.Compiler_profile.cache_hits c.Compiler_profile.cache_misses
+    c.Compiler_profile.cache_evictions (Engine.cache_size ());
+  p "}\n";
+  close_out oc
 
 let run_exec () =
-  print_endline
-    "Execution engine: interpreter vs fused vs fused+parallel (best \
-     wall-clock per run)";
-  Printf.printf "  %-10s %11s %11s %11s %8s %8s  %s\n" "workload" "interp(ms)"
-    "fused(ms)" "par(ms)" "fused x" "par x" "engine stats";
   let ok = ref true in
+  let rows = ref [] in
+  if smoke_mode then
+    print_endline "Execution engine smoke check (no timing):"
+  else begin
+    print_endline
+      "Execution engine: interpreter vs fused vs fused+parallel (median \
+       wall-clock per run)";
+    Printf.printf "  %-10s %11s %11s %11s %8s %8s %9s %9s\n" "workload"
+      "interp(ms)" "fused(ms)" "par(ms)" "fused x" "par x" "cold(ms)"
+      "warm(ms)"
+  end;
   List.iter
     (fun (w : Workload.t) ->
       let batch = w.default_batch and seq = w.default_seq in
@@ -205,7 +335,7 @@ let run_exec () =
       ignore (Passes.tensorssa_pipeline fg);
       let inputs = Engine.input_shapes args in
       let eng = Engine.prepare ~parallel:false fg ~inputs in
-      let engp = Engine.prepare ~parallel:true fg ~inputs in
+      let _, _, engp = prepare_times ~parallel:true fg ~inputs in
       let equal got = List.for_all2 (Value.equal ~atol:1e-4) expected got in
       if not (equal (Engine.run eng args) && equal (Engine.run engp args))
       then begin
@@ -213,22 +343,44 @@ let run_exec () =
         Printf.printf "  %-10s ENGINE OUTPUT DIVERGED FROM INTERPRETER\n"
           w.name
       end
+      else if smoke_mode then Printf.printf "  %-10s ok\n" w.name
       else begin
-        let t_interp = time_best (fun () -> Eval.run g args) in
-        let t_fused = time_best (fun () -> Engine.run eng args) in
-        let t_par = time_best (fun () -> Engine.run engp args) in
+        let t_interp = time_median (fun () -> Eval.run g args) in
+        let t_fused = time_median (fun () -> Engine.run eng args) in
+        let t_par = time_median (fun () -> Engine.run engp args) in
+        (* Re-measure prepare now that timing runs warmed everything: the
+           first prepare above also paid kernel auto-tuning samples. *)
+        let t_cold, t_warm, _ = prepare_times ~parallel:true fg ~inputs in
         let s = Engine.stats engp in
         Printf.printf
-          "  %-10s %11.3f %11.3f %11.3f %8.2f %8.2f  \
-           kernels=%d/%d donations=%d pool=%d/%d par-loops=%d\n"
-          w.name (1e3 *. t_interp) (1e3 *. t_fused) (1e3 *. t_par)
-          (t_interp /. t_fused) (t_interp /. t_par)
-          s.Scheduler.compiled s.Scheduler.groups s.Scheduler.donations
-          s.Scheduler.pool_reused
-          (s.Scheduler.pool_fresh + s.Scheduler.pool_reused)
-          s.Scheduler.parallel_loops_run
+          "  %-10s %11.3f %11.3f %11.3f %8.2f %8.2f %9.3f %9.5f\n" w.name
+          (1e3 *. t_interp) (1e3 *. t_fused) (1e3 *. t_par)
+          (t_interp /. t_fused) (t_interp /. t_par) (1e3 *. t_cold)
+          (1e3 *. t_warm);
+        rows :=
+          {
+            r_name = w.name;
+            r_batch = batch;
+            r_seq = seq;
+            r_interp = t_interp;
+            r_fused = t_fused;
+            r_par = t_par;
+            r_cold = t_cold;
+            r_warm = t_warm;
+            r_stats = s;
+          }
+          :: !rows
       end)
     (Registry.all @ Registry.extensions);
+  if not smoke_mode then begin
+    let pool_us, spawn_us = dispatch_overhead () in
+    Printf.printf
+      "  dispatch overhead: pool %.1f us vs spawn/join %.1f us per 2-way \
+       split\n"
+      pool_us spawn_us;
+    write_json "BENCH_exec.json" (List.rev !rows) (pool_us, spawn_us);
+    print_endline "  wrote BENCH_exec.json"
+  end;
   print_newline ();
   if not !ok then begin
     print_endline "ERROR: engine outputs diverged from the interpreter!";

@@ -224,6 +224,13 @@ let run_exec (w : Workload.t) (profile : Compiler_profile.t) batch seq =
       s.Scheduler.pool_reused
       (s.Scheduler.pool_fresh + s.Scheduler.pool_reused)
       s.Scheduler.parallel_loops_run;
+    Printf.printf "domains    : %d lanes, %d dispatches, %d sequential\n"
+      s.Scheduler.pool_lanes s.Scheduler.pool_dispatches
+      s.Scheduler.pool_seq_fallbacks;
+    let c = Compiler_profile.compile_cache in
+    Printf.printf "cache      : %d hits, %d misses, %d evictions (%d resident)\n"
+      c.Compiler_profile.cache_hits c.Compiler_profile.cache_misses
+      c.Compiler_profile.cache_evictions (Engine.cache_size ());
     Printf.printf "reference  : outputs MATCH the eager semantics\n";
     `Ok ()
   end

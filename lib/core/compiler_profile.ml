@@ -160,6 +160,21 @@ let tensorssa_no_fusion =
         match classify_tensorssa op with Fusible -> Kernel | c -> c);
   }
 
+(* --- compile-cache counters --- *)
+
+type cache_stats = {
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable cache_evictions : int;
+}
+
+let compile_cache = { cache_hits = 0; cache_misses = 0; cache_evictions = 0 }
+
+let reset_compile_cache () =
+  compile_cache.cache_hits <- 0;
+  compile_cache.cache_misses <- 0;
+  compile_cache.cache_evictions <- 0
+
 let find short =
   List.find_opt
     (fun p -> String.lowercase_ascii p.short_name = String.lowercase_ascii short)

@@ -60,3 +60,19 @@ val tensorssa_no_fusion : t
 
 val find : string -> t option
 (** Look up any profile (including ablations) by [short_name]. *)
+
+(** {1 Compile-cache counters}
+
+    Hit/miss/evict counters for the execution engine's shape-keyed
+    compile cache (the cache itself lives in [Functs_exec.Engine]; the
+    counters sit here so every layer — CLI, bench, tests — can read one
+    process-wide record without depending on the engine). *)
+
+type cache_stats = {
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable cache_evictions : int;
+}
+
+val compile_cache : cache_stats
+val reset_compile_cache : unit -> unit

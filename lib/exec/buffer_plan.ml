@@ -94,6 +94,13 @@ let release pool (t : Tensor.t) =
     | None -> Hashtbl.replace pool.free n (ref [ s ])
   end
 
+(* Drop every parked storage (the compile cache calls this when it evicts
+   an engine, so a dead entry stops pinning its working set).  Checked-out
+   storages are unaffected; they simply never return. *)
+let clear pool =
+  Hashtbl.iter (fun _ l -> List.iter (fun s -> Storage.set_owner s 0) !l) pool.free;
+  Hashtbl.reset pool.free
+
 let is_pool_owned pool (t : Tensor.t) =
   let o = Storage.owner t.Tensor.storage in
   o = pool.pool_id || o = -pool.pool_id

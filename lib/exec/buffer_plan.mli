@@ -36,6 +36,11 @@ val release : pool -> Tensor.t -> unit
     pool allocated are accepted; anything else (and double releases) is
     ignored, so callers may release indiscriminately. *)
 
+val clear : pool -> unit
+(** Drop all parked storages from the free lists (and un-stamp them), so
+    an evicted engine's pool stops holding memory.  Live checked-out
+    tensors are untouched. *)
+
 val is_pool_owned : pool -> Tensor.t -> bool
 
 val fresh_allocs : pool -> int

@@ -5,6 +5,32 @@ open Functs_tensor
 
 type t = { e_graph : Graph.t; e_prepared : Scheduler.prepared }
 
+(* --- environment knobs --- *)
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some v -> v
+      | None -> default)
+  | None -> default
+
+let env_flag name default =
+  match Sys.getenv_opt name with
+  | Some s -> (
+      match String.lowercase_ascii (String.trim s) with
+      | "" | "0" | "off" | "false" | "no" -> false
+      | _ -> true)
+  | None -> default
+
+let default_domains () =
+  max 1 (env_int "FUNCTS_DOMAINS" (Domain.recommended_domain_count ()))
+
+let default_loop_grain () = max 1 (env_int "FUNCTS_GRAIN" 2)
+let default_kernel_grain () = max 1 (env_int "FUNCTS_KERNEL_GRAIN" 8192)
+let cache_enabled () = env_flag "FUNCTS_CACHE" true
+let cache_capacity () = max 1 (env_int "FUNCTS_CACHE_SIZE" 32)
+
 let input_shapes args =
   List.map
     (function
@@ -12,17 +38,136 @@ let input_shapes args =
       | Value.Int _ | Value.Float _ | Value.Bool _ | Value.List _ -> None)
     args
 
-let prepare ?(profile = Compiler_profile.tensorssa) ?(parallel = true) ?domains
-    (g : Graph.t) ~inputs =
-  let domains =
-    match domains with Some d -> max 1 d | None -> Domain.recommended_domain_count ()
-  in
+(* --- build (the uncached path) --- *)
+
+let build ~profile ~parallel ~domains ~loop_grain ~kernel_grain (g : Graph.t)
+    ~inputs =
   let plan = Fusion.plan profile g in
   let shapes = Shape_infer.infer g ~inputs in
+  let pool = Pool.shared ~lanes:domains in
   let prepared =
-    Scheduler.prepare ~profile ~parallel ~domains ~graph:g ~shapes ~plan
+    Scheduler.prepare ~profile ~parallel ~domains ~pool ~loop_grain
+      ~kernel_grain ~graph:g ~shapes ~plan
   in
   { e_graph = g; e_prepared = prepared }
+
+(* --- compile cache ---
+
+   Keyed by everything [build] depends on: the compiler profile, the
+   parallel/domains/grain configuration, the input shape signature, and
+   the printed graph (the printer is a lossless round-trip format, so
+   equal prints mean equal programs).  Entries are evicted LRU by a
+   monotonic tick; an evicted engine's parked buffers are dropped so dead
+   entries stop pinning memory.  Counters live in
+   {!Compiler_profile.compile_cache}. *)
+
+type centry = { c_engine : t; mutable c_tick : int }
+
+let cache_tbl : (string, centry) Hashtbl.t = Hashtbl.create 64
+let cache_tick = ref 0
+
+let shape_sig inputs =
+  String.concat ";"
+    (List.map
+       (function Some s -> Shape_infer.to_string s | None -> "_")
+       inputs)
+
+(* Printing and digesting a graph dominates a cache hit, so the digest is
+   memoized by physical identity (a bounded scan of recent graphs — [==]
+   compares are free).  Sound because prepared graphs are contractually
+   immutable ({!Scheduler.prepare}); a graph mutated after a prepare is
+   already outside the engine's contract. *)
+let digest_memo : (Graph.t * string) list ref = ref []
+
+let graph_digest (g : Graph.t) =
+  match List.find_opt (fun (g', _) -> g' == g) !digest_memo with
+  | Some (_, d) -> d
+  | None ->
+      let d = Digest.to_hex (Digest.string (Printer.to_string g)) in
+      let keep = !digest_memo in
+      let keep =
+        if List.length keep >= 64 then List.filteri (fun i _ -> i < 48) keep
+        else keep
+      in
+      digest_memo := (g, d) :: keep;
+      d
+
+let cache_key ~profile ~parallel ~domains ~loop_grain ~kernel_grain g ~inputs =
+  String.concat "|"
+    [
+      profile.Compiler_profile.short_name;
+      string_of_bool parallel;
+      string_of_int domains;
+      string_of_int loop_grain;
+      string_of_int kernel_grain;
+      shape_sig inputs;
+      graph_digest g;
+    ]
+
+let evict_one () =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun key e ->
+      match !victim with
+      | Some (_, t) when t <= e.c_tick -> ()
+      | _ -> victim := Some (key, e.c_tick))
+    cache_tbl;
+  match !victim with
+  | None -> ()
+  | Some (key, _) ->
+      (match Hashtbl.find_opt cache_tbl key with
+      | Some e -> Scheduler.clear_buffers e.c_engine.e_prepared
+      | None -> ());
+      Hashtbl.remove cache_tbl key;
+      Compiler_profile.compile_cache.cache_evictions <-
+        Compiler_profile.compile_cache.cache_evictions + 1
+
+let clear_cache () =
+  Hashtbl.iter
+    (fun _ e -> Scheduler.clear_buffers e.c_engine.e_prepared)
+    cache_tbl;
+  Hashtbl.reset cache_tbl
+
+let cache_size () = Hashtbl.length cache_tbl
+
+let prepare ?(profile = Compiler_profile.tensorssa) ?(parallel = true) ?domains
+    ?loop_grain ?kernel_grain ?(cache = true) (g : Graph.t) ~inputs =
+  let domains =
+    match domains with Some d -> max 1 d | None -> default_domains ()
+  in
+  let loop_grain =
+    match loop_grain with Some g -> max 1 g | None -> default_loop_grain ()
+  in
+  let kernel_grain =
+    match kernel_grain with
+    | Some g -> max 1 g
+    | None -> default_kernel_grain ()
+  in
+  if cache && cache_enabled () then begin
+    let key =
+      cache_key ~profile ~parallel ~domains ~loop_grain ~kernel_grain g ~inputs
+    in
+    match Hashtbl.find_opt cache_tbl key with
+    | Some e ->
+        incr cache_tick;
+        e.c_tick <- !cache_tick;
+        Compiler_profile.compile_cache.cache_hits <-
+          Compiler_profile.compile_cache.cache_hits + 1;
+        e.c_engine
+    | None ->
+        Compiler_profile.compile_cache.cache_misses <-
+          Compiler_profile.compile_cache.cache_misses + 1;
+        let t =
+          build ~profile ~parallel ~domains ~loop_grain ~kernel_grain g ~inputs
+        in
+        while Hashtbl.length cache_tbl >= cache_capacity () do
+          evict_one ()
+        done;
+        incr cache_tick;
+        Hashtbl.replace cache_tbl key { c_engine = t; c_tick = !cache_tick };
+        t
+  end
+  else build ~profile ~parallel ~domains ~loop_grain ~kernel_grain g ~inputs
 
 let run t args = Scheduler.run t.e_prepared args
 

@@ -20,14 +20,31 @@ val prepare :
   ?profile:Compiler_profile.t ->
   ?parallel:bool ->
   ?domains:int ->
+  ?loop_grain:int ->
+  ?kernel_grain:int ->
+  ?cache:bool ->
   Graph.t ->
   inputs:Shape_infer.shape option list ->
   t
 (** [profile] defaults to {!Compiler_profile.tensorssa}; [parallel]
     (default [true]) enables horizontal loop dispatch; [domains] defaults
-    to [Domain.recommended_domain_count ()].  [inputs] are shape hints for
-    the graph parameters ([None] for scalars), as for
-    {!Shape_infer.infer}. *)
+    to [FUNCTS_DOMAINS] or [Domain.recommended_domain_count ()].  Worker
+    domains come from a process-wide {!Pool.shared} pool, created once per
+    lane count and reused by every engine.  [loop_grain] (default
+    [FUNCTS_GRAIN] or 2) is the minimum trip count before a horizontal
+    loop dispatches in parallel; [kernel_grain] (default
+    [FUNCTS_KERNEL_GRAIN] or 8192) the element threshold for intra-kernel
+    chunking.  [inputs] are shape hints for the graph parameters ([None]
+    for scalars), as for {!Shape_infer.infer}.
+
+    Results are memoized in a process-wide compile cache keyed by the
+    profile, the parallel/domains/grain configuration, the input shape
+    signature, and the graph's printed form: a second [prepare] of the
+    same program with the same shapes returns the already-lowered engine
+    (slot frames, fused-kernel closures, buffer pool) without recompiling.
+    Pass [~cache:false] — or set [FUNCTS_CACHE=off] — to bypass it.
+    Capacity is [FUNCTS_CACHE_SIZE] (default 32) entries, evicted LRU;
+    hit/miss/evict counters are in {!Compiler_profile.compile_cache}. *)
 
 val input_shapes : Value.t list -> Shape_infer.shape option list
 (** Shape hints extracted from concrete argument values. *)
@@ -42,3 +59,13 @@ val run_tensors : t -> Tensor.t list -> Tensor.t list
 
 val stats : t -> Scheduler.stats
 val graph : t -> Graph.t
+
+(** {1 Compile cache} *)
+
+val clear_cache : unit -> unit
+(** Drop every cached engine (and its parked buffers).  Counters in
+    {!Compiler_profile.compile_cache} are not reset — use
+    {!Compiler_profile.reset_compile_cache}. *)
+
+val cache_size : unit -> int
+(** Entries currently resident. *)

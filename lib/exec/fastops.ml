@@ -14,6 +14,34 @@ open Functs_interp
 
 let data (t : Tensor.t) = Storage.data t.Tensor.storage
 
+(* --- intra-kernel data parallelism ---
+
+   Large kernels chunk their outermost independent dimension across the
+   engine's persistent domain pool.  Every parallelized operator writes
+   each output element from exactly one chunk and accumulates per element
+   in the reference order, so results stay bitwise identical to
+   sequential execution.  [set_parallel] is (re)bound by [Scheduler.run];
+   nested dispatch from a pool worker degrades to sequential inside
+   {!Pool.parallel_for}. *)
+
+let par_pool : Pool.t option ref = ref None
+let par_grain = ref 8192
+
+let set_parallel pool ~grain =
+  par_pool := pool;
+  par_grain := max 1 grain
+
+(* Chunk [n] outer iterations covering [total] elements: parallel only
+   when at least two grains of elements exist, with the grain converted
+   to outer-iteration units so each chunk stays above it. *)
+let pchunk ~total n body =
+  match !par_pool with
+  | Some p when total >= 2 * !par_grain && n >= 2 ->
+      ignore
+        (Pool.parallel_for p ~grain:(max 1 (!par_grain / max 1 (total / n))) ~n
+           body)
+  | _ -> body 0 n
+
 (* Strides of [t] aligned to an [out_nd]-dim broadcast result: missing
    leading dimensions and size-1 dimensions read index 0. *)
 let bstrides (t : Tensor.t) out_nd =
@@ -49,7 +77,23 @@ let elementwise1 f (out : Tensor.t) (a : Tensor.t) =
           go (d + 1) (pa + (i * sa.(d))) (po + (i * so.(d)))
         done
     in
-    if Shape.numel shape > 0 then go 0 a.Tensor.offset out.Tensor.offset
+    let total = Shape.numel shape in
+    if total > 0 then
+      if nd = 1 then
+        let ka = sa.(0) and ko = so.(0) in
+        pchunk ~total shape.(0) (fun lo hi ->
+            let pa = ref (a.Tensor.offset + (lo * ka)) in
+            let po = ref (out.Tensor.offset + (lo * ko)) in
+            for _ = lo to hi - 1 do
+              od.(!po) <- f ad.(!pa);
+              pa := !pa + ka;
+              po := !po + ko
+            done)
+      else
+        pchunk ~total shape.(0) (fun lo hi ->
+            for i = lo to hi - 1 do
+              go 1 (a.Tensor.offset + (i * sa.(0))) (out.Tensor.offset + (i * so.(0)))
+            done)
   end
 
 let elementwise2 f (out : Tensor.t) (a : Tensor.t) (b : Tensor.t) =
@@ -76,8 +120,28 @@ let elementwise2 f (out : Tensor.t) (a : Tensor.t) (b : Tensor.t) =
           go (d + 1) (pa + (i * sa.(d))) (pb + (i * sb.(d))) (po + (i * so.(d)))
         done
     in
-    if Shape.numel shape > 0 then
-      go 0 a.Tensor.offset b.Tensor.offset out.Tensor.offset
+    let total = Shape.numel shape in
+    if total > 0 then
+      if nd = 1 then
+        let ka = sa.(0) and kb = sb.(0) and ko = so.(0) in
+        pchunk ~total shape.(0) (fun lo hi ->
+            let pa = ref (a.Tensor.offset + (lo * ka)) in
+            let pb = ref (b.Tensor.offset + (lo * kb)) in
+            let po = ref (out.Tensor.offset + (lo * ko)) in
+            for _ = lo to hi - 1 do
+              od.(!po) <- f ad.(!pa) bd.(!pb);
+              pa := !pa + ka;
+              pb := !pb + kb;
+              po := !po + ko
+            done)
+      else
+        pchunk ~total shape.(0) (fun lo hi ->
+            for i = lo to hi - 1 do
+              go 1
+                (a.Tensor.offset + (i * sa.(0)))
+                (b.Tensor.offset + (i * sb.(0)))
+                (out.Tensor.offset + (i * so.(0)))
+            done)
   end
 
 let elementwise3 f (out : Tensor.t) (a : Tensor.t) (b : Tensor.t) (c : Tensor.t) =
@@ -112,8 +176,19 @@ let elementwise3 f (out : Tensor.t) (a : Tensor.t) (b : Tensor.t) (c : Tensor.t)
             (po + (i * so.(d)))
         done
     in
-    if Shape.numel shape > 0 then
-      go 0 a.Tensor.offset b.Tensor.offset c.Tensor.offset out.Tensor.offset
+    let total = Shape.numel shape in
+    if total > 0 then
+      if nd = 1 then
+        go 0 a.Tensor.offset b.Tensor.offset c.Tensor.offset out.Tensor.offset
+      else
+        pchunk ~total shape.(0) (fun lo hi ->
+            for i = lo to hi - 1 do
+              go 1
+                (a.Tensor.offset + (i * sa.(0)))
+                (b.Tensor.offset + (i * sb.(0)))
+                (c.Tensor.offset + (i * sc.(0)))
+                (out.Tensor.offset + (i * so.(0)))
+            done)
   end
 
 (* --- the operators --- *)
@@ -181,17 +256,20 @@ let matmul2d_into (dst : Tensor.t) (a : Tensor.t) (b : Tensor.t) =
       (Printf.sprintf "Ops.matmul: inner dimensions %d and %d differ" k k');
   let ad = data a and bd = data b and od = data dst in
   let ao = a.Tensor.offset and bo = b.Tensor.offset and oo = dst.Tensor.offset in
-  for i = 0 to m - 1 do
-    let ai = ao + (i * k) and oi = oo + (i * n) in
-    Array.fill od oi n 0.0;
-    for l = 0 to k - 1 do
-      let av = ad.(ai + l) in
-      let bl = bo + (l * n) in
-      for j = 0 to n - 1 do
-        od.(oi + j) <- od.(oi + j) +. (av *. bd.(bl + j))
-      done
-    done
-  done
+  (* Row blocks are independent and each output element accumulates over
+     l in reference order, so chunking rows is bitwise-exact. *)
+  pchunk ~total:(m * n * k) m (fun row_lo row_hi ->
+      for i = row_lo to row_hi - 1 do
+        let ai = ao + (i * k) and oi = oo + (i * n) in
+        Array.fill od oi n 0.0;
+        for l = 0 to k - 1 do
+          let av = ad.(ai + l) in
+          let bl = bo + (l * n) in
+          for j = 0 to n - 1 do
+            od.(oi + j) <- od.(oi + j) +. (av *. bd.(bl + j))
+          done
+        done
+      done)
 
 let matmul2d a b =
   let a = contig a and b = contig b in
@@ -242,22 +320,25 @@ let softmax t ~dim =
     let out = Tensor.zeros (Tensor.shape t) in
     let td = data t and od = data out in
     let lanes = if ext = 0 then 0 else Tensor.numel t / ext in
-    for lane = 0 to lanes - 1 do
-      let base = t.Tensor.offset + (lane * ext) and ob = lane * ext in
-      let m = ref Float.neg_infinity in
-      for j = 0 to ext - 1 do
-        m := Float.max !m td.(base + j)
-      done;
-      let s = ref 0.0 in
-      for j = 0 to ext - 1 do
-        let e = Stdlib.exp (td.(base + j) -. !m) in
-        od.(ob + j) <- e;
-        s := !s +. e
-      done;
-      for j = 0 to ext - 1 do
-        od.(ob + j) <- od.(ob + j) /. !s
-      done
-    done;
+    (* Each lane's max / exp-sum / divide is self-contained: chunking the
+       outer (lane) dimension preserves the reference order exactly. *)
+    pchunk ~total:(lanes * ext) lanes (fun lane_lo lane_hi ->
+        for lane = lane_lo to lane_hi - 1 do
+          let base = t.Tensor.offset + (lane * ext) and ob = lane * ext in
+          let m = ref Float.neg_infinity in
+          for j = 0 to ext - 1 do
+            m := Float.max !m td.(base + j)
+          done;
+          let s = ref 0.0 in
+          for j = 0 to ext - 1 do
+            let e = Stdlib.exp (td.(base + j) -. !m) in
+            od.(ob + j) <- e;
+            s := !s +. e
+          done;
+          for j = 0 to ext - 1 do
+            od.(ob + j) <- od.(ob + j) /. !s
+          done
+        done);
     out
   end
 
@@ -268,14 +349,16 @@ let reduce_last t ~keepdim ~init ~f =
   let out = Tensor.zeros out_shape in
   let td = data t and od = data out in
   let lanes = if ext = 0 then 0 else Tensor.numel t / ext in
-  for lane = 0 to lanes - 1 do
-    let base = t.Tensor.offset + (lane * ext) in
-    let acc = ref init in
-    for j = 0 to ext - 1 do
-      acc := f !acc td.(base + j)
-    done;
-    od.(lane) <- !acc
-  done;
+  (* One output element per lane, accumulated in reference order. *)
+  pchunk ~total:(lanes * ext) lanes (fun lane_lo lane_hi ->
+      for lane = lane_lo to lane_hi - 1 do
+        let base = t.Tensor.offset + (lane * ext) in
+        let acc = ref init in
+        for j = 0 to ext - 1 do
+          acc := f !acc td.(base + j)
+        done;
+        od.(lane) <- !acc
+      done);
   if keepdim then out else Tensor.squeeze out ~dim:(nd - 1)
 
 let reduce_dim t ~dim ~keepdim ~init ~f ~fallback =

@@ -8,11 +8,26 @@ open Functs_ir
 open Functs_tensor
 open Functs_interp
 
+val set_parallel : Pool.t option -> grain:int -> unit
+(** Enable intra-kernel data parallelism: operators whose output exceeds
+    two [grain]s of elements chunk their outer dimension across the pool
+    (elementwise maps, matmul row blocks, softmax / reduction lanes).
+    Chunked execution is bitwise identical to sequential — every output
+    element is written by exactly one chunk with reference accumulation
+    order.  [None] (the initial state) forces sequential execution.
+    Rebound by [Scheduler.run] on every engine invocation. *)
+
 val clone : Tensor.t -> Tensor.t
 
 val copy_into : Tensor.t -> Tensor.t -> unit
 (** [copy_into dst src] writes [src] through [dst] (equal shapes, distinct
     storages, tight loops); other cases defer to {!Inplace.copy_}. *)
+
+val binary : Scalar.binary -> Tensor.t -> Tensor.t -> Tensor.t
+val matmul : Tensor.t -> Tensor.t -> Tensor.t
+val softmax : Tensor.t -> dim:int -> Tensor.t
+val sum_dim : Tensor.t -> dim:int -> keepdim:bool -> Tensor.t
+(** Exposed for the pool's bitwise-equivalence tests. *)
 
 val apply_op : Graph.node -> Value.t list -> Value.t list
 (** Drop-in replacement for {!Eval.apply_op} on plain operators. *)

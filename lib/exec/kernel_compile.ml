@@ -278,7 +278,50 @@ let compile (k : Codegen.kernel) ~shapes =
       }
   with Not_compilable msg -> Error msg
 
-let run c ~alloc ~lookup ~scalar =
+(* Evaluate a statement's elements for output rows [lo, hi) of the outer
+   dimension, on a private register file so chunks can run on separate
+   domains.  Rows are traversed in row-major order with an odometer over
+   the trailing dimensions, writing linear positions [lo*inner, hi*inner)
+   — the same element order as the sequential path, restricted to the
+   chunk, so chunked evaluation is bitwise identical. *)
+let eval_rows (s : cstmt) (proto : rt) (out : Tensor.t) lo hi =
+  let rank = Array.length s.c_shape in
+  let inner =
+    let p = ref 1 in
+    for d = 1 to rank - 1 do
+      p := !p * s.c_shape.(d)
+    done;
+    !p
+  in
+  let rt =
+    {
+      proto with
+      idx = Array.make rank 0;
+      lin = lo * inner;
+      red = Array.make (Array.length proto.red) 0;
+    }
+  in
+  let idx = rt.idx in
+  idx.(0) <- lo;
+  let od = out.Tensor.storage in
+  for _ = 1 to (hi - lo) * inner do
+    Storage.set od (out.Tensor.offset + rt.lin) (s.c_eval rt);
+    rt.lin <- rt.lin + 1;
+    (* odometer over trailing dims; a full carry steps the outer row *)
+    let d = ref (rank - 1) in
+    let carry = ref true in
+    while !carry && !d >= 1 do
+      idx.(!d) <- idx.(!d) + 1;
+      if idx.(!d) = s.c_shape.(!d) then begin
+        idx.(!d) <- 0;
+        decr d
+      end
+      else carry := false
+    done;
+    if !carry then idx.(0) <- idx.(0) + 1
+  done
+
+let run ?pool ?(grain = 8192) c ~alloc ~lookup ~scalar =
   List.iter
     (fun (name, cell) ->
       match scalar name with
@@ -308,12 +351,25 @@ let run c ~alloc ~lookup ~scalar =
             && Shape.equal t.Tensor.shape s.c_shape)
         s.c_sites;
       let out = alloc s.c_shape in
-      rt.lin <- 0;
-      Shape.iter_indices s.c_shape (fun index ->
-          rt.idx <- index;
-          Storage.set out.Tensor.storage (out.Tensor.offset + rt.lin)
-            (s.c_eval rt);
-          rt.lin <- rt.lin + 1);
+      let total = Shape.numel s.c_shape in
+      let rank = Array.length s.c_shape in
+      (match pool with
+      | Some p when rank >= 1 && total >= 2 * grain && s.c_shape.(0) >= 2 ->
+          (* [rt.tensors]/[rt.fast] stay shared (read-only during the
+             element loop); each chunk gets private index registers. *)
+          let inner = total / s.c_shape.(0) in
+          ignore
+            (Pool.parallel_for p
+               ~grain:(max 1 (grain / max 1 inner))
+               ~n:s.c_shape.(0)
+               (fun lo hi -> eval_rows s rt out lo hi))
+      | _ ->
+          rt.lin <- 0;
+          Shape.iter_indices s.c_shape (fun index ->
+              rt.idx <- index;
+              Storage.set out.Tensor.storage (out.Tensor.offset + rt.lin)
+                (s.c_eval rt);
+              rt.lin <- rt.lin + 1));
       Hashtbl.replace locals s.c_out.Graph.v_id out;
       (s.c_out, out, s.c_store))
     c.cc_stmts

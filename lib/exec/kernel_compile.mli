@@ -33,6 +33,8 @@ val group : compiled -> int
 (** The fusion-group id of the source kernel. *)
 
 val run :
+  ?pool:Pool.t ->
+  ?grain:int ->
   compiled ->
   alloc:(Shape.t -> Tensor.t) ->
   lookup:(Graph.value -> Tensor.t option) ->
@@ -42,6 +44,12 @@ val run :
     (each is fully overwritten), [lookup] resolves external tensor reads,
     [scalar] resolves free index symbols (dynamic select indices, loop
     variables).  Returns [(value, tensor, stored)] per statement, where
-    [stored] marks values that escape the kernel.  Not thread-safe: a
-    [compiled] kernel owns one register file and must run on one domain
-    at a time. *)
+    [stored] marks values that escape the kernel.
+
+    With [pool], statements whose output holds at least [2 * grain]
+    elements (default grain 8192) evaluate their element loop in outer-row
+    chunks across the pool, each chunk on a private register file —
+    element order within a chunk matches the sequential path, so results
+    are bitwise identical.  Not thread-safe at the statement level: a
+    [compiled] kernel owns one register file and must be entered from one
+    domain at a time. *)

@@ -1,0 +1,169 @@
+(* A worker parks on its own mutex + condition variable and owns a
+   one-deep task slot.  Only the dispatching domain ever fills slots, and
+   a dispatch completes before the next one starts, so a busy slot can
+   only mean "the worker has not yet picked up an earlier chunk of an
+   enclosing dispatch" — in that case the chunk runs inline on the caller
+   instead of queueing behind it (see the nested-dispatch invariant in
+   the interface). *)
+
+type worker = {
+  w_mutex : Mutex.t;
+  w_cond : Condition.t;
+  mutable w_task : (unit -> unit) option;
+  mutable w_stop : bool;
+}
+
+type t = {
+  mutable lanes : int;
+  workers : worker array;
+  doms : unit Domain.t array;
+  mutable live : bool;
+  mutable n_dispatches : int;
+  mutable n_sequential : int;
+}
+
+(* Domain-local flag: set once by every worker domain, read by
+   [parallel_for] to run nested dispatch sequentially. *)
+let on_worker_key = Domain.DLS.new_key (fun () -> false)
+let on_worker () = Domain.DLS.get on_worker_key
+
+let worker_loop w =
+  Domain.DLS.set on_worker_key true;
+  let rec loop () =
+    Mutex.lock w.w_mutex;
+    while w.w_task = None && not w.w_stop do
+      Condition.wait w.w_cond w.w_mutex
+    done;
+    match w.w_task with
+    | Some task ->
+        w.w_task <- None;
+        Mutex.unlock w.w_mutex;
+        task ();
+        loop ()
+    | None -> Mutex.unlock w.w_mutex
+  in
+  loop ()
+
+let create ~lanes =
+  let want = max 0 (lanes - 1) in
+  let spawned = ref [] in
+  (* The runtime caps live domains; degrade to fewer workers rather than
+     fail the engine if the cap is hit mid-spawn. *)
+  (try
+     for _ = 1 to want do
+       let w =
+         {
+           w_mutex = Mutex.create ();
+           w_cond = Condition.create ();
+           w_task = None;
+           w_stop = false;
+         }
+       in
+       let d = Domain.spawn (fun () -> worker_loop w) in
+       spawned := (w, d) :: !spawned
+     done
+   with _ -> ());
+  let pairs = Array.of_list (List.rev !spawned) in
+  {
+    lanes = Array.length pairs + 1;
+    workers = Array.map fst pairs;
+    doms = Array.map snd pairs;
+    live = true;
+    n_dispatches = 0;
+    n_sequential = 0;
+  }
+
+let lanes t = t.lanes
+
+let shutdown t =
+  if t.live then begin
+    t.live <- false;
+    Array.iter
+      (fun w ->
+        Mutex.lock w.w_mutex;
+        w.w_stop <- true;
+        Condition.signal w.w_cond;
+        Mutex.unlock w.w_mutex)
+      t.workers;
+    Array.iter Domain.join t.doms;
+    t.lanes <- 1
+  end
+
+let parallel_for t ~grain ~n body =
+  let grain = max 1 grain in
+  if n <= 0 then false
+  else begin
+    let chunks = min t.lanes (n / grain) in
+    if (not t.live) || chunks < 2 || on_worker () then begin
+      t.n_sequential <- t.n_sequential + 1;
+      body 0 n;
+      false
+    end
+    else begin
+      let per = (n + chunks - 1) / chunks in
+      let jobs = ref [] in
+      for k = chunks - 1 downto 1 do
+        let lo = k * per and hi = min n ((k + 1) * per) in
+        if lo < hi then jobs := (lo, hi) :: !jobs
+      done;
+      let pending = Atomic.make (List.length !jobs) in
+      let err = Atomic.make None in
+      let fin_m = Mutex.create () and fin_c = Condition.create () in
+      let run_chunk lo hi =
+        try body lo hi
+        with e -> ignore (Atomic.compare_and_set err None (Some e))
+      in
+      let task lo hi () =
+        run_chunk lo hi;
+        if Atomic.fetch_and_add pending (-1) = 1 then begin
+          Mutex.lock fin_m;
+          Condition.broadcast fin_c;
+          Mutex.unlock fin_m
+        end
+      in
+      List.iteri
+        (fun i (lo, hi) ->
+          let w = t.workers.(i mod Array.length t.workers) in
+          Mutex.lock w.w_mutex;
+          let accepted = w.w_task = None && not w.w_stop in
+          if accepted then begin
+            w.w_task <- Some (task lo hi);
+            Condition.signal w.w_cond
+          end;
+          Mutex.unlock w.w_mutex;
+          if not accepted then task lo hi ())
+        !jobs;
+      run_chunk 0 (min n per);
+      Mutex.lock fin_m;
+      while Atomic.get pending > 0 do
+        Condition.wait fin_c fin_m
+      done;
+      Mutex.unlock fin_m;
+      t.n_dispatches <- t.n_dispatches + 1;
+      (match Atomic.get err with Some e -> raise e | None -> ());
+      true
+    end
+  end
+
+let dispatches t = t.n_dispatches
+let seq_fallbacks t = t.n_sequential
+
+(* --- shared pools --- *)
+
+let shared_tbl : (int, t) Hashtbl.t = Hashtbl.create 4
+let shared_mutex = Mutex.create ()
+let () = at_exit (fun () -> Hashtbl.iter (fun _ p -> shutdown p) shared_tbl)
+
+let shared ~lanes =
+  let lanes = max 1 lanes in
+  Mutex.lock shared_mutex;
+  let p =
+    match Hashtbl.find_opt shared_tbl lanes with
+    | Some p when p.live -> p
+    | _ ->
+        let p = create ~lanes in
+        Hashtbl.replace shared_tbl lanes p;
+        p
+  in
+  Mutex.unlock shared_mutex;
+  p

@@ -1,0 +1,64 @@
+(** Persistent worker pool of OCaml [Domain]s for the execution engine.
+
+    [Domain.spawn] costs tens of microseconds per domain — paying it on
+    every parallel-loop dispatch swamps the work for all but the largest
+    loops.  A pool spawns its worker domains once and parks them on a
+    condition variable; a dispatch is then one mutex-protected handoff
+    per worker (sub-microsecond), so horizontal loop parallelization
+    (Algorithm 2) and intra-kernel data parallelism can afford to trigger
+    on much smaller work items.
+
+    Invariants:
+
+    - {!parallel_for} always executes the whole range, parallel or not,
+      and partitions are disjoint — callers relying on disjoint writes
+      for determinism get bitwise-identical results either way;
+    - a worker never blocks on pool state, so nested dispatch cannot
+      deadlock: a [parallel_for] issued {e from} a worker runs
+      sequentially, and a dispatch that finds a worker's slot busy runs
+      that chunk inline on the caller;
+    - an exception in any chunk is captured, every other chunk still
+      completes (workers are never left wedged), and the first exception
+      re-raises on the caller after the join. *)
+
+type t
+
+val create : lanes:int -> t
+(** A pool with [lanes] execution lanes: the caller plus [lanes - 1]
+    freshly spawned worker domains ([lanes <= 1] spawns nothing).  If the
+    runtime's domain limit is hit mid-spawn the pool degrades to however
+    many workers could be spawned. *)
+
+val shared : lanes:int -> t
+(** The process-wide shared pool with [lanes] lanes, created on first
+    request and reused by every engine asking for the same width — OCaml
+    caps live domains (~128), so per-engine pools must share.  Shared
+    pools are shut down by an [at_exit] hook, never by callers. *)
+
+val lanes : t -> int
+(** Total lanes including the caller (after any degraded spawn). *)
+
+val on_worker : unit -> bool
+(** Is the current domain one of {e any} pool's workers?  Used to force
+    nested dispatch sequential. *)
+
+val parallel_for : t -> grain:int -> n:int -> (int -> int -> unit) -> bool
+(** [parallel_for t ~grain ~n body] covers [\[0, n)] with disjoint
+    [body lo hi] chunks.  Chunks are dispatched across lanes only when at
+    least two chunks of [grain] iterations exist ([n / grain >= 2]), the
+    pool is live, and the caller is not itself a worker; otherwise the
+    whole range runs as [body 0 n] on the caller.  Empty chunks are never
+    dispatched.  Returns [true] iff worker domains were used.
+    @raise exn the first exception raised by any chunk, after all chunks
+    have finished. *)
+
+val shutdown : t -> unit
+(** Stop and join every worker domain.  Idempotent; after shutdown the
+    pool still works, but {!parallel_for} always runs sequentially. *)
+
+val dispatches : t -> int
+(** Dispatches that actually used worker domains. *)
+
+val seq_fallbacks : t -> int
+(** [parallel_for] calls that ran sequentially (below grain, nested on a
+    worker, single lane, or after shutdown). *)

@@ -68,6 +68,9 @@ type prepared = {
   p_parallel : bool;
   p_domains : int;
   p_pool : Buffer_plan.pool;
+  p_exec_pool : Pool.t;  (* persistent domain pool shared by all dispatches *)
+  p_loop_grain : int;  (* minimum trip count before a loop dispatches *)
+  p_kernel_grain : int;  (* elements per chunk for intra-kernel splits *)
   mutable s_kernel_runs : int;
   mutable s_donations : int;
   mutable s_parallel_loops : int;
@@ -289,7 +292,9 @@ let run_group rs scope gid members compiled =
     t
   in
   match
-    Kernel_compile.run compiled ~alloc ~lookup:(tensor_lookup rs)
+    Kernel_compile.run
+      ?pool:(if rs.p.p_parallel then Some rs.p.p_exec_pool else None)
+      ~grain:rs.p.p_kernel_grain compiled ~alloc ~lookup:(tensor_lookup rs)
       ~scalar:(scalar_lookup rs)
   with
   | exception e ->
@@ -420,6 +425,7 @@ and exec_loop rs ~scope (inst : inst) =
       Array.iter (exec_plain_inst rs scope) bi.bi_pre;
       if
         rs.live && rs.p.p_parallel && rs.p.p_domains > 1 && trip > 1
+        && trip >= rs.p.p_loop_grain
         && Fusion.is_parallel_loop rs.p.p_plan inst.i_node
         && Array.length bi.bi_params > 1
       then exec_parallel_loop rs ~scope inst bi trip inits
@@ -520,18 +526,10 @@ and exec_parallel_loop rs ~scope (inst : inst) (bi : binst) trip inits =
         bi.bi_insts
     done
   in
-  let nd = max 1 (min rs.p.p_domains trip) in
-  (if nd <= 1 then run_chunk 0 trip
-   else begin
-     let per = (trip + nd - 1) / nd in
-     let doms =
-       List.init nd (fun k ->
-           let lo = k * per and hi = min trip ((k + 1) * per) in
-           Domain.spawn (fun () -> if lo < hi then run_chunk lo hi))
-     in
-     List.iter Domain.join doms
-   end);
-  rs.p.s_parallel_loops <- rs.p.s_parallel_loops + 1;
+  (* Chunks go to the engine's persistent pool — one mutex handoff per
+     worker instead of a Domain.spawn/join pair per dispatch. *)
+  if Pool.parallel_for rs.p.p_exec_pool ~grain:1 ~n:trip run_chunk then
+    rs.p.s_parallel_loops <- rs.p.s_parallel_loops + 1;
   Array.iteri
     (fun j slot -> bind rs scope slot (Value.Tensor bufs.(j)))
     inst.i_out;
@@ -539,7 +537,8 @@ and exec_parallel_loop rs ~scope (inst : inst) (bi : binst) trip inits =
 
 (* --- preparation --- *)
 
-let prepare ~profile ~parallel ~domains ~graph ~shapes ~plan =
+let prepare ~profile ~parallel ~domains ~pool:exec_pool ~loop_grain
+    ~kernel_grain ~graph ~shapes ~plan =
   ignore profile;
   let slot_tbl : (int, int) Hashtbl.t = Hashtbl.create 256 in
   let nslots = ref 0 in
@@ -695,6 +694,9 @@ let prepare ~profile ~parallel ~domains ~graph ~shapes ~plan =
     p_parallel = parallel;
     p_domains = domains;
     p_pool = Buffer_plan.create_pool ();
+    p_exec_pool = exec_pool;
+    p_loop_grain = max 1 loop_grain;
+    p_kernel_grain = max 1 kernel_grain;
     s_kernel_runs = 0;
     s_donations = 0;
     s_parallel_loops = 0;
@@ -702,6 +704,12 @@ let prepare ~profile ~parallel ~domains ~graph ~shapes ~plan =
 
 let run p args =
   incr run_epoch;
+  (* Rebind the kernel-library chunker to this engine's pool for the whole
+     invocation; engines never run concurrently within a process, so a
+     plain ref is enough. *)
+  Fastops.set_parallel
+    (if p.p_parallel then Some p.p_exec_pool else None)
+    ~grain:p.p_kernel_grain;
   let rs =
     {
       vals = Array.make p.p_nslots None;
@@ -743,6 +751,9 @@ type stats = {
   pool_reused : int;
   donations : int;
   parallel_loops_run : int;
+  pool_lanes : int;
+  pool_dispatches : int;
+  pool_seq_fallbacks : int;
 }
 
 let stats p =
@@ -755,4 +766,9 @@ let stats p =
     pool_reused = Buffer_plan.reuses p.p_pool;
     donations = p.s_donations;
     parallel_loops_run = p.s_parallel_loops;
+    pool_lanes = Pool.lanes p.p_exec_pool;
+    pool_dispatches = Pool.dispatches p.p_exec_pool;
+    pool_seq_fallbacks = Pool.seq_fallbacks p.p_exec_pool;
   }
+
+let clear_buffers p = Buffer_plan.clear p.p_pool

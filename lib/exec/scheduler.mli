@@ -33,12 +33,19 @@ val prepare :
   profile:Compiler_profile.t ->
   parallel:bool ->
   domains:int ->
+  pool:Pool.t ->
+  loop_grain:int ->
+  kernel_grain:int ->
   graph:Graph.t ->
   shapes:Shape_infer.result ->
   plan:Fusion.plan ->
   prepared
 (** Compile the plan's kernels and the liveness table.  [graph] must stay
-    unmodified for the lifetime of the result. *)
+    unmodified for the lifetime of the result.  [pool] is the persistent
+    worker pool every dispatch goes through (the scheduler never spawns
+    domains itself); [loop_grain] is the minimum trip count before a
+    horizontal loop dispatches in parallel, [kernel_grain] the per-chunk
+    element count for intra-kernel splits. *)
 
 val run : prepared -> Value.t list -> Value.t list
 (** Execute once.  The storage pool persists across runs; returned tensors
@@ -54,6 +61,12 @@ type stats = {
   pool_reused : int;
   donations : int;  (** assigns executed in place *)
   parallel_loops_run : int;
+  pool_lanes : int;  (** worker lanes in the shared domain pool *)
+  pool_dispatches : int;  (** parallel_for calls that went to workers *)
+  pool_seq_fallbacks : int;  (** parallel_for calls run sequentially *)
 }
 
 val stats : prepared -> stats
+
+val clear_buffers : prepared -> unit
+(** Drop the storage pool's parked buffers (compile-cache eviction). *)

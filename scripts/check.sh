@@ -15,6 +15,14 @@ dune build @all
 echo "== dune runtest =="
 dune runtest
 
+# The single-core default pools down to one lane; force two workers so the
+# differential suite actually crosses domains, then smoke the exec bench.
+echo "== exec differential suite (FUNCTS_DOMAINS=2) =="
+FUNCTS_DOMAINS=2 dune exec test/test_exec.exe
+
+echo "== bench exec --smoke (FUNCTS_DOMAINS=2) =="
+FUNCTS_DOMAINS=2 dune exec bench/main.exe -- exec --smoke
+
 if command -v ocamlformat >/dev/null 2>&1; then
   echo "== dune build @fmt =="
   dune build @fmt

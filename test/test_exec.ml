@@ -37,10 +37,14 @@ let engines_of g args =
 let agrees g args_fn =
   let expected = Eval.run g (args_fn ()) in
   let eng, engp = engines_of g (args_fn ()) in
-  let got = Engine.run eng (args_fn ()) in
-  let gotp = Engine.run engp (args_fn ()) in
-  List.for_all2 (Value.equal ~atol:1e-4) expected got
-  && List.for_all2 (Value.equal ~atol:1e-4) expected gotp
+  let ok got = List.for_all2 (Value.equal ~atol:1e-4) expected got in
+  (* repeated-call mode: the second run reuses pooled buffers, tuned
+     kernel modes and (process-wide) the compile cache — it must agree
+     exactly like the first *)
+  ok (Engine.run eng (args_fn ()))
+  && ok (Engine.run eng (args_fn ()))
+  && ok (Engine.run engp (args_fn ()))
+  && ok (Engine.run engp (args_fn ()))
 
 (* --- units --- *)
 
@@ -68,6 +72,105 @@ let test_pool_foreign_not_recycled () =
   check "pool never recycles storage it did not allocate" false
     (T.same_storage mine t)
 
+(* --- domain pool --- *)
+
+let test_pool_exception () =
+  let pool = Pool.create ~lanes:2 in
+  let touched = Array.make 8 false in
+  let raised =
+    try
+      ignore
+        (Pool.parallel_for pool ~grain:1 ~n:8 (fun lo hi ->
+             for i = lo to hi - 1 do
+               touched.(i) <- true
+             done;
+             if lo >= 4 then failwith "chunk boom"));
+      false
+    with Failure m -> m = "chunk boom"
+  in
+  check "worker exception re-raised on the caller" true raised;
+  check "every chunk still ran before the re-raise" true
+    (Array.for_all (fun b -> b) touched);
+  (* the pool survives a failed dispatch *)
+  let acc = Atomic.make 0 in
+  ignore
+    (Pool.parallel_for pool ~grain:1 ~n:4 (fun lo hi ->
+         ignore (Atomic.fetch_and_add acc (hi - lo))));
+  check_int "subsequent dispatch covers the whole range" 4 (Atomic.get acc);
+  Pool.shutdown pool
+
+let test_pool_nested () =
+  let pool = Pool.create ~lanes:2 in
+  let acc = Array.make 16 0 in
+  ignore
+    (Pool.parallel_for pool ~grain:1 ~n:4 (fun lo hi ->
+         for i = lo to hi - 1 do
+           (* a dispatch from a worker must degrade to sequential; one from
+              the caller while the worker is busy must run inline — either
+              way no deadlock and every element exactly once *)
+           ignore
+             (Pool.parallel_for pool ~grain:1 ~n:4 (fun l h ->
+                  for j = l to h - 1 do
+                    acc.((i * 4) + j) <- acc.((i * 4) + j) + 1
+                  done))
+         done));
+  check "nested dispatch touched every element exactly once" true
+    (Array.for_all (fun v -> v = 1) acc);
+  Pool.shutdown pool
+
+let test_pool_bitwise_kernels () =
+  let module Scalar = Functs_tensor.Scalar in
+  let state = Random.State.make [| 11 |] in
+  let a = T.rand state [| 37; 65 |] in
+  let b = T.rand state [| 37; 65 |] in
+  let m = T.rand state [| 19; 33 |] in
+  let n = T.rand state [| 33; 21 |] in
+  let seq f =
+    Fastops.set_parallel None ~grain:8192;
+    f ()
+  in
+  let par f =
+    let pool = Pool.create ~lanes:3 in
+    Fastops.set_parallel (Some pool) ~grain:16;
+    let r = f () in
+    Fastops.set_parallel None ~grain:8192;
+    Pool.shutdown pool;
+    r
+  in
+  let same name f =
+    check
+      (name ^ " is bitwise identical under intra-kernel chunking")
+      true
+      (T.to_flat_array (seq f) = T.to_flat_array (par f))
+  in
+  same "binary add" (fun () -> Fastops.binary Scalar.Add a b);
+  same "matmul" (fun () -> Fastops.matmul m n);
+  same "softmax" (fun () -> Fastops.softmax a ~dim:1);
+  same "sum_dim" (fun () -> Fastops.sum_dim a ~dim:1 ~keepdim:false)
+
+let test_pool_shutdown_joins () =
+  (* 150 create/shutdown cycles would blow OCaml's live-domain limit
+     (~128) if shutdown leaked its workers. *)
+  for _ = 1 to 150 do
+    let pool = Pool.create ~lanes:2 in
+    let acc = Atomic.make 0 in
+    ignore
+      (Pool.parallel_for pool ~grain:1 ~n:4 (fun lo hi ->
+           ignore (Atomic.fetch_and_add acc (hi - lo))));
+    check_int "range covered" 4 (Atomic.get acc);
+    Pool.shutdown pool;
+    Pool.shutdown pool (* idempotent *)
+  done;
+  let pool = Pool.create ~lanes:2 in
+  Pool.shutdown pool;
+  let covered = ref 0 in
+  let went_parallel =
+    Pool.parallel_for pool ~grain:1 ~n:8 (fun lo hi ->
+        covered := !covered + (hi - lo))
+  in
+  check "post-shutdown dispatch degrades to sequential" false went_parallel;
+  check_int "and still executes the whole range" 8 !covered
+
 (* A carried-store loop: the lstm pattern whose per-iteration whole-tensor
    clone the donation path eliminates.  Engine output must still match. *)
 let carried_store_graph () =
@@ -93,6 +196,79 @@ let carried_store_graph () =
   in
   Builder.return b outs;
   Builder.graph b
+
+(* --- compile cache --- *)
+
+let cache_counters () =
+  let c = Compiler_profile.compile_cache in
+  ( c.Compiler_profile.cache_hits,
+    c.Compiler_profile.cache_misses,
+    c.Compiler_profile.cache_evictions )
+
+let test_cache_hit_same_shape () =
+  Engine.clear_cache ();
+  Compiler_profile.reset_compile_cache ();
+  let g = carried_store_graph () in
+  let fg = Graph.clone g in
+  ignore (Passes.tensorssa_pipeline fg);
+  let args () = [ Value.Tensor (T.ones [| 6; 4 |]); Value.Int 6 ] in
+  let shapes = Engine.input_shapes (args ()) in
+  let e1 = Engine.prepare ~parallel:false fg ~inputs:shapes in
+  let e2 = Engine.prepare ~parallel:false fg ~inputs:shapes in
+  let hits, misses, _ = cache_counters () in
+  check_int "first prepare misses" 1 misses;
+  check_int "second prepare hits" 1 hits;
+  check "the hit returns the already-lowered engine" true (e1 == e2);
+  let expected = Eval.run g (args ()) in
+  let ok got = List.for_all2 (Value.equal ~atol:1e-6) expected got in
+  check "cold engine matches the interpreter" true
+    (ok (Engine.run e1 (args ())));
+  check "warm engine matches the interpreter" true
+    (ok (Engine.run e2 (args ())))
+
+let test_cache_shape_miss () =
+  Engine.clear_cache ();
+  Compiler_profile.reset_compile_cache ();
+  let g = carried_store_graph () in
+  let fg = Graph.clone g in
+  ignore (Passes.tensorssa_pipeline fg);
+  let args shape trip = [ Value.Tensor (T.ones shape); Value.Int trip ] in
+  let prep shape trip =
+    Engine.prepare ~parallel:false fg
+      ~inputs:(Engine.input_shapes (args shape trip))
+  in
+  let e1 = prep [| 6; 4 |] 6 in
+  let e2 = prep [| 9; 3 |] 9 in
+  let hits, misses, _ = cache_counters () in
+  check_int "a changed input shape misses" 2 misses;
+  check_int "and never hits" 0 hits;
+  check "the recompile is a distinct engine" true (not (e1 == e2));
+  let expected = Eval.run g (args [| 9; 3 |] 9) in
+  check "the recompiled engine matches the interpreter on the new shape"
+    true
+    (List.for_all2 (Value.equal ~atol:1e-6) expected
+       (Engine.run e2 (args [| 9; 3 |] 9)))
+
+let test_cache_eviction () =
+  Unix.putenv "FUNCTS_CACHE_SIZE" "2";
+  Engine.clear_cache ();
+  Compiler_profile.reset_compile_cache ();
+  let fg = Graph.clone (carried_store_graph ()) in
+  ignore (Passes.tensorssa_pipeline fg);
+  let prep rows =
+    ignore
+      (Engine.prepare ~parallel:false fg
+         ~inputs:
+           (Engine.input_shapes
+              [ Value.Tensor (T.ones [| rows; 4 |]); Value.Int rows ]))
+  in
+  List.iter prep [ 3; 4; 5; 6 ];
+  let _, misses, evictions = cache_counters () in
+  Unix.putenv "FUNCTS_CACHE_SIZE" "";
+  check_int "four distinct shapes all miss" 4 misses;
+  check_int "capacity 2 evicts the two oldest" 2 evictions;
+  check "residency is bounded by capacity" true (Engine.cache_size () <= 2);
+  Engine.clear_cache ()
 
 let test_donation_loop () =
   let g = carried_store_graph () in
@@ -219,6 +395,24 @@ let () =
           Alcotest.test_case "pool reuse" `Quick test_pool_reuse;
           Alcotest.test_case "foreign storage" `Quick
             test_pool_foreign_not_recycled;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "exception propagation" `Quick
+            test_pool_exception;
+          Alcotest.test_case "nested dispatch" `Quick test_pool_nested;
+          Alcotest.test_case "bitwise-identical kernels" `Quick
+            test_pool_bitwise_kernels;
+          Alcotest.test_case "shutdown joins all domains" `Quick
+            test_pool_shutdown_joins;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "same shape hits" `Quick
+            test_cache_hit_same_shape;
+          Alcotest.test_case "changed shape misses" `Quick
+            test_cache_shape_miss;
+          Alcotest.test_case "LRU eviction" `Quick test_cache_eviction;
         ] );
       ( "engine",
         [
