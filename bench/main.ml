@@ -267,7 +267,7 @@ let json_escape s =
 let write_json path rows (pool_us, spawn_us) =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
-  let c = Compiler_profile.compile_cache in
+  let c = Compiler_profile.cache_snapshot () in
   let env_default name d =
     match Option.bind (Sys.getenv_opt name) int_of_string_opt with
     | Some v -> v
@@ -306,9 +306,11 @@ let write_json path rows (pool_us, spawn_us) =
   p "  ],\n";
   p
     "  \"cache\": { \"hits\": %d, \"misses\": %d, \"evictions\": %d, \
-     \"resident\": %d }\n"
+     \"resident\": %d },\n"
     c.Compiler_profile.cache_hits c.Compiler_profile.cache_misses
     c.Compiler_profile.cache_evictions (Engine.cache_size ());
+  p "  \"metrics\": %s\n"
+    (Functs_obs.Metrics.to_json (Functs_obs.Metrics.snapshot ()));
   p "}\n";
   close_out oc
 
@@ -380,6 +382,11 @@ let run_exec () =
       pool_us spawn_us;
     write_json "BENCH_exec.json" (List.rev !rows) (pool_us, spawn_us);
     print_endline "  wrote BENCH_exec.json"
+  end
+  else begin
+    (* The smoke gate asserts this block is present (scripts/check.sh). *)
+    print_endline "  == metrics snapshot ==";
+    print_string (Functs_obs.Metrics.to_text (Functs_obs.Metrics.snapshot ()))
   end;
   print_newline ();
   if not !ok then begin

@@ -13,6 +13,8 @@ open Functs_core
 open Functs_interp
 open Functs_cost
 open Functs_workloads
+module Obs_tracer = Functs_obs.Tracer
+module Obs_metrics = Functs_obs.Metrics
 
 let find_workload name =
   match Registry.find name with
@@ -227,7 +229,7 @@ let run_exec (w : Workload.t) (profile : Compiler_profile.t) batch seq =
     Printf.printf "domains    : %d lanes, %d dispatches, %d sequential\n"
       s.Scheduler.pool_lanes s.Scheduler.pool_dispatches
       s.Scheduler.pool_seq_fallbacks;
-    let c = Compiler_profile.compile_cache in
+    let c = Compiler_profile.cache_snapshot () in
     Printf.printf "cache      : %d hits, %d misses, %d evictions (%d resident)\n"
       c.Compiler_profile.cache_hits c.Compiler_profile.cache_misses
       c.Compiler_profile.cache_evictions (Engine.cache_size ());
@@ -239,6 +241,24 @@ let run_exec (w : Workload.t) (profile : Compiler_profile.t) batch seq =
     `Error (false, "outputs diverged")
   end
 
+(* With [--trace FILE] the span tracer records the whole command —
+   lowering, prepare stages, per-kernel launches, pool dispatches — and
+   the Chrome trace-event JSON is written at the end, loadable in
+   Perfetto (https://ui.perfetto.dev) or chrome://tracing. *)
+let with_trace trace k =
+  match trace with
+  | None -> k ()
+  | Some path ->
+      Obs_tracer.enable ();
+      let result = k () in
+      Obs_tracer.write_chrome path;
+      Printf.printf
+        "trace      : %d events written to %s (%d dropped by ring wrap); \
+         load in Perfetto or chrome://tracing\n"
+        (List.length (Obs_tracer.events ()))
+        path (Obs_tracer.dropped ());
+      result
+
 let run_cmd =
   let engine_arg =
     Arg.(
@@ -249,14 +269,23 @@ let run_cmd =
              analytic cost model; $(b,exec) runs the fused executor and \
              reports measured wall-clock against the interpreter.")
   in
-  let run name pipeline engine batch seq =
+  let trace_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record a span trace of the whole run and write Chrome \
+             trace-event JSON to $(docv) (open in Perfetto or \
+             chrome://tracing).")
+  in
+  let run name pipeline engine trace batch seq =
     match (find_workload name, find_profile pipeline) with
     | Error e, _ | _, Error e -> `Error (false, e)
     | Ok w, Ok profile -> (
         let batch, seq = scales w batch seq in
         match engine with
-        | "trace" -> run_trace w profile batch seq
-        | "exec" -> run_exec w profile batch seq
+        | "trace" -> with_trace trace (fun () -> run_trace w profile batch seq)
+        | "exec" -> with_trace trace (fun () -> run_exec w profile batch seq)
         | other ->
             `Error
               ( false,
@@ -265,8 +294,8 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Execute a workload under a pipeline and report costs.")
     Term.(
-      ret (const run $ workload_arg $ pipeline_arg $ engine_arg $ batch_arg
-           $ seq_arg))
+      ret (const run $ workload_arg $ pipeline_arg $ engine_arg $ trace_arg
+           $ batch_arg $ seq_arg))
 
 (* --- build: compile a source file --- *)
 
@@ -348,6 +377,59 @@ let kernels_cmd =
           workload's TensorSSA form (4.2.1).")
     Term.(ret (const run $ workload_arg $ batch_arg $ seq_arg))
 
+(* --- stats: the process-wide metrics registry --- *)
+
+let stats_cmd =
+  let workload_opt =
+    Arg.(
+      value & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD"
+          ~doc:
+            "Optional workload to execute (fused engine) before dumping, so \
+             the counters have something to show.")
+  in
+  let json_flag =
+    Arg.(value & flag & info [ "json" ] ~doc:"Dump JSON instead of text.")
+  in
+  let runs_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "runs" ] ~docv:"N"
+          ~doc:"Engine runs to execute when a workload is given.")
+  in
+  let run workload json runs batch seq =
+    let exec_workload name =
+      match find_workload name with
+      | Error e -> Error e
+      | Ok w ->
+          let module Engine = Functs_exec.Engine in
+          let batch, seq = scales w batch seq in
+          let g = Workload.graph w ~batch ~seq in
+          ignore (Passes.tensorssa_pipeline g);
+          let args = w.inputs ~batch ~seq in
+          let eng = Engine.prepare g ~inputs:(Engine.input_shapes args) in
+          for _ = 1 to max 1 runs do
+            ignore (Engine.run eng args)
+          done;
+          Ok ()
+    in
+    match Option.fold ~none:(Ok ()) ~some:exec_workload workload with
+    | Error e -> `Error (false, e)
+    | Ok () ->
+        let s = Obs_metrics.snapshot () in
+        print_string
+          (if json then Obs_metrics.to_json s ^ "\n" else Obs_metrics.to_text s);
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Dump the process-wide metrics registry (optionally after running a \
+          workload through the fused engine).")
+    Term.(
+      ret (const run $ workload_opt $ json_flag $ runs_arg $ batch_arg
+           $ seq_arg))
+
 (* --- report --- *)
 
 let report_cmd =
@@ -383,4 +465,5 @@ let () =
   let doc = "TensorSSA: holistic functionalization of imperative tensor programs" in
   let info = Cmd.info "functs" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
-       [ list_cmd; show_cmd; compile_cmd; run_cmd; build_cmd; kernels_cmd; report_cmd ]))
+       [ list_cmd; show_cmd; compile_cmd; run_cmd; build_cmd; kernels_cmd;
+         stats_cmd; report_cmd ]))

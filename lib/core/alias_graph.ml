@@ -22,6 +22,7 @@ let add_to tbl key edge =
 let is_tensor (v : Graph.value) = Dtype.equal v.v_type Dtype.Tensor
 
 let build (g : Graph.t) =
+  Functs_obs.Tracer.span "alias.build" @@ fun () ->
   let acc = ref [] in
   let emit src dst kind =
     if is_tensor src && is_tensor dst then acc := { src; dst; kind } :: !acc

@@ -160,20 +160,42 @@ let tensorssa_no_fusion =
         match classify_tensorssa op with Fusible -> Kernel | c -> c);
   }
 
-(* --- compile-cache counters --- *)
+(* --- compile-cache counters ---
+
+   The counters themselves live in the process-wide metrics registry
+   ({!Functs_obs.Metrics}); this module only names them, so the engine
+   (which increments) and every reader (CLI, bench, tests) share one
+   record without a layering dependency on the engine. *)
+
+module Metrics = Functs_obs.Metrics
+
+let cache_hits_c = Metrics.counter "engine.cache.hits"
+let cache_misses_c = Metrics.counter "engine.cache.misses"
+let cache_evictions_c = Metrics.counter "engine.cache.evictions"
+
+let cache_hit () = Metrics.incr cache_hits_c
+let cache_miss () = Metrics.incr cache_misses_c
+let cache_eviction () = Metrics.incr cache_evictions_c
 
 type cache_stats = {
-  mutable cache_hits : int;
-  mutable cache_misses : int;
-  mutable cache_evictions : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
 }
 
-let compile_cache = { cache_hits = 0; cache_misses = 0; cache_evictions = 0 }
+let cache_snapshot () =
+  {
+    cache_hits = Metrics.value cache_hits_c;
+    cache_misses = Metrics.value cache_misses_c;
+    cache_evictions = Metrics.value cache_evictions_c;
+  }
+
+let compile_cache = cache_snapshot
 
 let reset_compile_cache () =
-  compile_cache.cache_hits <- 0;
-  compile_cache.cache_misses <- 0;
-  compile_cache.cache_evictions <- 0
+  Metrics.reset_counter cache_hits_c;
+  Metrics.reset_counter cache_misses_c;
+  Metrics.reset_counter cache_evictions_c
 
 let find short =
   List.find_opt

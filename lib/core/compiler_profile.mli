@@ -64,15 +64,29 @@ val find : string -> t option
 (** {1 Compile-cache counters}
 
     Hit/miss/evict counters for the execution engine's shape-keyed
-    compile cache (the cache itself lives in [Functs_exec.Engine]; the
-    counters sit here so every layer — CLI, bench, tests — can read one
-    process-wide record without depending on the engine). *)
+    compile cache.  The counters live in the process-wide metrics
+    registry ({!Functs_obs.Metrics}, names [engine.cache.*]); this
+    module names them so the engine can increment and every layer —
+    CLI, bench, tests — can read the same record without depending on
+    the engine. *)
+
+val cache_hit : unit -> unit
+val cache_miss : unit -> unit
+val cache_eviction : unit -> unit
+(** Incrementers, called by [Functs_exec.Engine] only. *)
 
 type cache_stats = {
-  mutable cache_hits : int;
-  mutable cache_misses : int;
-  mutable cache_evictions : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
 }
+(** An immutable point-in-time reading. *)
 
-val compile_cache : cache_stats
+val cache_snapshot : unit -> cache_stats
+
+val compile_cache : unit -> cache_stats
+[@@ocaml.deprecated "use cache_snapshot (or Functs_obs.Metrics directly)"]
+(** Thin alias kept so pre-observability callers still compile. *)
+
 val reset_compile_cache : unit -> unit
+(** Zero the three [engine.cache.*] counters. *)

@@ -248,6 +248,9 @@ let immutabilize_unmutated_views (g : Graph.t) alias ~unsafe_witnesses =
       | _ -> ())
 
 let functionalize ?(verify = true) (g : Graph.t) =
+  Functs_obs.Tracer.span_args "convert.functionalize"
+    ~args:(fun () -> [ ("graph", g.Graph.g_name) ])
+  @@ fun () ->
   let alias = Alias_graph.build g in
   let classified = Subgraph.extract g alias in
   let safe, skipped =

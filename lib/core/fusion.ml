@@ -200,7 +200,13 @@ let loop_is_parallel profile (node : Graph.node) =
     end
   | _ -> false
 
+let plans_c = Functs_obs.Metrics.counter "fusion.plans"
+
 let plan profile (g : Graph.t) =
+  Functs_obs.Tracer.span_args "fusion.plan"
+    ~args:(fun () ->
+      [ ("graph", g.Graph.g_name); ("profile", profile.Compiler_profile.short_name) ])
+  @@ fun () ->
   let classes = Hashtbl.create 64 in
   let group_count = assign_groups profile g classes in
   demote_access_only_groups g classes;
@@ -210,6 +216,13 @@ let plan profile (g : Graph.t) =
     Graph.iter_nodes g (fun node ->
         if node.n_op = Op.Loop && loop_is_parallel profile node then
           Hashtbl.replace parallel_loops node.n_id ());
+  Functs_obs.Metrics.incr plans_c;
+  Functs_obs.Tracer.instant "fusion.planned"
+    ~args:
+      [
+        ("groups", string_of_int group_count);
+        ("parallel_loops", string_of_int (Hashtbl.length parallel_loops));
+      ];
   { classes; group_count; parallel_loops; escaping }
 
 let kernel_class_of plan (node : Graph.node) =

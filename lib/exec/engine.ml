@@ -2,6 +2,7 @@ open Functs_ir
 open Functs_core
 open Functs_interp
 open Functs_tensor
+module Tracer = Functs_obs.Tracer
 
 type t = { e_graph : Graph.t; e_prepared : Scheduler.prepared }
 
@@ -42,14 +43,20 @@ let input_shapes args =
 
 let build ~profile ~parallel ~domains ~loop_grain ~kernel_grain (g : Graph.t)
     ~inputs =
-  let plan = Fusion.plan profile g in
-  let shapes = Shape_infer.infer g ~inputs in
-  let pool = Pool.shared ~lanes:domains in
-  let prepared =
-    Scheduler.prepare ~profile ~parallel ~domains ~pool ~loop_grain
-      ~kernel_grain ~graph:g ~shapes ~plan
-  in
-  { e_graph = g; e_prepared = prepared }
+  Tracer.span_args "engine.build"
+    ~args:(fun () ->
+      [ ("graph", g.Graph.g_name); ("profile", profile.Compiler_profile.short_name) ])
+    (fun () ->
+      let plan = Fusion.plan profile g in
+      let shapes =
+        Tracer.span "engine.shape_infer" (fun () -> Shape_infer.infer g ~inputs)
+      in
+      let pool = Pool.shared ~lanes:domains in
+      let prepared =
+        Scheduler.prepare ~profile ~parallel ~domains ~pool ~loop_grain
+          ~kernel_grain ~graph:g ~shapes ~plan
+      in
+      { e_graph = g; e_prepared = prepared })
 
 (* --- compile cache ---
 
@@ -119,8 +126,7 @@ let evict_one () =
       | Some e -> Scheduler.clear_buffers e.c_engine.e_prepared
       | None -> ());
       Hashtbl.remove cache_tbl key;
-      Compiler_profile.compile_cache.cache_evictions <-
-        Compiler_profile.compile_cache.cache_evictions + 1
+      Compiler_profile.cache_eviction ()
 
 let clear_cache () =
   Hashtbl.iter
@@ -151,12 +157,12 @@ let prepare ?(profile = Compiler_profile.tensorssa) ?(parallel = true) ?domains
     | Some e ->
         incr cache_tick;
         e.c_tick <- !cache_tick;
-        Compiler_profile.compile_cache.cache_hits <-
-          Compiler_profile.compile_cache.cache_hits + 1;
+        Compiler_profile.cache_hit ();
+        Tracer.instant "engine.cache.hit";
         e.c_engine
     | None ->
-        Compiler_profile.compile_cache.cache_misses <-
-          Compiler_profile.compile_cache.cache_misses + 1;
+        Compiler_profile.cache_miss ();
+        Tracer.instant "engine.cache.miss";
         let t =
           build ~profile ~parallel ~domains ~loop_grain ~kernel_grain g ~inputs
         in

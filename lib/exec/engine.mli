@@ -44,7 +44,8 @@ val prepare :
     (slot frames, fused-kernel closures, buffer pool) without recompiling.
     Pass [~cache:false] — or set [FUNCTS_CACHE=off] — to bypass it.
     Capacity is [FUNCTS_CACHE_SIZE] (default 32) entries, evicted LRU;
-    hit/miss/evict counters are in {!Compiler_profile.compile_cache}. *)
+    hit/miss/evict counters are the [engine.cache.*] metrics, read via
+    {!Compiler_profile.cache_snapshot}. *)
 
 val input_shapes : Value.t list -> Shape_infer.shape option list
 (** Shape hints extracted from concrete argument values. *)
@@ -63,8 +64,8 @@ val graph : t -> Graph.t
 (** {1 Compile cache} *)
 
 val clear_cache : unit -> unit
-(** Drop every cached engine (and its parked buffers).  Counters in
-    {!Compiler_profile.compile_cache} are not reset — use
+(** Drop every cached engine (and its parked buffers).  The
+    [engine.cache.*] counters are not reset — use
     {!Compiler_profile.reset_compile_cache}. *)
 
 val cache_size : unit -> int

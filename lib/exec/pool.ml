@@ -27,6 +27,11 @@ type t = {
 let on_worker_key = Domain.DLS.new_key (fun () -> false)
 let on_worker () = Domain.DLS.get on_worker_key
 
+(* Process-wide aggregates; per-engine attribution is done by the
+   scheduler via boundary snapshots of [dispatches]/[seq_fallbacks]. *)
+let dispatches_c = Functs_obs.Metrics.counter "pool.dispatches"
+let seq_fallbacks_c = Functs_obs.Metrics.counter "pool.seq_fallbacks"
+
 let worker_loop w =
   Domain.DLS.set on_worker_key true;
   let rec loop () =
@@ -96,10 +101,16 @@ let parallel_for t ~grain ~n body =
     let chunks = min t.lanes (n / grain) in
     if (not t.live) || chunks < 2 || on_worker () then begin
       t.n_sequential <- t.n_sequential + 1;
+      Functs_obs.Metrics.incr seq_fallbacks_c;
       body 0 n;
       false
     end
-    else begin
+    else
+      Functs_obs.Tracer.span_args "pool.dispatch"
+        ~args:(fun () ->
+          [ ("n", string_of_int n); ("chunks", string_of_int chunks) ])
+      @@ fun () ->
+      begin
       let per = (n + chunks - 1) / chunks in
       let jobs = ref [] in
       for k = chunks - 1 downto 1 do
@@ -140,6 +151,7 @@ let parallel_for t ~grain ~n body =
       done;
       Mutex.unlock fin_m;
       t.n_dispatches <- t.n_dispatches + 1;
+      Functs_obs.Metrics.incr dispatches_c;
       (match Atomic.get err with Some e -> raise e | None -> ());
       true
     end

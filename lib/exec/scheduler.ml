@@ -2,8 +2,22 @@ open Functs_ir
 open Functs_tensor
 open Functs_core
 open Functs_interp
+module Tracer = Functs_obs.Tracer
+module Metrics = Functs_obs.Metrics
 
 let error fmt = Format.kasprintf (fun m -> raise (Eval.Runtime_error m)) fmt
+
+(* Process-wide observability counters (per-engine numbers live on
+   [prepared] below; these aggregate across every engine in the process
+   for `functs stats` / FUNCTS_METRICS). *)
+let prepares_c = Metrics.counter "exec.prepares"
+let runs_c = Metrics.counter "exec.runs"
+let kernel_runs_c = Metrics.counter "exec.kernel_runs"
+let kernel_fallbacks_c = Metrics.counter "exec.kernel_fallbacks"
+let donations_c = Metrics.counter "exec.donations"
+let parallel_loops_c = Metrics.counter "exec.parallel_loops"
+let kernels_compiled_c = Metrics.counter "exec.kernels_compiled"
+let kernels_rejected_c = Metrics.counter "exec.kernels_rejected"
 
 (* Compiled closure kernels and fast per-node execution trade differently
    per group (a kernel saves intermediate materialization but interprets
@@ -74,6 +88,13 @@ type prepared = {
   mutable s_kernel_runs : int;
   mutable s_donations : int;
   mutable s_parallel_loops : int;
+  (* The domain pool is shared process-wide, so its cumulative dispatch
+     counters mix every engine's traffic.  Each run snapshots them at its
+     boundaries and accumulates the delta here, so per-engine stats stay
+     attributable (the bench's per-workload rows were all reporting the
+     same cross-workload totals before this). *)
+  mutable s_pool_dispatches : int;
+  mutable s_pool_seq_fallbacks : int;
 }
 
 (* --- per-run state --- *)
@@ -199,6 +220,8 @@ let try_donate rs (inst : inst) inputs =
         else begin
           write_region (Eval.apply_view_kind kind bt operands) src_t;
           rs.p.s_donations <- rs.p.s_donations + 1;
+          Metrics.incr donations_c;
+          Tracer.instant "exec.donate";
           Some [ Value.Tensor bt ]
         end
       end
@@ -292,22 +315,40 @@ let run_group rs scope gid members compiled =
     t
   in
   match
-    Kernel_compile.run
-      ?pool:(if rs.p.p_parallel then Some rs.p.p_exec_pool else None)
-      ~grain:rs.p.p_kernel_grain compiled ~alloc ~lookup:(tensor_lookup rs)
-      ~scalar:(scalar_lookup rs)
+    Tracer.span_args "kernel.launch"
+      ~args:(fun () -> [ ("group", string_of_int gid) ])
+      (fun () ->
+        Kernel_compile.run
+          ?pool:(if rs.p.p_parallel then Some rs.p.p_exec_pool else None)
+          ~grain:rs.p.p_kernel_grain compiled ~alloc ~lookup:(tensor_lookup rs)
+          ~scalar:(scalar_lookup rs))
   with
   | exception e ->
       (* Return the partial allocations and demote the group for good. *)
       List.iter (Buffer_plan.release rs.p.p_pool) !allocated;
       Hashtbl.replace rs.p.p_fallback gid ();
       Hashtbl.replace rs.p.p_modes gid Use_plain;
+      Metrics.incr kernel_fallbacks_c;
+      Tracer.instant "kernel.fallback"
+        ~args:[ ("group", string_of_int gid) ];
       (match e with
       | Kernel_compile.Fallback _ | Invalid_argument _ ->
           List.iter (exec_plain_inst rs scope) members
       | e -> raise e)
   | results ->
       rs.p.s_kernel_runs <- rs.p.s_kernel_runs + 1;
+      Metrics.incr kernel_runs_c;
+      if Tracer.enabled () then
+        Tracer.instant "kernel.outputs"
+          ~args:
+            [
+              ("group", string_of_int gid);
+              ( "elements",
+                string_of_int
+                  (List.fold_left
+                     (fun acc (_, t, _) -> acc + Tensor.numel t)
+                     0 results) );
+            ];
       List.iter
         (fun ((v : Graph.value), t, stored) ->
           if stored then
@@ -528,8 +569,10 @@ and exec_parallel_loop rs ~scope (inst : inst) (bi : binst) trip inits =
   in
   (* Chunks go to the engine's persistent pool — one mutex handoff per
      worker instead of a Domain.spawn/join pair per dispatch. *)
-  if Pool.parallel_for rs.p.p_exec_pool ~grain:1 ~n:trip run_chunk then
+  if Pool.parallel_for rs.p.p_exec_pool ~grain:1 ~n:trip run_chunk then begin
     rs.p.s_parallel_loops <- rs.p.s_parallel_loops + 1;
+    Metrics.incr parallel_loops_c
+  end;
   Array.iteri
     (fun j slot -> bind rs scope slot (Value.Tensor bufs.(j)))
     inst.i_out;
@@ -540,6 +583,10 @@ and exec_parallel_loop rs ~scope (inst : inst) (bi : binst) trip inits =
 let prepare ~profile ~parallel ~domains ~pool:exec_pool ~loop_grain
     ~kernel_grain ~graph ~shapes ~plan =
   ignore profile;
+  Metrics.incr prepares_c;
+  Tracer.span_args "scheduler.prepare"
+    ~args:(fun () -> [ ("graph", graph.Graph.g_name) ])
+  @@ fun () ->
   let slot_tbl : (int, int) Hashtbl.t = Hashtbl.create 256 in
   let nslots = ref 0 in
   let slot_of_value (v : Graph.value) =
@@ -640,7 +687,9 @@ let prepare ~profile ~parallel ~domains ~pool:exec_pool ~loop_grain
   in
   List.iter (fun v -> ignore (slot_of_value v)) (Graph.params graph);
   walk_block ~under_loop:false graph.Graph.g_block;
-  let usage = Buffer_plan.analyze graph in
+  let usage =
+    Tracer.span "engine.buffer_plan" (fun () -> Buffer_plan.analyze graph)
+  in
   let uses = Array.make !nslots 0 in
   let pinned = Array.make !nslots true in
   Hashtbl.iter
@@ -653,12 +702,21 @@ let prepare ~profile ~parallel ~domains ~pool:exec_pool ~loop_grain
     usage;
   List.iter (fun s -> pinned.(s) <- true) !pinned_extra;
   let compiled = Hashtbl.create 16 in
+  let kernels =
+    Tracer.span "codegen.emit" (fun () -> Codegen.emit graph plan ~shapes)
+  in
   List.iter
     (fun (k : Codegen.kernel) ->
-      match Kernel_compile.compile k ~shapes with
-      | Ok c -> Hashtbl.replace compiled k.k_group c
-      | Error _ -> ())
-    (Codegen.emit graph plan ~shapes);
+      match
+        Tracer.span_args "kernel.compile"
+          ~args:(fun () -> [ ("group", string_of_int k.Codegen.k_group) ])
+          (fun () -> Kernel_compile.compile k ~shapes)
+      with
+      | Ok c ->
+          Metrics.incr kernels_compiled_c;
+          Hashtbl.replace compiled k.k_group c
+      | Error _ -> Metrics.incr kernels_rejected_c)
+    kernels;
   let scalar_slots = Hashtbl.create 64 in
   let note_value (v : Graph.value) =
     match Hashtbl.find_opt slot_tbl v.Graph.v_id with
@@ -700,10 +758,27 @@ let prepare ~profile ~parallel ~domains ~pool:exec_pool ~loop_grain
     s_kernel_runs = 0;
     s_donations = 0;
     s_parallel_loops = 0;
+    s_pool_dispatches = 0;
+    s_pool_seq_fallbacks = 0;
   }
 
 let run p args =
+  Metrics.incr runs_c;
   incr run_epoch;
+  (* Snapshot the shared pool's cumulative counters so this run's traffic
+     can be attributed to this engine alone (engines never run
+     concurrently within a process, so the delta is exact). *)
+  let disp0 = Pool.dispatches p.p_exec_pool
+  and seq0 = Pool.seq_fallbacks p.p_exec_pool in
+  Fun.protect ~finally:(fun () ->
+      p.s_pool_dispatches <-
+        p.s_pool_dispatches + Pool.dispatches p.p_exec_pool - disp0;
+      p.s_pool_seq_fallbacks <-
+        p.s_pool_seq_fallbacks + Pool.seq_fallbacks p.p_exec_pool - seq0)
+  @@ fun () ->
+  Tracer.span_args "scheduler.run"
+    ~args:(fun () -> [ ("graph", p.p_graph.Graph.g_name) ])
+  @@ fun () ->
   (* Rebind the kernel-library chunker to this engine's pool for the whole
      invocation; engines never run concurrently within a process, so a
      plain ref is enough. *)
@@ -767,8 +842,8 @@ let stats p =
     donations = p.s_donations;
     parallel_loops_run = p.s_parallel_loops;
     pool_lanes = Pool.lanes p.p_exec_pool;
-    pool_dispatches = Pool.dispatches p.p_exec_pool;
-    pool_seq_fallbacks = Pool.seq_fallbacks p.p_exec_pool;
+    pool_dispatches = p.s_pool_dispatches;
+    pool_seq_fallbacks = p.s_pool_seq_fallbacks;
   }
 
 let clear_buffers p = Buffer_plan.clear p.p_pool

@@ -62,8 +62,15 @@ type stats = {
   donations : int;  (** assigns executed in place *)
   parallel_loops_run : int;
   pool_lanes : int;  (** worker lanes in the shared domain pool *)
-  pool_dispatches : int;  (** parallel_for calls that went to workers *)
-  pool_seq_fallbacks : int;  (** parallel_for calls run sequentially *)
+  pool_dispatches : int;
+      (** parallel_for calls that went to workers, {e during this
+          engine's runs} — the shared pool's cumulative counters are
+          snapshotted at each run's boundaries and only the deltas are
+          accumulated, so engines sharing the pool don't contaminate
+          each other's numbers *)
+  pool_seq_fallbacks : int;
+      (** parallel_for calls run sequentially during this engine's runs
+          (same per-engine delta accounting) *)
 }
 
 val stats : prepared -> stats

@@ -224,6 +224,9 @@ and lower_stmt b env stmt ~top =
         env captured outs
 
 let program (p : Ast.program) =
+  Functs_obs.Tracer.span_args "frontend.lower"
+    ~args:(fun () -> [ ("program", p.name) ])
+  @@ fun () ->
   let b = Builder.create p.name ~params:p.params in
   let env =
     List.fold_left2

@@ -1,0 +1,30 @@
+(** Minimal JSON tree, parser and printer.
+
+    Just enough JSON for the observability layer: the metrics snapshot
+    round-trips through {!to_string}/{!parse}, and tests validate the
+    Chrome-trace export without an external dependency.  The parser
+    accepts standard JSON (RFC 8259) with BMP [\uXXXX] escapes; the
+    printer emits integers without a fractional part so counter values
+    survive a round trip exactly. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse one JSON value (surrounding whitespace allowed).  [Error msg]
+    carries the byte offset of the failure. *)
+
+val to_string : t -> string
+(** Compact rendering (no insignificant whitespace). *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on missing fields or non-objects. *)
+
+val escape : string -> string
+(** The JSON string-escape of [s], without the surrounding quotes —
+    for code that prints JSON incrementally instead of building a {!t}. *)

@@ -1,0 +1,224 @@
+type counter = { c_name : string; mutable c_value : int }
+type gauge = { g_name : string; mutable g_value : float }
+
+type histogram = {
+  hg_name : string;
+  mutable hg_count : int;
+  mutable hg_sum : float;
+  mutable hg_min : float;
+  mutable hg_max : float;
+}
+
+(* One registry per process.  Creation is rare (module init of the
+   instrumented layers) and mutex-protected; updates go straight at the
+   instrument's mutable fields. *)
+type registry = {
+  r_lock : Mutex.t;
+  r_counters : (string, counter) Hashtbl.t;
+  r_gauges : (string, gauge) Hashtbl.t;
+  r_histograms : (string, histogram) Hashtbl.t;
+}
+
+let reg =
+  {
+    r_lock = Mutex.create ();
+    r_counters = Hashtbl.create 32;
+    r_gauges = Hashtbl.create 16;
+    r_histograms = Hashtbl.create 16;
+  }
+
+let locked f =
+  Mutex.lock reg.r_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock reg.r_lock) f
+
+let intern tbl name create =
+  locked (fun () ->
+      match Hashtbl.find_opt tbl name with
+      | Some x -> x
+      | None ->
+          let x = create name in
+          Hashtbl.replace tbl name x;
+          x)
+
+let counter name =
+  intern reg.r_counters name (fun c_name -> { c_name; c_value = 0 })
+
+let incr ?(by = 1) c = c.c_value <- c.c_value + by
+let value c = c.c_value
+let reset_counter c = c.c_value <- 0
+
+let gauge name = intern reg.r_gauges name (fun g_name -> { g_name; g_value = 0. })
+let set g v = g.g_value <- v
+let gauge_value g = g.g_value
+
+let histogram name =
+  intern reg.r_histograms name (fun hg_name ->
+      { hg_name; hg_count = 0; hg_sum = 0.; hg_min = 0.; hg_max = 0. })
+
+let observe h v =
+  if h.hg_count = 0 then begin
+    h.hg_min <- v;
+    h.hg_max <- v
+  end
+  else begin
+    if v < h.hg_min then h.hg_min <- v;
+    if v > h.hg_max then h.hg_max <- v
+  end;
+  h.hg_count <- h.hg_count + 1;
+  h.hg_sum <- h.hg_sum +. v
+
+(* --- snapshots --- *)
+
+type hstat = { h_count : int; h_sum : float; h_min : float; h_max : float }
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * hstat) list;
+}
+
+let by_name (a, _) (b, _) = String.compare a b
+
+let snapshot () =
+  locked (fun () ->
+      let counters =
+        Hashtbl.fold (fun k c acc -> (k, c.c_value) :: acc) reg.r_counters []
+      in
+      let gauges =
+        Hashtbl.fold (fun k g acc -> (k, g.g_value) :: acc) reg.r_gauges []
+      in
+      let histograms =
+        Hashtbl.fold
+          (fun k h acc ->
+            ( k,
+              {
+                h_count = h.hg_count;
+                h_sum = h.hg_sum;
+                h_min = h.hg_min;
+                h_max = h.hg_max;
+              } )
+            :: acc)
+          reg.r_histograms []
+      in
+      {
+        counters = List.sort by_name counters;
+        gauges = List.sort by_name gauges;
+        histograms = List.sort by_name histograms;
+      })
+
+let reset () =
+  locked (fun () ->
+      Hashtbl.iter (fun _ c -> c.c_value <- 0) reg.r_counters;
+      Hashtbl.iter (fun _ g -> g.g_value <- 0.) reg.r_gauges;
+      Hashtbl.iter
+        (fun _ h ->
+          h.hg_count <- 0;
+          h.hg_sum <- 0.;
+          h.hg_min <- 0.;
+          h.hg_max <- 0.)
+        reg.r_histograms)
+
+let to_text s =
+  let b = Buffer.create 512 in
+  List.iter
+    (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%-32s %d\n" k v))
+    s.counters;
+  List.iter
+    (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%-32s %g\n" k v))
+    s.gauges;
+  List.iter
+    (fun (k, h) ->
+      Buffer.add_string b
+        (Printf.sprintf "%-32s count=%d sum=%g min=%g max=%g\n" k h.h_count
+           h.h_sum h.h_min h.h_max))
+    s.histograms;
+  Buffer.contents b
+
+let to_json s =
+  Json.to_string
+    (Json.Obj
+       [
+         ( "counters",
+           Json.Obj
+             (List.map (fun (k, v) -> (k, Json.Num (float_of_int v))) s.counters)
+         );
+         ("gauges", Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) s.gauges));
+         ( "histograms",
+           Json.Obj
+             (List.map
+                (fun (k, h) ->
+                  ( k,
+                    Json.Obj
+                      [
+                        ("count", Json.Num (float_of_int h.h_count));
+                        ("sum", Json.Num h.h_sum);
+                        ("min", Json.Num h.h_min);
+                        ("max", Json.Num h.h_max);
+                      ] ))
+                s.histograms) );
+       ])
+
+let of_json text =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let num = function
+    | Json.Num f -> f
+    | _ -> fail "metrics JSON: expected a number"
+  in
+  let obj = function
+    | Json.Obj fields -> fields
+    | _ -> fail "metrics JSON: expected an object"
+  in
+  let field name j =
+    match Json.member name j with
+    | Some v -> v
+    | None -> fail "metrics JSON: missing field %S" name
+  in
+  match Json.parse text with
+  | Error msg -> failwith msg
+  | Ok root ->
+      let counters =
+        List.map
+          (fun (k, v) -> (k, int_of_float (num v)))
+          (obj (field "counters" root))
+      in
+      let gauges =
+        List.map (fun (k, v) -> (k, num v)) (obj (field "gauges" root))
+      in
+      let histograms =
+        List.map
+          (fun (k, v) ->
+            ( k,
+              {
+                h_count = int_of_float (num (field "count" v));
+                h_sum = num (field "sum" v);
+                h_min = num (field "min" v);
+                h_max = num (field "max" v);
+              } ))
+          (obj (field "histograms" root))
+      in
+      {
+        counters = List.sort by_name counters;
+        gauges = List.sort by_name gauges;
+        histograms = List.sort by_name histograms;
+      }
+
+(* --- FUNCTS_METRICS exit hook --- *)
+
+let () =
+  match Sys.getenv_opt "FUNCTS_METRICS" with
+  | None | Some "" | Some "0" | Some "off" | Some "false" -> ()
+  | Some ("1" | "on" | "stderr") ->
+      at_exit (fun () -> prerr_string (to_text (snapshot ())))
+  | Some path ->
+      at_exit (fun () ->
+          try
+            let oc = open_out path in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () ->
+                let s = snapshot () in
+                output_string oc
+                  (if Filename.check_suffix path ".json" then
+                     to_json s ^ "\n"
+                   else to_text s))
+          with Sys_error _ -> ())

@@ -1,0 +1,63 @@
+(** Process-wide metrics registry: named counters, gauges and histograms
+    with one [snapshot] and a text / JSON dump.
+
+    Instruments are created (or fetched — creation is idempotent per
+    name) once at module-init time and then updated with plain field
+    mutations, so the hot path is an int/float store with no lookup and
+    no lock.  Updates are not synchronized across domains; every current
+    producer updates from the dispatching domain, which is also the
+    engine's own threading contract.
+
+    Naming convention: dot-separated [layer.thing], e.g.
+    [engine.cache.hits], [pool.dispatches], [exec.kernel_runs].
+
+    [FUNCTS_METRICS] environment variable: set to a path to dump a
+    snapshot there at process exit (JSON when the path ends in [.json],
+    text otherwise); [1]/[on]/[stderr] dump text to stderr instead. *)
+
+type counter
+type gauge
+type histogram
+
+val counter : string -> counter
+(** Get or create the counter named [name]. *)
+
+val incr : ?by:int -> counter -> unit
+val value : counter -> int
+val reset_counter : counter -> unit
+
+val gauge : string -> gauge
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val histogram : string -> histogram
+
+val observe : histogram -> float -> unit
+(** Record one sample (count/sum/min/max are updated). *)
+
+(** {1 Snapshots} *)
+
+type hstat = { h_count : int; h_sum : float; h_min : float; h_max : float }
+(** [h_min]/[h_max] are 0 when [h_count = 0]. *)
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * hstat) list;
+}
+(** Each list is sorted by name, so snapshots compare structurally. *)
+
+val snapshot : unit -> snapshot
+
+val reset : unit -> unit
+(** Zero every registered instrument (names stay registered). *)
+
+val to_text : snapshot -> string
+(** Line-oriented dump: [name value] per instrument, histograms as
+    [name count=… sum=… min=… max=…]. *)
+
+val to_json : snapshot -> string
+
+val of_json : string -> snapshot
+(** Inverse of {!to_json}.
+    @raise Failure on malformed input. *)

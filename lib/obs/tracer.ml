@@ -1,0 +1,151 @@
+type phase = Begin | End | Instant
+
+type event = {
+  ev_name : string;
+  ev_phase : phase;
+  ev_ts : float;
+  ev_tid : int;
+  ev_args : (string * string) list;
+}
+
+let nil_event =
+  { ev_name = ""; ev_phase = Instant; ev_ts = 0.; ev_tid = 0; ev_args = [] }
+
+(* The enabled flag is the only state the disabled path touches: one ref
+   read, then straight to the traced thunk. *)
+let on = ref false
+let enabled () = !on
+
+let epoch = Unix.gettimeofday ()
+let now_us () = 1e6 *. (Unix.gettimeofday () -. epoch)
+
+let env_capacity =
+  match Option.bind (Sys.getenv_opt "FUNCTS_TRACE_BUF") int_of_string_opt with
+  | Some v when v >= 16 -> v
+  | Some _ | None -> 65536
+
+(* Ring state: [count] is the total emitted since the last clear; the
+   write cursor is [count mod capacity].  Worker domains may emit
+   concurrently, so writes take [lock] — tracing is opt-in, the disabled
+   hot path never sees the mutex. *)
+let lock = Mutex.create ()
+let buf = ref (Array.make env_capacity nil_event)
+let count = ref 0
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let emit ev_name ev_phase ev_args =
+  let ev =
+    {
+      ev_name;
+      ev_phase;
+      ev_ts = now_us ();
+      ev_tid = (Domain.self () :> int);
+      ev_args;
+    }
+  in
+  locked (fun () ->
+      let b = !buf in
+      b.(!count mod Array.length b) <- ev;
+      incr count)
+
+(* Per-domain nesting depth, balanced by Fun.protect below. *)
+let depth_key = Domain.DLS.new_key (fun () -> ref 0)
+let depth () = !(Domain.DLS.get depth_key)
+
+let enable () = on := true
+let disable () = on := false
+
+let span_traced name args f =
+  emit name Begin args;
+  let d = Domain.DLS.get depth_key in
+  incr d;
+  Fun.protect
+    ~finally:(fun () ->
+      decr d;
+      emit name End [])
+    f
+
+let span name f = if !on then span_traced name [] f else f ()
+
+let span_args name ~args f =
+  if !on then span_traced name (args ()) f else f ()
+
+let instant ?(args = []) name = if !on then emit name Instant args
+
+let capacity () = Array.length !buf
+
+let set_capacity c =
+  let c = max 16 c in
+  locked (fun () ->
+      buf := Array.make c nil_event;
+      count := 0)
+
+let clear () =
+  locked (fun () ->
+      Array.fill !buf 0 (Array.length !buf) nil_event;
+      count := 0)
+
+let emitted () = !count
+let dropped () = max 0 (!count - Array.length !buf)
+
+let events () =
+  locked (fun () ->
+      let b = !buf in
+      let cap = Array.length b in
+      let n = min !count cap in
+      let start = if !count <= cap then 0 else !count mod cap in
+      List.init n (fun i -> b.((start + i) mod cap)))
+
+(* --- Chrome trace-event export --- *)
+
+let phase_letter = function Begin -> "B" | End -> "E" | Instant -> "i"
+
+let to_chrome () =
+  let evs = events () in
+  let b = Buffer.create (4096 + (List.length evs * 96)) in
+  Buffer.add_string b "{\"traceEvents\":[";
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"functs\",\"ph\":\"%s\",\"ts\":%.3f,\
+            \"pid\":1,\"tid\":%d"
+           (Json.escape ev.ev_name)
+           (phase_letter ev.ev_phase)
+           ev.ev_ts ev.ev_tid);
+      if ev.ev_phase = Instant then Buffer.add_string b ",\"s\":\"t\"";
+      (match ev.ev_args with
+      | [] -> ()
+      | args ->
+          Buffer.add_string b ",\"args\":{";
+          List.iteri
+            (fun j (k, v) ->
+              if j > 0 then Buffer.add_char b ',';
+              Buffer.add_string b
+                (Printf.sprintf "\"%s\":\"%s\"" (Json.escape k) (Json.escape v)))
+            args;
+          Buffer.add_char b '}');
+      Buffer.add_char b '}')
+    evs;
+  Buffer.add_string b "],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents b
+
+let write_chrome path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_chrome ()))
+
+(* --- FUNCTS_TRACE startup hook --- *)
+
+let () =
+  match Sys.getenv_opt "FUNCTS_TRACE" with
+  | None | Some "" | Some "0" | Some "off" | Some "false" -> ()
+  | Some ("1" | "on" | "true") -> enable ()
+  | Some path ->
+      enable ();
+      at_exit (fun () -> try write_chrome path with Sys_error _ -> ())

@@ -21,7 +21,42 @@ echo "== exec differential suite (FUNCTS_DOMAINS=2) =="
 FUNCTS_DOMAINS=2 dune exec test/test_exec.exe
 
 echo "== bench exec --smoke (FUNCTS_DOMAINS=2) =="
-FUNCTS_DOMAINS=2 dune exec bench/main.exe -- exec --smoke
+FUNCTS_DOMAINS=2 dune exec bench/main.exe -- exec --smoke \
+  | tee /tmp/functs_bench_smoke.txt
+grep -q "== metrics snapshot ==" /tmp/functs_bench_smoke.txt || {
+  echo "error: bench smoke output is missing the metrics snapshot" >&2
+  exit 1
+}
+grep -q "exec.kernel_runs" /tmp/functs_bench_smoke.txt || {
+  echo "error: bench smoke metrics are missing exec.kernel_runs" >&2
+  exit 1
+}
+
+echo "== trace smoke (run lstm --engine=exec --trace) =="
+rm -f /tmp/functs_trace.json
+dune exec bin/functs.exe -- run lstm --engine=exec --trace /tmp/functs_trace.json
+test -s /tmp/functs_trace.json || {
+  echo "error: --trace wrote no trace file" >&2
+  exit 1
+}
+# Validate the Chrome trace JSON with whatever parser is on hand.
+if command -v jq >/dev/null 2>&1; then
+  jq -e '.traceEvents | length > 0' /tmp/functs_trace.json >/dev/null || {
+    echo "error: trace JSON invalid or empty (jq)" >&2
+    exit 1
+  }
+elif command -v python3 >/dev/null 2>&1; then
+  python3 -c 'import json,sys; d=json.load(open("/tmp/functs_trace.json")); sys.exit(0 if d["traceEvents"] else 1)' || {
+    echo "error: trace JSON invalid or empty (python3)" >&2
+    exit 1
+  }
+else
+  echo "warning: neither jq nor python3 available; skipping trace JSON validation" >&2
+fi
+grep -q '"kernel.launch"' /tmp/functs_trace.json || {
+  echo "error: trace is missing kernel.launch events" >&2
+  exit 1
+}
 
 if command -v ocamlformat >/dev/null 2>&1; then
   echo "== dune build @fmt =="

@@ -200,7 +200,7 @@ let carried_store_graph () =
 (* --- compile cache --- *)
 
 let cache_counters () =
-  let c = Compiler_profile.compile_cache in
+  let c = Compiler_profile.cache_snapshot () in
   ( c.Compiler_profile.cache_hits,
     c.Compiler_profile.cache_misses,
     c.Compiler_profile.cache_evictions )

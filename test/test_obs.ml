@@ -1,0 +1,284 @@
+(* Units for the observability layer (lib/obs): span nesting stays
+   balanced under exceptions, the Chrome trace export of a real engine
+   run parses and carries the expected spans, the disabled-mode tracer
+   allocates nothing on the hot path, the metrics snapshot round-trips
+   through its JSON dump, and the ring buffer drops oldest-first. *)
+
+open Functs_core
+open Functs_exec
+open Functs_workloads
+module Tracer = Functs_obs.Tracer
+module Metrics = Functs_obs.Metrics
+module Json = Functs_obs.Json
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let contains_sub haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+(* Each test drives the process-wide tracer; reset around each one so
+   tests stay order-independent. *)
+let with_tracer f =
+  Tracer.clear ();
+  Tracer.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Tracer.disable ();
+      Tracer.clear ())
+    f
+
+(* --- spans --- *)
+
+exception Boom
+
+let test_span_nesting_exceptions () =
+  with_tracer (fun () ->
+      let result =
+        Tracer.span "outer" (fun () ->
+            (try Tracer.span "inner" (fun () -> raise Boom)
+             with Boom -> ());
+            17)
+      in
+      check_int "span returns the thunk's value" 17 result;
+      check_int "depth unwinds to zero across exceptions" 0 (Tracer.depth ());
+      let names_phases =
+        List.map
+          (fun (e : Tracer.event) -> (e.ev_name, e.ev_phase))
+          (Tracer.events ())
+      in
+      check "begin/end pairs stay balanced and properly nested" true
+        (names_phases
+        = [
+            ("outer", Tracer.Begin);
+            ("inner", Tracer.Begin);
+            ("inner", Tracer.End);
+            ("outer", Tracer.End);
+          ]);
+      (* the raising span's end must not be later than its parent's *)
+      match Tracer.events () with
+      | [ ob; ib; ie; oe ] ->
+          check "timestamps are monotone" true
+            (ob.Tracer.ev_ts <= ib.Tracer.ev_ts
+            && ib.Tracer.ev_ts <= ie.Tracer.ev_ts
+            && ie.Tracer.ev_ts <= oe.Tracer.ev_ts)
+      | _ -> Alcotest.fail "expected exactly four events")
+
+let test_span_reraises () =
+  with_tracer (fun () ->
+      check "the exception propagates out of the span" true
+        (try
+           Tracer.span "s" (fun () -> raise Boom)
+         with Boom -> true);
+      check_int "and the end event was still emitted" 2
+        (List.length (Tracer.events ())))
+
+(* --- chrome export of a real run --- *)
+
+let test_chrome_export_lstm () =
+  with_tracer (fun () ->
+      let w = Option.get (Registry.find "lstm") in
+      let batch = w.Workload.default_batch and seq = w.Workload.default_seq in
+      let g = Workload.graph w ~batch ~seq in
+      ignore (Passes.tensorssa_pipeline g);
+      let args = w.Workload.inputs ~batch ~seq in
+      let eng =
+        Engine.prepare ~cache:false g ~inputs:(Engine.input_shapes args)
+      in
+      ignore (Engine.run eng args);
+      let text = Tracer.to_chrome () in
+      match Json.parse text with
+      | Error msg -> Alcotest.fail ("chrome trace is not valid JSON: " ^ msg)
+      | Ok root ->
+          let events =
+            match Json.member "traceEvents" root with
+            | Some (Json.Arr l) -> l
+            | _ -> Alcotest.fail "no traceEvents array"
+          in
+          check "trace is non-empty" true (events <> []);
+          let names =
+            List.filter_map
+              (fun e ->
+                match Json.member "name" e with
+                | Some (Json.Str s) -> Some s
+                | _ -> None)
+              events
+          in
+          List.iter
+            (fun required ->
+              check (required ^ " span present") true
+                (List.mem required names))
+            [
+              "fusion.plan";
+              "engine.shape_infer";
+              "scheduler.prepare";
+              "kernel.compile";
+              "scheduler.run";
+              "kernel.launch";
+            ];
+          (* every event is well-formed: string name, B/E/i phase,
+             numeric ts *)
+          List.iter
+            (fun e ->
+              (match Json.member "ph" e with
+              | Some (Json.Str ("B" | "E" | "i")) -> ()
+              | _ -> Alcotest.fail "bad phase");
+              match Json.member "ts" e with
+              | Some (Json.Num _) -> ()
+              | _ -> Alcotest.fail "bad timestamp")
+            events)
+
+(* --- disabled-mode cost --- *)
+
+let test_disabled_no_alloc () =
+  Tracer.disable ();
+  let hits = ref 0 in
+  let work () = incr hits in
+  (* warm up: promote [work] and fault in any lazy setup *)
+  Tracer.span "hot" work;
+  let iters = 10_000 in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to iters do
+    Tracer.span "hot" work
+  done;
+  let allocated = Gc.minor_words () -. w0 in
+  check_int "the thunk ran every time" (iters + 1) !hits;
+  (* The only allocation budget is the Gc.minor_words probes themselves
+     (a boxed float each); a per-span allocation would cost >= 2 words
+     x 10k iterations. *)
+  check
+    (Printf.sprintf "disabled spans allocate nothing (%.0f words)" allocated)
+    true
+    (allocated < 64.);
+  let e0 = Tracer.emitted () in
+  Tracer.instant "hot.instant";
+  check_int "disabled instants emit nothing" e0 (Tracer.emitted ())
+
+(* --- ring buffer --- *)
+
+let test_ring_wrap () =
+  let original = Tracer.capacity () in
+  Tracer.set_capacity 16;
+  Tracer.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Tracer.disable ();
+      Tracer.set_capacity original)
+    (fun () ->
+      for i = 1 to 40 do
+        Tracer.instant (Printf.sprintf "ev%d" i)
+      done;
+      check_int "emitted counts every event" 40 (Tracer.emitted ());
+      check_int "dropped counts the overwritten" 24 (Tracer.dropped ());
+      let evs = Tracer.events () in
+      check_int "the buffer keeps capacity events" 16 (List.length evs);
+      check "and they are the most recent, oldest first" true
+        (match (evs, List.rev evs) with
+        | first :: _, last :: _ ->
+            first.Tracer.ev_name = "ev25" && last.Tracer.ev_name = "ev40"
+        | _ -> false))
+
+(* --- metrics --- *)
+
+let test_metrics_roundtrip () =
+  Metrics.reset ();
+  let c = Metrics.counter "test.counter" in
+  Metrics.incr c;
+  Metrics.incr ~by:41 c;
+  let g = Metrics.gauge "test.gauge" in
+  Metrics.set g 2.5;
+  let h = Metrics.histogram "test.histogram" in
+  Metrics.observe h 1.0;
+  Metrics.observe h 4.0;
+  Metrics.observe h 0.25;
+  let s = Metrics.snapshot () in
+  check_int "counter reads back" 42 (List.assoc "test.counter" s.counters);
+  check "gauge reads back" true (List.assoc "test.gauge" s.gauges = 2.5);
+  let hs = List.assoc "test.histogram" s.histograms in
+  check "histogram aggregates" true
+    (hs.Metrics.h_count = 3 && hs.h_sum = 5.25 && hs.h_min = 0.25
+   && hs.h_max = 4.0);
+  let s' = Metrics.of_json (Metrics.to_json s) in
+  check "snapshot round-trips through its JSON dump" true (s = s');
+  (* the text dump mentions every instrument *)
+  let text = Metrics.to_text s in
+  List.iter
+    (fun name ->
+      check (name ^ " in text dump") true (contains_sub text name))
+    [ "test.counter"; "test.gauge"; "test.histogram" ]
+
+let test_metrics_absorbed_counters () =
+  (* The compile-cache counters now live in the registry under
+     engine.cache.*; the deprecated Compiler_profile alias reads them. *)
+  Compiler_profile.reset_compile_cache ();
+  Engine.clear_cache ();
+  let w = Option.get (Registry.find "nms") in
+  let batch = w.Workload.default_batch and seq = w.Workload.default_seq in
+  let g = Workload.graph w ~batch ~seq in
+  ignore (Passes.tensorssa_pipeline g);
+  let args = w.Workload.inputs ~batch ~seq in
+  let inputs = Engine.input_shapes args in
+  ignore (Engine.prepare g ~inputs);
+  ignore (Engine.prepare g ~inputs);
+  let s = Metrics.snapshot () in
+  check_int "registry miss counter" 1
+    (List.assoc "engine.cache.misses" s.counters);
+  check_int "registry hit counter" 1 (List.assoc "engine.cache.hits" s.counters);
+  let cs = Compiler_profile.cache_snapshot () in
+  check_int "alias sees the same hits" cs.Compiler_profile.cache_hits
+    (List.assoc "engine.cache.hits" s.counters);
+  check_int "alias sees the same misses" cs.Compiler_profile.cache_misses
+    (List.assoc "engine.cache.misses" s.counters)
+
+(* --- json parser corners --- *)
+
+let test_json_parser () =
+  (match Json.parse {| {"a":[1,2.5,-3e2],"b":"x\n\"yA","c":true,"d":null} |} with
+  | Ok root ->
+      check "array" true
+        (Json.member "a" root = Some (Json.Arr [ Json.Num 1.; Json.Num 2.5; Json.Num (-300.) ]));
+      check "string escapes" true
+        (Json.member "b" root = Some (Json.Str "x\n\"yA"));
+      check "bool" true (Json.member "c" root = Some (Json.Bool true));
+      check "null" true (Json.member "d" root = Some Json.Null)
+  | Error msg -> Alcotest.fail msg);
+  check "trailing garbage rejected" true
+    (match Json.parse "{} extra" with Error _ -> true | Ok _ -> false);
+  check "truncated input rejected" true
+    (match Json.parse {| {"a": |} with Error _ -> true | Ok _ -> false);
+  (* printer/parser round trip on a nested value *)
+  let v =
+    Json.Obj
+      [
+        ("list", Json.Arr [ Json.Str "a\\b"; Json.Num 0.125 ]);
+        ("empty", Json.Obj []);
+      ]
+  in
+  check "print/parse round trip" true (Json.parse (Json.to_string v) = Ok v)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "tracer",
+        [
+          Alcotest.test_case "nesting under exceptions" `Quick
+            test_span_nesting_exceptions;
+          Alcotest.test_case "spans re-raise" `Quick test_span_reraises;
+          Alcotest.test_case "chrome export of an lstm run" `Quick
+            test_chrome_export_lstm;
+          Alcotest.test_case "disabled path allocates nothing" `Quick
+            test_disabled_no_alloc;
+          Alcotest.test_case "ring buffer wraps oldest-first" `Quick
+            test_ring_wrap;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "snapshot JSON round trip" `Quick
+            test_metrics_roundtrip;
+          Alcotest.test_case "compile-cache counters absorbed" `Quick
+            test_metrics_absorbed_counters;
+        ] );
+      ("json", [ Alcotest.test_case "parser corners" `Quick test_json_parser ]);
+    ]
