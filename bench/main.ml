@@ -16,14 +16,23 @@
    workload's engine outputs match the interpreter — no timing, no JSON. *)
 
 open Bechamel
-open Functs_ir
-open Functs_core
-open Functs_workloads
-module Figures = Functs_harness.Figures
-module Engine = Functs_exec.Engine
-module Scheduler = Functs_exec.Scheduler
-module Eval = Functs_interp.Eval
-module Value = Functs_interp.Value
+open Functs
+
+(* Resolve the FUNCTS_* overlay once; everything below takes the typed
+   config explicitly (a malformed variable aborts, never falls back). *)
+let config =
+  match Functs.init () with
+  | Ok cfg -> cfg
+  | Error e ->
+      prerr_endline ("bench: " ^ Error.to_string e);
+      exit 2
+
+(* Figure renderers are registered into [Functs.Report] by the harness
+   (linked with -linkall); the bench only knows their names. *)
+let figure name =
+  match Report.render name with
+  | Some text -> text
+  | None -> Printf.sprintf "figure %S is not registered" name
 
 let all_targets =
   [ "fig5"; "fig6"; "fig7"; "fig8"; "headline"; "ablation"; "micro"; "exec" ]
@@ -93,7 +102,7 @@ let bench_fig7 () =
   Test.make ~name:"fig7/traced-exec-ssd-batch4"
     (Staged.stage (fun () ->
          ignore
-           (Functs_cost.Trace.run ~profile:Compiler_profile.tensorssa ~plan g
+           (Trace.run ~profile:Compiler_profile.tensorssa ~plan g
               args)))
 
 (* Cleanup pipeline (constant folding + CSE + DCE) on functionalized
@@ -117,8 +126,8 @@ let bench_codegen () =
         let inputs =
           List.map
             (function
-              | Functs_interp.Value.Tensor t ->
-                  Some (Shape_infer.known (Functs_tensor.Tensor.shape t))
+              | Value.Tensor t ->
+                  Some (Shape_infer.known (Tensor.shape t))
               | _ -> None)
             args
         in
@@ -141,7 +150,7 @@ let bench_fig8 () =
   Test.make ~name:"fig8/traced-exec-nasrnn-seq128"
     (Staged.stage (fun () ->
          ignore
-           (Functs_cost.Trace.run ~profile:Compiler_profile.tensorssa ~plan g
+           (Trace.run ~profile:Compiler_profile.tensorssa ~plan g
               args)))
 
 let run_micro () =
@@ -199,8 +208,6 @@ let time_median f =
   Array.sort compare samples;
   samples.(runs / 2)
 
-module Pool = Functs_exec.Pool
-
 (* Per-dispatch overhead: the persistent pool's parallel_for against a
    fresh Domain.spawn/join pair doing the same (empty) 2-chunk split —
    the regime PR 1 ran every horizontal loop in. *)
@@ -230,6 +237,12 @@ let dispatch_overhead () =
 (* Cold vs warm [Engine.prepare]: the cold call lowers from scratch (the
    cache was just cleared), the warm one must come back from the compile
    cache.  Measured per call — warm is a digest + hashtable probe. *)
+let prepare ~parallel fg ~inputs =
+  Engine.prepare ~parallel ~domains:config.Config.domains
+    ~loop_grain:config.Config.loop_grain
+    ~kernel_grain:config.Config.kernel_grain ~cache:config.Config.cache fg
+    ~inputs
+
 let prepare_times ~parallel fg ~inputs =
   Engine.clear_cache ();
   let stamp f =
@@ -237,8 +250,8 @@ let prepare_times ~parallel fg ~inputs =
     let r = f () in
     (Unix.gettimeofday () -. t0, r)
   in
-  let cold, _ = stamp (fun () -> Engine.prepare ~parallel fg ~inputs) in
-  let warm, eng = stamp (fun () -> Engine.prepare ~parallel fg ~inputs) in
+  let cold, _ = stamp (fun () -> prepare ~parallel fg ~inputs) in
+  let warm, eng = stamp (fun () -> prepare ~parallel fg ~inputs) in
   (cold, warm, eng)
 
 type wrow = {
@@ -268,16 +281,10 @@ let write_json path rows (pool_us, spawn_us) =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   let c = Compiler_profile.cache_snapshot () in
-  let env_default name d =
-    match Option.bind (Sys.getenv_opt name) int_of_string_opt with
-    | Some v -> v
-    | None -> d
-  in
   p "{\n";
-  p "  \"domains\": %d,\n"
-    (env_default "FUNCTS_DOMAINS" (Domain.recommended_domain_count ()));
-  p "  \"loop_grain\": %d,\n" (env_default "FUNCTS_GRAIN" 2);
-  p "  \"kernel_grain\": %d,\n" (env_default "FUNCTS_KERNEL_GRAIN" 8192);
+  p "  \"domains\": %d,\n" config.Config.domains;
+  p "  \"loop_grain\": %d,\n" config.Config.loop_grain;
+  p "  \"kernel_grain\": %d,\n" config.Config.kernel_grain;
   p "  \"dispatch_us\": { \"pool\": %.3f, \"spawn_join\": %.3f },\n" pool_us
     spawn_us;
   p "  \"workloads\": [\n";
@@ -310,7 +317,7 @@ let write_json path rows (pool_us, spawn_us) =
     c.Compiler_profile.cache_hits c.Compiler_profile.cache_misses
     c.Compiler_profile.cache_evictions (Engine.cache_size ());
   p "  \"metrics\": %s\n"
-    (Functs_obs.Metrics.to_json (Functs_obs.Metrics.snapshot ()));
+    (Metrics.to_json (Metrics.snapshot ()));
   p "}\n";
   close_out oc
 
@@ -336,7 +343,7 @@ let run_exec () =
       let fg = Graph.clone g in
       ignore (Passes.tensorssa_pipeline fg);
       let inputs = Engine.input_shapes args in
-      let eng = Engine.prepare ~parallel:false fg ~inputs in
+      let eng = prepare ~parallel:false fg ~inputs in
       let _, _, engp = prepare_times ~parallel:true fg ~inputs in
       let equal got = List.for_all2 (Value.equal ~atol:1e-4) expected got in
       if not (equal (Engine.run eng args) && equal (Engine.run engp args))
@@ -386,7 +393,7 @@ let run_exec () =
   else begin
     (* The smoke gate asserts this block is present (scripts/check.sh). *)
     print_endline "  == metrics snapshot ==";
-    print_string (Functs_obs.Metrics.to_text (Functs_obs.Metrics.snapshot ()))
+    print_string (Metrics.to_text (Metrics.snapshot ()))
   end;
   print_newline ();
   if not !ok then begin
@@ -395,19 +402,19 @@ let run_exec () =
   end
 
 let () =
-  if wants "fig5" then print_endline (Figures.fig5 ());
-  if wants "fig6" then print_endline (Figures.fig6 ());
-  if wants "fig7" then print_endline (Figures.fig7 ());
-  if wants "fig8" then print_endline (Figures.fig8 ());
+  if wants "fig5" then print_endline (figure "fig5");
+  if wants "fig6" then print_endline (figure "fig6");
+  if wants "fig7" then print_endline (figure "fig7");
+  if wants "fig8" then print_endline (figure "fig8");
   if wants "headline" then begin
-    print_endline (Figures.headline_text ());
+    print_endline (figure "headline");
     print_newline ()
   end;
-  if wants "ablation" then print_endline (Figures.ablation ());
+  if wants "ablation" then print_endline (figure "ablation");
   if wants "micro" then run_micro ();
   if wants "exec" then run_exec ();
   if wants "headline" then
-    if Figures.all_checks_passed () then
+    if Report.checks_passed () then
       print_endline
         "All traced executions matched the eager reference outputs."
     else begin

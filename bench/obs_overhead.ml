@@ -1,13 +1,13 @@
 (* Disabled-path cost of one span call, measured standalone. *)
 let () =
-  Functs_obs.Tracer.disable ();
+  Functs.Tracer.disable ();
   let acc = ref 0 in
   let work () = incr acc in
   let iters = 50_000_000 in
   (* warm-up *)
-  for _ = 1 to 1_000_000 do Functs_obs.Tracer.span "x" work done;
+  for _ = 1 to 1_000_000 do Functs.Tracer.span "x" work done;
   let t0 = Unix.gettimeofday () in
-  for _ = 1 to iters do Functs_obs.Tracer.span "x" work done;
+  for _ = 1 to iters do Functs.Tracer.span "x" work done;
   let t_span = Unix.gettimeofday () -. t0 in
   let t0 = Unix.gettimeofday () in
   for _ = 1 to iters do work () done;

@@ -1,43 +1,37 @@
 (* functs — command-line driver for the TensorSSA reproduction.
 
+   Everything below consumes the [Functs] facade: structured [Error.t]
+   values (no raised [Failure]s), the typed [Config.t] resolved once at
+   startup from the FUNCTS_* environment overlay, and the session layer
+   for serving.
+
    Subcommands:
      list                         workloads and pipelines
      show    <workload>           imperative source + graph IR
      compile <workload>           TensorSSA conversion with statistics
      run     <workload>           trace execution under a pipeline
+     serve-bench                  N producer domains through one session
+     config                       print the resolved configuration
      report  [figure...]          regenerate the paper's tables *)
 
 open Cmdliner
-open Functs_ir
-open Functs_core
-open Functs_interp
-open Functs_cost
-open Functs_workloads
-module Obs_tracer = Functs_obs.Tracer
-module Obs_metrics = Functs_obs.Metrics
+open Functs
 
-let find_workload name =
-  match Registry.find name with
-  | Some w -> Ok w
-  | None ->
-      Error
-        (Printf.sprintf "unknown workload %S (try: %s)" name
-           (String.concat ", " (List.map (fun (w : Workload.t) -> w.name) Registry.all)))
+(* Resolve FUNCTS_* once, at startup; every later layer takes the typed
+   config explicitly.  A malformed variable is a startup error, not a
+   silent fallback. *)
+let config =
+  match Functs.init () with
+  | Ok cfg -> cfg
+  | Error e ->
+      prerr_endline ("functs: " ^ Error.to_string e);
+      exit 2
 
-let find_profile name =
-  match Compiler_profile.find name with
-  | Some p -> Ok p
-  | None ->
-      Error
-        (Printf.sprintf "unknown pipeline %S (try: %s)" name
-           (String.concat ", "
-              (List.map
-                 (fun (p : Compiler_profile.t) -> p.short_name)
-                 Compiler_profile.all)))
+let fail e = `Error (false, Error.to_string e)
 
 let clone_args =
   List.map (function
-    | Value.Tensor t -> Value.Tensor (Functs_tensor.Tensor.clone t)
+    | Value.Tensor t -> Value.Tensor (Tensor.clone t)
     | (Value.Int _ | Value.Float _ | Value.Bool _ | Value.List _) as v -> v)
 
 (* --- arguments --- *)
@@ -104,13 +98,12 @@ let show_cmd =
       & info [ "dot" ] ~docv:"FILE" ~doc:"Also write a Graphviz rendering.")
   in
   let run name batch seq dot =
-    match find_workload name with
-    | Error e -> `Error (false, e)
+    match Functs.find_workload name with
+    | Error e -> fail e
     | Ok w ->
         let batch, seq = scales w batch seq in
         print_endline "=== Imperative source ===";
-        print_endline
-          (Functs_frontend.Pretty.program_to_string (w.program ~batch ~seq));
+        print_endline (Pretty.program_to_string (w.program ~batch ~seq));
         print_endline "=== Graph-level IR ===";
         let g = Workload.graph w ~batch ~seq in
         print_endline (Printer.to_string g);
@@ -129,8 +122,8 @@ let show_cmd =
 
 let compile_cmd =
   let run name batch seq =
-    match find_workload name with
-    | Error e -> `Error (false, e)
+    match Functs.find_workload name with
+    | Error e -> fail e
     | Ok w ->
         let batch, seq = scales w batch seq in
         let g = Workload.graph w ~batch ~seq in
@@ -200,14 +193,18 @@ let run_trace (w : Workload.t) (profile : Compiler_profile.t) batch seq =
     (if ok then "MATCH the eager semantics" else "DIVERGE (bug!)");
   if ok then `Ok () else `Error (false, "outputs diverged")
 
+let prepare_engine ?(profile = Compiler_profile.tensorssa) g args =
+  Engine.prepare ~profile ~domains:config.Config.domains
+    ~loop_grain:config.Config.loop_grain
+    ~kernel_grain:config.Config.kernel_grain ~cache:config.Config.cache g
+    ~inputs:(Engine.input_shapes args)
+
 let run_exec (w : Workload.t) (profile : Compiler_profile.t) batch seq =
-  let module Engine = Functs_exec.Engine in
-  let module Scheduler = Functs_exec.Scheduler in
   let reference = Workload.graph w ~batch ~seq in
   let g = Graph.clone reference in
   ignore (Passes.tensorssa_pipeline g);
   let args = w.inputs ~batch ~seq in
-  let eng = Engine.prepare ~profile g ~inputs:(Engine.input_shapes args) in
+  let eng = prepare_engine ~profile g args in
   let expected = Eval.run reference (clone_args args) in
   let outputs = Engine.run eng args in
   let ok = List.for_all2 (Value.equal ~atol:1e-4) expected outputs in
@@ -249,14 +246,14 @@ let with_trace trace k =
   match trace with
   | None -> k ()
   | Some path ->
-      Obs_tracer.enable ();
+      Tracer.enable ();
       let result = k () in
-      Obs_tracer.write_chrome path;
+      Tracer.write_chrome path;
       Printf.printf
         "trace      : %d events written to %s (%d dropped by ring wrap); \
          load in Perfetto or chrome://tracing\n"
-        (List.length (Obs_tracer.events ()))
-        path (Obs_tracer.dropped ());
+        (List.length (Tracer.events ()))
+        path (Tracer.dropped ());
       result
 
 let run_cmd =
@@ -279,8 +276,8 @@ let run_cmd =
              chrome://tracing).")
   in
   let run name pipeline engine trace batch seq =
-    match (find_workload name, find_profile pipeline) with
-    | Error e, _ | _, Error e -> `Error (false, e)
+    match (Functs.find_workload name, Functs.find_profile pipeline) with
+    | Error e, _ | _, Error e -> fail e
     | Ok w, Ok profile -> (
         let batch, seq = scales w batch seq in
         match engine with
@@ -310,19 +307,20 @@ let build_cmd =
   in
   let run file no_functionalize =
     match
-      try Ok (Functs_frontend.Source_parser.parse_file file) with
-      | Functs_frontend.Source_parser.Syntax_error msg -> Error msg
-      | Sys_error msg -> Error msg
+      try Ok (Source_parser.parse_file file) with
+      | Source_parser.Syntax_error msg ->
+          Error (Error.Parse_error { source = file; message = msg })
+      | Sys_error msg -> Error (Error.Io_error msg)
     with
-    | Error e -> `Error (false, e)
+    | Error e -> fail e
     | Ok program -> (
         print_endline "=== Parsed source ===";
-        print_endline (Functs_frontend.Pretty.program_to_string program);
+        print_endline (Pretty.program_to_string program);
         match
-          try Ok (Functs_frontend.Lower.program program)
-          with Functs_frontend.Lower.Lowering_error msg -> Error msg
+          try Ok (Lower.program program)
+          with Lower.Lowering_error msg -> Error (Error.Lowering_error msg)
         with
-        | Error e -> `Error (false, e)
+        | Error e -> fail e
         | Ok g ->
             print_endline "=== Graph IR ===";
             print_endline (Printer.to_string g);
@@ -349,8 +347,8 @@ let build_cmd =
 
 let kernels_cmd =
   let run name batch seq =
-    match find_workload name with
-    | Error e -> `Error (false, e)
+    match Functs.find_workload name with
+    | Error e -> fail e
     | Ok w ->
         let batch, seq = scales w batch seq in
         let g = Workload.graph w ~batch ~seq in
@@ -360,8 +358,7 @@ let kernels_cmd =
         let inputs =
           List.map
             (function
-              | Value.Tensor t ->
-                  Some (Shape_infer.known (Functs_tensor.Tensor.shape t))
+              | Value.Tensor t -> Some (Shape_infer.known (Tensor.shape t))
               | Value.Int _ | Value.Float _ | Value.Bool _ | Value.List _ ->
                   None)
             args
@@ -399,26 +396,24 @@ let stats_cmd =
   in
   let run workload json runs batch seq =
     let exec_workload name =
-      match find_workload name with
+      match Functs.find_workload name with
       | Error e -> Error e
       | Ok w ->
-          let module Engine = Functs_exec.Engine in
           let batch, seq = scales w batch seq in
           let g = Workload.graph w ~batch ~seq in
           ignore (Passes.tensorssa_pipeline g);
           let args = w.inputs ~batch ~seq in
-          let eng = Engine.prepare g ~inputs:(Engine.input_shapes args) in
+          let eng = prepare_engine g args in
           for _ = 1 to max 1 runs do
             ignore (Engine.run eng args)
           done;
           Ok ()
     in
     match Option.fold ~none:(Ok ()) ~some:exec_workload workload with
-    | Error e -> `Error (false, e)
+    | Error e -> fail e
     | Ok () ->
-        let s = Obs_metrics.snapshot () in
-        print_string
-          (if json then Obs_metrics.to_json s ^ "\n" else Obs_metrics.to_text s);
+        let s = Metrics.snapshot () in
+        print_string (if json then Metrics.to_json s ^ "\n" else Metrics.to_text s);
         `Ok ()
   in
   Cmd.v
@@ -430,8 +425,79 @@ let stats_cmd =
       ret (const run $ workload_opt $ json_flag $ runs_arg $ batch_arg
            $ seq_arg))
 
+(* --- config: the resolved FUNCTS_* overlay --- *)
+
+let config_cmd =
+  let run () = print_endline (Config.to_string config) in
+  Cmd.v
+    (Cmd.info "config"
+       ~doc:
+         "Print the configuration resolved from defaults and the FUNCTS_* \
+          environment overlay.")
+    Term.(const run $ const ())
+
+(* --- serve-bench: N producer domains through one session --- *)
+
+let serve_bench_cmd =
+  let producers_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "producers" ] ~docv:"N" ~doc:"Producer domains.")
+  in
+  let submits_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "submits" ] ~docv:"M" ~doc:"Requests per producer.")
+  in
+  let deadline_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "deadline-us" ] ~docv:"US"
+          ~doc:"Per-request deadline in microseconds.")
+  in
+  let json_arg =
+    Arg.(
+      value & opt string "BENCH_exec.json"
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Merge results into the \"serve\" member of $(docv).")
+  in
+  let smoke_flag =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:"Quick CI shape: 2 producers x 8 submits each.")
+  in
+  let run wname producers submits deadline_us json_path smoke =
+    let producers, submits = if smoke then (2, 8) else (producers, submits) in
+    match
+      Serve_bench.run ~config ~workload:wname ~producers ~submits ?deadline_us
+        ~json_path ()
+    with
+    | Error e -> fail e
+    | Ok r ->
+        print_endline (Serve_bench.to_text r);
+        Printf.printf "results    : \"serve\" member of %s updated\n" json_path;
+        `Ok ()
+  in
+  let workload_opt =
+    Arg.(
+      value & pos 0 string "lstm"
+      & info [] ~docv:"WORKLOAD" ~doc:"Workload to serve (default lstm).")
+  in
+  Cmd.v
+    (Cmd.info "serve-bench"
+       ~doc:
+         "Drive N producer domains through one serving session and report \
+          throughput and latency percentiles (results land in \
+          BENCH_exec.json).")
+    Term.(
+      ret (const run $ workload_opt $ producers_arg $ submits_arg
+           $ deadline_arg $ json_arg $ smoke_flag))
+
 (* --- report --- *)
 
+(* Figure renderers live in the harness, which registers them against
+   [Functs.Report] at link time — the CLI only knows the names. *)
 let report_cmd =
   let figures =
     Arg.(
@@ -442,19 +508,13 @@ let report_cmd =
              or fig5.csv / fig6.csv for machine-readable output.")
   in
   let run picks =
-    let module Figures = Functs_harness.Figures in
     List.iter
       (fun pick ->
-        match String.lowercase_ascii pick with
-        | "fig5" -> print_endline (Figures.fig5 ())
-        | "fig6" -> print_endline (Figures.fig6 ())
-        | "fig7" -> print_endline (Figures.fig7 ())
-        | "fig8" -> print_endline (Figures.fig8 ())
-        | "headline" -> print_endline (Figures.headline_text ())
-        | "ablation" -> print_endline (Figures.ablation ())
-        | "fig5.csv" -> print_endline (Figures.fig5_csv ())
-        | "fig6.csv" -> print_endline (Figures.fig6_csv ())
-        | other -> Printf.eprintf "unknown figure %S (skipped)\n" other)
+        match Report.render (String.lowercase_ascii pick) with
+        | Some text -> print_endline text
+        | None ->
+            Printf.eprintf "unknown figure %S (try: %s)\n" pick
+              (String.concat ", " (Report.names ())))
       picks
   in
   Cmd.v
@@ -466,4 +526,4 @@ let () =
   let info = Cmd.info "functs" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
        [ list_cmd; show_cmd; compile_cmd; run_cmd; build_cmd; kernels_cmd;
-         stats_cmd; report_cmd ]))
+         stats_cmd; config_cmd; serve_bench_cmd; report_cmd ]))

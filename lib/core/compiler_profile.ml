@@ -190,8 +190,6 @@ let cache_snapshot () =
     cache_evictions = Metrics.value cache_evictions_c;
   }
 
-let compile_cache = cache_snapshot
-
 let reset_compile_cache () =
   Metrics.reset_counter cache_hits_c;
   Metrics.reset_counter cache_misses_c;

@@ -84,9 +84,5 @@ type cache_stats = {
 
 val cache_snapshot : unit -> cache_stats
 
-val compile_cache : unit -> cache_stats
-[@@ocaml.deprecated "use cache_snapshot (or Functs_obs.Metrics directly)"]
-(** Thin alias kept so pre-observability callers still compile. *)
-
 val reset_compile_cache : unit -> unit
 (** Zero the three [engine.cache.*] counters. *)

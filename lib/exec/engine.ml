@@ -4,33 +4,32 @@ open Functs_interp
 open Functs_tensor
 module Tracer = Functs_obs.Tracer
 
-type t = { e_graph : Graph.t; e_prepared : Scheduler.prepared }
+type t = {
+  e_graph : Graph.t;
+  e_prepared : Scheduler.prepared;
+  e_lock : Mutex.t;
+      (* serializes [run]: cached engines are shared across callers (and
+         across session dispatchers on other domains), and the scheduler
+         itself is single-run-at-a-time *)
+}
 
-(* --- environment knobs --- *)
+(* --- defaults ---
 
-let env_int name default =
-  match Sys.getenv_opt name with
-  | Some s -> (
-      match int_of_string_opt (String.trim s) with
-      | Some v -> v
-      | None -> default)
-  | None -> default
+   Pure constants (plus the runtime's recommended domain count): the
+   engine never reads the environment.  The FUNCTS_* knobs are parsed and
+   validated once by the serving layer's [Config.of_env]; callers pass
+   the resulting values explicitly (or [Config.apply] pushes the two
+   process-wide cache settings through the setters below). *)
 
-let env_flag name default =
-  match Sys.getenv_opt name with
-  | Some s -> (
-      match String.lowercase_ascii (String.trim s) with
-      | "" | "0" | "off" | "false" | "no" -> false
-      | _ -> true)
-  | None -> default
+let default_domains () = max 1 (Domain.recommended_domain_count ())
+let default_loop_grain () = 2
+let default_kernel_grain () = 8192
 
-let default_domains () =
-  max 1 (env_int "FUNCTS_DOMAINS" (Domain.recommended_domain_count ()))
-
-let default_loop_grain () = max 1 (env_int "FUNCTS_GRAIN" 2)
-let default_kernel_grain () = max 1 (env_int "FUNCTS_KERNEL_GRAIN" 8192)
-let cache_enabled () = env_flag "FUNCTS_CACHE" true
-let cache_capacity () = max 1 (env_int "FUNCTS_CACHE_SIZE" 32)
+let cache_default = ref true
+let cache_capacity_ref = ref 32
+let set_cache_default on = cache_default := on
+let set_cache_capacity n = cache_capacity_ref := max 1 n
+let cache_capacity () = !cache_capacity_ref
 
 let input_shapes args =
   List.map
@@ -56,7 +55,7 @@ let build ~profile ~parallel ~domains ~loop_grain ~kernel_grain (g : Graph.t)
         Scheduler.prepare ~profile ~parallel ~domains ~pool ~loop_grain
           ~kernel_grain ~graph:g ~shapes ~plan
       in
-      { e_graph = g; e_prepared = prepared })
+      { e_graph = g; e_prepared = prepared; e_lock = Mutex.create () })
 
 (* --- compile cache ---
 
@@ -65,10 +64,23 @@ let build ~profile ~parallel ~domains ~loop_grain ~kernel_grain (g : Graph.t)
    the printed graph (the printer is a lossless round-trip format, so
    equal prints mean equal programs).  Entries are evicted LRU by a
    monotonic tick; an evicted engine's parked buffers are dropped so dead
-   entries stop pinning memory.  Counters live in
-   {!Compiler_profile.compile_cache}. *)
+   entries stop pinning memory.  Counters are the [engine.cache.*]
+   metrics, read via {!Compiler_profile.cache_snapshot}.
+
+   Every access goes through [cache_lock]: session dispatchers prepare
+   from their own domains, so the table, the LRU tick and the digest memo
+   are all shared mutable state.  The lock is held across a cold [build]
+   as well — concurrent identical prepares would otherwise both compile —
+   and eviction takes the victim's [e_lock] so a run still executing on
+   another domain finishes before its parked buffers are dropped. *)
 
 type centry = { c_engine : t; mutable c_tick : int }
+
+let cache_lock = Mutex.create ()
+
+let cache_locked f =
+  Mutex.lock cache_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock cache_lock) f
 
 let cache_tbl : (string, centry) Hashtbl.t = Hashtbl.create 64
 let cache_tick = ref 0
@@ -111,6 +123,15 @@ let cache_key ~profile ~parallel ~domains ~loop_grain ~kernel_grain g ~inputs =
       graph_digest g;
     ]
 
+(* Drop an entry's parked buffers without racing a run in flight on
+   another domain.  Lock order is cache_lock → e_lock; [run] takes only
+   e_lock, so this cannot deadlock. *)
+let quiesce_and_clear (e : t) =
+  Mutex.lock e.e_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock e.e_lock)
+    (fun () -> Scheduler.clear_buffers e.e_prepared)
+
 let evict_one () =
   let victim = ref None in
   Hashtbl.iter
@@ -123,21 +144,20 @@ let evict_one () =
   | None -> ()
   | Some (key, _) ->
       (match Hashtbl.find_opt cache_tbl key with
-      | Some e -> Scheduler.clear_buffers e.c_engine.e_prepared
+      | Some e -> quiesce_and_clear e.c_engine
       | None -> ());
       Hashtbl.remove cache_tbl key;
       Compiler_profile.cache_eviction ()
 
 let clear_cache () =
-  Hashtbl.iter
-    (fun _ e -> Scheduler.clear_buffers e.c_engine.e_prepared)
-    cache_tbl;
-  Hashtbl.reset cache_tbl
+  cache_locked (fun () ->
+      Hashtbl.iter (fun _ e -> quiesce_and_clear e.c_engine) cache_tbl;
+      Hashtbl.reset cache_tbl)
 
-let cache_size () = Hashtbl.length cache_tbl
+let cache_size () = cache_locked (fun () -> Hashtbl.length cache_tbl)
 
 let prepare ?(profile = Compiler_profile.tensorssa) ?(parallel = true) ?domains
-    ?loop_grain ?kernel_grain ?(cache = true) (g : Graph.t) ~inputs =
+    ?loop_grain ?kernel_grain ?cache (g : Graph.t) ~inputs =
   let domains =
     match domains with Some d -> max 1 d | None -> default_domains ()
   in
@@ -149,33 +169,40 @@ let prepare ?(profile = Compiler_profile.tensorssa) ?(parallel = true) ?domains
     | Some g -> max 1 g
     | None -> default_kernel_grain ()
   in
-  if cache && cache_enabled () then begin
-    let key =
-      cache_key ~profile ~parallel ~domains ~loop_grain ~kernel_grain g ~inputs
-    in
-    match Hashtbl.find_opt cache_tbl key with
-    | Some e ->
-        incr cache_tick;
-        e.c_tick <- !cache_tick;
-        Compiler_profile.cache_hit ();
-        Tracer.instant "engine.cache.hit";
-        e.c_engine
-    | None ->
-        Compiler_profile.cache_miss ();
-        Tracer.instant "engine.cache.miss";
-        let t =
-          build ~profile ~parallel ~domains ~loop_grain ~kernel_grain g ~inputs
+  let cache = match cache with Some c -> c | None -> !cache_default in
+  if cache then
+    cache_locked (fun () ->
+        let key =
+          cache_key ~profile ~parallel ~domains ~loop_grain ~kernel_grain g
+            ~inputs
         in
-        while Hashtbl.length cache_tbl >= cache_capacity () do
-          evict_one ()
-        done;
-        incr cache_tick;
-        Hashtbl.replace cache_tbl key { c_engine = t; c_tick = !cache_tick };
-        t
-  end
+        match Hashtbl.find_opt cache_tbl key with
+        | Some e ->
+            incr cache_tick;
+            e.c_tick <- !cache_tick;
+            Compiler_profile.cache_hit ();
+            Tracer.instant "engine.cache.hit";
+            e.c_engine
+        | None ->
+            Compiler_profile.cache_miss ();
+            Tracer.instant "engine.cache.miss";
+            let t =
+              build ~profile ~parallel ~domains ~loop_grain ~kernel_grain g
+                ~inputs
+            in
+            while Hashtbl.length cache_tbl >= cache_capacity () do
+              evict_one ()
+            done;
+            incr cache_tick;
+            Hashtbl.replace cache_tbl key { c_engine = t; c_tick = !cache_tick };
+            t)
   else build ~profile ~parallel ~domains ~loop_grain ~kernel_grain g ~inputs
 
-let run t args = Scheduler.run t.e_prepared args
+let run t args =
+  Mutex.lock t.e_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.e_lock)
+    (fun () -> Scheduler.run t.e_prepared args)
 
 let run_tensors t tensors =
   List.map Value.to_tensor (run t (List.map (fun x -> Value.Tensor x) tensors))

@@ -28,24 +28,30 @@ val prepare :
   t
 (** [profile] defaults to {!Compiler_profile.tensorssa}; [parallel]
     (default [true]) enables horizontal loop dispatch; [domains] defaults
-    to [FUNCTS_DOMAINS] or [Domain.recommended_domain_count ()].  Worker
-    domains come from a process-wide {!Pool.shared} pool, created once per
-    lane count and reused by every engine.  [loop_grain] (default
-    [FUNCTS_GRAIN] or 2) is the minimum trip count before a horizontal
-    loop dispatches in parallel; [kernel_grain] (default
-    [FUNCTS_KERNEL_GRAIN] or 8192) the element threshold for intra-kernel
-    chunking.  [inputs] are shape hints for the graph parameters ([None]
-    for scalars), as for {!Shape_infer.infer}.
+    to [Domain.recommended_domain_count ()].  Worker domains come from a
+    process-wide {!Pool.shared} pool, created once per lane count and
+    reused by every engine.  [loop_grain] (default 2) is the minimum trip
+    count before a horizontal loop dispatches in parallel; [kernel_grain]
+    (default 8192) the element threshold for intra-kernel chunking.
+    [inputs] are shape hints for the graph parameters ([None] for
+    scalars), as for {!Shape_infer.infer}.
+
+    The engine never reads the environment: the FUNCTS_* knobs are
+    parsed by the serving layer's [Config.of_env] and passed here
+    explicitly (sessions, the CLI and the bench all do).
 
     Results are memoized in a process-wide compile cache keyed by the
     profile, the parallel/domains/grain configuration, the input shape
     signature, and the graph's printed form: a second [prepare] of the
     same program with the same shapes returns the already-lowered engine
     (slot frames, fused-kernel closures, buffer pool) without recompiling.
-    Pass [~cache:false] — or set [FUNCTS_CACHE=off] — to bypass it.
-    Capacity is [FUNCTS_CACHE_SIZE] (default 32) entries, evicted LRU;
+    [cache] defaults to the process-wide setting ({!set_cache_default},
+    [true] initially); pass [~cache:false] to bypass for one call.
+    Capacity is {!set_cache_capacity} (default 32) entries, evicted LRU;
     hit/miss/evict counters are the [engine.cache.*] metrics, read via
-    {!Compiler_profile.cache_snapshot}. *)
+    {!Compiler_profile.cache_snapshot}.  The cache is safe to use from
+    multiple domains — lookups, cold builds and evictions are
+    mutex-serialized. *)
 
 val input_shapes : Value.t list -> Shape_infer.shape option list
 (** Shape hints extracted from concrete argument values. *)
@@ -54,6 +60,9 @@ val run : t -> Value.t list -> Value.t list
 (** Execute once; the buffer pool persists across calls.  Unlike
     {!Eval.run_tensors}, argument tensors are never written to — they are
     marked foreign to the donation machinery — so callers may reuse them.
+    Runs on the same engine are mutex-serialized: a cached engine may be
+    shared by several sessions' dispatcher domains, and the underlying
+    scheduler executes one run at a time.
     @raise Eval.Runtime_error as the interpreter does. *)
 
 val run_tensors : t -> Tensor.t list -> Tensor.t list
@@ -70,3 +79,15 @@ val clear_cache : unit -> unit
 
 val cache_size : unit -> int
 (** Entries currently resident. *)
+
+val set_cache_default : bool -> unit
+(** Process-wide default for [prepare]'s [?cache] argument (initially
+    [true]).  [Config.apply] pushes the validated [FUNCTS_CACHE] setting
+    through this. *)
+
+val set_cache_capacity : int -> unit
+(** Resident-entry capacity before LRU eviction (clamped to ≥ 1;
+    initially 32).  [Config.apply] pushes [FUNCTS_CACHE_SIZE] through
+    this. *)
+
+val cache_capacity : unit -> int

@@ -1,9 +1,4 @@
-open Functs_ir
-open Functs_core
-open Functs_interp
-open Functs_cost
-open Functs_workloads
-
+open Functs
 type measurement = {
   workload : Workload.t;
   profile : Compiler_profile.t;
@@ -19,7 +14,7 @@ let cache : (string * string * int * int, measurement) Hashtbl.t =
 let clone_args args =
   List.map
     (function
-      | Value.Tensor t -> Value.Tensor (Functs_tensor.Tensor.clone t)
+      | Value.Tensor t -> Value.Tensor (Functs.Tensor.clone t)
       | (Value.Int _ | Value.Float _ | Value.Bool _ | Value.List _) as v -> v)
     args
 

@@ -6,9 +6,8 @@
     Results are memoized on (workload, profile, batch, seq), so pricing
     the same measurement on both platforms re-uses one execution. *)
 
-open Functs_core
-open Functs_cost
-open Functs_workloads
+open Functs
+
 
 type measurement = {
   workload : Workload.t;

@@ -4,9 +4,8 @@
     bench harness) and [figN] renders it as text tables printed by
     [bench/main.exe] and the CLI. *)
 
-open Functs_cost
-open Functs_core
-open Functs_workloads
+open Functs
+
 
 (** {1 Fig. 5 — end-to-end speedup over PyTorch eager} *)
 

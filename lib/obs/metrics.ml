@@ -201,24 +201,3 @@ let of_json text =
         gauges = List.sort by_name gauges;
         histograms = List.sort by_name histograms;
       }
-
-(* --- FUNCTS_METRICS exit hook --- *)
-
-let () =
-  match Sys.getenv_opt "FUNCTS_METRICS" with
-  | None | Some "" | Some "0" | Some "off" | Some "false" -> ()
-  | Some ("1" | "on" | "stderr") ->
-      at_exit (fun () -> prerr_string (to_text (snapshot ())))
-  | Some path ->
-      at_exit (fun () ->
-          try
-            let oc = open_out path in
-            Fun.protect
-              ~finally:(fun () -> close_out oc)
-              (fun () ->
-                let s = snapshot () in
-                output_string oc
-                  (if Filename.check_suffix path ".json" then
-                     to_json s ^ "\n"
-                   else to_text s))
-          with Sys_error _ -> ())

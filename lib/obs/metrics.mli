@@ -11,9 +11,10 @@
     Naming convention: dot-separated [layer.thing], e.g.
     [engine.cache.hits], [pool.dispatches], [exec.kernel_runs].
 
-    [FUNCTS_METRICS] environment variable: set to a path to dump a
-    snapshot there at process exit (JSON when the path ends in [.json],
-    text otherwise); [1]/[on]/[stderr] dump text to stderr instead. *)
+    The registry never reads the environment: the [FUNCTS_METRICS]
+    exit-dump knob is parsed and validated by the serving layer's
+    [Config.of_env], which registers the [at_exit] dump itself using
+    {!snapshot} / {!to_text} / {!to_json}. *)
 
 type counter
 type gauge

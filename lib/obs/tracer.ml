@@ -19,17 +19,14 @@ let enabled () = !on
 let epoch = Unix.gettimeofday ()
 let now_us () = 1e6 *. (Unix.gettimeofday () -. epoch)
 
-let env_capacity =
-  match Option.bind (Sys.getenv_opt "FUNCTS_TRACE_BUF") int_of_string_opt with
-  | Some v when v >= 16 -> v
-  | Some _ | None -> 65536
+let default_capacity = 65536
 
 (* Ring state: [count] is the total emitted since the last clear; the
    write cursor is [count mod capacity].  Worker domains may emit
    concurrently, so writes take [lock] — tracing is opt-in, the disabled
    hot path never sees the mutex. *)
 let lock = Mutex.create ()
-let buf = ref (Array.make env_capacity nil_event)
+let buf = ref (Array.make default_capacity nil_event)
 let count = ref 0
 
 let locked f =
@@ -139,13 +136,3 @@ let write_chrome path =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (to_chrome ()))
-
-(* --- FUNCTS_TRACE startup hook --- *)
-
-let () =
-  match Sys.getenv_opt "FUNCTS_TRACE" with
-  | None | Some "" | Some "0" | Some "off" | Some "false" -> ()
-  | Some ("1" | "on" | "true") -> enable ()
-  | Some path ->
-      enable ();
-      at_exit (fun () -> try write_chrome path with Sys_error _ -> ())

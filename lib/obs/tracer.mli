@@ -15,10 +15,11 @@
     or use {!span_args}, whose attribute thunk is only forced when
     tracing.
 
-    Enabling: {!enable} (the CLI's [--trace FILE] does this), or the
-    [FUNCTS_TRACE] environment variable — set it to an output path to
-    both enable tracing at startup and write the Chrome trace there at
-    exit ([1]/[on]/[true] enable without the exit dump).
+    Enabling: {!enable} (the CLI's [--trace FILE] does this).  The
+    tracer itself never reads the environment — the [FUNCTS_TRACE] /
+    [FUNCTS_TRACE_BUF] knobs are parsed and validated by the serving
+    layer's [Config.of_env], which calls {!enable} / {!set_capacity}
+    explicitly and registers the exit dump.
 
     The export ({!to_chrome}/{!write_chrome}) is Chrome trace-event
     JSON: load it in Perfetto ({:https://ui.perfetto.dev}) or
@@ -67,7 +68,7 @@ val dropped : unit -> int
 (** Events overwritten by ring wrap-around since the last {!clear}. *)
 
 val capacity : unit -> int
-(** Ring size: [FUNCTS_TRACE_BUF] at startup (default 65536). *)
+(** Ring size (default 65536; configured via {!set_capacity}). *)
 
 val set_capacity : int -> unit
 (** Resize the ring (clamped to ≥ 16).  Clears buffered events. *)

@@ -1,0 +1,183 @@
+module Engine = Functs_exec.Engine
+module Tracer = Functs_obs.Tracer
+module Metrics = Functs_obs.Metrics
+
+type trace_sink = Trace_off | Trace_on | Trace_file of string
+type metrics_sink = Metrics_off | Metrics_stderr | Metrics_file of string
+type policy = [ `Interp_fallback | `Shed ]
+
+type t = {
+  domains : int;
+  loop_grain : int;
+  kernel_grain : int;
+  cache : bool;
+  cache_size : int;
+  trace : trace_sink;
+  trace_buf : int;
+  metrics : metrics_sink;
+  queue_capacity : int;
+  max_batch : int;
+  policy : policy;
+}
+
+let default =
+  {
+    domains = max 1 (Domain.recommended_domain_count ());
+    loop_grain = 2;
+    kernel_grain = 8192;
+    cache = true;
+    cache_size = 32;
+    trace = Trace_off;
+    trace_buf = 65536;
+    metrics = Metrics_off;
+    queue_capacity = 256;
+    max_batch = 8;
+    policy = `Interp_fallback;
+  }
+
+(* --- the single sanctioned FUNCTS_* parser ---
+
+   Validation is strict: a set-but-malformed variable is an error the
+   caller must see, not a silent fall-through to the default.  The only
+   forgiving case is the empty string, which stands for "unset" because
+   Unix.putenv cannot remove a variable. *)
+
+let invalid key value reason = Error (Error.Invalid_config { key; value; reason })
+
+let fold_env getenv init steps =
+  List.fold_left
+    (fun acc (key, step) ->
+      match acc with
+      | Error _ as e -> e
+      | Ok cfg -> (
+          match getenv key with
+          | None | Some "" -> Ok cfg
+          | Some raw -> step cfg key (String.trim raw)))
+    (Ok init) steps
+
+let pos_int ~min_value set cfg key v =
+  match int_of_string_opt v with
+  | Some n when n >= min_value -> Ok (set cfg n)
+  | Some _ ->
+      invalid key v (Printf.sprintf "must be an integer >= %d" min_value)
+  | None -> invalid key v "not an integer"
+
+let bool_flag set cfg key v =
+  match String.lowercase_ascii v with
+  | "1" | "on" | "true" | "yes" -> Ok (set cfg true)
+  | "0" | "off" | "false" | "no" -> Ok (set cfg false)
+  | _ -> invalid key v "expected on/off (or 1/0, true/false, yes/no)"
+
+let trace_sink cfg _key v =
+  match String.lowercase_ascii v with
+  | "0" | "off" | "false" | "no" -> Ok { cfg with trace = Trace_off }
+  | "1" | "on" | "true" -> Ok { cfg with trace = Trace_on }
+  | _ -> Ok { cfg with trace = Trace_file v }
+
+let metrics_sink cfg _key v =
+  match String.lowercase_ascii v with
+  | "0" | "off" | "false" | "no" -> Ok { cfg with metrics = Metrics_off }
+  | "1" | "on" | "stderr" -> Ok { cfg with metrics = Metrics_stderr }
+  | _ -> Ok { cfg with metrics = Metrics_file v }
+
+let policy_of cfg key v =
+  match String.lowercase_ascii v with
+  | "interp" | "interp_fallback" | "fallback" ->
+      Ok { cfg with policy = `Interp_fallback }
+  | "shed" -> Ok { cfg with policy = `Shed }
+  | _ -> invalid key v "expected interp_fallback or shed"
+
+let of_env ?(base = default) ?(getenv = Sys.getenv_opt) () =
+  fold_env getenv base
+    [
+      ("FUNCTS_DOMAINS", pos_int ~min_value:1 (fun c n -> { c with domains = n }));
+      ("FUNCTS_GRAIN", pos_int ~min_value:1 (fun c n -> { c with loop_grain = n }));
+      ( "FUNCTS_KERNEL_GRAIN",
+        pos_int ~min_value:1 (fun c n -> { c with kernel_grain = n }) );
+      ("FUNCTS_CACHE", bool_flag (fun c b -> { c with cache = b }));
+      ( "FUNCTS_CACHE_SIZE",
+        pos_int ~min_value:1 (fun c n -> { c with cache_size = n }) );
+      ("FUNCTS_TRACE", trace_sink);
+      ( "FUNCTS_TRACE_BUF",
+        pos_int ~min_value:16 (fun c n -> { c with trace_buf = n }) );
+      ("FUNCTS_METRICS", metrics_sink);
+      ( "FUNCTS_QUEUE",
+        pos_int ~min_value:1 (fun c n -> { c with queue_capacity = n }) );
+      ( "FUNCTS_MAX_BATCH",
+        pos_int ~min_value:1 (fun c n -> { c with max_batch = n }) );
+      ("FUNCTS_POLICY", policy_of);
+    ]
+
+(* --- apply: push process-wide pieces into their owners ---
+
+   The exit hooks are registered exactly once and read [applied], so
+   re-applying a different config retargets them instead of stacking
+   duplicate dumps. *)
+
+let applied = ref default
+let hooks_installed = ref false
+
+let dump_metrics () =
+  match !applied.metrics with
+  | Metrics_off -> ()
+  | Metrics_stderr -> prerr_string (Metrics.to_text (Metrics.snapshot ()))
+  | Metrics_file path -> (
+      try
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            let s = Metrics.snapshot () in
+            output_string oc
+              (if Filename.check_suffix path ".json" then
+                 Metrics.to_json s ^ "\n"
+               else Metrics.to_text s))
+      with Sys_error _ -> ())
+
+let dump_trace () =
+  match !applied.trace with
+  | Trace_off | Trace_on -> ()
+  | Trace_file path -> ( try Tracer.write_chrome path with Sys_error _ -> ())
+
+let apply cfg =
+  applied := cfg;
+  Engine.set_cache_default cfg.cache;
+  Engine.set_cache_capacity cfg.cache_size;
+  if Tracer.capacity () <> cfg.trace_buf then Tracer.set_capacity cfg.trace_buf;
+  (match cfg.trace with
+  | Trace_off -> ()
+  | Trace_on | Trace_file _ -> Tracer.enable ());
+  if not !hooks_installed then begin
+    hooks_installed := true;
+    at_exit dump_trace;
+    at_exit dump_metrics
+  end
+
+let to_string cfg =
+  let sink = function
+    | Trace_off -> "off"
+    | Trace_on -> "on"
+    | Trace_file p -> p
+  in
+  let msink = function
+    | Metrics_off -> "off"
+    | Metrics_stderr -> "stderr"
+    | Metrics_file p -> p
+  in
+  String.concat "\n"
+    [
+      Printf.sprintf "domains        = %d" cfg.domains;
+      Printf.sprintf "loop_grain     = %d" cfg.loop_grain;
+      Printf.sprintf "kernel_grain   = %d" cfg.kernel_grain;
+      Printf.sprintf "cache          = %b" cfg.cache;
+      Printf.sprintf "cache_size     = %d" cfg.cache_size;
+      Printf.sprintf "trace          = %s" (sink cfg.trace);
+      Printf.sprintf "trace_buf      = %d" cfg.trace_buf;
+      Printf.sprintf "metrics        = %s" (msink cfg.metrics);
+      Printf.sprintf "queue_capacity = %d" cfg.queue_capacity;
+      Printf.sprintf "max_batch      = %d" cfg.max_batch;
+      Printf.sprintf "policy         = %s"
+        (match cfg.policy with
+        | `Interp_fallback -> "interp_fallback"
+        | `Shed -> "shed");
+    ]

@@ -1,0 +1,87 @@
+(** Typed configuration for the whole stack — engine, pool sizing,
+    compile cache, observability and the serving layer — replacing the
+    ad-hoc [FUNCTS_*] reads that used to be scattered across [Engine],
+    [Tracer] and [Metrics].
+
+    The environment is now {e one overlay}: {!of_env} starts from a base
+    config (default {!default}), applies every recognized [FUNCTS_*]
+    variable with validation, and returns [Error (Invalid_config …)] on
+    the first malformed value instead of silently falling back.  No other
+    module in the tree reads [FUNCTS_*] (enforced by a grep gate in
+    [scripts/check.sh]).
+
+    A config does nothing until used: pass it to [Session.create] /
+    [Functs.compile] for per-session knobs, and call {!apply} once at
+    startup to push the process-wide pieces (compile-cache capacity and
+    default, tracer ring size, trace/metrics exit sinks) into the layers
+    that own them. *)
+
+type trace_sink =
+  | Trace_off
+  | Trace_on  (** enable the tracer, no exit dump *)
+  | Trace_file of string
+      (** enable and write Chrome-trace JSON there at exit *)
+
+type metrics_sink =
+  | Metrics_off
+  | Metrics_stderr  (** text snapshot to stderr at exit *)
+  | Metrics_file of string
+      (** snapshot at exit: JSON when the path ends in [.json], text
+          otherwise *)
+
+type policy = [ `Interp_fallback | `Shed ]
+(** What a session does with a request whose deadline expired before
+    dispatch, or whose engine run failed: [`Interp_fallback] serves it
+    through the reference interpreter (slower, always correct);
+    [`Shed] drops it with [Error.Deadline_exceeded] /
+    [Error.Engine_failure]. *)
+
+type t = {
+  domains : int;  (** worker lanes in the shared domain pool (≥ 1) *)
+  loop_grain : int;  (** min trip count before horizontal dispatch *)
+  kernel_grain : int;  (** elements per intra-kernel chunk *)
+  cache : bool;  (** compile cache on/off *)
+  cache_size : int;  (** resident compile-cache entries (LRU) *)
+  trace : trace_sink;
+  trace_buf : int;  (** span-tracer ring capacity (≥ 16) *)
+  metrics : metrics_sink;
+  queue_capacity : int;  (** session submit-queue bound (≥ 1) *)
+  max_batch : int;  (** max same-shape requests per dispatch (≥ 1) *)
+  policy : policy;
+}
+
+val default : t
+(** [domains = Domain.recommended_domain_count ()], [loop_grain = 2],
+    [kernel_grain = 8192], cache on with 32 entries, tracing and metrics
+    off with a 65536-event ring, [queue_capacity = 256],
+    [max_batch = 8], [policy = `Interp_fallback]. *)
+
+val of_env :
+  ?base:t -> ?getenv:(string -> string option) -> unit -> (t, Error.t) result
+(** [base] (default {!default}) overlaid with the recognized
+    environment variables:
+
+    - [FUNCTS_DOMAINS], [FUNCTS_GRAIN], [FUNCTS_KERNEL_GRAIN],
+      [FUNCTS_CACHE_SIZE], [FUNCTS_QUEUE], [FUNCTS_MAX_BATCH] —
+      positive integers ([FUNCTS_TRACE_BUF] additionally ≥ 16);
+    - [FUNCTS_CACHE] — [on]/[off]/[1]/[0]/[true]/[false]/[yes]/[no];
+    - [FUNCTS_TRACE] — [off] forms, [on]/[1]/[true], or an output path;
+    - [FUNCTS_METRICS] — [off] forms, [stderr]/[on]/[1], or a path;
+    - [FUNCTS_POLICY] — [interp]/[interp_fallback] or [shed].
+
+    Malformed values are {e rejected} with
+    [Error (Invalid_config {key; value; reason})] — never a silent
+    fallback.  An unset or empty variable leaves the base value (empty
+    means "unset" because [Unix.putenv] cannot remove a variable).
+    [getenv] (default [Sys.getenv_opt]) exists for tests. *)
+
+val apply : t -> unit
+(** Push the process-wide settings where they live: compile-cache
+    default and capacity ([Engine.set_cache_default] /
+    [set_cache_capacity]), tracer ring capacity, tracer enablement, and
+    the trace / metrics exit dumps.  Idempotent per process — the exit
+    hooks are registered once and follow the most recently applied
+    config. *)
+
+val to_string : t -> string
+(** One-per-line [key = value] rendering (for [functs config]). *)

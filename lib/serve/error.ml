@@ -1,0 +1,31 @@
+type t =
+  | Unknown_workload of { name : string; available : string list }
+  | Unknown_profile of { name : string; available : string list }
+  | Invalid_config of { key : string; value : string; reason : string }
+  | Parse_error of { source : string; message : string }
+  | Lowering_error of string
+  | Runtime_error of string
+  | Engine_failure of string
+  | Overloaded
+  | Deadline_exceeded
+  | Session_closed
+  | Io_error of string
+
+let to_string = function
+  | Unknown_workload { name; available } ->
+      Printf.sprintf "unknown workload %S (try: %s)" name
+        (String.concat ", " available)
+  | Unknown_profile { name; available } ->
+      Printf.sprintf "unknown pipeline %S (try: %s)" name
+        (String.concat ", " available)
+  | Invalid_config { key; value; reason } ->
+      Printf.sprintf "invalid %s=%S: %s" key value reason
+  | Parse_error { source; message } ->
+      Printf.sprintf "parse error in %s: %s" source message
+  | Lowering_error m -> "lowering error: " ^ m
+  | Runtime_error m -> "runtime error: " ^ m
+  | Engine_failure m -> "engine failure: " ^ m
+  | Overloaded -> "overloaded: the session's submit queue is full"
+  | Deadline_exceeded -> "deadline exceeded before dispatch"
+  | Session_closed -> "session is closed"
+  | Io_error m -> "i/o error: " ^ m

@@ -1,0 +1,38 @@
+(** The structured error taxonomy of the public [Functs] surface.
+
+    Every failure a caller can meet at the frontend / engine / serving
+    boundaries is one constructor here, replacing the raised [Failure]s
+    and ad-hoc [Error string]s of the pre-facade entry points.  The
+    groups:
+
+    - {e lookup} — [Unknown_workload], [Unknown_profile]: a name did not
+      resolve; both carry the valid names so CLIs can print suggestions;
+    - {e configuration} — [Invalid_config]: a [FUNCTS_*] variable (or an
+      explicit override) failed validation; carries the key, the
+      offending value and the reason;
+    - {e compilation} — [Parse_error], [Lowering_error]: the frontend
+      rejected a source program;
+    - {e execution} — [Runtime_error] (interpreter semantics violated),
+      [Engine_failure] (the fused engine raised and the session policy
+      was [`Shed]);
+    - {e serving} — [Overloaded] (bounded submit queue full — the
+      backpressure signal), [Deadline_exceeded] (request expired under
+      the [`Shed] policy), [Session_closed] (submit after close);
+    - [Io_error] — a result file could not be read or written. *)
+
+type t =
+  | Unknown_workload of { name : string; available : string list }
+  | Unknown_profile of { name : string; available : string list }
+  | Invalid_config of { key : string; value : string; reason : string }
+  | Parse_error of { source : string; message : string }
+  | Lowering_error of string
+  | Runtime_error of string
+  | Engine_failure of string
+  | Overloaded
+  | Deadline_exceeded
+  | Session_closed
+  | Io_error of string
+
+val to_string : t -> string
+(** One-line human rendering, e.g.
+    ["unknown workload \"lstm2\" (try: yolov3, ssd, …)"]. *)

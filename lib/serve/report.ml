@@ -1,0 +1,12 @@
+let tbl : (string, unit -> string) Hashtbl.t = Hashtbl.create 16
+let order : string list ref = ref []
+let checker : (unit -> bool) option ref = ref None
+
+let register name render =
+  if not (Hashtbl.mem tbl name) then order := name :: !order;
+  Hashtbl.replace tbl name render
+
+let render name = Option.map (fun f -> f ()) (Hashtbl.find_opt tbl name)
+let names () = List.rev !order
+let set_checker f = checker := Some f
+let checks_passed () = match !checker with Some f -> f () | None -> true

@@ -1,0 +1,23 @@
+(** Registry of figure/table renderers, so the CLI and the bench consume
+    evaluation reports through the [Functs] facade without a compile-time
+    dependency on the harness (which itself sits {e above} the facade).
+
+    [Functs_harness.Figures] registers its renderers at module-init time
+    (the harness library is linked with [-linkall] so registration always
+    runs); [render] then serves them by name. *)
+
+val register : string -> (unit -> string) -> unit
+(** Idempotent per name — the latest registration wins.  Registration
+    order is preserved for {!names}. *)
+
+val render : string -> string option
+(** [None] when no renderer carries that name. *)
+
+val names : unit -> string list
+
+val set_checker : (unit -> bool) -> unit
+(** The harness installs its "did every cached measurement match the
+    eager reference" predicate here. *)
+
+val checks_passed : unit -> bool
+(** [true] when no checker is installed. *)

@@ -1,0 +1,212 @@
+open Functs_interp
+open Functs_core
+open Functs_workloads
+module Json = Functs_obs.Json
+
+type result = {
+  sb_workload : string;
+  sb_producers : int;
+  sb_submits : int;
+  sb_requests : int;
+  sb_wall_s : float;
+  sb_throughput_rps : float;
+  sb_p50_us : float;
+  sb_p90_us : float;
+  sb_p99_us : float;
+  sb_overload_retries : int;
+  sb_warm_hits : int;
+  sb_warm_misses : int;
+  sb_stats : Session.stats;
+}
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (int_of_float (p *. float_of_int (n - 1) +. 0.5)))
+
+(* One producer: [submits] submit/await round-trips with retry-on-full
+   backpressure.  Returns (latencies_us, overload_retries, outputs_ok). *)
+let producer session ~submits ~deadline_us ~args ~expected () =
+  let latencies = Array.make submits 0. in
+  let retries = ref 0 in
+  let ok = ref true in
+  for i = 0 to submits - 1 do
+    let rec accepted () =
+      match Session.submit session ?deadline_us args with
+      | Ok tk -> tk
+      | Error Error.Overloaded ->
+          incr retries;
+          Domain.cpu_relax ();
+          accepted ()
+      | Error e -> failwith (Error.to_string e)
+    in
+    let tk = accepted () in
+    match Session.await session tk with
+    | Ok outputs ->
+        latencies.(i) <- Session.latency_us tk;
+        if i = 0 then
+          ok :=
+            !ok
+            && List.length outputs = List.length expected
+            && List.for_all2 (Value.equal ~atol:1e-4) expected outputs
+    | Error Error.Deadline_exceeded -> latencies.(i) <- Session.latency_us tk
+    | Error e -> failwith (Error.to_string e)
+  done;
+  (latencies, !retries, !ok)
+
+(* --- BENCH_exec.json: read-modify-write the "serve" member --- *)
+
+let json_of_result r =
+  let n x = Json.Num x in
+  Json.Obj
+    [
+      ("workload", Json.Str r.sb_workload);
+      ("producers", n (float_of_int r.sb_producers));
+      ("submits_per_producer", n (float_of_int r.sb_submits));
+      ("requests", n (float_of_int r.sb_requests));
+      ("wall_s", n r.sb_wall_s);
+      ("throughput_rps", n r.sb_throughput_rps);
+      ("p50_us", n r.sb_p50_us);
+      ("p90_us", n r.sb_p90_us);
+      ("p99_us", n r.sb_p99_us);
+      ("overload_retries", n (float_of_int r.sb_overload_retries));
+      ("warm_cache_hits", n (float_of_int r.sb_warm_hits));
+      ("warm_cache_misses", n (float_of_int r.sb_warm_misses));
+      ("batches", n (float_of_int r.sb_stats.Session.batches));
+      ("max_queue_depth", n (float_of_int r.sb_stats.Session.max_queue_depth));
+      ( "interp_fallbacks",
+        n (float_of_int r.sb_stats.Session.interp_fallbacks) );
+      ("shed", n (float_of_int r.sb_stats.Session.shed));
+    ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let merge_into_json path r =
+  let existing =
+    if Sys.file_exists path then
+      match Json.parse (read_file path) with
+      | Ok (Json.Obj fields) -> fields
+      | Ok _ | Error _ -> []
+    else []
+  in
+  let fields =
+    List.filter (fun (k, _) -> k <> "serve") existing
+    @ [ ("serve", json_of_result r) ]
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Json.to_string (Json.Obj fields) ^ "\n"))
+
+let to_text r =
+  String.concat "\n"
+    [
+      Printf.sprintf "serve-bench: %s, %d producers x %d submits (%d requests)"
+        r.sb_workload r.sb_producers r.sb_submits r.sb_requests;
+      Printf.sprintf "  wall       : %.3f s  (%.0f req/s)" r.sb_wall_s
+        r.sb_throughput_rps;
+      Printf.sprintf "  latency    : p50 %.0f us, p90 %.0f us, p99 %.0f us"
+        r.sb_p50_us r.sb_p90_us r.sb_p99_us;
+      Printf.sprintf "  queue      : %d overload retries, max depth %d, %d batches"
+        r.sb_overload_retries r.sb_stats.Session.max_queue_depth
+        r.sb_stats.Session.batches;
+      Printf.sprintf
+        "  warm cache : %d hits, %d misses (a warm session never recompiles)"
+        r.sb_warm_hits r.sb_warm_misses;
+    ]
+
+let run ?(config = Config.default) ?(workload = "lstm") ?(producers = 4)
+    ?(submits = 64) ?deadline_us ?(json_path = "BENCH_exec.json") () =
+  match Registry.find workload with
+  | None ->
+      Error
+        (Error.Unknown_workload
+           {
+             name = workload;
+             available =
+               List.map
+                 (fun (w : Workload.t) -> w.Workload.name)
+                 (Registry.all @ Registry.extensions);
+           })
+  | Some w -> (
+      match Session.create ~config w with
+      | Error e -> Error e
+      | Ok session -> (
+          let batch = w.Workload.default_batch
+          and seq = w.Workload.default_seq in
+          let args = w.Workload.inputs ~batch ~seq in
+          let reference = Workload.graph w ~batch ~seq in
+          let expected =
+            Eval.run reference
+              (List.map
+                 (function
+                   | Value.Tensor tn ->
+                       Value.Tensor (Functs_tensor.Tensor.clone tn)
+                   | v -> v)
+                 args)
+          in
+          (* warm-up, then pin the cache counters: the timed phase must
+             be all hits *)
+          (match Session.run session args with
+          | Ok _ -> ()
+          | Error e -> failwith (Error.to_string e));
+          let c0 = Compiler_profile.cache_snapshot () in
+          let t0 = Unix.gettimeofday () in
+          let workers =
+            List.init producers (fun _ ->
+                Domain.spawn
+                  (producer session ~submits ~deadline_us ~args ~expected))
+          in
+          let results = List.map Domain.join workers in
+          let wall = Unix.gettimeofday () -. t0 in
+          let c1 = Compiler_profile.cache_snapshot () in
+          Session.close session;
+          let latencies =
+            Array.concat (List.map (fun (l, _, _) -> l) results)
+          in
+          Array.sort compare latencies;
+          let retries =
+            List.fold_left (fun acc (_, r, _) -> acc + r) 0 results
+          in
+          let all_ok = List.for_all (fun (_, _, ok) -> ok) results in
+          let requests = producers * submits in
+          let r =
+            {
+              sb_workload = workload;
+              sb_producers = producers;
+              sb_submits = submits;
+              sb_requests = requests;
+              sb_wall_s = wall;
+              sb_throughput_rps = float_of_int requests /. Float.max 1e-9 wall;
+              sb_p50_us = percentile latencies 0.50;
+              sb_p90_us = percentile latencies 0.90;
+              sb_p99_us = percentile latencies 0.99;
+              sb_overload_retries = retries;
+              sb_warm_hits =
+                c1.Compiler_profile.cache_hits - c0.Compiler_profile.cache_hits;
+              sb_warm_misses =
+                c1.Compiler_profile.cache_misses
+                - c0.Compiler_profile.cache_misses;
+              sb_stats = Session.stats session;
+            }
+          in
+          if not all_ok then
+            Error
+              (Error.Engine_failure
+                 "serve-bench outputs diverged from the interpreter")
+          else if r.sb_warm_misses > 0 then
+            Error
+              (Error.Engine_failure
+                 (Printf.sprintf
+                    "%d compile-cache misses during the warm phase — warm \
+                     submits must never recompile"
+                    r.sb_warm_misses))
+          else begin
+            (try merge_into_json json_path r
+             with Sys_error m -> raise (Sys_error m));
+            Ok r
+          end))

@@ -1,0 +1,54 @@
+(** The [functs serve-bench] driver: N producer domains hammer one
+    session and the run reports throughput and latency percentiles.
+
+    Each producer submits [submits] requests (retrying with backoff on
+    [Overloaded] — backpressure is part of the measurement), awaits every
+    ticket, and verifies the first response against the reference
+    interpreter.  After a warm-up phase the [engine.cache.*] miss counter
+    is snapshotted; a warm session must never recompile, so any miss
+    during the timed phase fails the run.
+
+    Results land in the ["serve"] member of [BENCH_exec.json] (the file
+    is read-modify-written, so the bench harness's own members survive),
+    shaped like:
+
+    {v
+    "serve": { "workload": …, "producers": N, "submits_per_producer": M,
+               "requests": N*M, "wall_s": …, "throughput_rps": …,
+               "p50_us": …, "p90_us": …, "p99_us": …,
+               "overload_retries": …, "warm_cache_misses": 0,
+               "warm_cache_hits": …, "batches": …, "max_queue_depth": … }
+    v} *)
+
+type result = {
+  sb_workload : string;
+  sb_producers : int;
+  sb_submits : int;  (** per producer *)
+  sb_requests : int;
+  sb_wall_s : float;
+  sb_throughput_rps : float;
+  sb_p50_us : float;
+  sb_p90_us : float;
+  sb_p99_us : float;
+  sb_overload_retries : int;
+  sb_warm_hits : int;  (** engine.cache hit delta during the timed phase *)
+  sb_warm_misses : int;  (** must be 0 — warm submits never recompile *)
+  sb_stats : Session.stats;
+}
+
+val run :
+  ?config:Config.t ->
+  ?workload:string ->
+  ?producers:int ->
+  ?submits:int ->
+  ?deadline_us:float ->
+  ?json_path:string ->
+  unit ->
+  (result, Error.t) Stdlib.result
+(** Defaults: the [lstm] workload, 4 producers, 64 submits each,
+    no deadline, [json_path = "BENCH_exec.json"].  Returns
+    [Error (Engine_failure …)] when outputs diverge from the
+    interpreter or a warm submit recompiled. *)
+
+val to_text : result -> string
+(** Human summary (printed by the CLI). *)

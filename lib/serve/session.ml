@@ -1,0 +1,353 @@
+open Functs_ir
+open Functs_core
+open Functs_interp
+open Functs_workloads
+module Engine = Functs_exec.Engine
+module Tracer = Functs_obs.Tracer
+module Metrics = Functs_obs.Metrics
+
+(* --- process-wide serve.* metrics (session stats are per-session) --- *)
+
+let m_submitted = Metrics.counter "serve.submitted"
+let m_completed = Metrics.counter "serve.completed"
+let m_shed = Metrics.counter "serve.shed"
+let m_fallbacks = Metrics.counter "serve.interp_fallbacks"
+let m_overloaded = Metrics.counter "serve.overloaded"
+let m_deadline = Metrics.counter "serve.deadline_expired"
+let m_batches = Metrics.counter "serve.batches"
+let h_batch = Metrics.histogram "serve.batch_size"
+let h_latency = Metrics.histogram "serve.latency_us"
+let h_queue_wait = Metrics.histogram "serve.queue_wait_us"
+
+type stats = {
+  submitted : int;
+  completed : int;
+  shed : int;
+  interp_fallbacks : int;
+  overloaded : int;
+  deadline_expired : int;
+  batches : int;
+  max_queue_depth : int;
+}
+
+let zero_stats =
+  {
+    submitted = 0;
+    completed = 0;
+    shed = 0;
+    interp_fallbacks = 0;
+    overloaded = 0;
+    deadline_expired = 0;
+    batches = 0;
+    max_queue_depth = 0;
+  }
+
+(* A ticket owns its own mutex/condvar pair so awaiting producers never
+   contend on the session lock, and the dispatcher's completion broadcast
+   wakes exactly the requester. *)
+type ticket = {
+  t_args : Value.t list;
+  t_shape : string;
+  t_deadline : float option;  (* absolute Unix time *)
+  t_enq : float;
+  t_lock : Mutex.t;
+  t_cond : Condition.t;
+  mutable t_result : (Value.t list, Error.t) result option;
+  mutable t_done : float;
+}
+
+type t = {
+  s_config : Config.t;
+  s_profile : Compiler_profile.t;
+  s_reference : Graph.t;  (* eager semantics, for the interpreter fallback *)
+  s_graph : Graph.t;  (* functionalized TensorSSA form, contractually frozen *)
+  s_lock : Mutex.t;
+  s_wake : Condition.t;  (* queue became non-empty / state changed *)
+  s_queue : ticket Queue.t;
+  mutable s_closing : bool;
+  mutable s_paused : bool;
+  mutable s_stats : stats;
+  mutable s_dispatcher : unit Domain.t option;
+}
+
+let locked t f =
+  Mutex.lock t.s_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.s_lock) f
+
+let shape_signature args =
+  String.concat ";"
+    (List.map
+       (function
+         | Value.Tensor tn ->
+             String.concat "x"
+               (Array.to_list
+                  (Array.map string_of_int (Functs_tensor.Tensor.shape tn)))
+         | Value.Int _ | Value.Float _ | Value.Bool _ | Value.List _ -> "_")
+       args)
+
+let clone_args =
+  List.map (function
+    | Value.Tensor tn -> Value.Tensor (Functs_tensor.Tensor.clone tn)
+    | (Value.Int _ | Value.Float _ | Value.Bool _ | Value.List _) as v -> v)
+
+(* --- completion --- *)
+
+let finish t tk result =
+  let now = Unix.gettimeofday () in
+  Mutex.lock tk.t_lock;
+  tk.t_result <- Some result;
+  tk.t_done <- now;
+  Condition.broadcast tk.t_cond;
+  Mutex.unlock tk.t_lock;
+  Metrics.incr m_completed;
+  Metrics.observe h_latency (1e6 *. (now -. tk.t_enq));
+  locked t (fun () ->
+      t.s_stats <- { t.s_stats with completed = t.s_stats.completed + 1 })
+
+(* The interpreter mutates argument tensors (imperative semantics), so
+   the fallback path clones; the engine marks arguments foreign and
+   never writes them. *)
+let run_interp t tk =
+  locked t (fun () ->
+      t.s_stats <-
+        { t.s_stats with interp_fallbacks = t.s_stats.interp_fallbacks + 1 });
+  Metrics.incr m_fallbacks;
+  Tracer.instant "serve.interp_fallback";
+  match Eval.run t.s_reference (clone_args tk.t_args) with
+  | outputs -> finish t tk (Ok outputs)
+  | exception Eval.Runtime_error m -> finish t tk (Error (Error.Runtime_error m))
+  | exception exn ->
+      finish t tk (Error (Error.Runtime_error (Printexc.to_string exn)))
+
+let run_engine t eng tk =
+  match Engine.run eng tk.t_args with
+  | outputs -> finish t tk (Ok outputs)
+  | exception exn -> (
+      match t.s_config.Config.policy with
+      | `Interp_fallback -> run_interp t tk
+      | `Shed ->
+          locked t (fun () ->
+              t.s_stats <- { t.s_stats with shed = t.s_stats.shed + 1 });
+          Metrics.incr m_shed;
+          let m =
+            match exn with
+            | Eval.Runtime_error m -> m
+            | e -> Printexc.to_string e
+          in
+          finish t tk (Error (Error.Engine_failure m)))
+
+let expire t tk =
+  locked t (fun () ->
+      t.s_stats <-
+        { t.s_stats with deadline_expired = t.s_stats.deadline_expired + 1 });
+  Metrics.incr m_deadline;
+  match t.s_config.Config.policy with
+  | `Interp_fallback -> run_interp t tk
+  | `Shed ->
+      locked t (fun () ->
+          t.s_stats <- { t.s_stats with shed = t.s_stats.shed + 1 });
+      Metrics.incr m_shed;
+      finish t tk (Error Error.Deadline_exceeded)
+
+(* --- the dispatcher ---
+
+   One domain, one loop: wait for work, pop a micro-batch of same-shape
+   requests, acquire the (warm) engine once, execute back-to-back.
+   Exits only when closing AND drained, so [close] never loses queued
+   requests. *)
+
+let engine_for t args =
+  let cfg = t.s_config in
+  Engine.prepare ~profile:t.s_profile ~parallel:true ~domains:cfg.Config.domains
+    ~loop_grain:cfg.Config.loop_grain ~kernel_grain:cfg.Config.kernel_grain
+    ~cache:cfg.Config.cache t.s_graph
+    ~inputs:(Engine.input_shapes args)
+
+let process_batch t = function
+  | [] -> ()
+  | first :: _ as batch ->
+      let n = List.length batch in
+      Metrics.incr m_batches;
+      Metrics.observe h_batch (float_of_int n);
+      let now = Unix.gettimeofday () in
+      List.iter
+        (fun tk -> Metrics.observe h_queue_wait (1e6 *. (now -. tk.t_enq)))
+        batch;
+      Tracer.span_args "serve.batch"
+        ~args:(fun () ->
+          [ ("shape", first.t_shape); ("n", string_of_int n) ])
+        (fun () ->
+          let expired, live =
+            List.partition
+              (fun tk ->
+                match tk.t_deadline with
+                | Some d -> Unix.gettimeofday () > d
+                | None -> false)
+              batch
+          in
+          List.iter (fun tk -> expire t tk) expired;
+          match live with
+          | [] -> ()
+          | _ -> (
+              match engine_for t first.t_args with
+              | eng -> List.iter (fun tk -> run_engine t eng tk) live
+              | exception exn ->
+                  (* prepare itself failed: same degradation as a failing run *)
+                  let m = Printexc.to_string exn in
+                  List.iter
+                    (fun tk ->
+                      match t.s_config.Config.policy with
+                      | `Interp_fallback -> run_interp t tk
+                      | `Shed ->
+                          locked t (fun () ->
+                              t.s_stats <-
+                                { t.s_stats with shed = t.s_stats.shed + 1 });
+                          Metrics.incr m_shed;
+                          finish t tk (Error (Error.Engine_failure m)))
+                    live))
+
+let rec dispatch_loop t =
+  let action =
+    locked t (fun () ->
+        while
+          (Queue.is_empty t.s_queue || t.s_paused) && not t.s_closing
+        do
+          Condition.wait t.s_wake t.s_lock
+        done;
+        if Queue.is_empty t.s_queue && t.s_closing then `Exit
+        else begin
+          (* closing overrides pause so close always drains *)
+          let head = Queue.pop t.s_queue in
+          let batch = ref [ head ] in
+          let limit = t.s_config.Config.max_batch in
+          let continue = ref true in
+          while
+            !continue && List.length !batch < limit
+            && not (Queue.is_empty t.s_queue)
+          do
+            if (Queue.peek t.s_queue).t_shape = head.t_shape then
+              batch := Queue.pop t.s_queue :: !batch
+            else continue := false
+          done;
+          t.s_stats <- { t.s_stats with batches = t.s_stats.batches + 1 };
+          `Batch (List.rev !batch)
+        end)
+  in
+  match action with
+  | `Exit -> ()
+  | `Batch batch ->
+      process_batch t batch;
+      dispatch_loop t
+
+(* --- public surface --- *)
+
+let create ?(config = Config.default) ?(profile = Compiler_profile.tensorssa)
+    ?batch ?seq (w : Workload.t) =
+  match
+    let batch = Option.value batch ~default:w.Workload.default_batch in
+    let seq = Option.value seq ~default:w.Workload.default_seq in
+    let reference = Workload.graph w ~batch ~seq in
+    let g = Graph.clone reference in
+    ignore (Passes.tensorssa_pipeline g);
+    let t =
+      {
+        s_config = config;
+        s_profile = profile;
+        s_reference = reference;
+        s_graph = g;
+        s_lock = Mutex.create ();
+        s_wake = Condition.create ();
+        s_queue = Queue.create ();
+        s_closing = false;
+        s_paused = false;
+        s_stats = zero_stats;
+        s_dispatcher = None;
+      }
+    in
+    (* compile once, now: the session's native shapes go warm before the
+       first submit, so steady-state submits are pure cache hits *)
+    ignore (engine_for t (w.Workload.inputs ~batch ~seq));
+    t.s_dispatcher <- Some (Domain.spawn (fun () -> dispatch_loop t));
+    t
+  with
+  | t -> Ok t
+  | exception Functs_frontend.Lower.Lowering_error m ->
+      Error (Error.Lowering_error m)
+  | exception Eval.Runtime_error m -> Error (Error.Runtime_error m)
+  | exception exn -> Error (Error.Engine_failure (Printexc.to_string exn))
+
+let submit t ?deadline_us args =
+  let now = Unix.gettimeofday () in
+  let tk =
+    {
+      t_args = args;
+      t_shape = shape_signature args;
+      t_deadline = Option.map (fun d -> now +. (1e-6 *. d)) deadline_us;
+      t_enq = now;
+      t_lock = Mutex.create ();
+      t_cond = Condition.create ();
+      t_result = None;
+      t_done = 0.;
+    }
+  in
+  locked t (fun () ->
+      if t.s_closing then Error Error.Session_closed
+      else if Queue.length t.s_queue >= t.s_config.Config.queue_capacity then begin
+        t.s_stats <- { t.s_stats with overloaded = t.s_stats.overloaded + 1 };
+        Metrics.incr m_overloaded;
+        Error Error.Overloaded
+      end
+      else begin
+        Queue.add tk t.s_queue;
+        let depth = Queue.length t.s_queue in
+        t.s_stats <-
+          {
+            t.s_stats with
+            submitted = t.s_stats.submitted + 1;
+            max_queue_depth = max t.s_stats.max_queue_depth depth;
+          };
+        Metrics.incr m_submitted;
+        Condition.broadcast t.s_wake;
+        Ok tk
+      end)
+
+let await _t tk =
+  Mutex.lock tk.t_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock tk.t_lock)
+    (fun () ->
+      while tk.t_result = None do
+        Condition.wait tk.t_cond tk.t_lock
+      done;
+      Option.get tk.t_result)
+
+let run t ?deadline_us args =
+  match submit t ?deadline_us args with
+  | Error _ as e -> e
+  | Ok tk -> await t tk
+
+let latency_us tk = if tk.t_done = 0. then 0. else 1e6 *. (tk.t_done -. tk.t_enq)
+
+let pause t =
+  locked t (fun () ->
+      t.s_paused <- true;
+      Condition.broadcast t.s_wake)
+
+let resume t =
+  locked t (fun () ->
+      t.s_paused <- false;
+      Condition.broadcast t.s_wake)
+
+let close t =
+  let d =
+    locked t (fun () ->
+        t.s_closing <- true;
+        t.s_paused <- false;
+        Condition.broadcast t.s_wake;
+        let d = t.s_dispatcher in
+        t.s_dispatcher <- None;
+        d)
+  in
+  Option.iter Domain.join d
+
+let stats t = locked t (fun () -> t.s_stats)

@@ -1,0 +1,105 @@
+(** Session-based concurrent serving of one compiled workload.
+
+    A session is the amortization layer the CLI lacks: [create] pays
+    lowering + TensorSSA + fusion + kernel compilation {e once} (through
+    the engine's shape-keyed compile cache), spawns a dedicated
+    dispatcher domain, and then serves [submit]ted requests until
+    [close].  The LazyTensor lesson: the win of an eager-plus-compiler
+    system lives or dies on reusing compilation across calls — a warm
+    session never recompiles (the [engine.cache.*] counters prove it).
+
+    Concurrency model:
+
+    - any number of producer domains may [submit] / [await] concurrently;
+    - [submit] is non-blocking backpressure: when the bounded queue
+      (capacity [config.queue_capacity]) is full it returns
+      [Error Error.Overloaded] immediately — callers decide whether to
+      retry, degrade or propagate;
+    - one dispatcher domain drains the queue in {e micro-batches}: the
+      head request plus up to [config.max_batch - 1] queued requests with
+      the same input-shape signature execute against a single warm engine
+      acquisition (one compile-cache probe per batch, runs back-to-back);
+    - the engine itself may parallelize each run across the shared
+      domain pool exactly as in direct [Engine.run] use.
+
+    Degradation ([config.policy]): a request whose deadline expired
+    before dispatch, or whose engine run raised, either falls back to
+    the reference interpreter ([`Interp_fallback] — slower, always
+    eager-correct) or is shed with a structured error ([`Shed]).
+
+    Observability: per-session {!stats} plus the process-wide
+    [serve.*] metrics (submitted / completed / shed / overloaded /
+    deadline_expired / interp_fallbacks counters, [serve.batch_size] and
+    [serve.latency_us] histograms) and [serve.batch] spans with shape
+    and size attributes. *)
+
+open Functs_interp
+open Functs_core
+open Functs_workloads
+
+type t
+
+type ticket
+(** One submitted request; redeem with {!await} (exactly once each —
+    awaiting twice returns the same outcome). *)
+
+val create :
+  ?config:Config.t ->
+  ?profile:Compiler_profile.t ->
+  ?batch:int ->
+  ?seq:int ->
+  Workload.t ->
+  (t, Error.t) result
+(** Lower and compile [workload] at the given scale (defaults to the
+    workload's own), warm the compile cache for its native input shapes,
+    and start the dispatcher.  [profile] defaults to
+    {!Compiler_profile.tensorssa}.  Frontend and compiler failures come
+    back as [Error.Lowering_error] / [Error.Engine_failure] — nothing
+    raises. *)
+
+val submit :
+  t -> ?deadline_us:float -> Value.t list -> (ticket, Error.t) result
+(** Enqueue one request.  [deadline_us] is relative to now; a request
+    still queued when it expires is handled per [config.policy].
+    Returns [Error Overloaded] when the queue is at capacity and
+    [Error Session_closed] after {!close} was initiated. *)
+
+val await : t -> ticket -> (Value.t list, Error.t) result
+(** Block until the request completes.  [Ok outputs] carries exactly the
+    interpreter-semantics outputs for the submitted inputs. *)
+
+val run : t -> ?deadline_us:float -> Value.t list -> (Value.t list, Error.t) result
+(** [submit] + [await] in one call (still goes through the queue, so it
+    can return [Error Overloaded]). *)
+
+val latency_us : ticket -> float
+(** Enqueue-to-completion wall time of a completed request (0 before
+    completion). *)
+
+val pause : t -> unit
+(** Hold the dispatcher: queued requests stay queued (submits still
+    land / overflow), until {!resume} or {!close}.  For drain control
+    and deterministic backpressure tests. *)
+
+val resume : t -> unit
+
+val close : t -> unit
+(** Stop accepting submits, let the dispatcher drain every queued
+    request, then join it.  Idempotent; safe from any domain. *)
+
+type stats = {
+  submitted : int;
+  completed : int;  (** responses delivered, including fallbacks *)
+  shed : int;  (** requests dropped by the [`Shed] policy *)
+  interp_fallbacks : int;  (** requests served by the interpreter *)
+  overloaded : int;  (** submits refused by the full queue *)
+  deadline_expired : int;  (** requests whose deadline passed in queue *)
+  batches : int;  (** dispatcher micro-batches executed *)
+  max_queue_depth : int;
+}
+
+val stats : t -> stats
+
+val shape_signature : Value.t list -> string
+(** The micro-batching key: tensor shapes (scalars as ["_"]) joined with
+    [";"].  Exposed for tests and the bench. *)

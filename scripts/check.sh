@@ -15,10 +15,16 @@ dune build @all
 echo "== dune runtest =="
 dune runtest
 
-# The single-core default pools down to one lane; force two workers so the
-# differential suite actually crosses domains, then smoke the exec bench.
-echo "== exec differential suite (FUNCTS_DOMAINS=2) =="
-FUNCTS_DOMAINS=2 dune exec test/test_exec.exe
+# The exec differential suite pins its parallel engines to 2 lanes
+# explicitly (engines_of passes ~domains:2), so it crosses domains even
+# on single-core runners.
+echo "== exec differential suite =="
+dune exec test/test_exec.exe
+
+# The serve suite's stress test runs a 2-lane engine config under 4
+# producer domains plus the dispatcher.
+echo "== serve suite (2 workers) =="
+dune exec test/test_serve.exe
 
 echo "== bench exec --smoke (FUNCTS_DOMAINS=2) =="
 FUNCTS_DOMAINS=2 dune exec bench/main.exe -- exec --smoke \
@@ -31,6 +37,50 @@ grep -q "exec.kernel_runs" /tmp/functs_bench_smoke.txt || {
   echo "error: bench smoke metrics are missing exec.kernel_runs" >&2
   exit 1
 }
+
+echo "== serve-bench --smoke (FUNCTS_DOMAINS=2) =="
+rm -f /tmp/functs_serve_bench.json
+FUNCTS_DOMAINS=2 dune exec bin/functs.exe -- serve-bench --smoke \
+  --json /tmp/functs_serve_bench.json
+test -s /tmp/functs_serve_bench.json || {
+  echo "error: serve-bench wrote no JSON" >&2
+  exit 1
+}
+if command -v jq >/dev/null 2>&1; then
+  jq -e '.serve | (.requests > 0) and (.throughput_rps > 0)
+         and (.p50_us > 0) and (.p99_us >= .p50_us)
+         and (.warm_cache_misses == 0)' \
+    /tmp/functs_serve_bench.json >/dev/null || {
+    echo "error: serve-bench JSON invalid (jq)" >&2
+    exit 1
+  }
+elif command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF' || { echo "error: serve-bench JSON invalid (python3)" >&2; exit 1; }
+import json, sys
+d = json.load(open("/tmp/functs_serve_bench.json"))["serve"]
+assert d["requests"] > 0 and d["throughput_rps"] > 0
+assert d["p50_us"] > 0 and d["p99_us"] >= d["p50_us"]
+assert d["warm_cache_misses"] == 0, "warm submits recompiled"
+EOF
+else
+  grep -q '"warm_cache_misses":0' /tmp/functs_serve_bench.json || {
+    echo "error: serve-bench JSON missing warm_cache_misses:0" >&2
+    exit 1
+  }
+fi
+
+# Config.of_env is the only sanctioned reader of the FUNCTS_* environment;
+# everything else must take the typed config explicitly.
+echo "== config gate: no FUNCTS_* env reads outside Config.of_env =="
+violations=$(grep -rn 'Sys\.getenv' \
+  --include='*.ml' --include='*.mli' lib bin bench examples \
+  | grep -v '^lib/serve/config\.ml:' \
+  | grep -v '^lib/serve/config\.mli:' || true)
+if [ -n "$violations" ]; then
+  echo "error: environment reads outside lib/serve/config.ml:" >&2
+  echo "$violations" >&2
+  exit 1
+fi
 
 echo "== trace smoke (run lstm --engine=exec --trace) =="
 rm -f /tmp/functs_trace.json

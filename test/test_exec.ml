@@ -250,7 +250,7 @@ let test_cache_shape_miss () =
        (Engine.run e2 (args [| 9; 3 |] 9)))
 
 let test_cache_eviction () =
-  Unix.putenv "FUNCTS_CACHE_SIZE" "2";
+  Engine.set_cache_capacity 2;
   Engine.clear_cache ();
   Compiler_profile.reset_compile_cache ();
   let fg = Graph.clone (carried_store_graph ()) in
@@ -264,7 +264,7 @@ let test_cache_eviction () =
   in
   List.iter prep [ 3; 4; 5; 6 ];
   let _, misses, evictions = cache_counters () in
-  Unix.putenv "FUNCTS_CACHE_SIZE" "";
+  Engine.set_cache_capacity Functs.Config.default.Functs.Config.cache_size;
   check_int "four distinct shapes all miss" 4 misses;
   check_int "capacity 2 evicts the two oldest" 2 evictions;
   check "residency is bounded by capacity" true (Engine.cache_size () <= 2);

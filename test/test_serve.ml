@@ -1,0 +1,309 @@
+(* The serving layer: multi-domain stress (no lost / duplicated /
+   misrouted responses, outputs equal the interpreter), deadline expiry
+   under both degradation policies, backpressure on a size-1 queue, and
+   the strict Config.of_env validation. *)
+
+open Functs
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let lstm () = Result.get_ok (Functs.find_workload "lstm")
+
+(* Cheap scales so the interpreter reference stays fast. *)
+let batch = 1
+let seq = 4
+
+let base_args () =
+  let w = lstm () in
+  w.Workload.inputs ~batch ~seq
+
+(* Deterministically distinct inputs per producer, so a response routed
+   to the wrong ticket shows up as a value mismatch. *)
+let perturbed_args salt =
+  List.map
+    (function
+      | Value.Tensor t ->
+          let t = Tensor.clone t in
+          Tensor.mapi_inplace t (fun _ x ->
+              x +. (0.01 *. float_of_int (salt + 1)));
+          Value.Tensor t
+      | (Value.Int _ | Value.Float _ | Value.Bool _ | Value.List _) as v -> v)
+    (base_args ())
+
+let clone_args =
+  List.map (function
+    | Value.Tensor t -> Value.Tensor (Tensor.clone t)
+    | (Value.Int _ | Value.Float _ | Value.Bool _ | Value.List _) as v -> v)
+
+let expected_for args =
+  let w = lstm () in
+  Eval.run (Workload.graph w ~batch ~seq) (clone_args args)
+
+let matches expected got =
+  List.length expected = List.length got
+  && List.for_all2 (Value.equal ~atol:1e-4) expected got
+
+let with_session ?(config = Config.default) f =
+  match Functs.compile ~config ~batch ~seq (lstm ()) with
+  | Error e -> Alcotest.fail (Error.to_string e)
+  | Ok s -> Fun.protect ~finally:(fun () -> Session.close s) (fun () -> f s)
+
+(* --- stress: N producer domains, M submits each --- *)
+
+let producers = 4
+let submits = 64
+
+let test_stress () =
+  let config = { Config.default with Config.domains = 2; max_batch = 4 } in
+  with_session ~config (fun s ->
+      let inputs = Array.init producers perturbed_args in
+      let expected = Array.map expected_for inputs in
+      let worker p () =
+        let failures = ref 0 in
+        for _ = 1 to submits do
+          let rec accepted () =
+            match Session.submit s inputs.(p) with
+            | Ok tk -> tk
+            | Error Error.Overloaded ->
+                Domain.cpu_relax ();
+                accepted ()
+            | Error e -> Alcotest.fail (Error.to_string e)
+          in
+          match Session.await s (accepted ()) with
+          | Ok got -> if not (matches expected.(p) got) then incr failures
+          | Error e -> Alcotest.fail (Error.to_string e)
+        done;
+        !failures
+      in
+      let domains = List.init producers (fun p -> Domain.spawn (worker p)) in
+      let failures = List.fold_left (fun a d -> a + Domain.join d) 0 domains in
+      check_int "every response carries its own producer's outputs" 0 failures;
+      let st = Session.stats s in
+      check_int "no lost submissions" (producers * submits) st.Session.submitted;
+      check_int "every request completed exactly once" (producers * submits)
+        st.Session.completed;
+      check_int "no engine-failure sheds" 0 st.Session.shed;
+      check "micro-batching engaged (fewer batches than requests)" true
+        (st.Session.batches <= producers * submits);
+      check "queue depth was bounded by capacity" true
+        (st.Session.max_queue_depth <= config.Config.queue_capacity))
+
+(* --- deadlines --- *)
+
+(* Pause the dispatcher so the deadline is provably expired before
+   dispatch, then resume and observe the configured policy. *)
+let submit_expired s =
+  Session.pause s;
+  let tk =
+    match Session.submit s ~deadline_us:1.0 (perturbed_args 7) with
+    | Ok tk -> tk
+    | Error e -> Alcotest.fail (Error.to_string e)
+  in
+  Unix.sleepf 0.01;
+  Session.resume s;
+  tk
+
+let test_deadline_interp_fallback () =
+  with_session (fun s ->
+      let tk = submit_expired s in
+      (match Session.await s tk with
+      | Ok got ->
+          check "fallback still returns the interpreter's outputs" true
+            (matches (expected_for (perturbed_args 7)) got)
+      | Error e ->
+          Alcotest.failf "expected a served fallback, got %s"
+            (Error.to_string e));
+      let st = Session.stats s in
+      check "deadline expiry was counted" true (st.Session.deadline_expired >= 1);
+      check "served through the interpreter" true
+        (st.Session.interp_fallbacks >= 1);
+      check_int "nothing shed" 0 st.Session.shed)
+
+let test_deadline_shed () =
+  let config = { Config.default with Config.policy = `Shed } in
+  with_session ~config (fun s ->
+      let tk = submit_expired s in
+      (match Session.await s tk with
+      | Error Error.Deadline_exceeded -> ()
+      | Ok _ -> Alcotest.fail "shed policy must not serve an expired request"
+      | Error e ->
+          Alcotest.failf "expected Deadline_exceeded, got %s"
+            (Error.to_string e));
+      let st = Session.stats s in
+      check "deadline expiry was counted" true (st.Session.deadline_expired >= 1);
+      check "the request was shed" true (st.Session.shed >= 1);
+      check_int "no interpreter fallback under shed" 0
+        st.Session.interp_fallbacks)
+
+(* --- backpressure on a queue of size 1 --- *)
+
+let test_overload () =
+  let config = { Config.default with Config.queue_capacity = 1 } in
+  with_session ~config (fun s ->
+      Session.pause s;
+      let first =
+        match Session.submit s (perturbed_args 0) with
+        | Ok tk -> tk
+        | Error e -> Alcotest.fail (Error.to_string e)
+      in
+      (match Session.submit s (perturbed_args 1) with
+      | Error Error.Overloaded -> ()
+      | Ok _ -> Alcotest.fail "second submit must bounce off the full queue"
+      | Error e ->
+          Alcotest.failf "expected Overloaded, got %s" (Error.to_string e));
+      Session.resume s;
+      (match Session.await s first with
+      | Ok got ->
+          check "the queued request is still served correctly" true
+            (matches (expected_for (perturbed_args 0)) got)
+      | Error e -> Alcotest.fail (Error.to_string e));
+      let st = Session.stats s in
+      check "overload was counted" true (st.Session.overloaded >= 1);
+      check_int "queue depth never exceeded the bound" 1
+        st.Session.max_queue_depth)
+
+let test_submit_after_close () =
+  let s = Result.get_ok (Functs.compile ~batch ~seq (lstm ())) in
+  Session.close s;
+  match Session.submit s (base_args ()) with
+  | Error Error.Session_closed -> ()
+  | Ok _ -> Alcotest.fail "a closed session must refuse submits"
+  | Error e -> Alcotest.failf "expected Session_closed, got %s" (Error.to_string e)
+
+(* --- warm submits never recompile --- *)
+
+let test_warm_no_recompile () =
+  with_session (fun s ->
+      let args = base_args () in
+      (match Session.run s args with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail (Error.to_string e));
+      let c0 = Compiler_profile.cache_snapshot () in
+      for _ = 1 to 8 do
+        match Session.run s args with
+        | Ok _ -> ()
+        | Error e -> Alcotest.fail (Error.to_string e)
+      done;
+      let c1 = Compiler_profile.cache_snapshot () in
+      check_int "warm submits never recompile" 0
+        (c1.Compiler_profile.cache_misses - c0.Compiler_profile.cache_misses);
+      check "warm submits hit the compile cache" true
+        (c1.Compiler_profile.cache_hits > c0.Compiler_profile.cache_hits))
+
+(* --- the facade's one-shot entry point --- *)
+
+let test_run_once () =
+  let args = base_args () in
+  match Functs.run_once ~batch ~seq (lstm ()) (clone_args args) with
+  | Ok got -> check "run_once equals the interpreter" true
+      (matches (expected_for args) got)
+  | Error e -> Alcotest.fail (Error.to_string e)
+
+(* --- Config.of_env: strict validation, no silent fallback --- *)
+
+let getenv_of assoc name = List.assoc_opt name assoc
+
+let test_of_env_defaults () =
+  match Config.of_env ~getenv:(getenv_of []) () with
+  | Ok cfg -> check "empty env yields the defaults" true (cfg = Config.default)
+  | Error e -> Alcotest.fail (Error.to_string e)
+
+let test_of_env_overlay () =
+  let env =
+    [
+      ("FUNCTS_DOMAINS", "3");
+      ("FUNCTS_GRAIN", "5");
+      ("FUNCTS_KERNEL_GRAIN", "1024");
+      ("FUNCTS_CACHE", "off");
+      ("FUNCTS_CACHE_SIZE", "7");
+      ("FUNCTS_TRACE", "/tmp/t.json");
+      ("FUNCTS_TRACE_BUF", "512");
+      ("FUNCTS_METRICS", "stderr");
+      ("FUNCTS_QUEUE", "9");
+      ("FUNCTS_MAX_BATCH", "2");
+      ("FUNCTS_POLICY", "shed");
+    ]
+  in
+  match Config.of_env ~getenv:(getenv_of env) () with
+  | Error e -> Alcotest.fail (Error.to_string e)
+  | Ok cfg ->
+      check_int "domains" 3 cfg.Config.domains;
+      check_int "loop grain" 5 cfg.Config.loop_grain;
+      check_int "kernel grain" 1024 cfg.Config.kernel_grain;
+      check "cache off" false cfg.Config.cache;
+      check_int "cache size" 7 cfg.Config.cache_size;
+      check "trace file" true (cfg.Config.trace = Config.Trace_file "/tmp/t.json");
+      check_int "trace buf" 512 cfg.Config.trace_buf;
+      check "metrics stderr" true (cfg.Config.metrics = Config.Metrics_stderr);
+      check_int "queue capacity" 9 cfg.Config.queue_capacity;
+      check_int "max batch" 2 cfg.Config.max_batch;
+      check "policy shed" true (cfg.Config.policy = `Shed)
+
+let rejects env key =
+  match Config.of_env ~getenv:(getenv_of env) () with
+  | Error (Error.Invalid_config { key = k; _ }) ->
+      Alcotest.(check string) "rejected variable" key k
+  | Error e -> Alcotest.failf "wrong error: %s" (Error.to_string e)
+  | Ok _ -> Alcotest.failf "malformed %s must be rejected, not defaulted" key
+
+let test_of_env_rejects_malformed () =
+  rejects [ ("FUNCTS_DOMAINS", "many") ] "FUNCTS_DOMAINS";
+  rejects [ ("FUNCTS_DOMAINS", "0") ] "FUNCTS_DOMAINS";
+  rejects [ ("FUNCTS_CACHE", "maybe") ] "FUNCTS_CACHE";
+  rejects [ ("FUNCTS_TRACE_BUF", "8") ] "FUNCTS_TRACE_BUF";
+  rejects [ ("FUNCTS_POLICY", "retry") ] "FUNCTS_POLICY";
+  rejects [ ("FUNCTS_QUEUE", "-1") ] "FUNCTS_QUEUE"
+
+let test_of_env_empty_means_unset () =
+  match Config.of_env ~getenv:(getenv_of [ ("FUNCTS_DOMAINS", "") ]) () with
+  | Ok cfg ->
+      check_int "empty string leaves the base value"
+        Config.default.Config.domains cfg.Config.domains
+  | Error e -> Alcotest.fail (Error.to_string e)
+
+let test_error_strings () =
+  List.iter
+    (fun e -> check "error renders non-empty" true (Error.to_string e <> ""))
+    [
+      Error.Unknown_workload { name = "x"; available = [ "lstm" ] };
+      Error.Unknown_profile { name = "x"; available = [] };
+      Error.Invalid_config { key = "K"; value = "v"; reason = "r" };
+      Error.Parse_error { source = "f.py"; message = "m" };
+      Error.Lowering_error "m";
+      Error.Runtime_error "m";
+      Error.Engine_failure "m";
+      Error.Overloaded;
+      Error.Deadline_exceeded;
+      Error.Session_closed;
+      Error.Io_error "m";
+    ]
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "config",
+        [
+          Alcotest.test_case "defaults" `Quick test_of_env_defaults;
+          Alcotest.test_case "overlay" `Quick test_of_env_overlay;
+          Alcotest.test_case "rejects malformed" `Quick
+            test_of_env_rejects_malformed;
+          Alcotest.test_case "empty means unset" `Quick
+            test_of_env_empty_means_unset;
+          Alcotest.test_case "error strings" `Quick test_error_strings;
+        ] );
+      ( "session",
+        [
+          Alcotest.test_case "multi-domain stress" `Quick test_stress;
+          Alcotest.test_case "deadline: interp fallback" `Quick
+            test_deadline_interp_fallback;
+          Alcotest.test_case "deadline: shed" `Quick test_deadline_shed;
+          Alcotest.test_case "backpressure on size-1 queue" `Quick
+            test_overload;
+          Alcotest.test_case "submit after close" `Quick
+            test_submit_after_close;
+          Alcotest.test_case "warm submits never recompile" `Quick
+            test_warm_no_recompile;
+          Alcotest.test_case "run_once" `Quick test_run_once;
+        ] );
+    ]
