@@ -261,6 +261,7 @@ type wrow = {
   r_interp : float;
   r_fused : float;
   r_par : float;
+  r_sweep : (int * float) list; (* domains -> median wall-clock *)
   r_cold : float;
   r_warm : float;
   r_stats : Scheduler.stats;
@@ -277,7 +278,23 @@ let json_escape s =
     s;
   Buffer.contents b
 
+(* serve-bench read-modify-writes the "serve" member of the same file;
+   regenerating the exec members must carry it over, not drop it. *)
+let existing_serve path =
+  if not (Sys.file_exists path) then None
+  else
+    let ic = open_in_bin path in
+    let text =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Json.parse text with
+    | Ok (Json.Obj fields) -> List.assoc_opt "serve" fields
+    | Ok _ | Error _ -> None
+
 let write_json path rows (pool_us, spawn_us) =
+  let serve = existing_serve path in
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   let c = Compiler_profile.cache_snapshot () in
@@ -291,22 +308,35 @@ let write_json path rows (pool_us, spawn_us) =
   List.iteri
     (fun i r ->
       let s = r.r_stats in
+      let sweep =
+        String.concat ", "
+          (List.map
+             (fun (d, t) -> Printf.sprintf "\"d%d_ms\": %.4f" d (1e3 *. t))
+             r.r_sweep)
+      in
       p
         "    { \"name\": \"%s\", \"batch\": %d, \"seq\": %d,\n\
         \      \"interp_ms\": %.4f, \"fused_ms\": %.4f, \
          \"fused_parallel_ms\": %.4f,\n\
         \      \"fused_speedup\": %.3f, \"parallel_speedup\": %.3f,\n\
+        \      \"sweep\": { %s },\n\
         \      \"prepare_cold_ms\": %.4f, \"prepare_warm_ms\": %.6f,\n\
-        \      \"kernel_runs\": %d, \"parallel_loops\": %d,\n\
+        \      \"kernel_runs\": %d, \"parallel_loops\": %d, \
+         \"reduction_loops\": %d, \"batched_loops\": %d,\n\
         \      \"pool_lanes\": %d, \"pool_dispatches\": %d, \
-         \"pool_seq_fallbacks\": %d }%s\n"
+         \"pool_seq_fallbacks\": %d,\n\
+        \      \"pool_fallbacks\": { \"grain\": %d, \"nested\": %d, \
+         \"disabled\": %d } }%s\n"
         (json_escape r.r_name) r.r_batch r.r_seq (1e3 *. r.r_interp)
         (1e3 *. r.r_fused) (1e3 *. r.r_par)
         (r.r_interp /. Float.max 1e-9 r.r_fused)
         (r.r_interp /. Float.max 1e-9 r.r_par)
-        (1e3 *. r.r_cold) (1e3 *. r.r_warm) s.Scheduler.kernel_runs
-        s.Scheduler.parallel_loops_run s.Scheduler.pool_lanes
-        s.Scheduler.pool_dispatches s.Scheduler.pool_seq_fallbacks
+        sweep (1e3 *. r.r_cold) (1e3 *. r.r_warm)
+        s.Scheduler.last_kernel_runs s.Scheduler.last_parallel_loops
+        s.Scheduler.last_reduction_loops s.Scheduler.batched_loops
+        s.Scheduler.pool_lanes s.Scheduler.pool_dispatches
+        s.Scheduler.pool_seq_fallbacks s.Scheduler.pool_fb_grain
+        s.Scheduler.pool_fb_nested s.Scheduler.pool_fb_disabled
         (if i = List.length rows - 1 then "" else ",")
     )
     rows;
@@ -316,10 +346,28 @@ let write_json path rows (pool_us, spawn_us) =
      \"resident\": %d },\n"
     c.Compiler_profile.cache_hits c.Compiler_profile.cache_misses
     c.Compiler_profile.cache_evictions (Engine.cache_size ());
-  p "  \"metrics\": %s\n"
-    (Metrics.to_json (Metrics.snapshot ()));
+  p "  \"metrics\": %s%s\n"
+    (Metrics.to_json (Metrics.snapshot ()))
+    (match serve with Some _ -> "," | None -> "");
+  (match serve with
+  | Some j -> p "  \"serve\": %s\n" (Json.to_string j)
+  | None -> ());
   p "}\n";
   close_out oc
+
+(* Bitwise output comparison: the gate for batched loops.  A loop the
+   analysis calls Parallel (or an exactly-associative reduction) must
+   reproduce the sequential engine's bits, not just its values. *)
+let tensors_bitwise a b =
+  List.for_all2
+    (fun x y ->
+      match (x, y) with
+      | Value.Tensor t, Value.Tensor u ->
+          Tensor.to_flat_array t = Tensor.to_flat_array u
+      | _ -> Value.equal ~atol:0.0 x y)
+    a b
+
+let sweep_domains = [ 1; 2; 4 ]
 
 let run_exec () =
   let ok = ref true in
@@ -329,10 +377,10 @@ let run_exec () =
   else begin
     print_endline
       "Execution engine: interpreter vs fused vs fused+parallel (median \
-       wall-clock per run)";
-    Printf.printf "  %-10s %11s %11s %11s %8s %8s %9s %9s\n" "workload"
-      "interp(ms)" "fused(ms)" "par(ms)" "fused x" "par x" "cold(ms)"
-      "warm(ms)"
+       wall-clock per run; d1/d2/d4 sweep the worker-domain count)";
+    Printf.printf "  %-10s %11s %11s %11s %8s %8s %9s %9s %9s\n" "workload"
+      "interp(ms)" "fused(ms)" "par(ms)" "fused x" "par x" "d1(ms)"
+      "d2(ms)" "d4(ms)"
   end;
   List.iter
     (fun (w : Workload.t) ->
@@ -346,26 +394,71 @@ let run_exec () =
       let eng = prepare ~parallel:false fg ~inputs in
       let _, _, engp = prepare_times ~parallel:true fg ~inputs in
       let equal got = List.for_all2 (Value.equal ~atol:1e-4) expected got in
-      if not (equal (Engine.run eng args) && equal (Engine.run engp args))
-      then begin
+      let seq_ref = Engine.run eng args in
+      let par_out = Engine.run engp args in
+      let sp = Engine.stats engp in
+      let nbatched = sp.Scheduler.last_parallel_loops in
+      if not (equal seq_ref && equal par_out) then begin
         ok := false;
         Printf.printf "  %-10s ENGINE OUTPUT DIVERGED FROM INTERPRETER\n"
           w.name
       end
-      else if smoke_mode then Printf.printf "  %-10s ok\n" w.name
+      else if nbatched > 0 && not (tensors_bitwise seq_ref par_out) then begin
+        ok := false;
+        Printf.printf
+          "  %-10s PARALLELIZED LOOPS DIVERGED BITWISE FROM THE SEQUENTIAL \
+           ENGINE\n"
+          w.name
+      end
+      else if smoke_mode then
+        Printf.printf "  %-10s ok parallel_loops=%d reduction_loops=%d\n"
+          w.name nbatched sp.Scheduler.last_reduction_loops
       else begin
         let t_interp = time_median (fun () -> Eval.run g args) in
         let t_fused = time_median (fun () -> Engine.run eng args) in
         let t_par = time_median (fun () -> Engine.run engp args) in
+        (* Worker-domain sweep: same engine configuration at 1/2/4 lanes.
+           domains=1 takes the sequential per-iteration path (the batch
+           gate requires at least two lanes), so d1 vs d2/d4 isolates the
+           iteration-batching win. *)
+        let sweep =
+          List.map
+            (fun d ->
+              let e =
+                Engine.prepare ~parallel:true ~domains:d
+                  ~loop_grain:config.Config.loop_grain
+                  ~kernel_grain:config.Config.kernel_grain
+                  ~cache:config.Config.cache fg ~inputs
+              in
+              let out = Engine.run e args in
+              let s = Engine.stats e in
+              if not (equal out) then begin
+                ok := false;
+                Printf.printf
+                  "  %-10s DIVERGED FROM INTERPRETER AT domains=%d\n" w.name d
+              end
+              else if
+                s.Scheduler.last_parallel_loops > 0
+                && not (tensors_bitwise seq_ref out)
+              then begin
+                ok := false;
+                Printf.printf
+                  "  %-10s BITWISE DIVERGENCE FROM SEQUENTIAL AT domains=%d\n"
+                  w.name d
+              end;
+              (d, time_median (fun () -> Engine.run e args)))
+            sweep_domains
+        in
         (* Re-measure prepare now that timing runs warmed everything: the
            first prepare above also paid kernel auto-tuning samples. *)
         let t_cold, t_warm, _ = prepare_times ~parallel:true fg ~inputs in
         let s = Engine.stats engp in
+        let sw d = try List.assoc d sweep with Not_found -> nan in
         Printf.printf
-          "  %-10s %11.3f %11.3f %11.3f %8.2f %8.2f %9.3f %9.5f\n" w.name
-          (1e3 *. t_interp) (1e3 *. t_fused) (1e3 *. t_par)
-          (t_interp /. t_fused) (t_interp /. t_par) (1e3 *. t_cold)
-          (1e3 *. t_warm);
+          "  %-10s %11.3f %11.3f %11.3f %8.2f %8.2f %9.3f %9.3f %9.3f\n"
+          w.name (1e3 *. t_interp) (1e3 *. t_fused) (1e3 *. t_par)
+          (t_interp /. t_fused) (t_interp /. t_par)
+          (1e3 *. sw 1) (1e3 *. sw 2) (1e3 *. sw 4);
         rows :=
           {
             r_name = w.name;
@@ -374,6 +467,7 @@ let run_exec () =
             r_interp = t_interp;
             r_fused = t_fused;
             r_par = t_par;
+            r_sweep = sweep;
             r_cold = t_cold;
             r_warm = t_warm;
             r_stats = s;

@@ -218,14 +218,19 @@ let run_exec (w : Workload.t) (profile : Compiler_profile.t) batch seq =
     Printf.printf "engine     : %8.1f us per run (%.2fx)\n" (1e6 *. t_exec)
       (t_interp /. t_exec);
     Printf.printf
-      "stats      : kernels=%d/%d donations=%d pool=%d/%d par-loops=%d\n"
+      "stats      : kernels=%d/%d donations=%d pool=%d/%d par-loops=%d \
+       red-loops=%d batched=%d\n"
       s.Scheduler.compiled s.Scheduler.groups s.Scheduler.donations
       s.Scheduler.pool_reused
       (s.Scheduler.pool_fresh + s.Scheduler.pool_reused)
-      s.Scheduler.parallel_loops_run;
-    Printf.printf "domains    : %d lanes, %d dispatches, %d sequential\n"
+      s.Scheduler.parallel_loops_run s.Scheduler.reduction_loops_run
+      s.Scheduler.batched_loops;
+    Printf.printf
+      "domains    : %d lanes, %d dispatches, %d sequential (grain=%d \
+       nested=%d disabled=%d)\n"
       s.Scheduler.pool_lanes s.Scheduler.pool_dispatches
-      s.Scheduler.pool_seq_fallbacks;
+      s.Scheduler.pool_seq_fallbacks s.Scheduler.pool_fb_grain
+      s.Scheduler.pool_fb_nested s.Scheduler.pool_fb_disabled;
     let c = Compiler_profile.cache_snapshot () in
     Printf.printf "cache      : %d hits, %d misses, %d evictions (%d resident)\n"
       c.Compiler_profile.cache_hits c.Compiler_profile.cache_misses

@@ -9,6 +9,7 @@ type t = {
   short_name : string;
   functionalize : bool;
   horizontal : bool;
+  parallel_reductions : bool;
   runtime : runtime;
   classify : Op.t -> op_class;
 }
@@ -94,6 +95,7 @@ let eager =
     short_name = "Eager";
     functionalize = false;
     horizontal = false;
+    parallel_reductions = false;
     runtime = Python_eager;
     classify = classify_eager;
   }
@@ -104,6 +106,7 @@ let ts_nnc =
     short_name = "TS+NNC";
     functionalize = false;
     horizontal = false;
+    parallel_reductions = false;
     runtime = Torchscript;
     classify = classify_ts_nnc;
   }
@@ -114,6 +117,7 @@ let ts_nvfuser =
     short_name = "TS+nvFuser";
     functionalize = false;
     horizontal = false;
+    parallel_reductions = false;
     runtime = Torchscript;
     classify = classify_ts_nvfuser;
   }
@@ -124,6 +128,7 @@ let dynamo_inductor =
     short_name = "Dynamo+Inductor";
     functionalize = false;
     horizontal = false;
+    parallel_reductions = false;
     runtime = Dynamo;
     classify = classify_dynamo;
   }
@@ -134,6 +139,7 @@ let tensorssa =
     short_name = "TensorSSA";
     functionalize = true;
     horizontal = true;
+    parallel_reductions = true;
     runtime = Torchscript;
     classify = classify_tensorssa;
   }
@@ -158,6 +164,14 @@ let tensorssa_no_fusion =
     classify =
       (fun op ->
         match classify_tensorssa op with Fusible -> Kernel | c -> c);
+  }
+
+let tensorssa_no_reduction =
+  {
+    tensorssa with
+    name = "TensorSSA w/o parallel reductions";
+    short_name = "TensorSSA-noR";
+    parallel_reductions = false;
   }
 
 (* --- compile-cache counters ---
@@ -198,4 +212,4 @@ let reset_compile_cache () =
 let find short =
   List.find_opt
     (fun p -> String.lowercase_ascii p.short_name = String.lowercase_ascii short)
-    (all @ [ tensorssa_no_horizontal; tensorssa_no_fusion ])
+    (all @ [ tensorssa_no_horizontal; tensorssa_no_fusion; tensorssa_no_reduction ])

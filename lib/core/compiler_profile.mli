@@ -34,6 +34,9 @@ type t = {
   short_name : string;  (** for table columns, e.g. ["TS+NNC"] *)
   functionalize : bool;  (** run the TensorSSA conversion first *)
   horizontal : bool;  (** horizontal loop parallelization enabled *)
+  parallel_reductions : bool;
+      (** execute associative-accumulator loops as chunked partial
+          reductions (requires [horizontal]) *)
   runtime : runtime;
   classify : Op.t -> op_class;
 }
@@ -57,6 +60,9 @@ val tensorssa_no_horizontal : t
 
 val tensorssa_no_fusion : t
 (** Functionalization only: every immut:: op its own kernel. *)
+
+val tensorssa_no_reduction : t
+(** TensorSSA with [Reduction]-classified loops demoted to sequential. *)
 
 val find : string -> t option
 (** Look up any profile (including ablations) by [short_name]. *)

@@ -6,6 +6,7 @@ type plan = {
   classes : (int, kernel_class) Hashtbl.t;
   group_count : int;
   parallel_loops : (int, unit) Hashtbl.t;
+  loop_verdicts : (int, Loop_par.verdict) Hashtbl.t;
   escaping : (int, unit) Hashtbl.t;
 }
 
@@ -107,100 +108,45 @@ let compute_escaping (g : Graph.t) classes =
             node.n_outputs);
   escaping
 
-(* Horizontal parallelization: the loop body must be pure fused code whose
-   carried tensors are only touched through Select-by-induction-variable
-   rules, making iterations write-disjoint. *)
-let loop_is_parallel profile (node : Graph.node) =
-  match node.n_blocks with
-  | [ body ] -> begin
-      match body.b_params with
-      | [] -> false
-      | i_param :: carried_params ->
-          let body_pure =
-            List.for_all
-              (fun (n : Graph.node) ->
-                match profile.Compiler_profile.classify n.n_op with
-                | Compiler_profile.Fusible | Compiler_profile.Free -> true
-                | Compiler_profile.Kernel | Compiler_profile.Break
-                | Compiler_profile.Control ->
-                    false)
-              body.b_nodes
-          in
-          let all_tensor =
-            List.for_all
-              (fun (p : Graph.value) -> Dtype.equal p.v_type Dtype.Tensor)
-              carried_params
-          in
-          if (not body_pure) || not all_tensor || carried_params = [] then false
-          else begin
-            (* Versions of the carried tensors within one iteration, each
-               tagged with the carried slot it descends from: the params
-               (slot = position) plus every Assign output whose base is a
-               version, inheriting the base's slot. *)
-            let versions = ref (List.mapi (fun j p -> (p, j)) carried_params) in
-            let slot_of v =
-              List.find_map
-                (fun (m, j) -> if m == v then Some j else None)
-                !versions
-            in
-            List.iter
-              (fun (n : Graph.node) ->
-                match (n.n_op, n.n_inputs, n.n_outputs) with
-                | Op.Assign _, base :: _, [ out ] -> (
-                    match slot_of base with
-                    | Some j -> versions := (out, j) :: !versions
-                    | None -> ())
-                | _, _, _ -> ())
-              body.b_nodes;
-            let indexed_by_i (n : Graph.node) =
-              let select_index_ok operands =
-                match operands with [ idx ] -> idx == i_param | _ -> false
-              in
-              match (n.n_op, n.n_inputs) with
-              | Op.Access (Op.Select _), _base :: operands ->
-                  select_index_ok operands
-              | Op.Assign (Op.Select _), _base :: _src :: operands ->
-                  select_index_ok operands
-              | _, _ -> false
-            in
-            (* Every in-body use of a carried version must go through a
-               Select-by-i rule (reads and writes hit iteration-private
-               slices); appearing in the block returns is the hand-off to
-               the next iteration and is always fine. *)
-            let use_ok (v : Graph.value) =
-              List.for_all
-                (fun (n : Graph.node) ->
-                  let used_here = List.exists (fun i -> i == v) n.n_inputs in
-                  if not used_here then true
-                  else begin
-                    match n.n_inputs with
-                    | base :: _ when base == v -> indexed_by_i n
-                    | _ -> (
-                        (* Only legal non-base position: Assign source. *)
-                        match (n.n_op, n.n_inputs) with
-                        | Op.Assign _, _ :: src :: _ -> src == v
-                        | _, _ -> false)
-                  end)
-                body.b_nodes
-            in
-            (* Each carried return must hand the next iteration a version of
-               its own slot; returning anything else — or a crossed slot —
-               is a genuine loop-carried dependence, so actually running the
-               iterations concurrently would be unsound. *)
-            let returns_slot_consistent =
-              List.length body.b_returns = List.length carried_params
-              && List.for_all Fun.id
-                   (List.mapi
-                      (fun j ret -> slot_of ret = Some j)
-                      body.b_returns)
-            in
-            returns_slot_consistent
-            && List.for_all use_ok (List.map fst !versions)
-          end
-    end
-  | _ -> false
-
 let plans_c = Functs_obs.Metrics.counter "fusion.plans"
+let loops_parallel_c = Functs_obs.Metrics.counter "fusion.loops.parallel"
+let loops_reduction_c = Functs_obs.Metrics.counter "fusion.loops.reduction"
+let loops_sequential_c = Functs_obs.Metrics.counter "fusion.loops.sequential"
+
+(* Horizontal parallelization: every [prim::Loop] is classified by the
+   dependence analysis in {!Loop_par}; profile knobs can only demote a
+   verdict, never promote one. *)
+let classify_loops profile g =
+  let verdicts = Hashtbl.create 4 in
+  Graph.iter_nodes g (fun (node : Graph.node) ->
+      if node.n_op = Op.Loop then begin
+        let verdict =
+          if not profile.Compiler_profile.horizontal then
+            Loop_par.Sequential "horizontal parallelization disabled by profile"
+          else
+            match Loop_par.classify g node with
+            | Loop_par.Reduction _
+              when not profile.Compiler_profile.parallel_reductions ->
+                Loop_par.Sequential "parallel reductions disabled by profile"
+            | v -> v
+        in
+        (match verdict with
+        | Loop_par.Parallel _ ->
+            Functs_obs.Metrics.incr loops_parallel_c
+        | Loop_par.Reduction _ ->
+            Functs_obs.Metrics.incr loops_reduction_c
+        | Loop_par.Sequential reason ->
+            Functs_obs.Metrics.incr loops_sequential_c;
+            Functs_obs.Tracer.instant "fusion.loop_sequential"
+              ~args:
+                [
+                  ("graph", g.Graph.g_name);
+                  ("loop", string_of_int node.n_id);
+                  ("reason", reason);
+                ]);
+        Hashtbl.replace verdicts node.n_id verdict
+      end);
+  verdicts
 
 let plan profile (g : Graph.t) =
   Functs_obs.Tracer.span_args "fusion.plan"
@@ -211,25 +157,38 @@ let plan profile (g : Graph.t) =
   let group_count = assign_groups profile g classes in
   demote_access_only_groups g classes;
   let escaping = compute_escaping g classes in
+  let loop_verdicts = classify_loops profile g in
   let parallel_loops = Hashtbl.create 4 in
-  if profile.Compiler_profile.horizontal then
-    Graph.iter_nodes g (fun node ->
-        if node.n_op = Op.Loop && loop_is_parallel profile node then
-          Hashtbl.replace parallel_loops node.n_id ());
+  let reductions = ref 0 in
+  Hashtbl.iter
+    (fun node_id verdict ->
+      match verdict with
+      | Loop_par.Parallel _ -> Hashtbl.replace parallel_loops node_id ()
+      | Loop_par.Reduction _ ->
+          incr reductions;
+          Hashtbl.replace parallel_loops node_id ()
+      | Loop_par.Sequential _ -> ())
+    loop_verdicts;
   Functs_obs.Metrics.incr plans_c;
   Functs_obs.Tracer.instant "fusion.planned"
     ~args:
       [
         ("groups", string_of_int group_count);
         ("parallel_loops", string_of_int (Hashtbl.length parallel_loops));
+        ("reduction_loops", string_of_int !reductions);
       ];
-  { classes; group_count; parallel_loops; escaping }
+  { classes; group_count; parallel_loops; loop_verdicts; escaping }
 
 let kernel_class_of plan (node : Graph.node) =
   Option.value (Hashtbl.find_opt plan.classes node.n_id) ~default:No_cost
 
 let is_parallel_loop plan (node : Graph.node) =
   Hashtbl.mem plan.parallel_loops node.n_id
+
+let loop_verdict plan (node : Graph.node) =
+  match Hashtbl.find_opt plan.loop_verdicts node.n_id with
+  | Some v -> v
+  | None -> Loop_par.Sequential "not a classified loop"
 
 let value_escapes plan (v : Graph.value) = Hashtbl.mem plan.escaping v.v_id
 

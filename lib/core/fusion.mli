@@ -15,11 +15,12 @@
     opaque operators break the run, which reproduces each baseline's
     graph-break behaviour.
 
-    Horizontal parallelization marks a [prim::Loop] parallel when its body
-    is a single fused region whose carried tensors are only read and
-    written through [Select]-by-induction-variable access/assign rules —
-    iterations then touch disjoint slices and the whole loop costs a
-    single kernel launch. *)
+    Horizontal parallelization classifies every [prim::Loop] with the
+    {!Loop_par} dependence analysis: [Parallel] loops batch iterations
+    across domains on shared buffers, [Reduction] loops split into
+    chunked partial accumulators, and [Sequential] loops record why they
+    could not be parallelized.  Profile knobs ([horizontal],
+    [parallel_reductions]) can only demote verdicts. *)
 
 open Functs_ir
 
@@ -28,7 +29,10 @@ type kernel_class = No_cost | Kernel of int  (** group id *)
 type plan = {
   classes : (int, kernel_class) Hashtbl.t;  (** node id → class *)
   group_count : int;
-  parallel_loops : (int, unit) Hashtbl.t;  (** node ids of parallel loops *)
+  parallel_loops : (int, unit) Hashtbl.t;
+      (** node ids of loops safe to batch ([Parallel] or [Reduction]) *)
+  loop_verdicts : (int, Loop_par.verdict) Hashtbl.t;
+      (** node id → dependence-analysis verdict, for every loop *)
   escaping : (int, unit) Hashtbl.t;
       (** ids of values crossing a fusion-group boundary (read from outside
           the group or written for consumers outside it) *)
@@ -37,7 +41,12 @@ type plan = {
 val plan : Compiler_profile.t -> Graph.t -> plan
 
 val kernel_class_of : plan -> Graph.node -> kernel_class
+
 val is_parallel_loop : plan -> Graph.node -> bool
+(** Whether the loop may execute batched ([Parallel] or [Reduction]). *)
+
+val loop_verdict : plan -> Graph.node -> Loop_par.verdict
+(** The recorded verdict (profile demotions applied). *)
 
 val value_escapes : plan -> Graph.value -> bool
 (** Whether a fused-group value must be materialized to memory. *)

@@ -20,6 +20,11 @@ type t = {
   mutable live : bool;
   mutable n_dispatches : int;
   mutable n_sequential : int;
+  (* sequential fallbacks split by reason, so the bench can explain why
+     work ran on one lane; n_sequential stays their sum *)
+  mutable n_fb_grain : int;
+  mutable n_fb_nested : int;
+  mutable n_fb_disabled : int;
 }
 
 (* Domain-local flag: set once by every worker domain, read by
@@ -31,6 +36,9 @@ let on_worker () = Domain.DLS.get on_worker_key
    scheduler via boundary snapshots of [dispatches]/[seq_fallbacks]. *)
 let dispatches_c = Functs_obs.Metrics.counter "pool.dispatches"
 let seq_fallbacks_c = Functs_obs.Metrics.counter "pool.seq_fallbacks"
+let fb_grain_c = Functs_obs.Metrics.counter "pool.fallback.grain"
+let fb_nested_c = Functs_obs.Metrics.counter "pool.fallback.nested"
+let fb_disabled_c = Functs_obs.Metrics.counter "pool.fallback.disabled"
 
 let worker_loop w =
   Domain.DLS.set on_worker_key true;
@@ -76,6 +84,9 @@ let create ~lanes =
     live = true;
     n_dispatches = 0;
     n_sequential = 0;
+    n_fb_grain = 0;
+    n_fb_nested = 0;
+    n_fb_disabled = 0;
   }
 
 let lanes t = t.lanes
@@ -102,6 +113,20 @@ let parallel_for t ~grain ~n body =
     if (not t.live) || chunks < 2 || on_worker () then begin
       t.n_sequential <- t.n_sequential + 1;
       Functs_obs.Metrics.incr seq_fallbacks_c;
+      (* reason precedence: a dead or single-lane pool can never dispatch
+         regardless of grain, and a worker can never dispatch at all *)
+      if (not t.live) || t.lanes < 2 then begin
+        t.n_fb_disabled <- t.n_fb_disabled + 1;
+        Functs_obs.Metrics.incr fb_disabled_c
+      end
+      else if on_worker () then begin
+        t.n_fb_nested <- t.n_fb_nested + 1;
+        Functs_obs.Metrics.incr fb_nested_c
+      end
+      else begin
+        t.n_fb_grain <- t.n_fb_grain + 1;
+        Functs_obs.Metrics.incr fb_grain_c
+      end;
       body 0 n;
       false
     end
@@ -159,6 +184,9 @@ let parallel_for t ~grain ~n body =
 
 let dispatches t = t.n_dispatches
 let seq_fallbacks t = t.n_sequential
+let fallback_grain t = t.n_fb_grain
+let fallback_nested t = t.n_fb_nested
+let fallback_disabled t = t.n_fb_disabled
 
 (* --- shared pools --- *)
 

@@ -61,4 +61,14 @@ val dispatches : t -> int
 
 val seq_fallbacks : t -> int
 (** [parallel_for] calls that ran sequentially (below grain, nested on a
-    worker, single lane, or after shutdown). *)
+    worker, single lane, or after shutdown).  Always equals
+    [fallback_grain + fallback_nested + fallback_disabled]. *)
+
+val fallback_grain : t -> int
+(** Sequential because fewer than two [grain]-sized chunks existed. *)
+
+val fallback_nested : t -> int
+(** Sequential because the caller was itself a pool worker. *)
+
+val fallback_disabled : t -> int
+(** Sequential because the pool has a single lane or was shut down. *)

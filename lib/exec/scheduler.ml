@@ -16,6 +16,7 @@ let kernel_runs_c = Metrics.counter "exec.kernel_runs"
 let kernel_fallbacks_c = Metrics.counter "exec.kernel_fallbacks"
 let donations_c = Metrics.counter "exec.donations"
 let parallel_loops_c = Metrics.counter "exec.parallel_loops"
+let reduction_loops_c = Metrics.counter "exec.reduction_loops"
 let kernels_compiled_c = Metrics.counter "exec.kernels_compiled"
 let kernels_rejected_c = Metrics.counter "exec.kernels_rejected"
 
@@ -46,9 +47,11 @@ type inst = {
   i_in : int array;  (* frame slots of the node's inputs *)
   i_out : int array;  (* frame slots of the node's outputs *)
   i_gid : int;
-      (* kernel-eligible fusion group, or -1.  Groups under a loop stay -1:
-         their assigns donate into carried buffers, which beats a kernel
-         that must materialize fresh outputs every iteration. *)
+      (* kernel-eligible fusion group, or -1.  Groups under a loop keep
+         their gid too: their kernels are compiled once at prepare time
+         and relaunched every iteration, and the per-group auto-tuner
+         demotes them back to per-node execution (where assigns can
+         donate into carried buffers) whenever that is faster. *)
 }
 
 type binst = {
@@ -60,6 +63,58 @@ type binst = {
          once in the caller's scope before the first iteration *)
 }
 
+(* --- iteration batching for Parallel / Reduction loops ---
+
+   For every loop the dependence analysis clears ({!Loop_par}), the body
+   is compiled at prepare time into an action table aligned with its
+   instruction array: in-place writes replay a recognized rebuild chain
+   as one leaf write on the shared carried buffer, reduction combines
+   fold into per-chunk partial accumulators, everything else runs as
+   zero-copy views or plain fast-ops on a private frame.  Nothing is
+   resolved per run or per iteration — the slice descriptors (operand
+   slots, view kinds, buffer indices) are fixed here. *)
+type laction =
+  | L_plain  (* Fastops.apply_op on the private frame *)
+  | L_skip  (* rebuild-chain assign subsumed by an outer L_write *)
+  | L_view of Op.view_kind  (* zero-copy access *)
+  | L_assign of Op.view_kind  (* copy-producing assign (free/alias base) *)
+  | L_write of {
+      wr_buf : int;  (* carried slot whose shared buffer is written *)
+      wr_steps : (Op.view_kind * int array) array;  (* view path to the leaf *)
+      wr_leaf_kind : Op.view_kind;
+      wr_leaf_ops : int array;
+      wr_src : int;  (* slot of the value stored at the leaf *)
+      wr_out : int;  (* output slot, rebound to the shared buffer *)
+    }
+  | L_reduce of { rd_slot : int; rd_acc_pos : int }
+
+(* Batched loops are auto-tuned between running all iterations inline on
+   the caller and dispatching chunks across the domain pool: on small
+   trip counts the pool handoff (~5us) can exceed the whole loop. *)
+type lmode =
+  | L_sampling of {
+      mutable si_time : float;
+      mutable si_runs : int;
+      mutable sd_time : float;
+      mutable sd_runs : int;
+    }
+  | L_inline
+  | L_dispatch
+
+let loop_sample_runs = 2
+
+type lplan = {
+  lp_roles : Loop_par.role array;  (* per carried slot *)
+  lp_actions : laction array;  (* aligned with the body's bi_insts *)
+  lp_reduction : bool;  (* any Reduced slot: fixed chunking + merge *)
+  mutable lp_mode : lmode;
+}
+
+(* Reduction chunking is fixed (independent of pool lanes and of whether
+   the dispatch ran inline), so domains=1/2/4 runs of the same prepared
+   engine merge partials in the same order and stay bitwise-identical. *)
+let reduce_max_chunks = 8
+
 type prepared = {
   p_graph : Graph.t;
   p_plan : Fusion.plan;
@@ -70,6 +125,8 @@ type prepared = {
   p_uses : int array;  (* per slot: consuming edges in the defining block *)
   p_pinned : bool array;  (* per slot: never release or donate *)
   p_blocks : (int, binst) Hashtbl.t;  (* block id -> instructions *)
+  p_lplans : (int, lplan) Hashtbl.t;
+      (* loop node id -> iteration-batching plan (Parallel/Reduction) *)
   p_slot : (int, int) Hashtbl.t;  (* value id -> slot (kernel-site lookup) *)
   p_compiled : (int, Kernel_compile.compiled) Hashtbl.t;  (* gid -> kernel *)
   p_members : (int, inst list) Hashtbl.t;  (* gid -> members in order *)
@@ -88,6 +145,12 @@ type prepared = {
   mutable s_kernel_runs : int;
   mutable s_donations : int;
   mutable s_parallel_loops : int;
+  mutable s_reduction_loops : int;
+  (* deltas of the most recent [run], so the bench can report per-run
+     launch counts instead of cumulative ones *)
+  mutable s_last_kernel_runs : int;
+  mutable s_last_parallel_loops : int;
+  mutable s_last_reduction_loops : int;
   (* The domain pool is shared process-wide, so its cumulative dispatch
      counters mix every engine's traffic.  Each run snapshots them at its
      boundaries and accumulates the delta here, so per-engine stats stay
@@ -95,6 +158,9 @@ type prepared = {
      same cross-workload totals before this). *)
   mutable s_pool_dispatches : int;
   mutable s_pool_seq_fallbacks : int;
+  mutable s_pool_fb_grain : int;
+  mutable s_pool_fb_nested : int;
+  mutable s_pool_fb_disabled : int;
 }
 
 (* --- per-run state --- *)
@@ -464,13 +530,23 @@ and exec_loop rs ~scope (inst : inst) =
       if Array.length bi.bi_params = 0 then
         error "prim::Loop body without induction parameter";
       Array.iter (exec_plain_inst rs scope) bi.bi_pre;
-      if
-        rs.live && rs.p.p_parallel && rs.p.p_domains > 1 && trip > 1
-        && trip >= rs.p.p_loop_grain
-        && Fusion.is_parallel_loop rs.p.p_plan inst.i_node
-        && Array.length bi.bi_params > 1
-      then exec_parallel_loop rs ~scope inst bi trip inits
-      else begin
+      let lplan =
+        if
+          rs.live && rs.p.p_parallel && rs.p.p_domains > 1 && trip > 1
+          && trip >= rs.p.p_loop_grain
+        then
+          match Hashtbl.find_opt rs.p.p_lplans inst.i_node.n_id with
+          | Some lp
+            when Array.length bi.bi_params = Array.length lp.lp_roles + 1
+                 && Array.length bi.bi_insts = Array.length lp.lp_actions
+                 && Array.length inst.i_out = Array.length lp.lp_roles ->
+              Some lp
+          | _ -> None
+        else None
+      in
+      match lplan with
+      | Some lp -> exec_batched_loop rs ~scope inst bi lp trip inits
+      | None -> begin
         (* Consume the loop's input edges up front: if the loop is the
            init's last consumer, iteration writes can donate into it. *)
         List.iter (retain rs) inits;
@@ -520,22 +596,68 @@ and exec_loop rs ~scope (inst : inst) =
     end
   | _ -> error "malformed prim::Loop"
 
-(* Horizontal parallelization (Algorithm 2): the plan guarantees every
-   carried tensor is only read and written through Select-by-induction-
-   variable rules and handed to the next iteration slot-consistently, so
-   iterations touch disjoint slices of shared buffers and can run on
-   separate domains.  Bodies execute per instruction on a private frame. *)
-and exec_parallel_loop rs ~scope (inst : inst) (bi : binst) trip inits =
-  let bufs =
-    Array.of_list (List.map (fun v -> Fastops.clone (Value.to_tensor v)) inits)
-  in
+(* Horizontal parallelization (Algorithm 2), iteration-batched: the
+   dependence analysis guarantees every carried tensor is either written
+   through induction-disjoint slices (Sliced), folded by an associative
+   combine (Reduced), or passed through untouched, so iterations execute
+   on shared buffers with one in-place leaf write per recognized rebuild
+   chain — no per-iteration scopes, refcounts, or buffer rotation.
+   Bodies run the action table compiled at prepare time on a private
+   frame per pool chunk. *)
+and exec_batched_loop rs ~scope (inst : inst) (bi : binst) (lp : lplan) trip
+    inits =
+  let inits = Array.of_list inits in
+  let nc = Array.length lp.lp_roles in
   let i_slot = bi.bi_params.(0) in
-  let carried_slots = Array.sub bi.bi_params 1 (Array.length bi.bi_params - 1) in
-  let run_chunk lo hi =
-    let vals = Array.copy rs.vals in
-    (* slot -> index of the shared buffer it currently names, or -1 *)
-    let owner = Array.make (Array.length vals) (-1) in
-    Array.iteri (fun j slot -> owner.(slot) <- j) carried_slots;
+  let carried_slots = Array.sub bi.bi_params 1 nc in
+  (* Shared carried buffers for Sliced slots.  When the loop is the
+     init's last consumer and nothing else references its storage, the
+     init is adopted in place (same rule as assign donation); otherwise
+     one clone covers the whole loop. *)
+  let bufs = Array.make nc None in
+  Array.iteri
+    (fun j role ->
+      match role with
+      | Loop_par.Sliced ->
+          let bslot = inst.i_in.(j + 1) in
+          let bt = Value.to_tensor inits.(j) in
+          let t =
+            if
+              rs.live
+              && (not rs.p.p_pinned.(bslot))
+              && rs.remaining.(bslot) = 1
+              && sref_count rs bt = 1
+            then begin
+              rs.p.s_donations <- rs.p.s_donations + 1;
+              Metrics.incr donations_c;
+              bt
+            end
+            else Fastops.clone bt
+          in
+          bufs.(j) <- Some t
+      | Loop_par.Reduced _ | Loop_par.Passthrough -> ())
+    lp.lp_roles;
+  let buf j =
+    match bufs.(j) with
+    | Some t -> t
+    | None -> error "batched loop: carried slot %d has no buffer" j
+  in
+  (* Reductions use fixed chunking (see [reduce_max_chunks]); parallel
+     loops chunk per iteration — their writes are disjoint, so any
+     partition is bitwise-identical to the sequential order. *)
+  let csize =
+    if lp.lp_reduction then
+      max 1 ((trip + reduce_max_chunks - 1) / reduce_max_chunks)
+    else 1
+  in
+  let nchunks = (trip + csize - 1) / csize in
+  let partials =
+    if lp.lp_reduction then Array.init nchunks (fun _ -> Array.make nc None)
+    else [||]
+  in
+  let no_cell = Array.make (max nc 1) None in
+  let run_iters (vals : Value.t option array) (cell : Value.t option array) lo
+      hi =
     let getv slot =
       match vals.(slot) with
       | Some x -> x
@@ -544,37 +666,158 @@ and exec_parallel_loop rs ~scope (inst : inst) (bi : binst) trip inits =
     for i = lo to hi - 1 do
       vals.(i_slot) <- Some (Value.Int i);
       Array.iteri
-        (fun j slot -> vals.(slot) <- Some (Value.Tensor bufs.(j)))
+        (fun j slot ->
+          match lp.lp_roles.(j) with
+          | Loop_par.Sliced -> vals.(slot) <- Some (Value.Tensor (buf j))
+          | Loop_par.Passthrough -> vals.(slot) <- Some inits.(j)
+          | Loop_par.Reduced _ -> vals.(slot) <- cell.(j))
         carried_slots;
-      Array.iter
-        (fun (b : inst) ->
-          let n = b.i_node in
-          let inputs = List.init (Array.length b.i_in) (fun k -> getv b.i_in.(k)) in
-          match n.n_op with
-          | Op.Assign (Op.Select { dim })
-            when Array.length b.i_in > 0 && owner.(b.i_in.(0)) >= 0 ->
-              (* Iteration-private slice of the shared buffer, in place. *)
-              let j = owner.(b.i_in.(0)) in
-              let idx = Value.to_int (List.nth inputs 2) in
-              let region = Tensor.select bufs.(j) ~dim idx in
-              write_region region (Value.to_tensor (List.nth inputs 1));
-              if Array.length b.i_out <> 1 then error "malformed immut::assign";
-              vals.(b.i_out.(0)) <- Some (Value.Tensor bufs.(j));
-              owner.(b.i_out.(0)) <- j
-          | _ ->
-              let outs = Fastops.apply_op n inputs in
-              List.iteri (fun k out -> vals.(b.i_out.(k)) <- Some out) outs)
+      Array.iteri
+        (fun k (b : inst) ->
+          match lp.lp_actions.(k) with
+          | L_skip -> ()
+          | L_view kind ->
+              let base = Value.to_tensor (getv b.i_in.(0)) in
+              let operands =
+                List.init (Array.length b.i_in - 1) (fun o ->
+                    getv b.i_in.(o + 1))
+              in
+              vals.(b.i_out.(0)) <-
+                Some (Value.Tensor (Eval.apply_view_kind kind base operands))
+          | L_assign kind ->
+              let bt = Value.to_tensor (getv b.i_in.(0)) in
+              let src = Value.to_tensor (getv b.i_in.(1)) in
+              let operands =
+                List.init (Array.length b.i_in - 2) (fun o ->
+                    getv b.i_in.(o + 2))
+              in
+              let fresh = Fastops.clone bt in
+              write_region (Eval.apply_view_kind kind fresh operands) src;
+              vals.(b.i_out.(0)) <- Some (Value.Tensor fresh)
+          | L_write w ->
+              let region = ref (buf w.wr_buf) in
+              Array.iter
+                (fun (kind, ops) ->
+                  let operands =
+                    List.init (Array.length ops) (fun o -> getv ops.(o))
+                  in
+                  region := Eval.apply_view_kind kind !region operands)
+                w.wr_steps;
+              let leaf_ops =
+                List.init (Array.length w.wr_leaf_ops) (fun o ->
+                    getv w.wr_leaf_ops.(o))
+              in
+              let leaf =
+                Eval.apply_view_kind w.wr_leaf_kind !region leaf_ops
+              in
+              write_region leaf (Value.to_tensor (getv w.wr_src));
+              vals.(w.wr_out) <- Some (Value.Tensor (buf w.wr_buf))
+          | L_reduce r -> (
+              let x = getv b.i_in.(1 - r.rd_acc_pos) in
+              match cell.(r.rd_slot) with
+              | None ->
+                  (* First iteration of the chunk: the partial starts as
+                     a private copy (x may view a shared buffer that a
+                     later iteration mutates). *)
+                  let v =
+                    match x with
+                    | Value.Tensor t -> Value.Tensor (Fastops.clone t)
+                    | v -> v
+                  in
+                  cell.(r.rd_slot) <- Some v;
+                  vals.(b.i_out.(0)) <- Some v
+              | Some acc -> (
+                  let inputs =
+                    if r.rd_acc_pos = 0 then [ acc; x ] else [ x; acc ]
+                  in
+                  match Fastops.apply_op b.i_node inputs with
+                  | [ out ] ->
+                      cell.(r.rd_slot) <- Some out;
+                      vals.(b.i_out.(0)) <- Some out
+                  | _ -> error "malformed reduction combine"))
+          | L_plain ->
+              let inputs =
+                List.init (Array.length b.i_in) (fun o -> getv b.i_in.(o))
+              in
+              let outs = Fastops.apply_op b.i_node inputs in
+              List.iteri (fun o out -> vals.(b.i_out.(o)) <- Some out) outs)
         bi.bi_insts
     done
   in
-  (* Chunks go to the engine's persistent pool — one mutex handoff per
-     worker instead of a Domain.spawn/join pair per dispatch. *)
-  if Pool.parallel_for rs.p.p_exec_pool ~grain:1 ~n:trip run_chunk then begin
-    rs.p.s_parallel_loops <- rs.p.s_parallel_loops + 1;
-    Metrics.incr parallel_loops_c
+  let body lo hi =
+    (* Private frame per pool chunk: iterations rebind everything they
+       define; outer bindings are only ever read. *)
+    let vals = Array.copy rs.vals in
+    if lp.lp_reduction then
+      for c = lo to hi - 1 do
+        run_iters vals partials.(c) (c * csize) (min trip ((c + 1) * csize))
+      done
+    else run_iters vals no_cell lo hi
+  in
+  let inline_run () = body 0 nchunks in
+  let dispatch_run () =
+    ignore (Pool.parallel_for rs.p.p_exec_pool ~grain:1 ~n:nchunks body)
+  in
+  (match lp.lp_mode with
+  | L_inline -> inline_run ()
+  | L_dispatch -> dispatch_run ()
+  | L_sampling s ->
+      if s.si_runs <= s.sd_runs then begin
+        let t0 = Unix.gettimeofday () in
+        inline_run ();
+        s.si_time <- s.si_time +. (Unix.gettimeofday () -. t0);
+        s.si_runs <- s.si_runs + 1
+      end
+      else begin
+        let t0 = Unix.gettimeofday () in
+        dispatch_run ();
+        s.sd_time <- s.sd_time +. (Unix.gettimeofday () -. t0);
+        s.sd_runs <- s.sd_runs + 1
+      end;
+      if s.si_runs >= loop_sample_runs && s.sd_runs >= loop_sample_runs then
+        lp.lp_mode <- (if s.si_time <= s.sd_time then L_inline else L_dispatch));
+  rs.p.s_parallel_loops <- rs.p.s_parallel_loops + 1;
+  Metrics.incr parallel_loops_c;
+  if lp.lp_reduction then begin
+    rs.p.s_reduction_loops <- rs.p.s_reduction_loops + 1;
+    Metrics.incr reduction_loops_c
   end;
+  (* Merge reduction partials in fixed chunk order, folding from the
+     loop's init exactly once. *)
+  let merged = Array.make nc None in
   Array.iteri
-    (fun j slot -> bind rs scope slot (Value.Tensor bufs.(j)))
+    (fun j role ->
+      match role with
+      | Loop_par.Reduced { acc_pos; combine; _ } ->
+          let acc = ref inits.(j) in
+          Array.iter
+            (fun cell ->
+              match cell.(j) with
+              | None -> ()
+              | Some partial -> (
+                  let inputs =
+                    if acc_pos = 0 then [ !acc; partial ]
+                    else [ partial; !acc ]
+                  in
+                  match Fastops.apply_op combine inputs with
+                  | [ out ] -> acc := out
+                  | _ -> error "malformed reduction combine"))
+            partials;
+          merged.(j) <- Some !acc
+      | Loop_par.Sliced | Loop_par.Passthrough -> ())
+    lp.lp_roles;
+  Array.iteri
+    (fun j out_slot ->
+      let v =
+        match lp.lp_roles.(j) with
+        | Loop_par.Sliced -> Value.Tensor (buf j)
+        | Loop_par.Passthrough -> inits.(j)
+        | Loop_par.Reduced _ -> (
+            match merged.(j) with
+            | Some v -> v
+            | None -> error "batched loop: reduction slot %d never merged" j)
+      in
+      bind rs scope out_slot v)
     inst.i_out;
   consume_all rs inst.i_in
 
@@ -599,6 +842,15 @@ let prepare ~profile ~parallel ~domains ~pool:exec_pool ~loop_grain
         s
   in
   let blocks = Hashtbl.create 16 in
+  (* Groups containing an [immut::assign] stay per-node inside loops: a
+     kernel must materialize a fresh output every iteration, while the
+     per-node path donates the region write into the carried buffer —
+     O(region) against O(whole tensor) per iteration. *)
+  let assign_gids = Hashtbl.create 8 in
+  Graph.iter_nodes graph (fun n ->
+      match (n.n_op, Fusion.kernel_class_of plan n) with
+      | Op.Assign _, Fusion.Kernel gid -> Hashtbl.replace assign_gids gid ()
+      | _ -> ());
   let members : (int, inst list) Hashtbl.t = Hashtbl.create 16 in
   let first_member = Hashtbl.create 16 in
   let last_member = Hashtbl.create 16 in
@@ -625,7 +877,12 @@ let prepare ~profile ~parallel ~domains ~pool:exec_pool ~loop_grain
               | Op.Loop, [ body ] -> hoist_invariants body
               | _ -> ());
               match Fusion.kernel_class_of plan n with
-              | Fusion.Kernel gid when not under_loop ->
+              | Fusion.Kernel gid
+                when not (under_loop && Hashtbl.mem assign_gids gid) ->
+                  (* Assign-free groups under a loop register too: their
+                     kernel is compiled once at prepare time and
+                     relaunched every iteration; the auto-tuner demotes
+                     it if per-node execution beats it. *)
                   let inst = { i_node = n; i_in; i_out; i_gid = gid } in
                   let existing =
                     Option.value (Hashtbl.find_opt members gid) ~default:[]
@@ -663,6 +920,9 @@ let prepare ~profile ~parallel ~domains ~pool:exec_pool ~loop_grain
       (fun (b : inst) ->
         let invariant =
           (match b.i_node.n_op with Op.Access _ -> true | _ -> false)
+          (* Group members stay put: hoisting one would desynchronize the
+             group's first/last-member bookkeeping with execution. *)
+          && b.i_gid = -1
           && Array.for_all
                (fun s -> (not (Hashtbl.mem defined s)) || Hashtbl.mem hoisted s)
                b.i_in
@@ -687,6 +947,104 @@ let prepare ~profile ~parallel ~domains ~pool:exec_pool ~loop_grain
   in
   List.iter (fun v -> ignore (slot_of_value v)) (Graph.params graph);
   walk_block ~under_loop:false graph.Graph.g_block;
+  (* Iteration-batching plans for loops the dependence analysis cleared:
+     every slice descriptor (view kinds, operand slots, buffer indices)
+     is resolved to frame slots once, here, never per run or per
+     iteration.  A loop whose plan cannot be built (a missing slot, a
+     malformed chain) simply stays sequential. *)
+  let lplans : (int, lplan) Hashtbl.t = Hashtbl.create 4 in
+  let build_lplan (info : Loop_par.info) (body : Graph.block) =
+    match Hashtbl.find_opt blocks body.Graph.b_id with
+    | None -> None
+    | Some bi
+      when Array.length bi.bi_params <> Array.length info.Loop_par.roles + 1
+      ->
+        None
+    | Some bi -> (
+        let exception Bail in
+        let req (v : Graph.value) =
+          match Hashtbl.find_opt slot_tbl v.Graph.v_id with
+          | Some s -> s
+          | None -> raise Bail
+        in
+        let step_of (s : Loop_par.step) =
+          (s.Loop_par.st_kind, Array.of_list (List.map req s.Loop_par.st_ops))
+        in
+        let combines = Hashtbl.create 4 in
+        Array.iteri
+          (fun j role ->
+            match role with
+            | Loop_par.Reduced { acc_pos; combine; _ } ->
+                Hashtbl.replace combines combine.Graph.n_id (j, acc_pos)
+            | Loop_par.Sliced | Loop_par.Passthrough -> ())
+          info.Loop_par.roles;
+        try
+          let actions =
+            Array.map
+              (fun (b : inst) ->
+                let nid = b.i_node.n_id in
+                if Hashtbl.mem info.Loop_par.skips nid then L_skip
+                else
+                  match Hashtbl.find_opt info.Loop_par.writes nid with
+                  | Some w ->
+                      if Array.length b.i_out <> 1 then raise Bail;
+                      let lk, lops = step_of w.Loop_par.w_leaf in
+                      L_write
+                        {
+                          wr_buf = w.Loop_par.w_slot;
+                          wr_steps =
+                            Array.of_list (List.map step_of w.Loop_par.w_steps);
+                          wr_leaf_kind = lk;
+                          wr_leaf_ops = lops;
+                          wr_src = req w.Loop_par.w_src;
+                          wr_out = b.i_out.(0);
+                        }
+                  | None -> (
+                      match Hashtbl.find_opt combines nid with
+                      | Some (j, acc_pos) ->
+                          if
+                            Array.length b.i_in <> 2
+                            || Array.length b.i_out <> 1
+                          then raise Bail;
+                          L_reduce { rd_slot = j; rd_acc_pos = acc_pos }
+                      | None -> (
+                          match b.i_node.n_op with
+                          | Op.Access kind
+                            when Array.length b.i_in >= 1
+                                 && Array.length b.i_out = 1 ->
+                              L_view kind
+                          | Op.Assign kind
+                            when Array.length b.i_in >= 2
+                                 && Array.length b.i_out = 1 ->
+                              L_assign kind
+                          | _ -> L_plain)))
+              bi.bi_insts
+          in
+          let reduction =
+            Array.exists
+              (function Loop_par.Reduced _ -> true | _ -> false)
+              info.Loop_par.roles
+          in
+          Some
+            {
+              lp_roles = info.Loop_par.roles;
+              lp_actions = actions;
+              lp_reduction = reduction;
+              lp_mode =
+                L_sampling
+                  { si_time = 0.; si_runs = 0; sd_time = 0.; sd_runs = 0 };
+            }
+        with Bail -> None)
+  in
+  Graph.iter_nodes graph (fun (node : Graph.node) ->
+      if node.n_op = Op.Loop then
+        match (Fusion.loop_verdict plan node, node.n_blocks) with
+        | (Loop_par.Parallel info | Loop_par.Reduction (_, info)), [ body ]
+          -> (
+            match build_lplan info body with
+            | Some lp -> Hashtbl.replace lplans node.n_id lp
+            | None -> ())
+        | _ -> ());
   let usage =
     Tracer.span "engine.buffer_plan" (fun () -> Buffer_plan.analyze graph)
   in
@@ -739,6 +1097,7 @@ let prepare ~profile ~parallel ~domains ~pool:exec_pool ~loop_grain
     p_uses = uses;
     p_pinned = pinned;
     p_blocks = blocks;
+    p_lplans = lplans;
     p_slot = slot_tbl;
     p_compiled = compiled;
     p_members = members;
@@ -758,8 +1117,15 @@ let prepare ~profile ~parallel ~domains ~pool:exec_pool ~loop_grain
     s_kernel_runs = 0;
     s_donations = 0;
     s_parallel_loops = 0;
+    s_reduction_loops = 0;
+    s_last_kernel_runs = 0;
+    s_last_parallel_loops = 0;
+    s_last_reduction_loops = 0;
     s_pool_dispatches = 0;
     s_pool_seq_fallbacks = 0;
+    s_pool_fb_grain = 0;
+    s_pool_fb_nested = 0;
+    s_pool_fb_disabled = 0;
   }
 
 let run p args =
@@ -769,12 +1135,27 @@ let run p args =
      can be attributed to this engine alone (engines never run
      concurrently within a process, so the delta is exact). *)
   let disp0 = Pool.dispatches p.p_exec_pool
-  and seq0 = Pool.seq_fallbacks p.p_exec_pool in
+  and seq0 = Pool.seq_fallbacks p.p_exec_pool
+  and fbg0 = Pool.fallback_grain p.p_exec_pool
+  and fbn0 = Pool.fallback_nested p.p_exec_pool
+  and fbd0 = Pool.fallback_disabled p.p_exec_pool in
+  let kr0 = p.s_kernel_runs
+  and pl0 = p.s_parallel_loops
+  and rl0 = p.s_reduction_loops in
   Fun.protect ~finally:(fun () ->
       p.s_pool_dispatches <-
         p.s_pool_dispatches + Pool.dispatches p.p_exec_pool - disp0;
       p.s_pool_seq_fallbacks <-
-        p.s_pool_seq_fallbacks + Pool.seq_fallbacks p.p_exec_pool - seq0)
+        p.s_pool_seq_fallbacks + Pool.seq_fallbacks p.p_exec_pool - seq0;
+      p.s_pool_fb_grain <-
+        p.s_pool_fb_grain + Pool.fallback_grain p.p_exec_pool - fbg0;
+      p.s_pool_fb_nested <-
+        p.s_pool_fb_nested + Pool.fallback_nested p.p_exec_pool - fbn0;
+      p.s_pool_fb_disabled <-
+        p.s_pool_fb_disabled + Pool.fallback_disabled p.p_exec_pool - fbd0;
+      p.s_last_kernel_runs <- p.s_kernel_runs - kr0;
+      p.s_last_parallel_loops <- p.s_parallel_loops - pl0;
+      p.s_last_reduction_loops <- p.s_reduction_loops - rl0)
   @@ fun () ->
   Tracer.span_args "scheduler.run"
     ~args:(fun () -> [ ("graph", p.p_graph.Graph.g_name) ])
@@ -826,9 +1207,17 @@ type stats = {
   pool_reused : int;
   donations : int;
   parallel_loops_run : int;
+  reduction_loops_run : int;
+  batched_loops : int;  (* loops with an iteration-batching plan *)
+  last_kernel_runs : int;
+  last_parallel_loops : int;
+  last_reduction_loops : int;
   pool_lanes : int;
   pool_dispatches : int;
   pool_seq_fallbacks : int;
+  pool_fb_grain : int;
+  pool_fb_nested : int;
+  pool_fb_disabled : int;
 }
 
 let stats p =
@@ -841,9 +1230,17 @@ let stats p =
     pool_reused = Buffer_plan.reuses p.p_pool;
     donations = p.s_donations;
     parallel_loops_run = p.s_parallel_loops;
+    reduction_loops_run = p.s_reduction_loops;
+    batched_loops = Hashtbl.length p.p_lplans;
+    last_kernel_runs = p.s_last_kernel_runs;
+    last_parallel_loops = p.s_last_parallel_loops;
+    last_reduction_loops = p.s_last_reduction_loops;
     pool_lanes = Pool.lanes p.p_exec_pool;
     pool_dispatches = p.s_pool_dispatches;
     pool_seq_fallbacks = p.s_pool_seq_fallbacks;
+    pool_fb_grain = p.s_pool_fb_grain;
+    pool_fb_nested = p.s_pool_fb_nested;
+    pool_fb_disabled = p.s_pool_fb_disabled;
   }
 
 let clear_buffers p = Buffer_plan.clear p.p_pool

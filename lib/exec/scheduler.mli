@@ -13,9 +13,15 @@
       runtime);
     - [immut::access] returns a zero-copy strided view — safe because
       donation requires the storage to have exactly one live reference;
-    - loops in [plan.parallel_loops] run horizontally: carried tensors
-      become shared buffers whose iteration-private slices are written in
-      place, with iteration chunks dispatched across OCaml [Domain]s
+    - loops the dependence analysis cleared ({!Loop_par}) run
+      iteration-batched: at prepare time the body is compiled into an
+      action table whose slice descriptors are fully resolved to frame
+      slots, [Sliced] carried tensors become shared buffers written in
+      place through one leaf write per recognized rebuild chain,
+      [Reduced] carried tensors fold into fixed-size per-chunk partial
+      accumulators merged in chunk order (bitwise-identical across
+      domain counts), and iteration chunks go to the persistent domain
+      pool or run inline, whichever an auto-tuner times faster
       (Algorithm 2's parallelization, executed for real);
     - [prim::If]/[prim::Loop] fall back to block-level dispatch, and
       graphs still containing [aten::…_] mutations run in a plain
@@ -60,7 +66,12 @@ type stats = {
   pool_fresh : int;
   pool_reused : int;
   donations : int;  (** assigns executed in place *)
-  parallel_loops_run : int;
+  parallel_loops_run : int;  (** batched loop executions (incl. reductions) *)
+  reduction_loops_run : int;  (** batched executions of Reduction loops *)
+  batched_loops : int;  (** loops with an iteration-batching plan *)
+  last_kernel_runs : int;  (** kernel launches in the most recent run *)
+  last_parallel_loops : int;  (** batched loops in the most recent run *)
+  last_reduction_loops : int;  (** reduction loops in the most recent run *)
   pool_lanes : int;  (** worker lanes in the shared domain pool *)
   pool_dispatches : int;
       (** parallel_for calls that went to workers, {e during this
@@ -70,7 +81,11 @@ type stats = {
           each other's numbers *)
   pool_seq_fallbacks : int;
       (** parallel_for calls run sequentially during this engine's runs
-          (same per-engine delta accounting) *)
+          (same per-engine delta accounting); always the sum of the three
+          reason splits below *)
+  pool_fb_grain : int;  (** sequential: fewer than two grain-sized chunks *)
+  pool_fb_nested : int;  (** sequential: caller was itself a pool worker *)
+  pool_fb_disabled : int;  (** sequential: single lane or shut down *)
 }
 
 val stats : prepared -> stats

@@ -30,8 +30,26 @@ let program ~batch ~seq =
       ];
     body =
       [
-        (* score = sqrt(sigmoid(cls) * sigmoid(ctr)), ctr broadcast over C *)
-        "scores" := sqrt (sigmoid (var "cls") * sigmoid (var "ctr"));
+        (* score[:, :, c] = sqrt(sigmoid(cls)[:, :, c] * sigmoid(ctr)),
+           computed one class at a time as the reference postprocessor
+           does.  The centerness factor is loop-invariant, so it is
+           computed once up front; iterations write disjoint class
+           columns of [scores] and the loop classifies parallel. *)
+        "ctrs" := sigmoid (squeeze (var "ctr") 2);
+        "scores" := clone (sigmoid (var "cls"));
+        for_ "c" (i num_classes)
+          [
+            Store
+              ( Subscript
+                  ( var "scores",
+                    [ Range (i 0, i batch); Range (i 0, i n); At (var "c") ] ),
+                sqrt
+                  (Subscript
+                     ( var "scores",
+                       [ Range (i 0, i batch); Range (i 0, i n); At (var "c") ]
+                     )
+                  * var "ctrs") );
+          ];
         "boxes" := clone (var "reg");
         (* x1y1 = point - stride * lt ; x2y2 = point + stride * rb *)
         boxes (i 0) (i 2) <-- points (i 0) (i 2) - (reg (i 0) (i 2) * f stride);

@@ -10,7 +10,7 @@ let all =
     Attention.workload;
   ]
 
-let extensions = [ Nms.workload ]
+let extensions = [ Nms.workload; Tmax.workload ]
 
 let find name =
   List.find_opt

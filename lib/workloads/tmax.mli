@@ -1,0 +1,11 @@
+(** Extension workload (beyond the paper's eight): temporal max-pooling
+    over a frame sequence, written as an imperative accumulator loop
+    [acc = max(acc, frames\[t\])].  The dependence analysis recognizes
+    the associative Max accumulator and classifies the loop a
+    {e parallel reduction}: iterations fold into fixed-size per-chunk
+    partials that merge in chunk order, bitwise-identical to the
+    sequential fold because elementwise Max is exactly associative.
+    Not part of the figure registry; exposed via
+    {!Registry.extensions}. *)
+
+val workload : Workload.t

@@ -10,8 +10,10 @@ let program ~batch ~seq =
   let p = pixels and d = detections in
   let p_lo = p - crop in
   let open Ast in
-  let masks_rows lo hi =
-    Subscript (var "m", [ Range (i 0, i batch); Range (lo, hi); Range (i 0, i d) ])
+  (* One detection's mask column: m[:, lo:hi, det] *)
+  let mask_col lo hi =
+    Subscript
+      (var "m", [ Range (i 0, i batch); Range (lo, hi); At (var "det") ])
   in
   {
     name = "yolact_masks";
@@ -21,10 +23,18 @@ let program ~batch ~seq =
         (* [B, P, K] x [B, K, D] -> [B, P, D]; the compute-bound part. *)
         "logits" := matmul (var "proto") (permute (var "coef") [| 0; 2; 1 |]);
         "m" := clone (sigmoid (var "logits"));
-        (* Imperative post-processing: crop borders, rescale in place. *)
-        Fill (masks_rows (i 0) (i crop), 0.0);
-        Fill (masks_rows (i p_lo) (i p), 0.0);
-        Aug_store (masks_rows (i crop) (i p_lo), Functs_tensor.Scalar.Mul, var "gain");
+        (* Imperative post-processing, one detection at a time (as the
+           reference implementation loops over detections): crop the
+           border rows and rescale the kept rows in place.  Iterations
+           write disjoint columns of [m], so the dependence analysis
+           classifies the loop parallel. *)
+        for_ "det" (i d)
+          [
+            Fill (mask_col (i 0) (i crop), 0.0);
+            Fill (mask_col (i p_lo) (i p), 0.0);
+            Aug_store
+              (mask_col (i crop) (i p_lo), Functs_tensor.Scalar.Mul, var "gain");
+          ];
         return_ [ var "m" ];
       ];
   }

@@ -17,9 +17,10 @@ dune runtest
 
 # The exec differential suite pins its parallel engines to 2 lanes
 # explicitly (engines_of passes ~domains:2), so it crosses domains even
-# on single-core runners.
-echo "== exec differential suite =="
-dune exec test/test_exec.exe
+# on single-core runners; FUNCTS_DOMAINS=2 keeps any config-driven path
+# honest too.
+echo "== exec differential suite (FUNCTS_DOMAINS=2) =="
+FUNCTS_DOMAINS=2 dune exec test/test_exec.exe
 
 # The serve suite's stress test runs a 2-lane engine config under 4
 # producer domains plus the dispatcher.
@@ -37,6 +38,20 @@ grep -q "exec.kernel_runs" /tmp/functs_bench_smoke.txt || {
   echo "error: bench smoke metrics are missing exec.kernel_runs" >&2
   exit 1
 }
+# Horizontal v2 gates: the per-detection / per-class CV loops must batch
+# at 2 domains, and no batched loop may diverge bitwise from the
+# sequential engine (the bench prints the workload with a DIVERG marker
+# instead of "ok" when the gate trips; tee hides its exit code).
+for w in yolact fcos; do
+  grep -Eq "^ *$w +ok parallel_loops=[1-9]" /tmp/functs_bench_smoke.txt || {
+    echo "error: $w did not batch any parallel loop at FUNCTS_DOMAINS=2" >&2
+    exit 1
+  }
+done
+if grep -Eq 'DIVERGED|DIVERGENCE' /tmp/functs_bench_smoke.txt; then
+  echo "error: an engine output diverged (see bench smoke output above)" >&2
+  exit 1
+fi
 
 echo "== serve-bench --smoke (FUNCTS_DOMAINS=2) =="
 rm -f /tmp/functs_serve_bench.json

@@ -341,6 +341,170 @@ let test_parallel_slot_consistency () =
   check "swap semantics preserved" true (agrees swapped args);
   check "straight semantics preserved" true (agrees straight args)
 
+(* --- adversarial dependence analysis ---
+   Each graph below is crafted to look batchable while hiding a genuine
+   cross-iteration dependence; the classifier must refuse (with a reason)
+   and the engine must still match the interpreter through the
+   sequential path. *)
+
+let seq_reason g =
+  let plan = Fusion.plan Compiler_profile.tensorssa g in
+  match Fusion.loop_verdict plan (loop_node g) with
+  | Loop_par.Sequential m -> Some m
+  | Loop_par.Parallel _ | Loop_par.Reduction _ -> None
+
+(* Iteration i writes rows [i, i+2): consecutive iterations overlap on a
+   shared row, so iteration order is observable. *)
+let overlapping_slice_graph () =
+  let b =
+    Builder.create "overlap"
+      ~params:[ ("x", Dtype.Tensor); ("n", Dtype.Scalar Dtype.Int) ]
+  in
+  let x = Builder.param b 0 and n = Builder.param b 1 in
+  let t = Builder.clone b x in
+  let one = Builder.float b 1.0 in
+  let outs =
+    Builder.loop b ~trip:n ~init:[ t ]
+      ~body:(fun ~i ~carried ->
+        match carried with
+        | [ v ] ->
+            let hi = Builder.scalar_binary b Functs_tensor.Scalar.Add i (Builder.int b 2) in
+            let win =
+              Builder.op1 b (Op.Access (Op.Slice { dim = 0; step = 1 })) [ v; i; hi ]
+            in
+            let s = Builder.add b win one in
+            [ Builder.op1 b (Op.Assign (Op.Slice { dim = 0; step = 1 })) [ v; s; i; hi ] ]
+        | _ -> assert false)
+  in
+  Builder.return b outs;
+  Builder.graph b
+
+(* Iteration i writes rows {i, i+2} through a step-2 slice: iterations i
+   and i+2 alias even though each window looks i-indexed. *)
+let strided_alias_graph () =
+  let b =
+    Builder.create "strided"
+      ~params:[ ("x", Dtype.Tensor); ("n", Dtype.Scalar Dtype.Int) ]
+  in
+  let x = Builder.param b 0 and n = Builder.param b 1 in
+  let t = Builder.clone b x in
+  let one = Builder.float b 1.0 in
+  let outs =
+    Builder.loop b ~trip:n ~init:[ t ]
+      ~body:(fun ~i ~carried ->
+        match carried with
+        | [ v ] ->
+            let hi = Builder.scalar_binary b Functs_tensor.Scalar.Add i (Builder.int b 4) in
+            let win =
+              Builder.op1 b (Op.Access (Op.Slice { dim = 0; step = 2 })) [ v; i; hi ]
+            in
+            let s = Builder.add b win one in
+            [ Builder.op1 b (Op.Assign (Op.Slice { dim = 0; step = 2 })) [ v; s; i; hi ] ]
+        | _ -> assert false)
+  in
+  Builder.return b outs;
+  Builder.graph b
+
+(* acc = acc - x[i] is order-sensitive: Sub must not be treated as an
+   associative reduction. *)
+let reduction_graph op =
+  let b =
+    Builder.create
+      ("red_" ^ Functs_tensor.Scalar.binary_name op)
+      ~params:[ ("x", Dtype.Tensor); ("n", Dtype.Scalar Dtype.Int) ]
+  in
+  let x = Builder.param b 0 and n = Builder.param b 1 in
+  let acc0 =
+    Builder.clone b
+      (Builder.op1 b (Op.Access (Op.Select { dim = 0 })) [ x; Builder.int b 0 ])
+  in
+  let outs =
+    Builder.loop b ~trip:n ~init:[ acc0 ]
+      ~body:(fun ~i ~carried ->
+        match carried with
+        | [ acc ] ->
+            let row = Builder.op1 b (Op.Access (Op.Select { dim = 0 })) [ x; i ] in
+            [ Builder.binary b op acc row ]
+        | _ -> assert false)
+  in
+  Builder.return b outs;
+  Builder.graph b
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let test_adversarial_sequential () =
+  let expect name g sub =
+    match seq_reason g with
+    | Some m ->
+        check (name ^ " reason mentions " ^ sub) true (contains ~sub m)
+    | None -> Alcotest.fail (name ^ " wrongly classified batchable")
+  in
+  expect "overlapping slices" (overlapping_slice_graph ()) "disjoint";
+  expect "stride-aliased views" (strided_alias_graph ()) "disjoint";
+  expect "non-associative accumulator"
+    (reduction_graph Functs_tensor.Scalar.Sub)
+    "non-associative";
+  (* crossed carried slots (the swap graph of the slot-consistency test) *)
+  expect "crossed carried slots" (two_carried_graph ~swap:true) "crossed";
+  (* and every refused loop still executes correctly (sequential path) *)
+  let args () = [ Value.Tensor (T.ones [| 8; 4 |]); Value.Int 4 ] in
+  check "overlap semantics preserved" true (agrees (overlapping_slice_graph ()) args);
+  check "strided semantics preserved" true (agrees (strided_alias_graph ()) args);
+  let rargs () = [ Value.Tensor (T.ones [| 8; 4 |]); Value.Int 8 ] in
+  check "sub-accumulator semantics preserved" true
+    (agrees (reduction_graph Functs_tensor.Scalar.Sub) rargs)
+
+(* Batched execution must be bitwise-identical: a Parallel loop and a
+   reduction at domains=1 (sequential path) vs domains=4 (batched), and
+   an Add reduction across two batched domain counts (same fixed chunk
+   grid, same merge order). *)
+let bitwise_outputs g ~domains args =
+  let fg = Graph.clone g in
+  ignore (Passes.tensorssa_pipeline fg);
+  let eng =
+    Engine.prepare ~parallel:true ~domains ~cache:false fg
+      ~inputs:(Engine.input_shapes args)
+  in
+  let out = Engine.run eng args in
+  (out, Engine.stats eng)
+
+let flat = function
+  | Value.Tensor t -> T.to_flat_array t
+  | _ -> Alcotest.fail "expected tensor output"
+
+let test_batched_bitwise () =
+  let state = Random.State.make [| 99 |] in
+  let x = T.rand state [| 12; 16 |] in
+  let args trip () = [ Value.Tensor (T.clone x) ; Value.Int trip ] in
+  let bitwise name g trip d1 d2 =
+    let o1, s1 = bitwise_outputs g ~domains:d1 (args trip ()) in
+    let o2, s2 = bitwise_outputs g ~domains:d2 (args trip ()) in
+    check
+      (Printf.sprintf "%s bitwise at domains=%d vs %d" name d1 d2)
+      true
+      (List.for_all2 (fun a b -> flat a = flat b) o1 o2);
+    (name, s1, s2)
+  in
+  let _, _, sp = bitwise "parallel loop" (carried_store_graph ()) 12 1 4 in
+  check "domains=4 run batched the loop" true
+    (sp.Scheduler.last_parallel_loops >= 1);
+  let _, _, sm = bitwise "max reduction" (reduction_graph Functs_tensor.Scalar.Max) 12 1 4 in
+  check "max reduction ran as a batched reduction" true
+    (sm.Scheduler.last_reduction_loops >= 1);
+  (* Add is only associative up to rounding, so compare the two batched
+     engines (identical chunk grid) rather than batched vs sequential. *)
+  ignore (bitwise "add reduction" (reduction_graph Functs_tensor.Scalar.Add) 12 2 4);
+  (* batched max still equals the interpreter exactly: elementwise Max is
+     exactly associative *)
+  let g = reduction_graph Functs_tensor.Scalar.Max in
+  let expected = Eval.run g (args 12 ()) in
+  let got, _ = bitwise_outputs g ~domains:4 (args 12 ()) in
+  check "max reduction bitwise vs interpreter" true
+    (List.for_all2 (fun a b -> flat a = flat b) expected got)
+
 let test_workloads_equivalent () =
   List.iter
     (fun (o : Equiv.outcome) ->
@@ -425,6 +589,13 @@ let () =
             test_kernels_actually_compile;
           Alcotest.test_case "workload equivalence" `Slow
             test_workloads_equivalent;
+        ] );
+      ( "adversarial",
+        [
+          Alcotest.test_case "hidden dependences stay sequential" `Quick
+            test_adversarial_sequential;
+          Alcotest.test_case "batched loops bitwise" `Quick
+            test_batched_bitwise;
         ] );
       ( "property",
         List.map QCheck_alcotest.to_alcotest

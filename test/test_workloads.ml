@@ -48,8 +48,9 @@ let batch2_cases =
 
 let test_registry_complete () =
   check_int "eight workloads" 8 (List.length Registry.all);
-  check_int "one extension" 1 (List.length Registry.extensions);
+  check_int "two extensions" 2 (List.length Registry.extensions);
   check "extensions findable" true (Option.is_some (Registry.find "nms"));
+  check "tmax findable" true (Option.is_some (Registry.find "tmax"));
   check_int "four CV" 4 (List.length Registry.cv);
   check_int "four NLP-ish" 4 (List.length Registry.nlp);
   check "find works" true
@@ -105,16 +106,49 @@ let test_tensorssa_fuses_best () =
         Compiler_profile.all)
     Registry.all
 
-let test_horizontal_applies_to_yolov3_decode () =
-  let w = Option.get (Registry.find "yolov3") in
-  let g = Workload.graph w ~batch:1 ~seq:1 in
+let workload_loop_verdicts name =
+  let w = Option.get (Registry.find name) in
+  let g = Workload.graph w ~batch:1 ~seq:w.default_seq in
   ignore (Convert.functionalize g);
   let plan = Fusion.plan Compiler_profile.tensorssa g in
-  let loops =
-    List.filter (fun (n : Graph.node) -> n.n_op = Op.Loop) (Graph.all_nodes g)
-  in
+  List.filter_map
+    (fun (n : Graph.node) ->
+      if n.n_op = Op.Loop then Some (Fusion.loop_verdict plan n) else None)
+    (Graph.all_nodes g)
+
+let test_horizontal_applies_to_yolov3_decode () =
   check "yolov3 scale loop parallelized" true
-    (List.exists (Fusion.is_parallel_loop plan) loops)
+    (List.exists
+       (function Loop_par.Parallel _ -> true | _ -> false)
+       (workload_loop_verdicts "yolov3"))
+
+(* The CV post-processing loops rewritten per-detection / per-class must
+   classify parallel, and the temporal-max accumulator must classify a
+   Max reduction — the bench's horizontal columns depend on these. *)
+let test_cv_loops_classify_parallel () =
+  List.iter
+    (fun name ->
+      check (name ^ " loop parallel") true
+        (List.exists
+           (function Loop_par.Parallel _ -> true | _ -> false)
+           (workload_loop_verdicts name)))
+    [ "yolact"; "fcos" ];
+  check "tmax loop is a Max reduction" true
+    (List.exists
+       (function
+         | Loop_par.Reduction (Functs_tensor.Scalar.Max, _) -> true
+         | _ -> false)
+       (workload_loop_verdicts "tmax"));
+  (* Genuine recurrences must stay sequential, with a recorded reason. *)
+  List.iter
+    (fun name ->
+      check (name ^ " loops sequential") true
+        (List.for_all
+           (function
+             | Loop_par.Sequential reason -> String.length reason > 0
+             | _ -> false)
+           (workload_loop_verdicts name)))
+    [ "lstm"; "nasrnn"; "seq2seq" ]
 
 (* Extension workload: data-dependent control flow still functionalizes
    and stays equivalent, and the suppression logic behaves sanely. *)
@@ -146,6 +180,8 @@ let () =
             test_tensorssa_fuses_best;
           Alcotest.test_case "yolov3 horizontal" `Quick
             test_horizontal_applies_to_yolov3_decode;
+          Alcotest.test_case "cv loop classification" `Quick
+            test_cv_loops_classify_parallel;
           Alcotest.test_case "nms extension" `Quick test_nms_extension;
         ] );
     ]
