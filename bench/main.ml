@@ -243,6 +243,16 @@ let prepare ~parallel fg ~inputs =
     ~kernel_grain:config.Config.kernel_grain ~cache:config.Config.cache fg
     ~inputs
 
+(* The JIT arm always measures: FUNCTS_JIT=off still benches the native
+   backend in auto mode (per-group graceful fallback), it just leaves
+   the other arms untouched. *)
+let prepare_jit fg ~inputs =
+  let mode = if config.Config.jit = Jit.Off then Jit.Auto else config.Config.jit in
+  Engine.prepare ~parallel:false ~domains:config.Config.domains
+    ~loop_grain:config.Config.loop_grain
+    ~kernel_grain:config.Config.kernel_grain ~cache:config.Config.cache
+    ~jit:mode ~jit_dir:config.Config.jit_dir fg ~inputs
+
 let prepare_times ~parallel fg ~inputs =
   Engine.clear_cache ();
   let stamp f =
@@ -260,11 +270,13 @@ type wrow = {
   r_seq : int;
   r_interp : float;
   r_fused : float;
+  r_jit : float;
   r_par : float;
   r_sweep : (int * float) list; (* domains -> median wall-clock *)
   r_cold : float;
   r_warm : float;
   r_stats : Scheduler.stats;
+  r_jit_stats : Scheduler.stats;
 }
 
 let json_escape s =
@@ -314,29 +326,36 @@ let write_json path rows (pool_us, spawn_us) =
              (fun (d, t) -> Printf.sprintf "\"d%d_ms\": %.4f" d (1e3 *. t))
              r.r_sweep)
       in
+      let sj = r.r_jit_stats in
       p
         "    { \"name\": \"%s\", \"batch\": %d, \"seq\": %d,\n\
-        \      \"interp_ms\": %.4f, \"fused_ms\": %.4f, \
+        \      \"interp_ms\": %.4f, \"fused_ms\": %.4f, \"jit_ms\": %.4f, \
          \"fused_parallel_ms\": %.4f,\n\
-        \      \"fused_speedup\": %.3f, \"parallel_speedup\": %.3f,\n\
+        \      \"fused_speedup\": %.3f, \"jit_speedup\": %.3f, \
+         \"parallel_speedup\": %.3f,\n\
+        \      \"jit_groups\": %d, \"jit_runs\": %d, \"jit_fallbacks\": %d,\n\
         \      \"sweep\": { %s },\n\
         \      \"prepare_cold_ms\": %.4f, \"prepare_warm_ms\": %.6f,\n\
         \      \"kernel_runs\": %d, \"parallel_loops\": %d, \
-         \"reduction_loops\": %d, \"batched_loops\": %d,\n\
+         \"reduction_loops\": %d, \"batched_loops\": %d, \
+         \"loops_pinned_seq\": %d,\n\
         \      \"pool_lanes\": %d, \"pool_dispatches\": %d, \
          \"pool_seq_fallbacks\": %d,\n\
         \      \"pool_fallbacks\": { \"grain\": %d, \"nested\": %d, \
          \"disabled\": %d } }%s\n"
         (json_escape r.r_name) r.r_batch r.r_seq (1e3 *. r.r_interp)
-        (1e3 *. r.r_fused) (1e3 *. r.r_par)
+        (1e3 *. r.r_fused) (1e3 *. r.r_jit) (1e3 *. r.r_par)
         (r.r_interp /. Float.max 1e-9 r.r_fused)
+        (r.r_fused /. Float.max 1e-9 r.r_jit)
         (r.r_interp /. Float.max 1e-9 r.r_par)
-        sweep (1e3 *. r.r_cold) (1e3 *. r.r_warm)
+        sj.Scheduler.jit_groups sj.Scheduler.last_jit_runs
+        sj.Scheduler.jit_fallbacks sweep (1e3 *. r.r_cold) (1e3 *. r.r_warm)
         s.Scheduler.last_kernel_runs s.Scheduler.last_parallel_loops
         s.Scheduler.last_reduction_loops s.Scheduler.batched_loops
-        s.Scheduler.pool_lanes s.Scheduler.pool_dispatches
-        s.Scheduler.pool_seq_fallbacks s.Scheduler.pool_fb_grain
-        s.Scheduler.pool_fb_nested s.Scheduler.pool_fb_disabled
+        s.Scheduler.loops_pinned_seq s.Scheduler.pool_lanes
+        s.Scheduler.pool_dispatches s.Scheduler.pool_seq_fallbacks
+        s.Scheduler.pool_fb_grain s.Scheduler.pool_fb_nested
+        s.Scheduler.pool_fb_disabled
         (if i = List.length rows - 1 then "" else ",")
     )
     rows;
@@ -378,9 +397,9 @@ let run_exec () =
     print_endline
       "Execution engine: interpreter vs fused vs fused+parallel (median \
        wall-clock per run; d1/d2/d4 sweep the worker-domain count)";
-    Printf.printf "  %-10s %11s %11s %11s %8s %8s %9s %9s %9s\n" "workload"
-      "interp(ms)" "fused(ms)" "par(ms)" "fused x" "par x" "d1(ms)"
-      "d2(ms)" "d4(ms)"
+    Printf.printf "  %-10s %11s %11s %11s %11s %8s %8s %8s %9s %9s %9s\n"
+      "workload" "interp(ms)" "fused(ms)" "jit(ms)" "par(ms)" "fused x"
+      "jit x" "par x" "d1(ms)" "d2(ms)" "d4(ms)"
   end;
   List.iter
     (fun (w : Workload.t) ->
@@ -392,9 +411,11 @@ let run_exec () =
       ignore (Passes.tensorssa_pipeline fg);
       let inputs = Engine.input_shapes args in
       let eng = prepare ~parallel:false fg ~inputs in
+      let engj = prepare_jit fg ~inputs in
       let _, _, engp = prepare_times ~parallel:true fg ~inputs in
       let equal got = List.for_all2 (Value.equal ~atol:1e-4) expected got in
       let seq_ref = Engine.run eng args in
+      let jit_out = Engine.run engj args in
       let par_out = Engine.run engp args in
       let sp = Engine.stats engp in
       let nbatched = sp.Scheduler.last_parallel_loops in
@@ -403,6 +424,12 @@ let run_exec () =
         Printf.printf "  %-10s ENGINE OUTPUT DIVERGED FROM INTERPRETER\n"
           w.name
       end
+      (* the gate for native kernels: bitwise vs the interpreter, or at
+         worst within the harness epsilon *)
+      else if not (tensors_bitwise expected jit_out || equal jit_out) then begin
+        ok := false;
+        Printf.printf "  %-10s JIT ENGINE DIVERGED FROM INTERPRETER\n" w.name
+      end
       else if nbatched > 0 && not (tensors_bitwise seq_ref par_out) then begin
         ok := false;
         Printf.printf
@@ -410,12 +437,17 @@ let run_exec () =
            ENGINE\n"
           w.name
       end
-      else if smoke_mode then
-        Printf.printf "  %-10s ok parallel_loops=%d reduction_loops=%d\n"
+      else if smoke_mode then begin
+        let sj = Engine.stats engj in
+        Printf.printf
+          "  %-10s ok parallel_loops=%d reduction_loops=%d jit_groups=%d\n"
           w.name nbatched sp.Scheduler.last_reduction_loops
+          sj.Scheduler.jit_groups
+      end
       else begin
         let t_interp = time_median (fun () -> Eval.run g args) in
         let t_fused = time_median (fun () -> Engine.run eng args) in
+        let t_jit = time_median (fun () -> Engine.run engj args) in
         let t_par = time_median (fun () -> Engine.run engp args) in
         (* Worker-domain sweep: same engine configuration at 1/2/4 lanes.
            domains=1 takes the sequential per-iteration path (the batch
@@ -453,12 +485,14 @@ let run_exec () =
            first prepare above also paid kernel auto-tuning samples. *)
         let t_cold, t_warm, _ = prepare_times ~parallel:true fg ~inputs in
         let s = Engine.stats engp in
+        let sj = Engine.stats engj in
         let sw d = try List.assoc d sweep with Not_found -> nan in
         Printf.printf
-          "  %-10s %11.3f %11.3f %11.3f %8.2f %8.2f %9.3f %9.3f %9.3f\n"
-          w.name (1e3 *. t_interp) (1e3 *. t_fused) (1e3 *. t_par)
-          (t_interp /. t_fused) (t_interp /. t_par)
-          (1e3 *. sw 1) (1e3 *. sw 2) (1e3 *. sw 4);
+          "  %-10s %11.3f %11.3f %11.3f %11.3f %8.2f %8.2f %8.2f %9.3f \
+           %9.3f %9.3f\n"
+          w.name (1e3 *. t_interp) (1e3 *. t_fused) (1e3 *. t_jit)
+          (1e3 *. t_par) (t_interp /. t_fused) (t_interp /. t_jit)
+          (t_interp /. t_par) (1e3 *. sw 1) (1e3 *. sw 2) (1e3 *. sw 4);
         rows :=
           {
             r_name = w.name;
@@ -466,11 +500,13 @@ let run_exec () =
             r_seq = seq;
             r_interp = t_interp;
             r_fused = t_fused;
+            r_jit = t_jit;
             r_par = t_par;
             r_sweep = sweep;
             r_cold = t_cold;
             r_warm = t_warm;
             r_stats = s;
+            r_jit_stats = sj;
           }
           :: !rows
       end)

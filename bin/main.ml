@@ -196,7 +196,8 @@ let run_trace (w : Workload.t) (profile : Compiler_profile.t) batch seq =
 let prepare_engine ?(profile = Compiler_profile.tensorssa) g args =
   Engine.prepare ~profile ~domains:config.Config.domains
     ~loop_grain:config.Config.loop_grain
-    ~kernel_grain:config.Config.kernel_grain ~cache:config.Config.cache g
+    ~kernel_grain:config.Config.kernel_grain ~cache:config.Config.cache
+    ~jit:config.Config.jit ~jit_dir:config.Config.jit_dir g
     ~inputs:(Engine.input_shapes args)
 
 let run_exec (w : Workload.t) (profile : Compiler_profile.t) batch seq =
@@ -225,6 +226,10 @@ let run_exec (w : Workload.t) (profile : Compiler_profile.t) batch seq =
       (s.Scheduler.pool_fresh + s.Scheduler.pool_reused)
       s.Scheduler.parallel_loops_run s.Scheduler.reduction_loops_run
       s.Scheduler.batched_loops;
+    Printf.printf
+      "jit        : %s — %d groups armed, %d native runs, %d fallbacks\n"
+      (Jit.mode_to_string config.Config.jit)
+      s.Scheduler.jit_groups s.Scheduler.jit_runs s.Scheduler.jit_fallbacks;
     Printf.printf
       "domains    : %d lanes, %d dispatches, %d sequential (grain=%d \
        nested=%d disabled=%d)\n"

@@ -12,15 +12,26 @@ type plan = {
 
 (* Vertical fusion: maximal consecutive runs of fusible nodes per block.
    Free nodes neither join nor break a run; Break closes it without a
-   kernel; Kernel nodes are singleton groups. *)
-let assign_groups profile (g : Graph.t) classes =
+   kernel; Kernel nodes are singleton groups.
+
+   With [fence_loop_assigns], an [immut::assign] inside a loop body is
+   fenced into a singleton group: the executor keeps assign-bearing
+   groups under loops on the per-node path so the write can donate into
+   the carried buffer, and one fused assign used to drag its whole
+   surrounding compute chain (the GRU/LSTM cell body) off the kernel
+   path with it.  Fencing the assign leaves the chain as an assign-free
+   group the closure/JIT backends can run, while the assign itself
+   still donates.  The flag is the execution engine's: the cost model
+   and the figures count kernel launches over the unfenced plan, where
+   a launch means one fused group per the paper's accounting. *)
+let assign_groups ~fence_loop_assigns profile (g : Graph.t) classes =
   let next_group = ref 0 in
   let fresh_group () =
     let id = !next_group in
     incr next_group;
     id
   in
-  let rec walk_block (block : Graph.block) =
+  let rec walk_block ~in_loop (block : Graph.block) =
     let current = ref None in
     let close () = current := None in
     List.iter
@@ -31,6 +42,11 @@ let assign_groups profile (g : Graph.t) classes =
             Hashtbl.replace classes node.n_id No_cost;
             close ()
         | Compiler_profile.Kernel ->
+            Hashtbl.replace classes node.n_id (Kernel (fresh_group ()));
+            close ()
+        | Compiler_profile.Fusible
+          when fence_loop_assigns && in_loop
+               && (match node.n_op with Op.Assign _ -> true | _ -> false) ->
             Hashtbl.replace classes node.n_id (Kernel (fresh_group ()));
             close ()
         | Compiler_profile.Fusible ->
@@ -46,10 +62,11 @@ let assign_groups profile (g : Graph.t) classes =
         | Compiler_profile.Control ->
             Hashtbl.replace classes node.n_id No_cost;
             close ();
-            List.iter walk_block node.n_blocks)
+            let in_loop = in_loop || node.n_op = Op.Loop in
+            List.iter (walk_block ~in_loop) node.n_blocks)
       block.b_nodes
   in
-  walk_block g.g_block;
+  walk_block ~in_loop:false g.g_block;
   !next_group
 
 (* A group consisting solely of [immut::access] nodes moves no data of its
@@ -148,13 +165,13 @@ let classify_loops profile g =
       end);
   verdicts
 
-let plan profile (g : Graph.t) =
+let plan ?(fence_loop_assigns = false) profile (g : Graph.t) =
   Functs_obs.Tracer.span_args "fusion.plan"
     ~args:(fun () ->
       [ ("graph", g.Graph.g_name); ("profile", profile.Compiler_profile.short_name) ])
   @@ fun () ->
   let classes = Hashtbl.create 64 in
-  let group_count = assign_groups profile g classes in
+  let group_count = assign_groups ~fence_loop_assigns profile g classes in
   demote_access_only_groups g classes;
   let escaping = compute_escaping g classes in
   let loop_verdicts = classify_loops profile g in

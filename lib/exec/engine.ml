@@ -31,6 +31,13 @@ let set_cache_default on = cache_default := on
 let set_cache_capacity n = cache_capacity_ref := max 1 n
 let cache_capacity () = !cache_capacity_ref
 
+module Jit = Functs_jit.Jit
+
+let jit_default = ref Jit.Off
+let jit_dir_default = ref ""
+let set_jit_default m = jit_default := m
+let set_jit_dir_default d = jit_dir_default := d
+
 let input_shapes args =
   List.map
     (function
@@ -40,20 +47,20 @@ let input_shapes args =
 
 (* --- build (the uncached path) --- *)
 
-let build ~profile ~parallel ~domains ~loop_grain ~kernel_grain (g : Graph.t)
-    ~inputs =
+let build ~profile ~parallel ~domains ~loop_grain ~kernel_grain ~jit ~jit_dir
+    (g : Graph.t) ~inputs =
   Tracer.span_args "engine.build"
     ~args:(fun () ->
       [ ("graph", g.Graph.g_name); ("profile", profile.Compiler_profile.short_name) ])
     (fun () ->
-      let plan = Fusion.plan profile g in
+      let plan = Fusion.plan ~fence_loop_assigns:true profile g in
       let shapes =
         Tracer.span "engine.shape_infer" (fun () -> Shape_infer.infer g ~inputs)
       in
       let pool = Pool.shared ~lanes:domains in
       let prepared =
         Scheduler.prepare ~profile ~parallel ~domains ~pool ~loop_grain
-          ~kernel_grain ~graph:g ~shapes ~plan
+          ~kernel_grain ~jit ~jit_dir ~graph:g ~shapes ~plan
       in
       { e_graph = g; e_prepared = prepared; e_lock = Mutex.create () })
 
@@ -111,7 +118,8 @@ let graph_digest (g : Graph.t) =
       digest_memo := (g, d) :: keep;
       d
 
-let cache_key ~profile ~parallel ~domains ~loop_grain ~kernel_grain g ~inputs =
+let cache_key ~profile ~parallel ~domains ~loop_grain ~kernel_grain ~jit
+    ~jit_dir g ~inputs =
   String.concat "|"
     [
       profile.Compiler_profile.short_name;
@@ -119,6 +127,8 @@ let cache_key ~profile ~parallel ~domains ~loop_grain ~kernel_grain g ~inputs =
       string_of_int domains;
       string_of_int loop_grain;
       string_of_int kernel_grain;
+      Jit.mode_to_string jit;
+      jit_dir;
       shape_sig inputs;
       graph_digest g;
     ]
@@ -157,10 +167,12 @@ let clear_cache () =
 let cache_size () = cache_locked (fun () -> Hashtbl.length cache_tbl)
 
 let prepare ?(profile = Compiler_profile.tensorssa) ?(parallel = true) ?domains
-    ?loop_grain ?kernel_grain ?cache (g : Graph.t) ~inputs =
+    ?loop_grain ?kernel_grain ?cache ?jit ?jit_dir (g : Graph.t) ~inputs =
   let domains =
     match domains with Some d -> max 1 d | None -> default_domains ()
   in
+  let jit = match jit with Some m -> m | None -> !jit_default in
+  let jit_dir = match jit_dir with Some d -> d | None -> !jit_dir_default in
   let loop_grain =
     match loop_grain with Some g -> max 1 g | None -> default_loop_grain ()
   in
@@ -173,8 +185,8 @@ let prepare ?(profile = Compiler_profile.tensorssa) ?(parallel = true) ?domains
   if cache then
     cache_locked (fun () ->
         let key =
-          cache_key ~profile ~parallel ~domains ~loop_grain ~kernel_grain g
-            ~inputs
+          cache_key ~profile ~parallel ~domains ~loop_grain ~kernel_grain ~jit
+            ~jit_dir g ~inputs
         in
         match Hashtbl.find_opt cache_tbl key with
         | Some e ->
@@ -187,8 +199,8 @@ let prepare ?(profile = Compiler_profile.tensorssa) ?(parallel = true) ?domains
             Compiler_profile.cache_miss ();
             Tracer.instant "engine.cache.miss";
             let t =
-              build ~profile ~parallel ~domains ~loop_grain ~kernel_grain g
-                ~inputs
+              build ~profile ~parallel ~domains ~loop_grain ~kernel_grain ~jit
+                ~jit_dir g ~inputs
             in
             while Hashtbl.length cache_tbl >= cache_capacity () do
               evict_one ()
@@ -196,7 +208,9 @@ let prepare ?(profile = Compiler_profile.tensorssa) ?(parallel = true) ?domains
             incr cache_tick;
             Hashtbl.replace cache_tbl key { c_engine = t; c_tick = !cache_tick };
             t)
-  else build ~profile ~parallel ~domains ~loop_grain ~kernel_grain g ~inputs
+  else
+    build ~profile ~parallel ~domains ~loop_grain ~kernel_grain ~jit ~jit_dir g
+      ~inputs
 
 let run t args =
   Mutex.lock t.e_lock;

@@ -23,6 +23,8 @@ val prepare :
   ?loop_grain:int ->
   ?kernel_grain:int ->
   ?cache:bool ->
+  ?jit:Functs_jit.Jit.mode ->
+  ?jit_dir:string ->
   Graph.t ->
   inputs:Shape_infer.shape option list ->
   t
@@ -47,6 +49,11 @@ val prepare :
     (slot frames, fused-kernel closures, buffer pool) without recompiling.
     [cache] defaults to the process-wide setting ({!set_cache_default},
     [true] initially); pass [~cache:false] to bypass for one call.
+    [jit] (default: the process-wide {!set_jit_default} setting,
+    initially [Off]) arms fused groups with native code via
+    {!Functs_jit.Jit}; [jit_dir] is the artifact-cache directory
+    ([""] resolves to a temp-dir default).  Both participate in the
+    compile-cache key.
     Capacity is {!set_cache_capacity} (default 32) entries, evicted LRU;
     hit/miss/evict counters are the [engine.cache.*] metrics, read via
     {!Compiler_profile.cache_snapshot}.  The cache is safe to use from
@@ -91,3 +98,13 @@ val set_cache_capacity : int -> unit
     this. *)
 
 val cache_capacity : unit -> int
+
+val set_jit_default : Functs_jit.Jit.mode -> unit
+(** Process-wide default for [prepare]'s [?jit] argument (initially
+    [Off]).  [Config.apply] pushes the validated [FUNCTS_JIT] setting
+    through this. *)
+
+val set_jit_dir_default : string -> unit
+(** Process-wide default for [prepare]'s [?jit_dir] argument (initially
+    [""], i.e. the temp-dir fallback).  [Config.apply] pushes
+    [FUNCTS_JIT_DIR] through this. *)

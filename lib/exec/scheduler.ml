@@ -4,6 +4,7 @@ open Functs_core
 open Functs_interp
 module Tracer = Functs_obs.Tracer
 module Metrics = Functs_obs.Metrics
+module Jit = Functs_jit.Jit
 
 let error fmt = Format.kasprintf (fun m -> raise (Eval.Runtime_error m)) fmt
 
@@ -20,22 +21,30 @@ let reduction_loops_c = Metrics.counter "exec.reduction_loops"
 let kernels_compiled_c = Metrics.counter "exec.kernels_compiled"
 let kernels_rejected_c = Metrics.counter "exec.kernels_rejected"
 
+(* Shared with the jit driver (counter creation is idempotent per
+   name): runtime demotions of a jit-armed group land on the same
+   fallback counter as preparation-time failures. *)
+let jit_fallbacks_c = Metrics.counter "jit.cache.fallback"
+
 (* Compiled closure kernels and fast per-node execution trade differently
    per group (a kernel saves intermediate materialization but interprets
    an expression tree per element), so each group is auto-tuned: its first
-   executions time both implementations and the faster one sticks. *)
+   executions time both implementations and the faster one sticks.  Each
+   arm keeps the MINIMUM over [sample_runs] samples, not the sum: a GC
+   pause landing in one arm's single sample used to flip whole processes
+   into the slower mode for good. *)
 type gmode =
   | Sampling of {
-      mutable k_time : float;
+      mutable k_time : float;  (* fastest kernel-arm sample *)
       mutable k_runs : int;
-      mutable p_time : float;
+      mutable p_time : float;  (* fastest per-node sample *)
       mutable p_runs : int;
       mutable p_start : float;
     }
   | Use_kernel
   | Use_plain
 
-let sample_runs = 1
+let sample_runs = 3
 
 (* Every value of the graph gets a dense frame slot at preparation time and
    each block becomes an instruction array with pre-resolved slots, so the
@@ -52,6 +61,24 @@ type inst = {
          and relaunched every iteration, and the per-group auto-tuner
          demotes them back to per-node execution (where assigns can
          donate into carried buffers) whenever that is faster. *)
+  mutable i_first : bool;  (* first member of its group (sampling start) *)
+  mutable i_last : bool;  (* last member of its group: the launch point *)
+}
+
+(* Per-group dispatch state, held in a dense gid-indexed array on the
+   prepared engine.  Sequential loop bodies touch every member
+   instruction once per iteration, so this must be one array load away:
+   the per-member hashtable probes (compiled? last member? mode?) this
+   replaces were a measurable slice of loop-bound workloads (seq2seq
+   walks ~50 member instructions × 128 iterations per run). *)
+type group = {
+  g_members : inst list;  (* in plan order *)
+  g_compiled : Kernel_compile.compiled;
+  mutable g_jit : Jit.entry option;
+      (* native launcher; tried before the closure kernel and cleared
+         (demoted) on the first launch-time validation failure *)
+  mutable g_mode : gmode;  (* auto-tuning state *)
+  mutable g_fallback : bool;  (* demoted to per-node at runtime *)
 }
 
 type binst = {
@@ -89,17 +116,25 @@ type laction =
   | L_reduce of { rd_slot : int; rd_acc_pos : int }
 
 (* Batched loops are auto-tuned between running all iterations inline on
-   the caller and dispatching chunks across the domain pool: on small
-   trip counts the pool handoff (~5us) can exceed the whole loop. *)
+   the caller, dispatching chunks across the domain pool, and the
+   classic sequential body (which keeps kernel fusion and donation): on
+   small trip counts the pool handoff (~5us) can exceed the whole loop,
+   and on kernel-heavy bodies (ssd) the batched per-node replay can
+   lose to the sequential fused path outright — the third arm pins the
+   sequential body when it measures fastest. *)
 type lmode =
   | L_sampling of {
+      (* fastest sample per arm (min, not sum — see {!gmode}) *)
       mutable si_time : float;
       mutable si_runs : int;
       mutable sd_time : float;
       mutable sd_runs : int;
+      mutable ss_time : float;
+      mutable ss_runs : int;
     }
   | L_inline
   | L_dispatch
+  | L_seq
 
 let loop_sample_runs = 2
 
@@ -128,12 +163,12 @@ type prepared = {
   p_lplans : (int, lplan) Hashtbl.t;
       (* loop node id -> iteration-batching plan (Parallel/Reduction) *)
   p_slot : (int, int) Hashtbl.t;  (* value id -> slot (kernel-site lookup) *)
-  p_compiled : (int, Kernel_compile.compiled) Hashtbl.t;  (* gid -> kernel *)
-  p_members : (int, inst list) Hashtbl.t;  (* gid -> members in order *)
-  p_first_member : (int, int) Hashtbl.t;  (* gid -> node id of first member *)
-  p_last_member : (int, int) Hashtbl.t;  (* gid -> node id of last member *)
-  p_modes : (int, gmode) Hashtbl.t;  (* auto-tuning state per group *)
-  p_fallback : (int, unit) Hashtbl.t;  (* gids demoted at runtime *)
+  p_groups : group option array;
+      (* gid -> dispatch record, [None] for gids without both a
+         compiled kernel and registered member instructions *)
+  p_ncompiled : int;
+      (* groups with a compiled closure kernel (includes groups that
+         never dispatch, e.g. assign-bearing groups under a loop) *)
   p_scalar_slots : (string, int) Hashtbl.t;  (* kernel symbol -> slot *)
   p_live : bool;  (* mutation-free: pool / donation / kernels active *)
   p_parallel : bool;
@@ -143,12 +178,15 @@ type prepared = {
   p_loop_grain : int;  (* minimum trip count before a loop dispatches *)
   p_kernel_grain : int;  (* elements per chunk for intra-kernel splits *)
   mutable s_kernel_runs : int;
+  mutable s_jit_runs : int;
+  mutable s_jit_fallbacks : int;
   mutable s_donations : int;
   mutable s_parallel_loops : int;
   mutable s_reduction_loops : int;
   (* deltas of the most recent [run], so the bench can report per-run
      launch counts instead of cumulative ones *)
   mutable s_last_kernel_runs : int;
+  mutable s_last_jit_runs : int;
   mutable s_last_parallel_loops : int;
   mutable s_last_reduction_loops : int;
   (* The domain pool is shared process-wide, so its cumulative dispatch
@@ -363,68 +401,101 @@ let tensor_lookup rs (v : Graph.value) =
   | Some slot -> (
       match rs.vals.(slot) with Some (Value.Tensor t) -> Some t | _ -> None)
 
-let mode_of p gid =
-  match Hashtbl.find_opt p.p_modes gid with
-  | Some m -> m
-  | None ->
-      let m =
-        Sampling { k_time = 0.; k_runs = 0; p_time = 0.; p_runs = 0; p_start = 0. }
-      in
-      Hashtbl.replace p.p_modes gid m;
-      m
+let bind_group_results rs scope gid members results =
+  rs.p.s_kernel_runs <- rs.p.s_kernel_runs + 1;
+  Metrics.incr kernel_runs_c;
+  if Tracer.enabled () then
+    Tracer.instant "kernel.outputs"
+      ~args:
+        [
+          ("group", string_of_int gid);
+          ( "elements",
+            string_of_int
+              (List.fold_left
+                 (fun acc (_, t, _) -> acc + Tensor.numel t)
+                 0 results) );
+        ];
+  List.iter
+    (fun ((v : Graph.value), t, stored) ->
+      if stored then
+        match slot_of rs v with
+        | Some slot -> bind rs scope slot (Value.Tensor t)
+        | None -> error "kernel output %s has no frame slot" v.Graph.v_name
+      else Buffer_plan.release rs.p.p_pool t)
+    results;
+  (* Sweep every member's input edges so external values retire. *)
+  List.iter (fun (m : inst) -> consume_all rs m.i_in) members
 
-let run_group rs scope gid members compiled =
-  let allocated = ref [] in
-  let alloc shape =
-    let t = Buffer_plan.alloc rs.p.p_pool shape in
-    allocated := t :: !allocated;
-    t
-  in
-  match
-    Tracer.span_args "kernel.launch"
-      ~args:(fun () -> [ ("group", string_of_int gid) ])
-      (fun () ->
-        Kernel_compile.run
-          ?pool:(if rs.p.p_parallel then Some rs.p.p_exec_pool else None)
-          ~grain:rs.p.p_kernel_grain compiled ~alloc ~lookup:(tensor_lookup rs)
-          ~scalar:(scalar_lookup rs))
-  with
-  | exception e ->
-      (* Return the partial allocations and demote the group for good. *)
-      List.iter (Buffer_plan.release rs.p.p_pool) !allocated;
-      Hashtbl.replace rs.p.p_fallback gid ();
-      Hashtbl.replace rs.p.p_modes gid Use_plain;
-      Metrics.incr kernel_fallbacks_c;
-      Tracer.instant "kernel.fallback"
-        ~args:[ ("group", string_of_int gid) ];
-      (match e with
-      | Kernel_compile.Fallback _ | Invalid_argument _ ->
-          List.iter (exec_plain_inst rs scope) members
-      | e -> raise e)
-  | results ->
-      rs.p.s_kernel_runs <- rs.p.s_kernel_runs + 1;
-      Metrics.incr kernel_runs_c;
-      if Tracer.enabled () then
-        Tracer.instant "kernel.outputs"
-          ~args:
-            [
-              ("group", string_of_int gid);
-              ( "elements",
-                string_of_int
-                  (List.fold_left
-                     (fun acc (_, t, _) -> acc + Tensor.numel t)
-                     0 results) );
-            ];
-      List.iter
-        (fun ((v : Graph.value), t, stored) ->
-          if stored then
-            match slot_of rs v with
-            | Some slot -> bind rs scope slot (Value.Tensor t)
-            | None -> error "kernel output %s has no frame slot" v.Graph.v_name
-          else Buffer_plan.release rs.p.p_pool t)
-        results;
-      (* Sweep every member's input edges so external values retire. *)
-      List.iter (fun (m : inst) -> consume_all rs m.i_in) members
+(* The kernel arm of a group is jit-or-closure: a jit-armed group
+   launches native code first, and a launch-time validation failure
+   (rank/extent mismatch, out-of-range dynamic index) demotes just the
+   jit entry — the closure kernel below retries the same launch, so a
+   jit fallback is never user-visible. *)
+let run_group_jit rs gid g =
+  match g.g_jit with
+  | None -> None
+  | Some entry -> (
+      let allocated = ref [] in
+      let alloc shape =
+        let t = Buffer_plan.alloc rs.p.p_pool shape in
+        allocated := t :: !allocated;
+        t
+      in
+      match
+        Tracer.span_args "kernel.launch"
+          ~args:(fun () ->
+            [ ("group", string_of_int gid); ("backend", "jit") ])
+          (fun () ->
+            Jit.run entry ~alloc ~lookup:(tensor_lookup rs)
+              ~scalar:(scalar_lookup rs))
+      with
+      | results ->
+          rs.p.s_jit_runs <- rs.p.s_jit_runs + 1;
+          Some results
+      | exception Jit.Fallback reason ->
+          List.iter (Buffer_plan.release rs.p.p_pool) !allocated;
+          g.g_jit <- None;
+          rs.p.s_jit_fallbacks <- rs.p.s_jit_fallbacks + 1;
+          Metrics.incr jit_fallbacks_c;
+          Tracer.instant "jit.fallback"
+            ~args:[ ("group", string_of_int gid); ("reason", reason) ];
+          None
+      | exception e ->
+          List.iter (Buffer_plan.release rs.p.p_pool) !allocated;
+          raise e)
+
+let run_group rs scope gid g =
+  match run_group_jit rs gid g with
+  | Some results -> bind_group_results rs scope gid g.g_members results
+  | None -> (
+      let allocated = ref [] in
+      let alloc shape =
+        let t = Buffer_plan.alloc rs.p.p_pool shape in
+        allocated := t :: !allocated;
+        t
+      in
+      match
+        Tracer.span_args "kernel.launch"
+          ~args:(fun () -> [ ("group", string_of_int gid) ])
+          (fun () ->
+            Kernel_compile.run
+              ?pool:(if rs.p.p_parallel then Some rs.p.p_exec_pool else None)
+              ~grain:rs.p.p_kernel_grain g.g_compiled ~alloc
+              ~lookup:(tensor_lookup rs) ~scalar:(scalar_lookup rs))
+      with
+      | exception e ->
+          (* Return the partial allocations and demote the group for good. *)
+          List.iter (Buffer_plan.release rs.p.p_pool) !allocated;
+          g.g_fallback <- true;
+          g.g_mode <- Use_plain;
+          Metrics.incr kernel_fallbacks_c;
+          Tracer.instant "kernel.fallback"
+            ~args:[ ("group", string_of_int gid) ];
+          (match e with
+          | Kernel_compile.Fallback _ | Invalid_argument _ ->
+              List.iter (exec_plain_inst rs scope) g.g_members
+          | e -> raise e)
+      | results -> bind_group_results rs scope gid g.g_members results)
 
 (* --- blocks, control flow, loops --- *)
 
@@ -478,41 +549,38 @@ and exec_inst rs ~scope (inst : inst) =
   | Op.Loop -> exec_loop rs ~scope inst
   | _ -> begin
       match inst.i_gid with
-      | gid when gid >= 0 && rs.live && Hashtbl.mem rs.p.p_compiled gid
-        -> begin
+      | gid when gid >= 0 && rs.live -> begin
           (* When the kernel runs, the whole group runs at its last member:
              by then every out-of-group dependency (constants, scalar
              indices, access bases) is bound, and no non-member can consume
              a member's output earlier, since anything that breaks a run
              also ends the group. *)
-          let is_last = Hashtbl.find_opt rs.p.p_last_member gid = Some node.n_id in
-          let run_kernel () =
-            run_group rs scope gid
-              (Hashtbl.find rs.p.p_members gid)
-              (Hashtbl.find rs.p.p_compiled gid)
-          in
-          match mode_of rs.p gid with
-          | Use_plain -> exec_plain_inst rs scope inst
-          | Use_kernel -> if is_last then run_kernel ()
-          | Sampling s when s.k_runs < sample_runs ->
-              if is_last then begin
-                let t0 = Unix.gettimeofday () in
-                run_kernel ();
-                s.k_time <- s.k_time +. (Unix.gettimeofday () -. t0);
-                s.k_runs <- s.k_runs + 1
-              end
-          | Sampling s ->
-              if Hashtbl.find_opt rs.p.p_first_member gid = Some node.n_id then
-                s.p_start <- Unix.gettimeofday ();
-              exec_plain_inst rs scope inst;
-              if is_last then begin
-                s.p_time <- s.p_time +. (Unix.gettimeofday () -. s.p_start);
-                s.p_runs <- s.p_runs + 1;
-                if s.p_runs >= sample_runs && not (Hashtbl.mem rs.p.p_fallback gid)
-                then
-                  Hashtbl.replace rs.p.p_modes gid
-                    (if s.k_time <= s.p_time then Use_kernel else Use_plain)
-              end
+          match rs.p.p_groups.(gid) with
+          | None -> exec_plain_inst rs scope inst
+          | Some g -> begin
+              match g.g_mode with
+              | Use_plain -> exec_plain_inst rs scope inst
+              | Use_kernel -> if inst.i_last then run_group rs scope gid g
+              | Sampling s when s.k_runs < sample_runs ->
+                  if inst.i_last then begin
+                    let t0 = Unix.gettimeofday () in
+                    run_group rs scope gid g;
+                    s.k_time <- Float.min s.k_time (Unix.gettimeofday () -. t0);
+                    s.k_runs <- s.k_runs + 1
+                  end
+              | Sampling s ->
+                  if inst.i_first then s.p_start <- Unix.gettimeofday ();
+                  exec_plain_inst rs scope inst;
+                  if inst.i_last then begin
+                    s.p_time <-
+                      Float.min s.p_time (Unix.gettimeofday () -. s.p_start);
+                    s.p_runs <- s.p_runs + 1;
+                    if s.p_runs >= sample_runs && not g.g_fallback then
+                      g.g_mode <-
+                        (if s.k_time <= s.p_time then Use_kernel
+                         else Use_plain)
+                  end
+            end
         end
       | _ -> exec_plain_inst rs scope inst
     end
@@ -545,8 +613,58 @@ and exec_loop rs ~scope (inst : inst) =
         else None
       in
       match lplan with
-      | Some lp -> exec_batched_loop rs ~scope inst bi lp trip inits
-      | None -> begin
+      | Some lp -> begin
+          let timed f =
+            let t0 = Unix.gettimeofday () in
+            f ();
+            Unix.gettimeofday () -. t0
+          in
+          match lp.lp_mode with
+          | L_inline ->
+              exec_batched_loop rs ~scope inst bi lp trip inits
+                ~dispatch:false
+          | L_dispatch ->
+              exec_batched_loop rs ~scope inst bi lp trip inits ~dispatch:true
+          | L_seq -> exec_seq_loop rs ~scope inst bi trip inits
+          | L_sampling s ->
+              if s.si_runs < loop_sample_runs then begin
+                s.si_time <-
+                  Float.min s.si_time
+                    (timed (fun () ->
+                         exec_batched_loop rs ~scope inst bi lp trip inits
+                           ~dispatch:false));
+                s.si_runs <- s.si_runs + 1
+              end
+              else if s.sd_runs < loop_sample_runs then begin
+                s.sd_time <-
+                  Float.min s.sd_time
+                    (timed (fun () ->
+                         exec_batched_loop rs ~scope inst bi lp trip inits
+                           ~dispatch:true));
+                s.sd_runs <- s.sd_runs + 1
+              end
+              else begin
+                s.ss_time <-
+                  Float.min s.ss_time
+                    (timed (fun () -> exec_seq_loop rs ~scope inst bi trip inits));
+                s.ss_runs <- s.ss_runs + 1;
+                if s.ss_runs >= loop_sample_runs then
+                  lp.lp_mode <-
+                    (if s.si_time <= s.sd_time && s.si_time <= s.ss_time then
+                       L_inline
+                     else if s.sd_time <= s.ss_time then L_dispatch
+                     else L_seq)
+              end
+        end
+      | None -> exec_seq_loop rs ~scope inst bi trip inits
+    end
+  | _ -> error "malformed prim::Loop"
+
+(* The classic sequential loop body: per-iteration scopes, kernel
+   fusion and assign donation all active.  Also the third auto-tuner
+   arm of batched loops ([L_seq]): a workload whose batched arms lose
+   to the fused sequential path pins this one. *)
+and exec_seq_loop rs ~scope (inst : inst) (bi : binst) trip inits = begin
         (* Consume the loop's input edges up front: if the loop is the
            init's last consumer, iteration writes can donate into it. *)
         List.iter (retain rs) inits;
@@ -593,8 +711,6 @@ and exec_loop rs ~scope (inst : inst) =
         List.iteri (fun k v -> bind rs scope inst.i_out.(k) v) !carried;
         List.iter (unretain rs) !carried
       end
-    end
-  | _ -> error "malformed prim::Loop"
 
 (* Horizontal parallelization (Algorithm 2), iteration-batched: the
    dependence analysis guarantees every carried tensor is either written
@@ -605,7 +721,7 @@ and exec_loop rs ~scope (inst : inst) =
    Bodies run the action table compiled at prepare time on a private
    frame per pool chunk. *)
 and exec_batched_loop rs ~scope (inst : inst) (bi : binst) (lp : lplan) trip
-    inits =
+    inits ~dispatch =
   let inits = Array.of_list inits in
   let nc = Array.length lp.lp_roles in
   let i_slot = bi.bi_params.(0) in
@@ -754,28 +870,9 @@ and exec_batched_loop rs ~scope (inst : inst) (bi : binst) (lp : lplan) trip
       done
     else run_iters vals no_cell lo hi
   in
-  let inline_run () = body 0 nchunks in
-  let dispatch_run () =
+  if dispatch then
     ignore (Pool.parallel_for rs.p.p_exec_pool ~grain:1 ~n:nchunks body)
-  in
-  (match lp.lp_mode with
-  | L_inline -> inline_run ()
-  | L_dispatch -> dispatch_run ()
-  | L_sampling s ->
-      if s.si_runs <= s.sd_runs then begin
-        let t0 = Unix.gettimeofday () in
-        inline_run ();
-        s.si_time <- s.si_time +. (Unix.gettimeofday () -. t0);
-        s.si_runs <- s.si_runs + 1
-      end
-      else begin
-        let t0 = Unix.gettimeofday () in
-        dispatch_run ();
-        s.sd_time <- s.sd_time +. (Unix.gettimeofday () -. t0);
-        s.sd_runs <- s.sd_runs + 1
-      end;
-      if s.si_runs >= loop_sample_runs && s.sd_runs >= loop_sample_runs then
-        lp.lp_mode <- (if s.si_time <= s.sd_time then L_inline else L_dispatch));
+  else body 0 nchunks;
   rs.p.s_parallel_loops <- rs.p.s_parallel_loops + 1;
   Metrics.incr parallel_loops_c;
   if lp.lp_reduction then begin
@@ -824,7 +921,7 @@ and exec_batched_loop rs ~scope (inst : inst) (bi : binst) (lp : lplan) trip
 (* --- preparation --- *)
 
 let prepare ~profile ~parallel ~domains ~pool:exec_pool ~loop_grain
-    ~kernel_grain ~graph ~shapes ~plan =
+    ~kernel_grain ~jit ~jit_dir ~graph ~shapes ~plan =
   ignore profile;
   Metrics.incr prepares_c;
   Tracer.span_args "scheduler.prepare"
@@ -852,8 +949,6 @@ let prepare ~profile ~parallel ~domains ~pool:exec_pool ~loop_grain
       | Op.Assign _, Fusion.Kernel gid -> Hashtbl.replace assign_gids gid ()
       | _ -> ());
   let members : (int, inst list) Hashtbl.t = Hashtbl.create 16 in
-  let first_member = Hashtbl.create 16 in
-  let last_member = Hashtbl.create 16 in
   let consts = ref [] in
   let pinned_extra = ref [] in
   let rec walk_block ~under_loop (b : Graph.block) =
@@ -869,7 +964,10 @@ let prepare ~profile ~parallel ~domains ~pool:exec_pool ~loop_grain
           | Op.Constant _ ->
               (* Pure and input-free: bound once per run, not per
                  iteration of whatever block contains it. *)
-              consts := { i_node = n; i_in; i_out; i_gid = -1 } :: !consts;
+              consts :=
+                { i_node = n; i_in; i_out; i_gid = -1;
+                  i_first = false; i_last = false }
+                :: !consts;
               Array.iter (fun s -> pinned_extra := s :: !pinned_extra) i_out;
               None
           | _ -> (
@@ -883,16 +981,19 @@ let prepare ~profile ~parallel ~domains ~pool:exec_pool ~loop_grain
                      kernel is compiled once at prepare time and
                      relaunched every iteration; the auto-tuner demotes
                      it if per-node execution beats it. *)
-                  let inst = { i_node = n; i_in; i_out; i_gid = gid } in
+                  let inst =
+                    { i_node = n; i_in; i_out; i_gid = gid;
+                      i_first = false; i_last = false }
+                  in
                   let existing =
                     Option.value (Hashtbl.find_opt members gid) ~default:[]
                   in
-                  if existing = [] then Hashtbl.replace first_member gid n.n_id;
                   Hashtbl.replace members gid (existing @ [ inst ]);
-                  Hashtbl.replace last_member gid n.n_id;
                   Some inst
               | Fusion.Kernel _ | Fusion.No_cost ->
-                  Some { i_node = n; i_in; i_out; i_gid = -1 }))
+                  Some
+                    { i_node = n; i_in; i_out; i_gid = -1;
+                      i_first = false; i_last = false }))
         b.Graph.b_nodes
     in
     Hashtbl.replace blocks b.Graph.b_id
@@ -1032,7 +1133,14 @@ let prepare ~profile ~parallel ~domains ~pool:exec_pool ~loop_grain
               lp_reduction = reduction;
               lp_mode =
                 L_sampling
-                  { si_time = 0.; si_runs = 0; sd_time = 0.; sd_runs = 0 };
+                  {
+                    si_time = infinity;
+                    si_runs = 0;
+                    sd_time = infinity;
+                    sd_runs = 0;
+                    ss_time = infinity;
+                    ss_runs = 0;
+                  };
             }
         with Bail -> None)
   in
@@ -1075,6 +1183,47 @@ let prepare ~profile ~parallel ~domains ~pool:exec_pool ~loop_grain
           Hashtbl.replace compiled k.k_group c
       | Error _ -> Metrics.incr kernels_rejected_c)
     kernels;
+  (* Third dispatch arm: native code for the groups that also
+     closure-compiled (so a runtime demotion always has a closure to
+     retry with).  [prepare_groups] never raises — a missing toolchain,
+     emitter rejection or compile failure just leaves the table short
+     and ticks [jit.cache.fallback]. *)
+  let jit_tbl : (int, Jit.entry) Hashtbl.t = Hashtbl.create 16 in
+  (if jit <> Jit.Off then
+     let cands =
+       List.filter
+         (fun (k : Codegen.kernel) -> Hashtbl.mem compiled k.k_group)
+         kernels
+     in
+     List.iter
+       (fun (gid, entry) -> Hashtbl.replace jit_tbl gid entry)
+       (Jit.prepare_groups ~mode:jit ~dir:jit_dir ~kernels:cands ~shapes));
+  (* Fold the per-group tables into one dense dispatch array and stamp
+     each member instruction with its first/last flag, so the executor's
+     per-instruction dispatch is an array load instead of hashtable
+     probes (see {!group}). *)
+  let max_gid = Hashtbl.fold (fun gid _ acc -> max gid acc) members (-1) in
+  let groups = Array.make (max_gid + 1) None in
+  Hashtbl.iter
+    (fun gid ms ->
+      match (ms, Hashtbl.find_opt compiled gid) with
+      | [], _ | _, None -> ()
+      | first :: _, Some c ->
+          first.i_first <- true;
+          (List.nth ms (List.length ms - 1)).i_last <- true;
+          groups.(gid) <-
+            Some
+              {
+                g_members = ms;
+                g_compiled = c;
+                g_jit = Hashtbl.find_opt jit_tbl gid;
+                g_mode =
+                  Sampling
+                    { k_time = infinity; k_runs = 0; p_time = infinity;
+                      p_runs = 0; p_start = 0. };
+                g_fallback = false;
+              })
+    members;
   let scalar_slots = Hashtbl.create 64 in
   let note_value (v : Graph.value) =
     match Hashtbl.find_opt slot_tbl v.Graph.v_id with
@@ -1099,13 +1248,9 @@ let prepare ~profile ~parallel ~domains ~pool:exec_pool ~loop_grain
     p_blocks = blocks;
     p_lplans = lplans;
     p_slot = slot_tbl;
-    p_compiled = compiled;
-    p_members = members;
+    p_groups = groups;
+    p_ncompiled = Hashtbl.length compiled;
     p_consts = Array.of_list (List.rev !consts);
-    p_first_member = first_member;
-    p_last_member = last_member;
-    p_modes = Hashtbl.create 16;
-    p_fallback = Hashtbl.create 4;
     p_scalar_slots = scalar_slots;
     p_live = not !has_mutation;
     p_parallel = parallel;
@@ -1115,10 +1260,13 @@ let prepare ~profile ~parallel ~domains ~pool:exec_pool ~loop_grain
     p_loop_grain = max 1 loop_grain;
     p_kernel_grain = max 1 kernel_grain;
     s_kernel_runs = 0;
+    s_jit_runs = 0;
+    s_jit_fallbacks = 0;
     s_donations = 0;
     s_parallel_loops = 0;
     s_reduction_loops = 0;
     s_last_kernel_runs = 0;
+    s_last_jit_runs = 0;
     s_last_parallel_loops = 0;
     s_last_reduction_loops = 0;
     s_pool_dispatches = 0;
@@ -1140,6 +1288,7 @@ let run p args =
   and fbn0 = Pool.fallback_nested p.p_exec_pool
   and fbd0 = Pool.fallback_disabled p.p_exec_pool in
   let kr0 = p.s_kernel_runs
+  and jr0 = p.s_jit_runs
   and pl0 = p.s_parallel_loops
   and rl0 = p.s_reduction_loops in
   Fun.protect ~finally:(fun () ->
@@ -1154,6 +1303,7 @@ let run p args =
       p.s_pool_fb_disabled <-
         p.s_pool_fb_disabled + Pool.fallback_disabled p.p_exec_pool - fbd0;
       p.s_last_kernel_runs <- p.s_kernel_runs - kr0;
+      p.s_last_jit_runs <- p.s_jit_runs - jr0;
       p.s_last_parallel_loops <- p.s_parallel_loops - pl0;
       p.s_last_reduction_loops <- p.s_reduction_loops - rl0)
   @@ fun () ->
@@ -1209,7 +1359,14 @@ type stats = {
   parallel_loops_run : int;
   reduction_loops_run : int;
   batched_loops : int;  (* loops with an iteration-batching plan *)
+  jit_groups : int;  (* groups armed with a native launch fn *)
+  jit_runs : int;
+  jit_fallbacks : int;  (* runtime demotions back to the closure arm *)
+  loops_pinned_inline : int;
+  loops_pinned_dispatch : int;
+  loops_pinned_seq : int;  (* batched loops pinned back to sequential *)
   last_kernel_runs : int;
+  last_jit_runs : int;
   last_parallel_loops : int;
   last_reduction_loops : int;
   pool_lanes : int;
@@ -1221,18 +1378,39 @@ type stats = {
 }
 
 let stats p =
+  let pin_i = ref 0 and pin_d = ref 0 and pin_s = ref 0 in
+  Hashtbl.iter
+    (fun _ (lp : lplan) ->
+      match lp.lp_mode with
+      | L_inline -> incr pin_i
+      | L_dispatch -> incr pin_d
+      | L_seq -> incr pin_s
+      | L_sampling _ -> ())
+    p.p_lplans;
+  let count f =
+    Array.fold_left
+      (fun acc g -> match g with Some g when f g -> acc + 1 | _ -> acc)
+      0 p.p_groups
+  in
   {
     groups = List.length (Fusion.group_sizes p.p_plan);
-    compiled = Hashtbl.length p.p_compiled;
+    compiled = p.p_ncompiled;
     kernel_runs = p.s_kernel_runs;
-    fallback_groups = Hashtbl.length p.p_fallback;
+    fallback_groups = count (fun g -> g.g_fallback);
     pool_fresh = Buffer_plan.fresh_allocs p.p_pool;
     pool_reused = Buffer_plan.reuses p.p_pool;
     donations = p.s_donations;
     parallel_loops_run = p.s_parallel_loops;
     reduction_loops_run = p.s_reduction_loops;
     batched_loops = Hashtbl.length p.p_lplans;
+    jit_groups = count (fun g -> g.g_jit <> None);
+    jit_runs = p.s_jit_runs;
+    jit_fallbacks = p.s_jit_fallbacks;
+    loops_pinned_inline = !pin_i;
+    loops_pinned_dispatch = !pin_d;
+    loops_pinned_seq = !pin_s;
     last_kernel_runs = p.s_last_kernel_runs;
+    last_jit_runs = p.s_last_jit_runs;
     last_parallel_loops = p.s_last_parallel_loops;
     last_reduction_loops = p.s_last_reduction_loops;
     pool_lanes = Pool.lanes p.p_exec_pool;

@@ -42,6 +42,8 @@ val prepare :
   pool:Pool.t ->
   loop_grain:int ->
   kernel_grain:int ->
+  jit:Functs_jit.Jit.mode ->
+  jit_dir:string ->
   graph:Graph.t ->
   shapes:Shape_infer.result ->
   plan:Fusion.plan ->
@@ -51,7 +53,10 @@ val prepare :
     worker pool every dispatch goes through (the scheduler never spawns
     domains itself); [loop_grain] is the minimum trip count before a
     horizontal loop dispatches in parallel, [kernel_grain] the per-chunk
-    element count for intra-kernel splits. *)
+    element count for intra-kernel splits.  [jit] arms fused groups with
+    native code compiled through {!Functs_jit.Jit} (artifacts cached
+    under [jit_dir], [""] = temp-dir default); arming failures fall back
+    to closure kernels and never raise. *)
 
 val run : prepared -> Value.t list -> Value.t list
 (** Execute once.  The storage pool persists across runs; returned tensors
@@ -69,7 +74,14 @@ type stats = {
   parallel_loops_run : int;  (** batched loop executions (incl. reductions) *)
   reduction_loops_run : int;  (** batched executions of Reduction loops *)
   batched_loops : int;  (** loops with an iteration-batching plan *)
+  jit_groups : int;  (** groups currently armed with a native launch fn *)
+  jit_runs : int;  (** native kernel launches so far *)
+  jit_fallbacks : int;  (** runtime demotions back to the closure arm *)
+  loops_pinned_inline : int;  (** batched loops the tuner pinned inline *)
+  loops_pinned_dispatch : int;  (** … pinned to pool dispatch *)
+  loops_pinned_seq : int;  (** … pinned back to the sequential fused path *)
   last_kernel_runs : int;  (** kernel launches in the most recent run *)
+  last_jit_runs : int;  (** native launches in the most recent run *)
   last_parallel_loops : int;  (** batched loops in the most recent run *)
   last_reduction_loops : int;  (** reduction loops in the most recent run *)
   pool_lanes : int;  (** worker lanes in the shared domain pool *)

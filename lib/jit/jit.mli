@@ -1,0 +1,62 @@
+(** Native JIT backend driver: renders an engine preparation's fused
+    kernels to OCaml source ({!Jit_emit}), compiles/loads them through
+    the on-disk artifact cache ({!Jit_cache}), and launches them with
+    per-run validation.
+
+    Failure never crosses the engine API: {!prepare_groups} records
+    every failure (missing toolchain, emitter rejection, compile error)
+    as a [jit.cache.fallback] tick and returns the groups that did
+    arm; {!run} raises only {!Fallback}, which the scheduler converts
+    into a closure-kernel launch for that group. *)
+
+open Functs_ir
+open Functs_tensor
+open Functs_core
+
+type mode = Off | On | Auto
+(** [Auto] falls back gracefully per group; [On] attempts JIT
+    unconditionally (failures still only fall back); [Off] disables. *)
+
+val mode_of_string : string -> mode option
+val mode_to_string : mode -> string
+
+val version : int
+(** Codegen version stamp (see {!Jit_cache.version}). *)
+
+val set_compiler : string -> unit
+val toolchain_available : unit -> bool
+val clear_loaded : unit -> unit
+
+val default_dir : unit -> string
+(** Fallback artifact directory under the system temp dir; the real
+    default ([~/.cache/functs/jit]) is resolved by [Config.of_env]. *)
+
+val resolve_dir : string -> string
+(** [""] resolves to {!default_dir}. *)
+
+type entry
+(** One JIT-armed group: its launch function plus per-engine scratch. *)
+
+val prepare_groups :
+  mode:mode ->
+  dir:string ->
+  kernels:Codegen.kernel list ->
+  shapes:Shape_infer.result ->
+  (int * entry) list
+(** Emit, compile (or load from cache) and arm the given kernels;
+    returns [(group id, entry)] for each kernel that made it to native
+    code.  Never raises. *)
+
+exception Fallback of string
+
+val run :
+  entry ->
+  alloc:(Shape.t -> Tensor.t) ->
+  lookup:(Graph.value -> Tensor.t option) ->
+  scalar:(string -> int option) ->
+  (Graph.value * Tensor.t * bool) list
+(** Launch one group natively; same contract as
+    [Kernel_compile.run] (statement results in order, stored flag per
+    statement).  Raises {!Fallback} when a binding fails validation —
+    the caller releases this launch's allocations and demotes the
+    group. *)

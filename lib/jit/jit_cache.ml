@@ -1,0 +1,273 @@
+module Tracer = Functs_obs.Tracer
+module Metrics = Functs_obs.Metrics
+
+(* On-disk artifact store for JIT-compiled kernel groups.
+
+   One [.cmxs] holds every kernel of one engine preparation; the file
+   name carries the codegen [version] stamp and the MD5 digest of the
+   generated source, so a warm process (or a second process) loads the
+   artifact instead of recompiling — the digest covers baked shapes,
+   statement structure and the emitter version, which is exactly the
+   compile-cache key material.
+
+   The generated plugin is self-contained (stdlib only), so loading
+   needs no [.cmi] of the host program and survives host rebuilds.  The
+   launch table crosses the Dynlink boundary through a signal-handler
+   slot: the plugin's init stores a closure (disguised as a handler) in
+   [Sys.sigusr2], the host reads it back immediately after
+   [loadfile_private] and restores the previous handler.  The window is
+   a few instructions long, the stored value is a real closure (a
+   spurious signal would call it harmlessly), and the whole sequence
+   runs under [lock].
+
+   Hygiene: artifacts of other codegen versions are evicted the first
+   time a directory is used; concurrent same-digest compiles are
+   serialized by a [.lock] file (O_CREAT|O_EXCL) with stale-lock
+   breaking, and the compile itself happens in a private build
+   directory followed by an atomic rename, so readers never observe a
+   half-written artifact. *)
+
+let version = 1
+
+type fn = float array array -> int array -> unit
+
+let hit_c = Metrics.counter "jit.cache.hit"
+let miss_c = Metrics.counter "jit.cache.miss"
+let compiles_c = Metrics.counter "jit.compiles"
+let evicted_c = Metrics.counter "jit.cache.evicted"
+
+let compiler = ref "ocamlfind ocamlopt"
+let probe : bool option ref = ref None
+
+let set_compiler cmd =
+  compiler := cmd;
+  probe := None
+
+let toolchain_available () =
+  match !probe with
+  | Some b -> b
+  | None ->
+      let ok = Sys.command (!compiler ^ " -version >/dev/null 2>&1") = 0 in
+      probe := Some ok;
+      ok
+
+let lock = Mutex.create ()
+let loaded : (string, fn array) Hashtbl.t = Hashtbl.create 8
+let prepared_dirs : (string, unit) Hashtbl.t = Hashtbl.create 4
+
+(* Test hook: forgetting the in-process tables simulates a fresh
+   process, so the disk-hit path can be exercised in one binary. *)
+let clear_loaded () =
+  Mutex.protect lock (fun () ->
+      Hashtbl.reset loaded;
+      Hashtbl.reset prepared_dirs)
+
+let prefix = "functs_jit_v"
+let artifact_base digest = Printf.sprintf "%s%d_%s" prefix version digest
+let artifact_name digest = artifact_base digest ^ ".cmxs"
+let artifact_path ~dir ~digest = Filename.concat dir (artifact_name digest)
+let header digest = Printf.sprintf "functs-jit/v%d/%s" version digest
+
+let rec mkdir_p d =
+  if d = "" || d = "/" || d = "." || Sys.file_exists d then ()
+  else begin
+    mkdir_p (Filename.dirname d);
+    try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let starts_with ~p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+(* Drop every artifact (and leftover lock) stamped with a different
+   codegen version: its layout assumptions no longer hold, and nothing
+   will ever load it again. *)
+let evict_stale dir =
+  match Sys.readdir dir with
+  | exception _ -> ()
+  | files ->
+      let keep = Printf.sprintf "%s%d_" prefix version in
+      Array.iter
+        (fun f ->
+          if starts_with ~p:prefix f && not (starts_with ~p:keep f) then (
+            try
+              Sys.remove (Filename.concat dir f);
+              Metrics.incr evicted_c
+            with _ -> ()))
+        files
+
+let load_artifact path ~expect_header ~nfns =
+  Tracer.span "jit.load" @@ fun () ->
+  let saved = Sys.signal Sys.sigusr2 Sys.Signal_ignore in
+  let restore () = ignore (Sys.signal Sys.sigusr2 saved) in
+  match Dynlink.loadfile_private path with
+  | exception e ->
+      restore ();
+      Error
+        (Printf.sprintf "dynlink %s: %s" path
+           (match e with
+           | Dynlink.Error err -> Dynlink.error_message err
+           | e -> Printexc.to_string e))
+  | () -> (
+      let got = Sys.signal Sys.sigusr2 Sys.Signal_ignore in
+      restore ();
+      match got with
+      | Sys.Signal_handle f -> (
+          let pack : unit -> string * fn array = Obj.magic f in
+          match pack () with
+          | exception e -> Error ("artifact handshake: " ^ Printexc.to_string e)
+          | hdr, _ when hdr <> expect_header ->
+              Error ("artifact header mismatch: " ^ hdr)
+          | _, fns when Array.length fns <> nfns ->
+              Error "artifact launch-table arity mismatch"
+          | _, fns -> Ok fns)
+      | _ -> Error "artifact registered no launch table")
+
+let read_excerpt path =
+  match open_in path with
+  | exception _ -> ""
+  | ic ->
+      let n = min 400 (in_channel_length ic) in
+      let b = really_input_string ic n in
+      close_in ic;
+      String.map (function '\n' -> ' ' | c -> c) b
+
+let compile_artifact ~dir ~digest ~source =
+  Tracer.span "jit.compile" @@ fun () ->
+  let base = artifact_base digest in
+  let final = artifact_path ~dir ~digest in
+  let build =
+    Filename.concat dir (Printf.sprintf "build-%d-%s" (Unix.getpid ()) digest)
+  in
+  try
+    mkdir_p build;
+    if not (Sys.file_exists build && Sys.is_directory build) then
+      Error ("cannot create build directory " ^ build)
+    else begin
+      let src = Filename.concat build (base ^ ".ml") in
+      let oc = open_out src in
+      output_string oc source;
+      close_out oc;
+      let out = Filename.concat build (base ^ ".cmxs") in
+      let log = Filename.concat build "ocamlopt.log" in
+      let cmd =
+        Printf.sprintf "%s -shared -w -a -o %s %s > %s 2>&1" !compiler
+          (Filename.quote out) (Filename.quote src) (Filename.quote log)
+      in
+      let rc = Sys.command cmd in
+      let cleanup () =
+        Array.iter
+          (fun f -> try Sys.remove (Filename.concat build f) with _ -> ())
+          (try Sys.readdir build with _ -> [||]);
+        try Unix.rmdir build with _ -> ()
+      in
+      if rc <> 0 then begin
+        let excerpt = read_excerpt log in
+        cleanup ();
+        Error (Printf.sprintf "%s failed (rc %d): %s" !compiler rc excerpt)
+      end
+      else begin
+        Metrics.incr compiles_c;
+        match Sys.rename out final with
+        | () ->
+            cleanup ();
+            Ok ()
+        | exception e ->
+            cleanup ();
+            Error ("artifact install: " ^ Printexc.to_string e)
+      end
+    end
+  with e -> Error ("artifact compile: " ^ Printexc.to_string e)
+
+(* Same-key compiles across processes serialize on a lockfile; a holder
+   that died leaves a lock older than [stale_after], which the next
+   waiter breaks.  Waiters poll for the artifact itself, so the winner's
+   atomic rename releases everyone at once. *)
+let stale_after = 60.0
+let lock_wait = 10.0
+
+let acquire_or_wait ~lockpath ~final =
+  let try_acquire () =
+    match Unix.openfile lockpath Unix.[ O_CREAT; O_EXCL; O_WRONLY ] 0o644 with
+    | fd ->
+        Unix.close fd;
+        `Acquired
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) -> `Held
+    | exception _ -> `Acquired
+    (* an unwritable directory surfaces as the real compile error *)
+  in
+  match try_acquire () with
+  | `Acquired -> `Acquired
+  | `Held ->
+      let deadline = Unix.gettimeofday () +. lock_wait in
+      let rec wait () =
+        if Sys.file_exists final then `Appeared
+        else if Unix.gettimeofday () > deadline then `Timeout
+        else begin
+          (match Unix.stat lockpath with
+          | st when Unix.gettimeofday () -. st.Unix.st_mtime > stale_after -> (
+              try Sys.remove lockpath with _ -> ())
+          | _ -> ()
+          | exception _ -> ());
+          match try_acquire () with
+          | `Acquired -> `Acquired
+          | `Held ->
+              Unix.sleepf 0.05;
+              wait ()
+        end
+      in
+      wait ()
+
+let get_or_build ~dir ~digest ~source ~nfns =
+  Mutex.protect lock @@ fun () ->
+  match Hashtbl.find_opt loaded digest with
+  | Some fns when Array.length fns = nfns ->
+      Metrics.incr hit_c;
+      Ok fns
+  | Some _ -> Error "loaded launch-table arity mismatch"
+  | None ->
+      if not Dynlink.is_native then
+        Error "bytecode host: native artifacts unavailable"
+      else begin
+        (* An unusable directory (no permission, path under a file, …)
+           must degrade, not raise: the compile step below reports the
+           real error as an [Error _]. *)
+        (try mkdir_p dir with _ -> ());
+        if not (Hashtbl.mem prepared_dirs dir) then begin
+          Hashtbl.replace prepared_dirs dir ();
+          evict_stale dir
+        end;
+        let expect_header = header digest in
+        let final = artifact_path ~dir ~digest in
+        let finish path =
+          match load_artifact path ~expect_header ~nfns with
+          | Ok fns ->
+              Hashtbl.replace loaded digest fns;
+              Ok fns
+          | Error e ->
+              (* a corrupt artifact would otherwise wedge every process *)
+              (try Sys.remove path with _ -> ());
+              Error e
+        in
+        if Sys.file_exists final then begin
+          Metrics.incr hit_c;
+          finish final
+        end
+        else if not (toolchain_available ()) then
+          Error "native toolchain unavailable"
+        else begin
+          Metrics.incr miss_c;
+          let lockpath = final ^ ".lock" in
+          match acquire_or_wait ~lockpath ~final with
+          | `Appeared -> finish final
+          | `Timeout -> Error "timed out waiting for concurrent compile"
+          | `Acquired ->
+              Fun.protect
+                ~finally:(fun () -> try Sys.remove lockpath with _ -> ())
+                (fun () ->
+                  if Sys.file_exists final then finish final
+                  else
+                    match compile_artifact ~dir ~digest ~source with
+                    | Ok () -> finish final
+                    | Error e -> Error e)
+        end
+      end

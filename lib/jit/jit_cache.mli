@@ -1,0 +1,46 @@
+(** On-disk artifact store for JIT-compiled kernel groups.
+
+    Artifacts are [.cmxs] plugins named
+    [functs_jit_v<version>_<digest>.cmxs]: the codegen [version] stamp
+    plus the MD5 digest of the generated source.  [get_or_build]
+    resolves a digest through three levels — in-process launch-table
+    memo, on-disk artifact ([Dynlink.loadfile_private]), and finally a
+    fresh [ocamlfind ocamlopt -shared] compile guarded by a lockfile
+    and installed with an atomic rename.  Artifacts stamped with a
+    different version are evicted the first time a directory is used.
+
+    Counters: [jit.cache.hit] (memo or disk), [jit.cache.miss] (compile
+    needed), [jit.compiles] (actual compiler invocations),
+    [jit.cache.evicted].  Spans: [jit.compile], [jit.load]. *)
+
+val version : int
+(** Codegen version stamp baked into artifact names and headers. *)
+
+type fn = float array array -> int array -> unit
+(** A compiled kernel launcher (see {!Jit_emit} for the layout). *)
+
+val set_compiler : string -> unit
+(** Override the compiler command (default ["ocamlfind ocamlopt"]);
+    resets the toolchain probe.  Test hook for simulating a missing
+    toolchain. *)
+
+val toolchain_available : unit -> bool
+(** Whether the compiler command answers [-version] (memoized). *)
+
+val artifact_path : dir:string -> digest:string -> string
+val header : string -> string
+(** The handshake header an artifact of this digest must present. *)
+
+val get_or_build :
+  dir:string ->
+  digest:string ->
+  source:string ->
+  nfns:int ->
+  (fn array, string) result
+(** Resolve a launch table for [digest], compiling [source] at most
+    once per digest across processes.  Never raises. *)
+
+val clear_loaded : unit -> unit
+(** Test hook: drop the in-process memo (and per-directory eviction
+    marks), so the next [get_or_build] exercises the disk path like a
+    fresh process. *)

@@ -1,0 +1,448 @@
+open Functs_ir
+open Functs_tensor
+open Functs_core
+open Codegen
+
+(* Renders one fused kernel ([Codegen.kernel]) into straight-line OCaml
+   source: one perfect loop nest per statement, shapes baked in as
+   integer literals, reads and writes over plain [float array]s with
+   [Array.unsafe_get]/[unsafe_set] — no per-element closures.  The
+   rendered function is position-independent: every tensor binding
+   arrives through two caller-built arrays,
+
+     bufs : float array array   (statement outputs, then read sites)
+     ints : int array           (per-site offset+strides, per-statement
+                                 output offset, then free scalars)
+
+   so the compiled artifact depends only on the kernel's structure and
+   baked shapes, never on runtime addresses — the same [.cmxs] serves
+   every process that emits the same source.
+
+   The emitter accepts exactly the kernels the closure compiler
+   ([Kernel_compile]) accepts — same identifier discipline, same
+   root-only-reduction rule, same forward-read check — because the
+   closure kernel is the fallback a JIT group demotes to at runtime.
+
+   Unsafe access is only emitted for sites whose per-dimension index
+   ranges are statically known (loop variables, reduction variables,
+   constants); the driver re-checks those ranges against the bound
+   tensor's strides at every launch.  A site whose indices involve a
+   free scalar (dynamic select/slice operands) keeps a checked
+   [Array.get]: out-of-range scalars then raise [Invalid_argument]
+   inside the launch, which the driver converts into a closure-engine
+   fallback — the same recovery path the closure kernels use. *)
+
+exception Reject of string
+
+let fail fmt = Format.kasprintf (fun msg -> raise (Reject msg)) fmt
+
+type esite = {
+  e_value : Graph.value;
+  e_slot : int;  (* read-site index; bufs index is nstmts + slot *)
+  e_rank : int;  (* number of index expressions *)
+  e_stmt : int;  (* owning statement (bounds are skipped when it is empty) *)
+  e_ints_pos : int;  (* ints position of [offset; strides.(0..rank-1)] *)
+  e_bounds : (int * int) array option;
+      (* per-dimension inclusive index range when statically known;
+         [None] means the generated code uses checked access *)
+}
+
+type estmt = {
+  e_out : Graph.value;
+  e_store : bool;
+  e_shape : int array;
+  e_out_pos : int;  (* ints position of the output offset *)
+}
+
+type emitted = {
+  e_group : int;
+  e_name : string;
+  e_fn : string;  (* "fun (bufs : float array array) (ints : int array) -> …" *)
+  e_sites : esite array;
+  e_stmts : estmt array;
+  e_free : string array;  (* free scalar symbols, in ints-tail order *)
+  e_scalar_pos : int;  (* ints position of the first free scalar *)
+  e_nints : int;
+}
+
+let nbufs em = Array.length em.e_stmts + Array.length em.e_sites
+
+(* Mirrors [Kernel_compile.ident_ok]/[index_dim]: the two compilers must
+   accept the same index language so a JIT group always has a closure
+   kernel to fall back to. *)
+let ident_ok name =
+  name <> ""
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '_')
+       name
+
+let index_dim ~rank name =
+  if String.length name >= 2 && name.[0] = 'i' then
+    match int_of_string_opt (String.sub name 1 (String.length name - 1)) with
+    | Some d when d >= 0 && d < rank -> Some d
+    | _ -> None
+  else None
+
+let rec no_reduce = function
+  | Creduce _ -> false
+  | Cread _ | Clit _ | Copaque _ -> true
+  | Cunary (_, e) -> no_reduce e
+  | Cbinary (_, a, b) | Ccond (_, a, b) -> no_reduce a && no_reduce b
+
+let concrete_shape shapes (v : Graph.value) =
+  match Shape_infer.shape_of shapes v with
+  | Some dims
+    when Array.for_all
+           (function Shape_infer.Known _ -> true | Shape_infer.Unknown -> false)
+           dims ->
+      Array.map
+        (function Shape_infer.Known n -> n | Shape_infer.Unknown -> 0)
+        dims
+  | _ -> fail "unknown shape for %s" (value_ref v)
+
+(* Hex float literals round-trip bit-for-bit, so the JIT result is
+   bitwise identical to the closure engine's on literal-bearing
+   kernels. *)
+let float_lit f =
+  if Float.is_nan f then "Float.nan"
+  else if f = Float.infinity then "Float.infinity"
+  else if f = Float.neg_infinity then "Float.neg_infinity"
+  else Printf.sprintf "(%h)" f
+
+type env = {
+  rank : int;
+  shape : int array;
+  stmt_idx : int;
+  reds : (string * (string * int)) list;  (* red var -> (OCaml var, extent) *)
+  free : (string, int) Hashtbl.t;  (* scalar symbol -> sc<k> index *)
+  free_order : string list ref;  (* reversed discovery order *)
+  guarded : bool;
+      (* inside a [Ccond] branch: the static index interval overestimates
+         what the guards let execute, so reads stay checked instead of
+         tripping the launch-time range check and demoting the group *)
+  n_sites : int ref;
+  next_int : int ref;
+  sites : esite list ref;  (* reversed *)
+  site_binds : Buffer.t;  (* binding lines of the current statement *)
+  level_binds : string list ref array;
+      (* index partials hoisted into loop level d (reversed lines);
+         length rank, only meaningful for the current statement *)
+  all_outs : (int, unit) Hashtbl.t;
+  computed : (int, unit) Hashtbl.t;
+}
+
+(* Deepest statement loop an index expression depends on ([-1] when it is
+   loop-invariant) and whether it reads a reduction variable.  Free
+   scalars are invariant: they are bound once per launch. *)
+let rec ix_info env = function
+  | Iconst _ -> (-1, false)
+  | Ivar name -> (
+      match index_dim ~rank:env.rank name with
+      | Some d -> (d, false)
+      | None -> (-1, List.mem_assoc name env.reds))
+  | Iadd (a, b) | Isub (a, b) ->
+      let da, ra = ix_info env a and db, rb = ix_info env b in
+      (max da db, ra || rb)
+
+let rec emit_ix env (ix : Codegen.ix) : string * (int * int) option =
+  match ix with
+  | Iconst c ->
+      ((if c < 0 then Printf.sprintf "(%d)" c else string_of_int c), Some (c, c))
+  | Ivar name -> begin
+      if not (ident_ok name) then fail "non-affine index %S" name;
+      match index_dim ~rank:env.rank name with
+      | Some d -> (Printf.sprintf "i%d" d, Some (0, env.shape.(d) - 1))
+      | None -> (
+          match List.assoc_opt name env.reds with
+          | Some (var, extent) -> (var, Some (0, extent - 1))
+          | None ->
+              let k =
+                match Hashtbl.find_opt env.free name with
+                | Some k -> k
+                | None ->
+                    let k = Hashtbl.length env.free in
+                    Hashtbl.replace env.free name k;
+                    env.free_order := name :: !(env.free_order);
+                    k
+              in
+              (Printf.sprintf "sc%d" k, None))
+    end
+  | Iadd (a, b) ->
+      let sa, ra = emit_ix env a and sb, rb = emit_ix env b in
+      ( Printf.sprintf "(%s + %s)" sa sb,
+        match (ra, rb) with
+        | Some (la, ha), Some (lb, hb) -> Some (la + lb, ha + hb)
+        | _ -> None )
+  | Isub (a, b) ->
+      let sa, ra = emit_ix env a and sb, rb = emit_ix env b in
+      ( Printf.sprintf "(%s - %s)" sa sb,
+        match (ra, rb) with
+        | Some (la, ha), Some (lb, hb) -> Some (la - hb, ha - lb)
+        | _ -> None )
+
+let emit_cond env (c : Codegen.cond) : string =
+  match c with
+  | Ceq (a, b) ->
+      Printf.sprintf "(%s = %s)" (fst (emit_ix env a)) (fst (emit_ix env b))
+  | Cge (a, b) ->
+      Printf.sprintf "(%s >= %s)" (fst (emit_ix env a)) (fst (emit_ix env b))
+  | Clt (a, b) ->
+      Printf.sprintf "(%s < %s)" (fst (emit_ix env a)) (fst (emit_ix env b))
+  | Cmod (a, b, s) ->
+      Printf.sprintf "(((%s - %s) mod %d) = 0)"
+        (fst (emit_ix env a))
+        (fst (emit_ix env b))
+        s
+
+let emit_read env (v : Graph.value) ixs : string =
+  if Hashtbl.mem env.all_outs v.Graph.v_id && not (Hashtbl.mem env.computed v.Graph.v_id)
+  then fail "forward read of %s" (value_ref v);
+  let slot = !(env.n_sites) in
+  incr env.n_sites;
+  let parts = List.map (emit_ix env) ixs in
+  let rank = List.length parts in
+  let pos = !(env.next_int) in
+  env.next_int := pos + 1 + rank;
+  let bounds =
+    if (not env.guarded) && List.for_all (fun (_, r) -> r <> None) parts then
+      Some (Array.of_list (List.map (fun (_, r) -> Option.get r) parts))
+    else None
+  in
+  env.sites :=
+    {
+      e_value = v;
+      e_slot = slot;
+      e_rank = rank;
+      e_stmt = env.stmt_idx;
+      e_ints_pos = pos;
+      e_bounds = bounds;
+    }
+    :: !(env.sites);
+  Buffer.add_string env.site_binds
+    (Printf.sprintf "    let b%d = Array.unsafe_get bufs %d in\n" slot
+       (Hashtbl.length env.all_outs + slot));
+  Buffer.add_string env.site_binds
+    (Printf.sprintf "    let b%d_o = Array.unsafe_get ints %d in\n" slot pos);
+  List.iteri
+    (fun k _ ->
+      Buffer.add_string env.site_binds
+        (Printf.sprintf "    let b%d_s%d = Array.unsafe_get ints %d in\n" slot k
+           (pos + 1 + k)))
+    parts;
+  (* Index partial sums are hoisted to the deepest loop each term
+     depends on: a term invariant in the inner loops is added once per
+     outer iteration, not once per element.  Terms reading a reduction
+     variable stay inline (the reduction loop lives inside the element
+     expression). *)
+  let infos = List.map (ix_info env) ixs in
+  let terms =
+    List.mapi
+      (fun k ((s, _), (lvl, red)) ->
+        let term =
+          if s = "0" then None
+          else Some (Printf.sprintf "(b%d_s%d * %s)" slot k s)
+        in
+        (term, (if red then env.rank else lvl)))
+      (List.combine parts infos)
+  in
+  let at lvl =
+    List.filter_map (fun (t, l) -> if l = lvl then t else None) terms
+  in
+  let prev = ref (Printf.sprintf "b%d_o" slot) in
+  (match at (-1) with
+  | [] -> ()
+  | invariant ->
+      let name = Printf.sprintf "b%d_pb" slot in
+      Buffer.add_string env.site_binds
+        (Printf.sprintf "    let %s = %s + %s in\n" name !prev
+           (String.concat " + " invariant));
+      prev := name);
+  for d = 0 to env.rank - 1 do
+    match at d with
+    | [] -> ()
+    | lvl_terms ->
+        let name = Printf.sprintf "b%d_p%d" slot d in
+        env.level_binds.(d) :=
+          Printf.sprintf "let %s = %s + %s in" name !prev
+            (String.concat " + " lvl_terms)
+          :: !(env.level_binds.(d));
+        prev := name
+  done;
+  let posx =
+    match at env.rank with
+    | [] -> !prev
+    | red_terms -> Printf.sprintf "%s + %s" !prev (String.concat " + " red_terms)
+  in
+  let getter = if bounds = None then "Array.get" else "Array.unsafe_get" in
+  Printf.sprintf "(%s b%d %s)" getter slot posx
+
+let rec emit_expr env (e : Codegen.cexpr) : string =
+  match e with
+  | Clit f -> float_lit f
+  | Copaque what -> fail "opaque expression %s" what
+  | Cread (v, ixs) -> emit_read env v ixs
+  | Cunary (u, e) -> begin
+      let s = emit_expr env e in
+      match u with
+      | Scalar.Neg -> Printf.sprintf "(-. %s)" s
+      | Scalar.Abs -> Printf.sprintf "(Float.abs %s)" s
+      | Scalar.Exp -> Printf.sprintf "(Float.exp %s)" s
+      | Scalar.Log -> Printf.sprintf "(Float.log %s)" s
+      | Scalar.Sqrt -> Printf.sprintf "(Float.sqrt %s)" s
+      | Scalar.Sigmoid -> Printf.sprintf "(1.0 /. (1.0 +. Float.exp (-. %s)))" s
+      | Scalar.Tanh -> Printf.sprintf "(Float.tanh %s)" s
+      | Scalar.Relu -> Printf.sprintf "(Float.max 0.0 %s)" s
+    end
+  | Cbinary (b, x, y) -> begin
+      let sx = emit_expr env x and sy = emit_expr env y in
+      match b with
+      | Scalar.Add -> Printf.sprintf "(%s +. %s)" sx sy
+      | Scalar.Sub -> Printf.sprintf "(%s -. %s)" sx sy
+      | Scalar.Mul -> Printf.sprintf "(%s *. %s)" sx sy
+      | Scalar.Div -> Printf.sprintf "(%s /. %s)" sx sy
+      | Scalar.Pow -> Printf.sprintf "(Float.pow %s %s)" sx sy
+      | Scalar.Max -> Printf.sprintf "(Float.max %s %s)" sx sy
+      | Scalar.Min -> Printf.sprintf "(Float.min %s %s)" sx sy
+      | Scalar.Lt -> Printf.sprintf "(if %s < %s then 1.0 else 0.0)" sx sy
+      | Scalar.Gt -> Printf.sprintf "(if %s > %s then 1.0 else 0.0)" sx sy
+      | Scalar.Eq ->
+          Printf.sprintf "(if Float.equal %s %s then 1.0 else 0.0)" sx sy
+    end
+  | Ccond (conds, t, e) ->
+      let genv = { env with guarded = true } in
+      Printf.sprintf "(if %s then %s else %s)"
+        (String.concat " && " (List.map (emit_cond env) conds))
+        (emit_expr genv t) (emit_expr genv e)
+  | Creduce _ -> fail "non-root reduction"
+
+(* The statement root: a [Creduce] becomes an accumulator loop with the
+   same combine order as the closure engine ([acc := acc +. body] /
+   [acc := Float.max acc body]), so partial sums agree bitwise. *)
+let emit_root env (e : Codegen.cexpr) : string =
+  match e with
+  | Creduce (kind, rname, extent, body) ->
+      if extent <= 0 then fail "unknown reduction extent for %s" rname;
+      if not (ident_ok rname) then fail "bad reduction variable %S" rname;
+      if index_dim ~rank:env.rank rname <> None then
+        fail "reduction variable %S shadows an output index" rname;
+      if not (no_reduce body) then fail "non-root reduction";
+      let var = Printf.sprintf "rv%d" (List.length env.reds) in
+      let sb =
+        emit_expr { env with reds = (rname, (var, extent)) :: env.reds } body
+      in
+      let init, combine =
+        match kind with
+        | `Sum -> ("0.0", Printf.sprintf "!acc +. %s" sb)
+        | `Max -> ("Float.neg_infinity", Printf.sprintf "Float.max !acc %s" sb)
+      in
+      Printf.sprintf
+        "(let acc = ref %s in for %s = 0 to %d do acc := %s done; !acc)" init
+        var (extent - 1) combine
+  | e -> emit_expr env e
+
+let emit (k : Codegen.kernel) ~shapes : (emitted, string) result =
+  try
+    let free = Hashtbl.create 8 in
+    let free_order = ref [] in
+    let all_outs = Hashtbl.create 8 in
+    let computed = Hashtbl.create 8 in
+    List.iter
+      (fun (s : Codegen.statement) ->
+        Hashtbl.replace all_outs s.s_out.Graph.v_id ())
+      k.k_stmts;
+    let nstmts = List.length k.k_stmts in
+    if Hashtbl.length all_outs <> nstmts then fail "duplicate statement output";
+    let n_sites = ref 0 in
+    let next_int = ref 0 in
+    let sites = ref [] in
+    let body = Buffer.create 1024 in
+    let stmts =
+      List.mapi
+        (fun stmt_idx (s : Codegen.statement) ->
+          let shape = concrete_shape shapes s.s_out in
+          if Array.length shape <> s.s_rank then
+            fail "rank mismatch for %s" (value_ref s.s_out);
+          let site_binds = Buffer.create 256 in
+          let level_binds = Array.init (max 1 s.s_rank) (fun _ -> ref []) in
+          let env =
+            {
+              rank = s.s_rank;
+              shape;
+              stmt_idx;
+              reds = [];
+              guarded = false;
+              free;
+              free_order;
+              n_sites;
+              next_int;
+              sites;
+              site_binds;
+              level_binds;
+              all_outs;
+              computed;
+            }
+          in
+          let expr = emit_root env s.s_expr in
+          Hashtbl.replace computed s.s_out.Graph.v_id ();
+          let out_pos = !next_int in
+          incr next_int;
+          Buffer.add_string body
+            (Printf.sprintf "  (* %s : %s *)\n  begin\n" (value_ref s.s_out)
+               (Shape.to_string shape));
+          Buffer.add_buffer body site_binds;
+          Buffer.add_string body
+            (Printf.sprintf "    let o = Array.unsafe_get bufs %d in\n" stmt_idx);
+          Buffer.add_string body
+            (Printf.sprintf "    let lin = ref (Array.unsafe_get ints %d) in\n"
+               out_pos);
+          let rank = Array.length shape in
+          let pad d = String.make (4 + (2 * d)) ' ' in
+          for d = 0 to rank - 1 do
+            Buffer.add_string body
+              (Printf.sprintf "%sfor i%d = 0 to %d do\n" (pad d) d
+                 (shape.(d) - 1));
+            List.iter
+              (fun line ->
+                Buffer.add_string body
+                  (Printf.sprintf "%s%s\n" (pad (d + 1)) line))
+              (List.rev !(level_binds.(d)))
+          done;
+          Buffer.add_string body
+            (Printf.sprintf "%sArray.unsafe_set o !lin %s;\n%sincr lin\n"
+               (pad rank) expr (pad rank));
+          for d = rank - 1 downto 0 do
+            Buffer.add_string body (Printf.sprintf "%sdone\n" (pad d))
+          done;
+          Buffer.add_string body "  end;\n";
+          { e_out = s.s_out; e_store = s.s_store; e_shape = shape; e_out_pos = out_pos })
+        k.k_stmts
+    in
+    let scalar_pos = !next_int in
+    let nfree = Hashtbl.length free in
+    let free_arr = Array.of_list (List.rev !free_order) in
+    let header = Buffer.create 256 in
+    Buffer.add_string header "fun (bufs : float array array) (ints : int array) ->\n";
+    Array.iteri
+      (fun j _ ->
+        Buffer.add_string header
+          (Printf.sprintf "  let sc%d = Array.unsafe_get ints %d in\n" j
+             (scalar_pos + j)))
+      free_arr;
+    Buffer.add_buffer header body;
+    Buffer.add_string header "  ()\n";
+    Ok
+      {
+        e_group = k.k_group;
+        e_name = k.k_name;
+        e_fn = Buffer.contents header;
+        e_sites = Array.of_list (List.rev !sites);
+        e_stmts = Array.of_list stmts;
+        e_free = free_arr;
+        e_scalar_pos = scalar_pos;
+        e_nints = scalar_pos + nfree;
+      }
+  with Reject msg -> Error msg

@@ -1,0 +1,50 @@
+(** Renders a fused kernel ({!Functs_core.Codegen.kernel}) into
+    straight-line OCaml source: one flat loop nest per statement, shapes
+    baked in as integer literals, element access over plain
+    [float array]s — the unit the JIT driver compiles with
+    [ocamlfind ocamlopt -shared] and loads with [Dynlink].
+
+    The emitter accepts exactly the kernels the closure compiler
+    ({!Functs_exec.Kernel_compile}) accepts (same index-identifier
+    discipline, root-only reductions, no [Copaque], concrete shapes), so
+    a JIT group always has a closure kernel to fall back to. *)
+
+open Functs_ir
+open Functs_core
+
+type esite = {
+  e_value : Graph.value;  (** the value this read site binds *)
+  e_slot : int;  (** site index; its buffer is [bufs.(nstmts + slot)] *)
+  e_rank : int;  (** number of index expressions (required tensor rank) *)
+  e_stmt : int;  (** owning statement index *)
+  e_ints_pos : int;  (** ints position of [offset; strides.(0..rank-1)] *)
+  e_bounds : (int * int) array option;
+      (** per-dimension inclusive index ranges when statically known
+          (unsafe access); [None] means the generated code uses checked
+          [Array.get] because a free scalar appears in the index *)
+}
+
+type estmt = {
+  e_out : Graph.value;
+  e_store : bool;  (** escapes the kernel (vs. a local temporary) *)
+  e_shape : int array;
+  e_out_pos : int;  (** ints position of the output offset *)
+}
+
+type emitted = {
+  e_group : int;  (** fusion group id *)
+  e_name : string;  (** kernel name, for artifact comments *)
+  e_fn : string;
+      (** ["fun (bufs : float array array) (ints : int array) -> …"] *)
+  e_sites : esite array;
+  e_stmts : estmt array;
+  e_free : string array;  (** free scalar symbols, in ints-tail order *)
+  e_scalar_pos : int;  (** ints position of the first free scalar *)
+  e_nints : int;  (** required length of the ints array *)
+}
+
+val nbufs : emitted -> int
+(** Required length of the bufs array: statement outputs then sites. *)
+
+val emit : Codegen.kernel -> shapes:Shape_infer.result -> (emitted, string) result
+(** Render one kernel, or explain why it cannot be JIT-compiled. *)

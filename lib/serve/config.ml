@@ -1,4 +1,5 @@
 module Engine = Functs_exec.Engine
+module Jit = Functs_jit.Jit
 module Tracer = Functs_obs.Tracer
 module Metrics = Functs_obs.Metrics
 
@@ -12,6 +13,8 @@ type t = {
   kernel_grain : int;
   cache : bool;
   cache_size : int;
+  jit : Jit.mode;
+  jit_dir : string;
   trace : trace_sink;
   trace_buf : int;
   metrics : metrics_sink;
@@ -27,6 +30,8 @@ let default =
     kernel_grain = 8192;
     cache = true;
     cache_size = 32;
+    jit = Jit.Off;
+    jit_dir = "";
     trace = Trace_off;
     trace_buf = 65536;
     metrics = Metrics_off;
@@ -80,6 +85,29 @@ let metrics_sink cfg _key v =
   | "1" | "on" | "stderr" -> Ok { cfg with metrics = Metrics_stderr }
   | _ -> Ok { cfg with metrics = Metrics_file v }
 
+let jit_mode cfg key v =
+  match Jit.mode_of_string (String.lowercase_ascii v) with
+  | Some m -> Ok { cfg with jit = m }
+  | None -> invalid key v "expected off, on or auto"
+
+(* The artifact directory honours the usual cache conventions when the
+   variable is unset: $XDG_CACHE_HOME/functs/jit, else
+   $HOME/.cache/functs/jit, else "" (which the engine resolves to a
+   temp-dir fallback). *)
+let resolve_jit_dir getenv cfg =
+  if cfg.jit_dir <> "" then cfg
+  else
+    let dir =
+      match getenv "XDG_CACHE_HOME" with
+      | Some d when d <> "" -> Filename.concat (Filename.concat d "functs") "jit"
+      | _ -> (
+          match getenv "HOME" with
+          | Some h when h <> "" ->
+              List.fold_left Filename.concat h [ ".cache"; "functs"; "jit" ]
+          | _ -> "")
+    in
+    { cfg with jit_dir = dir }
+
 let policy_of cfg key v =
   match String.lowercase_ascii v with
   | "interp" | "interp_fallback" | "fallback" ->
@@ -88,8 +116,9 @@ let policy_of cfg key v =
   | _ -> invalid key v "expected interp_fallback or shed"
 
 let of_env ?(base = default) ?(getenv = Sys.getenv_opt) () =
-  fold_env getenv base
-    [
+  Result.map (resolve_jit_dir getenv)
+  @@ fold_env getenv base
+       [
       ("FUNCTS_DOMAINS", pos_int ~min_value:1 (fun c n -> { c with domains = n }));
       ("FUNCTS_GRAIN", pos_int ~min_value:1 (fun c n -> { c with loop_grain = n }));
       ( "FUNCTS_KERNEL_GRAIN",
@@ -97,6 +126,8 @@ let of_env ?(base = default) ?(getenv = Sys.getenv_opt) () =
       ("FUNCTS_CACHE", bool_flag (fun c b -> { c with cache = b }));
       ( "FUNCTS_CACHE_SIZE",
         pos_int ~min_value:1 (fun c n -> { c with cache_size = n }) );
+      ("FUNCTS_JIT", jit_mode);
+      ("FUNCTS_JIT_DIR", fun cfg _key v -> Ok { cfg with jit_dir = v });
       ("FUNCTS_TRACE", trace_sink);
       ( "FUNCTS_TRACE_BUF",
         pos_int ~min_value:16 (fun c n -> { c with trace_buf = n }) );
@@ -143,6 +174,8 @@ let apply cfg =
   applied := cfg;
   Engine.set_cache_default cfg.cache;
   Engine.set_cache_capacity cfg.cache_size;
+  Engine.set_jit_default cfg.jit;
+  Engine.set_jit_dir_default cfg.jit_dir;
   if Tracer.capacity () <> cfg.trace_buf then Tracer.set_capacity cfg.trace_buf;
   (match cfg.trace with
   | Trace_off -> ()
@@ -171,6 +204,9 @@ let to_string cfg =
       Printf.sprintf "kernel_grain   = %d" cfg.kernel_grain;
       Printf.sprintf "cache          = %b" cfg.cache;
       Printf.sprintf "cache_size     = %d" cfg.cache_size;
+      Printf.sprintf "jit            = %s" (Jit.mode_to_string cfg.jit);
+      Printf.sprintf "jit_dir        = %s"
+        (if cfg.jit_dir = "" then "(temp)" else cfg.jit_dir);
       Printf.sprintf "trace          = %s" (sink cfg.trace);
       Printf.sprintf "trace_buf      = %d" cfg.trace_buf;
       Printf.sprintf "metrics        = %s" (msink cfg.metrics);

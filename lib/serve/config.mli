@@ -42,6 +42,9 @@ type t = {
   kernel_grain : int;  (** elements per intra-kernel chunk *)
   cache : bool;  (** compile cache on/off *)
   cache_size : int;  (** resident compile-cache entries (LRU) *)
+  jit : Functs_jit.Jit.mode;  (** native JIT backend: off / on / auto *)
+  jit_dir : string;
+      (** on-disk JIT artifact cache; [""] = engine temp-dir fallback *)
   trace : trace_sink;
   trace_buf : int;  (** span-tracer ring capacity (≥ 16) *)
   metrics : metrics_sink;
@@ -52,9 +55,10 @@ type t = {
 
 val default : t
 (** [domains = Domain.recommended_domain_count ()], [loop_grain = 2],
-    [kernel_grain = 8192], cache on with 32 entries, tracing and metrics
-    off with a 65536-event ring, [queue_capacity = 256],
-    [max_batch = 8], [policy = `Interp_fallback]. *)
+    [kernel_grain = 8192], cache on with 32 entries, JIT off with an
+    empty artifact dir, tracing and metrics off with a 65536-event ring,
+    [queue_capacity = 256], [max_batch = 8],
+    [policy = `Interp_fallback]. *)
 
 val of_env :
   ?base:t -> ?getenv:(string -> string option) -> unit -> (t, Error.t) result
@@ -67,7 +71,12 @@ val of_env :
     - [FUNCTS_CACHE] — [on]/[off]/[1]/[0]/[true]/[false]/[yes]/[no];
     - [FUNCTS_TRACE] — [off] forms, [on]/[1]/[true], or an output path;
     - [FUNCTS_METRICS] — [off] forms, [stderr]/[on]/[1], or a path;
-    - [FUNCTS_POLICY] — [interp]/[interp_fallback] or [shed].
+    - [FUNCTS_POLICY] — [interp]/[interp_fallback] or [shed];
+    - [FUNCTS_JIT] — [off] (default), [on], or [auto] (arm native
+      kernels, falling back per group on any failure);
+    - [FUNCTS_JIT_DIR] — JIT artifact-cache directory.  When unset the
+      directory follows cache conventions: [$XDG_CACHE_HOME/functs/jit],
+      else [$HOME/.cache/functs/jit], else a temp-dir fallback.
 
     Malformed values are {e rejected} with
     [Error (Invalid_config {key; value; reason})] — never a silent
@@ -78,8 +87,9 @@ val of_env :
 val apply : t -> unit
 (** Push the process-wide settings where they live: compile-cache
     default and capacity ([Engine.set_cache_default] /
-    [set_cache_capacity]), tracer ring capacity, tracer enablement, and
-    the trace / metrics exit dumps.  Idempotent per process — the exit
+    [set_cache_capacity]), JIT default mode and artifact dir
+    ([Engine.set_jit_default] / [set_jit_dir_default]), tracer ring
+    capacity, tracer enablement, and the trace / metrics exit dumps.  Idempotent per process — the exit
     hooks are registered once and follow the most recently applied
     config. *)
 

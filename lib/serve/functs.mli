@@ -90,6 +90,7 @@ module Buffer_plan = Functs_exec.Buffer_plan
 module Kernel_compile = Functs_exec.Kernel_compile
 module Equiv = Functs_exec.Equiv
 module Fastops = Functs_exec.Fastops
+module Jit = Functs_jit.Jit
 
 (* --- observability --- *)
 

@@ -94,15 +94,18 @@ let clone_args =
 
 let finish t tk result =
   let now = Unix.gettimeofday () in
+  (* Stats before the wakeup: a caller whose [await] returns must
+     already see this completion in [stats] — waking first would let a
+     joiner read [completed] one short of its own delivered responses. *)
+  Metrics.incr m_completed;
+  Metrics.observe h_latency (1e6 *. (now -. tk.t_enq));
+  locked t (fun () ->
+      t.s_stats <- { t.s_stats with completed = t.s_stats.completed + 1 });
   Mutex.lock tk.t_lock;
   tk.t_result <- Some result;
   tk.t_done <- now;
   Condition.broadcast tk.t_cond;
-  Mutex.unlock tk.t_lock;
-  Metrics.incr m_completed;
-  Metrics.observe h_latency (1e6 *. (now -. tk.t_enq));
-  locked t (fun () ->
-      t.s_stats <- { t.s_stats with completed = t.s_stats.completed + 1 })
+  Mutex.unlock tk.t_lock
 
 (* The interpreter mutates argument tensors (imperative semantics), so
    the fallback path clones; the engine marks arguments foreign and
@@ -160,7 +163,8 @@ let engine_for t args =
   let cfg = t.s_config in
   Engine.prepare ~profile:t.s_profile ~parallel:true ~domains:cfg.Config.domains
     ~loop_grain:cfg.Config.loop_grain ~kernel_grain:cfg.Config.kernel_grain
-    ~cache:cfg.Config.cache t.s_graph
+    ~cache:cfg.Config.cache ~jit:cfg.Config.jit ~jit_dir:cfg.Config.jit_dir
+    t.s_graph
     ~inputs:(Engine.input_shapes args)
 
 let process_batch t = function

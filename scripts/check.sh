@@ -27,6 +27,25 @@ FUNCTS_DOMAINS=2 dune exec test/test_exec.exe
 echo "== serve suite (2 workers) =="
 dune exec test/test_serve.exe
 
+# Native JIT backend.  With the ocamlfind native toolchain present the
+# differential suite compiles real kernels and compares them bitwise (or
+# within epsilon) against the interpreter, plus the forced-fallback and
+# artifact-cache disk-hit paths.  Without the toolchain, a FUNCTS_JIT=auto
+# run must still exit 0 — every group degrades to the closure engine —
+# and the metrics snapshot must say so via jit.cache.fallback.
+echo "== jit suite =="
+if ocamlfind ocamlopt -version >/dev/null 2>&1; then
+  dune exec test/test_jit.exe
+else
+  echo "ocamlfind ocamlopt unavailable; asserting graceful fallback" >&2
+  FUNCTS_JIT=auto FUNCTS_DOMAINS=2 dune exec bench/main.exe -- exec --smoke \
+    | tee /tmp/functs_jit_fallback.txt
+  grep -Eq 'jit\.cache\.fallback +[1-9]' /tmp/functs_jit_fallback.txt || {
+    echo "error: FUNCTS_JIT=auto without a toolchain recorded no jit.cache.fallback" >&2
+    exit 1
+  }
+fi
+
 echo "== bench exec --smoke (FUNCTS_DOMAINS=2) =="
 FUNCTS_DOMAINS=2 dune exec bench/main.exe -- exec --smoke \
   | tee /tmp/functs_bench_smoke.txt
@@ -52,6 +71,16 @@ if grep -Eq 'DIVERGED|DIVERGENCE' /tmp/functs_bench_smoke.txt; then
   echo "error: an engine output diverged (see bench smoke output above)" >&2
   exit 1
 fi
+
+# The committed benchmark results must carry the JIT column and keep the
+# serve-bench member a full exec rewrite is required to preserve.
+echo "== BENCH_exec.json members =="
+for member in '"jit_ms"' '"serve"'; do
+  grep -q "$member" BENCH_exec.json || {
+    echo "error: BENCH_exec.json is missing the $member member" >&2
+    exit 1
+  }
+done
 
 echo "== serve-bench --smoke (FUNCTS_DOMAINS=2) =="
 rm -f /tmp/functs_serve_bench.json

@@ -1,0 +1,230 @@
+(* The native JIT backend: differential equivalence of every registered
+   workload under FUNCTS_JIT=on against the reference interpreter,
+   graceful per-group fallback when the toolchain or the artifact
+   directory is unusable, and the on-disk artifact cache (warm loads
+   compile nothing; stale-version artifacts are evicted).
+
+   Every test degrades to a meaningful assertion when the host has no
+   native toolchain: the differential legs then prove the fallback
+   ladder (identical outputs, zero armed groups, fallback ticks). *)
+
+open Functs
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* A scratch artifact directory per run: tests must exercise cold
+   compiles, and a developer's real cache must not absorb them. *)
+let jit_dir =
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "functs-jit-test-%d" (Unix.getpid ()))
+  in
+  at_exit (fun () ->
+      match Sys.readdir d with
+      | files ->
+          Array.iter
+            (fun f -> try Sys.remove (Filename.concat d f) with _ -> ())
+            files;
+          (try Unix.rmdir d with _ -> ())
+      | exception _ -> ());
+  d
+
+let counter name =
+  let c = Metrics.counter name in
+  fun () -> Metrics.value c
+
+let hits = counter "jit.cache.hit"
+let misses = counter "jit.cache.miss"
+let compiles = counter "jit.compiles"
+let evicted = counter "jit.cache.evicted"
+let fallbacks = counter "jit.cache.fallback"
+
+let flat (v : Value.t) =
+  match v with
+  | Value.Tensor t ->
+      let out = ref [] in
+      Shape.iter_indices t.Tensor.shape (fun ix ->
+          out := Int64.bits_of_float (Tensor.get t ix) :: !out);
+      Some (List.rev !out)
+  | _ -> None
+
+(* Bitwise when both sides are tensors (the emitter reproduces the
+   closure kernels' operation order exactly), epsilon otherwise. *)
+let bitwise_or_epsilon expected got =
+  List.length expected = List.length got
+  && List.for_all2
+       (fun e g ->
+         match (flat e, flat g) with
+         | Some be, Some bg -> be = bg
+         | _ -> Value.equal ~atol:1e-4 e g)
+       expected got
+
+let clone_args =
+  List.map (function
+    | Value.Tensor t -> Value.Tensor (Tensor.clone t)
+    | (Value.Int _ | Value.Float _ | Value.Bool _ | Value.List _) as v -> v)
+
+let functionalized (w : Workload.t) =
+  let batch = w.Workload.default_batch and seq = w.Workload.default_seq in
+  let g = Workload.graph w ~batch ~seq in
+  let fg = Graph.clone g in
+  ignore (Passes.tensorssa_pipeline fg);
+  (g, fg, fun () -> w.Workload.inputs ~batch ~seq)
+
+let jit_engine ?(mode = Jit.On) ?(dir = jit_dir) fg args =
+  Engine.prepare ~parallel:false ~cache:false ~jit:mode ~jit_dir:dir fg
+    ~inputs:(Engine.input_shapes args)
+
+(* --- differential: every workload, FUNCTS_JIT=on vs interpreter --- *)
+
+let test_differential () =
+  let armed = ref 0 and native_runs = ref 0 in
+  List.iter
+    (fun (w : Workload.t) ->
+      let g, fg, args_fn = functionalized w in
+      let expected = Eval.run g (clone_args (args_fn ())) in
+      let eng = jit_engine fg (args_fn ()) in
+      let got = Engine.run eng (args_fn ()) in
+      check
+        (Printf.sprintf "%s: jit outputs equal the interpreter"
+           w.Workload.name)
+        true
+        (bitwise_or_epsilon expected got);
+      let s = Engine.stats eng in
+      armed := !armed + s.Scheduler.jit_groups;
+      native_runs := !native_runs + s.Scheduler.jit_runs)
+    (Registry.all @ Registry.extensions);
+  if Jit.toolchain_available () then begin
+    check "some groups were armed natively" true (!armed > 0);
+    check "native kernels actually ran" true (!native_runs > 0)
+  end
+  else check_int "no toolchain: nothing armed" 0 !armed
+
+(* --- forced fallback: missing toolchain --- *)
+
+let test_fallback_missing_toolchain () =
+  let w = Result.get_ok (Functs.find_workload "attention") in
+  let g, fg, args_fn = functionalized w in
+  let expected = Eval.run g (clone_args (args_fn ())) in
+  let fb0 = fallbacks () and co0 = compiles () in
+  Jit.clear_loaded ();
+  Jit.set_compiler "functs-definitely-missing-compiler";
+  let got, stats =
+    Fun.protect
+      ~finally:(fun () ->
+        Jit.set_compiler "ocamlfind ocamlopt";
+        Jit.clear_loaded ())
+      (fun () ->
+        let eng = jit_engine ~mode:Jit.Auto fg (args_fn ()) in
+        (Engine.run eng (args_fn ()), Engine.stats eng))
+  in
+  check "outputs still equal the interpreter" true
+    (bitwise_or_epsilon expected got);
+  check_int "no group armed without a toolchain" 0 stats.Scheduler.jit_groups;
+  check "every rejected group was recorded as a fallback" true
+    (fallbacks () > fb0);
+  check_int "the missing compiler was never invoked" 0 (compiles () - co0)
+
+(* --- forced fallback: unusable artifact directory --- *)
+
+let test_fallback_bogus_dir () =
+  let w = Result.get_ok (Functs.find_workload "attention") in
+  let g, fg, args_fn = functionalized w in
+  let expected = Eval.run g (clone_args (args_fn ())) in
+  (* a path below a regular file can never become a directory *)
+  let blocker = Filename.temp_file "functs-jit" ".blk" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove blocker with _ -> ())
+    (fun () ->
+      let fb0 = fallbacks () in
+      Jit.clear_loaded ();
+      let eng =
+        jit_engine ~mode:Jit.Auto ~dir:(Filename.concat blocker "jit") fg
+          (args_fn ())
+      in
+      let got = Engine.run eng (args_fn ()) in
+      Jit.clear_loaded ();
+      check "outputs still equal the interpreter" true
+        (bitwise_or_epsilon expected got);
+      check_int "no group armed in an unusable dir" 0
+        (Engine.stats eng).Scheduler.jit_groups;
+      if Jit.toolchain_available () then
+        check "fallbacks were recorded" true (fallbacks () > fb0))
+
+(* --- artifact cache: the second "process" is a disk hit --- *)
+
+let test_artifact_disk_hit () =
+  if not (Jit.toolchain_available ()) then () (* covered by fallback tests *)
+  else begin
+    let w = Result.get_ok (Functs.find_workload "nasrnn") in
+    let _, fg, args_fn = functionalized w in
+    let eng = jit_engine fg (args_fn ()) in
+    ignore (Engine.run eng (args_fn ()));
+    check "cold prepare armed the groups" true
+      ((Engine.stats eng).Scheduler.jit_groups > 0);
+    (* Forget every in-process table: the next prepare behaves like a
+       fresh process against the same artifact directory. *)
+    Jit.clear_loaded ();
+    let h0 = hits () and m0 = misses () and co0 = compiles () in
+    let eng2 = jit_engine fg (args_fn ()) in
+    ignore (Engine.run eng2 (args_fn ()));
+    check "warm prepare armed the groups too" true
+      ((Engine.stats eng2).Scheduler.jit_groups > 0);
+    check "the artifact was found on disk" true (hits () > h0);
+    check_int "no recompile on the warm path" 0 (compiles () - co0);
+    check_int "no cache miss on the warm path" 0 (misses () - m0)
+  end
+
+(* --- hygiene: stale-version artifacts are evicted on first use --- *)
+
+let test_stale_version_eviction () =
+  if not (Jit.toolchain_available ()) then ()
+  else begin
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "functs-jit-stale-%d" (Unix.getpid ()))
+    in
+    Unix.mkdir dir 0o755;
+    Fun.protect
+      ~finally:(fun () ->
+        (try
+           Array.iter
+             (fun f -> try Sys.remove (Filename.concat dir f) with _ -> ())
+             (Sys.readdir dir)
+         with _ -> ());
+        try Unix.rmdir dir with _ -> ())
+      (fun () ->
+        let stale = Filename.concat dir "functs_jit_v0_deadbeef.cmxs" in
+        let oc = open_out stale in
+        output_string oc "not a plugin";
+        close_out oc;
+        let ev0 = evicted () in
+        Jit.clear_loaded ();
+        let w = Result.get_ok (Functs.find_workload "nasrnn") in
+        let _, fg, args_fn = functionalized w in
+        ignore (jit_engine ~dir fg (args_fn ()));
+        Jit.clear_loaded ();
+        check "the stale artifact is gone" false (Sys.file_exists stale);
+        check "the eviction was counted" true (evicted () > ev0))
+  end
+
+let () =
+  Alcotest.run "jit"
+    [
+      ( "jit",
+        [
+          Alcotest.test_case "differential vs interpreter" `Slow
+            test_differential;
+          Alcotest.test_case "fallback: missing toolchain" `Quick
+            test_fallback_missing_toolchain;
+          Alcotest.test_case "fallback: unusable artifact dir" `Quick
+            test_fallback_bogus_dir;
+          Alcotest.test_case "artifact cache: warm disk hit" `Quick
+            test_artifact_disk_hit;
+          Alcotest.test_case "stale-version eviction" `Quick
+            test_stale_version_eviction;
+        ] );
+    ]
