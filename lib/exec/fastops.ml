@@ -33,14 +33,60 @@ let set_parallel pool ~grain =
 
 (* Chunk [n] outer iterations covering [total] elements: parallel only
    when at least two grains of elements exist, with the grain converted
-   to outer-iteration units so each chunk stays above it. *)
-let pchunk ~total n body =
+   to outer-iteration units so each chunk stays above it.
+   [bytes_per_iter] (traffic per outer iteration) feeds the pool's
+   cache-aware task sizing. *)
+let pchunk ?(bytes_per_iter = 0) ~total n body =
   match !par_pool with
   | Some p when total >= 2 * !par_grain && n >= 2 ->
       ignore
-        (Pool.parallel_for p ~grain:(max 1 (!par_grain / max 1 (total / n))) ~n
-           body)
+        (Pool.parallel_for p ~bytes_per_iter
+           ~grain:(max 1 (!par_grain / max 1 (total / n)))
+           ~n body)
   | _ -> body 0 n
+
+(* --- view-dimension collapsing ---
+
+   A suffix of dimensions over which an operand steps row-major
+   contiguously (or not at all, for broadcast operands) is a single flat
+   run: collapsing it to one extent turns the whole elementwise loop
+   into a 1-d iteration the pool can chunk finely — a [3; 100000] view
+   splits into cache-sized tasks instead of three monolithic rows. *)
+
+(* Flat step of [strides] over the suffix [d .. nd-1] of [shape]:
+   [Some 1] when the suffix is contiguous, [Some 0] when it is fully
+   broadcast, [None] otherwise.  Size-1 dims are wildcards (their stride
+   is never used). *)
+let suffix_step strides (shape : int array) d =
+  let nd = Array.length shape in
+  let all0 = ref true and contig = ref true in
+  let expect = ref 1 in
+  for k = nd - 1 downto d do
+    if shape.(k) > 1 then begin
+      if strides.(k) <> 0 then all0 := false;
+      if strides.(k) <> !expect then contig := false
+    end;
+    expect := !expect * shape.(k)
+  done;
+  if !contig then Some 1 else if !all0 then Some 0 else None
+
+(* Smallest [d] such that the suffix [d .. nd-1] is flat for the output
+   (which must step, so broadcast does not qualify) and every input.
+   [nd] when not even the innermost dimension collapses. *)
+let collapse_cut so inputs shape =
+  let nd = Array.length shape in
+  let flat_at d =
+    (match suffix_step so shape d with Some 1 -> true | _ -> false)
+    && List.for_all (fun s -> suffix_step s shape d <> None) inputs
+  in
+  let d = ref 0 in
+  while !d < nd && not (flat_at !d) do
+    incr d
+  done;
+  !d
+
+let flat_step strides shape d =
+  match suffix_step strides shape d with Some s -> s | None -> assert false
 
 (* Strides of [t] aligned to an [out_nd]-dim broadcast result: missing
    leading dimensions and size-1 dimensions read index 0. *)
@@ -78,8 +124,44 @@ let elementwise1 f (out : Tensor.t) (a : Tensor.t) =
         done
     in
     let total = Shape.numel shape in
-    if total > 0 then
-      if nd = 1 then
+    if total > 0 then begin
+      let dcut = collapse_cut so [ sa ] shape in
+      if dcut = 0 then
+        (* fully flat: chunk over elements, not rows *)
+        let ka = flat_step sa shape 0 in
+        pchunk ~bytes_per_iter:16 ~total total (fun lo hi ->
+            let pa = ref (a.Tensor.offset + (lo * ka)) in
+            let po = ref (out.Tensor.offset + lo) in
+            for _ = lo to hi - 1 do
+              od.(!po) <- f ad.(!pa);
+              pa := !pa + ka;
+              po := !po + 1
+            done)
+      else if dcut < nd then begin
+        (* strided outer dims over a flat suffix *)
+        let ext = Shape.numel (Array.sub shape dcut (nd - dcut)) in
+        let ka = flat_step sa shape dcut in
+        let rec goc d pa po =
+          if d = dcut then begin
+            let pa = ref pa and po = ref po in
+            for _ = 0 to ext - 1 do
+              od.(!po) <- f ad.(!pa);
+              pa := !pa + ka;
+              po := !po + 1
+            done
+          end
+          else
+            for i = 0 to shape.(d) - 1 do
+              goc (d + 1) (pa + (i * sa.(d))) (po + (i * so.(d)))
+            done
+        in
+        pchunk ~bytes_per_iter:(16 * (total / shape.(0))) ~total shape.(0)
+          (fun lo hi ->
+            for i = lo to hi - 1 do
+              goc 1 (a.Tensor.offset + (i * sa.(0))) (out.Tensor.offset + (i * so.(0)))
+            done)
+      end
+      else if nd = 1 then
         let ka = sa.(0) and ko = so.(0) in
         pchunk ~total shape.(0) (fun lo hi ->
             let pa = ref (a.Tensor.offset + (lo * ka)) in
@@ -94,6 +176,7 @@ let elementwise1 f (out : Tensor.t) (a : Tensor.t) =
             for i = lo to hi - 1 do
               go 1 (a.Tensor.offset + (i * sa.(0))) (out.Tensor.offset + (i * so.(0)))
             done)
+    end
   end
 
 let elementwise2 f (out : Tensor.t) (a : Tensor.t) (b : Tensor.t) =
@@ -121,8 +204,50 @@ let elementwise2 f (out : Tensor.t) (a : Tensor.t) (b : Tensor.t) =
         done
     in
     let total = Shape.numel shape in
-    if total > 0 then
-      if nd = 1 then
+    if total > 0 then begin
+      let dcut = collapse_cut so [ sa; sb ] shape in
+      if dcut = 0 then
+        (* fully flat: chunk over elements, not rows *)
+        let ka = flat_step sa shape 0 and kb = flat_step sb shape 0 in
+        pchunk ~bytes_per_iter:24 ~total total (fun lo hi ->
+            let pa = ref (a.Tensor.offset + (lo * ka)) in
+            let pb = ref (b.Tensor.offset + (lo * kb)) in
+            let po = ref (out.Tensor.offset + lo) in
+            for _ = lo to hi - 1 do
+              od.(!po) <- f ad.(!pa) bd.(!pb);
+              pa := !pa + ka;
+              pb := !pb + kb;
+              po := !po + 1
+            done)
+      else if dcut < nd then begin
+        (* strided outer dims over a flat suffix *)
+        let ext = Shape.numel (Array.sub shape dcut (nd - dcut)) in
+        let ka = flat_step sa shape dcut and kb = flat_step sb shape dcut in
+        let rec goc d pa pb po =
+          if d = dcut then begin
+            let pa = ref pa and pb = ref pb and po = ref po in
+            for _ = 0 to ext - 1 do
+              od.(!po) <- f ad.(!pa) bd.(!pb);
+              pa := !pa + ka;
+              pb := !pb + kb;
+              po := !po + 1
+            done
+          end
+          else
+            for i = 0 to shape.(d) - 1 do
+              goc (d + 1) (pa + (i * sa.(d))) (pb + (i * sb.(d))) (po + (i * so.(d)))
+            done
+        in
+        pchunk ~bytes_per_iter:(24 * (total / shape.(0))) ~total shape.(0)
+          (fun lo hi ->
+            for i = lo to hi - 1 do
+              goc 1
+                (a.Tensor.offset + (i * sa.(0)))
+                (b.Tensor.offset + (i * sb.(0)))
+                (out.Tensor.offset + (i * so.(0)))
+            done)
+      end
+      else if nd = 1 then
         let ka = sa.(0) and kb = sb.(0) and ko = so.(0) in
         pchunk ~total shape.(0) (fun lo hi ->
             let pa = ref (a.Tensor.offset + (lo * ka)) in
@@ -142,6 +267,7 @@ let elementwise2 f (out : Tensor.t) (a : Tensor.t) (b : Tensor.t) =
                 (b.Tensor.offset + (i * sb.(0)))
                 (out.Tensor.offset + (i * so.(0)))
             done)
+    end
   end
 
 let elementwise3 f (out : Tensor.t) (a : Tensor.t) (b : Tensor.t) (c : Tensor.t) =
@@ -177,8 +303,26 @@ let elementwise3 f (out : Tensor.t) (a : Tensor.t) (b : Tensor.t) (c : Tensor.t)
         done
     in
     let total = Shape.numel shape in
-    if total > 0 then
-      if nd = 1 then
+    if total > 0 then begin
+      let dcut = collapse_cut so [ sa; sb; sc ] shape in
+      if dcut = 0 then
+        (* fully flat: chunk over elements, not rows *)
+        let ka = flat_step sa shape 0
+        and kb = flat_step sb shape 0
+        and kc = flat_step sc shape 0 in
+        pchunk ~bytes_per_iter:32 ~total total (fun lo hi ->
+            let pa = ref (a.Tensor.offset + (lo * ka)) in
+            let pb = ref (b.Tensor.offset + (lo * kb)) in
+            let pc = ref (c.Tensor.offset + (lo * kc)) in
+            let po = ref (out.Tensor.offset + lo) in
+            for _ = lo to hi - 1 do
+              od.(!po) <- f ad.(!pa) bd.(!pb) cd.(!pc);
+              pa := !pa + ka;
+              pb := !pb + kb;
+              pc := !pc + kc;
+              po := !po + 1
+            done)
+      else if nd = 1 then
         go 0 a.Tensor.offset b.Tensor.offset c.Tensor.offset out.Tensor.offset
       else
         pchunk ~total shape.(0) (fun lo hi ->
@@ -189,6 +333,7 @@ let elementwise3 f (out : Tensor.t) (a : Tensor.t) (b : Tensor.t) (c : Tensor.t)
                 (c.Tensor.offset + (i * sc.(0)))
                 (out.Tensor.offset + (i * so.(0)))
             done)
+    end
   end
 
 (* --- the operators --- *)
@@ -258,7 +403,9 @@ let matmul2d_into (dst : Tensor.t) (a : Tensor.t) (b : Tensor.t) =
   let ao = a.Tensor.offset and bo = b.Tensor.offset and oo = dst.Tensor.offset in
   (* Row blocks are independent and each output element accumulates over
      l in reference order, so chunking rows is bitwise-exact. *)
-  pchunk ~total:(m * n * k) m (fun row_lo row_hi ->
+  (* per row: a row of [a], a row of the output, and [b] streamed once
+     (amortized across rows, so only the k + n unique floats count) *)
+  pchunk ~bytes_per_iter:(8 * (k + n)) ~total:(m * n * k) m (fun row_lo row_hi ->
       for i = row_lo to row_hi - 1 do
         let ai = ao + (i * k) and oi = oo + (i * n) in
         Array.fill od oi n 0.0;
@@ -322,7 +469,8 @@ let softmax t ~dim =
     let lanes = if ext = 0 then 0 else Tensor.numel t / ext in
     (* Each lane's max / exp-sum / divide is self-contained: chunking the
        outer (lane) dimension preserves the reference order exactly. *)
-    pchunk ~total:(lanes * ext) lanes (fun lane_lo lane_hi ->
+    pchunk ~bytes_per_iter:(16 * ext) ~total:(lanes * ext) lanes
+      (fun lane_lo lane_hi ->
         for lane = lane_lo to lane_hi - 1 do
           let base = t.Tensor.offset + (lane * ext) and ob = lane * ext in
           let m = ref Float.neg_infinity in
@@ -350,7 +498,8 @@ let reduce_last t ~keepdim ~init ~f =
   let td = data t and od = data out in
   let lanes = if ext = 0 then 0 else Tensor.numel t / ext in
   (* One output element per lane, accumulated in reference order. *)
-  pchunk ~total:(lanes * ext) lanes (fun lane_lo lane_hi ->
+  pchunk ~bytes_per_iter:(8 * ext) ~total:(lanes * ext) lanes
+    (fun lane_lo lane_hi ->
       for lane = lane_lo to lane_hi - 1 do
         let base = t.Tensor.offset + (lane * ext) in
         let acc = ref init in

@@ -278,33 +278,32 @@ let compile (k : Codegen.kernel) ~shapes =
       }
   with Not_compilable msg -> Error msg
 
-(* Evaluate a statement's elements for output rows [lo, hi) of the outer
-   dimension, on a private register file so chunks can run on separate
-   domains.  Rows are traversed in row-major order with an odometer over
-   the trailing dimensions, writing linear positions [lo*inner, hi*inner)
-   — the same element order as the sequential path, restricted to the
-   chunk, so chunked evaluation is bitwise identical. *)
-let eval_rows (s : cstmt) (proto : rt) (out : Tensor.t) lo hi =
+(* Evaluate a statement's elements for linear positions [lo, hi), on a
+   private register file so chunks can run on separate domains.  The
+   starting multi-index is unflattened from [lo] and advanced with an
+   odometer, so a chunk boundary can fall anywhere — the outer dimension
+   no longer bounds how finely a kernel splits (a [1; n] statement
+   chunks as well as an [n; 1] one).  Elements are visited in the same
+   row-major order as the sequential path, restricted to the chunk, so
+   chunked evaluation is bitwise identical. *)
+let eval_range (s : cstmt) (proto : rt) (out : Tensor.t) lo hi =
   let rank = Array.length s.c_shape in
-  let inner =
-    let p = ref 1 in
-    for d = 1 to rank - 1 do
-      p := !p * s.c_shape.(d)
-    done;
-    !p
-  in
   let rt =
     {
       proto with
       idx = Array.make rank 0;
-      lin = lo * inner;
+      lin = lo;
       red = Array.make (Array.length proto.red) 0;
     }
   in
   let idx = rt.idx in
-  idx.(0) <- lo;
+  let rem = ref lo in
+  for d = rank - 1 downto 0 do
+    idx.(d) <- !rem mod s.c_shape.(d);
+    rem := !rem / s.c_shape.(d)
+  done;
   let od = out.Tensor.storage in
-  for _ = 1 to (hi - lo) * inner do
+  for _ = lo to hi - 1 do
     Storage.set od (out.Tensor.offset + rt.lin) (s.c_eval rt);
     rt.lin <- rt.lin + 1;
     (* odometer over trailing dims; a full carry steps the outer row *)
@@ -352,17 +351,18 @@ let run ?pool ?(grain = 8192) c ~alloc ~lookup ~scalar =
         s.c_sites;
       let out = alloc s.c_shape in
       let total = Shape.numel s.c_shape in
-      let rank = Array.length s.c_shape in
       (match pool with
-      | Some p when rank >= 1 && total >= 2 * grain && s.c_shape.(0) >= 2 ->
+      | Some p when total >= 2 * grain ->
           (* [rt.tensors]/[rt.fast] stay shared (read-only during the
-             element loop); each chunk gets private index registers. *)
-          let inner = total / s.c_shape.(0) in
+             element loop); each chunk gets private index registers.
+             Splitting is over linear elements, so low-outer-extent
+             shapes ([1; n]) chunk as finely as any other. *)
+          let nsites = List.length s.c_sites in
           ignore
             (Pool.parallel_for p
-               ~grain:(max 1 (grain / max 1 inner))
-               ~n:s.c_shape.(0)
-               (fun lo hi -> eval_rows s rt out lo hi))
+               ~bytes_per_iter:(8 * (1 + nsites))
+               ~grain ~n:total
+               (fun lo hi -> eval_range s rt out lo hi))
       | _ ->
           rt.lin <- 0;
           Shape.iter_indices s.c_shape (fun index ->

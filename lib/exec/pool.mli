@@ -1,25 +1,40 @@
-(** Persistent worker pool of OCaml [Domain]s for the execution engine.
+(** Persistent work-stealing pool of OCaml [Domain]s for the execution
+    engine.
 
     [Domain.spawn] costs tens of microseconds per domain — paying it on
     every parallel-loop dispatch swamps the work for all but the largest
     loops.  A pool spawns its worker domains once and parks them on a
-    condition variable; a dispatch is then one mutex-protected handoff
-    per worker (sub-microsecond), so horizontal loop parallelization
-    (Algorithm 2) and intra-kernel data parallelism can afford to trigger
-    on much smaller work items.
+    condition variable.  A dispatch splits the range into cache-sized
+    tasks pushed onto the dispatcher's own Chase–Lev deque: the
+    dispatcher pops them LIFO (the hot, cache-warm end) while idle
+    workers steal FIFO from the far end, so skewed iteration costs
+    rebalance dynamically instead of leaving lanes idle behind a static
+    one-chunk-per-lane split.
+
+    Task granularity is cache-aware: with a [bytes_per_iter] hint, each
+    task covers roughly {!chunk_bytes} of memory traffic (probed once
+    from cpu0's L2 in sysfs, overridable via {!set_chunk_bytes} —
+    [Config.of_env] wires [FUNCTS_CHUNK_BYTES] to it), floored by the
+    caller's [grain] and capped so every lane still sees several
+    stealable tasks.
 
     Invariants:
 
     - {!parallel_for} always executes the whole range, parallel or not,
       and partitions are disjoint — callers relying on disjoint writes
       for determinism get bitwise-identical results either way;
-    - a worker never blocks on pool state, so nested dispatch cannot
-      deadlock: a [parallel_for] issued {e from} a worker runs
-      sequentially, and a dispatch that finds a worker's slot busy runs
-      that chunk inline on the caller;
-    - an exception in any chunk is captured, every other chunk still
+    - completion never depends on the workers: the dispatcher drains its
+      own deque, steals what it can, and blocks only when every
+      remaining task is claimed by a running domain, so dispatch cannot
+      deadlock even with zero workers awake;
+    - nested dispatch is depth-limited: a [parallel_for] issued from
+      inside a task body dispatches only when the enclosing dispatch
+      under-subscribed the lanes (fewer tasks than lanes) and the
+      nesting depth is below two; otherwise it runs sequentially
+      (counted in {!fallback_nested});
+    - an exception in any task is captured, every other task still
       completes (workers are never left wedged), and the first exception
-      re-raises on the caller after the join. *)
+      re-raises on the dispatcher after the join. *)
 
 type t
 
@@ -39,36 +54,58 @@ val lanes : t -> int
 (** Total lanes including the caller (after any degraded spawn). *)
 
 val on_worker : unit -> bool
-(** Is the current domain one of {e any} pool's workers?  Used to force
-    nested dispatch sequential. *)
+(** Is the current domain one of {e any} pool's workers? *)
 
-val parallel_for : t -> grain:int -> n:int -> (int -> int -> unit) -> bool
+val parallel_for :
+  ?bytes_per_iter:int -> t -> grain:int -> n:int -> (int -> int -> unit) -> bool
 (** [parallel_for t ~grain ~n body] covers [\[0, n)] with disjoint
-    [body lo hi] chunks.  Chunks are dispatched across lanes only when at
-    least two chunks of [grain] iterations exist ([n / grain >= 2]), the
-    pool is live, and the caller is not itself a worker; otherwise the
-    whole range runs as [body 0 n] on the caller.  Empty chunks are never
-    dispatched.  Returns [true] iff worker domains were used.
-    @raise exn the first exception raised by any chunk, after all chunks
+    [body lo hi] tasks.  [bytes_per_iter] (approximate memory traffic of
+    one iteration, 0 = unknown) drives the cache-aware task size; [grain]
+    is a hard floor on iterations per task.  The range is dispatched as
+    stealable tasks only when at least two tasks exist, the pool is live
+    with two or more lanes, and the nested-dispatch rule admits it;
+    otherwise the whole range runs as [body 0 n] on the caller.  Empty
+    tasks are never created.  Returns [true] iff the range was split
+    into stealable tasks.
+    @raise exn the first exception raised by any task, after all tasks
     have finished. *)
 
 val shutdown : t -> unit
 (** Stop and join every worker domain.  Idempotent; after shutdown the
     pool still works, but {!parallel_for} always runs sequentially. *)
 
+val set_chunk_bytes : int -> unit
+(** Override the process-wide per-task cache budget in bytes ([0]
+    restores the probed default).  Called by [Config.apply] with the
+    validated [FUNCTS_CHUNK_BYTES] value. *)
+
+val chunk_bytes : unit -> int
+(** The effective per-task cache budget: the {!set_chunk_bytes} override
+    when set, else half of cpu0's L2 size probed from sysfs (falling
+    back to a quarter of L3, then 256 KiB). *)
+
 val dispatches : t -> int
-(** Dispatches that actually used worker domains. *)
+(** Dispatches that split the range into stealable tasks. *)
 
 val seq_fallbacks : t -> int
-(** [parallel_for] calls that ran sequentially (below grain, nested on a
-    worker, single lane, or after shutdown).  Always equals
-    [fallback_grain + fallback_nested + fallback_disabled]. *)
+(** [parallel_for] calls that ran sequentially (below grain, nested
+    without under-subscription, single lane, or after shutdown).  Always
+    equals [fallback_grain + fallback_nested + fallback_disabled]. *)
 
 val fallback_grain : t -> int
-(** Sequential because fewer than two [grain]-sized chunks existed. *)
+(** Sequential because fewer than two tasks existed. *)
 
 val fallback_nested : t -> int
-(** Sequential because the caller was itself a pool worker. *)
+(** Sequential because the caller was already inside a task body (and
+    the enclosing dispatch did not under-subscribe the lanes, or the
+    depth limit was hit), or because another external domain was
+    concurrently dispatching. *)
 
 val fallback_disabled : t -> int
 (** Sequential because the pool has a single lane or was shut down. *)
+
+val steals : t -> int
+(** Tasks executed by a domain other than their dispatcher. *)
+
+val inline_runs : t -> int
+(** Tasks executed by their own dispatcher (LIFO pops of its deque). *)

@@ -26,16 +26,24 @@ let kernels_rejected_c = Metrics.counter "exec.kernels_rejected"
    fallback counter as preparation-time failures. *)
 let jit_fallbacks_c = Metrics.counter "jit.cache.fallback"
 
-(* Compiled closure kernels and fast per-node execution trade differently
-   per group (a kernel saves intermediate materialization but interprets
-   an expression tree per element), so each group is auto-tuned: its first
-   executions time both implementations and the faster one sticks.  Each
+(* Native JIT launches, compiled closure kernels and fast per-node
+   execution trade differently per group (native code wins on big dense
+   statements but pays launch validation; a closure kernel saves
+   intermediate materialization but interprets an expression tree per
+   element), so each group is auto-tuned: its first executions time
+   every available arm and the fastest one sticks.  A jit-armed group
+   samples the native launch against the closure kernel and the jit
+   entry is demoted per group when it loses — dispatch-bound workloads
+   (many tiny statements, e.g. yolact's box decode) used to be pinned
+   to a slower native path because jit was tried unconditionally.  Each
    arm keeps the MINIMUM over [sample_runs] samples, not the sum: a GC
    pause landing in one arm's single sample used to flip whole processes
    into the slower mode for good. *)
 type gmode =
   | Sampling of {
-      mutable k_time : float;  (* fastest kernel-arm sample *)
+      mutable j_time : float;  (* fastest native-launch sample *)
+      mutable j_runs : int;
+      mutable k_time : float;  (* fastest closure-kernel sample *)
       mutable k_runs : int;
       mutable p_time : float;  (* fastest per-node sample *)
       mutable p_runs : int;
@@ -45,6 +53,22 @@ type gmode =
   | Use_plain
 
 let sample_runs = 3
+
+(* Tuner pins EXPIRE.  A decision made from [sample_runs] launches on a
+   noisy shared host can be wrong — a CPU-steal burst landing on the
+   fast arm's samples pins the slow arm permanently, and engines
+   prepared seconds apart then disagree by integer factors on the same
+   workload.  Every pin therefore carries a launch budget; when it runs
+   out the tuner re-enters sampling.  The budget doubles each time a
+   pin is re-confirmed (16, 32, … 4096), so a mis-pin heals within a
+   few launches while a stable pin costs asymptotically nothing. *)
+let pin_period_init = 16
+let pin_period_max = 4096
+
+let fresh_sampling () =
+  Sampling
+    { j_time = infinity; j_runs = 0; k_time = infinity; k_runs = 0;
+      p_time = infinity; p_runs = 0; p_start = 0. }
 
 (* Every value of the graph gets a dense frame slot at preparation time and
    each block becomes an instruction array with pre-resolved slots, so the
@@ -77,9 +101,50 @@ type group = {
   mutable g_jit : Jit.entry option;
       (* native launcher; tried before the closure kernel and cleared
          (demoted) on the first launch-time validation failure *)
+  mutable g_jit_off : bool;
+      (* tuner-demoted: the closure arm measured faster, so launches
+         skip the native entry.  Soft — kept separate from [g_jit] so a
+         later re-sampling window can promote the entry back if the
+         demotion was made during a noise burst. *)
   mutable g_mode : gmode;  (* auto-tuning state *)
+  mutable g_pin_left : int;  (* launches before the pin expires *)
+  mutable g_pin_period : int;  (* current pin budget (doubles on re-pin) *)
+  mutable g_pin_best : float;  (* fastest launch in the current pin window *)
+  mutable g_pin_t0 : float;  (* i_first timestamp while pinned Use_plain *)
   mutable g_fallback : bool;  (* demoted to per-node at runtime *)
 }
+
+(* One pinned launch retired; on budget exhaustion re-enter sampling.
+   The incumbent's arm is SEEDED with the window-best just observed and
+   marked fully sampled, so only the challenger arms re-run.  Noise on
+   this host is strictly additive, so a truly-slower challenger can
+   never sample below the incumbent's long-window minimum — a correct
+   pin never flips — while a wrong pin heals the first time a quiet
+   window lets the faster challenger undercut it.  Fallback groups are
+   excluded: their kernels failed at launch time, so re-sampling the
+   kernel arms would re-run a known-broken path. *)
+let retire_group_pin g =
+  g.g_pin_left <- g.g_pin_left - 1;
+  if g.g_pin_left <= 0 && not g.g_fallback then begin
+    let jt, jr, kt, kr, pt, pr =
+      match g.g_mode with
+      | Use_kernel when g.g_jit <> None && not g.g_jit_off ->
+          (g.g_pin_best, sample_runs, infinity, 0, infinity, 0)
+      | Use_kernel -> (infinity, 0, g.g_pin_best, sample_runs, infinity, 0)
+      | Use_plain -> (infinity, 0, infinity, 0, g.g_pin_best, sample_runs)
+      | Sampling _ -> (infinity, 0, infinity, 0, infinity, 0)
+    in
+    g.g_mode <-
+      Sampling
+        { j_time = jt; j_runs = jr; k_time = kt; k_runs = kr; p_time = pt;
+          p_runs = pr; p_start = 0. }
+  end
+
+let pin_group g mode =
+  g.g_pin_period <- min (max pin_period_init (g.g_pin_period * 2)) pin_period_max;
+  g.g_pin_left <- g.g_pin_period;
+  g.g_pin_best <- infinity;
+  g.g_mode <- mode
 
 type binst = {
   bi_insts : inst array;
@@ -136,14 +201,49 @@ type lmode =
   | L_dispatch
   | L_seq
 
-let loop_sample_runs = 2
+let loop_sample_runs = 3
 
 type lplan = {
   lp_roles : Loop_par.role array;  (* per carried slot *)
   lp_actions : laction array;  (* aligned with the body's bi_insts *)
   lp_reduction : bool;  (* any Reduced slot: fixed chunking + merge *)
   mutable lp_mode : lmode;
+  mutable lp_pin_left : int;  (* launches before the pin expires *)
+  mutable lp_pin_period : int;  (* current pin budget (doubles on re-pin) *)
+  mutable lp_pin_best : float;  (* fastest launch in the current pin window *)
 }
+
+let fresh_lsampling () =
+  L_sampling
+    { si_time = infinity; si_runs = 0; sd_time = infinity; sd_runs = 0;
+      ss_time = infinity; ss_runs = 0 }
+
+(* Same expiring-pin protocol as {!retire_group_pin}, for loop modes:
+   the incumbent arm is seeded with its window-best so only challengers
+   re-sample. *)
+let retire_loop_pin lp =
+  lp.lp_pin_left <- lp.lp_pin_left - 1;
+  if lp.lp_pin_left <= 0 then begin
+    let it, ir, dt, dr, st, sr =
+      match lp.lp_mode with
+      | L_inline -> (lp.lp_pin_best, loop_sample_runs, infinity, 0, infinity, 0)
+      | L_dispatch ->
+          (infinity, 0, lp.lp_pin_best, loop_sample_runs, infinity, 0)
+      | L_seq -> (infinity, 0, infinity, 0, lp.lp_pin_best, loop_sample_runs)
+      | L_sampling _ -> (infinity, 0, infinity, 0, infinity, 0)
+    in
+    lp.lp_mode <-
+      L_sampling
+        { si_time = it; si_runs = ir; sd_time = dt; sd_runs = dr;
+          ss_time = st; ss_runs = sr }
+  end
+
+let pin_loop lp mode =
+  lp.lp_pin_period <-
+    min (max pin_period_init (lp.lp_pin_period * 2)) pin_period_max;
+  lp.lp_pin_left <- lp.lp_pin_period;
+  lp.lp_pin_best <- infinity;
+  lp.lp_mode <- mode
 
 (* Reduction chunking is fixed (independent of pool lanes and of whether
    the dispatch ran inline), so domains=1/2/4 runs of the same prepared
@@ -199,6 +299,8 @@ type prepared = {
   mutable s_pool_fb_grain : int;
   mutable s_pool_fb_nested : int;
   mutable s_pool_fb_disabled : int;
+  mutable s_pool_steals : int;
+  mutable s_pool_inline_runs : int;
 }
 
 (* --- per-run state --- *)
@@ -446,8 +548,17 @@ let run_group_jit rs gid g =
           ~args:(fun () ->
             [ ("group", string_of_int gid); ("backend", "jit") ])
           (fun () ->
-            Jit.run entry ~alloc ~lookup:(tensor_lookup rs)
-              ~scalar:(scalar_lookup rs))
+            let par =
+              if rs.p.p_parallel then
+                Some
+                  (fun ~grain ~bytes_per_iter ~n body ->
+                    ignore
+                      (Pool.parallel_for rs.p.p_exec_pool ~bytes_per_iter
+                         ~grain ~n body))
+              else None
+            in
+            Jit.run ?par ~grain:rs.p.p_kernel_grain entry ~alloc
+              ~lookup:(tensor_lookup rs) ~scalar:(scalar_lookup rs))
       with
       | results ->
           rs.p.s_jit_runs <- rs.p.s_jit_runs + 1;
@@ -464,8 +575,8 @@ let run_group_jit rs gid g =
           List.iter (Buffer_plan.release rs.p.p_pool) !allocated;
           raise e)
 
-let run_group rs scope gid g =
-  match run_group_jit rs gid g with
+let run_group ?(jit = true) rs scope gid g =
+  match (if jit then run_group_jit rs gid g else None) with
   | Some results -> bind_group_results rs scope gid g.g_members results
   | None -> (
       let allocated = ref [] in
@@ -559,27 +670,104 @@ and exec_inst rs ~scope (inst : inst) =
           | None -> exec_plain_inst rs scope inst
           | Some g -> begin
               match g.g_mode with
-              | Use_plain -> exec_plain_inst rs scope inst
-              | Use_kernel -> if inst.i_last then run_group rs scope gid g
-              | Sampling s when s.k_runs < sample_runs ->
-                  if inst.i_last then begin
-                    let t0 = Unix.gettimeofday () in
-                    run_group rs scope gid g;
-                    s.k_time <- Float.min s.k_time (Unix.gettimeofday () -. t0);
-                    s.k_runs <- s.k_runs + 1
-                  end
-              | Sampling s ->
-                  if inst.i_first then s.p_start <- Unix.gettimeofday ();
+              | Use_plain ->
+                  if inst.i_first then g.g_pin_t0 <- Unix.gettimeofday ();
                   exec_plain_inst rs scope inst;
                   if inst.i_last then begin
-                    s.p_time <-
-                      Float.min s.p_time (Unix.gettimeofday () -. s.p_start);
-                    s.p_runs <- s.p_runs + 1;
-                    if s.p_runs >= sample_runs && not g.g_fallback then
-                      g.g_mode <-
-                        (if s.k_time <= s.p_time then Use_kernel
-                         else Use_plain)
+                    g.g_pin_best <-
+                      Float.min g.g_pin_best
+                        (Unix.gettimeofday () -. g.g_pin_t0);
+                    retire_group_pin g
                   end
+              | Use_kernel ->
+                  if inst.i_last then begin
+                    let t0 = Unix.gettimeofday () in
+                    run_group ~jit:(not g.g_jit_off) rs scope gid g;
+                    g.g_pin_best <-
+                      Float.min g.g_pin_best (Unix.gettimeofday () -. t0);
+                    retire_group_pin g
+                  end
+              | Sampling s -> begin
+                  (* Arms are sampled INTERLEAVED (native, closure,
+                     per-node, native, …), not in consecutive blocks: a
+                     transient slowdown spanning several launches then
+                     taxes every arm instead of condemning whichever one
+                     was being sampled.  Counters only move at [i_last],
+                     so the choice is stable across one launch's
+                     members.  The decision fires from whichever arm
+                     completes last — a seeded incumbent (see
+                     {!retire_group_pin}) may pre-satisfy any arm. *)
+                  let decide () =
+                    if
+                      (g.g_jit = None || s.j_runs >= sample_runs)
+                      && s.k_runs >= sample_runs && s.p_runs >= sample_runs
+                      && not g.g_fallback
+                    then begin
+                      (* Closure beat the native launch: demote the jit
+                         entry for this group so [Use_kernel] sticks
+                         with the closure kernel.  Soft, so the next
+                         re-sampling window can promote it back. *)
+                      if g.g_jit <> None && s.j_runs > 0 then begin
+                        let off = s.k_time < s.j_time in
+                        if off && not g.g_jit_off then begin
+                          rs.p.s_jit_fallbacks <- rs.p.s_jit_fallbacks + 1;
+                          Metrics.incr jit_fallbacks_c;
+                          Tracer.instant "jit.demoted"
+                            ~args:[ ("group", string_of_int gid) ]
+                        end
+                        else if (not off) && g.g_jit_off then
+                          Tracer.instant "jit.promoted"
+                            ~args:[ ("group", string_of_int gid) ];
+                        g.g_jit_off <- off
+                      end;
+                      let kern =
+                        if g.g_jit <> None && s.j_runs > 0 then
+                          Float.min s.j_time s.k_time
+                        else s.k_time
+                      in
+                      pin_group g
+                        (if kern <= s.p_time then Use_kernel else Use_plain)
+                    end
+                  in
+                  let jit_arm =
+                    g.g_jit <> None && s.j_runs < sample_runs
+                    && s.j_runs <= s.k_runs && s.j_runs <= s.p_runs
+                  in
+                  if jit_arm then begin
+                    (* A launch-time validation failure demotes [g_jit]
+                       mid-sampling; the remaining native samples then
+                       simply never happen. *)
+                    if inst.i_last then begin
+                      let t0 = Unix.gettimeofday () in
+                      run_group rs scope gid g;
+                      s.j_time <-
+                        Float.min s.j_time (Unix.gettimeofday () -. t0);
+                      s.j_runs <- s.j_runs + 1;
+                      decide ()
+                    end
+                  end
+                  else if s.k_runs < sample_runs && s.k_runs <= s.p_runs
+                  then begin
+                    if inst.i_last then begin
+                      let t0 = Unix.gettimeofday () in
+                      run_group ~jit:false rs scope gid g;
+                      s.k_time <-
+                        Float.min s.k_time (Unix.gettimeofday () -. t0);
+                      s.k_runs <- s.k_runs + 1;
+                      decide ()
+                    end
+                  end
+                  else begin
+                    if inst.i_first then s.p_start <- Unix.gettimeofday ();
+                    exec_plain_inst rs scope inst;
+                    if inst.i_last then begin
+                      s.p_time <-
+                        Float.min s.p_time (Unix.gettimeofday () -. s.p_start);
+                      s.p_runs <- s.p_runs + 1;
+                      decide ()
+                    end
+                  end
+                end
             end
         end
       | _ -> exec_plain_inst rs scope inst
@@ -621,39 +809,70 @@ and exec_loop rs ~scope (inst : inst) =
           in
           match lp.lp_mode with
           | L_inline ->
-              exec_batched_loop rs ~scope inst bi lp trip inits
-                ~dispatch:false
+              lp.lp_pin_best <-
+                Float.min lp.lp_pin_best
+                  (timed (fun () ->
+                       exec_batched_loop rs ~scope inst bi lp trip inits
+                         ~dispatch:false));
+              retire_loop_pin lp
           | L_dispatch ->
-              exec_batched_loop rs ~scope inst bi lp trip inits ~dispatch:true
-          | L_seq -> exec_seq_loop rs ~scope inst bi trip inits
+              lp.lp_pin_best <-
+                Float.min lp.lp_pin_best
+                  (timed (fun () ->
+                       exec_batched_loop rs ~scope inst bi lp trip inits
+                         ~dispatch:true));
+              retire_loop_pin lp
+          | L_seq ->
+              lp.lp_pin_best <-
+                Float.min lp.lp_pin_best
+                  (timed (fun () -> exec_seq_loop rs ~scope inst bi trip inits));
+              retire_loop_pin lp
           | L_sampling s ->
-              if s.si_runs < loop_sample_runs then begin
+              (* Interleave the three arms (inline, dispatch, sequential,
+                 inline, …) for the same burst-fairness reason as the
+                 group tuner above; the decision fires from whichever arm
+                 completes last, since a seeded incumbent may pre-satisfy
+                 any of them. *)
+              let ldecide () =
+                if
+                  s.si_runs >= loop_sample_runs
+                  && s.sd_runs >= loop_sample_runs
+                  && s.ss_runs >= loop_sample_runs
+                then
+                  pin_loop lp
+                    (if s.si_time <= s.sd_time && s.si_time <= s.ss_time then
+                       L_inline
+                     else if s.sd_time <= s.ss_time then L_dispatch
+                     else L_seq)
+              in
+              if
+                s.si_runs < loop_sample_runs
+                && s.si_runs <= s.sd_runs && s.si_runs <= s.ss_runs
+              then begin
                 s.si_time <-
                   Float.min s.si_time
                     (timed (fun () ->
                          exec_batched_loop rs ~scope inst bi lp trip inits
                            ~dispatch:false));
-                s.si_runs <- s.si_runs + 1
+                s.si_runs <- s.si_runs + 1;
+                ldecide ()
               end
-              else if s.sd_runs < loop_sample_runs then begin
+              else if s.sd_runs < loop_sample_runs && s.sd_runs <= s.ss_runs
+              then begin
                 s.sd_time <-
                   Float.min s.sd_time
                     (timed (fun () ->
                          exec_batched_loop rs ~scope inst bi lp trip inits
                            ~dispatch:true));
-                s.sd_runs <- s.sd_runs + 1
+                s.sd_runs <- s.sd_runs + 1;
+                ldecide ()
               end
               else begin
                 s.ss_time <-
                   Float.min s.ss_time
                     (timed (fun () -> exec_seq_loop rs ~scope inst bi trip inits));
                 s.ss_runs <- s.ss_runs + 1;
-                if s.ss_runs >= loop_sample_runs then
-                  lp.lp_mode <-
-                    (if s.si_time <= s.sd_time && s.si_time <= s.ss_time then
-                       L_inline
-                     else if s.sd_time <= s.ss_time then L_dispatch
-                     else L_seq)
+                ldecide ()
               end
         end
       | None -> exec_seq_loop rs ~scope inst bi trip inits
@@ -870,8 +1089,23 @@ and exec_batched_loop rs ~scope (inst : inst) (bi : binst) (lp : lplan) trip
       done
     else run_iters vals no_cell lo hi
   in
-  if dispatch then
-    ignore (Pool.parallel_for rs.p.p_exec_pool ~grain:1 ~n:nchunks body)
+  if dispatch then begin
+    (* Cost hint for the pool's cache-aware chunking: each chunk walks
+       its slice of every carried buffer about once, so per-chunk bytes
+       are the carried footprint spread over the chunk count. *)
+    let carried_bytes =
+      Array.fold_left
+        (fun acc v ->
+          match v with
+          | Value.Tensor t -> acc + (8 * Tensor.numel t)
+          | _ -> acc)
+        0 inits
+    in
+    ignore
+      (Pool.parallel_for rs.p.p_exec_pool
+         ~bytes_per_iter:(carried_bytes / max 1 nchunks)
+         ~grain:1 ~n:nchunks body)
+  end
   else body 0 nchunks;
   rs.p.s_parallel_loops <- rs.p.s_parallel_loops + 1;
   Metrics.incr parallel_loops_c;
@@ -1131,16 +1365,10 @@ let prepare ~profile ~parallel ~domains ~pool:exec_pool ~loop_grain
               lp_roles = info.Loop_par.roles;
               lp_actions = actions;
               lp_reduction = reduction;
-              lp_mode =
-                L_sampling
-                  {
-                    si_time = infinity;
-                    si_runs = 0;
-                    sd_time = infinity;
-                    sd_runs = 0;
-                    ss_time = infinity;
-                    ss_runs = 0;
-                  };
+              lp_mode = fresh_lsampling ();
+              lp_pin_left = 0;
+              lp_pin_period = 0;
+              lp_pin_best = infinity;
             }
         with Bail -> None)
   in
@@ -1217,10 +1445,12 @@ let prepare ~profile ~parallel ~domains ~pool:exec_pool ~loop_grain
                 g_members = ms;
                 g_compiled = c;
                 g_jit = Hashtbl.find_opt jit_tbl gid;
-                g_mode =
-                  Sampling
-                    { k_time = infinity; k_runs = 0; p_time = infinity;
-                      p_runs = 0; p_start = 0. };
+                g_jit_off = false;
+                g_mode = fresh_sampling ();
+                g_pin_left = 0;
+                g_pin_period = 0;
+                g_pin_best = infinity;
+                g_pin_t0 = 0.;
                 g_fallback = false;
               })
     members;
@@ -1274,6 +1504,8 @@ let prepare ~profile ~parallel ~domains ~pool:exec_pool ~loop_grain
     s_pool_fb_grain = 0;
     s_pool_fb_nested = 0;
     s_pool_fb_disabled = 0;
+    s_pool_steals = 0;
+    s_pool_inline_runs = 0;
   }
 
 let run p args =
@@ -1286,7 +1518,9 @@ let run p args =
   and seq0 = Pool.seq_fallbacks p.p_exec_pool
   and fbg0 = Pool.fallback_grain p.p_exec_pool
   and fbn0 = Pool.fallback_nested p.p_exec_pool
-  and fbd0 = Pool.fallback_disabled p.p_exec_pool in
+  and fbd0 = Pool.fallback_disabled p.p_exec_pool
+  and st0 = Pool.steals p.p_exec_pool
+  and il0 = Pool.inline_runs p.p_exec_pool in
   let kr0 = p.s_kernel_runs
   and jr0 = p.s_jit_runs
   and pl0 = p.s_parallel_loops
@@ -1302,6 +1536,9 @@ let run p args =
         p.s_pool_fb_nested + Pool.fallback_nested p.p_exec_pool - fbn0;
       p.s_pool_fb_disabled <-
         p.s_pool_fb_disabled + Pool.fallback_disabled p.p_exec_pool - fbd0;
+      p.s_pool_steals <- p.s_pool_steals + Pool.steals p.p_exec_pool - st0;
+      p.s_pool_inline_runs <-
+        p.s_pool_inline_runs + Pool.inline_runs p.p_exec_pool - il0;
       p.s_last_kernel_runs <- p.s_kernel_runs - kr0;
       p.s_last_jit_runs <- p.s_jit_runs - jr0;
       p.s_last_parallel_loops <- p.s_parallel_loops - pl0;
@@ -1375,6 +1612,8 @@ type stats = {
   pool_fb_grain : int;
   pool_fb_nested : int;
   pool_fb_disabled : int;
+  pool_steals : int;
+  pool_inline_runs : int;
 }
 
 let stats p =
@@ -1403,7 +1642,7 @@ let stats p =
     parallel_loops_run = p.s_parallel_loops;
     reduction_loops_run = p.s_reduction_loops;
     batched_loops = Hashtbl.length p.p_lplans;
-    jit_groups = count (fun g -> g.g_jit <> None);
+    jit_groups = count (fun g -> g.g_jit <> None && not g.g_jit_off);
     jit_runs = p.s_jit_runs;
     jit_fallbacks = p.s_jit_fallbacks;
     loops_pinned_inline = !pin_i;
@@ -1419,6 +1658,8 @@ let stats p =
     pool_fb_grain = p.s_pool_fb_grain;
     pool_fb_nested = p.s_pool_fb_nested;
     pool_fb_disabled = p.s_pool_fb_disabled;
+    pool_steals = p.s_pool_steals;
+    pool_inline_runs = p.s_pool_inline_runs;
   }
 
 let clear_buffers p = Buffer_plan.clear p.p_pool

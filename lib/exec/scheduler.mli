@@ -98,6 +98,12 @@ type stats = {
   pool_fb_grain : int;  (** sequential: fewer than two grain-sized chunks *)
   pool_fb_nested : int;  (** sequential: caller was itself a pool worker *)
   pool_fb_disabled : int;  (** sequential: single lane or shut down *)
+  pool_steals : int;
+      (** tasks executed by a domain other than the one that pushed
+          them (same per-engine delta accounting) *)
+  pool_inline_runs : int;
+      (** tasks the dispatching domain ran itself — its own deque plus
+          stolen-back work while waiting *)
 }
 
 val stats : prepared -> stats

@@ -50,6 +50,13 @@ val prepare_groups :
 exception Fallback of string
 
 val run :
+  ?par:
+    (grain:int ->
+    bytes_per_iter:int ->
+    n:int ->
+    (int -> int -> unit) ->
+    unit) ->
+  ?grain:int ->
   entry ->
   alloc:(Shape.t -> Tensor.t) ->
   lookup:(Graph.value -> Tensor.t option) ->
@@ -57,6 +64,11 @@ val run :
   (Graph.value * Tensor.t * bool) list
 (** Launch one group natively; same contract as
     [Kernel_compile.run] (statement results in order, stored flag per
-    statement).  Raises {!Fallback} when a binding fails validation —
-    the caller releases this launch's allocations and demotes the
-    group. *)
+    statement).  [par] — typically [Pool.parallel_for] partially applied
+    by the scheduler — must cover [0, n) with disjoint [body lo hi]
+    calls; each statement whose output holds at least [2 * grain]
+    elements ([grain] defaults to 8192) then splits its outermost baked
+    loop across it, joining before the next statement so cross-statement
+    reads stay ordered and results stay bitwise-identical.  Raises
+    {!Fallback} when a binding fails validation — the caller releases
+    this launch's allocations and demotes the group. *)

@@ -27,9 +27,11 @@ module Metrics = Functs_obs.Metrics
    directory followed by an atomic rename, so readers never observe a
    half-written artifact. *)
 
-let version = 1
+(* v2: per-statement entry points taking [stmt lo hi] so a launch can
+   split a statement's outermost loop across pool tasks. *)
+let version = 2
 
-type fn = float array array -> int array -> unit
+type fn = float array array -> int array -> int -> int -> int -> unit
 
 let hit_c = Metrics.counter "jit.cache.hit"
 let miss_c = Metrics.counter "jit.cache.miss"

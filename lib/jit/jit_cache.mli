@@ -16,8 +16,11 @@
 val version : int
 (** Codegen version stamp baked into artifact names and headers. *)
 
-type fn = float array array -> int array -> unit
-(** A compiled kernel launcher (see {!Jit_emit} for the layout). *)
+type fn = float array array -> int array -> int -> int -> int -> unit
+(** A compiled kernel launcher (see {!Jit_emit} for the layout):
+    [fn bufs ints stmt lo hi] runs statement [stmt] for rows [lo, hi)
+    of its outermost baked loop (the full extent when launched
+    sequentially). *)
 
 val set_compiler : string -> unit
 (** Override the compiler command (default ["ocamlfind ocamlopt"]);

@@ -57,7 +57,10 @@ type estmt = {
 type emitted = {
   e_group : int;
   e_name : string;
-  e_fn : string;  (* "fun (bufs : float array array) (ints : int array) -> …" *)
+  e_fn : string;
+      (* "fun (bufs : float array array) (ints : int array)
+         (stmt : int) (lo : int) (hi : int) -> …" — one match arm per
+         statement, [lo, hi) ranging over its outermost dimension *)
   e_sites : esite array;
   e_stmts : estmt array;
   e_free : string array;  (* free scalar symbols, in ints-tail order *)
@@ -390,34 +393,54 @@ let emit (k : Codegen.kernel) ~shapes : (emitted, string) result =
           Hashtbl.replace computed s.s_out.Graph.v_id ();
           let out_pos = !next_int in
           incr next_int;
+          let rank = Array.length shape in
+          (* elements per outer iteration: the launch splits [lo, hi)
+             over the outermost baked loop, so the write cursor seeds at
+             [out_offset + lo * inner] *)
+          let inner =
+            let p = ref 1 in
+            for d = 1 to rank - 1 do
+              p := !p * shape.(d)
+            done;
+            !p
+          in
           Buffer.add_string body
-            (Printf.sprintf "  (* %s : %s *)\n  begin\n" (value_ref s.s_out)
-               (Shape.to_string shape));
+            (Printf.sprintf "  | %d ->\n    (* %s : %s *)\n    begin\n" stmt_idx
+               (value_ref s.s_out) (Shape.to_string shape));
           Buffer.add_buffer body site_binds;
           Buffer.add_string body
             (Printf.sprintf "    let o = Array.unsafe_get bufs %d in\n" stmt_idx);
           Buffer.add_string body
-            (Printf.sprintf "    let lin = ref (Array.unsafe_get ints %d) in\n"
-               out_pos);
-          let rank = Array.length shape in
+            (Printf.sprintf
+               "    let lin = ref (Array.unsafe_get ints %d + (lo * %d)) in\n"
+               out_pos inner);
           let pad d = String.make (4 + (2 * d)) ' ' in
-          for d = 0 to rank - 1 do
-            Buffer.add_string body
-              (Printf.sprintf "%sfor i%d = 0 to %d do\n" (pad d) d
-                 (shape.(d) - 1));
-            List.iter
-              (fun line ->
-                Buffer.add_string body
-                  (Printf.sprintf "%s%s\n" (pad (d + 1)) line))
-              (List.rev !(level_binds.(d)))
-          done;
+          (if rank = 0 then
+             Buffer.add_string body "    if lo <= 0 && hi >= 1 then begin\n"
+           else
+             for d = 0 to rank - 1 do
+               (if d = 0 then
+                  Buffer.add_string body
+                    (Printf.sprintf "%sfor i0 = lo to hi - 1 do\n" (pad 0))
+                else
+                  Buffer.add_string body
+                    (Printf.sprintf "%sfor i%d = 0 to %d do\n" (pad d) d
+                       (shape.(d) - 1)));
+               List.iter
+                 (fun line ->
+                   Buffer.add_string body
+                     (Printf.sprintf "%s%s\n" (pad (d + 1)) line))
+                 (List.rev !(level_binds.(d)))
+             done);
           Buffer.add_string body
             (Printf.sprintf "%sArray.unsafe_set o !lin %s;\n%sincr lin\n"
                (pad rank) expr (pad rank));
-          for d = rank - 1 downto 0 do
-            Buffer.add_string body (Printf.sprintf "%sdone\n" (pad d))
-          done;
-          Buffer.add_string body "  end;\n";
+          if rank = 0 then Buffer.add_string body "    end\n"
+          else
+            for d = rank - 1 downto 0 do
+              Buffer.add_string body (Printf.sprintf "%sdone\n" (pad d))
+            done;
+          Buffer.add_string body "    end\n";
           { e_out = s.s_out; e_store = s.s_store; e_shape = shape; e_out_pos = out_pos })
         k.k_stmts
     in
@@ -425,15 +448,18 @@ let emit (k : Codegen.kernel) ~shapes : (emitted, string) result =
     let nfree = Hashtbl.length free in
     let free_arr = Array.of_list (List.rev !free_order) in
     let header = Buffer.create 256 in
-    Buffer.add_string header "fun (bufs : float array array) (ints : int array) ->\n";
+    Buffer.add_string header
+      "fun (bufs : float array array) (ints : int array) (stmt : int) (lo : \
+       int) (hi : int) ->\n";
     Array.iteri
       (fun j _ ->
         Buffer.add_string header
           (Printf.sprintf "  let sc%d = Array.unsafe_get ints %d in\n" j
              (scalar_pos + j)))
       free_arr;
+    Buffer.add_string header "  match stmt with\n";
     Buffer.add_buffer header body;
-    Buffer.add_string header "  ()\n";
+    Buffer.add_string header "  | _ -> ignore lo; ignore hi\n";
     Ok
       {
         e_group = k.k_group;

@@ -11,6 +11,7 @@ type t = {
   domains : int;
   loop_grain : int;
   kernel_grain : int;
+  chunk_bytes : int;  (* per-task cache budget; 0 probes sysfs *)
   cache : bool;
   cache_size : int;
   jit : Jit.mode;
@@ -28,6 +29,7 @@ let default =
     domains = max 1 (Domain.recommended_domain_count ());
     loop_grain = 2;
     kernel_grain = 8192;
+    chunk_bytes = 0;
     cache = true;
     cache_size = 32;
     jit = Jit.Off;
@@ -123,6 +125,8 @@ let of_env ?(base = default) ?(getenv = Sys.getenv_opt) () =
       ("FUNCTS_GRAIN", pos_int ~min_value:1 (fun c n -> { c with loop_grain = n }));
       ( "FUNCTS_KERNEL_GRAIN",
         pos_int ~min_value:1 (fun c n -> { c with kernel_grain = n }) );
+      ( "FUNCTS_CHUNK_BYTES",
+        pos_int ~min_value:0 (fun c n -> { c with chunk_bytes = n }) );
       ("FUNCTS_CACHE", bool_flag (fun c b -> { c with cache = b }));
       ( "FUNCTS_CACHE_SIZE",
         pos_int ~min_value:1 (fun c n -> { c with cache_size = n }) );
@@ -176,6 +180,7 @@ let apply cfg =
   Engine.set_cache_capacity cfg.cache_size;
   Engine.set_jit_default cfg.jit;
   Engine.set_jit_dir_default cfg.jit_dir;
+  Functs_exec.Pool.set_chunk_bytes cfg.chunk_bytes;
   if Tracer.capacity () <> cfg.trace_buf then Tracer.set_capacity cfg.trace_buf;
   (match cfg.trace with
   | Trace_off -> ()
@@ -202,6 +207,9 @@ let to_string cfg =
       Printf.sprintf "domains        = %d" cfg.domains;
       Printf.sprintf "loop_grain     = %d" cfg.loop_grain;
       Printf.sprintf "kernel_grain   = %d" cfg.kernel_grain;
+      Printf.sprintf "chunk_bytes    = %s"
+        (if cfg.chunk_bytes = 0 then "(auto)"
+         else string_of_int cfg.chunk_bytes);
       Printf.sprintf "cache          = %b" cfg.cache;
       Printf.sprintf "cache_size     = %d" cfg.cache_size;
       Printf.sprintf "jit            = %s" (Jit.mode_to_string cfg.jit);

@@ -40,6 +40,9 @@ type t = {
   domains : int;  (** worker lanes in the shared domain pool (≥ 1) *)
   loop_grain : int;  (** min trip count before horizontal dispatch *)
   kernel_grain : int;  (** elements per intra-kernel chunk *)
+  chunk_bytes : int;
+      (** per-task cache budget for the pool's cost-model chunking;
+          [0] (the default) probes cpu0's L2 size from sysfs *)
   cache : bool;  (** compile cache on/off *)
   cache_size : int;  (** resident compile-cache entries (LRU) *)
   jit : Functs_jit.Jit.mode;  (** native JIT backend: off / on / auto *)
@@ -68,6 +71,9 @@ val of_env :
     - [FUNCTS_DOMAINS], [FUNCTS_GRAIN], [FUNCTS_KERNEL_GRAIN],
       [FUNCTS_CACHE_SIZE], [FUNCTS_QUEUE], [FUNCTS_MAX_BATCH] —
       positive integers ([FUNCTS_TRACE_BUF] additionally ≥ 16);
+    - [FUNCTS_CHUNK_BYTES] — per-task cache budget in bytes for the
+      parallel runtime's chunk cost model; [0] (default) probes the
+      machine's L2 size from sysfs;
     - [FUNCTS_CACHE] — [on]/[off]/[1]/[0]/[true]/[false]/[yes]/[no];
     - [FUNCTS_TRACE] — [off] forms, [on]/[1]/[true], or an output path;
     - [FUNCTS_METRICS] — [off] forms, [stderr]/[on]/[1], or a path;

@@ -171,6 +171,104 @@ let test_pool_shutdown_joins () =
   check "post-shutdown dispatch degrades to sequential" false went_parallel;
   check_int "and still executes the whole range" 8 !covered
 
+(* Multi-producer steal contention: an under-subscribed outer dispatch
+   lets every task nested-dispatch, so up to four deques carry tasks at
+   once and idle lanes steal across all of them.  Every (outer, inner)
+   pair must run exactly once, and the steal/inline counters must
+   account for the traffic. *)
+let test_pool_steal_stress () =
+  let pool = Pool.create ~lanes:4 in
+  Pool.set_chunk_bytes 64;
+  Fun.protect
+    ~finally:(fun () ->
+      Pool.set_chunk_bytes 0;
+      Pool.shutdown pool)
+    (fun () ->
+      let outer = 3 and inner = 1365 in
+      let hits = Array.init outer (fun _ -> Array.make inner 0) in
+      let steals0 = Pool.steals pool and inline0 = Pool.inline_runs pool in
+      for _ = 1 to 5 do
+        Array.iter (fun row -> Array.fill row 0 inner 0) hits;
+        ignore
+          (Pool.parallel_for pool ~grain:1 ~n:outer (fun lo hi ->
+               for i = lo to hi - 1 do
+                 ignore
+                   (Pool.parallel_for pool ~bytes_per_iter:8 ~grain:1
+                      ~n:inner (fun l h ->
+                        for j = l to h - 1 do
+                          hits.(i).(j) <- hits.(i).(j) + 1
+                        done))
+               done));
+        check "steal stress: every index exactly once" true
+          (Array.for_all (Array.for_all (fun v -> v = 1)) hits)
+      done;
+      check "steal stress: tasks were executed and counted" true
+        (Pool.steals pool - steals0 + (Pool.inline_runs pool - inline0) > 0))
+
+(* Range-coverage property at the grain edges, under a chunk budget
+   small enough that the cost model, not the lane count, decides the
+   task count. *)
+let test_pool_grain_edges () =
+  let pool = Pool.create ~lanes:4 in
+  Pool.set_chunk_bytes 128;
+  Fun.protect
+    ~finally:(fun () ->
+      Pool.set_chunk_bytes 0;
+      Pool.shutdown pool)
+    (fun () ->
+      let state = Random.State.make [| 2024 |] in
+      let grain = 7 in
+      let cases =
+        [ 0; 1; grain; (2 * grain) - 1; 2 * grain ]
+        @ List.init 8 (fun _ -> Random.State.int state 5000)
+      in
+      List.iter
+        (fun n ->
+          let hits = Array.make (max n 1) 0 in
+          let went =
+            Pool.parallel_for pool ~bytes_per_iter:16 ~grain ~n
+              (fun lo hi ->
+                for i = lo to hi - 1 do
+                  hits.(i) <- hits.(i) + 1
+                done)
+          in
+          if n = 0 then
+            check "empty range never dispatches" false went;
+          check
+            (Printf.sprintf "n=%d covered exactly once" n)
+            true
+            (Array.for_all (fun v -> v = 1) (Array.sub hits 0 n)))
+        cases)
+
+(* Depth-limited nesting: tasks of an under-subscribed dispatch may
+   dispatch again (the pool has idle lanes to offer), but depth 2 always
+   degrades to sequential. *)
+let test_pool_nested_undersubscribed () =
+  let pool = Pool.create ~lanes:4 in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let inner_went = Array.make 2 false in
+      let deep_went = ref false in
+      let hits = Array.make 128 0 in
+      ignore
+        (Pool.parallel_for pool ~grain:1 ~n:2 (fun lo hi ->
+             for i = lo to hi - 1 do
+               inner_went.(i) <-
+                 Pool.parallel_for pool ~grain:1 ~n:64 (fun l h ->
+                     for j = l to h - 1 do
+                       hits.((i * 64) + j) <- hits.((i * 64) + j) + 1;
+                       if
+                         Pool.parallel_for pool ~grain:1 ~n:4 (fun _ _ -> ())
+                       then deep_went := true
+                     done)
+             done));
+      check "under-subscribed outer lets both tasks dispatch" true
+        (Array.for_all (fun b -> b) inner_went);
+      check "depth-2 dispatch degrades to sequential" false !deep_went;
+      check "nested ranges covered exactly once" true
+        (Array.for_all (fun v -> v = 1) hits))
+
 (* A carried-store loop: the lstm pattern whose per-iteration whole-tensor
    clone the donation path eliminates.  Engine output must still match. *)
 let carried_store_graph () =
@@ -479,6 +577,12 @@ let test_batched_bitwise () =
   let state = Random.State.make [| 99 |] in
   let x = T.rand state [| 12; 16 |] in
   let args trip () = [ Value.Tensor (T.clone x) ; Value.Int trip ] in
+  (* A tiny per-task cache budget forces many stealable tasks, so these
+     gates exercise the work-stealing path, not just the two-chunk
+     split. *)
+  Pool.set_chunk_bytes 256;
+  Fun.protect ~finally:(fun () -> Pool.set_chunk_bytes 0)
+  @@ fun () ->
   let bitwise name g trip d1 d2 =
     let o1, s1 = bitwise_outputs g ~domains:d1 (args trip ()) in
     let o2, s2 = bitwise_outputs g ~domains:d2 (args trip ()) in
@@ -569,6 +673,12 @@ let () =
             test_pool_bitwise_kernels;
           Alcotest.test_case "shutdown joins all domains" `Quick
             test_pool_shutdown_joins;
+          Alcotest.test_case "steal contention stress" `Quick
+            test_pool_steal_stress;
+          Alcotest.test_case "grain edges covered" `Quick
+            test_pool_grain_edges;
+          Alcotest.test_case "nested under-subscribed dispatch" `Quick
+            test_pool_nested_undersubscribed;
         ] );
       ( "cache",
         [
