@@ -505,6 +505,202 @@ let serve_bench_cmd =
       ret (const run $ workload_opt $ producers_arg $ submits_arg
            $ deadline_arg $ json_arg $ smoke_flag))
 
+(* --- profile / why: latency attribution and the decision journal ---
+
+   Both drive N requests through a serving session (so the full
+   enqueue → dispatch → engine path is exercised), then read the
+   observability layer back out: [profile] the per-stage latency
+   histograms and the scheduler's per-group wall-time attribution,
+   [why] the decision journal (which arm won each group/loop and why). *)
+
+let serve_requests (w : Workload.t) ~runs ~batch ~seq =
+  match Session.create ~config w ~batch ~seq with
+  | Error e -> Error e
+  | Ok session ->
+      let args = w.Workload.inputs ~batch ~seq in
+      let rec go i =
+        if i >= runs then Ok session
+        else
+          match Session.run session args with
+          | Ok _ -> go (i + 1)
+          | Error e ->
+              Session.close session;
+              Error e
+      in
+      go 0
+
+let stage_names = [ "queue_wait"; "batch"; "exec"; "total" ]
+
+let stage_windows before after =
+  List.map
+    (fun s ->
+      let name = Printf.sprintf "serve.latency.%s_us" s in
+      let get snap =
+        Option.value (Metrics.hstat_of snap name) ~default:Metrics.hstat_zero
+      in
+      (s, Metrics.diff ~before:(get before) ~after:(get after)))
+    stage_names
+
+let profile_cmd =
+  let json_flag =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit JSON instead of a table.")
+  in
+  let runs_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "runs" ] ~docv:"N"
+          ~doc:"Requests to serve before reading the attribution (≥ 1).")
+  in
+  let run name json runs batch seq =
+    match Functs.find_workload name with
+    | Error e -> fail e
+    | Ok w -> (
+        let batch, seq = scales w batch seq in
+        let runs = max 1 runs in
+        let m0 = Metrics.snapshot () in
+        match serve_requests w ~runs ~batch ~seq with
+        | Error e -> fail e
+        | Ok session ->
+            let m1 = Metrics.snapshot () in
+            let stages = stage_windows m0 m1 in
+            let rows = Session.attribution session in
+            Session.close session;
+            let total_attr =
+              List.fold_left
+                (fun acc r -> acc +. r.Scheduler.at_time_s)
+                0. rows
+            in
+            if json then begin
+              let stage_json (s, h) =
+                ( s,
+                  Json.Obj
+                    [
+                      ("count", Json.Num (float_of_int h.Metrics.h_count));
+                      ("p50_us", Json.Num (Metrics.percentile h 0.50));
+                      ("p90_us", Json.Num (Metrics.percentile h 0.90));
+                      ("p99_us", Json.Num (Metrics.percentile h 0.99));
+                      ("mean_us", Json.Num (Metrics.mean h));
+                    ] )
+              in
+              let row_json (r : Scheduler.attribution_row) =
+                Json.Obj
+                  [
+                    ("id", Json.Num (float_of_int r.Scheduler.at_id));
+                    ( "kind",
+                      Json.Str
+                        (match r.Scheduler.at_kind with
+                        | `Group -> "group"
+                        | `Loop -> "loop") );
+                    ("arm", Json.Str r.Scheduler.at_arm);
+                    ("members", Json.Num (float_of_int r.Scheduler.at_members));
+                    ("time_us", Json.Num (1e6 *. r.Scheduler.at_time_s));
+                    ("launches", Json.Num (float_of_int r.Scheduler.at_launches));
+                  ]
+              in
+              print_endline
+                (Json.to_string
+                   (Json.Obj
+                      [
+                        ("workload", Json.Str name);
+                        ("requests", Json.Num (float_of_int runs));
+                        ("stages", Json.Obj (List.map stage_json stages));
+                        ("groups", Json.Arr (List.map row_json rows));
+                      ]))
+            end
+            else begin
+              Printf.printf "profile    : %s, %d requests served\n" name runs;
+              Printf.printf "%-11s %10s %10s %10s %8s\n" "stage" "p50_us"
+                "p90_us" "p99_us" "n";
+              List.iter
+                (fun (s, h) ->
+                  Printf.printf "%-11s %10.0f %10.0f %10.0f %8d\n" s
+                    (Metrics.percentile h 0.50) (Metrics.percentile h 0.90)
+                    (Metrics.percentile h 0.99) h.Metrics.h_count)
+                stages;
+              print_newline ();
+              Printf.printf "%-11s %-9s %8s %10s %9s %6s\n" "site" "arm"
+                "members" "time_ms" "launches" "share";
+              List.iter
+                (fun (r : Scheduler.attribution_row) ->
+                  Printf.printf "%-11s %-9s %8d %10.2f %9d %5.1f%%\n"
+                    (Printf.sprintf "%s#%d"
+                       (match r.Scheduler.at_kind with
+                       | `Group -> "group"
+                       | `Loop -> "loop")
+                       r.Scheduler.at_id)
+                    r.Scheduler.at_arm r.Scheduler.at_members
+                    (1e3 *. r.Scheduler.at_time_s)
+                    r.Scheduler.at_launches
+                    (100. *. r.Scheduler.at_time_s
+                    /. Float.max 1e-12 total_attr))
+                rows
+            end;
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Serve a workload and report per-stage latency percentiles (from \
+          the in-process histograms) plus per-kernel-group wall-time \
+          attribution.")
+    Term.(
+      ret (const run $ workload_arg $ json_flag $ runs_arg $ batch_arg
+           $ seq_arg))
+
+let why_cmd =
+  let runs_arg =
+    Arg.(
+      value & opt int 48
+      & info [ "runs" ] ~docv:"N"
+          ~doc:
+            "Requests to serve before replaying the journal (enough for the \
+             auto-tuner to sample every arm and pin winners).")
+  in
+  let run name runs batch seq =
+    match Functs.find_workload name with
+    | Error e -> fail e
+    | Ok w -> (
+        let batch, seq = scales w batch seq in
+        let mark = Journal.recorded () in
+        match serve_requests w ~runs:(max 1 runs) ~batch ~seq with
+        | Error e -> fail e
+        | Ok session ->
+            let entries =
+              (* only this command's window; earlier entries (other
+                 sessions in this process) are not about this workload *)
+              let all = Journal.entries () in
+              let skip = max 0 (mark - Journal.dropped ()) in
+              List.filteri (fun i _ -> i >= skip) all
+            in
+            Printf.printf "why        : %s — %d decisions during %d requests\n\n"
+              name (List.length entries) (max 1 runs);
+            List.iter
+              (fun e -> print_endline (Journal.entry_to_text e))
+              entries;
+            print_newline ();
+            Printf.printf "current winners (by accumulated wall time):\n";
+            List.iter
+              (fun (r : Scheduler.attribution_row) ->
+                Printf.printf
+                  "  %s#%d -> %s (%d launches, %.2f ms total)\n"
+                  (match r.Scheduler.at_kind with
+                  | `Group -> "group"
+                  | `Loop -> "loop")
+                  r.Scheduler.at_id r.Scheduler.at_arm r.Scheduler.at_launches
+                  (1e3 *. r.Scheduler.at_time_s))
+              (Session.attribution session);
+            Session.close session;
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "why"
+       ~doc:
+         "Serve a workload, then replay the decision journal: every \
+          auto-tuner sample, pin, flip and expiry, JIT demotion, cache \
+          eviction and deadline degradation, plus each site's current \
+          winning arm.")
+    Term.(ret (const run $ workload_arg $ runs_arg $ batch_arg $ seq_arg))
+
 (* --- report --- *)
 
 (* Figure renderers live in the harness, which registers them against
@@ -537,4 +733,5 @@ let () =
   let info = Cmd.info "functs" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
        [ list_cmd; show_cmd; compile_cmd; run_cmd; build_cmd; kernels_cmd;
-         stats_cmd; config_cmd; serve_bench_cmd; report_cmd ]))
+         stats_cmd; config_cmd; serve_bench_cmd; profile_cmd; why_cmd;
+         report_cmd ]))

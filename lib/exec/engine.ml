@@ -157,7 +157,9 @@ let evict_one () =
       | Some e -> quiesce_and_clear e.c_engine
       | None -> ());
       Hashtbl.remove cache_tbl key;
-      Compiler_profile.cache_eviction ()
+      Compiler_profile.cache_eviction ();
+      Functs_obs.Journal.record Cache_evict "engine.cache"
+        ~detail:(String.sub key 0 (min 96 (String.length key)))
 
 let clear_cache () =
   cache_locked (fun () ->
@@ -222,4 +224,5 @@ let run_tensors t tensors =
   List.map Value.to_tensor (run t (List.map (fun x -> Value.Tensor x) tensors))
 
 let stats t = Scheduler.stats t.e_prepared
+let attribution t = Scheduler.attribution t.e_prepared
 let graph t = t.e_graph

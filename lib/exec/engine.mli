@@ -75,6 +75,11 @@ val run : t -> Value.t list -> Value.t list
 val run_tensors : t -> Tensor.t list -> Tensor.t list
 
 val stats : t -> Scheduler.stats
+
+val attribution : t -> Scheduler.attribution_row list
+(** Per-group / per-loop wall-time attribution of this engine's runs
+    (see {!Scheduler.attribution}), hottest first. *)
+
 val graph : t -> Graph.t
 
 (** {1 Compile cache} *)

@@ -4,6 +4,7 @@ open Functs_core
 open Functs_interp
 module Tracer = Functs_obs.Tracer
 module Metrics = Functs_obs.Metrics
+module Journal = Functs_obs.Journal
 module Jit = Functs_jit.Jit
 
 let error fmt = Format.kasprintf (fun m -> raise (Eval.Runtime_error m)) fmt
@@ -112,7 +113,20 @@ type group = {
   mutable g_pin_best : float;  (* fastest launch in the current pin window *)
   mutable g_pin_t0 : float;  (* i_first timestamp while pinned Use_plain *)
   mutable g_fallback : bool;  (* demoted to per-node at runtime *)
+  mutable g_last_pin : string;  (* arm of the previous pin ("" before any) *)
+  (* wall-time attribution: every timed launch (the tuner already reads
+     the clock at each group boundary) also accumulates here, so
+     per-group cost is free to collect and [attribution] can rank
+     groups without re-instrumenting *)
+  mutable g_time : float;  (* accumulated launch seconds *)
+  mutable g_launches : int;
 }
+
+let arm_of_group g =
+  match g.g_mode with
+  | Use_kernel -> if g.g_jit <> None && not g.g_jit_off then "jit" else "closure"
+  | Use_plain -> "per_node"
+  | Sampling _ -> "sampling"
 
 (* One pinned launch retired; on budget exhaustion re-enter sampling.
    The incumbent's arm is SEEDED with the window-best just observed and
@@ -123,9 +137,11 @@ type group = {
    window lets the faster challenger undercut it.  Fallback groups are
    excluded: their kernels failed at launch time, so re-sampling the
    kernel arms would re-run a known-broken path. *)
-let retire_group_pin g =
+let retire_group_pin gid g =
   g.g_pin_left <- g.g_pin_left - 1;
   if g.g_pin_left <= 0 && not g.g_fallback then begin
+    Journal.record Tuner_expire "scheduler.group" ~id:gid ~arm:(arm_of_group g)
+      ~value:g.g_pin_best;
     let jt, jr, kt, kr, pt, pr =
       match g.g_mode with
       | Use_kernel when g.g_jit <> None && not g.g_jit_off ->
@@ -140,11 +156,18 @@ let retire_group_pin g =
           p_runs = pr; p_start = 0. }
   end
 
-let pin_group g mode =
+let pin_group gid g mode =
   g.g_pin_period <- min (max pin_period_init (g.g_pin_period * 2)) pin_period_max;
   g.g_pin_left <- g.g_pin_period;
   g.g_pin_best <- infinity;
-  g.g_mode <- mode
+  g.g_mode <- mode;
+  let arm = arm_of_group g in
+  let kind : Journal.kind =
+    if g.g_last_pin <> "" && g.g_last_pin <> arm then Tuner_flip else Tuner_pin
+  in
+  Journal.record kind "scheduler.group" ~id:gid ~arm
+    ~detail:(Printf.sprintf "budget=%d" g.g_pin_period);
+  g.g_last_pin <- arm
 
 type binst = {
   bi_insts : inst array;
@@ -211,7 +234,17 @@ type lplan = {
   mutable lp_pin_left : int;  (* launches before the pin expires *)
   mutable lp_pin_period : int;  (* current pin budget (doubles on re-pin) *)
   mutable lp_pin_best : float;  (* fastest launch in the current pin window *)
+  mutable lp_last_pin : string;  (* arm of the previous pin ("" before any) *)
+  mutable lp_time : float;  (* accumulated launch seconds (attribution) *)
+  mutable lp_launches : int;
 }
+
+let arm_of_loop lp =
+  match lp.lp_mode with
+  | L_inline -> "inline"
+  | L_dispatch -> "dispatch"
+  | L_seq -> "seq"
+  | L_sampling _ -> "sampling"
 
 let fresh_lsampling () =
   L_sampling
@@ -221,9 +254,11 @@ let fresh_lsampling () =
 (* Same expiring-pin protocol as {!retire_group_pin}, for loop modes:
    the incumbent arm is seeded with its window-best so only challengers
    re-sample. *)
-let retire_loop_pin lp =
+let retire_loop_pin lid lp =
   lp.lp_pin_left <- lp.lp_pin_left - 1;
   if lp.lp_pin_left <= 0 then begin
+    Journal.record Tuner_expire "scheduler.loop" ~id:lid ~arm:(arm_of_loop lp)
+      ~value:lp.lp_pin_best;
     let it, ir, dt, dr, st, sr =
       match lp.lp_mode with
       | L_inline -> (lp.lp_pin_best, loop_sample_runs, infinity, 0, infinity, 0)
@@ -238,12 +273,20 @@ let retire_loop_pin lp =
           ss_time = st; ss_runs = sr }
   end
 
-let pin_loop lp mode =
+let pin_loop lid lp mode =
   lp.lp_pin_period <-
     min (max pin_period_init (lp.lp_pin_period * 2)) pin_period_max;
   lp.lp_pin_left <- lp.lp_pin_period;
   lp.lp_pin_best <- infinity;
-  lp.lp_mode <- mode
+  lp.lp_mode <- mode;
+  let arm = arm_of_loop lp in
+  let kind : Journal.kind =
+    if lp.lp_last_pin <> "" && lp.lp_last_pin <> arm then Tuner_flip
+    else Tuner_pin
+  in
+  Journal.record kind "scheduler.loop" ~id:lid ~arm
+    ~detail:(Printf.sprintf "budget=%d" lp.lp_pin_period);
+  lp.lp_last_pin <- arm
 
 (* Reduction chunking is fixed (independent of pool lanes and of whether
    the dispatch ran inline), so domains=1/2/4 runs of the same prepared
@@ -570,6 +613,8 @@ let run_group_jit rs gid g =
           Metrics.incr jit_fallbacks_c;
           Tracer.instant "jit.fallback"
             ~args:[ ("group", string_of_int gid); ("reason", reason) ];
+          Journal.record Jit_demote "scheduler.group" ~id:gid ~arm:"closure"
+            ~detail:("launch validation failed: " ^ reason);
           None
       | exception e ->
           List.iter (Buffer_plan.release rs.p.p_pool) !allocated;
@@ -599,9 +644,12 @@ let run_group ?(jit = true) rs scope gid g =
           List.iter (Buffer_plan.release rs.p.p_pool) !allocated;
           g.g_fallback <- true;
           g.g_mode <- Use_plain;
+          g.g_last_pin <- "per_node";
           Metrics.incr kernel_fallbacks_c;
           Tracer.instant "kernel.fallback"
             ~args:[ ("group", string_of_int gid) ];
+          Journal.record Tuner_pin "scheduler.group" ~id:gid ~arm:"per_node"
+            ~detail:"kernel launch raised; permanent per-node fallback";
           (match e with
           | Kernel_compile.Fallback _ | Invalid_argument _ ->
               List.iter (exec_plain_inst rs scope) g.g_members
@@ -674,18 +722,21 @@ and exec_inst rs ~scope (inst : inst) =
                   if inst.i_first then g.g_pin_t0 <- Unix.gettimeofday ();
                   exec_plain_inst rs scope inst;
                   if inst.i_last then begin
-                    g.g_pin_best <-
-                      Float.min g.g_pin_best
-                        (Unix.gettimeofday () -. g.g_pin_t0);
-                    retire_group_pin g
+                    let dt = Unix.gettimeofday () -. g.g_pin_t0 in
+                    g.g_time <- g.g_time +. dt;
+                    g.g_launches <- g.g_launches + 1;
+                    g.g_pin_best <- Float.min g.g_pin_best dt;
+                    retire_group_pin gid g
                   end
               | Use_kernel ->
                   if inst.i_last then begin
                     let t0 = Unix.gettimeofday () in
                     run_group ~jit:(not g.g_jit_off) rs scope gid g;
-                    g.g_pin_best <-
-                      Float.min g.g_pin_best (Unix.gettimeofday () -. t0);
-                    retire_group_pin g
+                    let dt = Unix.gettimeofday () -. t0 in
+                    g.g_time <- g.g_time +. dt;
+                    g.g_launches <- g.g_launches + 1;
+                    g.g_pin_best <- Float.min g.g_pin_best dt;
+                    retire_group_pin gid g
                   end
               | Sampling s -> begin
                   (* Arms are sampled INTERLEAVED (native, closure,
@@ -713,11 +764,24 @@ and exec_inst rs ~scope (inst : inst) =
                           rs.p.s_jit_fallbacks <- rs.p.s_jit_fallbacks + 1;
                           Metrics.incr jit_fallbacks_c;
                           Tracer.instant "jit.demoted"
-                            ~args:[ ("group", string_of_int gid) ]
+                            ~args:[ ("group", string_of_int gid) ];
+                          Journal.record Jit_demote "scheduler.group" ~id:gid
+                            ~arm:"closure"
+                            ~detail:
+                              (Printf.sprintf
+                                 "closure %.1fus beat native %.1fus"
+                                 (1e6 *. s.k_time) (1e6 *. s.j_time))
                         end
-                        else if (not off) && g.g_jit_off then
+                        else if (not off) && g.g_jit_off then begin
                           Tracer.instant "jit.promoted"
                             ~args:[ ("group", string_of_int gid) ];
+                          Journal.record Jit_promote "scheduler.group" ~id:gid
+                            ~arm:"jit"
+                            ~detail:
+                              (Printf.sprintf
+                                 "native %.1fus beat closure %.1fus"
+                                 (1e6 *. s.j_time) (1e6 *. s.k_time))
+                        end;
                         g.g_jit_off <- off
                       end;
                       let kern =
@@ -725,9 +789,15 @@ and exec_inst rs ~scope (inst : inst) =
                           Float.min s.j_time s.k_time
                         else s.k_time
                       in
-                      pin_group g
+                      pin_group gid g
                         (if kern <= s.p_time then Use_kernel else Use_plain)
                     end
+                  in
+                  let sample arm dt =
+                    g.g_time <- g.g_time +. dt;
+                    g.g_launches <- g.g_launches + 1;
+                    Journal.record Tuner_sample "scheduler.group" ~id:gid ~arm
+                      ~value:(1e6 *. dt)
                   in
                   let jit_arm =
                     g.g_jit <> None && s.j_runs < sample_runs
@@ -740,8 +810,9 @@ and exec_inst rs ~scope (inst : inst) =
                     if inst.i_last then begin
                       let t0 = Unix.gettimeofday () in
                       run_group rs scope gid g;
-                      s.j_time <-
-                        Float.min s.j_time (Unix.gettimeofday () -. t0);
+                      let dt = Unix.gettimeofday () -. t0 in
+                      sample "jit" dt;
+                      s.j_time <- Float.min s.j_time dt;
                       s.j_runs <- s.j_runs + 1;
                       decide ()
                     end
@@ -751,8 +822,9 @@ and exec_inst rs ~scope (inst : inst) =
                     if inst.i_last then begin
                       let t0 = Unix.gettimeofday () in
                       run_group ~jit:false rs scope gid g;
-                      s.k_time <-
-                        Float.min s.k_time (Unix.gettimeofday () -. t0);
+                      let dt = Unix.gettimeofday () -. t0 in
+                      sample "closure" dt;
+                      s.k_time <- Float.min s.k_time dt;
                       s.k_runs <- s.k_runs + 1;
                       decide ()
                     end
@@ -761,8 +833,9 @@ and exec_inst rs ~scope (inst : inst) =
                     if inst.i_first then s.p_start <- Unix.gettimeofday ();
                     exec_plain_inst rs scope inst;
                     if inst.i_last then begin
-                      s.p_time <-
-                        Float.min s.p_time (Unix.gettimeofday () -. s.p_start);
+                      let dt = Unix.gettimeofday () -. s.p_start in
+                      sample "per_node" dt;
+                      s.p_time <- Float.min s.p_time dt;
                       s.p_runs <- s.p_runs + 1;
                       decide ()
                     end
@@ -802,10 +875,14 @@ and exec_loop rs ~scope (inst : inst) =
       in
       match lplan with
       | Some lp -> begin
+          let lid = inst.i_node.n_id in
           let timed f =
             let t0 = Unix.gettimeofday () in
             f ();
-            Unix.gettimeofday () -. t0
+            let dt = Unix.gettimeofday () -. t0 in
+            lp.lp_time <- lp.lp_time +. dt;
+            lp.lp_launches <- lp.lp_launches + 1;
+            dt
           in
           match lp.lp_mode with
           | L_inline ->
@@ -814,19 +891,19 @@ and exec_loop rs ~scope (inst : inst) =
                   (timed (fun () ->
                        exec_batched_loop rs ~scope inst bi lp trip inits
                          ~dispatch:false));
-              retire_loop_pin lp
+              retire_loop_pin lid lp
           | L_dispatch ->
               lp.lp_pin_best <-
                 Float.min lp.lp_pin_best
                   (timed (fun () ->
                        exec_batched_loop rs ~scope inst bi lp trip inits
                          ~dispatch:true));
-              retire_loop_pin lp
+              retire_loop_pin lid lp
           | L_seq ->
               lp.lp_pin_best <-
                 Float.min lp.lp_pin_best
                   (timed (fun () -> exec_seq_loop rs ~scope inst bi trip inits));
-              retire_loop_pin lp
+              retire_loop_pin lid lp
           | L_sampling s ->
               (* Interleave the three arms (inline, dispatch, sequential,
                  inline, …) for the same burst-fairness reason as the
@@ -839,11 +916,16 @@ and exec_loop rs ~scope (inst : inst) =
                   && s.sd_runs >= loop_sample_runs
                   && s.ss_runs >= loop_sample_runs
                 then
-                  pin_loop lp
+                  pin_loop lid lp
                     (if s.si_time <= s.sd_time && s.si_time <= s.ss_time then
                        L_inline
                      else if s.sd_time <= s.ss_time then L_dispatch
                      else L_seq)
+              in
+              let lsample arm dt =
+                Journal.record Tuner_sample "scheduler.loop" ~id:lid ~arm
+                  ~value:(1e6 *. dt);
+                dt
               in
               if
                 s.si_runs < loop_sample_runs
@@ -851,9 +933,10 @@ and exec_loop rs ~scope (inst : inst) =
               then begin
                 s.si_time <-
                   Float.min s.si_time
-                    (timed (fun () ->
-                         exec_batched_loop rs ~scope inst bi lp trip inits
-                           ~dispatch:false));
+                    (lsample "inline"
+                       (timed (fun () ->
+                            exec_batched_loop rs ~scope inst bi lp trip inits
+                              ~dispatch:false)));
                 s.si_runs <- s.si_runs + 1;
                 ldecide ()
               end
@@ -861,16 +944,19 @@ and exec_loop rs ~scope (inst : inst) =
               then begin
                 s.sd_time <-
                   Float.min s.sd_time
-                    (timed (fun () ->
-                         exec_batched_loop rs ~scope inst bi lp trip inits
-                           ~dispatch:true));
+                    (lsample "dispatch"
+                       (timed (fun () ->
+                            exec_batched_loop rs ~scope inst bi lp trip inits
+                              ~dispatch:true)));
                 s.sd_runs <- s.sd_runs + 1;
                 ldecide ()
               end
               else begin
                 s.ss_time <-
                   Float.min s.ss_time
-                    (timed (fun () -> exec_seq_loop rs ~scope inst bi trip inits));
+                    (lsample "seq"
+                       (timed (fun () ->
+                            exec_seq_loop rs ~scope inst bi trip inits)));
                 s.ss_runs <- s.ss_runs + 1;
                 ldecide ()
               end
@@ -1369,6 +1455,9 @@ let prepare ~profile ~parallel ~domains ~pool:exec_pool ~loop_grain
               lp_pin_left = 0;
               lp_pin_period = 0;
               lp_pin_best = infinity;
+              lp_last_pin = "";
+              lp_time = 0.;
+              lp_launches = 0;
             }
         with Bail -> None)
   in
@@ -1452,6 +1541,9 @@ let prepare ~profile ~parallel ~domains ~pool:exec_pool ~loop_grain
                 g_pin_best = infinity;
                 g_pin_t0 = 0.;
                 g_fallback = false;
+                g_last_pin = "";
+                g_time = 0.;
+                g_launches = 0;
               })
     members;
   let scalar_slots = Hashtbl.create 64 in
@@ -1661,5 +1753,53 @@ let stats p =
     pool_steals = p.s_pool_steals;
     pool_inline_runs = p.s_pool_inline_runs;
   }
+
+(* --- kernel-group wall-time attribution ---
+
+   Every group/loop launch is already timed for the auto-tuner, so the
+   accumulated per-site cost is collected as a side effect of normal
+   dispatch.  Rows are sorted by time, hottest first. *)
+
+type attribution_row = {
+  at_id : int;  (* gid, or the loop node's id *)
+  at_kind : [ `Group | `Loop ];
+  at_arm : string;  (* current arm: jit/closure/per_node/sampling/… *)
+  at_members : int;  (* member instructions (groups) or trip sites (loops) *)
+  at_time_s : float;  (* accumulated launch wall time *)
+  at_launches : int;
+}
+
+let attribution p =
+  let rows = ref [] in
+  Array.iteri
+    (fun gid -> function
+      | Some g when g.g_launches > 0 ->
+          rows :=
+            {
+              at_id = gid;
+              at_kind = `Group;
+              at_arm = arm_of_group g;
+              at_members = List.length g.g_members;
+              at_time_s = g.g_time;
+              at_launches = g.g_launches;
+            }
+            :: !rows
+      | _ -> ())
+    p.p_groups;
+  Hashtbl.iter
+    (fun lid (lp : lplan) ->
+      if lp.lp_launches > 0 then
+        rows :=
+          {
+            at_id = lid;
+            at_kind = `Loop;
+            at_arm = arm_of_loop lp;
+            at_members = Array.length lp.lp_actions;
+            at_time_s = lp.lp_time;
+            at_launches = lp.lp_launches;
+          }
+          :: !rows)
+    p.p_lplans;
+  List.sort (fun a b -> Float.compare b.at_time_s a.at_time_s) !rows
 
 let clear_buffers p = Buffer_plan.clear p.p_pool

@@ -108,5 +108,22 @@ type stats = {
 
 val stats : prepared -> stats
 
+type attribution_row = {
+  at_id : int;  (** fusion-group gid, or the loop node's id *)
+  at_kind : [ `Group | `Loop ];
+  at_arm : string;
+      (** current dispatch arm: [jit]/[closure]/[per_node]/[sampling]
+          for groups, [inline]/[dispatch]/[seq]/[sampling] for loops *)
+  at_members : int;  (** member instructions (groups) / body size (loops) *)
+  at_time_s : float;  (** accumulated launch wall time *)
+  at_launches : int;
+}
+
+val attribution : prepared -> attribution_row list
+(** Per-group / per-batched-loop wall-time attribution, hottest first.
+    Collected as a side effect of the auto-tuner's existing launch
+    timing, so it costs nothing beyond normal dispatch; only sites that
+    launched at least once appear. *)
+
 val clear_buffers : prepared -> unit
 (** Drop the storage pool's parked buffers (compile-cache eviction). *)

@@ -93,7 +93,9 @@ let evict_stale dir =
           if starts_with ~p:prefix f && not (starts_with ~p:keep f) then (
             try
               Sys.remove (Filename.concat dir f);
-              Metrics.incr evicted_c
+              Metrics.incr evicted_c;
+              Functs_obs.Journal.record Cache_evict "jit.artifact_cache"
+                ~detail:f
             with _ -> ()))
         files
 

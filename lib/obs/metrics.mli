@@ -8,6 +8,13 @@
     producer updates from the dispatching domain, which is also the
     engine's own threading contract.
 
+    Histograms are HDR-style log-bucketed: every power-of-two octave of
+    the sample range is split into 16 linear sub-buckets, so each bucket
+    has 6.25% relative width and {!percentile} answers are within one
+    bucket of the exact sorted-sample quantile.  [observe] stays a
+    store-only op (compute index from mantissa/exponent, bump one array
+    cell) — no allocation, no lock.
+
     Naming convention: dot-separated [layer.thing], e.g.
     [engine.cache.hits], [pool.dispatches], [exec.kernel_runs].
 
@@ -34,12 +41,41 @@ val gauge_value : gauge -> float
 val histogram : string -> histogram
 
 val observe : histogram -> float -> unit
-(** Record one sample (count/sum/min/max are updated). *)
+(** Record one sample: count/sum/min/max and the sample's log bucket. *)
 
 (** {1 Snapshots} *)
 
-type hstat = { h_count : int; h_sum : float; h_min : float; h_max : float }
+type hstat = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;
+  h_max : float;
+  h_buckets : (int * int) list;
+      (** Sparse [(bucket_index, count)] pairs, ascending by index.
+          Indices are internal to this module — only meaningful to
+          {!percentile}, {!merge} and {!diff}. *)
+}
 (** [h_min]/[h_max] are 0 when [h_count = 0]. *)
+
+val hstat_zero : hstat
+
+val percentile : hstat -> float -> float
+(** [percentile h p] for [p] in [0..1]: the nearest-rank quantile read
+    from the log buckets, clamped to [[h_min, h_max]].  Within one
+    bucket (6.25% relative) of the exact sorted-sample value.  Returns
+    0 on an empty hstat. *)
+
+val mean : hstat -> float
+
+val merge : hstat -> hstat -> hstat
+(** Combine two hstats (e.g. the same histogram from two processes):
+    counts and bucket cells add, min/max widen. *)
+
+val diff : before:hstat -> after:hstat -> hstat
+(** Window between two snapshots of the {e same} histogram, [before]
+    taken first: per-bucket count deltas.  The window's exact min/max
+    are not recoverable from cumulative state; they are re-derived from
+    the surviving buckets' bounds (within one bucket of the truth). *)
 
 type snapshot = {
   counters : (string * int) list;
@@ -50,15 +86,19 @@ type snapshot = {
 
 val snapshot : unit -> snapshot
 
+val hstat_of : snapshot -> string -> hstat option
+(** Look up one histogram by name. *)
+
 val reset : unit -> unit
 (** Zero every registered instrument (names stay registered). *)
 
 val to_text : snapshot -> string
 (** Line-oriented dump: [name value] per instrument, histograms as
-    [name count=… sum=… min=… max=…]. *)
+    [name count=… sum=… min=… max=… p50=… p90=… p99=…]. *)
 
 val to_json : snapshot -> string
 
 val of_json : string -> snapshot
-(** Inverse of {!to_json}.
+(** Inverse of {!to_json}.  Accepts pre-bucket dumps (missing
+    ["buckets"] member → empty bucket list).
     @raise Failure on malformed input. *)

@@ -1,15 +1,23 @@
-type phase = Begin | End | Instant
+type phase = Begin | End | Instant | Flow_start | Flow_finish
 
 type event = {
   ev_name : string;
   ev_phase : phase;
   ev_ts : float;
   ev_tid : int;
+  ev_id : int;
   ev_args : (string * string) list;
 }
 
 let nil_event =
-  { ev_name = ""; ev_phase = Instant; ev_ts = 0.; ev_tid = 0; ev_args = [] }
+  {
+    ev_name = "";
+    ev_phase = Instant;
+    ev_ts = 0.;
+    ev_tid = 0;
+    ev_id = 0;
+    ev_args = [];
+  }
 
 (* The enabled flag is the only state the disabled path touches: one ref
    read, then straight to the traced thunk. *)
@@ -33,13 +41,14 @@ let locked f =
   Mutex.lock lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
 
-let emit ev_name ev_phase ev_args =
+let emit ?(id = 0) ev_name ev_phase ev_args =
   let ev =
     {
       ev_name;
       ev_phase;
       ev_ts = now_us ();
       ev_tid = (Domain.self () :> int);
+      ev_id = id;
       ev_args;
     }
   in
@@ -72,6 +81,12 @@ let span_args name ~args f =
 
 let instant ?(args = []) name = if !on then emit name Instant args
 
+(* Flow events pair across domains by (name, id): the "s" arrow tail
+   binds to the duration span enclosing it on the emitting track, the
+   "f" head (bp:"e") to the enclosing span where the work resumed. *)
+let flow_start ?(args = []) name ~id = if !on then emit ~id name Flow_start args
+let flow_finish ?(args = []) name ~id = if !on then emit ~id name Flow_finish args
+
 let capacity () = Array.length !buf
 
 let set_capacity c =
@@ -98,7 +113,12 @@ let events () =
 
 (* --- Chrome trace-event export --- *)
 
-let phase_letter = function Begin -> "B" | End -> "E" | Instant -> "i"
+let phase_letter = function
+  | Begin -> "B"
+  | End -> "E"
+  | Instant -> "i"
+  | Flow_start -> "s"
+  | Flow_finish -> "f"
 
 let to_chrome () =
   let evs = events () in
@@ -114,7 +134,13 @@ let to_chrome () =
            (Json.escape ev.ev_name)
            (phase_letter ev.ev_phase)
            ev.ev_ts ev.ev_tid);
-      if ev.ev_phase = Instant then Buffer.add_string b ",\"s\":\"t\"";
+      (match ev.ev_phase with
+      | Instant -> Buffer.add_string b ",\"s\":\"t\""
+      | Flow_start -> Buffer.add_string b (Printf.sprintf ",\"id\":%d" ev.ev_id)
+      | Flow_finish ->
+          Buffer.add_string b
+            (Printf.sprintf ",\"id\":%d,\"bp\":\"e\"" ev.ev_id)
+      | Begin | End -> ());
       (match ev.ev_args with
       | [] -> ()
       | args ->

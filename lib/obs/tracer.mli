@@ -27,13 +27,14 @@
     domains may emit concurrently — and events record their domain id
     as the trace [tid], so per-domain tracks line up in the viewer. *)
 
-type phase = Begin | End | Instant
+type phase = Begin | End | Instant | Flow_start | Flow_finish
 
 type event = {
   ev_name : string;
   ev_phase : phase;
   ev_ts : float;  (** microseconds since the tracer epoch *)
   ev_tid : int;  (** emitting domain id *)
+  ev_id : int;  (** flow-pairing id; 0 for non-flow events *)
   ev_args : (string * string) list;
 }
 
@@ -51,6 +52,17 @@ val span_args : string -> args:(unit -> (string * string) list) -> (unit -> 'a) 
 
 val instant : ?args:(string * string) list -> string -> unit
 (** A point event (Chrome phase [i]) — kernel launches, cache hits… *)
+
+val flow_start : ?args:(string * string) list -> string -> id:int -> unit
+(** Flow-arrow tail (Chrome phase [s]).  Emit inside the duration span
+    where work is handed off (e.g. a producer's submit); Perfetto draws
+    an arrow to the matching {!flow_finish} with the same [name]/[id],
+    linking spans across domains. *)
+
+val flow_finish : ?args:(string * string) list -> string -> id:int -> unit
+(** Flow-arrow head (Chrome phase [f], [bp:"e"] so it binds to the
+    enclosing span where the work resumed — e.g. the dispatcher's
+    batch-run span). *)
 
 val depth : unit -> int
 (** Current span-nesting depth on the calling domain (0 outside any

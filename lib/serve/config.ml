@@ -2,6 +2,7 @@ module Engine = Functs_exec.Engine
 module Jit = Functs_jit.Jit
 module Tracer = Functs_obs.Tracer
 module Metrics = Functs_obs.Metrics
+module Journal = Functs_obs.Journal
 
 type trace_sink = Trace_off | Trace_on | Trace_file of string
 type metrics_sink = Metrics_off | Metrics_stderr | Metrics_file of string
@@ -22,6 +23,8 @@ type t = {
   queue_capacity : int;
   max_batch : int;
   policy : policy;
+  journal : bool;  (* decision journal (on by default; rare records) *)
+  journal_buf : int;  (* journal ring capacity *)
 }
 
 let default =
@@ -40,6 +43,8 @@ let default =
     queue_capacity = 256;
     max_batch = 8;
     policy = `Interp_fallback;
+    journal = true;
+    journal_buf = 4096;
   }
 
 (* --- the single sanctioned FUNCTS_* parser ---
@@ -141,6 +146,9 @@ let of_env ?(base = default) ?(getenv = Sys.getenv_opt) () =
       ( "FUNCTS_MAX_BATCH",
         pos_int ~min_value:1 (fun c n -> { c with max_batch = n }) );
       ("FUNCTS_POLICY", policy_of);
+      ("FUNCTS_JOURNAL", bool_flag (fun c b -> { c with journal = b }));
+      ( "FUNCTS_JOURNAL_BUF",
+        pos_int ~min_value:16 (fun c n -> { c with journal_buf = n }) );
     ]
 
 (* --- apply: push process-wide pieces into their owners ---
@@ -185,6 +193,9 @@ let apply cfg =
   (match cfg.trace with
   | Trace_off -> ()
   | Trace_on | Trace_file _ -> Tracer.enable ());
+  if Journal.capacity () <> cfg.journal_buf then
+    Journal.set_capacity cfg.journal_buf;
+  if cfg.journal then Journal.enable () else Journal.disable ();
   if not !hooks_installed then begin
     hooks_installed := true;
     at_exit dump_trace;
@@ -224,4 +235,6 @@ let to_string cfg =
         (match cfg.policy with
         | `Interp_fallback -> "interp_fallback"
         | `Shed -> "shed");
+      Printf.sprintf "journal        = %b" cfg.journal;
+      Printf.sprintf "journal_buf    = %d" cfg.journal_buf;
     ]

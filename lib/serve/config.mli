@@ -54,6 +54,8 @@ type t = {
   queue_capacity : int;  (** session submit-queue bound (≥ 1) *)
   max_batch : int;  (** max same-shape requests per dispatch (≥ 1) *)
   policy : policy;
+  journal : bool;  (** decision journal (on by default — records are rare) *)
+  journal_buf : int;  (** journal ring capacity (≥ 16) *)
 }
 
 val default : t
@@ -61,7 +63,7 @@ val default : t
     [kernel_grain = 8192], cache on with 32 entries, JIT off with an
     empty artifact dir, tracing and metrics off with a 65536-event ring,
     [queue_capacity = 256], [max_batch = 8],
-    [policy = `Interp_fallback]. *)
+    [policy = `Interp_fallback], journal on with a 4096-entry ring. *)
 
 val of_env :
   ?base:t -> ?getenv:(string -> string option) -> unit -> (t, Error.t) result
@@ -70,7 +72,9 @@ val of_env :
 
     - [FUNCTS_DOMAINS], [FUNCTS_GRAIN], [FUNCTS_KERNEL_GRAIN],
       [FUNCTS_CACHE_SIZE], [FUNCTS_QUEUE], [FUNCTS_MAX_BATCH] —
-      positive integers ([FUNCTS_TRACE_BUF] additionally ≥ 16);
+      positive integers ([FUNCTS_TRACE_BUF] and [FUNCTS_JOURNAL_BUF]
+      additionally ≥ 16);
+    - [FUNCTS_JOURNAL] — decision-journal on/off (default on);
     - [FUNCTS_CHUNK_BYTES] — per-task cache budget in bytes for the
       parallel runtime's chunk cost model; [0] (default) probes the
       machine's L2 size from sysfs;
@@ -95,8 +99,9 @@ val apply : t -> unit
     default and capacity ([Engine.set_cache_default] /
     [set_cache_capacity]), JIT default mode and artifact dir
     ([Engine.set_jit_default] / [set_jit_dir_default]), tracer ring
-    capacity, tracer enablement, and the trace / metrics exit dumps.  Idempotent per process — the exit
-    hooks are registered once and follow the most recently applied
+    capacity, tracer enablement, journal ring capacity and enablement,
+    and the trace / metrics exit dumps.  Idempotent per process — the
+    exit hooks are registered once and follow the most recently applied
     config. *)
 
 val to_string : t -> string

@@ -51,6 +51,7 @@ module Fastops = Functs_exec.Fastops
 module Jit = Functs_jit.Jit
 module Tracer = Functs_obs.Tracer
 module Metrics = Functs_obs.Metrics
+module Journal = Functs_obs.Journal
 module Json = Functs_obs.Json
 
 let init ?base ?getenv () =

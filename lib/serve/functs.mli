@@ -96,6 +96,7 @@ module Jit = Functs_jit.Jit
 
 module Tracer = Functs_obs.Tracer
 module Metrics = Functs_obs.Metrics
+module Journal = Functs_obs.Journal
 module Json = Functs_obs.Json
 
 (* --- entry points --- *)

@@ -2,6 +2,7 @@ open Functs_interp
 open Functs_core
 open Functs_workloads
 module Json = Functs_obs.Json
+module Metrics = Functs_obs.Metrics
 
 type result = {
   sb_workload : string;
@@ -13,21 +14,32 @@ type result = {
   sb_p50_us : float;
   sb_p90_us : float;
   sb_p99_us : float;
+  sb_stages : (string * Metrics.hstat) list;
   sb_overload_retries : int;
   sb_warm_hits : int;
   sb_warm_misses : int;
   sb_stats : Session.stats;
 }
 
-let percentile sorted p =
-  let n = Array.length sorted in
-  if n = 0 then 0.
-  else sorted.(min (n - 1) (int_of_float (p *. float_of_int (n - 1) +. 0.5)))
+(* Stage histograms windowed to the timed phase: snapshot the registry
+   before/after and take per-bucket deltas, so percentiles come from the
+   in-process log-bucketed histograms — no latency array is collected or
+   sorted. *)
+let stage_names = [ "queue_wait"; "batch"; "exec"; "total" ]
+
+let stage_window before after =
+  List.map
+    (fun s ->
+      let name = Printf.sprintf "serve.latency.%s_us" s in
+      let get snap =
+        Option.value (Metrics.hstat_of snap name) ~default:Metrics.hstat_zero
+      in
+      (s, Metrics.diff ~before:(get before) ~after:(get after)))
+    stage_names
 
 (* One producer: [submits] submit/await round-trips with retry-on-full
-   backpressure.  Returns (latencies_us, overload_retries, outputs_ok). *)
+   backpressure.  Returns (overload_retries, outputs_ok). *)
 let producer session ~submits ~deadline_us ~args ~expected () =
-  let latencies = Array.make submits 0. in
   let retries = ref 0 in
   let ok = ref true in
   for i = 0 to submits - 1 do
@@ -43,18 +55,28 @@ let producer session ~submits ~deadline_us ~args ~expected () =
     let tk = accepted () in
     match Session.await session tk with
     | Ok outputs ->
-        latencies.(i) <- Session.latency_us tk;
         if i = 0 then
           ok :=
             !ok
             && List.length outputs = List.length expected
             && List.for_all2 (Value.equal ~atol:1e-4) expected outputs
-    | Error Error.Deadline_exceeded -> latencies.(i) <- Session.latency_us tk
+    | Error Error.Deadline_exceeded -> ()
     | Error e -> failwith (Error.to_string e)
   done;
-  (latencies, !retries, !ok)
+  (!retries, !ok)
 
 (* --- BENCH_exec.json: read-modify-write the "serve" member --- *)
+
+let json_of_stage h =
+  let n x = Json.Num x in
+  Json.Obj
+    [
+      ("count", n (float_of_int h.Metrics.h_count));
+      ("p50_us", n (Metrics.percentile h 0.50));
+      ("p90_us", n (Metrics.percentile h 0.90));
+      ("p99_us", n (Metrics.percentile h 0.99));
+      ("mean_us", n (Metrics.mean h));
+    ]
 
 let json_of_result r =
   let n x = Json.Num x in
@@ -69,6 +91,8 @@ let json_of_result r =
       ("p50_us", n r.sb_p50_us);
       ("p90_us", n r.sb_p90_us);
       ("p99_us", n r.sb_p99_us);
+      ( "stages",
+        Json.Obj (List.map (fun (s, h) -> (s, json_of_stage h)) r.sb_stages) );
       ("overload_retries", n (float_of_int r.sb_overload_retries));
       ("warm_cache_hits", n (float_of_int r.sb_warm_hits));
       ("warm_cache_misses", n (float_of_int r.sb_warm_misses));
@@ -103,21 +127,30 @@ let merge_into_json path r =
     (fun () -> output_string oc (Json.to_string (Json.Obj fields) ^ "\n"))
 
 let to_text r =
+  let stage_line (s, h) =
+    Printf.sprintf "  %-10s : p50 %.0f us, p90 %.0f us, p99 %.0f us  (n=%d)" s
+      (Metrics.percentile h 0.50) (Metrics.percentile h 0.90)
+      (Metrics.percentile h 0.99) h.Metrics.h_count
+  in
   String.concat "\n"
-    [
-      Printf.sprintf "serve-bench: %s, %d producers x %d submits (%d requests)"
-        r.sb_workload r.sb_producers r.sb_submits r.sb_requests;
-      Printf.sprintf "  wall       : %.3f s  (%.0f req/s)" r.sb_wall_s
-        r.sb_throughput_rps;
-      Printf.sprintf "  latency    : p50 %.0f us, p90 %.0f us, p99 %.0f us"
-        r.sb_p50_us r.sb_p90_us r.sb_p99_us;
-      Printf.sprintf "  queue      : %d overload retries, max depth %d, %d batches"
-        r.sb_overload_retries r.sb_stats.Session.max_queue_depth
-        r.sb_stats.Session.batches;
-      Printf.sprintf
-        "  warm cache : %d hits, %d misses (a warm session never recompiles)"
-        r.sb_warm_hits r.sb_warm_misses;
-    ]
+    ([
+       Printf.sprintf "serve-bench: %s, %d producers x %d submits (%d requests)"
+         r.sb_workload r.sb_producers r.sb_submits r.sb_requests;
+       Printf.sprintf "  wall       : %.3f s  (%.0f req/s)" r.sb_wall_s
+         r.sb_throughput_rps;
+       Printf.sprintf "  latency    : p50 %.0f us, p90 %.0f us, p99 %.0f us"
+         r.sb_p50_us r.sb_p90_us r.sb_p99_us;
+     ]
+    @ List.map stage_line r.sb_stages
+    @ [
+        Printf.sprintf
+          "  queue      : %d overload retries, max depth %d, %d batches"
+          r.sb_overload_retries r.sb_stats.Session.max_queue_depth
+          r.sb_stats.Session.batches;
+        Printf.sprintf
+          "  warm cache : %d hits, %d misses (a warm session never recompiles)"
+          r.sb_warm_hits r.sb_warm_misses;
+      ])
 
 let run ?(config = Config.default) ?(workload = "lstm") ?(producers = 4)
     ?(submits = 64) ?deadline_us ?(json_path = "BENCH_exec.json") () =
@@ -155,6 +188,7 @@ let run ?(config = Config.default) ?(workload = "lstm") ?(producers = 4)
           | Ok _ -> ()
           | Error e -> failwith (Error.to_string e));
           let c0 = Compiler_profile.cache_snapshot () in
+          let m0 = Metrics.snapshot () in
           let t0 = Unix.gettimeofday () in
           let workers =
             List.init producers (fun _ ->
@@ -163,16 +197,18 @@ let run ?(config = Config.default) ?(workload = "lstm") ?(producers = 4)
           in
           let results = List.map Domain.join workers in
           let wall = Unix.gettimeofday () -. t0 in
+          let m1 = Metrics.snapshot () in
           let c1 = Compiler_profile.cache_snapshot () in
           Session.close session;
-          let latencies =
-            Array.concat (List.map (fun (l, _, _) -> l) results)
+          let stages = stage_window m0 m1 in
+          let total =
+            Option.value (List.assoc_opt "total" stages)
+              ~default:Metrics.hstat_zero
           in
-          Array.sort compare latencies;
           let retries =
-            List.fold_left (fun acc (_, r, _) -> acc + r) 0 results
+            List.fold_left (fun acc (r, _) -> acc + r) 0 results
           in
-          let all_ok = List.for_all (fun (_, _, ok) -> ok) results in
+          let all_ok = List.for_all (fun (_, ok) -> ok) results in
           let requests = producers * submits in
           let r =
             {
@@ -182,9 +218,10 @@ let run ?(config = Config.default) ?(workload = "lstm") ?(producers = 4)
               sb_requests = requests;
               sb_wall_s = wall;
               sb_throughput_rps = float_of_int requests /. Float.max 1e-9 wall;
-              sb_p50_us = percentile latencies 0.50;
-              sb_p90_us = percentile latencies 0.90;
-              sb_p99_us = percentile latencies 0.99;
+              sb_p50_us = Metrics.percentile total 0.50;
+              sb_p90_us = Metrics.percentile total 0.90;
+              sb_p99_us = Metrics.percentile total 0.99;
+              sb_stages = stages;
               sb_overload_retries = retries;
               sb_warm_hits =
                 c1.Compiler_profile.cache_hits - c0.Compiler_profile.cache_hits;

@@ -8,6 +8,12 @@
     is snapshotted; a warm session must never recompile, so any miss
     during the timed phase fails the run.
 
+    Percentiles come from the in-process log-bucketed
+    [serve.latency.{queue_wait,batch,exec,total}_us] histograms — the
+    registry is snapshotted before and after the timed phase and the
+    bench reads {!Metrics.percentile} off the {!Metrics.diff} window;
+    no latency array is collected or sorted.
+
     Results land in the ["serve"] member of [BENCH_exec.json] (the file
     is read-modify-written, so the bench harness's own members survive),
     shaped like:
@@ -16,9 +22,14 @@
     "serve": { "workload": …, "producers": N, "submits_per_producer": M,
                "requests": N*M, "wall_s": …, "throughput_rps": …,
                "p50_us": …, "p90_us": …, "p99_us": …,
+               "stages": { "queue_wait": {"count":…, "p50_us":…, "p90_us":…,
+                           "p99_us":…, "mean_us":…}, "batch": …,
+                           "exec": …, "total": … },
                "overload_retries": …, "warm_cache_misses": 0,
                "warm_cache_hits": …, "batches": …, "max_queue_depth": … }
     v} *)
+
+module Metrics = Functs_obs.Metrics
 
 type result = {
   sb_workload : string;
@@ -30,6 +41,9 @@ type result = {
   sb_p50_us : float;
   sb_p90_us : float;
   sb_p99_us : float;
+  sb_stages : (string * Metrics.hstat) list;
+      (** per-stage windows ([queue_wait] / [batch] / [exec] / [total])
+          over the timed phase; feed to {!Metrics.percentile} *)
   sb_overload_retries : int;
   sb_warm_hits : int;  (** engine.cache hit delta during the timed phase *)
   sb_warm_misses : int;  (** must be 0 — warm submits never recompile *)

@@ -5,6 +5,7 @@ open Functs_workloads
 module Engine = Functs_exec.Engine
 module Tracer = Functs_obs.Tracer
 module Metrics = Functs_obs.Metrics
+module Journal = Functs_obs.Journal
 
 (* --- process-wide serve.* metrics (session stats are per-session) --- *)
 
@@ -16,8 +17,18 @@ let m_overloaded = Metrics.counter "serve.overloaded"
 let m_deadline = Metrics.counter "serve.deadline_expired"
 let m_batches = Metrics.counter "serve.batches"
 let h_batch = Metrics.histogram "serve.batch_size"
-let h_latency = Metrics.histogram "serve.latency_us"
-let h_queue_wait = Metrics.histogram "serve.queue_wait_us"
+
+(* Per-stage latency histograms, one per hand-off in the request
+   lifecycle (enqueue → dequeue → engine-acquired → run-done →
+   completed).  Each stage is observed at [finish] from the ticket's
+   stamps, so a stage only records when both of its endpoints were
+   actually reached (an expired request has no exec stage). *)
+let h_queue_wait = Metrics.histogram "serve.latency.queue_wait_us"
+let h_stage_batch = Metrics.histogram "serve.latency.batch_us"
+let h_stage_exec = Metrics.histogram "serve.latency.exec_us"
+let h_total = Metrics.histogram "serve.latency.total_us"
+let g_queue_depth = Metrics.gauge "serve.queue_depth"
+let g_queue_peak = Metrics.gauge "serve.queue_depth_peak"
 
 type stats = {
   submitted : int;
@@ -44,17 +55,27 @@ let zero_stats =
 
 (* A ticket owns its own mutex/condvar pair so awaiting producers never
    contend on the session lock, and the dispatcher's completion broadcast
-   wakes exactly the requester. *)
+   wakes exactly the requester.  Lifecycle stamps are written by exactly
+   one side at a time (producer at enqueue, dispatcher afterwards) and
+   only read after [await] returns or under the ticket lock, so they
+   need no extra synchronisation.  A stamp is 0. until reached. *)
 type ticket = {
+  t_id : int;  (* process-unique; keys the trace flow arrow *)
   t_args : Value.t list;
   t_shape : string;
   t_deadline : float option;  (* absolute Unix time *)
   t_enq : float;
+  mutable t_deq : float;  (* popped off the queue *)
+  mutable t_batched : float;  (* micro-batch assembled *)
+  mutable t_engine : float;  (* engine acquired (prepare returned) *)
+  mutable t_rundone : float;  (* engine/interp run returned *)
   t_lock : Mutex.t;
   t_cond : Condition.t;
   mutable t_result : (Value.t list, Error.t) result option;
   mutable t_done : float;
 }
+
+let next_ticket_id = Atomic.make 1
 
 type t = {
   s_config : Config.t;
@@ -68,6 +89,10 @@ type t = {
   mutable s_paused : bool;
   mutable s_stats : stats;
   mutable s_dispatcher : unit Domain.t option;
+  mutable s_engine : Engine.t option;
+      (* most recently acquired engine, for attribution readout — the
+         shape-keyed cache may hand different engines per signature;
+         profiling reads whichever served last *)
 }
 
 let locked t f =
@@ -92,13 +117,20 @@ let clone_args =
 
 (* --- completion --- *)
 
+let observe_stages tk now =
+  let stage h a b = if a > 0. && b > 0. && b >= a then Metrics.observe h (1e6 *. (b -. a)) in
+  stage h_queue_wait tk.t_enq tk.t_deq;
+  stage h_stage_batch tk.t_deq tk.t_engine;
+  stage h_stage_exec tk.t_engine tk.t_rundone;
+  stage h_total tk.t_enq now
+
 let finish t tk result =
   let now = Unix.gettimeofday () in
   (* Stats before the wakeup: a caller whose [await] returns must
      already see this completion in [stats] — waking first would let a
      joiner read [completed] one short of its own delivered responses. *)
   Metrics.incr m_completed;
-  Metrics.observe h_latency (1e6 *. (now -. tk.t_enq));
+  observe_stages tk now;
   locked t (fun () ->
       t.s_stats <- { t.s_stats with completed = t.s_stats.completed + 1 });
   Mutex.lock tk.t_lock;
@@ -117,14 +149,18 @@ let run_interp t tk =
   Metrics.incr m_fallbacks;
   Tracer.instant "serve.interp_fallback";
   match Eval.run t.s_reference (clone_args tk.t_args) with
-  | outputs -> finish t tk (Ok outputs)
+  | outputs ->
+      tk.t_rundone <- Unix.gettimeofday ();
+      finish t tk (Ok outputs)
   | exception Eval.Runtime_error m -> finish t tk (Error (Error.Runtime_error m))
   | exception exn ->
       finish t tk (Error (Error.Runtime_error (Printexc.to_string exn)))
 
 let run_engine t eng tk =
   match Engine.run eng tk.t_args with
-  | outputs -> finish t tk (Ok outputs)
+  | outputs ->
+      tk.t_rundone <- Unix.gettimeofday ();
+      finish t tk (Ok outputs)
   | exception exn -> (
       match t.s_config.Config.policy with
       | `Interp_fallback -> run_interp t tk
@@ -144,6 +180,13 @@ let expire t tk =
       t.s_stats <-
         { t.s_stats with deadline_expired = t.s_stats.deadline_expired + 1 });
   Metrics.incr m_deadline;
+  Journal.record Deadline_degrade "serve" ~id:tk.t_id
+    ~arm:
+      (match t.s_config.Config.policy with
+      | `Interp_fallback -> "interp_fallback"
+      | `Shed -> "shed")
+    ~detail:tk.t_shape
+    ~value:(1e6 *. (Unix.gettimeofday () -. tk.t_enq));
   match t.s_config.Config.policy with
   | `Interp_fallback -> run_interp t tk
   | `Shed ->
@@ -161,11 +204,15 @@ let expire t tk =
 
 let engine_for t args =
   let cfg = t.s_config in
-  Engine.prepare ~profile:t.s_profile ~parallel:true ~domains:cfg.Config.domains
-    ~loop_grain:cfg.Config.loop_grain ~kernel_grain:cfg.Config.kernel_grain
-    ~cache:cfg.Config.cache ~jit:cfg.Config.jit ~jit_dir:cfg.Config.jit_dir
-    t.s_graph
-    ~inputs:(Engine.input_shapes args)
+  let eng =
+    Engine.prepare ~profile:t.s_profile ~parallel:true
+      ~domains:cfg.Config.domains ~loop_grain:cfg.Config.loop_grain
+      ~kernel_grain:cfg.Config.kernel_grain ~cache:cfg.Config.cache
+      ~jit:cfg.Config.jit ~jit_dir:cfg.Config.jit_dir t.s_graph
+      ~inputs:(Engine.input_shapes args)
+  in
+  t.s_engine <- Some eng;
+  eng
 
 let process_batch t = function
   | [] -> ()
@@ -174,13 +221,14 @@ let process_batch t = function
       Metrics.incr m_batches;
       Metrics.observe h_batch (float_of_int n);
       let now = Unix.gettimeofday () in
-      List.iter
-        (fun tk -> Metrics.observe h_queue_wait (1e6 *. (now -. tk.t_enq)))
-        batch;
+      List.iter (fun tk -> tk.t_batched <- now) batch;
       Tracer.span_args "serve.batch"
         ~args:(fun () ->
           [ ("shape", first.t_shape); ("n", string_of_int n) ])
         (fun () ->
+          (* the flow arrows from each producer's submit span land on
+             this batch span, so Perfetto shows which submits fed it *)
+          List.iter (fun tk -> Tracer.flow_finish "serve.req" ~id:tk.t_id) batch;
           let expired, live =
             List.partition
               (fun tk ->
@@ -194,7 +242,10 @@ let process_batch t = function
           | [] -> ()
           | _ -> (
               match engine_for t first.t_args with
-              | eng -> List.iter (fun tk -> run_engine t eng tk) live
+              | eng ->
+                  let acquired = Unix.gettimeofday () in
+                  List.iter (fun tk -> tk.t_engine <- acquired) live;
+                  List.iter (fun tk -> run_engine t eng tk) live
               | exception exn ->
                   (* prepare itself failed: same degradation as a failing run *)
                   let m = Printexc.to_string exn in
@@ -234,6 +285,9 @@ let rec dispatch_loop t =
             else continue := false
           done;
           t.s_stats <- { t.s_stats with batches = t.s_stats.batches + 1 };
+          let deq = Unix.gettimeofday () in
+          List.iter (fun tk -> tk.t_deq <- deq) !batch;
+          Metrics.set g_queue_depth (float_of_int (Queue.length t.s_queue));
           `Batch (List.rev !batch)
         end)
   in
@@ -266,6 +320,7 @@ let create ?(config = Config.default) ?(profile = Compiler_profile.tensorssa)
         s_paused = false;
         s_stats = zero_stats;
         s_dispatcher = None;
+        s_engine = None;
       }
     in
     (* compile once, now: the session's native shapes go warm before the
@@ -284,36 +339,51 @@ let submit t ?deadline_us args =
   let now = Unix.gettimeofday () in
   let tk =
     {
+      t_id = Atomic.fetch_and_add next_ticket_id 1;
       t_args = args;
       t_shape = shape_signature args;
       t_deadline = Option.map (fun d -> now +. (1e-6 *. d)) deadline_us;
       t_enq = now;
+      t_deq = 0.;
+      t_batched = 0.;
+      t_engine = 0.;
+      t_rundone = 0.;
       t_lock = Mutex.create ();
       t_cond = Condition.create ();
       t_result = None;
       t_done = 0.;
     }
   in
-  locked t (fun () ->
-      if t.s_closing then Error Error.Session_closed
-      else if Queue.length t.s_queue >= t.s_config.Config.queue_capacity then begin
-        t.s_stats <- { t.s_stats with overloaded = t.s_stats.overloaded + 1 };
-        Metrics.incr m_overloaded;
-        Error Error.Overloaded
-      end
-      else begin
-        Queue.add tk t.s_queue;
-        let depth = Queue.length t.s_queue in
-        t.s_stats <-
-          {
-            t.s_stats with
-            submitted = t.s_stats.submitted + 1;
-            max_queue_depth = max t.s_stats.max_queue_depth depth;
-          };
-        Metrics.incr m_submitted;
-        Condition.broadcast t.s_wake;
-        Ok tk
-      end)
+  Tracer.span_args "serve.submit"
+    ~args:(fun () -> [ ("ticket", string_of_int tk.t_id) ])
+    (fun () ->
+      locked t (fun () ->
+          if t.s_closing then Error Error.Session_closed
+          else if Queue.length t.s_queue >= t.s_config.Config.queue_capacity
+          then begin
+            t.s_stats <- { t.s_stats with overloaded = t.s_stats.overloaded + 1 };
+            Metrics.incr m_overloaded;
+            Error Error.Overloaded
+          end
+          else begin
+            Queue.add tk t.s_queue;
+            let depth = Queue.length t.s_queue in
+            t.s_stats <-
+              {
+                t.s_stats with
+                submitted = t.s_stats.submitted + 1;
+                max_queue_depth = max t.s_stats.max_queue_depth depth;
+              };
+            Metrics.incr m_submitted;
+            Metrics.set g_queue_depth (float_of_int depth);
+            if float_of_int depth > Metrics.gauge_value g_queue_peak then
+              Metrics.set g_queue_peak (float_of_int depth);
+            (* arrow tail lives inside this submit span; the head is in
+               the dispatcher's batch span on another domain *)
+            Tracer.flow_start "serve.req" ~id:tk.t_id;
+            Condition.broadcast t.s_wake;
+            Ok tk
+          end))
 
 let await _t tk =
   Mutex.lock tk.t_lock;
@@ -331,6 +401,14 @@ let run t ?deadline_us args =
   | Ok tk -> await t tk
 
 let latency_us tk = if tk.t_done = 0. then 0. else 1e6 *. (tk.t_done -. tk.t_enq)
+let ticket_id tk = tk.t_id
+
+let ticket_stages tk =
+  let stage name a b = if a > 0. && b >= a then [ (name, 1e6 *. (b -. a)) ] else [] in
+  stage "queue_wait" tk.t_enq tk.t_deq
+  @ stage "batch" tk.t_deq tk.t_engine
+  @ stage "exec" tk.t_engine tk.t_rundone
+  @ stage "total" tk.t_enq tk.t_done
 
 let pause t =
   locked t (fun () ->
@@ -355,3 +433,8 @@ let close t =
   Option.iter Domain.join d
 
 let stats t = locked t (fun () -> t.s_stats)
+
+let attribution t =
+  match t.s_engine with None -> [] | Some eng -> Engine.attribution eng
+
+let engine_stats t = Option.map Engine.stats t.s_engine

@@ -28,10 +28,16 @@
     eager-correct) or is shed with a structured error ([`Shed]).
 
     Observability: per-session {!stats} plus the process-wide
-    [serve.*] metrics (submitted / completed / shed / overloaded /
-    deadline_expired / interp_fallbacks counters, [serve.batch_size] and
-    [serve.latency_us] histograms) and [serve.batch] spans with shape
-    and size attributes. *)
+    [serve.*] metrics — submitted / completed / shed / overloaded /
+    deadline_expired / interp_fallbacks counters, the [serve.batch_size]
+    histogram, the per-stage latency histograms
+    [serve.latency.{queue_wait,batch,exec,total}_us] (observed from each
+    ticket's lifecycle stamps at completion), and the
+    [serve.queue_depth] / [serve.queue_depth_peak] gauges.  Tracing:
+    [serve.submit] / [serve.batch] spans, with a [serve.req] flow arrow
+    (keyed by ticket id) linking each producer's submit span to the
+    dispatcher batch span that served it.  Deadline degradations are
+    recorded in the decision journal. *)
 
 open Functs_interp
 open Functs_core
@@ -76,6 +82,15 @@ val latency_us : ticket -> float
 (** Enqueue-to-completion wall time of a completed request (0 before
     completion). *)
 
+val ticket_id : ticket -> int
+(** Process-unique request id; keys the [serve.req] trace flow arrow. *)
+
+val ticket_stages : ticket -> (string * float) list
+(** The completed request's per-stage breakdown in microseconds
+    ([queue_wait] / [batch] / [exec] / [total]); stages the request
+    never reached (e.g. [exec] for an expired request) are absent.
+    Meaningful only after {!await} returned. *)
+
 val pause : t -> unit
 (** Hold the dispatcher: queued requests stay queued (submits still
     land / overflow), until {!resume} or {!close}.  For drain control
@@ -99,6 +114,14 @@ type stats = {
 }
 
 val stats : t -> stats
+
+val attribution : t -> Functs_exec.Scheduler.attribution_row list
+(** Per-group / per-loop wall-time attribution of the engine that served
+    most recently (hottest first; empty before any engine acquisition).
+    Backs [functs profile]. *)
+
+val engine_stats : t -> Functs_exec.Scheduler.stats option
+(** Scheduler stats of the most recently acquired engine. *)
 
 val shape_signature : Value.t list -> string
 (** The micro-batching key: tensor shapes (scalars as ["_"]) joined with

@@ -140,6 +140,55 @@ else
   }
 fi
 
+# Latency attribution: the profile verb must expose every lifecycle
+# stage from the in-process histograms.
+echo "== profile --json stage keys (FUNCTS_DOMAINS=2) =="
+FUNCTS_DOMAINS=2 dune exec bin/functs.exe -- profile lstm --runs 8 --json \
+  > /tmp/functs_profile.json
+for key in '"queue_wait"' '"batch"' '"exec"' '"total"' '"groups"'; do
+  grep -q "$key" /tmp/functs_profile.json || {
+    echo "error: profile --json is missing the $key stage" >&2
+    exit 1
+  }
+done
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF' || { echo "error: profile JSON stages invalid" >&2; exit 1; }
+import json
+d = json.load(open("/tmp/functs_profile.json"))
+for s in ("queue_wait", "batch", "exec", "total"):
+    st = d["stages"][s]
+    assert st["count"] > 0, f"stage {s} observed nothing"
+    assert st["p99_us"] >= st["p50_us"] >= 0
+assert d["groups"], "no attribution rows"
+EOF
+fi
+
+# The bench differ must call two identical result files a clean diff.
+echo "== bench_diff self-compare =="
+if command -v python3 >/dev/null 2>&1; then
+  scripts/bench_diff BENCH_exec.json BENCH_exec.json || {
+    echo "error: bench_diff reports regressions on identical inputs" >&2
+    exit 1
+  }
+else
+  echo "warning: python3 unavailable; skipping bench_diff self-compare" >&2
+fi
+
+# Always-on attribution budget: leaving the decision journal enabled may
+# cost fused lstm at most 2%.
+echo "== obs overhead budget (attribution <= 2%) =="
+dune exec bench/obs_overhead.exe | tee /tmp/functs_obs_overhead.txt
+overhead=$(sed -n 's/^attribution overhead: \(-\{0,1\}[0-9.]*\)%.*/\1/p' \
+  /tmp/functs_obs_overhead.txt)
+test -n "$overhead" || {
+  echo "error: obs_overhead printed no attribution overhead line" >&2
+  exit 1
+}
+awk "BEGIN { exit !($overhead <= 2.0) }" || {
+  echo "error: attribution overhead $overhead% exceeds the 2% budget" >&2
+  exit 1
+}
+
 # Config.of_env is the only sanctioned reader of the FUNCTS_* environment;
 # everything else must take the typed config explicitly.
 echo "== config gate: no FUNCTS_* env reads outside Config.of_env =="

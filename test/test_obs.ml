@@ -9,6 +9,7 @@ open Functs_exec
 open Functs_workloads
 module Tracer = Functs_obs.Tracer
 module Metrics = Functs_obs.Metrics
+module Journal = Functs_obs.Journal
 module Json = Functs_obs.Json
 
 let check = Alcotest.(check bool)
@@ -232,6 +233,181 @@ let test_metrics_absorbed_counters () =
   check_int "alias sees the same misses" cs.Compiler_profile.cache_misses
     (List.assoc "engine.cache.misses" s.counters)
 
+(* --- histogram percentiles vs exact sorted quantiles ---
+
+   The log-bucketed histogram trades exactness for O(1) hot-path cost;
+   its documented contract is nearest-rank percentiles within one
+   bucket (6.25% relative width), clamped to the observed [min, max].
+   Check that against the exact nearest-rank quantile of the same
+   sample, over deterministic heavy-tailed data spanning ~7 decades. *)
+
+let test_percentile_vs_exact () =
+  let seed = ref 0x2545F491 in
+  let next () =
+    (* xorshift; deterministic across runs and platforms *)
+    let x = !seed in
+    let x = x lxor (x lsl 13) in
+    let x = x lxor (x lsr 17) in
+    let x = x lxor (x lsl 5) in
+    seed := x land 0x3FFFFFFF;
+    float_of_int !seed /. float_of_int 0x40000000
+  in
+  let n = 5000 in
+  let values =
+    Array.init n (fun _ ->
+        (* exp-distributed across ~1e-2 .. 1e5: exercises many octaves *)
+        exp ((next () *. 16.) -. 4.))
+  in
+  Metrics.reset ();
+  let h = Metrics.histogram "test.percentile" in
+  Array.iter (fun v -> Metrics.observe h v) values;
+  let hs =
+    List.assoc "test.percentile"
+      (Metrics.snapshot ()).Metrics.histograms
+  in
+  let sorted = Array.copy values in
+  Array.sort compare sorted;
+  let exact p =
+    let rank = max 1 (int_of_float (ceil (p *. float_of_int n))) in
+    sorted.(rank - 1)
+  in
+  List.iter
+    (fun p ->
+      let got = Metrics.percentile hs p in
+      let want = exact p in
+      (* one bucket of slack either side: the bucket containing the
+         exact quantile is 6.25% wide and the estimate returns a
+         neighbouring bucket's midpoint in the worst case *)
+      let rel = Float.abs (got -. want) /. want in
+      check
+        (Printf.sprintf "p%02.0f within a bucket (got %g want %g)" (100. *. p)
+           got want)
+        true (rel <= 0.13))
+    [ 0.01; 0.10; 0.25; 0.50; 0.75; 0.90; 0.99; 1.0 ];
+  check "p0 clamps to the observed min" true
+    (Metrics.percentile hs 0. >= hs.Metrics.h_min);
+  check "p100 clamps to the observed max" true
+    (Metrics.percentile hs 1.0 <= hs.Metrics.h_max);
+  check "empty histogram reads 0" true
+    (Metrics.percentile Metrics.hstat_zero 0.5 = 0.)
+
+(* --- decision journal --- *)
+
+let with_journal cap f =
+  let original = Journal.capacity () in
+  Journal.set_capacity cap;
+  Journal.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Journal.set_capacity original;
+      Journal.enable ())
+    f
+
+let test_journal_ring_wrap () =
+  with_journal 16 (fun () ->
+      for i = 1 to 40 do
+        Journal.record Journal.Tuner_sample "test" ~id:i ~arm:"x"
+          ~value:(float_of_int i)
+      done;
+      check_int "recorded counts every entry" 40 (Journal.recorded ());
+      check_int "dropped counts the overwritten" 24 (Journal.dropped ());
+      let es = Journal.entries () in
+      check_int "the ring keeps capacity entries" 16 (List.length es);
+      check "and they are the most recent, oldest first" true
+        (match (es, List.rev es) with
+        | first :: _, last :: _ ->
+            first.Journal.j_id = 25 && last.Journal.j_id = 40
+        | _ -> false);
+      (* disabled record is a true no-op *)
+      Journal.disable ();
+      Journal.record Journal.Tuner_pin "test";
+      check_int "disabled records don't count" 40 (Journal.recorded ()))
+
+let test_journal_concurrent () =
+  with_journal 256 (fun () ->
+      let per_domain = 1000 and domains = 4 in
+      let worker d () =
+        for i = 1 to per_domain do
+          Journal.record Journal.Tuner_sample "test.concurrent" ~id:d
+            ~arm:(string_of_int d) ~value:(float_of_int i)
+        done
+      in
+      let ds = List.init domains (fun d -> Domain.spawn (worker d)) in
+      List.iter Domain.join ds;
+      check_int "no record lost to a race" (domains * per_domain)
+        (Journal.recorded ());
+      check_int "ring holds exactly capacity" 256
+        (List.length (Journal.entries ()));
+      check_int "dropped accounts for the rest"
+        ((domains * per_domain) - 256)
+        (Journal.dropped ());
+      (* ring order is append order: timestamps never decrease *)
+      let rec monotone = function
+        | a :: (b :: _ as rest) ->
+            a.Journal.j_ts <= b.Journal.j_ts && monotone rest
+        | _ -> true
+      in
+      check "entries are in append order" true (monotone (Journal.entries ())))
+
+(* --- flow events: one served request links submit to its batch --- *)
+
+let test_flow_pairing () =
+  with_tracer (fun () ->
+      let w = Option.get (Registry.find "nms") in
+      let batch = w.Workload.default_batch and seq = w.Workload.default_seq in
+      let args = w.Workload.inputs ~batch ~seq in
+      (match Functs.Session.create ~config:Functs.Config.default w with
+      | Error _ -> Alcotest.fail "session create failed"
+      | Ok s ->
+          Fun.protect
+            ~finally:(fun () -> Functs.Session.close s)
+            (fun () ->
+              match Functs.Session.run s args with
+              | Ok _ -> ()
+              | Error _ -> Alcotest.fail "session run failed"));
+      match Json.parse (Tracer.to_chrome ()) with
+      | Error msg -> Alcotest.fail ("chrome trace invalid: " ^ msg)
+      | Ok root ->
+          let events =
+            match Json.member "traceEvents" root with
+            | Some (Json.Arr l) -> l
+            | _ -> Alcotest.fail "no traceEvents array"
+          in
+          let flows ph =
+            List.filter_map
+              (fun e ->
+                match (Json.member "name" e, Json.member "ph" e) with
+                | Some (Json.Str "serve.req"), Some (Json.Str p) when p = ph ->
+                    Some e
+                | _ -> None)
+              events
+          in
+          let starts = flows "s" and finishes = flows "f" in
+          check "at least one flow start" true (starts <> []);
+          check_int "every start has its finish" (List.length starts)
+            (List.length finishes);
+          let id_of e =
+            match Json.member "id" e with
+            | Some (Json.Num n) -> int_of_float n
+            | _ -> Alcotest.fail "flow event without an id"
+          in
+          List.iter
+            (fun s ->
+              let id = id_of s in
+              check
+                (Printf.sprintf "flow %d pairs start with finish" id)
+                true
+                (List.exists (fun f -> id_of f = id) finishes))
+            starts;
+          (* finishes bind to the enclosing slice (Chrome's bp=e), so
+             the arrow lands on the dispatcher's batch span *)
+          List.iter
+            (fun f ->
+              match Json.member "bp" f with
+              | Some (Json.Str "e") -> ()
+              | _ -> Alcotest.fail "flow finish without bp=e")
+            finishes)
+
 (* --- json parser corners --- *)
 
 let test_json_parser () =
@@ -279,6 +455,20 @@ let () =
             test_metrics_roundtrip;
           Alcotest.test_case "compile-cache counters absorbed" `Quick
             test_metrics_absorbed_counters;
+          Alcotest.test_case "percentiles track exact quantiles" `Quick
+            test_percentile_vs_exact;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "ring wraps oldest-first" `Quick
+            test_journal_ring_wrap;
+          Alcotest.test_case "concurrent records are not lost" `Quick
+            test_journal_concurrent;
+        ] );
+      ( "flow",
+        [
+          Alcotest.test_case "served request links submit to batch" `Quick
+            test_flow_pairing;
         ] );
       ("json", [ Alcotest.test_case "parser corners" `Quick test_json_parser ]);
     ]

@@ -246,6 +246,8 @@ let test_of_env_overlay () =
       ("FUNCTS_QUEUE", "9");
       ("FUNCTS_MAX_BATCH", "2");
       ("FUNCTS_POLICY", "shed");
+      ("FUNCTS_JOURNAL", "off");
+      ("FUNCTS_JOURNAL_BUF", "128");
     ]
   in
   match Config.of_env ~getenv:(getenv_of env) () with
@@ -261,7 +263,9 @@ let test_of_env_overlay () =
       check "metrics stderr" true (cfg.Config.metrics = Config.Metrics_stderr);
       check_int "queue capacity" 9 cfg.Config.queue_capacity;
       check_int "max batch" 2 cfg.Config.max_batch;
-      check "policy shed" true (cfg.Config.policy = `Shed)
+      check "policy shed" true (cfg.Config.policy = `Shed);
+      check "journal off" false cfg.Config.journal;
+      check_int "journal buf" 128 cfg.Config.journal_buf
 
 let rejects env key =
   match Config.of_env ~getenv:(getenv_of env) () with
@@ -276,7 +280,9 @@ let test_of_env_rejects_malformed () =
   rejects [ ("FUNCTS_CACHE", "maybe") ] "FUNCTS_CACHE";
   rejects [ ("FUNCTS_TRACE_BUF", "8") ] "FUNCTS_TRACE_BUF";
   rejects [ ("FUNCTS_POLICY", "retry") ] "FUNCTS_POLICY";
-  rejects [ ("FUNCTS_QUEUE", "-1") ] "FUNCTS_QUEUE"
+  rejects [ ("FUNCTS_QUEUE", "-1") ] "FUNCTS_QUEUE";
+  rejects [ ("FUNCTS_JOURNAL", "maybe") ] "FUNCTS_JOURNAL";
+  rejects [ ("FUNCTS_JOURNAL_BUF", "8") ] "FUNCTS_JOURNAL_BUF"
 
 let test_of_env_empty_means_unset () =
   match Config.of_env ~getenv:(getenv_of [ ("FUNCTS_DOMAINS", "") ]) () with
