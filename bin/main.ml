@@ -460,11 +460,33 @@ let serve_bench_cmd =
       value & opt int 64
       & info [ "submits" ] ~docv:"M" ~doc:"Requests per producer.")
   in
+  let window_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "window" ] ~docv:"W"
+          ~doc:
+            "Tickets in flight per producer (deep windows fill the larger \
+             batch buckets).")
+  in
   let deadline_arg =
     Arg.(
       value & opt (some float) None
       & info [ "deadline-us" ] ~docv:"US"
           ~doc:"Per-request deadline in microseconds.")
+  in
+  let open_rps_arg =
+    Arg.(
+      value & opt (list float) []
+      & info [ "open-rps" ] ~docv:"RPS,..."
+          ~doc:
+            "Open-loop sweep: target arrival rates (Poisson arrivals, \
+             submits never wait on completions).")
+  in
+  let open_duration_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "open-duration" ] ~docv:"S"
+          ~doc:"Seconds of arrivals per open-loop target.")
   in
   let json_arg =
     Arg.(
@@ -476,13 +498,16 @@ let serve_bench_cmd =
     Arg.(
       value & flag
       & info [ "smoke" ]
-          ~doc:"Quick CI shape: 2 producers x 8 submits each.")
+          ~doc:"Quick CI shape: 2 producers x 32 submits each, window 16.")
   in
-  let run wname producers submits deadline_us json_path smoke =
-    let producers, submits = if smoke then (2, 8) else (producers, submits) in
+  let run wname producers submits window deadline_us open_rps open_duration_s
+      json_path smoke =
+    let producers, submits, window =
+      if smoke then (2, 32, 16) else (producers, submits, window)
+    in
     match
-      Serve_bench.run ~config ~workload:wname ~producers ~submits ?deadline_us
-        ~json_path ()
+      Serve_bench.run ~config ~workload:wname ~producers ~submits ~window
+        ?deadline_us ~open_rps ~open_duration_s ~json_path ()
     with
     | Error e -> fail e
     | Ok r ->
@@ -502,8 +527,9 @@ let serve_bench_cmd =
           throughput and latency percentiles (results land in \
           BENCH_exec.json).")
     Term.(
-      ret (const run $ workload_opt $ producers_arg $ submits_arg
-           $ deadline_arg $ json_arg $ smoke_flag))
+      ret (const run $ workload_opt $ producers_arg $ submits_arg $ window_arg
+           $ deadline_arg $ open_rps_arg $ open_duration_arg $ json_arg
+           $ smoke_flag))
 
 (* --- profile / why: latency attribution and the decision journal ---
 

@@ -223,6 +223,7 @@ let run t args =
 let run_tensors t tensors =
   List.map Value.to_tensor (run t (List.map (fun x -> Value.Tensor x) tensors))
 
+let output_shapes t = Scheduler.output_shapes t.e_prepared
 let stats t = Scheduler.stats t.e_prepared
 let attribution t = Scheduler.attribution t.e_prepared
 let graph t = t.e_graph

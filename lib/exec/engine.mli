@@ -82,6 +82,12 @@ val attribution : t -> Scheduler.attribution_row list
 
 val graph : t -> Graph.t
 
+val output_shapes : t -> Shape_infer.shape option list
+(** Statically inferred shapes of the compiled graph's return values, in
+    return order.  A batched serving engine checks these against
+    {!Shape_infer.scale_axis} of the batch=1 shapes before trusting a
+    workload's declared output axes for scatter/gather. *)
+
 (** {1 Compile cache} *)
 
 val clear_cache : unit -> unit

@@ -338,8 +338,17 @@ let elementwise3 f (out : Tensor.t) (a : Tensor.t) (b : Tensor.t) (c : Tensor.t)
 
 (* --- the operators --- *)
 
-let clone t =
-  let out = Tensor.zeros (Tensor.shape t) in
+(* Output allocation: the scheduler's per-node path passes the engine's
+   storage pool via [?alloc] so intermediates recycle instead of hitting
+   the major heap on every node.  Every operator below overwrites the
+   whole output, so the pool's unspecified contents never leak into
+   results.  Without an allocator (worker-domain bodies, external
+   callers) outputs are plain zero-filled tensors, as before. *)
+let fresh alloc shape =
+  match alloc with Some a -> a shape | None -> Tensor.zeros shape
+
+let clone ?alloc t =
+  let out = fresh alloc (Tensor.shape t) in
   elementwise1 (fun v -> v) out t;
   out
 
@@ -359,24 +368,149 @@ let copy_into (dst : Tensor.t) (src : Tensor.t) =
    exclusively. *)
 let scalar0 (t : Tensor.t) = (data t).(t.Tensor.offset)
 
-let unary fn a =
+(* Native inner loops (gemm_stubs.c) for the flat case: when the whole
+   iteration collapses to one run (contiguous output, constant-step
+   inputs), the per-element closure dispatch and bounds checks go away.
+   The stubs apply the exact operations of the OCaml reference (same
+   libm symbols, same IEEE primitives), so results stay bitwise
+   identical; operators whose OCaml semantics differ from C's
+   (Float.max/min/equal NaN and signed-zero rules) have no code and keep
+   the closure path. *)
+(* kind, src, offset, element step, row stride, dst, offset, rows, n *)
+external unary_map :
+  int ->
+  float array ->
+  int ->
+  int ->
+  int ->
+  float array ->
+  int ->
+  int ->
+  int ->
+  unit = "functs_unary_map_bytecode" "functs_unary_map"
+[@@noalloc]
+
+(* kind, a, aoff, astep, arow, b, boff, bstep, brow, dst, doff, rows, n *)
+external binary_map :
+  int ->
+  float array ->
+  int ->
+  int ->
+  int ->
+  float array ->
+  int ->
+  int ->
+  int ->
+  float array ->
+  int ->
+  int ->
+  int ->
+  unit = "functs_binary_map_bytecode" "functs_binary_map"
+[@@noalloc]
+
+let unary_code : Scalar.unary -> int = function
+  | Scalar.Neg -> 0
+  | Scalar.Abs -> 1
+  | Scalar.Exp -> 2
+  | Scalar.Log -> 3
+  | Scalar.Sqrt -> 4
+  | Scalar.Sigmoid -> 5
+  | Scalar.Tanh -> 6
+  | Scalar.Relu -> 7
+
+let binary_code : Scalar.binary -> int option = function
+  | Scalar.Add -> Some 0
+  | Scalar.Sub -> Some 1
+  | Scalar.Mul -> Some 2
+  | Scalar.Div -> Some 3
+  | Scalar.Pow -> Some 4
+  | Scalar.Lt -> Some 5
+  | Scalar.Gt -> Some 6
+  | Scalar.Max | Scalar.Min | Scalar.Eq -> None
+
+let unary ?alloc fn a =
   if Tensor.ndim a = 0 then Tensor.scalar (Scalar.apply_unary fn (scalar0 a))
   else begin
-    let out = Tensor.zeros (Tensor.shape a) in
-    elementwise1 (Scalar.apply_unary fn) out a;
+    let out = fresh alloc (Tensor.shape a) in
+    let shape = out.Tensor.shape in
+    let total = Shape.numel shape in
+    let nd = Array.length shape in
+    let sa = bstrides a nd in
+    (* [out] is freshly allocated, hence contiguous: only the input's
+       layout decides between the one-run, rows-over-flat-suffix and
+       generic strided forms. *)
+    (if total = 0 then ()
+     else
+       let code = unary_code fn in
+       let ad = data a and od = data out in
+       match suffix_step sa shape 0 with
+       | Some ka ->
+           pchunk ~bytes_per_iter:16 ~total total (fun lo hi ->
+               unary_map code ad
+                 (a.Tensor.offset + (lo * ka))
+                 ka 0 od
+                 (out.Tensor.offset + lo)
+                 1 (hi - lo))
+       | None -> (
+           match (if nd >= 2 then suffix_step sa shape 1 else None) with
+           | Some ka ->
+               let n = total / shape.(0) in
+               pchunk ~bytes_per_iter:(16 * n) ~total shape.(0) (fun lo hi ->
+                   unary_map code ad
+                     (a.Tensor.offset + (lo * sa.(0)))
+                     ka sa.(0) od
+                     (out.Tensor.offset + (lo * n))
+                     (hi - lo) n)
+           | None -> elementwise1 (Scalar.apply_unary fn) out a));
     out
   end
 
-let binary fn a b =
+let binary ?alloc fn a b =
   if Tensor.ndim a = 0 && Tensor.ndim b = 0 then
     Tensor.scalar (Scalar.apply_binary fn (scalar0 a) (scalar0 b))
   else begin
-    let out = Tensor.zeros (Shape.broadcast (Tensor.shape a) (Tensor.shape b)) in
-    elementwise2 (Scalar.apply_binary fn) out a b;
+    let out = fresh alloc (Shape.broadcast (Tensor.shape a) (Tensor.shape b)) in
+    let shape = out.Tensor.shape in
+    let total = Shape.numel shape in
+    let nd = Array.length shape in
+    let sa = bstrides a nd and sb = bstrides b nd in
+    (if total = 0 then ()
+     else
+       match binary_code fn with
+       | None -> elementwise2 (Scalar.apply_binary fn) out a b
+       | Some code -> (
+           let ad = data a and bd = data b and od = data out in
+           match (suffix_step sa shape 0, suffix_step sb shape 0) with
+           | Some ka, Some kb ->
+               pchunk ~bytes_per_iter:24 ~total total (fun lo hi ->
+                   binary_map code ad
+                     (a.Tensor.offset + (lo * ka))
+                     ka 0 bd
+                     (b.Tensor.offset + (lo * kb))
+                     kb 0 od
+                     (out.Tensor.offset + lo)
+                     1 (hi - lo))
+           | _ -> (
+               match
+                 ( (if nd >= 2 then suffix_step sa shape 1 else None),
+                   (if nd >= 2 then suffix_step sb shape 1 else None) )
+               with
+               | Some ka, Some kb ->
+                   let n = total / shape.(0) in
+                   pchunk ~bytes_per_iter:(24 * n) ~total shape.(0)
+                     (fun lo hi ->
+                       binary_map code ad
+                         (a.Tensor.offset + (lo * sa.(0)))
+                         ka sa.(0) bd
+                         (b.Tensor.offset + (lo * sb.(0)))
+                         kb sb.(0) od
+                         (out.Tensor.offset + (lo * n))
+                         (hi - lo) n)
+               | _ -> elementwise2 (Scalar.apply_binary fn) out a b)));
     out
   end
 
-let where c a b =
+let where ?alloc c a b =
   if Tensor.ndim c = 0 && Tensor.ndim a = 0 && Tensor.ndim b = 0 then
     Tensor.scalar (if scalar0 c <> 0.0 then scalar0 a else scalar0 b)
   else begin
@@ -385,10 +519,27 @@ let where c a b =
         (Shape.broadcast (Tensor.shape c) (Tensor.shape a))
         (Tensor.shape b)
     in
-    let out = Tensor.zeros shape in
+    let out = fresh alloc shape in
     elementwise3 (fun cv av bv -> if cv <> 0.0 then av else bv) out c a b;
     out
   end
+
+(* Native row-block GEMM (gemm_stubs.c): i-l-j loop order, so each
+   output element accumulates its k terms in reference order — bitwise
+   identical to the interpreter — while the unit-stride j loop
+   vectorizes. *)
+external gemm_rows :
+  float array ->
+  int ->
+  float array ->
+  int ->
+  float array ->
+  int ->
+  int ->
+  int ->
+  int ->
+  unit = "functs_gemm_bytecode" "functs_gemm"
+[@@noalloc]
 
 (* 2-d matmul into a contiguous destination view; [a] and [b] must be
    contiguous.  The l-loop accumulates per output element in the same
@@ -406,32 +557,26 @@ let matmul2d_into (dst : Tensor.t) (a : Tensor.t) (b : Tensor.t) =
   (* per row: a row of [a], a row of the output, and [b] streamed once
      (amortized across rows, so only the k + n unique floats count) *)
   pchunk ~bytes_per_iter:(8 * (k + n)) ~total:(m * n * k) m (fun row_lo row_hi ->
-      for i = row_lo to row_hi - 1 do
-        let ai = ao + (i * k) and oi = oo + (i * n) in
-        Array.fill od oi n 0.0;
-        for l = 0 to k - 1 do
-          let av = ad.(ai + l) in
-          let bl = bo + (l * n) in
-          for j = 0 to n - 1 do
-            od.(oi + j) <- od.(oi + j) +. (av *. bd.(bl + j))
-          done
-        done
-      done)
+      gemm_rows ad
+        (ao + (row_lo * k))
+        bd bo od
+        (oo + (row_lo * n))
+        (row_hi - row_lo) k n)
 
-let matmul2d a b =
+let matmul2d ?alloc a b =
   let a = contig a and b = contig b in
-  let out = Tensor.zeros [| a.Tensor.shape.(0); b.Tensor.shape.(1) |] in
+  let out = fresh alloc [| a.Tensor.shape.(0); b.Tensor.shape.(1) |] in
   matmul2d_into out a b;
   out
 
-let matmul a b =
+let matmul ?alloc a b =
   match (Tensor.ndim a, Tensor.ndim b) with
-  | 2, 2 -> matmul2d a b
+  | 2, 2 -> matmul2d ?alloc a b
   | 3, 2 ->
       let a = contig a and b = contig b in
       let batch = a.Tensor.shape.(0) in
       let m = a.Tensor.shape.(1) and n = b.Tensor.shape.(1) in
-      let out = Tensor.zeros [| batch; m; n |] in
+      let out = fresh alloc [| batch; m; n |] in
       for i = 0 to batch - 1 do
         matmul2d_into (Tensor.select out ~dim:0 i) (Tensor.select a ~dim:0 i) b
       done;
@@ -443,7 +588,7 @@ let matmul a b =
       let a = contig a and b = contig b in
       let batch = max ba bb in
       let m = a.Tensor.shape.(1) and n = b.Tensor.shape.(2) in
-      let out = Tensor.zeros [| batch; m; n |] in
+      let out = fresh alloc [| batch; m; n |] in
       for i = 0 to batch - 1 do
         matmul2d_into
           (Tensor.select out ~dim:0 i)
@@ -451,20 +596,20 @@ let matmul a b =
           (Tensor.select b ~dim:0 (if bb = 1 then 0 else i))
       done;
       out
-  | 1, 2 -> Tensor.select (matmul2d (Tensor.unsqueeze a ~dim:0) b) ~dim:0 0
-  | 2, 1 -> Tensor.select (matmul2d a (Tensor.unsqueeze b ~dim:1)) ~dim:1 0
+  | 1, 2 -> Tensor.select (matmul2d ?alloc (Tensor.unsqueeze a ~dim:0) b) ~dim:0 0
+  | 2, 1 -> Tensor.select (matmul2d ?alloc a (Tensor.unsqueeze b ~dim:1)) ~dim:1 0
   | _ -> Ops.matmul a b
 
 (* Lane-wise softmax over the innermost dimension of a contiguous tensor;
    the max / exp-sum / divide sequence matches the reference op-for-op. *)
-let softmax t ~dim =
+let softmax ?alloc t ~dim =
   let nd = Tensor.ndim t in
   let dim = Shape.normalize_dim ~ndim:nd dim in
   if nd = 0 || dim <> nd - 1 || not (Tensor.is_contiguous t) then
     Ops.softmax t ~dim
   else begin
     let ext = t.Tensor.shape.(dim) in
-    let out = Tensor.zeros (Tensor.shape t) in
+    let out = fresh alloc (Tensor.shape t) in
     let td = data t and od = data out in
     let lanes = if ext = 0 then 0 else Tensor.numel t / ext in
     (* Each lane's max / exp-sum / divide is self-contained: chunking the
@@ -490,11 +635,11 @@ let softmax t ~dim =
     out
   end
 
-let reduce_last t ~keepdim ~init ~f =
+let reduce_last ?alloc t ~keepdim ~init ~f =
   let nd = Tensor.ndim t in
   let ext = t.Tensor.shape.(nd - 1) in
   let out_shape = Array.init nd (fun i -> if i = nd - 1 then 1 else t.Tensor.shape.(i)) in
-  let out = Tensor.zeros out_shape in
+  let out = fresh alloc out_shape in
   let td = data t and od = data out in
   let lanes = if ext = 0 then 0 else Tensor.numel t / ext in
   (* One output element per lane, accumulated in reference order. *)
@@ -510,19 +655,20 @@ let reduce_last t ~keepdim ~init ~f =
       done);
   if keepdim then out else Tensor.squeeze out ~dim:(nd - 1)
 
-let reduce_dim t ~dim ~keepdim ~init ~f ~fallback =
+let reduce_dim ?alloc t ~dim ~keepdim ~init ~f ~fallback =
   let nd = Tensor.ndim t in
   if nd = 0 then fallback t ~dim ~keepdim
   else
     let d = Shape.normalize_dim ~ndim:nd dim in
-    if d = nd - 1 && Tensor.is_contiguous t then reduce_last t ~keepdim ~init ~f
+    if d = nd - 1 && Tensor.is_contiguous t then
+      reduce_last ?alloc t ~keepdim ~init ~f
     else fallback t ~dim ~keepdim
 
-let sum_dim t ~dim ~keepdim =
-  reduce_dim t ~dim ~keepdim ~init:0.0 ~f:( +. ) ~fallback:Ops.sum_dim
+let sum_dim ?alloc t ~dim ~keepdim =
+  reduce_dim ?alloc t ~dim ~keepdim ~init:0.0 ~f:( +. ) ~fallback:Ops.sum_dim
 
-let max_dim t ~dim ~keepdim =
-  reduce_dim t ~dim ~keepdim ~init:Float.neg_infinity ~f:Float.max
+let max_dim ?alloc t ~dim ~keepdim =
+  reduce_dim ?alloc t ~dim ~keepdim ~init:Float.neg_infinity ~f:Float.max
     ~fallback:Ops.max_dim
 
 let sum t =
@@ -552,14 +698,14 @@ let scal_val = function
   | Value.Bool b -> if b then 1.0 else 0.0
   | Value.List _ -> invalid_arg "Fastops.scal_val: list value"
 
-let apply_op (node : Graph.node) (inputs : Value.t list) =
+let apply_op ?alloc (node : Graph.node) (inputs : Value.t list) =
   let tin i = Value.to_tensor (List.nth inputs i) in
   match node.n_op with
   | Op.Unary fn -> (
       match inputs with
       | [ a ] when is_scal a ->
           [ Value.Tensor (Tensor.scalar (Scalar.apply_unary fn (scal_val a))) ]
-      | _ -> [ Value.Tensor (unary fn (tin 0)) ])
+      | _ -> [ Value.Tensor (unary ?alloc fn (tin 0)) ])
   | Op.Binary fn -> (
       match inputs with
       | [ a; b ] when is_scal a && is_scal b ->
@@ -567,11 +713,13 @@ let apply_op (node : Graph.node) (inputs : Value.t list) =
             Value.Tensor
               (Tensor.scalar (Scalar.apply_binary fn (scal_val a) (scal_val b)));
           ]
-      | _ -> [ Value.Tensor (binary fn (tin 0) (tin 1)) ])
-  | Op.Matmul -> [ Value.Tensor (matmul (tin 0) (tin 1)) ]
-  | Op.Softmax { dim } -> [ Value.Tensor (softmax (tin 0) ~dim) ]
-  | Op.Sum_dim { dim; keepdim } -> [ Value.Tensor (sum_dim (tin 0) ~dim ~keepdim) ]
-  | Op.Max_dim { dim; keepdim } -> [ Value.Tensor (max_dim (tin 0) ~dim ~keepdim) ]
+      | _ -> [ Value.Tensor (binary ?alloc fn (tin 0) (tin 1)) ])
+  | Op.Matmul -> [ Value.Tensor (matmul ?alloc (tin 0) (tin 1)) ]
+  | Op.Softmax { dim } -> [ Value.Tensor (softmax ?alloc (tin 0) ~dim) ]
+  | Op.Sum_dim { dim; keepdim } ->
+      [ Value.Tensor (sum_dim ?alloc (tin 0) ~dim ~keepdim) ]
+  | Op.Max_dim { dim; keepdim } ->
+      [ Value.Tensor (max_dim ?alloc (tin 0) ~dim ~keepdim) ]
   | Op.Sum -> [ Value.Tensor (sum (tin 0)) ]
   | Op.Where -> (
       match inputs with
@@ -581,6 +729,6 @@ let apply_op (node : Graph.node) (inputs : Value.t list) =
               (Tensor.scalar
                  (if scal_val c <> 0.0 then scal_val a else scal_val b));
           ]
-      | _ -> [ Value.Tensor (where (tin 0) (tin 1) (tin 2)) ])
-  | Op.Clone -> [ Value.Tensor (clone (tin 0)) ]
+      | _ -> [ Value.Tensor (where ?alloc (tin 0) (tin 1) (tin 2)) ])
+  | Op.Clone -> [ Value.Tensor (clone ?alloc (tin 0)) ]
   | _ -> Eval.apply_op node inputs

@@ -17,17 +17,26 @@ val set_parallel : Pool.t option -> grain:int -> unit
     order.  [None] (the initial state) forces sequential execution.
     Rebound by [Scheduler.run] on every engine invocation. *)
 
-val clone : Tensor.t -> Tensor.t
+val clone : ?alloc:(Shape.t -> Tensor.t) -> Tensor.t -> Tensor.t
 
 val copy_into : Tensor.t -> Tensor.t -> unit
 (** [copy_into dst src] writes [src] through [dst] (equal shapes, distinct
     storages, tight loops); other cases defer to {!Inplace.copy_}. *)
 
-val binary : Scalar.binary -> Tensor.t -> Tensor.t -> Tensor.t
-val matmul : Tensor.t -> Tensor.t -> Tensor.t
-val softmax : Tensor.t -> dim:int -> Tensor.t
-val sum_dim : Tensor.t -> dim:int -> keepdim:bool -> Tensor.t
+val binary :
+  ?alloc:(Shape.t -> Tensor.t) -> Scalar.binary -> Tensor.t -> Tensor.t -> Tensor.t
+
+val matmul : ?alloc:(Shape.t -> Tensor.t) -> Tensor.t -> Tensor.t -> Tensor.t
+val softmax : ?alloc:(Shape.t -> Tensor.t) -> Tensor.t -> dim:int -> Tensor.t
+
+val sum_dim :
+  ?alloc:(Shape.t -> Tensor.t) -> Tensor.t -> dim:int -> keepdim:bool -> Tensor.t
 (** Exposed for the pool's bitwise-equivalence tests. *)
 
-val apply_op : Graph.node -> Value.t list -> Value.t list
-(** Drop-in replacement for {!Eval.apply_op} on plain operators. *)
+val apply_op :
+  ?alloc:(Shape.t -> Tensor.t) -> Graph.node -> Value.t list -> Value.t list
+(** Drop-in replacement for {!Eval.apply_op} on plain operators.  [alloc]
+    supplies output buffers (the scheduler passes its engine's storage
+    pool so per-node intermediates recycle); every fast-path operator
+    overwrites the whole output, so recycled contents never leak.
+    Without it, outputs are fresh zero-filled tensors. *)

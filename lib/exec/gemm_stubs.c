@@ -1,0 +1,228 @@
+/* Native inner kernel for Fastops.matmul2d_into.
+ *
+ * Row-major GEMM over OCaml float arrays (unboxed double payloads).
+ * Each output element o[i,j] accumulates its k terms in ascending-l
+ * order, exactly like the reference interpreter's per-element sum, so
+ * results are bitwise-identical; the l-loop is unrolled by four with
+ * the partial sums added *sequentially* (never re-associated into
+ * independent accumulators), which keeps the reference order while
+ * giving the compiler a unit-stride j-vectorizable body.
+ *
+ * The l-dimension is processed in panels of 8 rows of [b] (32 KB at
+ * n = 512): within a panel every row of the output is updated before
+ * moving on, so the panel of [b] stays L1-resident and is streamed
+ * from L2 once per call instead of once per output row.  Panels run in
+ * ascending l and each o[i,j] is accumulated incrementally across
+ * panels, so the per-element order is still exactly l-ascending.
+ *
+ * Compiled with -ffp-contract=off (see lib/exec/dune) so mul+add pairs
+ * are never contracted into FMAs, which would change rounding.  On
+ * x86-64, target_clones lets the loader pick an AVX-512/AVX2 clone at
+ * run time without baking -march into the build.
+ */
+#include <caml/mlvalues.h>
+
+#define PANEL 8
+
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
+__attribute__((target_clones("avx512f", "avx2", "default")))
+#endif
+static void gemm(const double *restrict a, const double *restrict b,
+                 double *restrict o, long m, long k, long n)
+{
+  for (long i = 0; i < m; i++) {
+    double *oi = o + i * n;
+    for (long j = 0; j < n; j++) oi[j] = 0.0;
+  }
+  for (long l0 = 0; l0 < k; l0 += PANEL) {
+    const long lhi = (l0 + PANEL <= k) ? l0 + PANEL : k;
+    for (long i = 0; i < m; i++) {
+      const double *ai = a + i * k;
+      double *oi = o + i * n;
+      long l = l0;
+      for (; l + 4 <= lhi; l += 4) {
+        const double a0 = ai[l], a1 = ai[l + 1], a2 = ai[l + 2],
+                     a3 = ai[l + 3];
+        const double *b0 = b + l * n;
+        const double *b1 = b0 + n, *b2 = b1 + n, *b3 = b2 + n;
+        for (long j = 0; j < n; j++)
+          oi[j] = (((oi[j] + a0 * b0[j]) + a1 * b1[j]) + a2 * b2[j])
+                  + a3 * b3[j];
+      }
+      for (; l < lhi; l++) {
+        const double al = ai[l];
+        const double *bl = b + l * n;
+        for (long j = 0; j < n; j++) oi[j] += al * bl[j];
+      }
+    }
+  }
+}
+
+CAMLprim value functs_gemm(value va, value vao, value vb, value vbo,
+                           value vo, value voo, value vm, value vk,
+                           value vn)
+{
+  gemm((const double *)va + Long_val(vao), (const double *)vb + Long_val(vbo),
+       (double *)vo + Long_val(voo), Long_val(vm), Long_val(vk),
+       Long_val(vn));
+  return Val_unit;
+}
+
+CAMLprim value functs_gemm_bytecode(value *argv, int argn)
+{
+  (void)argn;
+  return functs_gemm(argv[0], argv[1], argv[2], argv[3], argv[4], argv[5],
+                     argv[6], argv[7], argv[8]);
+}
+
+/* --- flat elementwise maps ---
+ *
+ * Inner loops for Fastops' contiguous (suffix-collapsed) unary and
+ * binary maps.  Each case applies exactly the operation the OCaml
+ * reference applies — the same libm calls (exp, log, tanh, pow compile
+ * to the identical symbols Float.exp &c. call) and the same IEEE
+ * primitives — so results are bitwise-identical; the win is dropping
+ * the per-element closure dispatch and bounds checks.  Operators whose
+ * OCaml semantics do not map one-to-one onto C (Float.max/min/equal
+ * have their own NaN and signed-zero rules) are NOT given codes here
+ * and stay on the OCaml path.
+ *
+ * Codes follow Scalar.unary / Scalar.binary constructor order. */
+#include <math.h>
+
+#define U_NEG 0
+#define U_ABS 1
+#define U_EXP 2
+#define U_LOG 3
+#define U_SQRT 4
+#define U_SIGMOID 5
+#define U_TANH 6
+#define U_RELU 7
+
+/* [rows] outer iterations over a flat suffix of [n] elements: the
+ * input advances [aor] per row and [as] (0 or 1) per element, the
+ * contiguous output advances [n] per row.  rows = 1 is the fully
+ * collapsed case; rows > 1 covers strided slices like a [b,128] gate
+ * view of a [b,512] matmul output. */
+CAMLprim value functs_unary_map(value vkind, value va, value vao, value vas,
+                                value vaor, value vo, value voo, value vrows,
+                                value vn)
+{
+  const double *ab = (const double *)va + Long_val(vao);
+  double *ob = (double *)vo + Long_val(voo);
+  const long as = Long_val(vas), aor = Long_val(vaor);
+  const long rows = Long_val(vrows), n = Long_val(vn);
+  const long kind = Long_val(vkind);
+  for (long r = 0; r < rows; r++) {
+    const double *a = ab + r * aor;
+    double *o = ob + r * n;
+    switch (kind) {
+    case U_NEG:
+      for (long i = 0; i < n; i++) o[i] = -a[i * as];
+      break;
+    case U_ABS:
+      for (long i = 0; i < n; i++) o[i] = fabs(a[i * as]);
+      break;
+    case U_EXP:
+      for (long i = 0; i < n; i++) o[i] = exp(a[i * as]);
+      break;
+    case U_LOG:
+      for (long i = 0; i < n; i++) o[i] = log(a[i * as]);
+      break;
+    case U_SQRT:
+      for (long i = 0; i < n; i++) o[i] = sqrt(a[i * as]);
+      break;
+    case U_SIGMOID:
+      for (long i = 0; i < n; i++) o[i] = 1.0 / (1.0 + exp(-a[i * as]));
+      break;
+    case U_TANH:
+      for (long i = 0; i < n; i++) o[i] = tanh(a[i * as]);
+      break;
+    case U_RELU:
+      /* Float.max 0.0 x: positives pass, zeros normalize to +0.0, NaN
+         propagates — fmax has different NaN rules, so spell it out. */
+      for (long i = 0; i < n; i++) {
+        const double x = a[i * as];
+        o[i] = (x > 0.0) ? x : (x != x ? x : 0.0);
+      }
+      break;
+    }
+  }
+  return Val_unit;
+}
+
+CAMLprim value functs_unary_map_bytecode(value *argv, int argn)
+{
+  (void)argn;
+  return functs_unary_map(argv[0], argv[1], argv[2], argv[3], argv[4],
+                          argv[5], argv[6], argv[7], argv[8]);
+}
+
+#define B_ADD 0
+#define B_SUB 1
+#define B_MUL 2
+#define B_DIV 3
+#define B_POW 4
+#define B_LT 5
+#define B_GT 6
+
+#define BIN_LOOP(expr)                                                      \
+  do {                                                                      \
+    if (as == 1 && bs == 1)                                                 \
+      for (long i = 0; i < n; i++) {                                        \
+        const double x = a[i], y = b[i];                                    \
+        o[i] = (expr);                                                      \
+      }                                                                     \
+    else if (as == 1 && bs == 0)                                            \
+      for (long i = 0; i < n; i++) {                                        \
+        const double x = a[i], y = b[0];                                    \
+        o[i] = (expr);                                                      \
+      }                                                                     \
+    else if (as == 0 && bs == 1)                                            \
+      for (long i = 0; i < n; i++) {                                        \
+        const double x = a[0], y = b[i];                                    \
+        o[i] = (expr);                                                      \
+      }                                                                     \
+    else                                                                    \
+      for (long i = 0; i < n; i++) {                                        \
+        const double x = a[i * as], y = b[i * bs];                          \
+        o[i] = (expr);                                                      \
+      }                                                                     \
+  } while (0)
+
+CAMLprim value functs_binary_map(value vkind, value va, value vao, value vas,
+                                 value vaor, value vb, value vbo, value vbs,
+                                 value vbor, value vo, value voo, value vrows,
+                                 value vn)
+{
+  const double *ab = (const double *)va + Long_val(vao);
+  const double *bb = (const double *)vb + Long_val(vbo);
+  double *obase = (double *)vo + Long_val(voo);
+  const long as = Long_val(vas), bs = Long_val(vbs);
+  const long aor = Long_val(vaor), bor = Long_val(vbor);
+  const long rows = Long_val(vrows), n = Long_val(vn);
+  const long kind = Long_val(vkind);
+  for (long r = 0; r < rows; r++) {
+    const double *a = ab + r * aor;
+    const double *b = bb + r * bor;
+    double *o = obase + r * n;
+    switch (kind) {
+    case B_ADD: BIN_LOOP(x + y); break;
+    case B_SUB: BIN_LOOP(x - y); break;
+    case B_MUL: BIN_LOOP(x * y); break;
+    case B_DIV: BIN_LOOP(x / y); break;
+    case B_POW: BIN_LOOP(pow(x, y)); break;
+    case B_LT: BIN_LOOP((x < y) ? 1.0 : 0.0); break;
+    case B_GT: BIN_LOOP((x > y) ? 1.0 : 0.0); break;
+    }
+  }
+  return Val_unit;
+}
+
+CAMLprim value functs_binary_map_bytecode(value *argv, int argn)
+{
+  (void)argn;
+  return functs_binary_map(argv[0], argv[1], argv[2], argv[3], argv[4],
+                           argv[5], argv[6], argv[7], argv[8], argv[9],
+                           argv[10], argv[11], argv[12]);
+}

@@ -296,6 +296,10 @@ let reduce_max_chunks = 8
 type prepared = {
   p_graph : Graph.t;
   p_plan : Fusion.plan;
+  p_out_shapes : Shape_infer.shape option list;
+      (* statically inferred shapes of the graph's return values, kept so
+         serving-layer batching can check which output axis carries the
+         request dimension without re-running inference *)
   p_nslots : int;
   p_consts : inst array;
       (* every [prim::Constant] of the graph, bound once per run instead of
@@ -353,6 +357,12 @@ type rstate = {
   remaining : int array;  (* slot -> uses left before release *)
   epoch : int;  (* this run's {!Storage.mark} epoch *)
   live : bool;
+  alloc : Shape.t -> Tensor.t;
+      (* output buffers for the per-node path: the engine's storage pool
+         in live mode, so intermediates recycle instead of hitting the
+         major heap on every node.  Main-thread only — worker-domain
+         bodies (batched loops) allocate fresh, the pool's free lists are
+         not thread-safe. *)
   p : prepared;
 }
 
@@ -514,13 +524,13 @@ let exec_plain_inst rs scope (inst : inst) =
                 && region.Tensor.offset = bt.Tensor.offset
                 && Shape.equal (Tensor.shape region) (Tensor.shape bt)
                 && Shape.equal (Tensor.shape region) (Tensor.shape src_t)
-              then [ Value.Tensor (Fastops.clone src_t) ]
+              then [ Value.Tensor (Fastops.clone ~alloc:rs.alloc src_t) ]
               else begin
-                let fresh = Fastops.clone bt in
+                let fresh = Fastops.clone ~alloc:rs.alloc bt in
                 write_region (Eval.apply_view_kind kind fresh operands) src_t;
                 [ Value.Tensor fresh ]
               end
-          | _ -> Fastops.apply_op inst.i_node inputs)
+          | _ -> Fastops.apply_op ~alloc:rs.alloc inst.i_node inputs)
   in
   (match outputs with
   | [ out ] -> bind rs scope inst.i_out.(0) out
@@ -1564,6 +1574,8 @@ let prepare ~profile ~parallel ~domains ~pool:exec_pool ~loop_grain
   {
     p_graph = graph;
     p_plan = plan;
+    p_out_shapes =
+      List.map (Shape_infer.shape_of shapes) (Graph.returns graph);
     p_nslots = !nslots;
     p_uses = uses;
     p_pinned = pinned;
@@ -1599,6 +1611,8 @@ let prepare ~profile ~parallel ~domains ~pool:exec_pool ~loop_grain
     s_pool_steals = 0;
     s_pool_inline_runs = 0;
   }
+
+let output_shapes p = p.p_out_shapes
 
 let run p args =
   Metrics.incr runs_c;
@@ -1651,6 +1665,8 @@ let run p args =
       remaining = Array.make p.p_nslots 0;
       epoch = !run_epoch;
       live = p.p_live;
+      alloc =
+        (if p.p_live then Buffer_plan.alloc p.p_pool else Tensor.zeros);
       p;
     }
   in

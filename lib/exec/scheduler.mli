@@ -58,6 +58,12 @@ val prepare :
     under [jit_dir], [""] = temp-dir default); arming failures fall back
     to closure kernels and never raise. *)
 
+val output_shapes : prepared -> Shape_infer.shape option list
+(** Statically inferred shapes of the graph's return values (in return
+    order), as computed at prepare time.  The serving layer uses these to
+    verify that a declared output batch axis really carries the bucket
+    extent before gathering per-request results. *)
+
 val run : prepared -> Value.t list -> Value.t list
 (** Execute once.  The storage pool persists across runs; returned tensors
     are never recycled.  Not thread-safe — one run at a time.

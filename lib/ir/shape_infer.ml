@@ -12,6 +12,22 @@ let to_string shape =
   let dim_str = function Known n -> string_of_int n | Unknown -> "?" in
   "[" ^ String.concat ", " (Array.to_list shape |> List.map dim_str) ^ "]"
 
+let extent shape axis =
+  if axis < 0 || axis >= Array.length shape then None
+  else match shape.(axis) with Known n -> Some n | Unknown -> None
+
+(* Predict a batched shape: the [axis] extent scaled by [factor], every
+   other dimension untouched.  [None] when the axis is out of rank or its
+   extent is unknown — the serving layer treats that as "not batchable
+   along this axis". *)
+let scale_axis shape ~axis ~factor =
+  match extent shape axis with
+  | None -> None
+  | Some n ->
+      let out = Array.copy shape in
+      out.(axis) <- Known (n * factor);
+      Some out
+
 let matches shape concrete =
   Array.length shape = Array.length concrete
   && Array.for_all2

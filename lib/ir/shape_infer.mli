@@ -33,3 +33,12 @@ val to_string : shape -> string
 
 val matches : shape -> int array -> bool
 (** Does the partial shape agree with a concrete runtime shape? *)
+
+val extent : shape -> int -> int option
+(** The known extent at an axis; [None] when out of rank or [Unknown]. *)
+
+val scale_axis : shape -> axis:int -> factor:int -> shape option
+(** Predict a batched shape: the extent at [axis] multiplied by [factor]
+    (e.g. a per-request [[1; 128]] carried to [[16; 128]] for a 16-bucket
+    compile).  [None] when the axis is out of rank or unknown — the
+    serving layer reads that as "not batchable along this axis". *)

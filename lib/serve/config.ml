@@ -22,6 +22,8 @@ type t = {
   metrics : metrics_sink;
   queue_capacity : int;
   max_batch : int;
+  batch_buckets : int list;  (* ascending, unique, first element 1 *)
+  shards : int;  (* max dispatcher domains per session *)
   policy : policy;
   journal : bool;  (* decision journal (on by default; rare records) *)
   journal_buf : int;  (* journal ring capacity *)
@@ -42,6 +44,8 @@ let default =
     metrics = Metrics_off;
     queue_capacity = 256;
     max_batch = 8;
+    batch_buckets = [ 1; 4; 16 ];
+    shards = 1;
     policy = `Interp_fallback;
     journal = true;
     journal_buf = 4096;
@@ -115,6 +119,31 @@ let resolve_jit_dir getenv cfg =
     in
     { cfg with jit_dir = dir }
 
+(* Comma-separated bucket list, e.g. "1,4,16".  Buckets must be strictly
+   ascending (which implies unique) and start at 1 so every request mix
+   decomposes greedily with a bucket-1 remainder. *)
+let bucket_list cfg key v =
+  let parts = String.split_on_char ',' v |> List.map String.trim in
+  let rec parse acc = function
+    | [] -> Ok (List.rev acc)
+    | p :: rest -> (
+        match int_of_string_opt p with
+        | Some n when n >= 1 -> parse (n :: acc) rest
+        | Some _ | None -> invalid key v "buckets must be positive integers")
+  in
+  match parse [] parts with
+  | Error _ as e -> e
+  | Ok [] -> invalid key v "expected a comma-separated bucket list"
+  | Ok (first :: _ as buckets) ->
+      let rec ascending = function
+        | a :: (b :: _ as rest) -> a < b && ascending rest
+        | _ -> true
+      in
+      if first <> 1 then invalid key v "the first bucket must be 1"
+      else if not (ascending buckets) then
+        invalid key v "buckets must be strictly ascending"
+      else Ok { cfg with batch_buckets = buckets }
+
 let policy_of cfg key v =
   match String.lowercase_ascii v with
   | "interp" | "interp_fallback" | "fallback" ->
@@ -145,6 +174,8 @@ let of_env ?(base = default) ?(getenv = Sys.getenv_opt) () =
         pos_int ~min_value:1 (fun c n -> { c with queue_capacity = n }) );
       ( "FUNCTS_MAX_BATCH",
         pos_int ~min_value:1 (fun c n -> { c with max_batch = n }) );
+      ("FUNCTS_BATCH_BUCKETS", bucket_list);
+      ("FUNCTS_SHARDS", pos_int ~min_value:1 (fun c n -> { c with shards = n }));
       ("FUNCTS_POLICY", policy_of);
       ("FUNCTS_JOURNAL", bool_flag (fun c b -> { c with journal = b }));
       ( "FUNCTS_JOURNAL_BUF",
@@ -231,6 +262,9 @@ let to_string cfg =
       Printf.sprintf "metrics        = %s" (msink cfg.metrics);
       Printf.sprintf "queue_capacity = %d" cfg.queue_capacity;
       Printf.sprintf "max_batch      = %d" cfg.max_batch;
+      Printf.sprintf "batch_buckets  = %s"
+        (String.concat "," (List.map string_of_int cfg.batch_buckets));
+      Printf.sprintf "shards         = %d" cfg.shards;
       Printf.sprintf "policy         = %s"
         (match cfg.policy with
         | `Interp_fallback -> "interp_fallback"

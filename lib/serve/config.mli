@@ -53,6 +53,14 @@ type t = {
   metrics : metrics_sink;
   queue_capacity : int;  (** session submit-queue bound (≥ 1) *)
   max_batch : int;  (** max same-shape requests per dispatch (≥ 1) *)
+  batch_buckets : int list;
+      (** batched-compile bucket sizes, strictly ascending and starting
+          at 1 (e.g. [[1; 4; 16]]); a session compiles one engine per
+          bucket for batchable workloads and decomposes each dispatch
+          greedily into the largest buckets that fit *)
+  shards : int;
+      (** max dispatcher domains per session (≥ 1); extra shards spin up
+          when queue depth grows past the hot-session threshold *)
   policy : policy;
   journal : bool;  (** decision journal (on by default — records are rare) *)
   journal_buf : int;  (** journal ring capacity (≥ 16) *)
@@ -63,6 +71,7 @@ val default : t
     [kernel_grain = 8192], cache on with 32 entries, JIT off with an
     empty artifact dir, tracing and metrics off with a 65536-event ring,
     [queue_capacity = 256], [max_batch = 8],
+    [batch_buckets = [1; 4; 16]], [shards = 1],
     [policy = `Interp_fallback], journal on with a 4096-entry ring. *)
 
 val of_env :
@@ -71,9 +80,11 @@ val of_env :
     environment variables:
 
     - [FUNCTS_DOMAINS], [FUNCTS_GRAIN], [FUNCTS_KERNEL_GRAIN],
-      [FUNCTS_CACHE_SIZE], [FUNCTS_QUEUE], [FUNCTS_MAX_BATCH] —
-      positive integers ([FUNCTS_TRACE_BUF] and [FUNCTS_JOURNAL_BUF]
-      additionally ≥ 16);
+      [FUNCTS_CACHE_SIZE], [FUNCTS_QUEUE], [FUNCTS_MAX_BATCH],
+      [FUNCTS_SHARDS] — positive integers ([FUNCTS_TRACE_BUF] and
+      [FUNCTS_JOURNAL_BUF] additionally ≥ 16);
+    - [FUNCTS_BATCH_BUCKETS] — comma-separated bucket sizes, strictly
+      ascending, first element 1 (e.g. [1,4,16]);
     - [FUNCTS_JOURNAL] — decision-journal on/off (default on);
     - [FUNCTS_CHUNK_BYTES] — per-task cache budget in bytes for the
       parallel runtime's chunk cost model; [0] (default) probes the

@@ -8,6 +8,7 @@ type t =
   | Engine_failure of string
   | Overloaded
   | Deadline_exceeded
+  | Cancelled
   | Session_closed
   | Io_error of string
 
@@ -27,5 +28,6 @@ let to_string = function
   | Engine_failure m -> "engine failure: " ^ m
   | Overloaded -> "overloaded: the session's submit queue is full"
   | Deadline_exceeded -> "deadline exceeded before dispatch"
+  | Cancelled -> "request cancelled by the caller"
   | Session_closed -> "session is closed"
   | Io_error m -> "i/o error: " ^ m

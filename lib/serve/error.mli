@@ -17,7 +17,8 @@
       was [`Shed]);
     - {e serving} — [Overloaded] (bounded submit queue full — the
       backpressure signal), [Deadline_exceeded] (request expired under
-      the [`Shed] policy), [Session_closed] (submit after close);
+      the [`Shed] policy), [Cancelled] (the caller cancelled the ticket
+      before it executed), [Session_closed] (submit after close);
     - [Io_error] — a result file could not be read or written. *)
 
 type t =
@@ -30,6 +31,7 @@ type t =
   | Engine_failure of string
   | Overloaded
   | Deadline_exceeded
+  | Cancelled
   | Session_closed
   | Io_error of string
 

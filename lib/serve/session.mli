@@ -1,4 +1,5 @@
-(** Session-based concurrent serving of one compiled workload.
+(** Session-based concurrent serving of one compiled workload, with
+    batch-first dispatch.
 
     A session is the amortization layer the CLI lacks: [create] pays
     lowering + TensorSSA + fusion + kernel compilation {e once} (through
@@ -8,6 +9,36 @@
     system lives or dies on reusing compilation across calls — a warm
     session never recompiles (the [engine.cache.*] counters prove it).
 
+    {2 Batched dispatch}
+
+    For workloads that declare {!Workload.batching} (their program at
+    batch [n] is [n] independent copies of the batch-1 program), [create]
+    compiles one engine {e per configured bucket size}
+    ([config.batch_buckets], default [1;4;16]): the workload's program is
+    re-instantiated at [bucket × native batch], functionalized, and
+    warmed through the same shape-keyed compile cache.  The dispatcher
+    then decomposes each run of same-shape requests greedily into the
+    largest buckets that fit, {e scatters} the per-request tensors into
+    one batch-major buffer per declared input axis ({!Tensor.concat_axis}
+    — one blit per prefix block), runs the bucket engine {e once}, and
+    {e gathers} per-request outputs back with {!Tensor.split_axis}.
+    Requests only share a bucket when their shared ([None]-axis)
+    arguments are physically identical, so weights are never mixed
+    between callers.  Deadlines are re-checked as each bucket forms:
+    a member expiring mid-dispatch is degraded per policy, and the
+    remainder re-buckets (partial final buckets are normal).
+
+    {2 Sharding}
+
+    When the queue holds more than two full dispatch rounds and
+    [config.shards] allows, the session spawns additional dispatcher
+    domains.  Each extra shard owns {e private, uncached} engines
+    ([Engine.prepare ~cache:false]) — sharing one cached engine would
+    only serialize on its run mutex, and private builds leave the
+    compile-cache hit/miss counters untouched, so the warm-miss-0
+    invariant stays meaningful.  Scale-out decisions are journaled at
+    site [serve.shards].
+
     Concurrency model:
 
     - any number of producer domains may [submit] / [await] concurrently;
@@ -15,10 +46,9 @@
       (capacity [config.queue_capacity]) is full it returns
       [Error Error.Overloaded] immediately — callers decide whether to
       retry, degrade or propagate;
-    - one dispatcher domain drains the queue in {e micro-batches}: the
-      head request plus up to [config.max_batch - 1] queued requests with
-      the same input-shape signature execute against a single warm engine
-      acquisition (one compile-cache probe per batch, runs back-to-back);
+    - each dispatcher shard drains the queue in same-shape runs (the
+      head request plus queued requests with the same input-shape
+      signature, up to [max config.max_batch (largest bucket)]);
     - the engine itself may parallelize each run across the shared
       domain pool exactly as in direct [Engine.run] use.
 
@@ -29,15 +59,19 @@
 
     Observability: per-session {!stats} plus the process-wide
     [serve.*] metrics — submitted / completed / shed / overloaded /
-    deadline_expired / interp_fallbacks counters, the [serve.batch_size]
-    histogram, the per-stage latency histograms
+    deadline_expired / cancelled / interp_fallbacks counters, the
+    [serve.batch_size] and [serve.bucket_occupancy] histograms, per
+    bucket-size run counters ([serve.bucket.b1], [serve.bucket.b4], …),
+    the per-stage latency histograms
     [serve.latency.{queue_wait,batch,exec,total}_us] (observed from each
     ticket's lifecycle stamps at completion), and the
     [serve.queue_depth] / [serve.queue_depth_peak] gauges.  Tracing:
-    [serve.submit] / [serve.batch] spans, with a [serve.req] flow arrow
-    (keyed by ticket id) linking each producer's submit span to the
-    dispatcher batch span that served it.  Deadline degradations are
-    recorded in the decision journal. *)
+    [serve.submit] / [serve.batch] / [serve.bucket_run] spans, with a
+    [serve.req] flow arrow (keyed by ticket id) linking each producer's
+    submit span to the dispatcher batch span that served it.  Decision
+    journal: deadline degradations (site [serve]), bucket-chooser pins
+    and flips (site [serve.bucket]), shard scale-outs
+    (site [serve.shards]) — all replayable via [functs why]. *)
 
 open Functs_interp
 open Functs_core
@@ -45,9 +79,19 @@ open Functs_workloads
 
 type t
 
+type input
+(** One request: argument values plus an optional deadline.  Build with
+    {!input}; reusable across submits (argument tensors are never
+    written by the engine path). *)
+
 type ticket
-(** One submitted request; redeem with {!await} (exactly once each —
-    awaiting twice returns the same outcome). *)
+(** One accepted request.  Redeem with {!await} or {!poll}; abort with
+    {!cancel}.  All three are ticket-only operations — no session handle
+    needed, so a ticket can cross module boundaries on its own. *)
+
+val input : ?deadline_us:float -> Value.t list -> input
+(** [deadline_us] is relative to the eventual {!submit}; a request still
+    queued when it expires is handled per [config.policy]. *)
 
 val create :
   ?config:Config.t ->
@@ -57,22 +101,35 @@ val create :
   Workload.t ->
   (t, Error.t) result
 (** Lower and compile [workload] at the given scale (defaults to the
-    workload's own), warm the compile cache for its native input shapes,
-    and start the dispatcher.  [profile] defaults to
+    workload's own), warm the compile cache for its native input shapes
+    {e and for every configured batch bucket} (when the workload declares
+    {!Workload.batching}), and start the dispatcher.  Bucket variants
+    that fail to compile, or whose inferred output shapes do not scale by
+    the bucket factor along the declared axes, are dropped (falling back
+    as far as bucket-1-only serving).  [profile] defaults to
     {!Compiler_profile.tensorssa}.  Frontend and compiler failures come
     back as [Error.Lowering_error] / [Error.Engine_failure] — nothing
     raises. *)
 
-val submit :
-  t -> ?deadline_us:float -> Value.t list -> (ticket, Error.t) result
-(** Enqueue one request.  [deadline_us] is relative to now; a request
-    still queued when it expires is handled per [config.policy].
-    Returns [Error Overloaded] when the queue is at capacity and
-    [Error Session_closed] after {!close} was initiated. *)
+val submit : t -> input -> (ticket, Error.t) result
+(** Enqueue one request.  Returns [Error Overloaded] when the queue is at
+    capacity and [Error Session_closed] after {!close} was initiated. *)
 
-val await : t -> ticket -> (Value.t list, Error.t) result
+val await : ticket -> (Value.t list, Error.t) result
 (** Block until the request completes.  [Ok outputs] carries exactly the
-    interpreter-semantics outputs for the submitted inputs. *)
+    interpreter-semantics outputs for the submitted inputs — batched
+    dispatch is bitwise-transparent per request.  Idempotent: awaiting
+    again returns the same outcome. *)
+
+val poll : ticket -> (Value.t list, Error.t) result option
+(** Non-blocking probe: [None] while in flight, [Some outcome] once
+    completed (the same outcome {!await} returns). *)
+
+val cancel : ticket -> bool
+(** Try to abort: [true] when the request had not started executing —
+    {!await} then returns [Error Cancelled] and the dispatcher skips it.
+    [false] when the outcome was already decided (completed, degraded, or
+    racing past the point of no return); the existing outcome stands. *)
 
 val run : t -> ?deadline_us:float -> Value.t list -> (Value.t list, Error.t) result
 (** [submit] + [await] in one call (still goes through the queue, so it
@@ -91,6 +148,10 @@ val ticket_stages : ticket -> (string * float) list
     never reached (e.g. [exec] for an expired request) are absent.
     Meaningful only after {!await} returned. *)
 
+val bucket_sizes : t -> int list
+(** The bucket sizes this session actually compiled, ascending (always
+    includes 1).  [[1]] when the workload does not batch. *)
+
 val pause : t -> unit
 (** Hold the dispatcher: queued requests stay queued (submits still
     land / overflow), until {!resume} or {!close}.  For drain control
@@ -99,8 +160,8 @@ val pause : t -> unit
 val resume : t -> unit
 
 val close : t -> unit
-(** Stop accepting submits, let the dispatcher drain every queued
-    request, then join it.  Idempotent; safe from any domain. *)
+(** Stop accepting submits, let every dispatcher shard drain the queued
+    requests, then join them all.  Idempotent; safe from any domain. *)
 
 type stats = {
   submitted : int;
@@ -109,11 +170,19 @@ type stats = {
   interp_fallbacks : int;  (** requests served by the interpreter *)
   overloaded : int;  (** submits refused by the full queue *)
   deadline_expired : int;  (** requests whose deadline passed in queue *)
-  batches : int;  (** dispatcher micro-batches executed *)
+  cancelled : int;  (** tickets cancelled before execution *)
+  batches : int;  (** dispatcher same-shape dequeues *)
+  batched_runs : int;  (** engine runs that carried > 1 request *)
+  bucket_runs : (int * int) list;
+      (** occupancy → runs at that occupancy, e.g. [[(16, 12); (4, 3)]];
+          ad-hoc-shape runs count at their group size *)
+  shards : int;  (** dispatcher domains running (≥ 1) *)
   max_queue_depth : int;
 }
 
 val stats : t -> stats
+(** Every submitted ticket ends in exactly one of [completed] (possibly
+    with an error outcome) or [cancelled]. *)
 
 val attribution : t -> Functs_exec.Scheduler.attribution_row list
 (** Per-group / per-loop wall-time attribution of the engine that served
@@ -124,5 +193,5 @@ val engine_stats : t -> Functs_exec.Scheduler.stats option
 (** Scheduler stats of the most recently acquired engine. *)
 
 val shape_signature : Value.t list -> string
-(** The micro-batching key: tensor shapes (scalars as ["_"]) joined with
+(** The batching key: tensor shapes (scalars as ["_"]) joined with
     [";"].  Exposed for tests and the bench. *)

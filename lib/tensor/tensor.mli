@@ -98,6 +98,19 @@ val reshape : t -> Shape.t -> t
 (** Like {!reshape_view} but clones first when the layout requires it.  The
     result may or may not alias the input, as in PyTorch. *)
 
+val concat_axis : dim:int -> t list -> t
+(** Concatenate along [dim] into fresh contiguous storage.  All parts must
+    agree on every other dimension.  Data moves as whole [dim..last]
+    blocks via [Array.blit] — this is the serving layer's batched
+    {e scatter} (N requests into one batch-major buffer).
+    @raise Invalid_argument on an empty list or mismatched shapes. *)
+
+val split_axis : dim:int -> parts:int list -> t -> t list
+(** Inverse of {!concat_axis}: cut [t] along [dim] into fresh contiguous
+    tensors of the given extents (which must be positive and sum to the
+    axis size) — the batched {e gather} back to per-request outputs.
+    @raise Invalid_argument on a bad part list. *)
+
 (** {1 Traversal} *)
 
 val iteri : t -> (int array -> float -> unit) -> unit

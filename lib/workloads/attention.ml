@@ -62,4 +62,7 @@ let workload =
     default_seq = 64;
     program;
     inputs;
+    (* batch folds into the contracted feature dimension, so a batch-n
+       run mixes requests inside every matmul — not request-parallel *)
+    batching = None;
   }

@@ -89,4 +89,10 @@ let workload =
     default_seq = 1;
     program;
     inputs;
+    batching =
+      Some
+        {
+          Workload.input_axes = [ Some 0; Some 0; Some 0; None; None ];
+          output_axes = [ Some 0; Some 0 ];
+        };
   }

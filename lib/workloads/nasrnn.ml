@@ -44,4 +44,10 @@ let workload =
     default_seq = 64;
     program;
     inputs;
+    batching =
+      Some
+        {
+          Workload.input_axes = [ Some 1; Some 0 ];
+          output_axes = [ Some 1 ];
+        };
   }

@@ -63,4 +63,6 @@ let workload =
     default_seq = 1;
     program;
     inputs;
+    (* ignores the batch parameter entirely *)
+    batching = None;
   }

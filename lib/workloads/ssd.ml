@@ -49,4 +49,10 @@ let workload =
     default_seq = 1;
     program;
     inputs;
+    batching =
+      Some
+        {
+          Workload.input_axes = [ Some 0; None; Some 0 ];
+          output_axes = [ Some 0; Some 0 ];
+        };
   }

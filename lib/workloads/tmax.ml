@@ -45,4 +45,6 @@ let workload =
     default_seq = frames;
     program;
     inputs;
+    (* ignores the batch parameter entirely *)
+    batching = None;
   }

@@ -3,6 +3,11 @@ open Functs_interp
 
 type kind = Cv | Nlp | Attention
 
+type batching = {
+  input_axes : int option list;
+  output_axes : int option list;
+}
+
 type t = {
   name : string;
   display : string;
@@ -11,6 +16,7 @@ type t = {
   default_seq : int;
   program : batch:int -> seq:int -> Ast.program;
   inputs : batch:int -> seq:int -> Value.t list;
+  batching : batching option;
 }
 
 let graph t ~batch ~seq = Lower.program (t.program ~batch ~seq)

@@ -10,6 +10,24 @@ open Functs_interp
 
 type kind = Cv | Nlp | Attention
 
+type batching = {
+  input_axes : int option list;
+      (** Per graph parameter: the axis along which B requests concatenate
+          ([Some axis]), or [None] for an argument shared by every batch
+          member (weights, anchor tables, scalars) — shared arguments must
+          be physically equal across the members of a bucket. *)
+  output_axes : int option list;
+      (** Per graph return: the axis carrying the request dimension, to be
+          split back into per-request tensors.  [None] would mean a
+          replicated output; no current workload uses it. *)
+}
+(** A workload's declaration that its program at [~batch:n] computes
+    exactly [n] independent copies of the [~batch:1] program — one request
+    per index of the declared axes, with no cross-request reduction.  The
+    serving layer only batches workloads that opt in, because shape
+    plumbing alone cannot prove independence (e.g. attention folds the
+    batch into a contracted dimension, so scaling it mixes requests). *)
+
 type t = {
   name : string;  (** CLI identifier, e.g. ["yolov3"] *)
   display : string;  (** table label, e.g. ["YOLOv3"] *)
@@ -18,6 +36,9 @@ type t = {
   default_seq : int;
   program : batch:int -> seq:int -> Ast.program;
   inputs : batch:int -> seq:int -> Value.t list;
+  batching : batching option;
+      (** [None]: the batch parameter does not mean independent requests
+          (or is ignored); serve such workloads at batch=1 only. *)
 }
 
 val graph : t -> batch:int -> seq:int -> Functs_ir.Graph.t

@@ -80,4 +80,10 @@ let workload =
     default_seq = 1;
     program;
     inputs;
+    batching =
+      Some
+        {
+          Workload.input_axes = [ Some 1; None; None ];
+          output_axes = [ Some 1 ];
+        };
   }

@@ -120,7 +120,9 @@ test -s /tmp/functs_serve_bench.json || {
 if command -v jq >/dev/null 2>&1; then
   jq -e '.serve | (.requests > 0) and (.throughput_rps > 0)
          and (.p50_us > 0) and (.p99_us >= .p50_us)
-         and (.warm_cache_misses == 0)' \
+         and (.warm_cache_misses == 0)
+         and (.batch_buckets | type == "object" and length > 0
+              and ([.[]] | all(. >= 0)))' \
     /tmp/functs_serve_bench.json >/dev/null || {
     echo "error: serve-bench JSON invalid (jq)" >&2
     exit 1
@@ -132,10 +134,18 @@ d = json.load(open("/tmp/functs_serve_bench.json"))["serve"]
 assert d["requests"] > 0 and d["throughput_rps"] > 0
 assert d["p50_us"] > 0 and d["p99_us"] >= d["p50_us"]
 assert d["warm_cache_misses"] == 0, "warm submits recompiled"
+buckets = d["batch_buckets"]
+assert isinstance(buckets, dict) and buckets, "no batch_bucket occupancy counters"
+assert all(isinstance(v, int) and v >= 0 for v in buckets.values()), \
+    "batch_bucket occupancy counters must be non-negative ints"
 EOF
 else
   grep -q '"warm_cache_misses":0' /tmp/functs_serve_bench.json || {
     echo "error: serve-bench JSON missing warm_cache_misses:0" >&2
+    exit 1
+  }
+  grep -q '"batch_buckets"' /tmp/functs_serve_bench.json || {
+    echo "error: serve-bench JSON missing batch_bucket occupancy counters" >&2
     exit 1
   }
 fi

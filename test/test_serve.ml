@@ -1,7 +1,11 @@
 (* The serving layer: multi-domain stress (no lost / duplicated /
-   misrouted responses, outputs equal the interpreter), deadline expiry
-   under both degradation policies, backpressure on a size-1 queue, and
-   the strict Config.of_env validation. *)
+   misrouted responses, outputs equal the interpreter), batched dispatch
+   (any arrival mix decomposes into buckets whose per-request outputs are
+   bitwise-equal to batch-1 interpreter runs, including partial final
+   buckets and mid-bucket deadline expiry), the ticket API (poll /
+   cancel), shard scale-out, deadline expiry under both degradation
+   policies, backpressure on a size-1 queue, and the strict
+   Config.of_env validation. *)
 
 open Functs
 
@@ -44,10 +48,21 @@ let matches expected got =
   List.length expected = List.length got
   && List.for_all2 (Value.equal ~atol:1e-4) expected got
 
+(* Batched dispatch must be transparent per request: not "close", but
+   bitwise-identical to running the request alone. *)
+let bitwise expected got =
+  List.length expected = List.length got
+  && List.for_all2 (Value.equal ~atol:0.0) expected got
+
 let with_session ?(config = Config.default) f =
   match Functs.compile ~config ~batch ~seq (lstm ()) with
   | Error e -> Alcotest.fail (Error.to_string e)
   | Ok s -> Fun.protect ~finally:(fun () -> Session.close s) (fun () -> f s)
+
+let submit_ok s input =
+  match Session.submit s input with
+  | Ok tk -> tk
+  | Error e -> Alcotest.fail (Error.to_string e)
 
 (* --- stress: N producer domains, M submits each --- *)
 
@@ -60,6 +75,7 @@ let test_stress () =
   with_session ~config (fun s ->
       let inputs = Array.init producers perturbed_args in
       let expected = Array.map expected_for inputs in
+      let reqs = Array.map (fun args -> Session.input args) inputs in
       (* Each producer aims for [submits] accepted requests but runs
          against a deadline, not a fixed retry budget: when the queue is
          full it backs off and retries until either the submit is
@@ -74,7 +90,7 @@ let test_stress () =
         (try
            for _ = 1 to submits do
              let rec accepted () =
-               match Session.submit s inputs.(p) with
+               match Session.submit s reqs.(p) with
                | Ok tk -> tk
                | Error Error.Overloaded ->
                    if Unix.gettimeofday () > deadline then raise Exit;
@@ -84,7 +100,7 @@ let test_stress () =
              in
              let tk = accepted () in
              incr achieved;
-             match Session.await s tk with
+             match Session.await tk with
              | Ok got -> if not (matches expected.(p) got) then incr failures
              | Error e -> Alcotest.fail (Error.to_string e)
            done
@@ -112,17 +128,171 @@ let test_stress () =
       check "queue depth was bounded by capacity" true
         (st.Session.max_queue_depth <= config.Config.queue_capacity))
 
+(* --- batched dispatch: the bucket-decomposition property --- *)
+
+(* A request that can share a bucket with others: the batched-axis
+   tensors are perturbed per salt, the shared (None-axis) arguments are
+   the exact values from [shared] — bucketing requires physical
+   equality of shared args, which is what real callers get by reusing
+   one weight set. *)
+let batched_variant shared salt =
+  let axes =
+    match (lstm ()).Workload.batching with
+    | Some b -> b.Workload.input_axes
+    | None -> Alcotest.fail "lstm must declare batching"
+  in
+  List.map2
+    (fun axis v ->
+      match (axis, v) with
+      | Some _, Value.Tensor t ->
+          let t = Tensor.clone t in
+          Tensor.mapi_inplace t (fun _ x ->
+              x +. (0.013 *. float_of_int (salt + 1)));
+          Value.Tensor t
+      | _, v -> v)
+    axes shared
+
+(* Submit [n] distinct same-shape requests while the dispatcher is
+   paused (so the whole mix is queued and decomposes greedily on
+   resume), then check every response is bitwise-equal to its own
+   batch-1 interpreter run. *)
+let bucket_round s shared ~salt0 n =
+  Session.pause s;
+  let reqs = List.init n (fun i -> batched_variant shared (salt0 + i)) in
+  let tickets =
+    List.map (fun args -> (args, submit_ok s (Session.input args))) reqs
+  in
+  Session.resume s;
+  List.iter
+    (fun (args, tk) ->
+      match Session.await tk with
+      | Ok got ->
+          check "bucketed response is bitwise-equal to its solo run" true
+            (bitwise (expected_for args) got)
+      | Error e -> Alcotest.fail (Error.to_string e))
+    tickets
+
+let test_bucket_equivalence () =
+  with_session (fun s ->
+      check "the session compiled the configured buckets" true
+        (Session.bucket_sizes s = [ 1; 4; 16 ]);
+      let shared = base_args () in
+      (* arrival mixes around every bucket boundary: singles, an exact
+         bucket, partial final buckets, and a mix that uses 16+4+singles *)
+      List.iteri
+        (fun round n -> bucket_round s shared ~salt0:(round * 31) n)
+        [ 1; 3; 4; 7; 16; 23 ];
+      let st = Session.stats s in
+      check "batched engine runs happened" true (st.Session.batched_runs >= 4);
+      check "the 4-bucket was used" true
+        (List.mem_assoc 4 st.Session.bucket_runs);
+      check "the 16-bucket was used" true
+        (List.mem_assoc 16 st.Session.bucket_runs);
+      check "partial buckets fell through to singles" true
+        (List.mem_assoc 1 st.Session.bucket_runs))
+
+(* A member expiring mid-bucket degrades per policy while the rest of
+   the mix still buckets — and every response (degraded included) still
+   carries that request's own interpreter outputs. *)
+let test_bucket_mid_expiry () =
+  with_session (fun s ->
+      let shared = base_args () in
+      Session.pause s;
+      let tickets =
+        List.init 5 (fun i ->
+            let args = batched_variant shared (100 + i) in
+            let deadline_us = if i = 2 then Some 1.0 else None in
+            (args, submit_ok s (Session.input ?deadline_us args)))
+      in
+      Unix.sleepf 0.01;
+      Session.resume s;
+      List.iter
+        (fun (args, tk) ->
+          match Session.await tk with
+          | Ok got ->
+              check "expiry in the mix never corrupts a response" true
+                (matches (expected_for args) got)
+          | Error e -> Alcotest.fail (Error.to_string e))
+        tickets;
+      let st = Session.stats s in
+      check "the expired member was counted" true
+        (st.Session.deadline_expired >= 1);
+      check "the expired member degraded to the interpreter" true
+        (st.Session.interp_fallbacks >= 1);
+      check "the survivors still ran batched" true
+        (st.Session.batched_runs >= 1))
+
+(* --- the ticket API: poll and cancel --- *)
+
+let test_poll_cancel () =
+  with_session (fun s ->
+      Session.pause s;
+      let doomed = submit_ok s (Session.input (perturbed_args 3)) in
+      let kept_args = perturbed_args 4 in
+      let kept = submit_ok s (Session.input kept_args) in
+      check "poll is None while queued" true (Session.poll doomed = None);
+      check "cancel wins before dispatch" true (Session.cancel doomed);
+      check "cancel is idempotent-false after the outcome is decided" false
+        (Session.cancel doomed);
+      Session.resume s;
+      (match Session.await doomed with
+      | Error Error.Cancelled -> ()
+      | Ok _ -> Alcotest.fail "a cancelled ticket must not be served"
+      | Error e ->
+          Alcotest.failf "expected Cancelled, got %s" (Error.to_string e));
+      (match Session.await kept with
+      | Ok got ->
+          check "the neighbour of a cancelled ticket is served" true
+            (matches (expected_for kept_args) got)
+      | Error e -> Alcotest.fail (Error.to_string e));
+      check "cancel after completion is refused" false (Session.cancel kept);
+      (match Session.poll kept with
+      | Some (Ok _) -> ()
+      | Some (Error e) -> Alcotest.fail (Error.to_string e)
+      | None -> Alcotest.fail "poll must see the completed outcome");
+      let st = Session.stats s in
+      check_int "exactly one cancellation" 1 st.Session.cancelled;
+      check_int "books balance: submitted = completed + cancelled"
+        st.Session.submitted
+        (st.Session.completed + st.Session.cancelled))
+
+(* --- shard scale-out under queue pressure --- *)
+
+let test_shards () =
+  let config =
+    {
+      Config.default with
+      Config.max_batch = 1;
+      batch_buckets = [ 1 ];
+      shards = 2;
+    }
+  in
+  with_session ~config (fun s ->
+      let args = Array.init 32 (fun i -> perturbed_args i) in
+      let expected = Array.map expected_for args in
+      let tickets =
+        Array.map (fun a -> submit_ok s (Session.input a)) args
+      in
+      Array.iteri
+        (fun i tk ->
+          match Session.await tk with
+          | Ok got ->
+              check "sharded dispatch routes every response correctly" true
+                (matches expected.(i) got)
+          | Error e -> Alcotest.fail (Error.to_string e))
+        tickets;
+      let st = Session.stats s in
+      check_int "queue pressure spun up the second shard" 2 st.Session.shards;
+      check_int "no lost submissions across shards" 32 st.Session.submitted;
+      check_int "every request completed exactly once" 32 st.Session.completed)
+
 (* --- deadlines --- *)
 
 (* Pause the dispatcher so the deadline is provably expired before
    dispatch, then resume and observe the configured policy. *)
 let submit_expired s =
   Session.pause s;
-  let tk =
-    match Session.submit s ~deadline_us:1.0 (perturbed_args 7) with
-    | Ok tk -> tk
-    | Error e -> Alcotest.fail (Error.to_string e)
-  in
+  let tk = submit_ok s (Session.input ~deadline_us:1.0 (perturbed_args 7)) in
   Unix.sleepf 0.01;
   Session.resume s;
   tk
@@ -130,7 +300,7 @@ let submit_expired s =
 let test_deadline_interp_fallback () =
   with_session (fun s ->
       let tk = submit_expired s in
-      (match Session.await s tk with
+      (match Session.await tk with
       | Ok got ->
           check "fallback still returns the interpreter's outputs" true
             (matches (expected_for (perturbed_args 7)) got)
@@ -147,7 +317,7 @@ let test_deadline_shed () =
   let config = { Config.default with Config.policy = `Shed } in
   with_session ~config (fun s ->
       let tk = submit_expired s in
-      (match Session.await s tk with
+      (match Session.await tk with
       | Error Error.Deadline_exceeded -> ()
       | Ok _ -> Alcotest.fail "shed policy must not serve an expired request"
       | Error e ->
@@ -165,18 +335,14 @@ let test_overload () =
   let config = { Config.default with Config.queue_capacity = 1 } in
   with_session ~config (fun s ->
       Session.pause s;
-      let first =
-        match Session.submit s (perturbed_args 0) with
-        | Ok tk -> tk
-        | Error e -> Alcotest.fail (Error.to_string e)
-      in
-      (match Session.submit s (perturbed_args 1) with
+      let first = submit_ok s (Session.input (perturbed_args 0)) in
+      (match Session.submit s (Session.input (perturbed_args 1)) with
       | Error Error.Overloaded -> ()
       | Ok _ -> Alcotest.fail "second submit must bounce off the full queue"
       | Error e ->
           Alcotest.failf "expected Overloaded, got %s" (Error.to_string e));
       Session.resume s;
-      (match Session.await s first with
+      (match Session.await first with
       | Ok got ->
           check "the queued request is still served correctly" true
             (matches (expected_for (perturbed_args 0)) got)
@@ -189,7 +355,7 @@ let test_overload () =
 let test_submit_after_close () =
   let s = Result.get_ok (Functs.compile ~batch ~seq (lstm ())) in
   Session.close s;
-  match Session.submit s (base_args ()) with
+  match Session.submit s (Session.input (base_args ())) with
   | Error Error.Session_closed -> ()
   | Ok _ -> Alcotest.fail "a closed session must refuse submits"
   | Error e -> Alcotest.failf "expected Session_closed, got %s" (Error.to_string e)
@@ -245,6 +411,8 @@ let test_of_env_overlay () =
       ("FUNCTS_METRICS", "stderr");
       ("FUNCTS_QUEUE", "9");
       ("FUNCTS_MAX_BATCH", "2");
+      ("FUNCTS_BATCH_BUCKETS", "1,2,8");
+      ("FUNCTS_SHARDS", "3");
       ("FUNCTS_POLICY", "shed");
       ("FUNCTS_JOURNAL", "off");
       ("FUNCTS_JOURNAL_BUF", "128");
@@ -263,6 +431,8 @@ let test_of_env_overlay () =
       check "metrics stderr" true (cfg.Config.metrics = Config.Metrics_stderr);
       check_int "queue capacity" 9 cfg.Config.queue_capacity;
       check_int "max batch" 2 cfg.Config.max_batch;
+      check "batch buckets" true (cfg.Config.batch_buckets = [ 1; 2; 8 ]);
+      check_int "shards" 3 cfg.Config.shards;
       check "policy shed" true (cfg.Config.policy = `Shed);
       check "journal off" false cfg.Config.journal;
       check_int "journal buf" 128 cfg.Config.journal_buf
@@ -282,7 +452,13 @@ let test_of_env_rejects_malformed () =
   rejects [ ("FUNCTS_POLICY", "retry") ] "FUNCTS_POLICY";
   rejects [ ("FUNCTS_QUEUE", "-1") ] "FUNCTS_QUEUE";
   rejects [ ("FUNCTS_JOURNAL", "maybe") ] "FUNCTS_JOURNAL";
-  rejects [ ("FUNCTS_JOURNAL_BUF", "8") ] "FUNCTS_JOURNAL_BUF"
+  rejects [ ("FUNCTS_JOURNAL_BUF", "8") ] "FUNCTS_JOURNAL_BUF";
+  (* bucket lists: must parse, start at 1, and be strictly ascending *)
+  rejects [ ("FUNCTS_BATCH_BUCKETS", "4,16") ] "FUNCTS_BATCH_BUCKETS";
+  rejects [ ("FUNCTS_BATCH_BUCKETS", "1,16,4") ] "FUNCTS_BATCH_BUCKETS";
+  rejects [ ("FUNCTS_BATCH_BUCKETS", "1,4,4") ] "FUNCTS_BATCH_BUCKETS";
+  rejects [ ("FUNCTS_BATCH_BUCKETS", "1,x") ] "FUNCTS_BATCH_BUCKETS";
+  rejects [ ("FUNCTS_SHARDS", "0") ] "FUNCTS_SHARDS"
 
 let test_of_env_empty_means_unset () =
   match Config.of_env ~getenv:(getenv_of [ ("FUNCTS_DOMAINS", "") ]) () with
@@ -304,6 +480,7 @@ let test_error_strings () =
       Error.Engine_failure "m";
       Error.Overloaded;
       Error.Deadline_exceeded;
+      Error.Cancelled;
       Error.Session_closed;
       Error.Io_error "m";
     ]
@@ -324,6 +501,12 @@ let () =
       ( "session",
         [
           Alcotest.test_case "multi-domain stress" `Quick test_stress;
+          Alcotest.test_case "bucket decomposition is interpreter-equal"
+            `Quick test_bucket_equivalence;
+          Alcotest.test_case "mid-bucket deadline expiry" `Quick
+            test_bucket_mid_expiry;
+          Alcotest.test_case "poll and cancel" `Quick test_poll_cancel;
+          Alcotest.test_case "shard scale-out" `Quick test_shards;
           Alcotest.test_case "deadline: interp fallback" `Quick
             test_deadline_interp_fallback;
           Alcotest.test_case "deadline: shed" `Quick test_deadline_shed;
