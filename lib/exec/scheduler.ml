@@ -42,7 +42,9 @@ let jit_fallbacks_c = Metrics.counter "jit.cache.fallback"
    into the slower mode for good. *)
 type gmode =
   | Sampling of {
-      mutable j_time : float;  (* fastest native-launch sample *)
+      mutable c_time : float;  (* fastest C-lane native sample *)
+      mutable c_runs : int;
+      mutable j_time : float;  (* fastest OCaml-lane native sample *)
       mutable j_runs : int;
       mutable k_time : float;  (* fastest closure-kernel sample *)
       mutable k_runs : int;
@@ -68,8 +70,9 @@ let pin_period_max = 4096
 
 let fresh_sampling () =
   Sampling
-    { j_time = infinity; j_runs = 0; k_time = infinity; k_runs = 0;
-      p_time = infinity; p_runs = 0; p_start = 0. }
+    { c_time = infinity; c_runs = 0; j_time = infinity; j_runs = 0;
+      k_time = infinity; k_runs = 0; p_time = infinity; p_runs = 0;
+      p_start = 0. }
 
 (* Every value of the graph gets a dense frame slot at preparation time and
    each block becomes an instruction array with pre-resolved slots, so the
@@ -107,6 +110,9 @@ type group = {
          skip the native entry.  Soft — kept separate from [g_jit] so a
          later re-sampling window can promote the entry back if the
          demotion was made during a noise burst. *)
+  mutable g_lane : [ `C | `Ml ];
+      (* which native lane a [Use_kernel] pin launches; set by the
+         tuner from the fastest sampled lane, [`Ml] until then *)
   mutable g_mode : gmode;  (* auto-tuning state *)
   mutable g_pin_left : int;  (* launches before the pin expires *)
   mutable g_pin_period : int;  (* current pin budget (doubles on re-pin) *)
@@ -122,9 +128,26 @@ type group = {
   mutable g_launches : int;
 }
 
+(* Which native lane a jit launch of this group should use: the tuner's
+   pick, downgraded to whatever the entry actually compiled (a
+   launch-validation demotion clears the whole entry, but a C-only or
+   OCaml-only entry must never be asked for its missing lane). *)
+let lane_of_group g =
+  match g.g_jit with
+  | None -> `Ml
+  | Some e -> (
+      match g.g_lane with
+      | `C when Jit.has_c e -> `C
+      | _ when Jit.has_ml e -> `Ml
+      | _ -> if Jit.has_c e then `C else `Ml)
+
+let lane_arm = function `C -> "c-jit" | `Ml -> "ocaml-jit"
+
 let arm_of_group g =
   match g.g_mode with
-  | Use_kernel -> if g.g_jit <> None && not g.g_jit_off then "jit" else "closure"
+  | Use_kernel ->
+      if g.g_jit <> None && not g.g_jit_off then lane_arm (lane_of_group g)
+      else "closure"
   | Use_plain -> "per_node"
   | Sampling _ -> "sampling"
 
@@ -142,18 +165,25 @@ let retire_group_pin gid g =
   if g.g_pin_left <= 0 && not g.g_fallback then begin
     Journal.record Tuner_expire "scheduler.group" ~id:gid ~arm:(arm_of_group g)
       ~value:g.g_pin_best;
-    let jt, jr, kt, kr, pt, pr =
+    let ct, cr, jt, jr, kt, kr, pt, pr =
       match g.g_mode with
-      | Use_kernel when g.g_jit <> None && not g.g_jit_off ->
-          (g.g_pin_best, sample_runs, infinity, 0, infinity, 0)
-      | Use_kernel -> (infinity, 0, g.g_pin_best, sample_runs, infinity, 0)
-      | Use_plain -> (infinity, 0, infinity, 0, g.g_pin_best, sample_runs)
-      | Sampling _ -> (infinity, 0, infinity, 0, infinity, 0)
+      | Use_kernel when g.g_jit <> None && not g.g_jit_off -> (
+          match lane_of_group g with
+          | `C ->
+              (g.g_pin_best, sample_runs, infinity, 0, infinity, 0, infinity, 0)
+          | `Ml ->
+              (infinity, 0, g.g_pin_best, sample_runs, infinity, 0, infinity, 0)
+          )
+      | Use_kernel ->
+          (infinity, 0, infinity, 0, g.g_pin_best, sample_runs, infinity, 0)
+      | Use_plain ->
+          (infinity, 0, infinity, 0, infinity, 0, g.g_pin_best, sample_runs)
+      | Sampling _ -> (infinity, 0, infinity, 0, infinity, 0, infinity, 0)
     in
     g.g_mode <-
       Sampling
-        { j_time = jt; j_runs = jr; k_time = kt; k_runs = kr; p_time = pt;
-          p_runs = pr; p_start = 0. }
+        { c_time = ct; c_runs = cr; j_time = jt; j_runs = jr; k_time = kt;
+          k_runs = kr; p_time = pt; p_runs = pr; p_start = 0. }
   end
 
 let pin_group gid g mode =
@@ -324,8 +354,12 @@ type prepared = {
   p_exec_pool : Pool.t;  (* persistent domain pool shared by all dispatches *)
   p_loop_grain : int;  (* minimum trip count before a loop dispatches *)
   p_kernel_grain : int;  (* elements per chunk for intra-kernel splits *)
+  p_jit_mode : Jit.mode;
+      (* [C] drops the OCaml-lane arm from sampling wherever a C kernel
+         compiled, so the preference is observable end-to-end *)
   mutable s_kernel_runs : int;
   mutable s_jit_runs : int;
+  mutable s_cjit_runs : int;  (* the subset of s_jit_runs on the C lane *)
   mutable s_jit_fallbacks : int;
   mutable s_donations : int;
   mutable s_parallel_loops : int;
@@ -334,6 +368,7 @@ type prepared = {
      launch counts instead of cumulative ones *)
   mutable s_last_kernel_runs : int;
   mutable s_last_jit_runs : int;
+  mutable s_last_cjit_runs : int;
   mutable s_last_parallel_loops : int;
   mutable s_last_reduction_loops : int;
   (* The domain pool is shared process-wide, so its cumulative dispatch
@@ -586,10 +621,16 @@ let bind_group_results rs scope gid members results =
    (rank/extent mismatch, out-of-range dynamic index) demotes just the
    jit entry — the closure kernel below retries the same launch, so a
    jit fallback is never user-visible. *)
-let run_group_jit rs gid g =
+let run_group_jit ?lane rs gid g =
   match g.g_jit with
   | None -> None
   | Some entry -> (
+      let lane =
+        match lane with Some l -> l | None -> lane_of_group g
+      in
+      let use_c =
+        match lane with `C -> Jit.has_c entry | `Ml -> not (Jit.has_ml entry)
+      in
       let allocated = ref [] in
       let alloc shape =
         let t = Buffer_plan.alloc rs.p.p_pool shape in
@@ -599,7 +640,10 @@ let run_group_jit rs gid g =
       match
         Tracer.span_args "kernel.launch"
           ~args:(fun () ->
-            [ ("group", string_of_int gid); ("backend", "jit") ])
+            [
+              ("group", string_of_int gid);
+              ("backend", (if use_c then "c-jit" else "jit"));
+            ])
           (fun () ->
             let par =
               if rs.p.p_parallel then
@@ -610,11 +654,12 @@ let run_group_jit rs gid g =
                          ~grain ~n body))
               else None
             in
-            Jit.run ?par ~grain:rs.p.p_kernel_grain entry ~alloc
+            Jit.run ~lane ?par ~grain:rs.p.p_kernel_grain entry ~alloc
               ~lookup:(tensor_lookup rs) ~scalar:(scalar_lookup rs))
       with
       | results ->
           rs.p.s_jit_runs <- rs.p.s_jit_runs + 1;
+          if use_c then rs.p.s_cjit_runs <- rs.p.s_cjit_runs + 1;
           Some results
       | exception Jit.Fallback reason ->
           List.iter (Buffer_plan.release rs.p.p_pool) !allocated;
@@ -630,8 +675,8 @@ let run_group_jit rs gid g =
           List.iter (Buffer_plan.release rs.p.p_pool) !allocated;
           raise e)
 
-let run_group ?(jit = true) rs scope gid g =
-  match (if jit then run_group_jit rs gid g else None) with
+let run_group ?(jit = true) ?lane rs scope gid g =
+  match (if jit then run_group_jit ?lane rs gid g else None) with
   | Some results -> bind_group_results rs scope gid g.g_members results
   | None -> (
       let allocated = ref [] in
@@ -749,27 +794,62 @@ and exec_inst rs ~scope (inst : inst) =
                     retire_group_pin gid g
                   end
               | Sampling s -> begin
-                  (* Arms are sampled INTERLEAVED (native, closure,
-                     per-node, native, …), not in consecutive blocks: a
-                     transient slowdown spanning several launches then
-                     taxes every arm instead of condemning whichever one
-                     was being sampled.  Counters only move at [i_last],
-                     so the choice is stable across one launch's
-                     members.  The decision fires from whichever arm
-                     completes last — a seeded incumbent (see
-                     {!retire_group_pin}) may pre-satisfy any arm. *)
+                  (* Arms are sampled INTERLEAVED (c-jit, ocaml-jit,
+                     closure, per-node, c-jit, …), not in consecutive
+                     blocks: a transient slowdown spanning several
+                     launches then taxes every arm instead of condemning
+                     whichever one was being sampled.  Counters only
+                     move at [i_last], so the choice is stable across
+                     one launch's members.  The decision fires from
+                     whichever arm completes last — a seeded incumbent
+                     (see {!retire_group_pin}) may pre-satisfy any
+                     arm. *)
+                  let c_avail () =
+                    match g.g_jit with
+                    | Some e -> Jit.has_c e
+                    | None -> false
+                  in
+                  let ml_avail () =
+                    (* Under [FUNCTS_JIT=c] the OCaml lane is only the
+                       arming fallback, never a sampled challenger. *)
+                    match g.g_jit with
+                    | Some e ->
+                        Jit.has_ml e
+                        && not (rs.p.p_jit_mode = Jit.C && Jit.has_c e)
+                    | None -> false
+                  in
                   let decide () =
                     if
-                      (g.g_jit = None || s.j_runs >= sample_runs)
+                      ((not (c_avail ())) || s.c_runs >= sample_runs)
+                      && ((not (ml_avail ())) || s.j_runs >= sample_runs)
                       && s.k_runs >= sample_runs && s.p_runs >= sample_runs
                       && not g.g_fallback
                     then begin
-                      (* Closure beat the native launch: demote the jit
-                         entry for this group so [Use_kernel] sticks
-                         with the closure kernel.  Soft, so the next
-                         re-sampling window can promote it back. *)
-                      if g.g_jit <> None && s.j_runs > 0 then begin
-                        let off = s.k_time < s.j_time in
+                      (* Pick the faster native lane first, then let the
+                         closure arm challenge it.  Soft demotions, so
+                         the next re-sampling window can flip back. *)
+                      let c_t =
+                        if c_avail () && s.c_runs > 0 then s.c_time
+                        else infinity
+                      and j_t =
+                        if ml_avail () && s.j_runs > 0 then s.j_time
+                        else infinity
+                      in
+                      let jit_t = Float.min c_t j_t in
+                      if g.g_jit <> None && jit_t < infinity then begin
+                        let lane = if c_t <= j_t then `C else `Ml in
+                        if
+                          lane <> g.g_lane && c_t < infinity
+                          && j_t < infinity
+                        then
+                          Journal.record
+                            (if lane = `C then Jit_promote else Jit_demote)
+                            "scheduler.group" ~id:gid ~arm:(lane_arm lane)
+                            ~detail:
+                              (Printf.sprintf "c %.1fus vs ocaml %.1fus"
+                                 (1e6 *. c_t) (1e6 *. j_t));
+                        g.g_lane <- lane;
+                        let off = s.k_time < jit_t in
                         if off && not g.g_jit_off then begin
                           rs.p.s_jit_fallbacks <- rs.p.s_jit_fallbacks + 1;
                           Metrics.incr jit_fallbacks_c;
@@ -778,25 +858,24 @@ and exec_inst rs ~scope (inst : inst) =
                           Journal.record Jit_demote "scheduler.group" ~id:gid
                             ~arm:"closure"
                             ~detail:
-                              (Printf.sprintf
-                                 "closure %.1fus beat native %.1fus"
-                                 (1e6 *. s.k_time) (1e6 *. s.j_time))
+                              (Printf.sprintf "closure %.1fus beat %s %.1fus"
+                                 (1e6 *. s.k_time) (lane_arm lane)
+                                 (1e6 *. jit_t))
                         end
                         else if (not off) && g.g_jit_off then begin
                           Tracer.instant "jit.promoted"
                             ~args:[ ("group", string_of_int gid) ];
                           Journal.record Jit_promote "scheduler.group" ~id:gid
-                            ~arm:"jit"
+                            ~arm:(lane_arm lane)
                             ~detail:
-                              (Printf.sprintf
-                                 "native %.1fus beat closure %.1fus"
-                                 (1e6 *. s.j_time) (1e6 *. s.k_time))
+                              (Printf.sprintf "%s %.1fus beat closure %.1fus"
+                                 (lane_arm lane) (1e6 *. jit_t)
+                                 (1e6 *. s.k_time))
                         end;
                         g.g_jit_off <- off
                       end;
                       let kern =
-                        if g.g_jit <> None && s.j_runs > 0 then
-                          Float.min s.j_time s.k_time
+                        if jit_t < infinity then Float.min jit_t s.k_time
                         else s.k_time
                       in
                       pin_group gid g
@@ -809,19 +888,37 @@ and exec_inst rs ~scope (inst : inst) =
                     Journal.record Tuner_sample "scheduler.group" ~id:gid ~arm
                       ~value:(1e6 *. dt)
                   in
-                  let jit_arm =
-                    g.g_jit <> None && s.j_runs < sample_runs
-                    && s.j_runs <= s.k_runs && s.j_runs <= s.p_runs
+                  let c_arm =
+                    c_avail () && s.c_runs < sample_runs
+                    && ((not (ml_avail ())) || s.c_runs <= s.j_runs)
+                    && s.c_runs <= s.k_runs && s.c_runs <= s.p_runs
                   in
-                  if jit_arm then begin
+                  let jit_arm =
+                    (not c_arm)
+                    && ml_avail ()
+                    && s.j_runs < sample_runs && s.j_runs <= s.k_runs
+                    && s.j_runs <= s.p_runs
+                  in
+                  if c_arm then begin
                     (* A launch-time validation failure demotes [g_jit]
                        mid-sampling; the remaining native samples then
                        simply never happen. *)
                     if inst.i_last then begin
                       let t0 = Unix.gettimeofday () in
-                      run_group rs scope gid g;
+                      run_group ~lane:`C rs scope gid g;
                       let dt = Unix.gettimeofday () -. t0 in
-                      sample "jit" dt;
+                      sample "c-jit" dt;
+                      s.c_time <- Float.min s.c_time dt;
+                      s.c_runs <- s.c_runs + 1;
+                      decide ()
+                    end
+                  end
+                  else if jit_arm then begin
+                    if inst.i_last then begin
+                      let t0 = Unix.gettimeofday () in
+                      run_group ~lane:`Ml rs scope gid g;
+                      let dt = Unix.gettimeofday () -. t0 in
+                      sample "ocaml-jit" dt;
                       s.j_time <- Float.min s.j_time dt;
                       s.j_runs <- s.j_runs + 1;
                       decide ()
@@ -1545,6 +1642,10 @@ let prepare ~profile ~parallel ~domains ~pool:exec_pool ~loop_grain
                 g_compiled = c;
                 g_jit = Hashtbl.find_opt jit_tbl gid;
                 g_jit_off = false;
+                g_lane =
+                  (match Hashtbl.find_opt jit_tbl gid with
+                  | Some e when Jit.has_c e && not (Jit.has_ml e) -> `C
+                  | _ -> `Ml);
                 g_mode = fresh_sampling ();
                 g_pin_left = 0;
                 g_pin_period = 0;
@@ -1593,14 +1694,17 @@ let prepare ~profile ~parallel ~domains ~pool:exec_pool ~loop_grain
     p_exec_pool = exec_pool;
     p_loop_grain = max 1 loop_grain;
     p_kernel_grain = max 1 kernel_grain;
+    p_jit_mode = jit;
     s_kernel_runs = 0;
     s_jit_runs = 0;
+    s_cjit_runs = 0;
     s_jit_fallbacks = 0;
     s_donations = 0;
     s_parallel_loops = 0;
     s_reduction_loops = 0;
     s_last_kernel_runs = 0;
     s_last_jit_runs = 0;
+    s_last_cjit_runs = 0;
     s_last_parallel_loops = 0;
     s_last_reduction_loops = 0;
     s_pool_dispatches = 0;
@@ -1629,6 +1733,7 @@ let run p args =
   and il0 = Pool.inline_runs p.p_exec_pool in
   let kr0 = p.s_kernel_runs
   and jr0 = p.s_jit_runs
+  and cr0 = p.s_cjit_runs
   and pl0 = p.s_parallel_loops
   and rl0 = p.s_reduction_loops in
   Fun.protect ~finally:(fun () ->
@@ -1647,6 +1752,7 @@ let run p args =
         p.s_pool_inline_runs + Pool.inline_runs p.p_exec_pool - il0;
       p.s_last_kernel_runs <- p.s_kernel_runs - kr0;
       p.s_last_jit_runs <- p.s_jit_runs - jr0;
+      p.s_last_cjit_runs <- p.s_cjit_runs - cr0;
       p.s_last_parallel_loops <- p.s_parallel_loops - pl0;
       p.s_last_reduction_loops <- p.s_reduction_loops - rl0)
   @@ fun () ->
@@ -1707,11 +1813,14 @@ type stats = {
   jit_groups : int;  (* groups armed with a native launch fn *)
   jit_runs : int;
   jit_fallbacks : int;  (* runtime demotions back to the closure arm *)
+  cjit_groups : int;  (* armed groups that also compiled a C-lane kernel *)
+  cjit_runs : int;  (* the subset of jit_runs launched on the C lane *)
   loops_pinned_inline : int;
   loops_pinned_dispatch : int;
   loops_pinned_seq : int;  (* batched loops pinned back to sequential *)
   last_kernel_runs : int;
   last_jit_runs : int;
+  last_cjit_runs : int;
   last_parallel_loops : int;
   last_reduction_loops : int;
   pool_lanes : int;
@@ -1753,11 +1862,16 @@ let stats p =
     jit_groups = count (fun g -> g.g_jit <> None && not g.g_jit_off);
     jit_runs = p.s_jit_runs;
     jit_fallbacks = p.s_jit_fallbacks;
+    cjit_groups =
+      count (fun g ->
+          match g.g_jit with Some e -> Jit.has_c e | None -> false);
+    cjit_runs = p.s_cjit_runs;
     loops_pinned_inline = !pin_i;
     loops_pinned_dispatch = !pin_d;
     loops_pinned_seq = !pin_s;
     last_kernel_runs = p.s_last_kernel_runs;
     last_jit_runs = p.s_last_jit_runs;
+    last_cjit_runs = p.s_last_cjit_runs;
     last_parallel_loops = p.s_last_parallel_loops;
     last_reduction_loops = p.s_last_reduction_loops;
     pool_lanes = Pool.lanes p.p_exec_pool;

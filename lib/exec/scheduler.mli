@@ -83,11 +83,14 @@ type stats = {
   jit_groups : int;  (** groups currently armed with a native launch fn *)
   jit_runs : int;  (** native kernel launches so far *)
   jit_fallbacks : int;  (** runtime demotions back to the closure arm *)
+  cjit_groups : int;  (** armed groups that also compiled a C-lane kernel *)
+  cjit_runs : int;  (** the subset of [jit_runs] launched on the C lane *)
   loops_pinned_inline : int;  (** batched loops the tuner pinned inline *)
   loops_pinned_dispatch : int;  (** … pinned to pool dispatch *)
   loops_pinned_seq : int;  (** … pinned back to the sequential fused path *)
   last_kernel_runs : int;  (** kernel launches in the most recent run *)
   last_jit_runs : int;  (** native launches in the most recent run *)
+  last_cjit_runs : int;  (** C-lane launches in the most recent run *)
   last_parallel_loops : int;  (** batched loops in the most recent run *)
   last_reduction_loops : int;  (** reduction loops in the most recent run *)
   pool_lanes : int;  (** worker lanes in the shared domain pool *)
@@ -118,8 +121,9 @@ type attribution_row = {
   at_id : int;  (** fusion-group gid, or the loop node's id *)
   at_kind : [ `Group | `Loop ];
   at_arm : string;
-      (** current dispatch arm: [jit]/[closure]/[per_node]/[sampling]
-          for groups, [inline]/[dispatch]/[seq]/[sampling] for loops *)
+      (** current dispatch arm:
+          [c-jit]/[ocaml-jit]/[closure]/[per_node]/[sampling] for
+          groups, [inline]/[dispatch]/[seq]/[sampling] for loops *)
   at_members : int;  (** member instructions (groups) / body size (loops) *)
   at_time_s : float;  (** accumulated launch wall time *)
   at_launches : int;

@@ -1,21 +1,27 @@
 (** Native JIT backend driver: renders an engine preparation's fused
-    kernels to OCaml source ({!Jit_emit}), compiles/loads them through
-    the on-disk artifact cache ({!Jit_cache}), and launches them with
-    per-run validation.
+    kernels to OCaml source ({!Jit_emit}) plus, for the C-eligible
+    subset, a C unit ({!Jit_emit_c}); compiles/loads both through the
+    on-disk artifact cache ({!Jit_cache}); and launches them with
+    per-run validation.  Both lanes share one launch layout, so a group
+    entry carries up to two function pointers and the scheduler flips
+    lanes per launch.
 
     Failure never crosses the engine API: {!prepare_groups} records
     every failure (missing toolchain, emitter rejection, compile error)
-    as a [jit.cache.fallback] tick and returns the groups that did
-    arm; {!run} raises only {!Fallback}, which the scheduler converts
-    into a closure-kernel launch for that group. *)
+    as a [jit.cache.fallback] / [jit.c.fallback] tick and returns the
+    groups that did arm; {!run} raises only {!Fallback}, which the
+    scheduler converts into a closure-kernel launch for that group. *)
 
 open Functs_ir
 open Functs_tensor
 open Functs_core
 
-type mode = Off | On | Auto
-(** [Auto] falls back gracefully per group; [On] attempts JIT
-    unconditionally (failures still only fall back); [Off] disables. *)
+type mode = Off | On | Auto | C | Ocaml
+(** [Auto]/[On] arm both lanes and let the tuner pick per group ([On]
+    attempts JIT unconditionally; failures still only fall back). [C]
+    prefers the C lane wherever a group compiled one (OCaml stays the
+    demotion target); [Ocaml] disables the C lane; [Off] disables the
+    JIT. *)
 
 val mode_of_string : string -> mode option
 val mode_to_string : mode -> string
@@ -25,6 +31,12 @@ val version : int
 
 val set_compiler : string -> unit
 val toolchain_available : unit -> bool
+
+val set_c_compiler : string -> unit
+(** Override the C-lane compiler (default ["cc"]; [FUNCTS_JIT_CC]
+    overrides through [Config.of_env]). *)
+
+val c_toolchain_available : unit -> bool
 val clear_loaded : unit -> unit
 
 val default_dir : unit -> string
@@ -35,7 +47,14 @@ val resolve_dir : string -> string
 (** [""] resolves to {!default_dir}. *)
 
 type entry
-(** One JIT-armed group: its launch function plus per-engine scratch. *)
+(** One JIT-armed group: its launch function(s) plus per-engine
+    scratch. *)
+
+val has_c : entry -> bool
+(** Whether this group compiled a C-lane kernel. *)
+
+val has_ml : entry -> bool
+(** Whether this group loaded an OCaml-lane launch function. *)
 
 val prepare_groups :
   mode:mode ->
@@ -45,11 +64,12 @@ val prepare_groups :
   (int * entry) list
 (** Emit, compile (or load from cache) and arm the given kernels;
     returns [(group id, entry)] for each kernel that made it to native
-    code.  Never raises. *)
+    code on at least one lane.  Never raises. *)
 
 exception Fallback of string
 
 val run :
+  ?lane:[ `C | `Ml ] ->
   ?par:
     (grain:int ->
     bytes_per_iter:int ->
@@ -64,7 +84,9 @@ val run :
   (Graph.value * Tensor.t * bool) list
 (** Launch one group natively; same contract as
     [Kernel_compile.run] (statement results in order, stored flag per
-    statement).  [par] — typically [Pool.parallel_for] partially applied
+    statement).  [lane] (default [`Ml]) picks which compiled lane to
+    launch; a group armed with only one lane always launches that one.
+    [par] — typically [Pool.parallel_for] partially applied
     by the scheduler — must cover [0, n) with disjoint [body lo hi]
     calls; each statement whose output holds at least [2 * grain]
     elements ([grain] defaults to 8192) then splits its outermost baked

@@ -31,30 +31,55 @@ module Metrics = Functs_obs.Metrics
    split a statement's outermost loop across pool tasks. *)
 let version = 2
 
+(* The C lane has its own emitter version: its artifacts are [.so]
+   files produced by [cc] from [Jit_emit_c] output, independent of the
+   OCaml lane's [.cmxs] stream.  The artifact digest covers the kernel
+   bodies; changes to the fixed source wrapper must bump this stamp.
+   cv2: entry points return a guard status (0 ok, nonzero = a
+   dynamically-indexed read would have gone out of bounds), and buffer
+   lengths ride in an ints tail.  cv3: simd declarations route
+   transcendentals through libmvec.  cv4: clone set capped at AVX2 —
+   the launches here are too short for 512-bit lanes to pay for
+   themselves (measured call times were flat), and skipping the
+   avx512f clone sidesteps its downclocking risk on server parts. *)
+let c_version = 4
+
 type fn = float array array -> int array -> int -> int -> int -> unit
+
+(* A C-lane kernel: index [c_idx] of one artifact's launch table.  The
+   table pointer is a raw [dlsym] result (never freed, like Dynlink'd
+   code), so the handle is just a nativeint. *)
+type cfn = { c_tbl : nativeint; c_idx : int }
+
+external cjit_load : string -> string -> int -> nativeint = "functs_cjit_load"
+external cjit_last_error : unit -> string = "functs_cjit_error"
+
+external cjit_call :
+  nativeint -> int -> float array array -> int array -> int -> int -> int ->
+  int = "functs_cjit_call_bytecode" "functs_cjit_call"
+[@@noalloc]
+
+let call_c c bufs ints stmt lo hi = cjit_call c.c_tbl c.c_idx bufs ints stmt lo hi
 
 let hit_c = Metrics.counter "jit.cache.hit"
 let miss_c = Metrics.counter "jit.cache.miss"
 let compiles_c = Metrics.counter "jit.compiles"
 let evicted_c = Metrics.counter "jit.cache.evicted"
+let c_hit_c = Metrics.counter "jit.c.hit"
+let c_miss_c = Metrics.counter "jit.c.miss"
+let c_compiles_c = Metrics.counter "jit.c.compiles"
+let c_evicted_c = Metrics.counter "jit.c.evicted"
 
-let compiler = ref "ocamlfind ocamlopt"
-let probe : bool option ref = ref None
-
-let set_compiler cmd =
-  compiler := cmd;
-  probe := None
-
-let toolchain_available () =
-  match !probe with
-  | Some b -> b
-  | None ->
-      let ok = Sys.command (!compiler ^ " -version >/dev/null 2>&1") = 0 in
-      probe := Some ok;
-      ok
+(* Both lane probes live in [Toolchain] behind one memo table; these
+   are the historical entry points. *)
+let set_compiler = Toolchain.set_ocaml_compiler
+let toolchain_available = Toolchain.ocaml_available
+let set_c_compiler = Toolchain.set_c_compiler
+let c_toolchain_available = Toolchain.c_available
 
 let lock = Mutex.create ()
 let loaded : (string, fn array) Hashtbl.t = Hashtbl.create 8
+let loaded_c : (string, nativeint) Hashtbl.t = Hashtbl.create 8
 let prepared_dirs : (string, unit) Hashtbl.t = Hashtbl.create 4
 
 (* Test hook: forgetting the in-process tables simulates a fresh
@@ -62,13 +87,19 @@ let prepared_dirs : (string, unit) Hashtbl.t = Hashtbl.create 4
 let clear_loaded () =
   Mutex.protect lock (fun () ->
       Hashtbl.reset loaded;
+      Hashtbl.reset loaded_c;
       Hashtbl.reset prepared_dirs)
 
 let prefix = "functs_jit_v"
+let c_prefix = "functs_cjit_v"
 let artifact_base digest = Printf.sprintf "%s%d_%s" prefix version digest
 let artifact_name digest = artifact_base digest ^ ".cmxs"
 let artifact_path ~dir ~digest = Filename.concat dir (artifact_name digest)
 let header digest = Printf.sprintf "functs-jit/v%d/%s" version digest
+let c_artifact_base digest = Printf.sprintf "%s%d_%s" c_prefix c_version digest
+let c_artifact_name digest = c_artifact_base digest ^ ".so"
+let c_artifact_path ~dir ~digest = Filename.concat dir (c_artifact_name digest)
+let c_header digest = Printf.sprintf "functs-cjit/v%d/%s" c_version digest
 
 let rec mkdir_p d =
   if d = "" || d = "/" || d = "." || Sys.file_exists d then ()
@@ -88,9 +119,17 @@ let evict_stale dir =
   | exception _ -> ()
   | files ->
       let keep = Printf.sprintf "%s%d_" prefix version in
+      let c_keep = Printf.sprintf "%s%d_" c_prefix c_version in
       Array.iter
         (fun f ->
-          if starts_with ~p:prefix f && not (starts_with ~p:keep f) then (
+          if starts_with ~p:c_prefix f && not (starts_with ~p:c_keep f) then (
+            try
+              Sys.remove (Filename.concat dir f);
+              Metrics.incr c_evicted_c;
+              Functs_obs.Journal.record Cache_evict "jit.c.artifact_cache"
+                ~detail:f
+            with _ -> ())
+          else if starts_with ~p:prefix f && not (starts_with ~p:keep f) then (
             try
               Sys.remove (Filename.concat dir f);
               Metrics.incr evicted_c;
@@ -153,8 +192,9 @@ let compile_artifact ~dir ~digest ~source =
       close_out oc;
       let out = Filename.concat build (base ^ ".cmxs") in
       let log = Filename.concat build "ocamlopt.log" in
+      let compiler = Toolchain.ocaml_compiler () in
       let cmd =
-        Printf.sprintf "%s -shared -w -a -o %s %s > %s 2>&1" !compiler
+        Printf.sprintf "%s -shared -w -a -o %s %s > %s 2>&1" compiler
           (Filename.quote out) (Filename.quote src) (Filename.quote log)
       in
       let rc = Sys.command cmd in
@@ -167,7 +207,7 @@ let compile_artifact ~dir ~digest ~source =
       if rc <> 0 then begin
         let excerpt = read_excerpt log in
         cleanup ();
-        Error (Printf.sprintf "%s failed (rc %d): %s" !compiler rc excerpt)
+        Error (Printf.sprintf "%s failed (rc %d): %s" compiler rc excerpt)
       end
       else begin
         Metrics.incr compiles_c;
@@ -274,4 +314,128 @@ let get_or_build ~dir ~digest ~source ~nfns =
                     | Ok () -> finish final
                     | Error e -> Error e)
         end
+      end
+
+(* ---- C lane -------------------------------------------------------- *)
+
+(* [-ffp-contract=off] keeps every multiply-add as two IEEE operations
+   (bitwise parity with the interpreter, same discipline as
+   gemm_stubs.c); [-fno-math-errno]/[-fno-trapping-math] change no bit
+   patterns but let GCC vectorise sqrt/div.  Transcendental calls are
+   the one sanctioned departure from bitwise: the generated unit
+   declares simd variants of exp/log/tanh/pow, so the first compile
+   attempt links [-lmvec] (glibc's vector libm, <= 4 ulp of scalar);
+   when that link fails the retry defines [FUNCTS_NO_VECLIBM] and the
+   same source compiles back down to bitwise scalar libm. *)
+let c_compile_flags =
+  "-O3 -shared -fPIC -ffp-contract=off -fno-math-errno -fno-trapping-math"
+
+let compile_c_artifact ~dir ~digest ~source =
+  Tracer.span "jit.c.compile" @@ fun () ->
+  let base = c_artifact_base digest in
+  let final = c_artifact_path ~dir ~digest in
+  let build =
+    Filename.concat dir
+      (Printf.sprintf "build-%d-c-%s" (Unix.getpid ()) digest)
+  in
+  try
+    mkdir_p build;
+    if not (Sys.file_exists build && Sys.is_directory build) then
+      Error ("cannot create build directory " ^ build)
+    else begin
+      let src = Filename.concat build (base ^ ".c") in
+      let oc = open_out src in
+      output_string oc source;
+      close_out oc;
+      let out = Filename.concat build (base ^ ".so") in
+      let log = Filename.concat build "cc.log" in
+      let compiler = Toolchain.c_compiler () in
+      let attempt extra libs =
+        Sys.command
+          (Printf.sprintf "%s %s %s -o %s %s %s > %s 2>&1" compiler
+             c_compile_flags extra (Filename.quote out) (Filename.quote src)
+             libs (Filename.quote log))
+      in
+      let rc =
+        match attempt "" "-lmvec -lm" with
+        | 0 -> 0
+        | _ -> attempt "-DFUNCTS_NO_VECLIBM" "-lm"
+      in
+      let cleanup () =
+        Array.iter
+          (fun f -> try Sys.remove (Filename.concat build f) with _ -> ())
+          (try Sys.readdir build with _ -> [||]);
+        try Unix.rmdir build with _ -> ()
+      in
+      if rc <> 0 then begin
+        let excerpt = read_excerpt log in
+        cleanup ();
+        Error (Printf.sprintf "%s failed (rc %d): %s" compiler rc excerpt)
+      end
+      else begin
+        Metrics.incr c_compiles_c;
+        match Sys.rename out final with
+        | () ->
+            cleanup ();
+            Ok ()
+        | exception e ->
+            cleanup ();
+            Error ("artifact install: " ^ Printexc.to_string e)
+      end
+    end
+  with e -> Error ("artifact compile: " ^ Printexc.to_string e)
+
+let load_c_artifact path ~expect_header ~nfns =
+  Tracer.span "jit.c.load" @@ fun () ->
+  let tbl = cjit_load path expect_header nfns in
+  if tbl = 0n then Error (Printf.sprintf "%s: %s" path (cjit_last_error ()))
+  else Ok tbl
+
+(* Same shape as [get_or_build], over the dlopen lane: memo table, disk
+   hit, lockfile-serialized compile, every failure an [Error _].  Works
+   in bytecode hosts too — nothing here touches Dynlink. *)
+let get_or_build_c ~dir ~digest ~source ~nfns =
+  Mutex.protect lock @@ fun () ->
+  match Hashtbl.find_opt loaded_c digest with
+  | Some tbl ->
+      Metrics.incr c_hit_c;
+      Ok tbl
+  | None ->
+      (try mkdir_p dir with _ -> ());
+      if not (Hashtbl.mem prepared_dirs dir) then begin
+        Hashtbl.replace prepared_dirs dir ();
+        evict_stale dir
+      end;
+      let expect_header = c_header digest in
+      let final = c_artifact_path ~dir ~digest in
+      let finish path =
+        match load_c_artifact path ~expect_header ~nfns with
+        | Ok tbl ->
+            Hashtbl.replace loaded_c digest tbl;
+            Ok tbl
+        | Error e ->
+            (try Sys.remove path with _ -> ());
+            Error e
+      in
+      if Sys.file_exists final then begin
+        Metrics.incr c_hit_c;
+        finish final
+      end
+      else if not (c_toolchain_available ()) then
+        Error "C toolchain unavailable"
+      else begin
+        Metrics.incr c_miss_c;
+        let lockpath = final ^ ".lock" in
+        match acquire_or_wait ~lockpath ~final with
+        | `Appeared -> finish final
+        | `Timeout -> Error "timed out waiting for concurrent compile"
+        | `Acquired ->
+            Fun.protect
+              ~finally:(fun () -> try Sys.remove lockpath with _ -> ())
+              (fun () ->
+                if Sys.file_exists final then finish final
+                else
+                  match compile_c_artifact ~dir ~digest ~source with
+                  | Ok () -> finish final
+                  | Error e -> Error e)
       end

@@ -11,16 +11,39 @@
 
     Counters: [jit.cache.hit] (memo or disk), [jit.cache.miss] (compile
     needed), [jit.compiles] (actual compiler invocations),
-    [jit.cache.evicted].  Spans: [jit.compile], [jit.load]. *)
+    [jit.cache.evicted].  Spans: [jit.compile], [jit.load].
+
+    The C lane stores [.so] artifacts named
+    [functs_cjit_v<c_version>_<digest>.so] in the same directory,
+    compiled by [cc] from {!Jit_emit_c} output and loaded with dlopen
+    through the [cjit_stubs.c] host stubs; it shares the lockfile and
+    eviction machinery and mirrors the counters as [jit.c.hit],
+    [jit.c.miss], [jit.c.compiles], [jit.c.evicted] with spans
+    [jit.c.compile], [jit.c.load].  It never touches Dynlink, so it
+    works in bytecode hosts and on boxes without ocamlfind. *)
 
 val version : int
 (** Codegen version stamp baked into artifact names and headers. *)
+
+val c_version : int
+(** Same, for the C lane's [.so] artifact stream. *)
 
 type fn = float array array -> int array -> int -> int -> int -> unit
 (** A compiled kernel launcher (see {!Jit_emit} for the layout):
     [fn bufs ints stmt lo hi] runs statement [stmt] for rows [lo, hi)
     of its outermost baked loop (the full extent when launched
     sequentially). *)
+
+type cfn = { c_tbl : nativeint; c_idx : int }
+(** A C-lane kernel: index [c_idx] of a dlopen'd artifact's launch
+    table.  The table pointer lives for the process lifetime. *)
+
+val call_c : cfn -> float array array -> int array -> int -> int -> int -> int
+(** [call_c c bufs ints stmt lo hi] — the {!fn} contract over a C-lane
+    kernel (raw [double*] views of the float arrays, untagged ints).
+    Returns the kernel's guard status: [0] on success, nonzero when a
+    dynamically-indexed read would have left its buffer — the caller
+    must discard the launch (the driver raises [Jit.Fallback]). *)
 
 val set_compiler : string -> unit
 (** Override the compiler command (default ["ocamlfind ocamlopt"]);
@@ -30,9 +53,20 @@ val set_compiler : string -> unit
 val toolchain_available : unit -> bool
 (** Whether the compiler command answers [-version] (memoized). *)
 
+val set_c_compiler : string -> unit
+(** Same, for the C lane (default ["cc"]; [FUNCTS_JIT_CC] overrides
+    through [Config.of_env]). *)
+
+val c_toolchain_available : unit -> bool
+(** Whether the C compiler answers [--version] (memoized). *)
+
 val artifact_path : dir:string -> digest:string -> string
+val c_artifact_path : dir:string -> digest:string -> string
 val header : string -> string
 (** The handshake header an artifact of this digest must present. *)
+
+val c_header : string -> string
+(** Same, for C-lane artifacts ([functs_cjit_header] contents). *)
 
 val get_or_build :
   dir:string ->
@@ -42,6 +76,16 @@ val get_or_build :
   (fn array, string) result
 (** Resolve a launch table for [digest], compiling [source] at most
     once per digest across processes.  Never raises. *)
+
+val get_or_build_c :
+  dir:string ->
+  digest:string ->
+  source:string ->
+  nfns:int ->
+  (nativeint, string) result
+(** Resolve a C-lane launch table (the raw table pointer; wrap each
+    index in a {!cfn}).  Same memo/disk/lockfile discipline as
+    {!get_or_build}.  Never raises. *)
 
 val clear_loaded : unit -> unit
 (** Test hook: drop the in-process memo (and per-directory eviction

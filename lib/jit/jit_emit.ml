@@ -316,10 +316,14 @@ let rec emit_expr env (e : Codegen.cexpr) : string =
           Printf.sprintf "(if Float.equal %s %s then 1.0 else 0.0)" sx sy
     end
   | Ccond (conds, t, e) ->
+      (* explicit sequencing: the C emitter mirrors this walk to pair up
+         read sites, so discovery order must not hang on argument
+         evaluation order *)
       let genv = { env with guarded = true } in
-      Printf.sprintf "(if %s then %s else %s)"
-        (String.concat " && " (List.map (emit_cond env) conds))
-        (emit_expr genv t) (emit_expr genv e)
+      let sc = String.concat " && " (List.map (emit_cond env) conds) in
+      let st = emit_expr genv t in
+      let se = emit_expr genv e in
+      Printf.sprintf "(if %s then %s else %s)" sc st se
   | Creduce _ -> fail "non-root reduction"
 
 (* The statement root: a [Creduce] becomes an accumulator loop with the

@@ -46,5 +46,12 @@ type emitted = {
 val nbufs : emitted -> int
 (** Required length of the bufs array: statement outputs then sites. *)
 
+val ident_ok : string -> bool
+(** The index-identifier discipline shared with [Kernel_compile] (and
+    mirrored by {!Jit_emit_c}). *)
+
+val index_dim : rank:int -> string -> int option
+(** [i<d>] names the output loop variable of dimension [d] (< rank). *)
+
 val emit : Codegen.kernel -> shapes:Shape_infer.result -> (emitted, string) result
 (** Render one kernel, or explain why it cannot be JIT-compiled. *)

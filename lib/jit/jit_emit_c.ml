@@ -1,0 +1,619 @@
+open Functs_ir
+open Functs_tensor
+open Functs_core
+open Codegen
+
+(* Lowers one fused kernel to C behind the same v2 ABI as the OCaml
+   emitter ([Jit_emit]): per statement, a flat nested loop over the baked
+   output shape with [lo, hi) splitting the outermost dimension, reads
+   and writes through caller-bound buffers.  The generated unit is
+   standalone C over <math.h> — it never includes OCaml runtime headers,
+   so the lane works on boxes with a C compiler but no ocamlfind — and
+   is compiled with [-ffp-contract=off] so every emitted operation maps
+   to exactly the IEEE operation the interpreter performs (the same
+   discipline as [gemm_stubs.c]).
+
+   Layout is not re-derived: the emitter walks the kernel in the same
+   order as [Jit_emit] and consumes the OCaml [emitted] metadata
+   ([expect]) site by site, taking each site's ints position and the
+   per-statement output position from it.  Each pairing is verified
+   (same tensor, same rank, statically bounded); any mismatch rejects
+   the kernel, which merely keeps the group on the OCaml lane.  Because
+   the two lanes share one layout, the driver binds launch arguments
+   once and either lane can consume them — demotion swaps a function
+   pointer, never a calling convention.
+
+   Where the OCaml emitter hoists per-term index partial sums, this one
+   exploits that the index grammar ([Codegen.ix]) is purely affine:
+   every site address decomposes into a hoisted base (offset plus
+   constant parts) plus one integer coefficient per loop variable, all
+   computed once per statement from [ints].  The innermost loop is
+   emitted twice behind a runtime guard on the innermost coefficients:
+   when every innermost-dependent site has stride 1 the fast variant
+   indexes [b[p + i]] — contiguous, so GCC/Clang auto-vectorise it — and
+   otherwise a generic [b[p + i*c]] variant runs.  Both orders are
+   element-identical, so the guard never changes results.  Root [`Sum]
+   reductions additionally block the innermost *output* dimension by 4
+   with independent accumulators: each output element still sums its
+   reduction terms in ascending order (bitwise identical to the scalar
+   loop), but the four chains break the serial FP-add dependence and
+   SLP-vectorise on the unit-stride path.
+
+   Free scalars (dynamic select/slice operands) are supported: a scalar
+   is just another affine term whose value arrives in the ints tail at
+   launch, so it folds into the hoisted per-site base offset.  Safety
+   differs from the OCaml lane, though — there, a dynamic index goes
+   through checked [Array.get] and an out-of-range scalar surfaces as
+   [Invalid_argument], which the driver converts to [Jit.Fallback].  C
+   has no checked access, so every dynamically-indexed site instead
+   gets an emitted {e launch guard}: the min/max flat index over the
+   full (baked) iteration space is computed from the actual strides and
+   scalar values in a handful of integer ops, compared against the
+   buffer length the driver passes at [ints[e_nints + slot]], and the
+   kernel returns a nonzero status instead of touching memory when the
+   range does not fit.  Because an unguarded site is evaluated at every
+   iteration point (no short-circuit around it), the full-space range is
+   exact: the guard trips iff the OCaml lane would have raised somewhere
+   in the launch.  The driver maps a nonzero status to the same
+   [Fallback].
+
+   [Ccond] bodies lower to the C ternary, which short-circuits exactly
+   like the OCaml [if]; conditions compare integer index expressions,
+   so the operators agree between lanes.  Reads inside a branch may
+   never execute at a given point, so instead of the launch guard they
+   mirror the OCaml lane's checked [Array.get] with a per-access range
+   check that returns the guard status.
+
+   C-eligibility is a strict subset of OCaml-eligibility, keeping the
+   C -> OCaml -> closure demotion ladder intact.  Rejected here (the
+   group stays on the OCaml lane):
+   - [Max]/[Min]/[Eq] binaries and [`Max] reductions: [Float.max]/
+     [Float.min]/[Float.equal] have their own NaN and signed-zero rules
+     that C's fmax/fmin/== do not share (the [gemm_stubs.c] carve-out).
+   - NaN literals: payload bits are not portable across emitters.
+   [Relu] is hand-spelled to match [Float.max 0.0 x] exactly; Neg, Abs,
+   Exp, Log, Sqrt, Tanh, Pow, Sigmoid, Add, Sub, Mul, Div, Lt and Gt
+   map to the same libm symbols / IEEE operations the OCaml lane
+   compiles to. *)
+
+exception Reject of string
+
+let fail fmt = Format.kasprintf (fun msg -> raise (Reject msg)) fmt
+
+type cemitted = {
+  c_group : int;
+  c_name : string;
+  c_fn : string;
+      (* body of "long k(double **bufs, const long *ints, long stmt,
+         long lo, long hi)" — one switch case per statement, returning
+         0 or a nonzero dynamic-index guard status *)
+}
+
+(* Hex float literals are exact in C99 just as %h is in OCaml. *)
+let float_lit f =
+  if Float.is_nan f then fail "NaN literal stays on the OCaml lane"
+  else if f = Float.infinity then "(1.0 / 0.0)"
+  else if f = Float.neg_infinity then "(-1.0 / 0.0)"
+  else Printf.sprintf "(%h)" f
+
+type env = {
+  rank : int;
+  nstmts : int;
+  shape : int array;  (* the statement's baked output shape *)
+  nints : int;  (* [e_nints]; buffer lengths ride at [nints + slot] *)
+  scalar_pos : int;  (* ints position of the first free scalar *)
+  scalars : string array;  (* free scalar symbols, ints-tail order *)
+  red : (string * int) option;  (* reduction variable and extent *)
+  guarded : bool;
+      (* inside a [Ccond] branch: reads there may never execute at a
+         given point, so they get per-access checks instead of the
+         full-range launch guard (which would trip spuriously) *)
+  pending : Jit_emit.esite list ref;
+      (* this statement's OCaml sites in discovery order, consumed as
+         the mirrored walk reaches each read *)
+  site_binds : Buffer.t;
+  level_binds : string list ref array;  (* hoists for loop levels 0..rank-2 *)
+  red_binds : string list ref;  (* hoists for the reduction loop (reversed) *)
+  inner_sites : int list ref;  (* slots with innermost terms (reversed) *)
+}
+
+(* A render function: the expression text, given the textual innermost
+   index (e.g. "i1" or "(i1 + 2)") and which addressing variant is being
+   emitted. *)
+type render = inner:string -> fast:bool -> string
+
+(* Decompose one index expression into integer coefficients: constant
+   part, one per output loop variable, one for the reduction variable,
+   one per free scalar.  The grammar is purely affine, so this only
+   fails on an identifier neither lane knows. *)
+let affine env (ix : Codegen.ix) =
+  let cst = ref 0 in
+  let loops = Array.make (max 1 env.rank) 0 in
+  let red = ref 0 in
+  let scals = Array.make (Array.length env.scalars) 0 in
+  let scalar_slot name =
+    let found = ref (-1) in
+    Array.iteri
+      (fun k s -> if String.equal s name then found := k)
+      env.scalars;
+    !found
+  in
+  let rec go sign = function
+    | Iconst c -> cst := !cst + (sign * c)
+    | Ivar name -> (
+        if not (Jit_emit.ident_ok name) then fail "non-affine index %S" name;
+        match Jit_emit.index_dim ~rank:env.rank name with
+        | Some d -> loops.(d) <- loops.(d) + sign
+        | None -> (
+            match env.red with
+            | Some (rname, _) when String.equal rname name ->
+                red := !red + sign
+            | _ -> (
+                match scalar_slot name with
+                | -1 -> fail "unknown index symbol %S" name
+                | k -> scals.(k) <- scals.(k) + sign)))
+    | Iadd (a, b) ->
+        go sign a;
+        go sign b
+    | Isub (a, b) ->
+        go sign a;
+        go (-sign) b
+  in
+  go 1 ix;
+  (!cst, loops, !red, scals)
+
+let emit_read env (v : Graph.value) ixs : render =
+  let site =
+    match !(env.pending) with
+    | s :: rest ->
+        env.pending := rest;
+        s
+    | [] -> fail "site walk mismatch: more reads than the OCaml emitter saw"
+  in
+  let rank = List.length ixs in
+  if site.Jit_emit.e_value.Graph.v_id <> v.Graph.v_id || site.e_rank <> rank
+  then fail "site walk mismatch for %s" (value_ref v);
+  let slot = site.e_slot in
+  let pos = site.e_ints_pos in
+  let parts = List.map (affine env) ixs in
+  (* base address: offset plus every constant and free-scalar
+     contribution (scalars are launch constants from the ints tail),
+     hoisted to statement entry *)
+  let base = Buffer.create 64 in
+  Buffer.add_string base (Printf.sprintf "ints[%d]" pos);
+  List.iteri
+    (fun k (cst, _, _, scals) ->
+      if cst <> 0 then
+        Buffer.add_string base
+          (Printf.sprintf " + (%d) * ints[%d]" cst (pos + 1 + k));
+      Array.iteri
+        (fun sk n ->
+          if n <> 0 then
+            Buffer.add_string base
+              (Printf.sprintf " + (%d) * ints[%d] * ints[%d]" n
+                 (env.scalar_pos + sk) (pos + 1 + k)))
+        scals)
+    parts;
+  (* per-variable coefficient: sum of stride * integer factor over the
+     site's dimensions; None when the site does not depend on it *)
+  let coeff sel =
+    let terms =
+      List.concat
+        (List.mapi
+           (fun k p ->
+             let n = sel p in
+             if n = 0 then []
+             else if n = 1 then [ Printf.sprintf "ints[%d]" (pos + 1 + k) ]
+             else [ Printf.sprintf "(%d) * ints[%d]" n (pos + 1 + k) ])
+           parts)
+    in
+    match terms with [] -> None | ts -> Some (String.concat " + " ts)
+  in
+  let coeffs =
+    Array.init (max 1 env.rank) (fun d -> coeff (fun (_, l, _, _) -> l.(d)))
+  in
+  let rcoeff = coeff (fun (_, _, r, _) -> r) in
+  Buffer.add_string env.site_binds
+    (Printf.sprintf "    const double * restrict b%d = bufs[%d];\n" slot
+       (env.nstmts + slot));
+  Buffer.add_string env.site_binds
+    (Printf.sprintf "    const long b%d_b = %s;\n" slot (Buffer.contents base));
+  (* chain loop-level partials through the outer dimensions; the
+     innermost term is applied at the access itself so the fast variant
+     can drop the multiply *)
+  let inner_dim = env.rank - 1 in
+  let pre = ref (Printf.sprintf "b%d_b" slot) in
+  Array.iteri
+    (fun d c ->
+      match c with
+      | None -> ()
+      | Some c ->
+          let cv = Printf.sprintf "b%d_c%d" slot d in
+          Buffer.add_string env.site_binds
+            (Printf.sprintf "    const long %s = %s;\n" cv c);
+          if d < inner_dim then begin
+            let pv = Printf.sprintf "b%d_p%d" slot d in
+            env.level_binds.(d) :=
+              Printf.sprintf "const long %s = %s + i%d * %s;" pv !pre d cv
+              :: !(env.level_binds.(d));
+            pre := pv
+          end)
+    coeffs;
+  let has_red =
+    match rcoeff with
+    | None -> false
+    | Some c ->
+        Buffer.add_string env.site_binds
+          (Printf.sprintf "    const long b%d_cr = %s;\n" slot c);
+        env.red_binds :=
+          Printf.sprintf "const long b%d_pr = %s + rv0 * b%d_cr;" slot !pre
+            slot
+          :: !(env.red_binds);
+        true
+  in
+  (* dynamically-indexed site (a free scalar participates): the OCaml
+     lane would use checked [Array.get] here, so emit the launch guard —
+     min/max flat index over the full baked iteration space, against the
+     buffer length the driver leaves at [ints[nints + slot]].  Skipped
+     when a baked extent is 0: the loops never run, so no access
+     happens.  Extent-1 dimensions contribute nothing to the range. *)
+  (if
+     site.e_bounds = None
+     && (not env.guarded)
+     && Array.for_all (fun e -> e > 0) env.shape
+   then begin
+     let b = env.site_binds in
+     Buffer.add_string b
+       (Printf.sprintf "    { long glo = b%d_b, ghi = b%d_b, gt;\n" slot slot);
+     Array.iteri
+       (fun d c ->
+         match c with
+         | Some _ when d < env.rank && env.shape.(d) > 1 ->
+             Buffer.add_string b
+               (Printf.sprintf
+                  "      gt = b%d_c%d * %d; if (gt < 0) glo += gt; else ghi \
+                   += gt;\n"
+                  slot d
+                  (env.shape.(d) - 1))
+         | _ -> ())
+       coeffs;
+     (match (has_red, env.red) with
+     | true, Some (_, extent) when extent > 1 ->
+         Buffer.add_string b
+           (Printf.sprintf
+              "      gt = b%d_cr * %d; if (gt < 0) glo += gt; else ghi += \
+               gt;\n"
+              slot (extent - 1))
+     | _ -> ());
+     Buffer.add_string b
+       (Printf.sprintf "      if (glo < 0 || ghi >= ints[%d]) return 1;\n"
+          (env.nints + slot));
+     Buffer.add_string b "    }\n"
+   end);
+  let has_inner = inner_dim >= 0 && coeffs.(inner_dim) <> None in
+  if has_inner then env.inner_sites := slot :: !(env.inner_sites);
+  let basev = if has_red then Printf.sprintf "b%d_pr" slot else !pre in
+  let idx ~inner ~fast =
+    if has_inner then
+      if fast then Printf.sprintf "%s + %s" basev inner
+      else Printf.sprintf "%s + %s * b%d_c%d" basev inner slot inner_dim
+    else basev
+  in
+  if env.guarded then
+    (* the OCaml lane reads this site with checked [Array.get]; the C
+       twin checks the flat index against the buffer length the driver
+       leaves at [ints[nints + slot]] and returns the guard status.  The
+       statement expression scopes the temporary, so a render
+       instantiated several times in one block stays legal. *)
+    fun ~inner ~fast ->
+     Printf.sprintf
+       "({ const long x%d_ = %s; if (x%d_ < 0 || x%d_ >= ints[%d]) return \
+        1; b%d[x%d_]; })"
+       slot (idx ~inner ~fast) slot slot (env.nints + slot) slot slot
+  else fun ~inner ~fast -> Printf.sprintf "b%d[%s]" slot (idx ~inner ~fast)
+
+(* A condition index as a C long expression.  Dimension [rank-1] renders
+   through the caller's [inner] text so conditions stay correct in every
+   loop variant (fast/generic, blocked reduction lanes). *)
+let cix env (ix : Codegen.ix) : inner:string -> string =
+  let cst, loops, red, scals = affine env ix in
+  fun ~inner ->
+    let b = Buffer.create 32 in
+    Buffer.add_string b (string_of_int cst);
+    Array.iteri
+      (fun d n ->
+        if n <> 0 && d < env.rank then begin
+          let v = if d = env.rank - 1 then inner else Printf.sprintf "i%d" d in
+          Buffer.add_string b
+            (if n = 1 then Printf.sprintf " + %s" v
+             else Printf.sprintf " + (%d) * %s" n v)
+        end)
+      loops;
+    if red <> 0 then
+      Buffer.add_string b
+        (if red = 1 then " + rv0" else Printf.sprintf " + (%d) * rv0" red);
+    Array.iteri
+      (fun k n ->
+        if n <> 0 then
+          Buffer.add_string b
+            (if n = 1 then Printf.sprintf " + ints[%d]" (env.scalar_pos + k)
+             else
+               Printf.sprintf " + (%d) * ints[%d]" n (env.scalar_pos + k)))
+      scals;
+    Printf.sprintf "(%s)" (Buffer.contents b)
+
+(* Conditions compare integer index expressions, so C's operators match
+   the OCaml lane exactly; [%] and [mod] share truncated-division
+   semantics (C99 / OCaml manual). *)
+let emit_cond env (c : Codegen.cond) : inner:string -> string =
+  let cmp op a b =
+    let ra = cix env a and rb = cix env b in
+    fun ~inner -> Printf.sprintf "(%s %s %s)" (ra ~inner) op (rb ~inner)
+  in
+  match c with
+  | Ceq (a, b) -> cmp "==" a b
+  | Cge (a, b) -> cmp ">=" a b
+  | Clt (a, b) -> cmp "<" a b
+  | Cmod (a, b, s) ->
+      let ra = cix env a and rb = cix env b in
+      fun ~inner ->
+        Printf.sprintf "(((%s - %s) %% %d) == 0)" (ra ~inner) (rb ~inner) s
+
+let rec emit_expr env (e : Codegen.cexpr) : render =
+  match e with
+  | Clit f ->
+      let s = float_lit f in
+      fun ~inner:_ ~fast:_ -> s
+  | Copaque what -> fail "opaque expression %s" what
+  | Cread (v, ixs) -> emit_read env v ixs
+  | Cunary (u, e) -> begin
+      let s = emit_expr env e in
+      let wrap fmt = fun ~inner ~fast -> Printf.sprintf fmt (s ~inner ~fast) in
+      match u with
+      | Scalar.Neg -> wrap "(- %s)"
+      | Scalar.Abs -> wrap "fabs(%s)"
+      | Scalar.Exp -> wrap "exp(%s)"
+      | Scalar.Log -> wrap "log(%s)"
+      | Scalar.Sqrt -> wrap "sqrt(%s)"
+      | Scalar.Sigmoid -> wrap "(1.0 / (1.0 + exp(- %s)))"
+      | Scalar.Tanh -> wrap "tanh(%s)"
+      | Scalar.Relu ->
+          (* Float.max 0.0 x: positives pass, zeros normalize to +0.0,
+             NaN propagates — fmax has different NaN rules, so spell it
+             out (same as gemm_stubs.c). *)
+          wrap "({ const double rx_ = %s; (rx_ > 0.0) ? rx_ : (rx_ != rx_ ? rx_ : 0.0); })"
+    end
+  | Cbinary (b, x, y) -> begin
+      (* the [let _ = _ and _ = _] shape matches Jit_emit so both
+         emitters discover read sites in the same order *)
+      let sx = emit_expr env x and sy = emit_expr env y in
+      let wrap fmt =
+       fun ~inner ~fast ->
+        Printf.sprintf fmt (sx ~inner ~fast) (sy ~inner ~fast)
+      in
+      match b with
+      | Scalar.Add -> wrap "(%s + %s)"
+      | Scalar.Sub -> wrap "(%s - %s)"
+      | Scalar.Mul -> wrap "(%s * %s)"
+      | Scalar.Div -> wrap "(%s / %s)"
+      | Scalar.Pow -> wrap "pow(%s, %s)"
+      | Scalar.Lt -> wrap "((%s < %s) ? 1.0 : 0.0)"
+      | Scalar.Gt -> wrap "((%s > %s) ? 1.0 : 0.0)"
+      | Scalar.Max | Scalar.Min ->
+          fail "Float.max/min NaN and signed-zero rules stay on the OCaml lane"
+      | Scalar.Eq -> fail "Float.equal NaN rules stay on the OCaml lane"
+    end
+  | Ccond (conds, t, e) ->
+      (* same explicit walk order as Jit_emit (conds, then, else); the C
+         ternary short-circuits exactly like the OCaml [if], so only the
+         taken branch's reads execute *)
+      let genv = { env with guarded = true } in
+      let rc = List.map (emit_cond env) conds in
+      let rt = emit_expr genv t in
+      let re = emit_expr genv e in
+      fun ~inner ~fast ->
+        Printf.sprintf "(%s ? %s : %s)"
+          (String.concat " && " (List.map (fun r -> r ~inner) rc))
+          (rt ~inner ~fast) (re ~inner ~fast)
+  | Creduce _ -> fail "non-root reduction"
+
+let emit_stmt ~buf ~expect ~stmt_idx (s : Codegen.statement)
+    (est : Jit_emit.estmt) pending =
+  let shape = est.Jit_emit.e_shape in
+  let rank = Array.length shape in
+  let site_binds = Buffer.create 256 in
+  let level_binds = Array.init (max 1 rank) (fun _ -> ref []) in
+  let red_binds = ref [] in
+  let inner_sites = ref [] in
+  let env =
+    {
+      rank;
+      nstmts = Array.length expect.Jit_emit.e_stmts;
+      shape;
+      nints = expect.e_nints;
+      scalar_pos = expect.e_scalar_pos;
+      scalars = expect.e_free;
+      red = None;
+      guarded = false;
+      pending;
+      site_binds;
+      level_binds;
+      red_binds;
+      inner_sites;
+    }
+  in
+  let root =
+    match s.s_expr with
+    | Creduce (kind, rname, extent, body) ->
+        (match kind with
+        | `Sum -> ()
+        | `Max -> fail "Max reduction stays on the OCaml lane");
+        if extent <= 0 then fail "unknown reduction extent for %s" rname;
+        if not (Jit_emit.ident_ok rname) then
+          fail "bad reduction variable %S" rname;
+        if Jit_emit.index_dim ~rank rname <> None then
+          fail "reduction variable %S shadows an output index" rname;
+        let render = emit_expr { env with red = Some (rname, extent) } body in
+        `Reduce (extent, render)
+    | e -> `Map (emit_expr env e)
+  in
+  let add = Buffer.add_string buf in
+  (* [stmt = -1] is the whole-kernel entry: the driver makes one native
+     call when no statement is split across pool tasks, and the cases
+     run in order by switch fallthrough ([if (stmt >= 0) break;] at each
+     seam), each over its full baked extent ([sl, sh)). *)
+  if stmt_idx = 0 then add "  case -1: /* whole kernel */\n";
+  add
+    (Printf.sprintf "  case %d: { /* %s : %s */\n" stmt_idx
+       (value_ref s.s_out) (Shape.to_string shape));
+  add
+    (Printf.sprintf
+       "    const long sl = stmt < 0 ? 0 : lo, sh = stmt < 0 ? %d : hi;\n"
+       (if rank = 0 then 1 else shape.(0)));
+  add (Buffer.contents site_binds);
+  add (Printf.sprintf "    double * restrict o = bufs[%d];\n" stmt_idx);
+  add (Printf.sprintf "    const long ob = ints[%d];\n" est.e_out_pos);
+  (* dense output strides are baked literals (innermost is 1) *)
+  let os = Array.make (max 1 rank) 1 in
+  for d = rank - 2 downto 0 do
+    os.(d) <- os.(d + 1) * shape.(d + 1)
+  done;
+  let lo_of d = if d = 0 then "sl" else "0" in
+  let hi_of d = if d = 0 then "sh" else string_of_int shape.(d) in
+  let pad d = String.make (4 + (2 * d)) ' ' in
+  let opre = ref "ob" in
+  for d = 0 to rank - 2 do
+    add
+      (Printf.sprintf "%sfor (long i%d = %s; i%d < %s; i%d++) {\n" (pad d) d
+         (lo_of d) d (hi_of d) d);
+    List.iter
+      (fun line -> add (Printf.sprintf "%s%s\n" (pad (d + 1)) line))
+      (List.rev !(level_binds.(d)));
+    let pv = Printf.sprintf "o_p%d" d in
+    add
+      (Printf.sprintf "%sconst long %s = %s + i%d * %d;\n" (pad (d + 1)) pv
+         !opre d os.(d));
+    opre := pv
+  done;
+  (* all innermost-dependent sites contiguous -> the fast variant's
+     unit-stride accesses vectorise; both variants compute identical
+     element orders *)
+  let guard =
+    String.concat " && "
+      (List.rev_map
+         (fun slot -> Printf.sprintf "b%d_c%d == 1" slot (rank - 1))
+         !inner_sites)
+  in
+  (match root with
+  | `Map render when rank = 0 ->
+      add
+        (Printf.sprintf "    if (sl <= 0 && sh >= 1) { o[ob] = %s; }\n"
+           (render ~inner:"0" ~fast:false))
+  | `Map render ->
+      let l = rank - 1 in
+      let iv = Printf.sprintf "i%d" l in
+      let loop fast p =
+        add
+          (Printf.sprintf "%sfor (long %s = %s; %s < %s; %s++) {\n" p iv
+             (lo_of l) iv (hi_of l) iv);
+        add
+          (Printf.sprintf "%s  o[%s + %s] = %s;\n" p !opre iv
+             (render ~inner:iv ~fast));
+        add (Printf.sprintf "%s}\n" p)
+      in
+      if guard = "" then loop true (pad l)
+      else begin
+        add (Printf.sprintf "%sif (%s) {\n" (pad l) guard);
+        loop true (pad (l + 1));
+        add (Printf.sprintf "%s} else {\n" (pad l));
+        loop false (pad (l + 1));
+        add (Printf.sprintf "%s}\n" (pad l))
+      end
+  | `Reduce (extent, render) when rank = 0 ->
+      add "    if (sl <= 0 && sh >= 1) {\n";
+      add "      double acc = 0.0;\n";
+      add (Printf.sprintf "      for (long rv0 = 0; rv0 < %d; rv0++) {\n" extent);
+      List.iter
+        (fun line -> add (Printf.sprintf "        %s\n" line))
+        (List.rev !red_binds);
+      add
+        (Printf.sprintf "        acc = acc + %s;\n"
+           (render ~inner:"0" ~fast:false));
+      add "      }\n";
+      add "      o[ob] = acc;\n";
+      add "    }\n"
+  | `Reduce (extent, render) ->
+      (* block the innermost output dimension by 4: each element still
+         sums its reduction terms in ascending order (bitwise identical
+         to the scalar remainder loop), but the four independent
+         accumulators break the serial FP-add chain and SLP-vectorise
+         on the unit-stride path *)
+      let l = rank - 1 in
+      let iv = Printf.sprintf "i%d" l in
+      let jhi = hi_of l in
+      add (Printf.sprintf "%slong %s = %s;\n" (pad l) iv (lo_of l));
+      if guard <> "" then add (Printf.sprintf "%sif (%s) {\n" (pad l) guard);
+      let bp = if guard <> "" then pad (l + 1) else pad l in
+      add (Printf.sprintf "%sfor (; %s + 4 <= %s; %s += 4) {\n" bp iv jhi iv);
+      add
+        (Printf.sprintf "%s  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;\n"
+           bp);
+      add (Printf.sprintf "%s  for (long rv0 = 0; rv0 < %d; rv0++) {\n" bp extent);
+      List.iter
+        (fun line -> add (Printf.sprintf "%s    %s\n" bp line))
+        (List.rev !red_binds);
+      for k = 0 to 3 do
+        let inner =
+          if k = 0 then iv else Printf.sprintf "(%s + %d)" iv k
+        in
+        add
+          (Printf.sprintf "%s    a%d = a%d + %s;\n" bp k k
+             (render ~inner ~fast:true))
+      done;
+      add (Printf.sprintf "%s  }\n" bp);
+      for k = 0 to 3 do
+        let at = if k = 0 then iv else Printf.sprintf "%s + %d" iv k in
+        add (Printf.sprintf "%s  o[%s + %s] = a%d;\n" bp !opre at k)
+      done;
+      add (Printf.sprintf "%s}\n" bp);
+      if guard <> "" then add (Printf.sprintf "%s}\n" (pad l));
+      (* scalar remainder, and the whole range when the guard fails *)
+      add (Printf.sprintf "%sfor (; %s < %s; %s++) {\n" (pad l) iv jhi iv);
+      add (Printf.sprintf "%s  double acc = 0.0;\n" (pad l));
+      add
+        (Printf.sprintf "%s  for (long rv0 = 0; rv0 < %d; rv0++) {\n" (pad l)
+           extent);
+      List.iter
+        (fun line -> add (Printf.sprintf "%s    %s\n" (pad l) line))
+        (List.rev !red_binds);
+      add
+        (Printf.sprintf "%s    acc = acc + %s;\n" (pad l)
+           (render ~inner:iv ~fast:false));
+      add (Printf.sprintf "%s  }\n" (pad l));
+      add (Printf.sprintf "%s  o[%s + %s] = acc;\n" (pad l) !opre iv);
+      add (Printf.sprintf "%s}\n" (pad l)));
+  for d = rank - 2 downto 0 do
+    add (Printf.sprintf "%s}\n" (pad d))
+  done;
+  add "  } if (stmt >= 0) break;\n"
+
+let emit (k : Codegen.kernel) ~(expect : Jit_emit.emitted) :
+    (cemitted, string) result =
+  try
+    let buf = Buffer.create 2048 in
+    Buffer.add_string buf "  switch (stmt) {\n";
+    List.iteri
+      (fun stmt_idx (s : Codegen.statement) ->
+        let pending =
+          ref
+            (List.filter
+               (fun (st : Jit_emit.esite) -> st.e_stmt = stmt_idx)
+               (Array.to_list expect.Jit_emit.e_sites))
+        in
+        emit_stmt ~buf ~expect ~stmt_idx s expect.e_stmts.(stmt_idx) pending;
+        if !pending <> [] then
+          fail "site walk mismatch: unconsumed read sites")
+      k.k_stmts;
+    Buffer.add_string buf "  default: break;\n  }\n  return 0;\n";
+    Ok { c_group = k.k_group; c_name = k.k_name; c_fn = Buffer.contents buf }
+  with Reject msg -> Error msg

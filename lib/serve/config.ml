@@ -17,6 +17,7 @@ type t = {
   cache_size : int;
   jit : Jit.mode;
   jit_dir : string;
+  jit_cc : string;  (* C-lane compiler command; "" keeps the default *)
   trace : trace_sink;
   trace_buf : int;
   metrics : metrics_sink;
@@ -39,6 +40,7 @@ let default =
     cache_size = 32;
     jit = Jit.Off;
     jit_dir = "";
+    jit_cc = "";
     trace = Trace_off;
     trace_buf = 65536;
     metrics = Metrics_off;
@@ -99,7 +101,7 @@ let metrics_sink cfg _key v =
 let jit_mode cfg key v =
   match Jit.mode_of_string (String.lowercase_ascii v) with
   | Some m -> Ok { cfg with jit = m }
-  | None -> invalid key v "expected off, on or auto"
+  | None -> invalid key v "expected off, on, auto, c or ocaml"
 
 (* The artifact directory honours the usual cache conventions when the
    variable is unset: $XDG_CACHE_HOME/functs/jit, else
@@ -166,6 +168,7 @@ let of_env ?(base = default) ?(getenv = Sys.getenv_opt) () =
         pos_int ~min_value:1 (fun c n -> { c with cache_size = n }) );
       ("FUNCTS_JIT", jit_mode);
       ("FUNCTS_JIT_DIR", fun cfg _key v -> Ok { cfg with jit_dir = v });
+      ("FUNCTS_JIT_CC", fun cfg _key v -> Ok { cfg with jit_cc = v });
       ("FUNCTS_TRACE", trace_sink);
       ( "FUNCTS_TRACE_BUF",
         pos_int ~min_value:16 (fun c n -> { c with trace_buf = n }) );
@@ -219,6 +222,7 @@ let apply cfg =
   Engine.set_cache_capacity cfg.cache_size;
   Engine.set_jit_default cfg.jit;
   Engine.set_jit_dir_default cfg.jit_dir;
+  if cfg.jit_cc <> "" then Jit.set_c_compiler cfg.jit_cc;
   Functs_exec.Pool.set_chunk_bytes cfg.chunk_bytes;
   if Tracer.capacity () <> cfg.trace_buf then Tracer.set_capacity cfg.trace_buf;
   (match cfg.trace with
@@ -257,6 +261,8 @@ let to_string cfg =
       Printf.sprintf "jit            = %s" (Jit.mode_to_string cfg.jit);
       Printf.sprintf "jit_dir        = %s"
         (if cfg.jit_dir = "" then "(temp)" else cfg.jit_dir);
+      Printf.sprintf "jit_cc         = %s"
+        (if cfg.jit_cc = "" then "(default)" else cfg.jit_cc);
       Printf.sprintf "trace          = %s" (sink cfg.trace);
       Printf.sprintf "trace_buf      = %d" cfg.trace_buf;
       Printf.sprintf "metrics        = %s" (msink cfg.metrics);

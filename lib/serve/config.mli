@@ -45,9 +45,13 @@ type t = {
           [0] (the default) probes cpu0's L2 size from sysfs *)
   cache : bool;  (** compile cache on/off *)
   cache_size : int;  (** resident compile-cache entries (LRU) *)
-  jit : Functs_jit.Jit.mode;  (** native JIT backend: off / on / auto *)
+  jit : Functs_jit.Jit.mode;
+      (** native JIT backend: off / on / auto / c / ocaml *)
   jit_dir : string;
       (** on-disk JIT artifact cache; [""] = engine temp-dir fallback *)
+  jit_cc : string;
+      (** C-lane compiler command ([FUNCTS_JIT_CC]); [""] keeps the
+          default ([cc]) *)
   trace : trace_sink;
   trace_buf : int;  (** span-tracer ring capacity (≥ 16) *)
   metrics : metrics_sink;
@@ -109,7 +113,8 @@ val apply : t -> unit
 (** Push the process-wide settings where they live: compile-cache
     default and capacity ([Engine.set_cache_default] /
     [set_cache_capacity]), JIT default mode and artifact dir
-    ([Engine.set_jit_default] / [set_jit_dir_default]), tracer ring
+    ([Engine.set_jit_default] / [set_jit_dir_default]), the C-lane
+    compiler override ([Jit.set_c_compiler], when set), tracer ring
     capacity, tracer enablement, journal ring capacity and enablement,
     and the trace / metrics exit dumps.  Idempotent per process — the
     exit hooks are registered once and follow the most recently applied

@@ -31,6 +31,12 @@ val of_storage : Storage.t -> Shape.t -> t
     the buffer-reuse constructor used by the executor's storage pool.
     @raise Invalid_argument on element-count mismatch. *)
 
+val uninit : Shape.t -> t
+(** Contiguous tensor over {e uninitialised} storage.  Only for callers
+    that overwrite every element before the tensor is read (bulk copies,
+    kernel scratch outputs) — skipping the zero fill halves the memory
+    traffic of a fill-then-read cycle. *)
+
 val arange : int -> t
 (** [arange n] is the 1-d tensor [0.; 1.; …; n-1.]. *)
 

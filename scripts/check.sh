@@ -46,6 +46,21 @@ else
   }
 fi
 
+# C lane of the JIT.  With a C compiler present the jit suite above
+# already proves the differential + cache paths; without one, a
+# FUNCTS_JIT=c run must still exit 0 — every C-eligible group records a
+# jit.c.fallback tick and demotes to the OCaml lane (or the closure
+# engine below it).
+if ! cc --version >/dev/null 2>&1; then
+  echo "== C lane gate: cc unavailable; asserting graceful fallback =="
+  FUNCTS_JIT=c FUNCTS_DOMAINS=2 dune exec bench/main.exe -- exec --smoke \
+    | tee /tmp/functs_cjit_fallback.txt
+  grep -Eq 'jit\.c\.fallback +[1-9]' /tmp/functs_cjit_fallback.txt || {
+    echo "error: FUNCTS_JIT=c without cc recorded no jit.c.fallback" >&2
+    exit 1
+  }
+fi
+
 echo "== bench exec --smoke (FUNCTS_DOMAINS=2) =="
 FUNCTS_DOMAINS=2 dune exec bench/main.exe -- exec --smoke \
   | tee /tmp/functs_bench_smoke.txt
@@ -75,7 +90,7 @@ fi
 # The committed benchmark results must carry the JIT column and keep the
 # serve-bench member a full exec rewrite is required to preserve.
 echo "== BENCH_exec.json members =="
-for member in '"jit_ms"' '"serve"' '"pool_steals"' '"pool_inline_runs"'; do
+for member in '"jit_ms"' '"cjit_ms"' '"serve"' '"pool_steals"' '"pool_inline_runs"'; do
   grep -q "$member" BENCH_exec.json || {
     echo "error: BENCH_exec.json is missing the $member member" >&2
     exit 1

@@ -40,6 +40,11 @@ let misses = counter "jit.cache.miss"
 let compiles = counter "jit.compiles"
 let evicted = counter "jit.cache.evicted"
 let fallbacks = counter "jit.cache.fallback"
+let c_hits = counter "jit.c.hit"
+let c_misses = counter "jit.c.miss"
+let c_compiles = counter "jit.c.compiles"
+let c_evicted = counter "jit.c.evicted"
+let c_fallbacks = counter "jit.c.fallback"
 
 let flat (v : Value.t) =
   match v with
@@ -51,13 +56,23 @@ let flat (v : Value.t) =
   | _ -> None
 
 (* Bitwise when both sides are tensors (the emitter reproduces the
-   closure kernels' operation order exactly), epsilon otherwise. *)
+   closure kernels' operation order exactly) — except that the C lane's
+   vectorised transcendentals go through glibc's libmvec, whose kernels
+   are specified to <= 4 ulp of scalar libm, so a bitwise miss falls
+   back to a tolerance still nine orders tighter than the engine's 1e-4
+   epsilon gate.  Non-tensor values compare under that gate. *)
 let bitwise_or_epsilon expected got =
   List.length expected = List.length got
   && List.for_all2
        (fun e g ->
          match (flat e, flat g) with
-         | Some be, Some bg -> be = bg
+         | Some be, Some bg -> (
+             be = bg
+             ||
+             match (e, g) with
+             | Value.Tensor te, Value.Tensor tg ->
+                 Tensor.allclose ~atol:1e-12 ~rtol:1e-9 te tg
+             | _ -> false)
          | _ -> Value.equal ~atol:1e-4 e g)
        expected got
 
@@ -108,13 +123,17 @@ let test_fallback_missing_toolchain () =
   let w = Result.get_ok (Functs.find_workload "attention") in
   let g, fg, args_fn = functionalized w in
   let expected = Eval.run g (clone_args (args_fn ())) in
-  let fb0 = fallbacks () and co0 = compiles () in
+  let fb0 = fallbacks () and co0 = compiles () and cco0 = c_compiles () in
   Jit.clear_loaded ();
+  (* Both lanes must be down: a box with cc but no ocamlfind still arms
+     groups through the C lane, so "nothing armed" needs both gone. *)
   Jit.set_compiler "functs-definitely-missing-compiler";
+  Jit.set_c_compiler "functs-definitely-missing-cc";
   let got, stats =
     Fun.protect
       ~finally:(fun () ->
         Jit.set_compiler "ocamlfind ocamlopt";
+        Jit.set_c_compiler "cc";
         Jit.clear_loaded ())
       (fun () ->
         let eng = jit_engine ~mode:Jit.Auto fg (args_fn ()) in
@@ -125,7 +144,88 @@ let test_fallback_missing_toolchain () =
   check_int "no group armed without a toolchain" 0 stats.Scheduler.jit_groups;
   check "every rejected group was recorded as a fallback" true
     (fallbacks () > fb0);
-  check_int "the missing compiler was never invoked" 0 (compiles () - co0)
+  check_int "the missing compiler was never invoked" 0 (compiles () - co0);
+  check_int "the missing C compiler was never invoked" 0
+    (c_compiles () - cco0)
+
+(* --- C lane differential: every workload, FUNCTS_JIT=c vs interpreter --- *)
+
+let test_c_differential () =
+  let c_armed = ref 0 and c_runs = ref 0 and cfb0 = c_fallbacks () in
+  List.iter
+    (fun (w : Workload.t) ->
+      let g, fg, args_fn = functionalized w in
+      let expected = Eval.run g (clone_args (args_fn ())) in
+      let eng = jit_engine ~mode:Jit.C fg (args_fn ()) in
+      let got = Engine.run eng (args_fn ()) in
+      check
+        (Printf.sprintf "%s: C-lane outputs equal the interpreter"
+           w.Workload.name)
+        true
+        (bitwise_or_epsilon expected got);
+      let s = Engine.stats eng in
+      c_armed := !c_armed + s.Scheduler.cjit_groups;
+      c_runs := !c_runs + s.Scheduler.cjit_runs)
+    (Registry.all @ Registry.extensions);
+  if Jit.c_toolchain_available () then begin
+    check "some groups compiled a C kernel" true (!c_armed > 0);
+    check "C kernels actually ran" true (!c_runs > 0)
+  end
+  else begin
+    check_int "no C compiler: no C kernels" 0 !c_armed;
+    check "no C compiler: C fallbacks were recorded" true
+      (c_fallbacks () > cfb0)
+  end
+
+(* --- forced C-compile failure: the group demotes to the OCaml lane --- *)
+
+let test_c_compile_failure_demotion () =
+  let w = Result.get_ok (Functs.find_workload "attention") in
+  let g, fg, args_fn = functionalized w in
+  let expected = Eval.run g (clone_args (args_fn ())) in
+  let cfb0 = c_fallbacks () and cco0 = c_compiles () in
+  Jit.clear_loaded ();
+  Jit.set_c_compiler "functs-definitely-missing-cc";
+  let got, stats =
+    Fun.protect
+      ~finally:(fun () ->
+        Jit.set_c_compiler "cc";
+        Jit.clear_loaded ())
+      (fun () ->
+        let eng = jit_engine ~mode:Jit.C fg (args_fn ()) in
+        (Engine.run eng (args_fn ()), Engine.stats eng))
+  in
+  check "outputs still equal the interpreter" true
+    (bitwise_or_epsilon expected got);
+  check_int "no C kernel without a C compiler" 0 stats.Scheduler.cjit_groups;
+  check "the C-lane failures were recorded" true (c_fallbacks () > cfb0);
+  check_int "the missing C compiler was never invoked" 0
+    (c_compiles () - cco0);
+  if Jit.toolchain_available () then
+    check "the OCaml lane still armed the groups" true
+      (stats.Scheduler.jit_groups > 0)
+
+(* --- C artifact cache: the second "process" is a disk hit --- *)
+
+let test_c_artifact_disk_hit () =
+  if not (Jit.c_toolchain_available ()) then ()
+  else begin
+    let w = Result.get_ok (Functs.find_workload "nasrnn") in
+    let _, fg, args_fn = functionalized w in
+    let eng = jit_engine ~mode:Jit.C fg (args_fn ()) in
+    ignore (Engine.run eng (args_fn ()));
+    check "cold prepare compiled C kernels" true
+      ((Engine.stats eng).Scheduler.cjit_groups > 0);
+    Jit.clear_loaded ();
+    let h0 = c_hits () and m0 = c_misses () and co0 = c_compiles () in
+    let eng2 = jit_engine ~mode:Jit.C fg (args_fn ()) in
+    ignore (Engine.run eng2 (args_fn ()));
+    check "warm prepare armed the C kernels too" true
+      ((Engine.stats eng2).Scheduler.cjit_groups > 0);
+    check "the C artifact was found on disk" true (c_hits () > h0);
+    check_int "no C recompile on the warm path" 0 (c_compiles () - co0);
+    check_int "no C cache miss on the warm path" 0 (c_misses () - m0)
+  end
 
 (* --- forced fallback: unusable artifact directory --- *)
 
@@ -201,14 +301,20 @@ let test_stale_version_eviction () =
         let oc = open_out stale in
         output_string oc "not a plugin";
         close_out oc;
-        let ev0 = evicted () in
+        let stale_c = Filename.concat dir "functs_cjit_v0_deadbeef.so" in
+        let oc = open_out stale_c in
+        output_string oc "not a shared object";
+        close_out oc;
+        let ev0 = evicted () and cev0 = c_evicted () in
         Jit.clear_loaded ();
         let w = Result.get_ok (Functs.find_workload "nasrnn") in
         let _, fg, args_fn = functionalized w in
         ignore (jit_engine ~dir fg (args_fn ()));
         Jit.clear_loaded ();
         check "the stale artifact is gone" false (Sys.file_exists stale);
-        check "the eviction was counted" true (evicted () > ev0))
+        check "the eviction was counted" true (evicted () > ev0);
+        check "the stale C artifact is gone" false (Sys.file_exists stale_c);
+        check "the C eviction was counted" true (c_evicted () > cev0))
   end
 
 let () =
@@ -218,8 +324,14 @@ let () =
         [
           Alcotest.test_case "differential vs interpreter" `Slow
             test_differential;
+          Alcotest.test_case "C lane differential vs interpreter" `Slow
+            test_c_differential;
           Alcotest.test_case "fallback: missing toolchain" `Quick
             test_fallback_missing_toolchain;
+          Alcotest.test_case "C compile failure demotes to the OCaml lane"
+            `Quick test_c_compile_failure_demotion;
+          Alcotest.test_case "C artifact cache: warm disk hit" `Quick
+            test_c_artifact_disk_hit;
           Alcotest.test_case "fallback: unusable artifact dir" `Quick
             test_fallback_bogus_dir;
           Alcotest.test_case "artifact cache: warm disk hit" `Quick
